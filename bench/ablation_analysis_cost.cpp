@@ -1,0 +1,140 @@
+//===- ablation_analysis_cost.cpp - where the overhead comes from --------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation over the AsyncG pipeline (DESIGN.md design-choice index): the
+// AcmeAir workload runs under increasingly complete configurations so the
+// cost of each piece is visible:
+//
+//   none            no analysis attached (hooks short-circuit)
+//   counter         ApiUsageCounter only (cheapest useful analysis)
+//   shadow-stack    AsyncG with graph construction disabled
+//                   (Algorithm 1 tick accounting only)
+//   graph           full graph, promise tracking off, no detectors
+//   graph+promise   full graph incl. promises, no detectors
+//   full            graph + promises + all detectors (the Fig. 6(a)
+//                   "withpromise" setting)
+//
+//===----------------------------------------------------------------------===//
+
+#include "ag/Builder.h"
+#include "apps/acmeair/App.h"
+#include "apps/acmeair/Workload.h"
+#include "baselines/ApiUsageCounter.h"
+#include "detect/Detectors.h"
+#include "jsrt/Runtime.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+using namespace asyncg::acmeair;
+
+namespace {
+
+enum class Mode { None, Counter, ShadowStack, Graph, GraphPromise, Full };
+
+double runMode(Mode M, uint64_t Requests) {
+  Runtime RT;
+  AppConfig ACfg;
+  AcmeAirApp App(RT, ACfg);
+  WorkloadConfig WCfg;
+  WCfg.TotalRequests = Requests;
+  WCfg.Clients = 8;
+  WorkloadDriver Driver(RT, ACfg.Port, WCfg);
+
+  baselines::ApiUsageCounter Counter;
+  ag::BuilderConfig BCfg;
+  std::unique_ptr<ag::AsyncGBuilder> Builder;
+  detect::DetectorSuite Detectors;
+
+  switch (M) {
+  case Mode::None:
+    break;
+  case Mode::Counter:
+    RT.hooks().attach(&Counter);
+    break;
+  case Mode::ShadowStack:
+    BCfg.BuildGraph = false;
+    Builder = std::make_unique<ag::AsyncGBuilder>(BCfg);
+    RT.hooks().attach(Builder.get());
+    break;
+  case Mode::Graph:
+    BCfg.TrackPromises = false;
+    Builder = std::make_unique<ag::AsyncGBuilder>(BCfg);
+    RT.hooks().attach(Builder.get());
+    break;
+  case Mode::GraphPromise:
+    Builder = std::make_unique<ag::AsyncGBuilder>(BCfg);
+    RT.hooks().attach(Builder.get());
+    break;
+  case Mode::Full:
+    Builder = std::make_unique<ag::AsyncGBuilder>(BCfg);
+    Detectors.attachTo(*Builder);
+    RT.hooks().attach(Builder.get());
+    break;
+  }
+
+  Function Main = RT.makeBuiltin("main", [&](Runtime &, const CallArgs &) {
+    App.start(JSLOC);
+    Driver.start();
+    return Completion::normal();
+  });
+
+  auto Start = std::chrono::steady_clock::now();
+  RT.main(Main);
+  auto End = std::chrono::steady_clock::now();
+  if (Driver.completed() != Requests || Driver.errors() != 0)
+    std::printf("  RUN FAILED (mode %d)\n", static_cast<int>(M));
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+double bestOf(Mode M, uint64_t Requests, int Reps) {
+  double Best = 1e30;
+  for (int I = 0; I < Reps; ++I)
+    Best = std::min(Best, runMode(M, Requests));
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  const uint64_t Requests = 2000;
+  const int Reps = 3;
+
+  std::printf("==========================================================="
+              "=====================\n");
+  std::printf("ABLATION: analysis pipeline cost on the AcmeAir workload\n");
+  std::printf("==========================================================="
+              "=====================\n");
+  std::printf("workload: %llu requests, 8 clients; best of %d runs\n\n",
+              static_cast<unsigned long long>(Requests), Reps);
+
+  struct Row {
+    const char *Name;
+    Mode M;
+  } Rows[] = {
+      {"none", Mode::None},
+      {"counter", Mode::Counter},
+      {"shadow-stack", Mode::ShadowStack},
+      {"graph(nopromise)", Mode::Graph},
+      {"graph+promise", Mode::GraphPromise},
+      {"full(detectors)", Mode::Full},
+  };
+
+  double Base = 0;
+  std::printf("%-18s %12s %12s\n", "configuration", "seconds", "overhead");
+  for (const Row &R : Rows) {
+    double S = bestOf(R.M, Requests, Reps);
+    if (R.M == Mode::None)
+      Base = S;
+    std::printf("%-18s %12.3f %11.2fx\n", R.Name, S,
+                Base > 0 ? S / Base : 0.0);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+//===- micro_eventloop.cpp - event-loop micro benchmarks -----------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark micro benchmarks of the jsrt primitives, with and
+// without AsyncG attached — the per-operation view of the Fig. 6(a)
+// overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ag/Builder.h"
+#include "detect/Detectors.h"
+#include "jsrt/Runtime.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+
+namespace {
+
+enum class Instr { Off, AsyncG, AsyncGDetect };
+
+/// Runs a program that schedules N nextTick callbacks per loop pass.
+void runProgram(Instr I, const std::function<void(Runtime &)> &Body) {
+  Runtime RT;
+  ag::AsyncGBuilder Builder;
+  detect::DetectorSuite Detectors;
+  if (I == Instr::AsyncGDetect)
+    Detectors.attachTo(Builder);
+  if (I != Instr::Off)
+    RT.hooks().attach(&Builder);
+  Function Main = RT.makeBuiltin("main", [&](Runtime &R, const CallArgs &) {
+    Body(R);
+    return Completion::normal();
+  });
+  RT.main(Main);
+}
+
+void nextTickChain(Runtime &R, int Depth) {
+  if (Depth == 0)
+    return;
+  R.nextTick(SourceLocation::internal(),
+             R.makeBuiltin("tick", [Depth](Runtime &R2, const CallArgs &) {
+               nextTickChain(R2, Depth - 1);
+               return Completion::normal();
+             }));
+}
+
+void benchNextTick(benchmark::State &State, Instr I) {
+  for (auto _ : State)
+    runProgram(I, [](Runtime &R) { nextTickChain(R, 256); });
+  State.SetItemsProcessed(State.iterations() * 256);
+}
+
+void benchTimers(benchmark::State &State, Instr I) {
+  for (auto _ : State) {
+    runProgram(I, [](Runtime &R) {
+      for (int T = 0; T < 256; ++T)
+        R.setTimeout(SourceLocation::internal(),
+                     R.makeBuiltin("timer",
+                                   [](Runtime &, const CallArgs &) {
+                                     return Completion::normal();
+                                   }),
+                     static_cast<double>(T % 16));
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * 256);
+}
+
+void benchPromiseChain(benchmark::State &State, Instr I) {
+  for (auto _ : State) {
+    runProgram(I, [](Runtime &R) {
+      PromiseRef P =
+          R.promiseResolvedWith(SourceLocation::internal(), Value::number(0));
+      for (int T = 0; T < 128; ++T)
+        P = R.promiseThen(SourceLocation::internal(), P,
+                          R.makeBuiltin("step",
+                                        [](Runtime &, const CallArgs &A) {
+                                          return Completion::normal(
+                                              A.arg(0));
+                                        }));
+      // Terminate the chain so the missing-rejection detector is quiet.
+      R.promiseCatch(SourceLocation::internal(), P,
+                     R.makeBuiltin("catch", [](Runtime &, const CallArgs &) {
+                       return Completion::normal();
+                     }));
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * 128);
+}
+
+void benchEmitterEmit(benchmark::State &State, Instr I) {
+  for (auto _ : State) {
+    runProgram(I, [](Runtime &R) {
+      EmitterRef E = R.emitterCreate(SourceLocation::internal());
+      for (int L = 0; L < 4; ++L)
+        R.emitterOn(SourceLocation::internal(), E, "evt",
+                    R.makeBuiltin("listener",
+                                  [](Runtime &, const CallArgs &) {
+                                    return Completion::normal();
+                                  }));
+      for (int T = 0; T < 64; ++T)
+        R.emitterEmit(SourceLocation::internal(), E, "evt",
+                      {Value::number(T)});
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * 64 * 4);
+}
+
+#define REGISTER_INSTR_BENCH(Fn)                                             \
+  BENCHMARK_CAPTURE(Fn, baseline, Instr::Off);                               \
+  BENCHMARK_CAPTURE(Fn, asyncg, Instr::AsyncG);                              \
+  BENCHMARK_CAPTURE(Fn, asyncg_detectors, Instr::AsyncGDetect)
+
+REGISTER_INSTR_BENCH(benchNextTick);
+REGISTER_INSTR_BENCH(benchTimers);
+REGISTER_INSTR_BENCH(benchPromiseChain);
+REGISTER_INSTR_BENCH(benchEmitterEmit);
+
+} // namespace
+
+BENCHMARK_MAIN();

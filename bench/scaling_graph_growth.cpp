@@ -1,0 +1,98 @@
+//===- scaling_graph_growth.cpp - AG size/cost vs workload size ----------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Scalability sweep (ours, beyond the paper): how the Async Graph and the
+// analysis cost grow with the number of served requests. The paper keeps
+// the whole AG in memory for the run; this quantifies that design choice
+// on the AcmeAir workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ag/Builder.h"
+#include "apps/acmeair/App.h"
+#include "apps/acmeair/Workload.h"
+#include "detect/Detectors.h"
+#include "jsrt/Runtime.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+using namespace asyncg::acmeair;
+
+namespace {
+
+struct Row {
+  uint64_t Requests;
+  size_t Nodes;
+  size_t Edges;
+  size_t Ticks;
+  size_t WarningCount;
+  double Seconds;
+};
+
+Row runSize(uint64_t Requests) {
+  Runtime RT;
+  AppConfig ACfg;
+  AcmeAirApp App(RT, ACfg);
+  WorkloadConfig WCfg;
+  WCfg.TotalRequests = Requests;
+  WCfg.Clients = 8;
+  WorkloadDriver Driver(RT, ACfg.Port, WCfg);
+
+  ag::AsyncGBuilder Builder;
+  detect::DetectorSuite Detectors;
+  Detectors.attachTo(Builder);
+  RT.hooks().attach(&Builder);
+
+  Function Main = RT.makeBuiltin("main", [&](Runtime &, const CallArgs &) {
+    App.start(JSLOC);
+    Driver.start();
+    return Completion::normal();
+  });
+  auto Start = std::chrono::steady_clock::now();
+  RT.main(Main);
+  auto End = std::chrono::steady_clock::now();
+
+  Row R;
+  R.Requests = Requests;
+  R.Nodes = Builder.graph().nodeCount();
+  R.Edges = Builder.graph().edges().size();
+  R.Ticks = Builder.graph().ticks().size();
+  R.WarningCount = Builder.graph().warnings().size();
+  R.Seconds = std::chrono::duration<double>(End - Start).count();
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::printf("==========================================================="
+              "=====================\n");
+  std::printf("SCALING: Async Graph growth vs served requests (AcmeAir, "
+              "full AsyncG)\n");
+  std::printf("==========================================================="
+              "=====================\n");
+  std::printf("%-10s %12s %12s %10s %10s %10s %12s\n", "requests", "nodes",
+              "edges", "ticks", "warnings", "seconds", "nodes/req");
+  uint64_t Sizes[] = {125, 250, 500, 1000, 2000, 4000};
+  double PrevPerReq = 0;
+  bool Linearish = true;
+  for (uint64_t S : Sizes) {
+    Row R = runSize(S);
+    double PerReq = static_cast<double>(R.Nodes) / static_cast<double>(S);
+    std::printf("%-10llu %12zu %12zu %10zu %10zu %10.3f %12.1f\n",
+                static_cast<unsigned long long>(R.Requests), R.Nodes,
+                R.Edges, R.Ticks, R.WarningCount, R.Seconds, PerReq);
+    if (PrevPerReq > 0 && PerReq > PrevPerReq * 1.5)
+      Linearish = false;
+    PrevPerReq = PerReq;
+  }
+  std::printf("\ngraph growth is linear in served requests: %s\n\n",
+              Linearish ? "yes" : "NO");
+  return Linearish ? 0 : 1;
+}

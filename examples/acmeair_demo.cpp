@@ -1,0 +1,91 @@
+//===- acmeair_demo.cpp - the evaluation server under AsyncG ------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the AcmeAir-like flight-booking server (§VII-B) against the
+// JMeter-like workload driver with full AsyncG attached, then prints the
+// served-request statistics, the per-request API usage (the Fig. 6(b)
+// quantities), the Async Graph size, and any warnings the detectors
+// report on the application.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ag/Builder.h"
+#include "apps/acmeair/App.h"
+#include "apps/acmeair/Workload.h"
+#include "baselines/ApiUsageCounter.h"
+#include "detect/Detectors.h"
+#include "viz/TextReport.h"
+
+#include <cstdio>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+using namespace asyncg::acmeair;
+
+int main() {
+  Runtime RT;
+  AppConfig ACfg;
+  AcmeAirApp App(RT, ACfg);
+
+  WorkloadConfig WCfg;
+  WCfg.TotalRequests = 500;
+  WCfg.Clients = 8;
+  WorkloadDriver Driver(RT, ACfg.Port, WCfg);
+
+  ag::AsyncGBuilder AsyncG;
+  detect::DetectorSuite Detectors;
+  Detectors.attachTo(AsyncG);
+  baselines::ApiUsageCounter Usage;
+  RT.hooks().attach(&AsyncG);
+  RT.hooks().attach(&Usage);
+
+  Function Main = RT.makeBuiltin("main", [&](Runtime &, const CallArgs &) {
+    App.start(JSLOC);
+    Driver.start();
+    return Completion::normal();
+  });
+  RT.main(Main);
+
+  double N = static_cast<double>(Driver.completed());
+  std::printf("AcmeAir demo (promise-enabled db interface)\n");
+  std::printf("  requests completed : %llu (errors: %llu)\n",
+              static_cast<unsigned long long>(Driver.completed()),
+              static_cast<unsigned long long>(Driver.errors()));
+  std::printf("  event-loop ticks   : %llu\n",
+              static_cast<unsigned long long>(RT.tickCount()));
+  std::printf("  db operations      : %llu\n",
+              static_cast<unsigned long long>(App.db().opCount()));
+
+  std::printf("\nper-request async callback executions (Fig. 6(b)):\n");
+  using baselines::ApiFamily;
+  for (ApiFamily Fam : {ApiFamily::NextTick, ApiFamily::Emitter,
+                        ApiFamily::Promise, ApiFamily::Io}) {
+    std::printf("  %-9s %6.2f\n", baselines::apiFamilyName(Fam),
+                static_cast<double>(Usage.executions(Fam)) / N);
+  }
+
+  const ag::AsyncGraph &G = AsyncG.graph();
+  std::printf("\nAsync Graph: %zu ticks, %zu nodes, %zu edges\n",
+              G.ticks().size(), G.nodeCount(), G.edges().size());
+
+  std::printf("\ndetector findings on the application (by category):\n");
+  std::map<std::string, unsigned> ByCategory;
+  for (const ag::Warning &W : G.warnings())
+    ++ByCategory[ag::bugCategoryName(W.Category)];
+  if (ByCategory.empty())
+    std::printf("  none\n");
+  for (const auto &[Cat, Count] : ByCategory)
+    std::printf("  %-34s %u\n", Cat.c_str(), Count);
+  if (!G.warnings().empty()) {
+    const ag::Warning &W = G.warnings().front();
+    std::printf("\nfirst finding: [%s] @ %s: %s\n",
+                ag::bugCategoryName(W.Category), W.Loc.str().c_str(),
+                W.Message.c_str());
+    std::printf("(body-less GET requests leave their 'data' listeners "
+                "unexecuted — a genuine AsyncG-style code smell report)\n");
+  }
+  return 0;
+}

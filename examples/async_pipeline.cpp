@@ -1,0 +1,142 @@
+//===- async_pipeline.cpp - async/await pipelines under AsyncG -----------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// ECMAScript-8 style code under AsyncG: an async function pipeline that
+// loads a config file, fetches two resources "concurrently", joins them
+// with Promise.all, and posts the summary to an HTTP endpoint — written
+// with C++20 coroutines (`co_await Await(...)`).
+//
+// The demo runs twice: once correctly, and once with the classic
+// missing-await mistake (SO-43422932) that leaves the pipeline's promise
+// without any reaction — AsyncG reports it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ag/Builder.h"
+#include "detect/Detectors.h"
+#include "jsrt/AsyncAwait.h"
+#include "node/Fs.h"
+#include "node/Http.h"
+#include "viz/TextReport.h"
+
+#include <cstdio>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+namespace http = asyncg::node::http;
+
+namespace {
+
+const char *F = "pipeline.js";
+
+JsAsync fetchResource(Runtime &RT, AsyncOrigin, std::string Path) {
+  node::Fs Fs(RT);
+  Value Data = co_await Await(Fs.readFilePromise(JSLINE(F, 10), Path));
+  co_return Value::str("<" + Data.asString() + ">");
+}
+
+JsAsync pipeline(Runtime &RT, AsyncOrigin, bool Buggy, int Port) {
+  // Step 1: await the config.
+  node::Fs Fs(RT);
+  Value Config =
+      co_await Await(Fs.readFilePromise(JSLINE(F, 20), "config.json"));
+  std::printf("  config loaded: %s\n", Config.asString().c_str());
+
+  // Step 2: start both fetches, join with Promise.all.
+  JsAsync A = fetchResource(RT, AsyncOrigin{"fetchResource", JSLINE(F, 22)},
+                            "a.txt");
+  JsAsync B = fetchResource(RT, AsyncOrigin{"fetchResource", JSLINE(F, 23)},
+                            "b.txt");
+  std::vector<PromiseRef> Both;
+  Both.push_back(A.promise());
+  Both.push_back(B.promise());
+  Value Joined =
+      co_await Await(RT.promiseAll(JSLINE(F, 24), std::move(Both)));
+  std::string Summary = Joined.asArray()->at(0).asString() + "+" +
+                        Joined.asArray()->at(1).asString();
+  std::printf("  joined: %s\n", Summary.c_str());
+
+  // Step 3: post the summary. The buggy variant forgets to await the
+  // request helper's promise, so failures (and completion) are dropped.
+  PromiseRef Posted = RT.promiseBare(JSLINE(F, 30), "postSummary");
+  http::RequestOptions Opts;
+  Opts.Method = "POST";
+  Opts.Port = Port;
+  Opts.Path = "/summary";
+  Opts.BodyChunks.push_back(Summary);
+  http::request(RT, JSLINE(F, 30), Opts,
+                RT.makeBuiltin("(post done)",
+                               [Posted](Runtime &R2, const CallArgs &Args) {
+                                 R2.resolvePromiseInternal(Posted,
+                                                           Args.arg(2));
+                                 return Completion::normal();
+                               }));
+  if (!Buggy) {
+    Value Reply = co_await Await(Posted, JSLINE(F, 31));
+    std::printf("  server replied: %s\n", Reply.asString().c_str());
+  }
+  // Buggy: `Posted` is never awaited — missing reaction.
+  co_return Value::str(Summary);
+}
+
+void runVariant(bool Buggy) {
+  std::printf("=== %s variant ===\n",
+              Buggy ? "buggy (missing await on the POST)" : "correct");
+  Runtime RT;
+  RT.fileSystem().putFile("config.json", "{\"target\":\"/summary\"}");
+  RT.fileSystem().putFile("a.txt", "alpha");
+  RT.fileSystem().putFile("b.txt", "beta");
+
+  ag::AsyncGBuilder AsyncG;
+  detect::DetectorSuite Detectors;
+  Detectors.attachTo(AsyncG);
+  RT.hooks().attach(&AsyncG);
+
+  Function Main = RT.makeFunction(
+      "main", JSLINE(F, 1), [Buggy](Runtime &R, const CallArgs &) {
+        Function OnRequest = R.makeFunction(
+            "summaryEndpoint", JSLINE(F, 2),
+            [](Runtime &, const CallArgs &A) {
+              auto Res = http::ServerResponse::from(A.arg(1));
+              Res->end("stored");
+              return Completion::normal();
+            });
+        auto Server = http::HttpServer::create(R, JSLINE(F, 2), OnRequest);
+        Server->listen(JSLINE(F, 3), 7100);
+
+        JsAsync P = pipeline(R, AsyncOrigin{"pipeline", JSLINE(F, 5)},
+                             Buggy, 7100);
+        R.promiseThen(JSLINE(F, 6), P.promise(),
+                      R.makeBuiltin("(pipeline done)",
+                                    [](Runtime &, const CallArgs &) {
+                                      return Completion::normal();
+                                    }));
+        return Completion::normal();
+      });
+  RT.main(Main);
+
+  std::printf("\nfindings:\n");
+  bool Any = false;
+  for (const ag::Warning &W : AsyncG.graph().warnings()) {
+    if (W.Category != ag::BugCategory::MissingReaction &&
+        W.Category != ag::BugCategory::DeadPromise)
+      continue;
+    Any = true;
+    std::printf("  [%s] @ %s: %s\n", ag::bugCategoryName(W.Category),
+                W.Loc.str().c_str(), W.Message.c_str());
+  }
+  if (!Any)
+    std::printf("  none\n");
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  runVariant(/*Buggy=*/false);
+  runVariant(/*Buggy=*/true);
+  return 0;
+}

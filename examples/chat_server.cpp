@@ -1,0 +1,215 @@
+//===- chat_server.cpp - a pub/sub chat server under AsyncG --------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// A second domain example beyond AcmeAir: a TCP chat server with rooms.
+// Each room is an EventEmitter; joining subscribes the connection's
+// delivery listener to the room, every received line is broadcast via
+// emit. The server contains a deliberate real-world bug: re-joining a
+// room registers the delivery listener again without removing the old one
+// (the SO-45881685 pattern at scale), so rejoining clients receive every
+// message twice — and AsyncG's Duplicate-Listeners detector pinpoints it.
+//
+// Protocol (one simulated network message per line):
+//   "JOIN <room>" | "SAY <room> <text>" | "LEAVE <room>"
+// Deliveries to clients: "MSG <room> <text>".
+//
+//===----------------------------------------------------------------------===//
+
+#include "ag/Builder.h"
+#include "detect/Detectors.h"
+#include "jsrt/Runtime.h"
+#include "node/Net.h"
+#include "viz/TextReport.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+
+namespace {
+
+/// Server state shared by the connection handler.
+struct ChatState {
+  std::map<std::string, EmitterRef> Rooms;
+  /// Per (client, room): the registered delivery listener, so LEAVE (and a
+  /// correct JOIN) can remove it.
+  std::map<std::pair<const void *, std::string>, Function> Subscriptions;
+  bool FixedVariant = false;
+  int Broadcasts = 0;
+};
+
+EmitterRef roomOf(Runtime &R, ChatState &St, const std::string &Name) {
+  auto It = St.Rooms.find(Name);
+  if (It != St.Rooms.end())
+    return It->second;
+  EmitterRef Room = R.emitterCreate(JSLINE("chat.js", 4), "Room:" + Name);
+  St.Rooms.emplace(Name, Room);
+  return Room;
+}
+
+void handleLine(Runtime &R, const std::shared_ptr<ChatState> &St,
+                const std::shared_ptr<node::Socket> &Client,
+                const std::string &Line) {
+  const char *F = "chat.js";
+  size_t Sp1 = Line.find(' ');
+  std::string Cmd = Line.substr(0, Sp1);
+  std::string Rest = Sp1 == std::string::npos ? "" : Line.substr(Sp1 + 1);
+
+  if (Cmd == "JOIN") {
+    EmitterRef Room = roomOf(R, *St, Rest);
+    auto Key = std::make_pair<const void *, std::string>(Client.get(),
+                                                         std::string(Rest));
+    auto Existing = St->Subscriptions.find(Key);
+    if (Existing != St->Subscriptions.end()) {
+      if (St->FixedVariant) {
+        // Fixed: drop the previous subscription before re-adding.
+        R.emitterRemoveListener(JSLINE(F, 12), Room, "message",
+                                Existing->second);
+      }
+      // Buggy variant: falls through and registers a duplicate.
+    }
+    Function Deliver =
+        Existing != St->Subscriptions.end() && !St->FixedVariant
+            ? Existing->second
+            : R.makeFunction("deliver", JSLINE(F, 15),
+                             [Client, Rest](Runtime &, const CallArgs &A) {
+                               Client->write("MSG " + Rest + " " +
+                                             A.arg(0).asString());
+                               return Completion::normal();
+                             });
+    R.emitterOn(JSLINE(F, 15), Room, "message", Deliver);
+    St->Subscriptions[Key] = Deliver;
+    return;
+  }
+
+  if (Cmd == "SAY") {
+    size_t Sp2 = Rest.find(' ');
+    std::string RoomName = Rest.substr(0, Sp2);
+    std::string Text = Sp2 == std::string::npos ? "" : Rest.substr(Sp2 + 1);
+    EmitterRef Room = roomOf(R, *St, RoomName);
+    ++St->Broadcasts;
+    R.emitterEmit(JSLINE(F, 22), Room, "message", {Value::str(Text)});
+    return;
+  }
+
+  if (Cmd == "LEAVE") {
+    auto Key = std::make_pair<const void *, std::string>(Client.get(),
+                                                         std::string(Rest));
+    auto It = St->Subscriptions.find(Key);
+    if (It == St->Subscriptions.end())
+      return;
+    EmitterRef Room = roomOf(R, *St, Rest);
+    R.emitterRemoveListener(JSLINE(F, 28), Room, "message", It->second);
+    St->Subscriptions.erase(It);
+  }
+}
+
+void runVariant(bool Fixed) {
+  std::printf("=== %s variant ===\n", Fixed ? "fixed (unsubscribe first)"
+                                            : "buggy (duplicate join)");
+  Runtime RT;
+  ag::AsyncGBuilder AsyncG;
+  detect::DetectorSuite Detectors;
+  Detectors.attachTo(AsyncG);
+  RT.hooks().attach(&AsyncG);
+
+  auto St = std::make_shared<ChatState>();
+  St->FixedVariant = Fixed;
+  auto Deliveries = std::make_shared<int>(0);
+
+  Function Main = RT.makeFunction(
+      "main", JSLINE("chat.js", 1), [St, Deliveries](Runtime &R,
+                                                     const CallArgs &) {
+        Function OnConnection = R.makeFunction(
+            "onConnection", JSLINE("chat.js", 2),
+            [St](Runtime &R2, const CallArgs &A) {
+              auto Client = node::Socket::from(A.arg(0));
+              R2.emitterOn(
+                  JSLINE("chat.js", 3), Client->emitter(), "data",
+                  R2.makeBuiltin("onLine",
+                                 [St, Client](Runtime &R3,
+                                              const CallArgs &A2) {
+                                   handleLine(R3, St, Client,
+                                              A2.arg(0).asString());
+                                   return Completion::normal();
+                                 }));
+              return Completion::normal();
+            });
+        auto Server = node::createServer(R, JSLINE("chat.js", 2),
+                                         OnConnection);
+        Server->listen(JSLINE("chat.js", 30), 6000);
+
+        // A client joins #general twice (e.g. after a flaky reconnect in
+        // the app's UI), then a second client says hello.
+        node::connect(R, SourceLocation::internal(), 6000,
+                      R.makeBuiltin("clientA", [Deliveries](
+                                                   Runtime &R2,
+                                                   const CallArgs &A) {
+                        auto Sock = node::Socket::from(A.arg(0));
+                        R2.emitterOn(SourceLocation::internal(),
+                                     Sock->emitter(), "data",
+                                     R2.makeBuiltin(
+                                         "aReceives",
+                                         [Deliveries](Runtime &,
+                                                      const CallArgs &A2) {
+                                           ++*Deliveries;
+                                           std::printf("  client A got: "
+                                                       "%s\n",
+                                                       A2.arg(0)
+                                                           .asString()
+                                                           .c_str());
+                                           return Completion::normal();
+                                         }));
+                        Sock->write("JOIN general");
+                        Sock->write("JOIN general"); // rejoin!
+                        return Completion::normal();
+                      }));
+        node::connect(R, SourceLocation::internal(), 6000,
+                      R.makeBuiltin("clientB", [](Runtime &R2,
+                                                  const CallArgs &A) {
+                        auto Sock = node::Socket::from(A.arg(0));
+                        R2.setTimeout(
+                            SourceLocation::internal(),
+                            R2.makeBuiltin("sayHello",
+                                           [Sock](Runtime &,
+                                                  const CallArgs &) {
+                                             Sock->write(
+                                                 "SAY general hello");
+                                             return Completion::normal();
+                                           }),
+                            5);
+                        return Completion::normal();
+                      }));
+        return Completion::normal();
+      });
+
+  RT.main(Main);
+
+  std::printf("  broadcasts: %d, deliveries to client A: %d%s\n",
+              St->Broadcasts, *Deliveries,
+              *Deliveries > St->Broadcasts ? "  <-- duplicated!" : "");
+  std::printf("\ndetector findings:\n");
+  bool Found = false;
+  for (const ag::Warning &W : AsyncG.graph().warnings()) {
+    if (W.Category != ag::BugCategory::DuplicateListener)
+      continue;
+    Found = true;
+    std::printf("  [%s] @ %s: %s\n", ag::bugCategoryName(W.Category),
+                W.Loc.str().c_str(), W.Message.c_str());
+  }
+  if (!Found)
+    std::printf("  no duplicate-listener findings\n");
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  runVariant(/*Fixed=*/false);
+  runVariant(/*Fixed=*/true);
+  return 0;
+}

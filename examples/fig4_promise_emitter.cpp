@@ -1,0 +1,109 @@
+//===- fig4_promise_emitter.cpp - the paper's Fig. 4 / Fig. 5 example ---------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The Fig. 4 program combining promises and emitters:
+//
+//   1  var ee = new EventEmitter();
+//   2  var p = new Promise(
+//   3    resolve => { resolve(0); }
+//   4  );
+//   7  p.then(() => {
+//   9    ee.on('foo', () => {     // unused listener
+//  10    });
+//  12 -});                         // missing exception handler
+//  12 +}).catch((err) => {});
+//  15 -ee.emit('foo');             // dead emit
+//  15 +setImmediate(() => { ee.emit('foo'); });
+//
+// The buggy variant shows the three warnings of Fig. 5(a): the emit at
+// L15 happens before the then-reaction of the *next* tick registers the
+// listener (dead emit + dead listener), and the promise chain ends
+// without a reject reaction. The fixed variant delays the emission past
+// the micro-task queue and adds the catch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ag/Builder.h"
+#include "detect/Detectors.h"
+#include "jsrt/Runtime.h"
+#include "viz/Dot.h"
+#include "viz/JsonDump.h"
+#include "viz/TextReport.h"
+
+#include <cstdio>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+
+static void runVariant(bool Fixed) {
+  std::printf("=== %s variant ===\n", Fixed ? "fixed" : "buggy");
+  Runtime RT;
+  ag::AsyncGBuilder AsyncG;
+  detect::DetectorSuite Detectors;
+  Detectors.attachTo(AsyncG);
+  RT.hooks().attach(&AsyncG);
+
+  const char *F = "fig4.js";
+  Function Main = RT.makeFunction("main", JSLINE(F, 1), [F, Fixed](
+                                                            Runtime &R,
+                                                            const CallArgs &) {
+    EmitterRef Ee = R.emitterCreate(JSLINE(F, 1));
+
+    // var p = new Promise(resolve => { resolve(0); });
+    Function Executor = R.makeFunction(
+        "executor", JSLINE(F, 3), [](Runtime &R2, const CallArgs &A) {
+          return R2.call(Function(A.arg(0).asFunctionRef()),
+                         {Value::number(0)});
+        });
+    PromiseRef P = R.promiseCreate(JSLINE(F, 2), Executor);
+
+    // p.then(() => { ee.on('foo', () => {}); })
+    Function Reaction = R.makeFunction(
+        "reaction", JSLINE(F, 7), [Ee, F](Runtime &R2, const CallArgs &) {
+          R2.emitterOn(JSLINE(F, 9), Ee, "foo",
+                       R2.makeFunction("fooListener", JSLINE(F, 9),
+                                       [](Runtime &, const CallArgs &) {
+                                         return Completion::normal();
+                                       }));
+          return Completion::normal();
+        });
+    PromiseRef P2 = R.promiseThen(JSLINE(F, 7), P, Reaction);
+    if (Fixed)
+      R.promiseCatch(JSLINE(F, 12), P2,
+                     R.makeFunction("onErr", JSLINE(F, 12),
+                                    [](Runtime &, const CallArgs &) {
+                                      return Completion::normal();
+                                    }));
+
+    // ee.emit('foo')  — or deferred via setImmediate in the fix.
+    if (Fixed) {
+      R.setImmediate(JSLINE(F, 15),
+                     R.makeFunction("emitFoo", JSLINE(F, 15),
+                                    [Ee, F](Runtime &R2, const CallArgs &) {
+                                      R2.emitterEmit(JSLINE(F, 15), Ee,
+                                                     "foo");
+                                      return Completion::normal();
+                                    }));
+    } else {
+      R.emitterEmit(JSLINE(F, 15), Ee, "foo");
+    }
+    return Completion::normal();
+  });
+
+  RT.main(Main);
+
+  std::printf("%s", viz::toText(AsyncG.graph()).c_str());
+  std::printf("%s\n", viz::warningsReport(AsyncG.graph()).c_str());
+  std::string DotFile = Fixed ? "fig4_fixed.dot" : "fig4_buggy.dot";
+  viz::writeFile(DotFile, viz::toDot(AsyncG.graph()));
+  std::printf("wrote %s\n\n", DotFile.c_str());
+}
+
+int main() {
+  runVariant(/*Fixed=*/false);
+  runVariant(/*Fixed=*/true);
+  return 0;
+}

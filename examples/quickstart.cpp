@@ -1,0 +1,122 @@
+//===- quickstart.cpp - first steps with AsyncG-C++ ---------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The §III motivating example: three callbacks registered in source order
+// (promise reaction, setTimeout, nextTick) that execute in a different
+// order — nextTick, promise, timeout — crashing the program because
+// `foo.bar` is called before the timeout callback assigns it.
+//
+//   1  let foo;
+//   2  Promise.resolve({}).then((v) => {
+//   3    foo = v;
+//   4  });
+//   5  setTimeout(() => {
+//   6    foo.bar = function() { ... };
+//   7  }, 0);
+//   8  process.nextTick(() => {
+//   9    foo.bar();          // TypeError: foo is undefined here!
+//  10  });
+//
+// Run it to see the execution order, the uncaught error, the Async Graph,
+// and the Mixing-Similar-APIs warning AsyncG reports. The DOT rendering is
+// written to quickstart.dot (render with: dot -Tpdf quickstart.dot).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ag/Builder.h"
+#include "detect/Detectors.h"
+#include "jsrt/Runtime.h"
+#include "viz/Dot.h"
+#include "viz/Html.h"
+#include "viz/JsonDump.h"
+#include "viz/TextReport.h"
+
+#include <cstdio>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+
+int main() {
+  Runtime RT;
+
+  // Attach AsyncG with all automatic detectors (this is the whole setup).
+  ag::AsyncGBuilder AsyncG;
+  detect::DetectorSuite Detectors;
+  Detectors.attachTo(AsyncG);
+  RT.hooks().attach(&AsyncG);
+
+  const char *F = "quickstart.js";
+  auto Foo = std::make_shared<Value>(); // let foo;
+
+  Function Main = RT.makeFunction("main", JSLINE(F, 1), [&](Runtime &R,
+                                                            const CallArgs &) {
+    // Promise.resolve({}).then((v) => { foo = v; });
+    PromiseRef P = R.promiseResolvedWith(JSLINE(F, 2), Object::make());
+    R.promiseThen(JSLINE(F, 2), P,
+                  R.makeFunction("setFoo", JSLINE(F, 2),
+                                 [Foo](Runtime &, const CallArgs &A) {
+                                   std::printf("  promise reaction ran\n");
+                                   *Foo = A.arg(0);
+                                   return Completion::normal();
+                                 }));
+
+    // setTimeout(() => { foo.bar = ...; }, 0);
+    R.setTimeout(JSLINE(F, 5),
+                 R.makeFunction("installBar", JSLINE(F, 5),
+                                [Foo](Runtime &R2, const CallArgs &) {
+                                  std::printf("  setTimeout ran\n");
+                                  if (Foo->isObject())
+                                    Foo->asObject()->set(
+                                        "bar",
+                                        R2.makeBuiltin(
+                                             "bar",
+                                             [](Runtime &,
+                                                const CallArgs &) {
+                                               return Completion::normal();
+                                             })
+                                            .toValue());
+                                  return Completion::normal();
+                                }),
+                 0);
+
+    // process.nextTick(() => { foo.bar(); });
+    R.nextTick(JSLINE(F, 8),
+               R.makeFunction("callBar", JSLINE(F, 8),
+                              [Foo](Runtime &R2, const CallArgs &) {
+                                std::printf("  nextTick ran\n");
+                                Value Bar = Foo->isObject()
+                                                ? Foo->asObject()->get("bar")
+                                                : Value::undefined();
+                                if (!Bar.isFunction())
+                                  return Completion::error(
+                                      "TypeError: foo.bar is not a "
+                                      "function");
+                                return R2.call(Function(Bar.asFunctionRef()));
+                              }));
+    return Completion::normal();
+  });
+
+  std::printf("execution order:\n");
+  RT.main(Main);
+
+  std::printf("\nuncaught errors: %zu\n", RT.uncaughtErrors().size());
+  for (const Runtime::UncaughtError &E : RT.uncaughtErrors())
+    std::printf("  %s (tick %llu)\n", E.Error.toDisplayString().c_str(),
+                static_cast<unsigned long long>(E.Tick));
+
+  std::printf("\n=== Async Graph ===\n%s",
+              viz::toText(AsyncG.graph()).c_str());
+  std::printf("\n=== Warnings ===\n%s",
+              viz::warningsReport(AsyncG.graph()).c_str());
+
+  viz::writeFile("quickstart.dot", viz::toDot(AsyncG.graph()));
+  viz::writeFile("quickstart.json", viz::toJson(AsyncG.graph()));
+  viz::writeFile("quickstart.html",
+                 viz::toHtml(AsyncG.graph(), "quickstart.js — Async Graph"));
+  std::printf("\nwrote quickstart.dot, quickstart.json, and "
+              "quickstart.html (open in a browser)\n");
+  return 0;
+}

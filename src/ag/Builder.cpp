@@ -1,0 +1,392 @@
+//===- Builder.cpp - AsyncG: builds the Async Graph at runtime ---------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ag/Builder.h"
+
+#include "ag/Templates.h"
+
+#include <cassert>
+
+using namespace asyncg;
+using namespace asyncg::ag;
+using namespace asyncg::jsrt;
+
+GraphObserver::~GraphObserver() = default;
+
+AsyncGBuilder::AsyncGBuilder(BuilderConfig Config) : Config(Config) {}
+
+AsyncGBuilder::~AsyncGBuilder() = default;
+
+NodeId AsyncGBuilder::currentCe() const {
+  for (auto It = CeStack.rbegin(), E = CeStack.rend(); It != E; ++It)
+    if (*It != InvalidNode)
+      return *It;
+  return InvalidNode;
+}
+
+std::vector<NodeId> AsyncGBuilder::activeCes() const {
+  std::vector<NodeId> R;
+  for (NodeId N : CeStack)
+    if (N != InvalidNode)
+      R.push_back(N);
+  return R;
+}
+
+bool AsyncGBuilder::filtered(ApiKind Api) const {
+  if (!Config.TrackPromises && isPromiseApi(Api))
+    return true;
+  if (!Config.TrackEmitters &&
+      (isEmitterRegistrationApi(Api) || Api == ApiKind::EmitterEmit ||
+       Api == ApiKind::EmitterRemoveListener ||
+       Api == ApiKind::EmitterRemoveAll))
+    return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Ticks (Algorithm 1)
+//===----------------------------------------------------------------------===//
+
+void AsyncGBuilder::openTick(PhaseKind Phase) {
+  commitTick();
+  CurTick = AgTick();
+  CurTick.Index = static_cast<uint32_t>(++TickCounter);
+  CurTick.Phase = Phase;
+  TickOpen = true;
+  for (GraphObserver *O : Observers)
+    O->onTickStart(*this, CurTick);
+}
+
+void AsyncGBuilder::commitTick() {
+  if (!TickOpen)
+    return;
+  if (!CurTick.Nodes.empty())
+    Graph.appendTick(CurTick);
+  CurTick.Nodes.clear();
+  TickOpen = false;
+}
+
+void AsyncGBuilder::ensureTick(PhaseKind Phase) {
+  if (!TickOpen)
+    openTick(Phase);
+}
+
+//===----------------------------------------------------------------------===//
+// Node/edge plumbing
+//===----------------------------------------------------------------------===//
+
+NodeId AsyncGBuilder::addNode(AgNode N) {
+  ensureTick(CurTick.Index == 0 ? PhaseKind::Main : CurTick.Phase);
+  NodeId Enclosing = currentCe();
+  NodeId Id = Graph.addNode(std::move(N), CurTick);
+  // The "happens-in" edge: the enclosing CE to any node created during it.
+  if (Enclosing != InvalidNode)
+    addEdge(Enclosing, Id, EdgeKind::HappensIn);
+  for (GraphObserver *O : Observers)
+    O->onNodeAdded(*this, Id);
+  return Id;
+}
+
+void AsyncGBuilder::addEdge(NodeId From, NodeId To, EdgeKind Kind,
+                            std::string Label) {
+  Graph.addEdge(From, To, Kind, std::move(Label));
+  for (GraphObserver *O : Observers)
+    O->onEdgeAdded(*this, Graph.edges().back());
+}
+
+//===----------------------------------------------------------------------===//
+// Function enter/exit (Algorithms 1 and 3)
+//===----------------------------------------------------------------------===//
+
+void AsyncGBuilder::onFunctionEnter(const instr::FunctionEnterEvent &E) {
+  const DispatchInfo &D = E.Dispatch;
+
+  // §V-B: when AsyncG is enabled in the middle of a run the real stack may
+  // not be empty; it waits for the current tick to finish and constructs
+  // the shadow stack from the following tick. We synchronize at the first
+  // top-level dispatch we observe.
+  if (!Synced) {
+    if (!D.TopLevel)
+      return;
+    Synced = true;
+  }
+
+  // Algorithm 1: a new tick starts when the shadow stack is empty; its
+  // type comes from the dispatch (getIterType).
+  if (ShadowStack.empty())
+    openTick(D.Phase);
+  ShadowStack.push_back(E.F.id());
+
+  NodeId Ce = InvalidNode;
+  if (Config.BuildGraph && !filtered(D.Api)) {
+    // Algorithm 3: map this execution to a pending registration.
+    auto It = Pending.find(E.F.id());
+    if (It != Pending.end()) {
+      auto &Regs = It->second;
+      for (size_t I = 0, N = Regs.size(); I != N; ++I) {
+        PendingReg &Reg = Regs[I];
+        if (!ContextValidator::isValid(Reg, D, CurTick.Phase))
+          continue;
+        assert(ContextValidator::contextMatches(Reg, D, CurTick.Phase) &&
+               "registration id and contextual validation disagree");
+
+        AgNode Node;
+        Node.Kind = NodeKind::CE;
+        Node.Loc = E.F.loc();
+        Node.Api = Reg.Api;
+        Node.Label = E.F.loc().shortStr() + ": " + E.F.name();
+        Node.Func = E.F.id();
+        Node.Sched = Reg.Sched;
+        Node.Obj = Reg.BoundObj;
+        Node.Event = Reg.Event;
+        Node.Internal = E.F.isBuiltin();
+        Ce = addNode(std::move(Node));
+
+        // Dashed binding edge CE ⇠ CR.
+        addEdge(Ce, Reg.Cr, EdgeKind::Binding);
+        // Causal edge from the trigger if one exists, else from the CR.
+        NodeId Ct = D.Trigger.isNone() ? InvalidNode
+                                       : Graph.triggerNode(D.Trigger.Id);
+        if (Ct != InvalidNode)
+          addEdge(Ct, Ce, EdgeKind::Causal);
+        else
+          addEdge(Reg.Cr, Ce, EdgeKind::Causal);
+
+        ++Graph.node(Reg.Cr).ExecCount;
+        if (Reg.Once)
+          Regs.erase(Regs.begin() + static_cast<ptrdiff_t>(I));
+        break;
+      }
+    }
+
+    // Top-level executions without a tracked registration (internal I/O
+    // dispatchers, pass-through micro-tasks) still root their tick —
+    // unless the whole phase is excluded by the configuration.
+    if (Ce == InvalidNode && D.TopLevel &&
+        !(D.Phase == PhaseKind::PromiseMicro && !Config.TrackPromises)) {
+      AgNode Node;
+      Node.Kind = NodeKind::CE;
+      Node.Loc = E.F.loc();
+      Node.Api = D.Api;
+      Node.Label = E.F.loc().shortStr() + ": " + E.F.name();
+      Node.Func = E.F.id();
+      Node.Sched = D.Sched;
+      Node.Internal = true;
+      Ce = addNode(std::move(Node));
+      // Pass-through micro-tasks (a reaction with no handler for the taken
+      // path) still consume their registration: bind the CE to the CR even
+      // though the executing body is internal.
+      NodeId Cr = D.Sched != 0 ? Graph.registrationNode(D.Sched)
+                               : InvalidNode;
+      if (Cr != InvalidNode) {
+        addEdge(Ce, Cr, EdgeKind::Binding);
+        ++Graph.node(Cr).ExecCount;
+      }
+      NodeId Ct = D.Trigger.isNone() ? InvalidNode
+                                     : Graph.triggerNode(D.Trigger.Id);
+      if (Ct != InvalidNode)
+        addEdge(Ct, Ce, EdgeKind::Causal);
+      else if (Cr != InvalidNode)
+        addEdge(Cr, Ce, EdgeKind::Causal);
+    }
+  }
+  CeStack.push_back(Ce);
+}
+
+void AsyncGBuilder::onFunctionExit(const instr::FunctionExitEvent &E) {
+  // Exits of frames entered before the builder attached are ignored
+  // (mid-run activation, see onFunctionEnter).
+  if (!Synced || ShadowStack.empty())
+    return;
+  [[maybe_unused]] FunctionId Popped = ShadowStack.back();
+  ShadowStack.pop_back();
+  assert(Popped == E.F.id() && "shadow stack out of sync");
+  (void)E;
+  CeStack.pop_back();
+  if (ShadowStack.empty())
+    commitTick();
+}
+
+//===----------------------------------------------------------------------===//
+// API calls (Algorithm 2)
+//===----------------------------------------------------------------------===//
+
+void AsyncGBuilder::processRegistration(const instr::ApiCallEvent &E) {
+  AgNode Node;
+  Node.Kind = NodeKind::CR;
+  Node.Loc = E.Loc;
+  Node.Api = E.Api;
+  Node.Label = crLabel(E);
+  Node.Func = E.Callbacks.empty() ? 0 : E.Callbacks.front().id();
+  Node.Sched = E.Sched;
+  Node.Obj = E.BoundObj;
+  Node.Event = E.EventName;
+  Node.Internal = E.Internal || E.Loc.isInternal();
+  Node.TimeoutMs = E.TimeoutMs;
+  Node.HasRejectHandler = E.HasRejectHandler;
+  Node.DerivedObj = E.DerivedObj;
+  NodeId Cr = addNode(std::move(Node));
+
+  for (const Function &Cb : E.Callbacks) {
+    PendingReg Reg;
+    Reg.Cr = Cr;
+    Reg.Sched = E.Sched;
+    Reg.Api = E.Api;
+    Reg.TargetPhase = E.TargetPhase;
+    Reg.Once = E.Once;
+    Reg.BoundObj = E.BoundObj;
+    Reg.Event = E.EventName;
+    Pending[Cb.id()].push_back(std::move(Reg));
+  }
+
+  // Relation edge from the bound object's OB node (△ ⇠ □, labeled with the
+  // event name for emitters and the API name for promises).
+  if (E.BoundObj != 0) {
+    NodeId Ob = Graph.objectNode(E.BoundObj);
+    if (Ob != InvalidNode)
+      addEdge(Ob, Cr, EdgeKind::Relation,
+              E.EventName.empty() ? apiKindName(E.Api) : E.EventName);
+  }
+}
+
+void AsyncGBuilder::processTrigger(const instr::ApiCallEvent &E) {
+  AgNode Node;
+  Node.Kind = NodeKind::CT;
+  Node.Loc = E.Loc;
+  Node.Api = E.Api;
+  Node.Label = ctLabel(E);
+  Node.Obj = E.BoundObj;
+  Node.Trigger = E.Trigger;
+  Node.Event = E.EventName;
+  Node.HadEffect = E.TriggerHadEffect;
+  Node.Internal = E.Internal || E.Loc.isInternal();
+  NodeId Ct = addNode(std::move(Node));
+
+  if (E.BoundObj != 0) {
+    NodeId Ob = Graph.objectNode(E.BoundObj);
+    if (Ob != InvalidNode)
+      addEdge(Ob, Ct, EdgeKind::Relation,
+              E.EventName.empty() ? apiKindName(E.Api) : E.EventName);
+  }
+}
+
+void AsyncGBuilder::processCombinator(const instr::ApiCallEvent &E) {
+  NodeId Result = Graph.objectNode(E.BoundObj);
+  if (Result == InvalidNode)
+    return;
+  for (ObjectId In : E.InputObjs) {
+    NodeId Ob = Graph.objectNode(In);
+    if (Ob != InvalidNode)
+      addEdge(Ob, Result, EdgeKind::Relation, apiKindName(E.Api));
+  }
+}
+
+void AsyncGBuilder::processRemoval(const instr::ApiCallEvent &E) {
+  if (E.Api == ApiKind::EmitterRemoveListener) {
+    if (!E.TriggerHadEffect || E.Callbacks.empty())
+      return;
+    auto It = Pending.find(E.Callbacks.front().id());
+    if (It == Pending.end())
+      return;
+    for (PendingReg &Reg : It->second) {
+      if (Reg.BoundObj != E.BoundObj || Reg.Event != E.EventName)
+        continue;
+      AgNode &Cr = Graph.node(Reg.Cr);
+      if (Cr.Removed)
+        continue;
+      Cr.Removed = true;
+      return;
+    }
+    return;
+  }
+
+  if (E.Api == ApiKind::EmitterRemoveAll) {
+    for (auto &[Fn, Regs] : Pending) {
+      (void)Fn;
+      for (PendingReg &Reg : Regs)
+        if (Reg.BoundObj == E.BoundObj && Reg.Event == E.EventName)
+          Graph.node(Reg.Cr).Removed = true;
+    }
+  }
+}
+
+void AsyncGBuilder::onApiCall(const instr::ApiCallEvent &E) {
+  if (!Config.BuildGraph || filtered(E.Api))
+    return;
+
+  ApiTemplate T = getAsyncTemplate(E.Api);
+  switch (T.Kind) {
+  case TemplateKind::Registration:
+    // Internal calls without callbacks are bookkeeping, not registrations.
+    if (!E.Callbacks.empty())
+      processRegistration(E);
+    break;
+  case TemplateKind::Trigger:
+    processTrigger(E);
+    break;
+  case TemplateKind::Combinator:
+    processCombinator(E);
+    break;
+  case TemplateKind::Misc:
+    processRemoval(E);
+    break;
+  }
+
+  for (GraphObserver *O : Observers)
+    O->onApiEvent(*this, E);
+}
+
+//===----------------------------------------------------------------------===//
+// Objects, reactions, loop end
+//===----------------------------------------------------------------------===//
+
+void AsyncGBuilder::onObjectCreate(const instr::ObjectCreateEvent &E) {
+  if (!Config.BuildGraph)
+    return;
+  if (E.IsPromise ? !Config.TrackPromises : !Config.TrackEmitters)
+    return;
+
+  AgNode Node;
+  Node.Kind = NodeKind::OB;
+  Node.Loc = E.Loc;
+  Node.Label = obLabel(E);
+  Node.Obj = E.Obj;
+  Node.Internal = E.Internal || E.Loc.isInternal();
+  Node.IsPromise = E.IsPromise;
+  NodeId Ob = addNode(std::move(Node));
+
+  // Promise chain relation: parent △ ⇠ derived △ labeled with the API.
+  if (E.Parent != 0) {
+    NodeId Parent = Graph.objectNode(E.Parent);
+    if (Parent != InvalidNode)
+      addEdge(Parent, Ob, EdgeKind::Relation, apiKindName(E.Relation));
+  }
+}
+
+void AsyncGBuilder::onReactionResult(const instr::ReactionResultEvent &E) {
+  if (!Config.BuildGraph || !Config.TrackPromises)
+    return;
+  NodeId Ob = Graph.objectNode(E.Derived);
+  if (Ob != InvalidNode)
+    Graph.node(Ob).ReactionReturnedUndefined = E.ReturnedUndefined;
+}
+
+void AsyncGBuilder::onPromiseLink(const instr::PromiseLinkEvent &E) {
+  if (!Config.BuildGraph || !Config.TrackPromises)
+    return;
+  NodeId From = Graph.objectNode(E.Returned);
+  NodeId To = Graph.objectNode(E.Derived);
+  if (From != InvalidNode && To != InvalidNode)
+    addEdge(From, To, EdgeKind::Relation, "link");
+}
+
+void AsyncGBuilder::onLoopEnd(const instr::LoopEndEvent &E) {
+  (void)E;
+  assert(ShadowStack.empty() && "loop ended mid-callback");
+  commitTick();
+  for (GraphObserver *O : Observers)
+    O->onEnd(*this);
+}

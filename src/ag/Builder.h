@@ -1,0 +1,152 @@
+//===- Builder.h - AsyncG: builds the Async Graph at runtime ----*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AsyncG analysis (§V): attaches to the instrumentation hooks and
+/// builds the Async Graph of the running application.
+///
+///  - Algorithm 1: a shadow stack identifies event-loop ticks — a new tick
+///    starts when a function is entered with an empty shadow stack; ticks
+///    are appended to the graph only when non-empty.
+///  - Algorithm 2: per-API templates process asynchronous API calls into
+///    CR nodes and pending-registration lists.
+///  - Algorithm 3: a context validator maps every callback execution to
+///    the registration that scheduled it, creating CE nodes, dashed
+///    binding edges, and causal edges from the CR or the CT (trigger).
+///
+/// Bug detectors subscribe as GraphObservers and analyze the graph online.
+/// The builder can be attached/detached from the runtime's hook registry
+/// at any time, and its configuration supports the paper's evaluation
+/// settings (full tracking vs promise tracking excluded, Fig. 6(a)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_AG_BUILDER_H
+#define ASYNCG_AG_BUILDER_H
+
+#include "ag/Graph.h"
+#include "ag/Observer.h"
+#include "ag/Validator.h"
+#include "instr/Hooks.h"
+
+#include <map>
+#include <vector>
+
+namespace asyncg {
+namespace ag {
+
+/// Builder configuration (the Fig. 6(a) instrumentation settings).
+struct BuilderConfig {
+  /// Track promise-related APIs (the "withpromise" setting); false is the
+  /// paper's "nopromise" configuration.
+  bool TrackPromises = true;
+  /// Track emitter APIs (always on in the paper; exposed for ablation).
+  bool TrackEmitters = true;
+  /// Build graph nodes/edges. When false, only the shadow stack and tick
+  /// accounting run (ablation baseline for the analysis cost benches).
+  bool BuildGraph = true;
+};
+
+/// The AsyncG dynamic analysis.
+class AsyncGBuilder : public instr::AnalysisBase {
+public:
+  explicit AsyncGBuilder(BuilderConfig Config = BuilderConfig());
+  ~AsyncGBuilder() override;
+
+  const char *analysisName() const override { return "AsyncG"; }
+
+  const BuilderConfig &config() const { return Config; }
+  AsyncGraph &graph() { return Graph; }
+  const AsyncGraph &graph() const { return Graph; }
+
+  /// Attaches an online analysis (not owned).
+  void addObserver(GraphObserver *O) { Observers.push_back(O); }
+
+  /// \name Builder context exposed to observers
+  /// @{
+
+  /// The innermost callback-execution node currently running, or
+  /// InvalidNode.
+  NodeId currentCe() const;
+
+  /// All active CE nodes, outermost first (the execution context stack).
+  std::vector<NodeId> activeCes() const;
+
+  /// Index of the currently open tick (0 before the first).
+  uint32_t currentTickIndex() const { return CurTick.Index; }
+  jsrt::PhaseKind currentTickPhase() const { return CurTick.Phase; }
+
+  /// Total ticks opened (including empty ones that were not committed).
+  uint64_t ticksOpened() const { return TickCounter; }
+  /// @}
+
+  /// \name AnalysisBase hooks
+  /// @{
+  void onFunctionEnter(const instr::FunctionEnterEvent &E) override;
+  void onFunctionExit(const instr::FunctionExitEvent &E) override;
+  void onApiCall(const instr::ApiCallEvent &E) override;
+  void onObjectCreate(const instr::ObjectCreateEvent &E) override;
+  void onReactionResult(const instr::ReactionResultEvent &E) override;
+  void onPromiseLink(const instr::PromiseLinkEvent &E) override;
+  void onLoopEnd(const instr::LoopEndEvent &E) override;
+  /// @}
+
+private:
+  /// True when \p Api should be ignored under the current configuration.
+  bool filtered(jsrt::ApiKind Api) const;
+
+  /// Opens a new tick of the given phase (committing the previous one if
+  /// it has nodes) — Algorithm 1 lines 2-4.
+  void openTick(jsrt::PhaseKind Phase);
+
+  /// Commits the current tick to the graph if non-empty — Algorithm 1
+  /// lines 9-10.
+  void commitTick();
+
+  /// Makes sure some tick is open before adding nodes outside callbacks.
+  void ensureTick(jsrt::PhaseKind Phase);
+
+  /// Adds a node, wiring the happens-in edge from the innermost active CE
+  /// and notifying observers.
+  NodeId addNode(AgNode N);
+
+  void addEdge(NodeId From, NodeId To, EdgeKind Kind,
+               std::string Label = std::string());
+
+  void processRegistration(const instr::ApiCallEvent &E);
+  void processTrigger(const instr::ApiCallEvent &E);
+  void processCombinator(const instr::ApiCallEvent &E);
+  void processRemoval(const instr::ApiCallEvent &E);
+
+  BuilderConfig Config;
+  AsyncGraph Graph;
+  std::vector<GraphObserver *> Observers;
+
+  /// False until the first observed top-level dispatch: when attached in
+  /// the middle of a run, the builder starts from the following tick
+  /// (§V-B) and ignores enter/exit events of frames it never saw open.
+  bool Synced = false;
+
+  /// Algorithm 1's sstack (function ids).
+  std::vector<jsrt::FunctionId> ShadowStack;
+  /// Per-frame CE node (InvalidNode for plain calls), parallel to
+  /// ShadowStack.
+  std::vector<NodeId> CeStack;
+
+  /// The currently open tick (committed when non-empty).
+  AgTick CurTick;
+  bool TickOpen = false;
+  uint64_t TickCounter = 0;
+
+  /// The pending registration lists L_pending^cb, keyed by callback
+  /// function identity.
+  std::map<jsrt::FunctionId, std::vector<PendingReg>> Pending;
+};
+
+} // namespace ag
+} // namespace asyncg
+
+#endif // ASYNCG_AG_BUILDER_H

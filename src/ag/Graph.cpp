@@ -1,0 +1,157 @@
+//===- Graph.cpp - The Async Graph model --------------------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ag/Graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace asyncg;
+using namespace asyncg::ag;
+
+void AsyncGraph::appendTick(AgTick T) {
+  assert(!T.Nodes.empty() && "only non-empty ticks are appended");
+  assert((Ticks.empty() || Ticks.back().Index < T.Index) &&
+         "tick indices must be increasing");
+  Ticks.push_back(std::move(T));
+}
+
+NodeId AsyncGraph::addNode(AgNode N, AgTick &T) {
+  NodeId Id = static_cast<NodeId>(Nodes.size());
+  N.Id = Id;
+  N.Tick = T.Index;
+  T.Nodes.push_back(Id);
+
+  switch (N.Kind) {
+  case NodeKind::OB:
+    ObjIndex[N.Obj] = Id;
+    break;
+  case NodeKind::CR:
+    if (N.Sched != 0)
+      SchedIndex[N.Sched] = Id;
+    break;
+  case NodeKind::CT:
+    if (N.Trigger != 0)
+      TriggerIndex[N.Trigger] = Id;
+    break;
+  case NodeKind::CE:
+    if (N.Sched != 0)
+      ExecIndex.emplace(N.Sched, Id);
+    break;
+  }
+
+  Nodes.push_back(std::move(N));
+  Out.emplace_back();
+  In.emplace_back();
+  return Id;
+}
+
+void AsyncGraph::addEdge(NodeId From, NodeId To, EdgeKind Kind,
+                         std::string Label) {
+  assert(From < Nodes.size() && To < Nodes.size() && "edge endpoints exist");
+  uint32_t E = static_cast<uint32_t>(Edges.size());
+  Edges.push_back(AgEdge{From, To, Kind, std::move(Label)});
+  Out[From].push_back(E);
+  In[To].push_back(E);
+}
+
+bool AsyncGraph::addWarning(Warning W) {
+  auto Key =
+      std::make_tuple(static_cast<int>(W.Category), W.Node, W.Loc.str());
+  if (!WarningKeys.insert(Key).second)
+    return false;
+  Warnings.push_back(std::move(W));
+  return true;
+}
+
+void AsyncGraph::clearWarnings(const std::set<BugCategory> &Categories) {
+  std::vector<Warning> Kept;
+  Kept.reserve(Warnings.size());
+  for (Warning &W : Warnings) {
+    if (Categories.count(W.Category)) {
+      WarningKeys.erase(std::make_tuple(static_cast<int>(W.Category), W.Node,
+                                        W.Loc.str()));
+      continue;
+    }
+    Kept.push_back(std::move(W));
+  }
+  Warnings = std::move(Kept);
+}
+
+NodeId AsyncGraph::objectNode(jsrt::ObjectId Obj) const {
+  auto It = ObjIndex.find(Obj);
+  return It == ObjIndex.end() ? InvalidNode : It->second;
+}
+
+NodeId AsyncGraph::registrationNode(jsrt::ScheduleId S) const {
+  auto It = SchedIndex.find(S);
+  return It == SchedIndex.end() ? InvalidNode : It->second;
+}
+
+NodeId AsyncGraph::triggerNode(jsrt::TriggerId T) const {
+  auto It = TriggerIndex.find(T);
+  return It == TriggerIndex.end() ? InvalidNode : It->second;
+}
+
+std::vector<NodeId> AsyncGraph::executionsOf(jsrt::ScheduleId S) const {
+  std::vector<NodeId> R;
+  auto [B, E] = ExecIndex.equal_range(S);
+  for (auto It = B; It != E; ++It)
+    R.push_back(It->second);
+  return R;
+}
+
+std::vector<Warning> AsyncGraph::warningsOf(BugCategory C) const {
+  std::vector<Warning> R;
+  for (const Warning &W : Warnings)
+    if (W.Category == C)
+      R.push_back(W);
+  return R;
+}
+
+bool AsyncGraph::hasWarning(BugCategory C) const {
+  return std::any_of(Warnings.begin(), Warnings.end(),
+                     [C](const Warning &W) { return W.Category == C; });
+}
+
+/// True for the relation labels that derive one promise from another
+/// through a reaction (combinator input edges and adoption links are not
+/// derivations).
+static bool isDerivationLabel(const std::string &L) {
+  return L == "then" || L == "catch" || L == "finally";
+}
+
+std::vector<NodeId> AsyncGraph::derivedPromises(NodeId ObNode,
+                                                const char *Label) const {
+  std::vector<NodeId> R;
+  assert(ObNode < Nodes.size() && Nodes[ObNode].Kind == NodeKind::OB &&
+         "derivedPromises on a non-OB node");
+  for (uint32_t E : Out[ObNode]) {
+    const AgEdge &Edge = Edges[E];
+    if (Edge.Kind != EdgeKind::Relation || !isDerivationLabel(Edge.Label))
+      continue;
+    if (Label && Edge.Label != Label)
+      continue;
+    const AgNode &To = Nodes[Edge.To];
+    if (To.Kind == NodeKind::OB && To.IsPromise)
+      R.push_back(Edge.To);
+  }
+  return R;
+}
+
+NodeId AsyncGraph::parentPromise(NodeId ObNode) const {
+  assert(ObNode < Nodes.size() && Nodes[ObNode].Kind == NodeKind::OB &&
+         "parentPromise on a non-OB node");
+  for (uint32_t E : In[ObNode]) {
+    const AgEdge &Edge = Edges[E];
+    if (Edge.Kind != EdgeKind::Relation || !isDerivationLabel(Edge.Label))
+      continue;
+    const AgNode &From = Nodes[Edge.From];
+    if (From.Kind == NodeKind::OB && From.IsPromise)
+      return Edge.From;
+  }
+  return InvalidNode;
+}

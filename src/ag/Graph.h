@@ -1,0 +1,229 @@
+//===- Graph.h - The Async Graph model --------------------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Async Graph (AG) of §IV: a time-oriented graph whose nodes belong to
+/// event-loop ticks. Node kinds: Callback Registration (□ CR), Callback
+/// Execution (○ CE), Callback Trigger (★ CT), Object Binding (△ OB).
+/// Edge kinds: direct/causal (→), happens-in (○ → nodes executed during the
+/// CE), registration binding (dashed CE ⇠ CR), and labeled relation edges
+/// (OB ⇠ CR listener registrations, OB ⇠ OB promise chains and links).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_AG_GRAPH_H
+#define ASYNCG_AG_GRAPH_H
+
+#include "ag/Warning.h"
+#include "jsrt/ApiKind.h"
+#include "jsrt/Ids.h"
+#include "jsrt/PhaseKind.h"
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace ag {
+
+/// Async Graph node kinds (§IV-A).
+enum class NodeKind {
+  CR, ///< □ Callback Registration.
+  CE, ///< ○ Callback Execution.
+  CT, ///< ★ Callback Trigger (emit / resolve / reject).
+  OB, ///< △ Object Binding (promise or emitter creation).
+};
+
+inline const char *nodeKindName(NodeKind K) {
+  switch (K) {
+  case NodeKind::CR:
+    return "CR";
+  case NodeKind::CE:
+    return "CE";
+  case NodeKind::CT:
+    return "CT";
+  case NodeKind::OB:
+    return "OB";
+  }
+  return "?";
+}
+
+/// Async Graph edge kinds (§IV-A).
+enum class EdgeKind {
+  Causal,    ///< α → β: α causes the execution of β (CR→CE, CT→CE).
+  HappensIn, ///< CE → node: the node happened during that CE.
+  Binding,   ///< CE ⇠ CR (dashed): execution bound to its registration.
+  Relation,  ///< dashed labeled edge: OB⇠CR (event name), OB⇠OB (then/link).
+};
+
+inline const char *edgeKindName(EdgeKind K) {
+  switch (K) {
+  case EdgeKind::Causal:
+    return "causal";
+  case EdgeKind::HappensIn:
+    return "happens-in";
+  case EdgeKind::Binding:
+    return "binding";
+  case EdgeKind::Relation:
+    return "relation";
+  }
+  return "?";
+}
+
+/// One graph node.
+struct AgNode {
+  NodeId Id = InvalidNode;
+  NodeKind Kind = NodeKind::CR;
+  /// 1-based tick index the node belongs to.
+  uint32_t Tick = 0;
+  SourceLocation Loc;
+  jsrt::ApiKind Api = jsrt::ApiKind::None;
+  /// Display label, e.g. "L7: createServer".
+  std::string Label;
+  /// CR: registered callback; CE: executed function.
+  jsrt::FunctionId Func = 0;
+  /// CR: its registration id; CE: the matched registration's id.
+  jsrt::ScheduleId Sched = 0;
+  /// OB: the object's id; CR/CT: the bound emitter/promise.
+  jsrt::ObjectId Obj = 0;
+  /// CT only: the trigger action id.
+  jsrt::TriggerId Trigger = 0;
+  /// Emitter event name (CR listener registrations, CT emits).
+  std::string Event;
+  /// True for internal-library nodes (rendered "*").
+  bool Internal = false;
+  /// OB only: promise (true) or emitter (false).
+  bool IsPromise = false;
+  /// CT only: whether the action had an effect (emit had listeners, settle
+  /// changed state). False means dead emit / double settle.
+  bool HadEffect = true;
+  /// CR only: number of CE nodes bound to this registration so far.
+  uint32_t ExecCount = 0;
+  /// CR only: the registration was explicitly removed (removeListener,
+  /// clearTimeout); removed registrations are not dead listeners.
+  bool Removed = false;
+  /// CR only: setTimeout delay in milliseconds.
+  double TimeoutMs = 0;
+  /// CR only (promise reactions): includes a rejection handler.
+  bool HasRejectHandler = false;
+  /// CR only (promise reactions): the derived promise.
+  jsrt::ObjectId DerivedObj = 0;
+  /// OB promise only: a reaction producing this promise returned undefined
+  /// (missing-return candidate).
+  bool ReactionReturnedUndefined = false;
+};
+
+/// One graph edge.
+struct AgEdge {
+  NodeId From = InvalidNode;
+  NodeId To = InvalidNode;
+  EdgeKind Kind = EdgeKind::Causal;
+  std::string Label;
+};
+
+/// One event-loop tick ("t3: io").
+struct AgTick {
+  uint32_t Index = 0;
+  jsrt::PhaseKind Phase = jsrt::PhaseKind::Main;
+  std::vector<NodeId> Nodes;
+
+  std::string name() const {
+    return "t" + std::to_string(Index) + ": " +
+           jsrt::phaseKindName(Phase);
+  }
+};
+
+/// The Async Graph: ticks, nodes, edges, adjacency, and warnings.
+class AsyncGraph {
+public:
+  /// \name Construction (used by the builder)
+  /// @{
+
+  /// Appends a committed (non-empty) tick.
+  void appendTick(AgTick T);
+
+  /// Adds a node; assigns its id, records it in its tick, and indexes it.
+  /// \p T must be the currently open tick's storage (builder-managed).
+  NodeId addNode(AgNode N, AgTick &T);
+
+  /// Adds an edge and updates adjacency.
+  void addEdge(NodeId From, NodeId To, EdgeKind Kind,
+               std::string Label = std::string());
+
+  /// Records a warning (deduplicated on (category, node)). Returns true if
+  /// newly added.
+  bool addWarning(Warning W);
+
+  /// Drops all end-of-run warnings so a re-run of the final analyses (after
+  /// another loop drain) can recompute them. \p Categories selects which.
+  void clearWarnings(const std::set<BugCategory> &Categories);
+  /// @}
+
+  /// \name Queries
+  /// @{
+  const std::vector<AgTick> &ticks() const { return Ticks; }
+  const std::vector<AgNode> &nodes() const { return Nodes; }
+  const std::vector<AgEdge> &edges() const { return Edges; }
+  const std::vector<Warning> &warnings() const { return Warnings; }
+
+  const AgNode &node(NodeId N) const { return Nodes[N]; }
+  AgNode &node(NodeId N) { return Nodes[N]; }
+  size_t nodeCount() const { return Nodes.size(); }
+
+  /// Edge indices leaving / entering a node.
+  const std::vector<uint32_t> &outEdges(NodeId N) const { return Out[N]; }
+  const std::vector<uint32_t> &inEdges(NodeId N) const { return In[N]; }
+  const AgEdge &edge(uint32_t E) const { return Edges[E]; }
+
+  /// OB node for an object id, or InvalidNode.
+  NodeId objectNode(jsrt::ObjectId Obj) const;
+
+  /// CR node for a registration id, or InvalidNode.
+  NodeId registrationNode(jsrt::ScheduleId S) const;
+
+  /// CT node for a trigger id, or InvalidNode.
+  NodeId triggerNode(jsrt::TriggerId T) const;
+
+  /// All CE nodes bound to a registration.
+  std::vector<NodeId> executionsOf(jsrt::ScheduleId S) const;
+
+  /// Warnings of one category.
+  std::vector<Warning> warningsOf(BugCategory C) const;
+
+  bool hasWarning(BugCategory C) const;
+
+  /// \returns promise OB nodes derived from \p Obj via then/catch/finally
+  /// relation edges (the forward promise chain). When \p Label is
+  /// non-null, only derivations through that API count (e.g. "then" for
+  /// value-consuming derivations).
+  std::vector<NodeId> derivedPromises(NodeId ObNode,
+                                      const char *Label = nullptr) const;
+
+  /// \returns the OB this promise was derived from, or InvalidNode.
+  NodeId parentPromise(NodeId ObNode) const;
+  /// @}
+
+private:
+  std::vector<AgTick> Ticks;
+  std::vector<AgNode> Nodes;
+  std::vector<AgEdge> Edges;
+  std::vector<std::vector<uint32_t>> Out;
+  std::vector<std::vector<uint32_t>> In;
+  std::vector<Warning> Warnings;
+  std::set<std::tuple<int, NodeId, std::string>> WarningKeys;
+  std::map<jsrt::ObjectId, NodeId> ObjIndex;
+  std::map<jsrt::ScheduleId, NodeId> SchedIndex;
+  std::map<jsrt::TriggerId, NodeId> TriggerIndex;
+  std::multimap<jsrt::ScheduleId, NodeId> ExecIndex;
+};
+
+} // namespace ag
+} // namespace asyncg
+
+#endif // ASYNCG_AG_GRAPH_H

@@ -1,0 +1,68 @@
+//===- Observer.h - Graph construction observers ----------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observers watch the Async Graph as the builder constructs it; the bug
+/// detectors of §VI are observers, which is how AsyncG "automatically
+/// analyzes the AG of an application and reports warnings" online while
+/// the application runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_AG_OBSERVER_H
+#define ASYNCG_AG_OBSERVER_H
+
+#include "ag/Graph.h"
+#include "instr/Hooks.h"
+
+namespace asyncg {
+namespace ag {
+
+class AsyncGBuilder;
+
+/// Interface for online graph analyses. All hooks default to no-ops.
+class GraphObserver {
+public:
+  virtual ~GraphObserver();
+
+  /// Short name for reports.
+  virtual const char *observerName() const { return "observer"; }
+
+  /// A new tick opened (its nodes are not yet known).
+  virtual void onTickStart(AsyncGBuilder &B, const AgTick &T) {
+    (void)B;
+    (void)T;
+  }
+
+  /// A node was added to the graph.
+  virtual void onNodeAdded(AsyncGBuilder &B, NodeId N) {
+    (void)B;
+    (void)N;
+  }
+
+  /// An edge was added to the graph.
+  virtual void onEdgeAdded(AsyncGBuilder &B, const AgEdge &E) {
+    (void)B;
+    (void)E;
+  }
+
+  /// Any asynchronous API call, including Misc ones that produce no node
+  /// (removeListener and friends).
+  virtual void onApiEvent(AsyncGBuilder &B, const instr::ApiCallEvent &E) {
+    (void)B;
+    (void)E;
+  }
+
+  /// The event loop drained: run end-of-run analyses. May fire more than
+  /// once if the embedder pumps the loop again; implementations should
+  /// recompute rather than accumulate (see AsyncGraph::clearWarnings).
+  virtual void onEnd(AsyncGBuilder &B) { (void)B; }
+};
+
+} // namespace ag
+} // namespace asyncg
+
+#endif // ASYNCG_AG_OBSERVER_H

@@ -1,0 +1,114 @@
+//===- Warning.h - Bug categories and warning records -----------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bug/code-smell categories AsyncG reports (§VI of the paper) and the
+/// warning records attached to Async Graph nodes (the "⚠" annotations in
+/// the paper's figures).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_AG_WARNING_H
+#define ASYNCG_AG_WARNING_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace asyncg {
+namespace ag {
+
+/// Node identifier within one AsyncGraph.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+constexpr NodeId InvalidNode = ~static_cast<NodeId>(0);
+
+/// All bug categories of §VI. The first three are scheduling bugs, the
+/// next five emitter bugs, the next five promise bugs; the last two are the
+/// AG-assisted manual patterns of §VI-B, reported by the query helpers.
+enum class BugCategory {
+  // Scheduling bugs (§VI-A.1).
+  RecursiveMicrotask,
+  MixedSimilarApis,
+  TimeoutExecutionOrder,
+  // Emitter bugs (§VI-A.2).
+  DeadListener,
+  DeadEmit,
+  InvalidListenerRemoval,
+  DuplicateListener,
+  AddListenerWithinListener,
+  // Promise bugs (§VI-A.3).
+  DeadPromise,
+  MissingReaction,
+  MissingExceptionalReaction,
+  MissingReturnInThen,
+  DoubleSettle,
+  // AG-assisted manual patterns (§VI-B).
+  ExpectSyncCallback,
+  BrokenPromiseChain,
+  // §IX ongoing-research extension: data-flow race detection.
+  EventRace,
+  // Extra (Node's MaxListenersExceededWarning heuristic): many live
+  // listeners for one event usually means a subscription leak.
+  ListenerLeak,
+};
+
+/// Stable display name for a category ("Dead Emits", ... as in Table I).
+inline const char *bugCategoryName(BugCategory C) {
+  switch (C) {
+  case BugCategory::RecursiveMicrotask:
+    return "Recursive Micro Tasks";
+  case BugCategory::MixedSimilarApis:
+    return "Mixing Similar APIs";
+  case BugCategory::TimeoutExecutionOrder:
+    return "Unexpected Timeout Execution Order";
+  case BugCategory::DeadListener:
+    return "Dead Listeners";
+  case BugCategory::DeadEmit:
+    return "Dead Emits";
+  case BugCategory::InvalidListenerRemoval:
+    return "Invalid Listener Removal";
+  case BugCategory::DuplicateListener:
+    return "Duplicate Listeners";
+  case BugCategory::AddListenerWithinListener:
+    return "Add Listener within Listener";
+  case BugCategory::DeadPromise:
+    return "Dead Promise";
+  case BugCategory::MissingReaction:
+    return "Missing Reaction";
+  case BugCategory::MissingExceptionalReaction:
+    return "Missing Exceptional Reaction";
+  case BugCategory::MissingReturnInThen:
+    return "Missing Return In Then";
+  case BugCategory::DoubleSettle:
+    return "Double Resolve or Reject";
+  case BugCategory::ExpectSyncCallback:
+    return "Expect Sync Callback";
+  case BugCategory::BrokenPromiseChain:
+    return "Broken Promise Chain";
+  case BugCategory::EventRace:
+    return "Event Race";
+  case BugCategory::ListenerLeak:
+    return "Listener Leak";
+  }
+  return "Unknown";
+}
+
+/// One reported warning, anchored to a graph node and a source location.
+struct Warning {
+  BugCategory Category;
+  std::string Message;
+  SourceLocation Loc;
+  NodeId Node = InvalidNode;
+  uint32_t Tick = 0;
+};
+
+} // namespace ag
+} // namespace asyncg
+
+#endif // ASYNCG_AG_WARNING_H

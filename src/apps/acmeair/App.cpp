@@ -1,0 +1,394 @@
+//===- App.cpp - the AcmeAir-like flight-booking server ------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/acmeair/App.h"
+
+#include "jsrt/Object.h"
+#include "support/Format.h"
+
+using namespace asyncg;
+using namespace asyncg::acmeair;
+using namespace asyncg::jsrt;
+using asyncg::node::http::HttpServer;
+using asyncg::node::http::IncomingMessage;
+using asyncg::node::http::ServerResponse;
+
+namespace {
+constexpr const char *AppFile = "acmeair.js";
+} // namespace
+
+std::map<std::string, std::string>
+asyncg::acmeair::parseForm(const std::string &S) {
+  std::map<std::string, std::string> M;
+  if (S.empty())
+    return M;
+  for (const std::string &Pair : splitString(S, '&')) {
+    size_t Eq = Pair.find('=');
+    if (Eq == std::string::npos)
+      M[Pair] = "";
+    else
+      M[Pair.substr(0, Eq)] = Pair.substr(Eq + 1);
+  }
+  return M;
+}
+
+const std::vector<std::string> &AcmeAirApp::airports() {
+  static const std::vector<std::string> A = {"SFO", "JFK", "LAX", "BOS",
+                                             "CDG"};
+  return A;
+}
+
+AcmeAirApp::AcmeAirApp(Runtime &RT, AppConfig Config)
+    : RT(RT), Config(Config), Db(RT, Config.Mongo) {}
+
+void AcmeAirApp::seed() {
+  for (int I = 0; I < Config.Customers; ++I) {
+    Value Doc = Object::make("Customer");
+    std::string Id = "uid" + std::to_string(I);
+    Doc.asObject()->set("_id", Value::str(Id));
+    Doc.asObject()->set("password", Value::str("password"));
+    Doc.asObject()->set("name", Value::str("Customer " + std::to_string(I)));
+    Doc.asObject()->set("miles", Value::number(1000.0 * I));
+    Db.insertSync("customers", Id, Doc);
+  }
+  const auto &Air = airports();
+  for (const std::string &From : Air) {
+    for (const std::string &To : Air) {
+      if (From == To)
+        continue;
+      for (int F = 0; F < Config.FlightsPerRoute; ++F) {
+        Value Doc = Object::make("Flight");
+        std::string Key =
+            From + "-" + To + "|f" + std::to_string(F);
+        Doc.asObject()->set("_id", Value::str(Key));
+        Doc.asObject()->set("from", Value::str(From));
+        Doc.asObject()->set("to", Value::str(To));
+        Doc.asObject()->set("price", Value::number(100.0 + 20.0 * F));
+        Db.insertSync("flights", Key, Doc);
+      }
+    }
+  }
+}
+
+void AcmeAirApp::finish(std::shared_ptr<ServerResponse> Res, int Status,
+                        const std::string &Body) {
+  Res->writeHead(Status);
+  if (Res->end(Body))
+    ++Served;
+}
+
+void AcmeAirApp::start(SourceLocation Loc) {
+  seed();
+
+  AcmeAirApp *App = this;
+  Function OnRequest = RT.makeFunction(
+      "acmeairRouter", JSLINE(AppFile, 10),
+      [App](Runtime &R, const CallArgs &A) {
+        auto Req = IncomingMessage::from(A.arg(0));
+        auto Res = ServerResponse::from(A.arg(1));
+        auto Body = std::make_shared<std::string>();
+
+        // Accumulate the request body ('data' then 'end', as in the §II-A
+        // example server).
+        Function OnData = R.makeFunction(
+            "onBodyChunk", JSLINE(AppFile, 12),
+            [Body](Runtime &, const CallArgs &A2) {
+              *Body += A2.arg(0).asString();
+              return Completion::normal();
+            });
+        R.emitterOn(JSLINE(AppFile, 12), Req->emitter(), "data", OnData);
+
+        Function OnEnd = R.makeFunction(
+            "onBodyEnd", JSLINE(AppFile, 14),
+            [App, Req, Res, Body](Runtime &R2, const CallArgs &) {
+              std::string Path = Req->url();
+              std::string Query;
+              size_t Q = Path.find('?');
+              if (Q != std::string::npos) {
+                Query = Path.substr(Q + 1);
+                Path = Path.substr(0, Q);
+              }
+              std::map<std::string, std::string> Params =
+                  parseForm(Query);
+              for (auto &[K, V] : parseForm(*Body))
+                Params[K] = V;
+              App->route(R2, Req->method(), Path, Params, Res);
+              return Completion::normal();
+            });
+        R.emitterOn(JSLINE(AppFile, 14), Req->emitter(), "end", OnEnd);
+        return Completion::normal();
+      });
+
+  Server = HttpServer::create(RT, Loc, OnRequest);
+  Server->listen(JSLINE(AppFile, 18), Config.Port);
+}
+
+void AcmeAirApp::route(Runtime &R, const std::string &Method,
+                       const std::string &Path,
+                       const std::map<std::string, std::string> &Params,
+                       std::shared_ptr<ServerResponse> Res) {
+  if (Method == "POST" && Path == "/rest/api/login")
+    return handleLogin(R, Params, std::move(Res));
+  if (Method == "GET" && Path == "/rest/api/queryflights")
+    return handleQueryFlights(R, Params, std::move(Res));
+  if (Method == "POST" && Path == "/rest/api/bookflights")
+    return handleBookFlights(R, Params, std::move(Res));
+  if (Method == "GET" && Path == "/rest/api/customer/byid")
+    return handleViewProfile(R, Params, std::move(Res));
+  if (Method == "POST" && Path == "/rest/api/customer/update")
+    return handleUpdateProfile(R, Params, std::move(Res));
+  if (Method == "GET" && Path == "/rest/api/config/countBookings")
+    return handleCountBookings(R, std::move(Res));
+  finish(std::move(Res), 404, "ERR not-found");
+}
+
+static std::string param(const std::map<std::string, std::string> &P,
+                         const std::string &K) {
+  auto It = P.find(K);
+  return It == P.end() ? std::string() : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// login: look the customer up, verify the password, store a session.
+//===----------------------------------------------------------------------===//
+
+void AcmeAirApp::handleLogin(Runtime &R,
+                             const std::map<std::string, std::string> &P,
+                             std::shared_ptr<ServerResponse> Res) {
+  std::string User = param(P, "user");
+  std::string Password = param(P, "password");
+  AcmeAirApp *App = this;
+
+  auto CheckAndCreateSession = [App, User, Password,
+                                Res](Runtime &R2, Value CustomerDoc) {
+    if (!CustomerDoc.isObject() ||
+        CustomerDoc.asObject()->get("password").asString() != Password) {
+      App->finish(Res, 401, "ERR bad-credentials");
+      return;
+    }
+    std::string Token = "s-" + User;
+    Value Session = Object::make("Session");
+    Session.asObject()->set("customer", Value::str(User));
+    Function OnStored = R2.makeFunction(
+        "onSessionStored", JSLINE(AppFile, 28),
+        [App, Res, Token](Runtime &, const CallArgs &) {
+          App->finish(Res, 200, "OK token=" + Token);
+          return Completion::normal();
+        });
+    App->Db.update(JSLINE(AppFile, 28), "sessions", Token, Session,
+                   OnStored);
+  };
+
+  if (Config.UsePromises) {
+    PromiseRef Found =
+        Db.findOneP(JSLINE(AppFile, 25), "customers", User);
+    Function OnFound = R.makeFunction(
+        "onCustomer", JSLINE(AppFile, 26),
+        [CheckAndCreateSession](Runtime &R2, const CallArgs &A) {
+          CheckAndCreateSession(R2, A.arg(0));
+          return Completion::normal();
+        });
+    R.promiseThen(JSLINE(AppFile, 26), Found, OnFound);
+    return;
+  }
+  Function OnFound = R.makeFunction(
+      "onCustomer", JSLINE(AppFile, 26),
+      [CheckAndCreateSession](Runtime &R2, const CallArgs &A) {
+        CheckAndCreateSession(R2, A.arg(1));
+        return Completion::normal();
+      });
+  Db.findOne(JSLINE(AppFile, 25), "customers", User, OnFound);
+}
+
+//===----------------------------------------------------------------------===//
+// queryflights: outbound (promise interface) + return (callback interface).
+//===----------------------------------------------------------------------===//
+
+void AcmeAirApp::handleQueryFlights(
+    Runtime &R, const std::map<std::string, std::string> &P,
+    std::shared_ptr<ServerResponse> Res) {
+  std::string From = param(P, "from");
+  std::string To = param(P, "to");
+  AcmeAirApp *App = this;
+
+  auto RespondWith = [App, Res](Runtime &R2, size_t Outbound,
+                                Value ReturnList) {
+    (void)R2;
+    size_t Ret = ReturnList.isArray() ? ReturnList.asArray()->size() : 0;
+    App->finish(Res, 200,
+                strFormat("OK out=%zu ret=%zu", Outbound, Ret));
+  };
+
+  auto QueryReturn = [App, From, To, RespondWith](Runtime &R2,
+                                                  Value OutList) {
+    size_t Outbound = OutList.isArray() ? OutList.asArray()->size() : 0;
+    Function OnReturn = R2.makeFunction(
+        "onReturnFlights", JSLINE(AppFile, 36),
+        [RespondWith, Outbound](Runtime &R3, const CallArgs &A) {
+          RespondWith(R3, Outbound, A.arg(1));
+          return Completion::normal();
+        });
+    App->Db.findPrefix(JSLINE(AppFile, 36), "flights", To + "-" + From + "|",
+                       OnReturn);
+  };
+
+  if (Config.UsePromises) {
+    PromiseRef Out =
+        Db.findPrefixP(JSLINE(AppFile, 34), "flights", From + "-" + To + "|");
+    R.promiseThen(JSLINE(AppFile, 35), Out,
+                  R.makeFunction("onOutboundFlights", JSLINE(AppFile, 35),
+                                 [QueryReturn](Runtime &R2,
+                                               const CallArgs &A) {
+                                   QueryReturn(R2, A.arg(0));
+                                   return Completion::normal();
+                                 }));
+    return;
+  }
+  Db.findPrefix(JSLINE(AppFile, 34), "flights", From + "-" + To + "|",
+                R.makeFunction("onOutboundFlights", JSLINE(AppFile, 35),
+                               [QueryReturn](Runtime &R2,
+                                             const CallArgs &A) {
+                                 QueryReturn(R2, A.arg(1));
+                                 return Completion::normal();
+                               }));
+}
+
+//===----------------------------------------------------------------------===//
+// Session validation shared by booking/profile handlers.
+//===----------------------------------------------------------------------===//
+
+void AcmeAirApp::withSession(
+    Runtime &R, const std::map<std::string, std::string> &P,
+    std::shared_ptr<ServerResponse> Res,
+    std::function<void(Runtime &, std::string)> Then) {
+  std::string Token = param(P, "token");
+  AcmeAirApp *App = this;
+
+  auto Check = [App, Res, Then](Runtime &R2, Value SessionDoc) {
+    if (!SessionDoc.isObject()) {
+      App->finish(Res, 401, "ERR invalid-session");
+      return;
+    }
+    Then(R2, SessionDoc.asObject()->get("customer").asString());
+  };
+
+  if (Config.UsePromises) {
+    PromiseRef Found = Db.findOneP(JSLINE(AppFile, 44), "sessions", Token);
+    R.promiseThen(JSLINE(AppFile, 45), Found,
+                  R.makeFunction("onSession", JSLINE(AppFile, 45),
+                                 [Check](Runtime &R2, const CallArgs &A) {
+                                   Check(R2, A.arg(0));
+                                   return Completion::normal();
+                                 }));
+    return;
+  }
+  Db.findOne(JSLINE(AppFile, 44), "sessions", Token,
+             R.makeFunction("onSession", JSLINE(AppFile, 45),
+                            [Check](Runtime &R2, const CallArgs &A) {
+                              Check(R2, A.arg(1));
+                              return Completion::normal();
+                            }));
+}
+
+void AcmeAirApp::handleBookFlights(
+    Runtime &R, const std::map<std::string, std::string> &P,
+    std::shared_ptr<ServerResponse> Res) {
+  std::string Flight = param(P, "flight");
+  AcmeAirApp *App = this;
+  withSession(R, P, Res, [App, Flight, Res](Runtime &R2,
+                                            std::string Customer) {
+    std::string Key =
+        Customer + "|b" + std::to_string(App->BookingSeq++);
+    Value Doc = Object::make("Booking");
+    Doc.asObject()->set("customer", Value::str(Customer));
+    Doc.asObject()->set("flight", Value::str(Flight));
+    Function OnBooked = R2.makeFunction(
+        "onBooked", JSLINE(AppFile, 54),
+        [App, Res, Key](Runtime &, const CallArgs &) {
+          App->finish(Res, 200, "OK booked=" + Key);
+          return Completion::normal();
+        });
+    App->Db.update(JSLINE(AppFile, 54), "bookings", Key, Doc, OnBooked);
+  });
+}
+
+void AcmeAirApp::handleViewProfile(
+    Runtime &R, const std::map<std::string, std::string> &P,
+    std::shared_ptr<ServerResponse> Res) {
+  AcmeAirApp *App = this;
+  withSession(R, P, Res, [App, Res](Runtime &R2, std::string Customer) {
+    auto Respond = [App, Res](Runtime &, Value Doc) {
+      std::string Name = Doc.isObject()
+                             ? Doc.asObject()->get("name").asString()
+                             : "?";
+      App->finish(Res, 200, "OK name=" + Name);
+    };
+    if (App->Config.UsePromises) {
+      PromiseRef Found =
+          App->Db.findOneP(JSLINE(AppFile, 62), "customers", Customer);
+      R2.promiseThen(JSLINE(AppFile, 62), Found,
+                     R2.makeFunction("onProfile", JSLINE(AppFile, 62),
+                                     [Respond](Runtime &R3,
+                                               const CallArgs &A) {
+                                       Respond(R3, A.arg(0));
+                                       return Completion::normal();
+                                     }));
+      return;
+    }
+    Function OnCustomer = R2.makeFunction(
+        "onProfile", JSLINE(AppFile, 62),
+        [Respond](Runtime &R3, const CallArgs &A) {
+          Respond(R3, A.arg(1));
+          return Completion::normal();
+        });
+    App->Db.findOne(JSLINE(AppFile, 62), "customers", Customer, OnCustomer);
+  });
+}
+
+void AcmeAirApp::handleUpdateProfile(
+    Runtime &R, const std::map<std::string, std::string> &P,
+    std::shared_ptr<ServerResponse> Res) {
+  std::string NewName = param(P, "name");
+  AcmeAirApp *App = this;
+  withSession(R, P, Res, [App, Res, NewName](Runtime &R2,
+                                             std::string Customer) {
+    Function OnCustomer = R2.makeFunction(
+        "onProfileForUpdate", JSLINE(AppFile, 70),
+        [App, Res, Customer, NewName](Runtime &R3, const CallArgs &A) {
+          Value Doc = A.arg(1);
+          if (!Doc.isObject()) {
+            App->finish(Res, 404, "ERR no-customer");
+            return Completion::normal();
+          }
+          Doc.asObject()->set("name", Value::str(NewName));
+          Function OnStored = R3.makeFunction(
+              "onProfileStored", JSLINE(AppFile, 74),
+              [App, Res](Runtime &, const CallArgs &) {
+                App->finish(Res, 200, "OK updated");
+                return Completion::normal();
+              });
+          App->Db.update(JSLINE(AppFile, 74), "customers", Customer, Doc,
+                         OnStored);
+          return Completion::normal();
+        });
+    App->Db.findOne(JSLINE(AppFile, 70), "customers", Customer, OnCustomer);
+  });
+}
+
+void AcmeAirApp::handleCountBookings(Runtime &R,
+                                     std::shared_ptr<ServerResponse> Res) {
+  AcmeAirApp *App = this;
+  Db.findPrefix(JSLINE(AppFile, 80), "bookings", "",
+                R.makeFunction("onBookingCount", JSLINE(AppFile, 80),
+                               [App, Res](Runtime &, const CallArgs &A) {
+                                 size_t N = A.arg(1).isArray()
+                                                ? A.arg(1).asArray()->size()
+                                                : 0;
+                                 App->finish(Res, 200,
+                                             strFormat("OK count=%zu", N));
+                                 return Completion::normal();
+                               }));
+}

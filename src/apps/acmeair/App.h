@@ -1,0 +1,125 @@
+//===- App.h - the AcmeAir-like flight-booking server -----------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation workload of §VII-B: an AcmeAir-like flight-booking
+/// backend on the jsrt runtime. It "mixes the use of different
+/// asynchronous APIs": HTTP requests arrive through emitters, request
+/// bodies stream as 'data'/'end' events, and the database is accessed
+/// through the mock-mongo driver with either the classic callback
+/// interface or the promise interface (the paper modified AcmeAir to use
+/// the promise-version mongodb interface).
+///
+/// Endpoints (a subset of real AcmeAir's REST API):
+///   POST /rest/api/login                user=<id>&password=<pw>
+///   GET  /rest/api/queryflights         from=<A>&to=<B>
+///   POST /rest/api/bookflights          token=<t>&flight=<f>
+///   GET  /rest/api/customer/byid        token=<t>
+///   POST /rest/api/customer/update      token=<t>&name=<n>
+///   GET  /rest/api/config/countBookings
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_APPS_ACMEAIR_APP_H
+#define ASYNCG_APPS_ACMEAIR_APP_H
+
+#include "apps/acmeair/MockMongo.h"
+#include "jsrt/Runtime.h"
+#include "node/Http.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace asyncg {
+namespace acmeair {
+
+/// Application configuration.
+struct AppConfig {
+  int Port = 9080;
+  /// Use the promise-version db interface where the modified AcmeAir does;
+  /// false reproduces the stock callback-only application.
+  bool UsePromises = true;
+  MongoConfig Mongo;
+  /// Seeded customers (uid0 .. uidN-1, password "password").
+  int Customers = 100;
+  /// Flights seeded per airport pair.
+  int FlightsPerRoute = 5;
+};
+
+/// Parses "k1=v1&k2=v2" into a map (used for query strings and bodies).
+std::map<std::string, std::string> parseForm(const std::string &S);
+
+/// The AcmeAir server.
+class AcmeAirApp {
+public:
+  AcmeAirApp(jsrt::Runtime &RT, AppConfig Config = AppConfig());
+
+  /// Seeds the database, creates the HTTP server, and starts listening.
+  /// Must run inside the program's main tick.
+  void start(SourceLocation Loc);
+
+  MockMongo &db() { return Db; }
+  const AppConfig &config() const { return Config; }
+  const std::shared_ptr<node::http::HttpServer> &server() const {
+    return Server;
+  }
+
+  /// Requests fully served (res.end reached).
+  uint64_t served() const { return Served; }
+
+  /// The airports flights are seeded between.
+  static const std::vector<std::string> &airports();
+
+private:
+  void seed();
+
+  /// Dispatches one parsed request to its handler.
+  void route(jsrt::Runtime &R, const std::string &Method,
+             const std::string &Path,
+             const std::map<std::string, std::string> &Params,
+             std::shared_ptr<node::http::ServerResponse> Res);
+
+  void handleLogin(jsrt::Runtime &R,
+                   const std::map<std::string, std::string> &P,
+                   std::shared_ptr<node::http::ServerResponse> Res);
+  void handleQueryFlights(jsrt::Runtime &R,
+                          const std::map<std::string, std::string> &P,
+                          std::shared_ptr<node::http::ServerResponse> Res);
+  void handleBookFlights(jsrt::Runtime &R,
+                         const std::map<std::string, std::string> &P,
+                         std::shared_ptr<node::http::ServerResponse> Res);
+  void handleViewProfile(jsrt::Runtime &R,
+                         const std::map<std::string, std::string> &P,
+                         std::shared_ptr<node::http::ServerResponse> Res);
+  void handleUpdateProfile(jsrt::Runtime &R,
+                           const std::map<std::string, std::string> &P,
+                           std::shared_ptr<node::http::ServerResponse> Res);
+  void handleCountBookings(jsrt::Runtime &R,
+                           std::shared_ptr<node::http::ServerResponse> Res);
+
+  /// Validates a session token, then calls \p Then(customerId) or ends the
+  /// response with 401. Uses the promise interface when configured.
+  void withSession(jsrt::Runtime &R,
+                   const std::map<std::string, std::string> &P,
+                   std::shared_ptr<node::http::ServerResponse> Res,
+                   std::function<void(jsrt::Runtime &, std::string)> Then);
+
+  void finish(std::shared_ptr<node::http::ServerResponse> Res, int Status,
+              const std::string &Body);
+
+  jsrt::Runtime &RT;
+  AppConfig Config;
+  MockMongo Db;
+  std::shared_ptr<node::http::HttpServer> Server;
+  uint64_t Served = 0;
+  uint64_t BookingSeq = 0;
+};
+
+} // namespace acmeair
+} // namespace asyncg
+
+#endif // ASYNCG_APPS_ACMEAIR_APP_H

@@ -1,0 +1,156 @@
+//===- MockMongo.cpp - asynchronous in-memory document store ------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/acmeair/MockMongo.h"
+
+#include "jsrt/Object.h"
+#include "support/Format.h"
+
+using namespace asyncg;
+using namespace asyncg::acmeair;
+using namespace asyncg::jsrt;
+
+MockMongo::MockMongo(Runtime &RT, MongoConfig Config)
+    : RT(RT), Config(Config) {
+  PoolNoop = RT.makeBuiltin("(mongo pool)", [](Runtime &, const CallArgs &) {
+    return Completion::normal();
+  });
+}
+
+void MockMongo::insertSync(const std::string &Coll, const std::string &Key,
+                           Value Doc) {
+  Collections[Coll][Key] = std::move(Doc);
+}
+
+Value MockMongo::getSync(const std::string &Coll,
+                         const std::string &Key) const {
+  return lookup(Coll, Key);
+}
+
+size_t MockMongo::countSync(const std::string &Coll) const {
+  auto It = Collections.find(Coll);
+  return It == Collections.end() ? 0 : It->second.size();
+}
+
+Value MockMongo::lookup(const std::string &Coll,
+                        const std::string &Key) const {
+  auto CIt = Collections.find(Coll);
+  if (CIt == Collections.end())
+    return Value::null();
+  auto DIt = CIt->second.find(Key);
+  return DIt == CIt->second.end() ? Value::null() : DIt->second;
+}
+
+Value MockMongo::collectPrefix(const std::string &Coll,
+                               const std::string &Prefix) const {
+  auto A = std::make_shared<ArrayData>();
+  auto CIt = Collections.find(Coll);
+  if (CIt != Collections.end()) {
+    for (auto It = CIt->second.lower_bound(Prefix); It != CIt->second.end();
+         ++It) {
+      if (!startsWith(It->first, Prefix))
+        break;
+      A->push(It->second);
+    }
+  }
+  return Value::array(std::move(A));
+}
+
+void MockMongo::asyncOp(SourceLocation Loc,
+                        std::function<void(Runtime &)> Deliver) {
+  ++Ops;
+  // Surface the API use to the analyses (a CR-less bookkeeping event; the
+  // actual callback registration is the driver's nextTick delivery).
+  if (!RT.hooks().empty()) {
+    instr::ApiCallEvent E;
+    E.Api = ApiKind::DbQuery;
+    E.Loc = std::move(Loc);
+    E.TargetPhase = PhaseKind::Io;
+    RT.hooks().fireApiCall(E);
+  }
+
+  Runtime *R = &RT;
+  int PoolTicks = Config.PoolTicksPerOp;
+  Function Pool = PoolNoop;
+  RT.kernel().submit(Config.LatencyUs,
+                     [R, PoolTicks, Pool, Deliver = std::move(Deliver)] {
+                       R->dispatchInternal(
+                           "(mongo reply)",
+                           [PoolTicks, Pool, Deliver](Runtime &R2) {
+                             // Connection-pool bookkeeping micro-tasks.
+                             for (int I = 0; I < PoolTicks; ++I)
+                               R2.nextTick(SourceLocation::internal(), Pool);
+                             Deliver(R2);
+                           });
+                     });
+}
+
+void MockMongo::findOne(SourceLocation Loc, const std::string &Coll,
+                        const std::string &Key, const Function &Cb) {
+  assert(Cb.isValid() && "findOne requires a callback");
+  asyncOp(Loc, [this, Coll, Key, Cb](Runtime &R) {
+    Value Doc = lookup(Coll, Key);
+    R.nextTick(SourceLocation::internal(), Cb, {Value::null(), Doc});
+  });
+}
+
+void MockMongo::update(SourceLocation Loc, const std::string &Coll,
+                       const std::string &Key, Value Doc,
+                       const Function &Cb) {
+  assert(Cb.isValid() && "update requires a callback");
+  asyncOp(Loc, [this, Coll, Key, Doc, Cb](Runtime &R) {
+    Collections[Coll][Key] = Doc;
+    R.nextTick(SourceLocation::internal(), Cb, {Value::null()});
+  });
+}
+
+void MockMongo::remove(SourceLocation Loc, const std::string &Coll,
+                       const std::string &Key, const Function &Cb) {
+  assert(Cb.isValid() && "remove requires a callback");
+  asyncOp(Loc, [this, Coll, Key, Cb](Runtime &R) {
+    size_t Removed = Collections[Coll].erase(Key);
+    R.nextTick(SourceLocation::internal(), Cb,
+               {Value::null(), Value::number(static_cast<double>(Removed))});
+  });
+}
+
+void MockMongo::findPrefix(SourceLocation Loc, const std::string &Coll,
+                           const std::string &Prefix, const Function &Cb) {
+  assert(Cb.isValid() && "findPrefix requires a callback");
+  asyncOp(Loc, [this, Coll, Prefix, Cb](Runtime &R) {
+    R.nextTick(SourceLocation::internal(), Cb,
+               {Value::null(), collectPrefix(Coll, Prefix)});
+  });
+}
+
+PromiseRef MockMongo::findOneP(SourceLocation Loc, const std::string &Coll,
+                               const std::string &Key) {
+  PromiseRef P = RT.promiseBare(Loc, "db.findOne");
+  asyncOp(Loc, [this, Coll, Key, P](Runtime &R) {
+    R.resolvePromiseInternal(P, lookup(Coll, Key));
+  });
+  return P;
+}
+
+PromiseRef MockMongo::updateP(SourceLocation Loc, const std::string &Coll,
+                              const std::string &Key, Value Doc) {
+  PromiseRef P = RT.promiseBare(Loc, "db.update");
+  asyncOp(Loc, [this, Coll, Key, Doc, P](Runtime &R) {
+    Collections[Coll][Key] = Doc;
+    R.resolvePromiseInternal(P, Value::boolean(true));
+  });
+  return P;
+}
+
+PromiseRef MockMongo::findPrefixP(SourceLocation Loc,
+                                  const std::string &Coll,
+                                  const std::string &Prefix) {
+  PromiseRef P = RT.promiseBare(Loc, "db.find");
+  asyncOp(Loc, [this, Coll, Prefix, P](Runtime &R) {
+    R.resolvePromiseInternal(P, collectPrefix(Coll, Prefix));
+  });
+  return P;
+}

@@ -1,0 +1,108 @@
+//===- MockMongo.h - asynchronous in-memory document store ------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MongoDB stand-in backing the AcmeAir server. Like the real driver,
+/// every operation completes asynchronously: the reply arrives as an I/O
+/// event, the driver does its pool bookkeeping via process.nextTick, and
+/// the user sees either a callback (deferred with nextTick, as the classic
+/// driver does) or a promise (the promise-version interface the paper's
+/// modified AcmeAir uses). This internal structure is what produces the
+/// per-request nextTick/promise callback mix of Fig. 6(b).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_APPS_ACMEAIR_MOCKMONGO_H
+#define ASYNCG_APPS_ACMEAIR_MOCKMONGO_H
+
+#include "jsrt/Runtime.h"
+
+#include <map>
+#include <string>
+
+namespace asyncg {
+namespace acmeair {
+
+/// Configuration of the mock database.
+struct MongoConfig {
+  /// Virtual latency of one operation (microseconds).
+  sim::SimTime LatencyUs = 150;
+  /// Internal nextTick hops the driver performs per operation (connection
+  /// pool checkout, cursor advance, pool release — as the real driver
+  /// does; this drives the nextTick bar of Fig. 6(b)).
+  int PoolTicksPerOp = 3;
+};
+
+/// An in-memory document store with an asynchronous driver interface.
+/// Documents are jsrt Values (usually objects); collections are keyed by
+/// string.
+class MockMongo {
+public:
+  MockMongo(jsrt::Runtime &RT, MongoConfig Config = MongoConfig());
+
+  /// \name Synchronous seeding/inspection helpers (setup only)
+  /// @{
+  void insertSync(const std::string &Coll, const std::string &Key,
+                  jsrt::Value Doc);
+  jsrt::Value getSync(const std::string &Coll, const std::string &Key) const;
+  size_t countSync(const std::string &Coll) const;
+  /// @}
+
+  /// \name Callback interface (classic driver)
+  /// @{
+
+  /// findOne: \p Cb receives (null, doc) or (null, null) when absent.
+  void findOne(SourceLocation Loc, const std::string &Coll,
+               const std::string &Key, const jsrt::Function &Cb);
+
+  /// upsert: \p Cb receives (null).
+  void update(SourceLocation Loc, const std::string &Coll,
+              const std::string &Key, jsrt::Value Doc,
+              const jsrt::Function &Cb);
+
+  /// remove: \p Cb receives (null, removedCount).
+  void remove(SourceLocation Loc, const std::string &Coll,
+              const std::string &Key, const jsrt::Function &Cb);
+
+  /// find by key prefix: \p Cb receives (null, array of docs).
+  void findPrefix(SourceLocation Loc, const std::string &Coll,
+                  const std::string &Prefix, const jsrt::Function &Cb);
+  /// @}
+
+  /// \name Promise interface (the paper's modified AcmeAir)
+  /// @{
+  jsrt::PromiseRef findOneP(SourceLocation Loc, const std::string &Coll,
+                            const std::string &Key);
+  jsrt::PromiseRef updateP(SourceLocation Loc, const std::string &Coll,
+                           const std::string &Key, jsrt::Value Doc);
+  jsrt::PromiseRef findPrefixP(SourceLocation Loc, const std::string &Coll,
+                               const std::string &Prefix);
+  /// @}
+
+  /// Operations issued so far.
+  uint64_t opCount() const { return Ops; }
+
+private:
+  /// Computes a result now and delivers it asynchronously: I/O reply tick,
+  /// pool nextTicks, then \p Deliver runs inside the reply tick context.
+  void asyncOp(SourceLocation Loc,
+               std::function<void(jsrt::Runtime &)> Deliver);
+
+  jsrt::Value lookup(const std::string &Coll, const std::string &Key) const;
+  jsrt::Value collectPrefix(const std::string &Coll,
+                            const std::string &Prefix) const;
+
+  jsrt::Runtime &RT;
+  MongoConfig Config;
+  std::map<std::string, std::map<std::string, jsrt::Value>> Collections;
+  jsrt::Function PoolNoop;
+  uint64_t Ops = 0;
+};
+
+} // namespace acmeair
+} // namespace asyncg
+
+#endif // ASYNCG_APPS_ACMEAIR_MOCKMONGO_H

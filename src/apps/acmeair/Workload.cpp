@@ -1,0 +1,144 @@
+//===- Workload.cpp - JMeter-like closed-loop workload driver -----------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/acmeair/Workload.h"
+
+#include "apps/acmeair/App.h"
+#include "node/Http.h"
+#include "sim/Network.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace asyncg;
+using namespace asyncg::acmeair;
+using namespace asyncg::jsrt;
+using asyncg::node::http::ClientResponse;
+
+/// One simulated client: a keep-alive connection plus its session state.
+struct WorkloadDriver::Client {
+  int Id = 0;
+  sim::Random Rng{0};
+  std::shared_ptr<sim::Socket> Sock;
+  std::string User;
+  std::string Token;
+  bool InFlight = false;
+};
+
+WorkloadDriver::WorkloadDriver(Runtime &RT, int Port, WorkloadConfig Config)
+    : RT(RT), Port(Port), Config(Config) {}
+
+WorkloadDriver::~WorkloadDriver() = default;
+
+void WorkloadDriver::start() {
+  for (int I = 0; I < Config.Clients; ++I) {
+    auto C = std::make_unique<Client>();
+    C->Id = I;
+    C->Rng = sim::Random(Config.Seed * 7919 + static_cast<uint64_t>(I));
+    C->User =
+        "uid" + std::to_string(C->Rng.nextInt(
+                    0, static_cast<uint64_t>(Config.Customers - 1)));
+    Clients.push_back(std::move(C));
+  }
+
+  for (auto &CPtr : Clients) {
+    Client *C = CPtr.get();
+    bool Ok = RT.network().connect(
+        Port, [this, C](std::shared_ptr<sim::Socket> Raw) {
+          C->Sock = std::move(Raw);
+          C->Sock->onData([this, C](const std::string &Msg) {
+            ClientResponse Res;
+            if (!node::http::parseResponse(Msg, Res))
+              return;
+            onResponse(*C, Res.Status, Res.Body);
+          });
+          issueNext(*C);
+        });
+    assert(Ok && "acmeair server not listening");
+    (void)Ok;
+  }
+}
+
+void WorkloadDriver::issueNext(Client &C) {
+  if (Issued >= Config.TotalRequests) {
+    if (C.Sock)
+      C.Sock->end();
+    return;
+  }
+  ++Issued;
+  C.InFlight = true;
+
+  using node::http::frameEnd;
+  using node::http::frameDataChunk;
+  using node::http::frameRequestLine;
+
+  if (C.Token.empty()) {
+    // Must log in first.
+    C.Sock->write(frameRequestLine("POST", "/rest/api/login"));
+    C.Sock->write(frameDataChunk("user=" + C.User + "&password=password"));
+    C.Sock->write(frameEnd());
+    return;
+  }
+
+  const WorkloadMix &M = Config.Mix;
+  double Weights[5] = {M.QueryFlights, M.ViewProfile, M.BookFlight,
+                       M.UpdateProfile, M.Login};
+  size_t Op = C.Rng.pickWeighted(Weights);
+
+  const auto &Air = AcmeAirApp::airports();
+  switch (Op) {
+  case 0: { // queryflights
+    size_t A = C.Rng.nextInt(0, Air.size() - 1);
+    size_t B = C.Rng.nextInt(0, Air.size() - 2);
+    if (B >= A)
+      ++B;
+    C.Sock->write(frameRequestLine(
+        "GET", "/rest/api/queryflights?from=" + Air[A] + "&to=" + Air[B]));
+    C.Sock->write(frameEnd());
+    return;
+  }
+  case 1: // view profile
+    C.Sock->write(frameRequestLine(
+        "GET", "/rest/api/customer/byid?token=" + C.Token));
+    C.Sock->write(frameEnd());
+    return;
+  case 2: { // book
+    size_t A = C.Rng.nextInt(0, Air.size() - 1);
+    size_t B = (A + 1) % Air.size();
+    std::string Flight = Air[A] + "-" + Air[B] + "|f0";
+    C.Sock->write(frameRequestLine("POST", "/rest/api/bookflights"));
+    C.Sock->write(
+        frameDataChunk("token=" + C.Token + "&flight=" + Flight));
+    C.Sock->write(frameEnd());
+    return;
+  }
+  case 3: // update profile
+    C.Sock->write(frameRequestLine("POST", "/rest/api/customer/update"));
+    C.Sock->write(frameDataChunk("token=" + C.Token + "&name=Customer" +
+                                 std::to_string(C.Rng.nextInt(0, 999))));
+    C.Sock->write(frameEnd());
+    return;
+  default: // re-login
+    C.Sock->write(frameRequestLine("POST", "/rest/api/login"));
+    C.Sock->write(
+        frameDataChunk("user=" + C.User + "&password=password"));
+    C.Sock->write(frameEnd());
+    return;
+  }
+}
+
+void WorkloadDriver::onResponse(Client &C, int Status,
+                                const std::string &Body) {
+  assert(C.InFlight && "response without a pending request");
+  C.InFlight = false;
+  ++Completed;
+  if (Status != 200) {
+    ++Errors;
+  } else if (startsWith(Body, "OK token=")) {
+    C.Token = Body.substr(9);
+  }
+  issueNext(C);
+}

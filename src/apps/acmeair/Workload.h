@@ -1,0 +1,86 @@
+//===- Workload.h - JMeter-like closed-loop workload driver -----*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload generator standing in for the AcmeAir JMeter driver
+/// (§VII-B): N concurrent simulated clients in a closed loop, each logging
+/// in and then issuing a weighted mix of flight queries, bookings, and
+/// profile operations over keep-alive connections. The driver lives
+/// outside the instrumented JS world (as JMeter does) and talks raw
+/// simulated sockets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_APPS_ACMEAIR_WORKLOAD_H
+#define ASYNCG_APPS_ACMEAIR_WORKLOAD_H
+
+#include "jsrt/Runtime.h"
+#include "sim/Random.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace acmeair {
+
+/// Request mix weights (default approximates the AcmeAir driver: queries
+/// dominate, bookings and profile operations follow).
+struct WorkloadMix {
+  double QueryFlights = 50;
+  double ViewProfile = 22;
+  double BookFlight = 12;
+  double UpdateProfile = 6;
+  double Login = 10;
+};
+
+/// Driver configuration.
+struct WorkloadConfig {
+  int Clients = 8;
+  /// Total requests (across all clients) before the driver stops.
+  uint64_t TotalRequests = 1000;
+  uint64_t Seed = 42;
+  WorkloadMix Mix;
+  /// Customers the app was seeded with (user ids are drawn from here).
+  int Customers = 100;
+};
+
+/// The closed-loop driver.
+class WorkloadDriver {
+public:
+  WorkloadDriver(jsrt::Runtime &RT, int Port,
+                 WorkloadConfig Config = WorkloadConfig());
+  ~WorkloadDriver();
+
+  /// Connects the clients and begins issuing requests. Call inside the
+  /// main tick after the server listens; the run completes when
+  /// Runtime::runLoop drains.
+  void start();
+
+  uint64_t completed() const { return Completed; }
+  uint64_t errors() const { return Errors; }
+  uint64_t issued() const { return Issued; }
+
+private:
+  struct Client;
+
+  void issueNext(Client &C);
+  void onResponse(Client &C, int Status, const std::string &Body);
+
+  jsrt::Runtime &RT;
+  int Port;
+  WorkloadConfig Config;
+  std::vector<std::unique_ptr<Client>> Clients;
+  uint64_t Issued = 0;
+  uint64_t Completed = 0;
+  uint64_t Errors = 0;
+};
+
+} // namespace acmeair
+} // namespace asyncg
+
+#endif // ASYNCG_APPS_ACMEAIR_WORKLOAD_H

@@ -1,0 +1,57 @@
+//===- ApiUsageCounter.cpp - per-API callback execution counter ---------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ApiUsageCounter.h"
+
+using namespace asyncg;
+using namespace asyncg::baselines;
+using namespace asyncg::jsrt;
+
+ApiFamily asyncg::baselines::classifyApi(ApiKind K) {
+  switch (K) {
+  case ApiKind::NextTick:
+    return ApiFamily::NextTick;
+  case ApiKind::SetTimeout:
+  case ApiKind::SetInterval:
+    return ApiFamily::Timer;
+  case ApiKind::SetImmediate:
+    return ApiFamily::Immediate;
+  case ApiKind::PromiseCtor:
+  case ApiKind::PromiseThen:
+  case ApiKind::PromiseCatch:
+  case ApiKind::PromiseFinally:
+  case ApiKind::Await:
+  case ApiKind::PromiseAll:
+  case ApiKind::PromiseRace:
+  case ApiKind::PromiseAllSettled:
+  case ApiKind::PromiseAny:
+    return ApiFamily::Promise;
+  case ApiKind::EmitterOn:
+  case ApiKind::EmitterOnce:
+  case ApiKind::EmitterPrepend:
+  case ApiKind::NetCreateServer:
+  case ApiKind::HttpCreateServer:
+    return ApiFamily::Emitter;
+  case ApiKind::FsReadFile:
+  case ApiKind::FsWriteFile:
+  case ApiKind::NetConnect:
+  case ApiKind::NetListen:
+  case ApiKind::HttpRequest:
+  case ApiKind::DbQuery:
+    return ApiFamily::Io;
+  default:
+    return ApiFamily::Other;
+  }
+}
+
+void ApiUsageCounter::onFunctionEnter(const instr::FunctionEnterEvent &E) {
+  const DispatchInfo &D = E.Dispatch;
+  // Count executions of *registered* callbacks (emitter listeners run
+  // nested under emit; everything else runs top-level).
+  if (D.Sched == 0)
+    return;
+  ++Counts[static_cast<int>(classifyApi(D.Api))];
+}

@@ -1,0 +1,91 @@
+//===- ApiUsageCounter.h - per-API callback execution counter ---*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counts asynchronous callback executions per API family. This is the
+/// measurement behind Fig. 6(b): "the average number of callback
+/// executions per client request for the most used asynchronous APIs:
+/// process.nextTick, emitter, and promise".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_BASELINES_APIUSAGECOUNTER_H
+#define ASYNCG_BASELINES_APIUSAGECOUNTER_H
+
+#include "instr/Hooks.h"
+
+#include <cstdint>
+
+namespace asyncg {
+namespace baselines {
+
+/// API families reported by Fig. 6(b) (plus the remaining families for
+/// completeness).
+enum class ApiFamily {
+  NextTick,
+  Emitter,
+  Promise,
+  Timer,
+  Immediate,
+  Io,
+  Other,
+};
+
+inline const char *apiFamilyName(ApiFamily F) {
+  switch (F) {
+  case ApiFamily::NextTick:
+    return "nextTick";
+  case ApiFamily::Emitter:
+    return "emitter";
+  case ApiFamily::Promise:
+    return "promise";
+  case ApiFamily::Timer:
+    return "timer";
+  case ApiFamily::Immediate:
+    return "immediate";
+  case ApiFamily::Io:
+    return "io";
+  case ApiFamily::Other:
+    return "other";
+  }
+  return "?";
+}
+
+/// Classifies the API a callback execution was registered with.
+ApiFamily classifyApi(jsrt::ApiKind K);
+
+/// The counting analysis: cheap, allocation-free per event.
+class ApiUsageCounter : public instr::AnalysisBase {
+public:
+  const char *analysisName() const override { return "api-usage-counter"; }
+
+  void onFunctionEnter(const instr::FunctionEnterEvent &E) override;
+
+  /// Callback executions observed for \p F.
+  uint64_t executions(ApiFamily F) const {
+    return Counts[static_cast<int>(F)];
+  }
+
+  uint64_t totalExecutions() const {
+    uint64_t T = 0;
+    for (uint64_t C : Counts)
+      T += C;
+    return T;
+  }
+
+  void reset() {
+    for (uint64_t &C : Counts)
+      C = 0;
+  }
+
+private:
+  uint64_t Counts[7] = {};
+};
+
+} // namespace baselines
+} // namespace asyncg
+
+#endif // ASYNCG_BASELINES_APIUSAGECOUNTER_H

@@ -1,0 +1,68 @@
+//===- EmitterOnlyAnalyzer.cpp - Radar-like emitter baseline ------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/EmitterOnlyAnalyzer.h"
+
+using namespace asyncg;
+using namespace asyncg::baselines;
+using namespace asyncg::jsrt;
+
+void EmitterOnlyAnalyzer::warn(ag::BugCategory Cat, SourceLocation Loc,
+                               std::string Message) {
+  if (!Dedup.insert({static_cast<int>(Cat), Loc.str() + Message}).second)
+    return;
+  ag::Warning W;
+  W.Category = Cat;
+  W.Loc = std::move(Loc);
+  W.Message = std::move(Message);
+  Warnings.push_back(std::move(W));
+}
+
+void EmitterOnlyAnalyzer::onApiCall(const instr::ApiCallEvent &E) {
+  switch (E.Api) {
+  case ApiKind::EmitterOn:
+  case ApiKind::EmitterOnce:
+  case ApiKind::EmitterPrepend:
+  case ApiKind::NetCreateServer:
+  case ApiKind::HttpCreateServer: {
+    ListenerInfo &L = Listeners[E.Sched];
+    L.Loc = E.Loc;
+    L.Event = E.EventName;
+    L.Internal = E.Internal || E.Loc.isInternal();
+    return;
+  }
+  case ApiKind::EmitterEmit:
+    if (!E.TriggerHadEffect && !E.Internal && !E.Loc.isInternal())
+      warn(ag::BugCategory::DeadEmit, E.Loc,
+           "event '" + E.EventName + "' emitted without listeners");
+    return;
+  case ApiKind::EmitterRemoveListener:
+    // Without callback-identity modelling, Radar-style analyses cannot
+    // tell a failing removal apart (over-approximated away): no warning.
+    return;
+  default:
+    return;
+  }
+}
+
+void EmitterOnlyAnalyzer::onFunctionEnter(
+    const instr::FunctionEnterEvent &E) {
+  if (E.Dispatch.Sched == 0)
+    return;
+  auto It = Listeners.find(E.Dispatch.Sched);
+  if (It != Listeners.end())
+    It->second.Executed = true;
+}
+
+void EmitterOnlyAnalyzer::onLoopEnd(const instr::LoopEndEvent &E) {
+  (void)E;
+  for (const auto &[Sched, L] : Listeners) {
+    (void)Sched;
+    if (!L.Executed && !L.Removed && !L.Internal)
+      warn(ag::BugCategory::DeadListener, L.Loc,
+           "listener for '" + L.Event + "' never executed");
+  }
+}

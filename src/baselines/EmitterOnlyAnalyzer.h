@@ -1,0 +1,66 @@
+//===- EmitterOnlyAnalyzer.h - Radar-like emitter baseline ------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A baseline analysis modelled on Radar [10]: it reasons about emitters
+/// (dead emits, dead listeners) without any event-loop model and without
+/// promise support. Used by the Table-II coverage comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_BASELINES_EMITTERONLYANALYZER_H
+#define ASYNCG_BASELINES_EMITTERONLYANALYZER_H
+
+#include "ag/Warning.h"
+#include "instr/Hooks.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace baselines {
+
+/// The emitter-only baseline.
+class EmitterOnlyAnalyzer : public instr::AnalysisBase {
+public:
+  const char *analysisName() const override { return "emitter-only"; }
+
+  void onApiCall(const instr::ApiCallEvent &E) override;
+  void onFunctionEnter(const instr::FunctionEnterEvent &E) override;
+  void onLoopEnd(const instr::LoopEndEvent &E) override;
+
+  const std::vector<ag::Warning> &warnings() const { return Warnings; }
+
+  std::set<ag::BugCategory> detectedCategories() const {
+    std::set<ag::BugCategory> S;
+    for (const ag::Warning &W : Warnings)
+      S.insert(W.Category);
+    return S;
+  }
+
+private:
+  struct ListenerInfo {
+    SourceLocation Loc;
+    std::string Event;
+    bool Executed = false;
+    bool Removed = false;
+    bool Internal = false;
+  };
+
+  void warn(ag::BugCategory Cat, SourceLocation Loc, std::string Message);
+
+  /// Keyed by registration id.
+  std::map<jsrt::ScheduleId, ListenerInfo> Listeners;
+  std::vector<ag::Warning> Warnings;
+  std::set<std::pair<int, std::string>> Dedup;
+};
+
+} // namespace baselines
+} // namespace asyncg
+
+#endif // ASYNCG_BASELINES_EMITTERONLYANALYZER_H

@@ -1,0 +1,105 @@
+//===- PromiseOnlyAnalyzer.cpp - PromiseKeeper-like baseline ------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/PromiseOnlyAnalyzer.h"
+
+using namespace asyncg;
+using namespace asyncg::baselines;
+using namespace asyncg::jsrt;
+
+void PromiseOnlyAnalyzer::warn(ag::BugCategory Cat, SourceLocation Loc,
+                               std::string Message) {
+  if (!Dedup.insert({static_cast<int>(Cat), Loc.str() + Message}).second)
+    return;
+  ag::Warning W;
+  W.Category = Cat;
+  W.Loc = std::move(Loc);
+  W.Message = std::move(Message);
+  Warnings.push_back(std::move(W));
+}
+
+void PromiseOnlyAnalyzer::onObjectCreate(const instr::ObjectCreateEvent &E) {
+  if (!E.IsPromise)
+    return;
+  PromiseInfo &P = Promises[E.Obj];
+  P.Loc = E.Loc;
+  P.Internal = E.Internal;
+  P.Parent = E.Parent;
+}
+
+void PromiseOnlyAnalyzer::onApiCall(const instr::ApiCallEvent &E) {
+  switch (E.Api) {
+  case ApiKind::PromiseResolve:
+  case ApiKind::PromiseReject: {
+    PromiseInfo &P = Promises[E.BoundObj];
+    if (!E.TriggerHadEffect) {
+      if (!E.Internal)
+        warn(ag::BugCategory::DoubleSettle, E.Loc,
+             "resolve/reject on an already-settled promise");
+      return;
+    }
+    P.Settled = true;
+    return;
+  }
+  case ApiKind::PromiseThen:
+  case ApiKind::PromiseCatch:
+  case ApiKind::PromiseFinally:
+  case ApiKind::Await: {
+    PromiseInfo &P = Promises[E.BoundObj];
+    P.Reacted = true;
+    if (E.HasRejectHandler)
+      P.RejectHandled = true;
+    if (E.DerivedObj != 0) {
+      Promises[E.DerivedObj].Parent = E.BoundObj;
+      if (E.Api == ApiKind::PromiseThen)
+        P.DerivedThen.push_back(E.DerivedObj);
+      if (E.HasRejectHandler)
+        Promises[E.DerivedObj].DerivedWithReject = true;
+      else if (E.Api == ApiKind::PromiseCatch)
+        Promises[E.DerivedObj].DerivedWithReject = true;
+    }
+    return;
+  }
+  case ApiKind::Internal:
+    // Internal adoption/combinator reactions: the promise is consumed.
+    if (E.BoundObj != 0 && Promises.count(E.BoundObj)) {
+      Promises[E.BoundObj].Reacted = true;
+      Promises[E.BoundObj].RejectHandled = true;
+    }
+    return;
+  default:
+    return;
+  }
+}
+
+void PromiseOnlyAnalyzer::onReactionResult(
+    const instr::ReactionResultEvent &E) {
+  Promises[E.Derived].ReturnedUndefined = E.ReturnedUndefined;
+}
+
+void PromiseOnlyAnalyzer::onLoopEnd(const instr::LoopEndEvent &E) {
+  (void)E;
+  for (const auto &[Id, P] : Promises) {
+    (void)Id;
+    if (P.Internal)
+      continue;
+    bool IsRoot = P.Parent == 0;
+    bool IsLeaf = P.DerivedThen.empty();
+
+    if (!P.Settled && IsRoot)
+      warn(ag::BugCategory::DeadPromise, P.Loc,
+           "promise never resolved or rejected");
+    if (P.Settled && IsRoot && !P.Reacted)
+      warn(ag::BugCategory::MissingReaction, P.Loc,
+           "settled promise without any reaction");
+    if (!IsRoot && IsLeaf && !P.RejectHandled && !P.DerivedWithReject)
+      warn(ag::BugCategory::MissingExceptionalReaction, P.Loc,
+           "promise chain without a reject reaction");
+    if (P.ReturnedUndefined && !P.DerivedThen.empty())
+      warn(ag::BugCategory::MissingReturnInThen, P.Loc,
+           "reaction returned undefined but the chain continues");
+  }
+}

@@ -1,0 +1,70 @@
+//===- PromiseOnlyAnalyzer.h - PromiseKeeper-like baseline ------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A baseline analysis modelled on PromiseKeeper [26] / promise graphs
+/// [15]: it tracks promises only — no event loop model, no emitters —
+/// and detects the promise-bug categories. Used by the Table-II coverage
+/// comparison to show which bugs a promise-only tool can and cannot find.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_BASELINES_PROMISEONLYANALYZER_H
+#define ASYNCG_BASELINES_PROMISEONLYANALYZER_H
+
+#include "ag/Warning.h"
+#include "instr/Hooks.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace asyncg {
+namespace baselines {
+
+/// The promise-only baseline.
+class PromiseOnlyAnalyzer : public instr::AnalysisBase {
+public:
+  const char *analysisName() const override { return "promise-only"; }
+
+  void onApiCall(const instr::ApiCallEvent &E) override;
+  void onObjectCreate(const instr::ObjectCreateEvent &E) override;
+  void onReactionResult(const instr::ReactionResultEvent &E) override;
+  void onLoopEnd(const instr::LoopEndEvent &E) override;
+
+  const std::vector<ag::Warning> &warnings() const { return Warnings; }
+
+  std::set<ag::BugCategory> detectedCategories() const {
+    std::set<ag::BugCategory> S;
+    for (const ag::Warning &W : Warnings)
+      S.insert(W.Category);
+    return S;
+  }
+
+private:
+  struct PromiseInfo {
+    SourceLocation Loc;
+    bool Internal = false;
+    bool Settled = false;
+    bool Reacted = false;
+    bool RejectHandled = false;
+    bool DerivedWithReject = false;
+    bool ReturnedUndefined = false;
+    std::vector<jsrt::ObjectId> DerivedThen;
+    jsrt::ObjectId Parent = 0;
+  };
+
+  void warn(ag::BugCategory Cat, SourceLocation Loc, std::string Message);
+
+  std::map<jsrt::ObjectId, PromiseInfo> Promises;
+  std::vector<ag::Warning> Warnings;
+  std::set<std::pair<int, std::string>> Dedup;
+};
+
+} // namespace baselines
+} // namespace asyncg
+
+#endif // ASYNCG_BASELINES_PROMISEONLYANALYZER_H

@@ -1,0 +1,94 @@
+//===- Case.h - Table-I bug case infrastructure -----------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Infrastructure for the paper's evaluation case study (§VII-A, Table I):
+/// each real-world bug (StackOverflow question / GitHub issue) is
+/// re-implemented as a small jsrt program, in a buggy and (where the paper
+/// gives one) a fixed variant. The case runner executes a variant under a
+/// configurable analysis and reports which bug categories were detected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_CASES_CASE_H
+#define ASYNCG_CASES_CASE_H
+
+#include "ag/Builder.h"
+#include "ag/Warning.h"
+#include "detect/Detectors.h"
+#include "jsrt/Runtime.h"
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace cases {
+
+/// One Table-I case.
+struct CaseDef {
+  /// Bug identifier as in Table I ("SO-33330277", "GH-npm-12754").
+  std::string Name;
+  /// One-line description of the programmer's mistake.
+  std::string Description;
+  /// The category Table I assigns.
+  ag::BugCategory Expected;
+  /// True when a fixed variant exists.
+  bool HasFix = true;
+  /// Runtime configuration (e.g. a tick budget for starving programs).
+  jsrt::RuntimeConfig Config;
+  /// Builds and runs the program (calls RT.main). \p Fixed selects the
+  /// fixed variant.
+  std::function<void(jsrt::Runtime &RT, bool Fixed)> Run;
+  /// Optional post-run analysis for the §VI-B manual patterns (AG queries);
+  /// runs after the loop with the built graph.
+  std::function<void(jsrt::Runtime &RT, ag::AsyncGraph &G)> PostAnalysis;
+};
+
+/// Result of one case execution.
+struct CaseResult {
+  std::string Name;
+  ag::BugCategory Expected;
+  bool Fixed = false;
+  /// Categories of all warnings reported.
+  std::set<ag::BugCategory> Detected;
+  /// All warnings, for reports.
+  std::vector<ag::Warning> Warnings;
+  /// Whether the expected category was reported.
+  bool ExpectedDetected = false;
+  uint64_t Ticks = 0;
+  size_t GraphNodes = 0;
+  size_t GraphEdges = 0;
+  size_t UncaughtErrors = 0;
+
+  /// For the buggy variant: detection succeeded. For the fixed variant:
+  /// the expected bug is gone.
+  bool passed() const { return Fixed ? !ExpectedDetected : ExpectedDetected; }
+};
+
+/// All Table-I cases (plus the §VII-A SO-17894000 case-study entry), in
+/// the paper's order.
+const std::vector<CaseDef> &allCases();
+
+/// Looks a case up by name; asserts it exists.
+const CaseDef &findCase(const std::string &Name);
+
+/// Runs one case variant under AsyncG with the full detector suite.
+CaseResult runCase(const CaseDef &Def, bool Fixed,
+                   ag::BuilderConfig BCfg = ag::BuilderConfig(),
+                   detect::DetectorConfig DCfg = detect::DetectorConfig());
+
+/// Runs a case under an arbitrary analysis (used by the Table-II coverage
+/// bench with the baseline analyzers). The analysis is attached before the
+/// program runs; warnings must be retrievable by the caller afterwards.
+void runCaseWith(const CaseDef &Def, bool Fixed,
+                 instr::AnalysisBase &Analysis);
+
+} // namespace cases
+} // namespace asyncg
+
+#endif // ASYNCG_CASES_CASE_H

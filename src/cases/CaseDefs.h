@@ -1,0 +1,56 @@
+//===- CaseDefs.h - factories for the individual cases ----------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal header of the cases library: one factory per Table-I bug case
+/// (the original JavaScript each case mirrors lives in src/cases/js/),
+/// plus small helpers shared by the case programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_CASES_CASEDEFS_H
+#define ASYNCG_CASES_CASEDEFS_H
+
+#include "cases/Case.h"
+
+namespace asyncg {
+namespace cases {
+
+// Scheduling bugs.
+CaseDef makeSO33330277(); ///< Fig. 1: recursive nextTick blocks the server.
+CaseDef makeSO30515037(); ///< nextTick polling loop starves its own timer.
+CaseDef makeGHnpm12754(); ///< npm progress gauge nextTick recursion.
+CaseDef makeSO28830663(); ///< mixing nextTick/setTimeout(0)/setImmediate.
+CaseDef makeSO31978347(); ///< expecting fs.readFile to run synchronously.
+
+// Emitter bugs.
+CaseDef makeSO38140113(); ///< emit in constructor before listeners exist.
+CaseDef makeSO32559324(); ///< emit before the caller can attach a listener.
+CaseDef makeSO30724625(); ///< emit on a fresh emitter instead of the bus.
+CaseDef makeSO10444077(); ///< removeListener with a look-alike function.
+CaseDef makeSO45881685(); ///< the same listener registered twice.
+CaseDef makeSO17894000(); ///< 'close' listener registered inside 'data'.
+
+// Promise bugs.
+CaseDef makeSO50996870(); ///< broken chain: missing return in a reaction.
+CaseDef makeSO43422932(); ///< missing await: the promise is never used.
+CaseDef makeGHvuex2();    ///< then-callback without return breaks the chain.
+CaseDef makeGHflock13();  ///< chain without any exception handler.
+
+// Shared helpers.
+
+/// A promise resolved with \p V after \p Ms virtual milliseconds.
+jsrt::PromiseRef delayedValue(jsrt::Runtime &RT, SourceLocation Loc,
+                              double Ms, jsrt::Value V);
+
+/// Issues \p Count sequential HTTP GET requests against \p Port from a
+/// simulated client (each response triggers the next request).
+void sendRequests(jsrt::Runtime &RT, int Port, int Count);
+
+} // namespace cases
+} // namespace asyncg
+
+#endif // ASYNCG_CASES_CASEDEFS_H

@@ -1,0 +1,59 @@
+//===- CaseRunner.cpp - executes Table-I cases under an analysis -------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cases/Case.h"
+
+#include <cassert>
+
+using namespace asyncg;
+using namespace asyncg::cases;
+using namespace asyncg::jsrt;
+
+const CaseDef &asyncg::cases::findCase(const std::string &Name) {
+  for (const CaseDef &C : allCases())
+    if (C.Name == Name)
+      return C;
+  assert(false && "unknown case name");
+  static CaseDef Dummy;
+  return Dummy;
+}
+
+CaseResult asyncg::cases::runCase(const CaseDef &Def, bool Fixed,
+                                  ag::BuilderConfig BCfg,
+                                  detect::DetectorConfig DCfg) {
+  Runtime RT(Def.Config);
+  ag::AsyncGBuilder Builder(BCfg);
+  detect::DetectorSuite Detectors(DCfg);
+  Detectors.attachTo(Builder);
+  RT.hooks().attach(&Builder);
+
+  Def.Run(RT, Fixed);
+
+  if (Def.PostAnalysis)
+    Def.PostAnalysis(RT, Builder.graph());
+
+  CaseResult R;
+  R.Name = Def.Name;
+  R.Expected = Def.Expected;
+  R.Fixed = Fixed;
+  for (const ag::Warning &W : Builder.graph().warnings()) {
+    R.Detected.insert(W.Category);
+    R.Warnings.push_back(W);
+  }
+  R.ExpectedDetected = R.Detected.count(Def.Expected) != 0;
+  R.Ticks = RT.tickCount();
+  R.GraphNodes = Builder.graph().nodeCount();
+  R.GraphEdges = Builder.graph().edges().size();
+  R.UncaughtErrors = RT.uncaughtErrors().size();
+  return R;
+}
+
+void asyncg::cases::runCaseWith(const CaseDef &Def, bool Fixed,
+                                instr::AnalysisBase &Analysis) {
+  Runtime RT(Def.Config);
+  RT.hooks().attach(&Analysis);
+  Def.Run(RT, Fixed);
+}

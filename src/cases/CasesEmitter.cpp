@@ -1,0 +1,266 @@
+//===- CasesEmitter.cpp - emitter-bug cases of Table I ------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cases/CaseDefs.h"
+
+#include "node/Net.h"
+
+#include <memory>
+
+using namespace asyncg;
+using namespace asyncg::cases;
+using namespace asyncg::jsrt;
+
+//===----------------------------------------------------------------------===//
+// SO-38140113: this.emit('e') inside a constructor fires before any
+// listener can possibly be registered.
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeSO38140113() {
+  CaseDef C;
+  C.Name = "SO-38140113";
+  C.Description = "MyEmitter emits 'e' inside its constructor; listeners "
+                  "registered after construction never see it";
+  C.Expected = ag::BugCategory::DeadEmit;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "so-38140113.js";
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 6), [F, Fixed](Runtime &R, const CallArgs &) {
+          // new MyEmitter(): constructor body.
+          EmitterRef Me = R.emitterCreate(JSLINE(F, 2), "MyEmitter");
+          if (Fixed) {
+            // Fixed variant: defer the emission one tick.
+            R.nextTick(JSLINE(F, 3),
+                       R.makeFunction("emitLater", JSLINE(F, 3),
+                                      [Me, F](Runtime &R2,
+                                              const CallArgs &) {
+                                        R2.emitterEmit(JSLINE(F, 3), Me,
+                                                       "e");
+                                        return Completion::normal();
+                                      }));
+          } else {
+            R.emitterEmit(JSLINE(F, 3), Me, "e"); // dead emit
+          }
+          // me.on('e', ...) — after the constructor returned.
+          R.emitterOn(JSLINE(F, 7), Me, "e",
+                      R.makeFunction("onE", JSLINE(F, 7),
+                                     [](Runtime &, const CallArgs &) {
+                                       return Completion::normal();
+                                     }));
+          return Completion::normal();
+        });
+    RT.main(Main);
+  };
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// SO-32559324: a helper returns an emitter but emits synchronously before
+// returning, so the caller's .on() comes too late.
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeSO32559324() {
+  CaseDef C;
+  C.Name = "SO-32559324";
+  C.Description = "doWork() emits 'done' synchronously before returning "
+                  "the emitter the caller subscribes on";
+  C.Expected = ag::BugCategory::DeadEmit;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "so-32559324.js";
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 6), [F, Fixed](Runtime &R, const CallArgs &) {
+          // function doWork() { ... }
+          EmitterRef E = R.emitterCreate(JSLINE(F, 2));
+          if (Fixed) {
+            R.setImmediate(
+                JSLINE(F, 3),
+                R.makeFunction("emitDone", JSLINE(F, 3),
+                               [E, F](Runtime &R2, const CallArgs &) {
+                                 R2.emitterEmit(JSLINE(F, 3), E, "done",
+                                                {Value::number(42)});
+                                 return Completion::normal();
+                               }));
+          } else {
+            R.emitterEmit(JSLINE(F, 3), E, "done", {Value::number(42)});
+          }
+          // doWork().on('done', ...)
+          R.emitterOn(JSLINE(F, 6), E, "done",
+                      R.makeFunction("onDone", JSLINE(F, 6),
+                                     [](Runtime &, const CallArgs &) {
+                                       return Completion::normal();
+                                     }));
+          return Completion::normal();
+        });
+    RT.main(Main);
+  };
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// SO-30724625: emitting on a freshly constructed emitter instead of the
+// shared bus holding the listeners.
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeSO30724625() {
+  CaseDef C;
+  C.Name = "SO-30724625";
+  C.Description = "a second EventEmitter instance is constructed by "
+                  "mistake; emits go to the instance without listeners";
+  C.Expected = ag::BugCategory::DeadEmit;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "so-30724625.js";
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 1), [F, Fixed](Runtime &R, const CallArgs &) {
+          EmitterRef Bus = R.emitterCreate(JSLINE(F, 1), "Bus");
+          R.emitterOn(JSLINE(F, 2), Bus, "msg",
+                      R.makeFunction("onMsg", JSLINE(F, 2),
+                                     [](Runtime &, const CallArgs &) {
+                                       return Completion::normal();
+                                     }));
+          EmitterRef Other = R.emitterCreate(JSLINE(F, 3), "Bus");
+          R.emitterEmit(JSLINE(F, 4), Fixed ? Bus : Other, "msg",
+                        {Value::str("hi")});
+          return Completion::normal();
+        });
+    RT.main(Main);
+  };
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// SO-10444077: removeListener with a fresh function object that merely
+// looks like the registered listener.
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeSO10444077() {
+  CaseDef C;
+  C.Name = "SO-10444077";
+  C.Description = "removeListener is passed a new function object that "
+                  "looks identical; nothing is removed";
+  C.Expected = ag::BugCategory::InvalidListenerRemoval;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "so-10444077.js";
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 1), [F, Fixed](Runtime &R, const CallArgs &) {
+          EmitterRef E = R.emitterCreate(JSLINE(F, 1));
+          auto Body = [](Runtime &, const CallArgs &) {
+            return Completion::normal();
+          };
+          Function Handler = R.makeFunction("handler", JSLINE(F, 2), Body);
+          R.emitterOn(JSLINE(F, 2), E, "evt", Handler);
+          R.emitterEmit(JSLINE(F, 3), E, "evt");
+          if (Fixed) {
+            R.emitterRemoveListener(JSLINE(F, 4), E, "evt", Handler);
+          } else {
+            // A different function object with the same source shape.
+            Function LookAlike =
+                R.makeFunction("handler", JSLINE(F, 4), Body);
+            R.emitterRemoveListener(JSLINE(F, 4), E, "evt", LookAlike);
+          }
+          return Completion::normal();
+        });
+    RT.main(Main);
+  };
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// SO-45881685: the same function registered twice for the same event.
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeSO45881685() {
+  CaseDef C;
+  C.Name = "SO-45881685";
+  C.Description = "a setup function runs twice and registers the same "
+                  "listener twice; every emit fires it twice";
+  C.Expected = ag::BugCategory::DuplicateListener;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "so-45881685.js";
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 1), [F, Fixed](Runtime &R, const CallArgs &) {
+          EmitterRef Socket = R.emitterCreate(JSLINE(F, 1), "Socket");
+          Function OnData = R.makeFunction("onData", JSLINE(F, 2),
+                                           [](Runtime &, const CallArgs &) {
+                                             return Completion::normal();
+                                           });
+          // setup(socket) called twice.
+          R.emitterOn(JSLINE(F, 2), Socket, "data", OnData);
+          if (!Fixed)
+            R.emitterOn(JSLINE(F, 2), Socket, "data", OnData);
+          R.emitterEmit(JSLINE(F, 5), Socket, "data",
+                        {Value::str("chunk")});
+          return Completion::normal();
+        });
+    RT.main(Main);
+  };
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// SO-17894000: the 'close' listener is registered inside the 'data'
+// listener; a connection closing before any data loses it (§VII-A).
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeSO17894000() {
+  CaseDef C;
+  C.Name = "SO-17894000";
+  C.Description = "'close' listener registered within the 'data' listener "
+                  "of the same socket (lost if the peer closes first)";
+  C.Expected = ag::BugCategory::AddListenerWithinListener;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "so-17894000.js";
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 1), [F, Fixed](Runtime &R, const CallArgs &) {
+          Function OnConnection = R.makeFunction(
+              "onConnection", JSLINE(F, 1),
+              [F, Fixed](Runtime &R2, const CallArgs &A) {
+                auto Sock = node::Socket::from(A.arg(0));
+                Function OnClose = R2.makeFunction(
+                    "onClose", JSLINE(F, 3),
+                    [](Runtime &, const CallArgs &) {
+                      return Completion::normal();
+                    });
+                Function OnData = R2.makeFunction(
+                    "onData", JSLINE(F, 2),
+                    [F, Sock, OnClose, Fixed](Runtime &R3,
+                                              const CallArgs &) {
+                      if (!Fixed)
+                        R3.emitterOn(JSLINE(F, 3), Sock->emitter(), "close",
+                                     OnClose);
+                      return Completion::normal();
+                    });
+                R2.emitterOn(JSLINE(F, 2), Sock->emitter(), "data", OnData);
+                if (Fixed)
+                  R2.emitterOn(JSLINE(F, 5), Sock->emitter(), "close",
+                               OnClose);
+                return Completion::normal();
+              });
+          auto Server = node::createServer(R, JSLINE(F, 1), OnConnection);
+          Server->listen(JSLINE(F, 7), 9000);
+
+          // A client connects, sends one chunk, and disconnects.
+          node::connect(R, SourceLocation::internal(), 9000,
+                        R.makeBuiltin("(client)", [](Runtime &R2,
+                                                     const CallArgs &A) {
+                          auto Client = node::Socket::from(A.arg(0));
+                          Client->write("ping");
+                          R2.setTimeout(
+                              SourceLocation::internal(),
+                              R2.makeBuiltin("(client close)",
+                                             [Client](Runtime &,
+                                                      const CallArgs &) {
+                                               Client->destroy();
+                                               return Completion::normal();
+                                             }),
+                              5);
+                          return Completion::normal();
+                        }));
+          return Completion::normal();
+        });
+    RT.main(Main);
+  };
+  return C;
+}

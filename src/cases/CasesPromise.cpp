@@ -1,0 +1,202 @@
+//===- CasesPromise.cpp - promise-bug cases of Table I -------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cases/CaseDefs.h"
+
+#include "detect/AgQueries.h"
+#include "jsrt/AsyncAwait.h"
+
+#include <memory>
+
+using namespace asyncg;
+using namespace asyncg::cases;
+using namespace asyncg::jsrt;
+
+//===----------------------------------------------------------------------===//
+// SO-50996870: a database promise chain broken by a reaction that starts
+// the next query without returning its promise.
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeSO50996870() {
+  CaseDef C;
+  C.Name = "SO-50996870";
+  C.Description = "a then-callback starts the next db query but does not "
+                  "return its promise; the following then sees undefined";
+  C.Expected = ag::BugCategory::BrokenPromiseChain;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "so-50996870.js";
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 1), [F, Fixed](Runtime &R, const CallArgs &) {
+          // db.get('users') ...
+          PromiseRef Users =
+              delayedValue(R, JSLINE(F, 1), 5, Value::str("users-rows"));
+          Function Step = R.makeFunction(
+              "loadPosts", JSLINE(F, 2),
+              [F, Fixed](Runtime &R2, const CallArgs &) {
+                PromiseRef Posts = delayedValue(R2, JSLINE(F, 2), 5,
+                                                Value::str("posts-rows"));
+                if (Fixed)
+                  return Completion::normal(Value::promise(Posts));
+                // Missing return: the promise is dropped.
+                return Completion::normal();
+              });
+          PromiseRef AfterUsers = R.promiseThen(JSLINE(F, 2), Users, Step);
+          Function UsePosts = R.makeFunction(
+              "usePosts", JSLINE(F, 3), [](Runtime &, const CallArgs &A) {
+                // posts is undefined in the buggy variant.
+                (void)A;
+                return Completion::normal();
+              });
+          PromiseRef Tail =
+              R.promiseThen(JSLINE(F, 3), AfterUsers, UsePosts);
+          R.promiseCatch(JSLINE(F, 4), Tail,
+                         R.makeFunction("onErr", JSLINE(F, 4),
+                                        [](Runtime &, const CallArgs &) {
+                                          return Completion::normal();
+                                        }));
+          return Completion::normal();
+        });
+    RT.main(Main);
+  };
+  C.PostAnalysis = [](Runtime &, ag::AsyncGraph &G) {
+    detect::reportBrokenPromiseChains(G);
+  };
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// SO-43422932: forgetting `await` — the async function's promise is used
+// as if it were the value, and nothing ever reacts to it.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+JsAsync fetchJson(Runtime &RT, AsyncOrigin) {
+  const char *F = "so-43422932.js";
+  Value Json = co_await Await(
+      delayedValue(RT, JSLINE(F, 2), 10, Value::str("{\"ok\":true}")));
+  co_return Json;
+}
+
+JsAsync soMain(Runtime &RT, AsyncOrigin, bool Fixed) {
+  const char *F = "so-43422932.js";
+  JsAsync DataP = fetchJson(RT, AsyncOrigin{"fetchJson", JSLINE(F, 1)});
+  if (Fixed) {
+    Value Data = co_await Await(DataP.promise(), JSLINE(F, 6));
+    (void)Data;
+    co_return Value::undefined();
+  }
+  // Missing await: `data` is the promise object itself.
+  Value Data = DataP.toValue();
+  (void)Data.isPromise(); // "[object Promise]" used by mistake.
+  co_return Value::undefined();
+}
+
+} // namespace
+
+CaseDef asyncg::cases::makeSO43422932() {
+  CaseDef C;
+  C.Name = "SO-43422932";
+  C.Description = "missing await on an async function call; the returned "
+                  "promise is never resolved into a value by anyone";
+  C.Expected = ag::BugCategory::MissingReaction;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "so-43422932.js";
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 5), [F, Fixed](Runtime &R, const CallArgs &) {
+          JsAsync M = soMain(R, AsyncOrigin{"soMain", JSLINE(F, 5)}, Fixed);
+          // The driver awaits soMain itself (as node does for top-level).
+          R.promiseThen(SourceLocation::internal(), M.promise(),
+                        R.makeBuiltin("(done)",
+                                      [](Runtime &, const CallArgs &) {
+                                        return Completion::normal();
+                                      }));
+          return Completion::normal();
+        });
+    RT.main(Main);
+  };
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// GH-vuex-2: a then-callback performs the commit but returns nothing, so
+// the chained then receives undefined.
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeGHvuex2() {
+  CaseDef C;
+  C.Name = "GH-vuex-2";
+  C.Description = "an action's then-callback forgets to return the "
+                  "computed value; downstream reactions get undefined";
+  C.Expected = ag::BugCategory::MissingReturnInThen;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "gh-vuex-2.js";
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 1), [F, Fixed](Runtime &R, const CallArgs &) {
+          PromiseRef Loaded =
+              delayedValue(R, JSLINE(F, 1), 5, Value::number(7));
+          Function Commit = R.makeFunction(
+              "commitResult", JSLINE(F, 2),
+              [Fixed](Runtime &, const CallArgs &A) {
+                Value V = A.arg(0);
+                if (Fixed)
+                  return Completion::normal(V);
+                return Completion::normal(); // missing return
+              });
+          PromiseRef Action = R.promiseThen(JSLINE(F, 2), Loaded, Commit);
+          PromiseRef Used = R.promiseThen(
+              JSLINE(F, 4), Action,
+              R.makeFunction("useResult", JSLINE(F, 4),
+                             [](Runtime &, const CallArgs &) {
+                               return Completion::normal();
+                             }));
+          R.promiseCatch(JSLINE(F, 5), Used,
+                         R.makeFunction("onErr", JSLINE(F, 5),
+                                        [](Runtime &, const CallArgs &) {
+                                          return Completion::normal();
+                                        }));
+          return Completion::normal();
+        });
+    RT.main(Main);
+  };
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// GH-flock-13: a migration promise chain with no exception handler
+// anywhere; a rejection would be silently dropped.
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeGHflock13() {
+  CaseDef C;
+  C.Name = "GH-flock-13";
+  C.Description = "migrate().then(...) without any catch: the chain does "
+                  "not end with a reject reaction";
+  C.Expected = ag::BugCategory::MissingExceptionalReaction;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "gh-flock-13.js";
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 1), [F, Fixed](Runtime &R, const CallArgs &) {
+          PromiseRef Migrated =
+              delayedValue(R, JSLINE(F, 1), 5, Value::str("migrated"));
+          PromiseRef Tail = R.promiseThen(
+              JSLINE(F, 2), Migrated,
+              R.makeFunction("logDone", JSLINE(F, 2),
+                             [](Runtime &, const CallArgs &A) {
+                               return Completion::normal(A.arg(0));
+                             }));
+          if (Fixed)
+            R.promiseCatch(JSLINE(F, 3), Tail,
+                           R.makeFunction("onErr", JSLINE(F, 3),
+                                          [](Runtime &, const CallArgs &) {
+                                            return Completion::normal();
+                                          }));
+          return Completion::normal();
+        });
+    RT.main(Main);
+  };
+  return C;
+}

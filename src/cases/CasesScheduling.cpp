@@ -1,0 +1,275 @@
+//===- CasesScheduling.cpp - scheduling-bug cases of Table I -----------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling-bug entries of Table I, re-implemented against jsrt with
+/// the line numbers of the snippets the paper (or the referenced
+/// StackOverflow question) shows.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cases/CaseDefs.h"
+
+#include "detect/AgQueries.h"
+#include "node/Fs.h"
+#include "node/Http.h"
+
+#include <memory>
+
+using namespace asyncg;
+using namespace asyncg::cases;
+using namespace asyncg::jsrt;
+
+PromiseRef asyncg::cases::delayedValue(Runtime &RT, SourceLocation Loc,
+                                       double Ms, Value V) {
+  PromiseRef P = RT.promiseBare(Loc, "delay");
+  RT.setTimeout(Loc,
+                RT.makeBuiltin("(delay resolve)",
+                               [P, V](Runtime &R, const CallArgs &) {
+                                 R.resolvePromiseInternal(P, V);
+                                 return Completion::normal();
+                               }),
+                Ms);
+  return P;
+}
+
+void asyncg::cases::sendRequests(Runtime &RT, int Port, int Count) {
+  if (Count <= 0)
+    return;
+  Runtime *R = &RT;
+  Function OnResponse = RT.makeBuiltin(
+      "(client response)", [R, Port, Count](Runtime &, const CallArgs &) {
+        sendRequests(*R, Port, Count - 1);
+        return Completion::normal();
+      });
+  node::http::RequestOptions Opts;
+  Opts.Port = Port;
+  Opts.Path = "/";
+  node::http::request(RT, SourceLocation::internal(), Opts, OnResponse);
+}
+
+//===----------------------------------------------------------------------===//
+// SO-33330277: the Fig. 1 bug — recursive nextTick starves the HTTP server.
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeSO33330277() {
+  CaseDef C;
+  C.Name = "SO-33330277";
+  C.Description = "recursive process.nextTick blocks the event loop; an "
+                  "HTTP server never serves any request (paper Fig. 1)";
+  C.Expected = ag::BugCategory::RecursiveMicrotask;
+  C.Config.MaxTicks = 300;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "so-33330277.js";
+    Function Compute = RT.makeFunction("compute", JSLINE(F, 2), nullptr);
+    Compute.ref()->Body = [Compute, F, Fixed](Runtime &R, const CallArgs &) {
+      // performSomeComputation();
+      if (Fixed)
+        R.setImmediate(JSLINE(F, 5), Compute);
+      else
+        R.nextTick(JSLINE(F, 5), Compute);
+      return Completion::normal();
+    };
+
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 1), [Compute, F](Runtime &R, const CallArgs &) {
+          Function Handler = R.makeFunction(
+              "requestHandler", JSLINE(F, 7),
+              [](Runtime &, const CallArgs &A) {
+                auto Res = node::http::ServerResponse::from(A.arg(1));
+                Res->end("Hello World!");
+                return Completion::normal();
+              });
+          auto Server = node::http::HttpServer::create(R, JSLINE(F, 7),
+                                                       Handler);
+          Server->listen(JSLINE(F, 9), 5000);
+          Completion Result = R.call(Compute); // L10: compute();
+          // The paper evaluates this "tested with a client sending new
+          // requests".
+          sendRequests(R, 5000, 3);
+          return Result;
+        });
+    RT.main(Main);
+  };
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// SO-30515037: a nextTick polling loop waits on a flag set by a timer that
+// can never fire.
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeSO30515037() {
+  CaseDef C;
+  C.Name = "SO-30515037";
+  C.Description = "busy-wait with process.nextTick on a flag set by "
+                  "setTimeout; the timers phase is starved forever";
+  C.Expected = ag::BugCategory::RecursiveMicrotask;
+  C.Config.MaxTicks = 200;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "so-30515037.js";
+    auto Done = std::make_shared<bool>(false);
+
+    Function Poll = RT.makeFunction("poll", JSLINE(F, 3), nullptr);
+    Poll.ref()->Body = [Poll, Done, F, Fixed](Runtime &R, const CallArgs &) {
+      if (!*Done) {
+        if (Fixed)
+          R.setImmediate(JSLINE(F, 4), Poll);
+        else
+          R.nextTick(JSLINE(F, 4), Poll);
+      }
+      return Completion::normal();
+    };
+
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 1), [Poll, Done, F](Runtime &R, const CallArgs &) {
+          R.setTimeout(JSLINE(F, 2),
+                       R.makeFunction("setDone", JSLINE(F, 2),
+                                      [Done](Runtime &, const CallArgs &) {
+                                        *Done = true;
+                                        return Completion::normal();
+                                      }),
+                       10);
+          return R.call(Poll);
+        });
+    RT.main(Main);
+  };
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// GH-npm-12754: npm's progress gauge pulsed via recursive nextTick,
+// starving the actual install I/O.
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeGHnpm12754() {
+  CaseDef C;
+  C.Name = "GH-npm-12754";
+  C.Description = "npm progress gauge re-schedules itself with nextTick "
+                  "and starves the install's file I/O";
+  C.Expected = ag::BugCategory::RecursiveMicrotask;
+  C.Config.MaxTicks = 200;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "gh-npm-12754.js";
+    Function Pulse = RT.makeFunction("pulse", JSLINE(F, 1), nullptr);
+    Pulse.ref()->Body = [Pulse, F, Fixed](Runtime &R, const CallArgs &) {
+      // drawProgress();
+      if (Fixed)
+        R.setImmediate(JSLINE(F, 3), Pulse);
+      else
+        R.nextTick(JSLINE(F, 3), Pulse);
+      return Completion::normal();
+    };
+
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 1), [Pulse, F](Runtime &R, const CallArgs &) {
+          R.fileSystem().putFile("package.json", "{\"name\":\"app\"}");
+          node::Fs Fs(R);
+          Fs.readFile(JSLINE(F, 6), "package.json",
+                      R.makeFunction("onManifest", JSLINE(F, 6),
+                                     [](Runtime &, const CallArgs &) {
+                                       return Completion::normal();
+                                     }));
+          return R.call(Pulse);
+        });
+    RT.main(Main);
+  };
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// SO-28830663: nextTick vs setTimeout(0) vs setImmediate in one tick.
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeSO28830663() {
+  CaseDef C;
+  C.Name = "SO-28830663";
+  C.Description = "deferring related steps with nextTick, setTimeout(0) "
+                  "and setImmediate in the same tick; they run in phase "
+                  "order, not registration order";
+  C.Expected = ag::BugCategory::MixedSimilarApis;
+  C.Run = [](Runtime &RT, bool Fixed) {
+    const char *F = "so-28830663.js";
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 1), [F, Fixed](Runtime &R, const CallArgs &) {
+          auto Step = [&R, F](const char *Name, uint32_t Line) {
+            return R.makeFunction(Name, JSLINE(F, Line),
+                                  [](Runtime &, const CallArgs &) {
+                                    return Completion::normal();
+                                  });
+          };
+          if (Fixed) {
+            // Fixed: one consistent deferral mechanism.
+            R.setImmediate(JSLINE(F, 2), Step("step1", 2));
+            R.setImmediate(JSLINE(F, 3), Step("step2", 3));
+            R.setImmediate(JSLINE(F, 4), Step("step3", 4));
+          } else {
+            R.nextTick(JSLINE(F, 2), Step("step1", 2));
+            R.setTimeout(JSLINE(F, 3), Step("step2", 3), 0);
+            R.setImmediate(JSLINE(F, 4), Step("step3", 4));
+          }
+          return Completion::normal();
+        });
+    RT.main(Main);
+  };
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// SO-31978347: reading a variable right after fs.readFile registers the
+// callback that would set it (§VI-B.1, manual AG pattern).
+//===----------------------------------------------------------------------===//
+
+CaseDef asyncg::cases::makeSO31978347() {
+  CaseDef C;
+  C.Name = "SO-31978347";
+  C.Description = "expects fs.readFile's callback to have run by the next "
+                  "line; the value is read before the I/O tick";
+  C.Expected = ag::BugCategory::ExpectSyncCallback;
+
+  struct State {
+    ScheduleId ReadSched = 0;
+    bool Fixed = false;
+    bool SawUndefinedRead = false;
+  };
+  auto S = std::make_shared<State>();
+
+  C.Run = [S](Runtime &RT, bool Fixed) {
+    S->Fixed = Fixed;
+    const char *F = "so-31978347.js";
+    auto Content = std::make_shared<Value>();
+
+    Function Main = RT.makeFunction(
+        "main", JSLINE(F, 1), [S, Content, F, Fixed](Runtime &R,
+                                                     const CallArgs &) {
+          R.fileSystem().putFile("file.txt", "hello");
+          node::Fs Fs(R);
+          Function OnRead = R.makeFunction(
+              "onRead", JSLINE(F, 2),
+              [S, Content, Fixed](Runtime &, const CallArgs &A) {
+                *Content = A.arg(1);
+                if (Fixed) {
+                  // Fixed: consume the data inside the callback.
+                  (void)Content->asString();
+                }
+                return Completion::normal();
+              });
+          S->ReadSched = Fs.readFile(JSLINE(F, 2), "file.txt", OnRead);
+          if (!Fixed) {
+            // console.log(content) — still undefined here.
+            S->SawUndefinedRead = Content->isUndefined();
+          }
+          return Completion::normal();
+        });
+    RT.main(Main);
+  };
+  C.PostAnalysis = [S](Runtime &, ag::AsyncGraph &G) {
+    // §VI-B: the developer inspects the suspect registration in the AG.
+    if (!S->Fixed)
+      detect::reportExpectSyncCallback(G, S->ReadSched);
+  };
+  return C;
+}

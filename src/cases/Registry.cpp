@@ -1,0 +1,34 @@
+//===- Registry.cpp - Table-I case registry ------------------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cases/CaseDefs.h"
+
+using namespace asyncg;
+using namespace asyncg::cases;
+
+const std::vector<CaseDef> &asyncg::cases::allCases() {
+  static const std::vector<CaseDef> Cases = [] {
+    // Table I order, plus the SO-17894000 case-study entry of §VII-A.
+    std::vector<CaseDef> V;
+    V.push_back(makeSO38140113());
+    V.push_back(makeSO32559324());
+    V.push_back(makeSO33330277());
+    V.push_back(makeSO30515037());
+    V.push_back(makeSO50996870());
+    V.push_back(makeSO28830663());
+    V.push_back(makeSO30724625());
+    V.push_back(makeSO43422932());
+    V.push_back(makeSO10444077());
+    V.push_back(makeSO45881685());
+    V.push_back(makeSO31978347());
+    V.push_back(makeGHvuex2());
+    V.push_back(makeGHflock13());
+    V.push_back(makeGHnpm12754());
+    V.push_back(makeSO17894000());
+    return V;
+  }();
+  return Cases;
+}

@@ -1,0 +1,5 @@
+// GH-flock-13: a migration chain with no exception handler anywhere; a
+// rejection is silently dropped.
+migrate()
+  .then(() => console.log('done'));
+  // FIX: .catch(err => { console.error(err); process.exit(1); });

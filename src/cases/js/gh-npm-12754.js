@@ -1,0 +1,8 @@
+// GH-npm-12754: npm's progress gauge pulsed itself with nextTick,
+// starving the install's file I/O.
+function pulse() {
+  drawProgress();
+  process.nextTick(pulse);   // BUG; fixed upstream with setImmediate
+}
+pulse();
+fs.readFile('package.json', (err, data) => { /* never reached */ });

@@ -1,0 +1,7 @@
+// GH-vuex-2: the then-callback forgets to return the computed value, so
+// downstream reactions receive undefined.
+loadData()
+  .then(v => { commit(v); })      // BUG: missing return
+  // FIX:    { commit(v); return v; }
+  .then(v => useResult(v))        // v === undefined
+  .catch(err => handle(err));

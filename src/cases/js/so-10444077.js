@@ -1,0 +1,6 @@
+// SO-10444077: removeListener with a function that merely *looks* the
+// same; removal is by identity.
+const e = new EventEmitter();
+e.on('evt', function handler() { /* ... */ });
+e.removeListener('evt', function handler() { /* ... */ });  // BUG: no-op
+// FIX: keep the reference and remove exactly it.

@@ -1,0 +1,8 @@
+// SO-17894000: the 'close' listener is registered inside the 'data'
+// listener — lost whenever the connection closes before any data.
+net.createServer(socket => {
+  socket.on('data', d => {
+    socket.on('close', () => { /* BUG: registered too late */ });
+  });
+  // FIX: register the 'close' listener here, next to 'data'.
+}).listen(9000);

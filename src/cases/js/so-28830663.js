@@ -1,0 +1,6 @@
+// SO-28830663: nextTick vs setTimeout(0) vs setImmediate in one tick —
+// they run in phase order, not registration order.
+process.nextTick(() => log('step1'));
+setTimeout(() => log('step2'), 0);
+setImmediate(() => log('step3'));
+// prints: step1, step3?, step2? — depends on phases, not source order

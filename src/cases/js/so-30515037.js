@@ -1,0 +1,9 @@
+// SO-30515037: busy-waiting on a flag with nextTick starves the timer
+// that would set the flag.
+let done = false;
+setTimeout(() => { done = true; }, 10);
+function poll() {
+  if (!done) process.nextTick(poll);   // BUG
+  // FIX: if (!done) setImmediate(poll);
+}
+poll();

@@ -1,0 +1,7 @@
+// SO-30724625: emitting on a freshly constructed emitter instead of the
+// shared bus that holds the listeners.
+const bus = new EventEmitter();
+bus.on('msg', handler);
+const other = new EventEmitter();   // BUG: second instance by mistake
+other.emit('msg', 'hi');            // dead emit
+// FIX: bus.emit('msg', 'hi');

@@ -1,0 +1,4 @@
+// SO-31978347: expecting fs.readFile's callback to have run already.
+let content;
+fs.readFile('file.txt', (err, data) => { content = data; });
+console.log(content);   // BUG: undefined — the callback runs ticks later

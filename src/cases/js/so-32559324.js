@@ -1,0 +1,9 @@
+// SO-32559324: the helper emits before returning the emitter the caller
+// subscribes on.
+function doWork() {
+  const e = new EventEmitter();
+  e.emit('done', 42);                           // BUG: dead emit
+  // FIX: setImmediate(() => e.emit('done', 42));
+  return e;
+}
+doWork().on('done', v => console.log(v));

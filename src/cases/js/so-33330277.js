@@ -1,0 +1,11 @@
+// SO-33330277 (paper Fig. 1): recursive nextTick blocks the event loop.
+const http = require('http');
+function compute() {
+  performSomeComputation();
+  process.nextTick(compute);      // BUG: starves every other phase
+  // FIX: setImmediate(compute);  // immediates let I/O interleave
+}
+http.createServer((request, response) => {
+  response.end('Hello World!');
+}).listen(5000);
+compute();

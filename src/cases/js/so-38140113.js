@@ -1,0 +1,11 @@
+// SO-38140113: emitting inside the constructor — before any listener
+// can possibly be registered.
+class MyEmitter extends EventEmitter {
+  constructor() {
+    super();
+    this.emit('e');                             // BUG: dead emit
+    // FIX: process.nextTick(() => this.emit('e'));
+  }
+}
+const me = new MyEmitter();
+me.on('e', () => console.log('got e'));         // dead listener

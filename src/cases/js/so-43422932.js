@@ -1,0 +1,8 @@
+// SO-43422932: missing await — `data` is the promise object itself, and
+// nothing ever resolves it into a value.
+async function fetchJson() { await delay(10); return {...}; }
+async function main() {
+  const data = fetchJson();   // BUG: missing await
+  // FIX: const data = await fetchJson();
+  use(data);                  // "[object Promise]"
+}

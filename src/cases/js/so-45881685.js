@@ -1,0 +1,5 @@
+// SO-45881685: running setup twice registers the same listener twice;
+// every emit then fires it twice.
+function setup(socket) { socket.on('data', onData); }
+setup(socket);
+setup(socket);   // BUG: duplicate listener

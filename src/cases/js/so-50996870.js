@@ -1,0 +1,7 @@
+// SO-50996870: broken promise chain — the reaction starts the next query
+// but does not return its promise, so the next then sees undefined.
+db.get('users')
+  .then(users => { processUsers(users); db.get('posts'); })  // BUG
+  // FIX:        { processUsers(users); return db.get('posts'); }
+  .then(posts => usePosts(posts))   // posts === undefined
+  .catch(err => console.error(err));

@@ -1,0 +1,144 @@
+//===- AgQueries.cpp - AG queries for manual bug patterns --------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/AgQueries.h"
+
+#include "support/Format.h"
+
+using namespace asyncg;
+using namespace asyncg::detect;
+using namespace asyncg::ag;
+using namespace asyncg::jsrt;
+
+int asyncg::detect::ticksUntilExecution(const AsyncGraph &G,
+                                        ScheduleId Sched) {
+  NodeId Cr = G.registrationNode(Sched);
+  if (Cr == InvalidNode)
+    return -1;
+  std::vector<NodeId> Execs = G.executionsOf(Sched);
+  if (Execs.empty())
+    return -1;
+  uint32_t First = G.node(Execs.front()).Tick;
+  for (NodeId E : Execs)
+    First = std::min(First, G.node(E).Tick);
+  return static_cast<int>(First) - static_cast<int>(G.node(Cr).Tick);
+}
+
+bool asyncg::detect::reportExpectSyncCallback(AsyncGraph &G,
+                                              ScheduleId Sched) {
+  NodeId Cr = G.registrationNode(Sched);
+  if (Cr == InvalidNode)
+    return false;
+  int Gap = ticksUntilExecution(G, Sched);
+  if (Gap == 0)
+    return false;
+  const AgNode &Reg = G.node(Cr);
+  Warning W;
+  W.Category = BugCategory::ExpectSyncCallback;
+  W.Node = Cr;
+  W.Loc = Reg.Loc;
+  W.Tick = Reg.Tick;
+  W.Message =
+      Gap < 0
+          ? strFormat("callback registered via %s never executed; code "
+                      "after the registration cannot observe its effects",
+                      apiKindName(Reg.Api))
+          : strFormat("callback registered via %s executes %d tick(s) "
+                      "later; code following the registration runs first "
+                      "and cannot observe its effects",
+                      apiKindName(Reg.Api), Gap);
+  return G.addWarning(std::move(W));
+}
+
+std::vector<NodeId>
+asyncg::detect::findDroppedChainPromises(const AsyncGraph &G) {
+  std::vector<NodeId> Out;
+  for (const AgNode &N : G.nodes()) {
+    if (N.Kind != NodeKind::OB || !N.IsPromise || N.Internal)
+      continue;
+    // Created during a reaction body?
+    bool InReaction = false;
+    for (uint32_t E : G.inEdges(N.Id)) {
+      const AgEdge &Edge = G.edge(E);
+      if (Edge.Kind != EdgeKind::HappensIn)
+        continue;
+      const AgNode &From = G.node(Edge.From);
+      if (From.Kind == NodeKind::CE &&
+          (From.Api == ApiKind::PromiseThen ||
+           From.Api == ApiKind::PromiseCatch ||
+           From.Api == ApiKind::PromiseFinally)) {
+        InReaction = true;
+        break;
+      }
+    }
+    if (!InReaction)
+      continue;
+    // Linked into the chain (returned from the reaction)?
+    bool Linked = false;
+    for (uint32_t E : G.outEdges(N.Id)) {
+      const AgEdge &Edge = G.edge(E);
+      if (Edge.Kind == EdgeKind::Relation && Edge.Label == "link") {
+        Linked = true;
+        break;
+      }
+    }
+    if (Linked)
+      continue;
+    // Reacted to directly (then/catch/await attached)?
+    bool Reacted = false;
+    for (uint32_t E : G.outEdges(N.Id)) {
+      const AgEdge &Edge = G.edge(E);
+      if (Edge.Kind != EdgeKind::Relation)
+        continue;
+      const AgNode &To = G.node(Edge.To);
+      if (To.Kind == NodeKind::CR || (To.Kind == NodeKind::OB && To.IsPromise)) {
+        Reacted = true;
+        break;
+      }
+    }
+    if (!Reacted)
+      Out.push_back(N.Id);
+  }
+  return Out;
+}
+
+unsigned asyncg::detect::reportBrokenPromiseChains(AsyncGraph &G) {
+  unsigned Added = 0;
+
+  for (NodeId N : findDroppedChainPromises(G)) {
+    const AgNode &Ob = G.node(N);
+    Warning W;
+    W.Category = BugCategory::BrokenPromiseChain;
+    W.Node = N;
+    W.Loc = Ob.Loc;
+    W.Tick = Ob.Tick;
+    W.Message = "promise created inside a reaction but neither returned "
+                "nor reacted to: it is detached from the chain";
+    if (G.addWarning(std::move(W)))
+      ++Added;
+  }
+
+  // Missing-return breaks: the chain continues past a reaction that
+  // returned undefined (SO-50996870).
+  for (const AgNode &N : G.nodes()) {
+    if (N.Kind != NodeKind::OB || !N.IsPromise || N.Internal)
+      continue;
+    if (!N.ReactionReturnedUndefined ||
+        G.derivedPromises(N.Id, "then").empty())
+      continue;
+    Warning W;
+    W.Category = BugCategory::BrokenPromiseChain;
+    W.Node = N.Id;
+    W.Loc = N.Loc;
+    W.Tick = N.Tick;
+    W.Message = "chain broken: the reaction resolving this promise "
+                "returned undefined, so downstream reactions receive "
+                "undefined instead of the intended value";
+    if (G.addWarning(std::move(W)))
+      ++Added;
+  }
+  return Added;
+}

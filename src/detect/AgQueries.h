@@ -1,0 +1,49 @@
+//===- AgQueries.h - AG queries for manual bug patterns ---------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §VI-B: some patterns are not necessarily bugs and need application
+/// knowledge; AsyncG supports them with queries over the built graph. The
+/// case runner uses these for the Expect-Sync-Callback and
+/// Broken-Promise-Chain Table-I entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_DETECT_AGQUERIES_H
+#define ASYNCG_DETECT_AGQUERIES_H
+
+#include "ag/Graph.h"
+
+#include <vector>
+
+namespace asyncg {
+namespace detect {
+
+/// §VI-B.1: expecting callbacks to run synchronously. For a registration,
+/// returns how many ticks later its first execution happened (-1 when it
+/// never executed). A caller that reads callback results in the
+/// registration tick is broken whenever this is nonzero.
+int ticksUntilExecution(const ag::AsyncGraph &G, jsrt::ScheduleId Sched);
+
+/// Reports an Expect-Sync-Callback warning for \p Sched if its callback
+/// did not (or could not) run in the registration tick. Returns true if a
+/// warning was added.
+bool reportExpectSyncCallback(ag::AsyncGraph &G, jsrt::ScheduleId Sched);
+
+/// §VI-B.2: broken promise chains / unnecessary promises — candidates are
+/// promises created during a then/catch reaction body but neither returned
+/// (no "link" edge) nor reacted to. Returns the OB nodes.
+std::vector<ag::NodeId> findDroppedChainPromises(const ag::AsyncGraph &G);
+
+/// Reports BrokenPromiseChain warnings for all dropped-chain candidates
+/// and for reactions whose missing return broke the chain (the
+/// SO-50996870 shape). Returns the number of warnings added.
+unsigned reportBrokenPromiseChains(ag::AsyncGraph &G);
+
+} // namespace detect
+} // namespace asyncg
+
+#endif // ASYNCG_DETECT_AGQUERIES_H

@@ -1,0 +1,257 @@
+//===- Detectors.h - Automatic bug detectors over the AG --------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The automatic bug detectors of §VI-A, implemented as graph observers
+/// that analyze the Async Graph online (as it is built) plus an end-of-run
+/// pass for liveness properties (dead listeners, dead promises, missing
+/// reactions, missing exception handlers, missing returns).
+///
+/// Scheduling bugs:   RecursiveMicrotask, MixedSimilarApis,
+///                    TimeoutExecutionOrder.
+/// Emitter bugs:      DeadListener, DeadEmit, InvalidListenerRemoval,
+///                    DuplicateListener, AddListenerWithinListener.
+/// Promise bugs:      DeadPromise, MissingReaction,
+///                    MissingExceptionalReaction, MissingReturnInThen,
+///                    DoubleSettle.
+///
+/// Use DetectorSuite to attach all of them at once:
+/// \code
+///   ag::AsyncGBuilder Builder;
+///   detect::DetectorSuite Detectors;
+///   Detectors.attachTo(Builder);
+///   RT.hooks().attach(&Builder);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_DETECT_DETECTORS_H
+#define ASYNCG_DETECT_DETECTORS_H
+
+#include "ag/Builder.h"
+#include "ag/Graph.h"
+#include "ag/Observer.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+namespace asyncg {
+namespace detect {
+
+/// Detector tunables.
+struct DetectorConfig {
+  /// Warn on recursive micro-task scheduling from the Nth consecutive
+  /// micro-tick self-registration on (1 warns on the first recursion, as
+  /// the paper's Fig. 3(a) does starting at t2).
+  unsigned RecursiveMicrotaskThreshold = 1;
+  /// setTimeout delays at or below this (ms) count as "setTimeout(0)" for
+  /// the Mixing-Similar-APIs family.
+  double ZeroTimeoutMs = 1.0;
+  /// Live listeners for one (emitter, event) beyond this trigger the
+  /// Listener-Leak warning (Node's MaxListenersExceededWarning default).
+  unsigned MaxListeners = 10;
+};
+
+/// Base class for detectors: carries the config and a warning helper.
+class DetectorBase : public ag::GraphObserver {
+public:
+  explicit DetectorBase(const DetectorConfig &Config) : Config(Config) {}
+
+protected:
+  /// Adds a warning anchored at \p Node.
+  void warn(ag::AsyncGBuilder &B, ag::BugCategory Cat, ag::NodeId Node,
+            std::string Message);
+
+  /// Adds a node-less warning (e.g. invalid listener removal call sites).
+  void warnAt(ag::AsyncGBuilder &B, ag::BugCategory Cat, SourceLocation Loc,
+              std::string Message);
+
+  const DetectorConfig &Config;
+};
+
+//===----------------------------------------------------------------------===//
+// Scheduling-bug detectors (§VI-A.1)
+//===----------------------------------------------------------------------===//
+
+/// §VI-A.1a: recursive micro-tasks starve every other queue (Fig. 1).
+class RecursiveMicrotaskDetector : public DetectorBase {
+public:
+  using DetectorBase::DetectorBase;
+  const char *observerName() const override { return "recursive-microtask"; }
+  void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
+
+private:
+  std::map<jsrt::FunctionId, unsigned> Streak;
+};
+
+/// §VI-A.1b: mixing nextTick / setTimeout(0) / setImmediate in one tick.
+class MixedSimilarApisDetector : public DetectorBase {
+public:
+  using DetectorBase::DetectorBase;
+  const char *observerName() const override { return "mixed-similar-apis"; }
+  void onTickStart(ag::AsyncGBuilder &B, const ag::AgTick &T) override;
+  void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
+
+private:
+  /// Deferral families seen in the current tick -> first CR node.
+  std::map<int, ag::NodeId> SeenFamilies;
+};
+
+/// §VI-A.1c: a same-tick setTimeout with a larger delay executed before a
+/// sibling with a smaller delay.
+class TimeoutOrderDetector : public DetectorBase {
+public:
+  using DetectorBase::DetectorBase;
+  const char *observerName() const override { return "timeout-order"; }
+  void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
+
+private:
+  /// setTimeout CR nodes grouped by registration tick.
+  std::map<uint32_t, std::vector<ag::NodeId>> ByTick;
+};
+
+//===----------------------------------------------------------------------===//
+// Emitter-bug detectors (§VI-A.2)
+//===----------------------------------------------------------------------===//
+
+/// §VI-A.2a: listeners that never executed (end-of-run).
+class DeadListenerDetector : public DetectorBase {
+public:
+  using DetectorBase::DetectorBase;
+  const char *observerName() const override { return "dead-listener"; }
+  void onEnd(ag::AsyncGBuilder &B) override;
+};
+
+/// §VI-A.2b: emits with no registered listener (online).
+class DeadEmitDetector : public DetectorBase {
+public:
+  using DetectorBase::DetectorBase;
+  const char *observerName() const override { return "dead-emit"; }
+  void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
+};
+
+/// §VI-A.2c: removeListener with a function that was never registered.
+class InvalidRemovalDetector : public DetectorBase {
+public:
+  using DetectorBase::DetectorBase;
+  const char *observerName() const override { return "invalid-removal"; }
+  void onApiEvent(ag::AsyncGBuilder &B,
+                  const instr::ApiCallEvent &E) override;
+};
+
+/// §VI-A.2d: the same function registered twice for the same event.
+class DuplicateListenerDetector : public DetectorBase {
+public:
+  using DetectorBase::DetectorBase;
+  const char *observerName() const override { return "duplicate-listener"; }
+  void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
+  void onApiEvent(ag::AsyncGBuilder &B,
+                  const instr::ApiCallEvent &E) override;
+
+private:
+  using Key = std::tuple<jsrt::ObjectId, std::string, jsrt::FunctionId>;
+  std::map<Key, unsigned> Live;
+};
+
+/// Extra (beyond the paper, Node's MaxListenersExceededWarning): more than
+/// MaxListeners live listeners for one (emitter, event) — usually a
+/// subscription leak (a listener added per request and never removed).
+class ListenerLeakDetector : public DetectorBase {
+public:
+  using DetectorBase::DetectorBase;
+  const char *observerName() const override { return "listener-leak"; }
+  void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
+  void onApiEvent(ag::AsyncGBuilder &B,
+                  const instr::ApiCallEvent &E) override;
+
+private:
+  using Key = std::pair<jsrt::ObjectId, std::string>;
+  std::map<Key, unsigned> Live;
+};
+
+/// §VI-A.2e: a listener registered during another listener of the same
+/// emitter (can be lost if the outer listener never runs, SO-17894000).
+class AddListenerWithinListenerDetector : public DetectorBase {
+public:
+  using DetectorBase::DetectorBase;
+  const char *observerName() const override {
+    return "add-listener-within-listener";
+  }
+  void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
+};
+
+//===----------------------------------------------------------------------===//
+// Promise-bug detectors (§VI-A.3)
+//===----------------------------------------------------------------------===//
+
+/// Shared promise bookkeeping: which promises settled / gained reactions.
+/// §VI-A.3a (DeadPromise), 3b (MissingReaction), 3c
+/// (MissingExceptionalReaction), 3d (MissingReturn), 3e (DoubleSettle).
+class PromiseDetector : public DetectorBase {
+public:
+  using DetectorBase::DetectorBase;
+  const char *observerName() const override { return "promise-bugs"; }
+  void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
+  void onEnd(ag::AsyncGBuilder &B) override;
+
+private:
+  std::set<jsrt::ObjectId> Settled;
+  std::set<jsrt::ObjectId> Reacted;
+  std::set<jsrt::ObjectId> RejectHandled;
+};
+
+//===----------------------------------------------------------------------===//
+// The full suite
+//===----------------------------------------------------------------------===//
+
+/// Owns one instance of every detector and forwards observer callbacks.
+/// Individual detectors can be disabled before attaching.
+class DetectorSuite : public ag::GraphObserver {
+  /// Declared before the detectors: they hold references into it.
+  DetectorConfig Config;
+
+public:
+  explicit DetectorSuite(DetectorConfig Config = DetectorConfig());
+
+  const char *observerName() const override { return "detectors"; }
+
+  /// Registers the suite with \p B.
+  void attachTo(ag::AsyncGBuilder &B) { B.addObserver(this); }
+
+  /// Disables a detector (before running).
+  void disable(ag::GraphObserver *D);
+
+  /// Enabled detectors.
+  const std::vector<ag::GraphObserver *> &detectors() const { return Active; }
+
+  RecursiveMicrotaskDetector Recursive;
+  MixedSimilarApisDetector Mixed;
+  TimeoutOrderDetector TimeoutOrder;
+  DeadListenerDetector DeadListener;
+  DeadEmitDetector DeadEmit;
+  InvalidRemovalDetector InvalidRemoval;
+  DuplicateListenerDetector Duplicate;
+  AddListenerWithinListenerDetector AddWithin;
+  ListenerLeakDetector LeakDetector;
+  PromiseDetector Promises;
+
+  void onTickStart(ag::AsyncGBuilder &B, const ag::AgTick &T) override;
+  void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
+  void onEdgeAdded(ag::AsyncGBuilder &B, const ag::AgEdge &E) override;
+  void onApiEvent(ag::AsyncGBuilder &B,
+                  const instr::ApiCallEvent &E) override;
+  void onEnd(ag::AsyncGBuilder &B) override;
+
+private:
+  std::vector<ag::GraphObserver *> Active;
+};
+
+} // namespace detect
+} // namespace asyncg
+
+#endif // ASYNCG_DETECT_DETECTORS_H

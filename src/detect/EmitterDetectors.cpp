@@ -1,0 +1,187 @@
+//===- EmitterDetectors.cpp - Emitter-bug detectors (§VI-A.2) ----------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detectors.h"
+
+#include "support/Format.h"
+
+using namespace asyncg;
+using namespace asyncg::detect;
+using namespace asyncg::ag;
+using namespace asyncg::jsrt;
+
+namespace {
+
+/// APIs that register a listener on an emitter (including the node-layer
+/// server constructors, whose callback is a listener on an internal
+/// emitter, as in the paper's Fig. 3).
+bool isListenerApi(ApiKind K) {
+  return isEmitterRegistrationApi(K) || K == ApiKind::NetCreateServer ||
+         K == ApiKind::HttpCreateServer;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Dead listeners (§VI-A.2a)
+//===----------------------------------------------------------------------===//
+
+void DeadListenerDetector::onEnd(AsyncGBuilder &B) {
+  AsyncGraph &G = B.graph();
+  G.clearWarnings({BugCategory::DeadListener});
+  for (const AgNode &N : G.nodes()) {
+    if (N.Kind != NodeKind::CR || !isListenerApi(N.Api))
+      continue;
+    if (N.ExecCount != 0 || N.Removed || N.Internal)
+      continue;
+    warn(B, BugCategory::DeadListener, N.Id,
+         strFormat("listener for event '%s' never executed (dead "
+                   "listener): the emitter never emitted it while the "
+                   "listener was registered",
+                   N.Event.c_str()));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dead emits (§VI-A.2b)
+//===----------------------------------------------------------------------===//
+
+void DeadEmitDetector::onNodeAdded(AsyncGBuilder &B, NodeId N) {
+  const AgNode &Node = B.graph().node(N);
+  if (Node.Kind != NodeKind::CT || Node.Api != ApiKind::EmitterEmit)
+    return;
+  if (Node.HadEffect || Node.Internal)
+    return;
+  warn(B, BugCategory::DeadEmit, N,
+       strFormat("event '%s' emitted with no registered listener (dead "
+                 "emit)",
+                 Node.Event.c_str()));
+}
+
+//===----------------------------------------------------------------------===//
+// Invalid listener removal (§VI-A.2c)
+//===----------------------------------------------------------------------===//
+
+void InvalidRemovalDetector::onApiEvent(AsyncGBuilder &B,
+                                        const instr::ApiCallEvent &E) {
+  if (E.Api != ApiKind::EmitterRemoveListener || E.TriggerHadEffect)
+    return;
+  std::string Fn =
+      E.Callbacks.empty() ? "<function>" : E.Callbacks.front().name();
+  warnAt(B, BugCategory::InvalidListenerRemoval, E.Loc,
+         strFormat("removeListener('%s', %s) removed nothing: the passed "
+                   "function is not a registered listener (a fresh "
+                   "function object only looks the same)",
+                   E.EventName.c_str(), Fn.c_str()));
+}
+
+//===----------------------------------------------------------------------===//
+// Duplicate listeners (§VI-A.2d)
+//===----------------------------------------------------------------------===//
+
+void DuplicateListenerDetector::onNodeAdded(AsyncGBuilder &B, NodeId N) {
+  const AgNode &Node = B.graph().node(N);
+
+  // A once-listener firing leaves the live set.
+  if (Node.Kind == NodeKind::CE && Node.Api == ApiKind::EmitterOnce) {
+    auto It = Live.find(Key{Node.Obj, Node.Event, Node.Func});
+    if (It != Live.end() && It->second > 0)
+      --It->second;
+    return;
+  }
+
+  if (Node.Kind != NodeKind::CR || !isListenerApi(Node.Api))
+    return;
+  Key K{Node.Obj, Node.Event, Node.Func};
+  unsigned &Count = Live[K];
+  if (Count >= 1 && !Node.Internal)
+    warn(B, BugCategory::DuplicateListener, N,
+         strFormat("the same function is already registered as a listener "
+                   "for event '%s' on this emitter",
+                   Node.Event.c_str()));
+  ++Count;
+}
+
+void DuplicateListenerDetector::onApiEvent(AsyncGBuilder &B,
+                                           const instr::ApiCallEvent &E) {
+  (void)B;
+  if (E.Api == ApiKind::EmitterRemoveListener && E.TriggerHadEffect &&
+      !E.Callbacks.empty()) {
+    auto It = Live.find(Key{E.BoundObj, E.EventName,
+                            E.Callbacks.front().id()});
+    if (It != Live.end() && It->second > 0)
+      --It->second;
+    return;
+  }
+  if (E.Api == ApiKind::EmitterRemoveAll) {
+    for (auto &[K, Count] : Live)
+      if (std::get<0>(K) == E.BoundObj && std::get<1>(K) == E.EventName)
+        Count = 0;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Add listener within listener (§VI-A.2e)
+//===----------------------------------------------------------------------===//
+
+void AddListenerWithinListenerDetector::onNodeAdded(AsyncGBuilder &B,
+                                                    NodeId N) {
+  const AgNode &Node = B.graph().node(N);
+  if (Node.Kind != NodeKind::CR || !isListenerApi(Node.Api) ||
+      Node.Internal || Node.Obj == 0)
+    return;
+  for (NodeId CeId : B.activeCes()) {
+    const AgNode &Ce = B.graph().node(CeId);
+    if (Ce.Kind == NodeKind::CE && isListenerApi(Ce.Api) &&
+        Ce.Obj == Node.Obj) {
+      warn(B, BugCategory::AddListenerWithinListener, N,
+           strFormat("listener for '%s' registered inside another listener "
+                     "('%s') of the same emitter: it is lost whenever the "
+                     "outer listener does not run first",
+                     Node.Event.c_str(), Ce.Event.c_str()));
+      return;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Listener leak (extra: Node's MaxListenersExceededWarning heuristic)
+//===----------------------------------------------------------------------===//
+
+void ListenerLeakDetector::onNodeAdded(AsyncGBuilder &B, NodeId N) {
+  const AgNode &Node = B.graph().node(N);
+
+  if (Node.Kind == NodeKind::CE && Node.Api == ApiKind::EmitterOnce) {
+    auto It = Live.find(Key{Node.Obj, Node.Event});
+    if (It != Live.end() && It->second > 0)
+      --It->second;
+    return;
+  }
+
+  if (Node.Kind != NodeKind::CR || !isListenerApi(Node.Api) || Node.Obj == 0)
+    return;
+  unsigned &Count = Live[Key{Node.Obj, Node.Event}];
+  ++Count;
+  if (Count == Config.MaxListeners + 1)
+    warn(B, BugCategory::ListenerLeak, N,
+         strFormat("%u listeners registered for event '%s' on one emitter "
+                   "(limit %u): possible subscription leak — are "
+                   "listeners ever removed?",
+                   Count, Node.Event.c_str(), Config.MaxListeners));
+}
+
+void ListenerLeakDetector::onApiEvent(AsyncGBuilder &B,
+                                      const instr::ApiCallEvent &E) {
+  (void)B;
+  if (E.Api == ApiKind::EmitterRemoveListener && E.TriggerHadEffect) {
+    auto It = Live.find(Key{E.BoundObj, E.EventName});
+    if (It != Live.end() && It->second > 0)
+      --It->second;
+    return;
+  }
+  if (E.Api == ApiKind::EmitterRemoveAll)
+    Live.erase(Key{E.BoundObj, E.EventName});
+}

@@ -1,0 +1,158 @@
+//===- PromiseDetectors.cpp - Promise-bug detectors (§VI-A.3) and suite ------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detectors.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace asyncg;
+using namespace asyncg::detect;
+using namespace asyncg::ag;
+using namespace asyncg::jsrt;
+
+namespace {
+
+/// APIs that attach a reaction to a promise.
+bool isReactionApi(ApiKind K) {
+  return K == ApiKind::PromiseThen || K == ApiKind::PromiseCatch ||
+         K == ApiKind::PromiseFinally || K == ApiKind::Await;
+}
+
+} // namespace
+
+void PromiseDetector::onNodeAdded(AsyncGBuilder &B, NodeId N) {
+  const AgNode &Node = B.graph().node(N);
+
+  // Settle trigger actions.
+  if (Node.Kind == NodeKind::CT && (Node.Api == ApiKind::PromiseResolve ||
+                                    Node.Api == ApiKind::PromiseReject)) {
+    if (Node.HadEffect) {
+      Settled.insert(Node.Obj);
+      return;
+    }
+    if (!Node.Internal)
+      warn(B, BugCategory::DoubleSettle, N,
+           strFormat("%s on an already-settled promise has no effect "
+                     "(double resolve or reject)",
+                     apiKindName(Node.Api)));
+    return;
+  }
+
+  // Reaction registrations (user-level and internal adoption/combinator
+  // reactions; the latter also count — a promise consumed by a combinator
+  // or adopted into a chain is handled).
+  if (Node.Kind == NodeKind::CR && Node.Obj != 0 &&
+      (isReactionApi(Node.Api) || Node.Api == ApiKind::Internal)) {
+    Reacted.insert(Node.Obj);
+    if (Node.HasRejectHandler)
+      RejectHandled.insert(Node.Obj);
+  }
+}
+
+void PromiseDetector::onEnd(AsyncGBuilder &B) {
+  AsyncGraph &G = B.graph();
+  G.clearWarnings({BugCategory::DeadPromise, BugCategory::MissingReaction,
+                   BugCategory::MissingExceptionalReaction,
+                   BugCategory::MissingReturnInThen});
+
+  // CRs indexed by the promise they derive, to check whether a chain's
+  // last reaction includes a rejection handler.
+  std::map<ObjectId, const AgNode *> DerivingCr;
+  for (const AgNode &N : G.nodes())
+    if (N.Kind == NodeKind::CR && N.DerivedObj != 0)
+      DerivingCr[N.DerivedObj] = &N;
+
+  for (const AgNode &N : G.nodes()) {
+    if (N.Kind != NodeKind::OB || !N.IsPromise || N.Internal)
+      continue;
+
+    bool IsSettled = Settled.count(N.Obj) != 0;
+    bool IsRoot = G.parentPromise(N.Id) == InvalidNode;
+    std::vector<NodeId> Derived = G.derivedPromises(N.Id);
+
+    // §VI-A.3a: never settled during this execution.
+    if (!IsSettled && IsRoot)
+      warn(B, BugCategory::DeadPromise, N.Id,
+           "promise was never resolved or rejected during this execution "
+           "(dead promise)");
+
+    // §VI-A.3b: settled but nothing ever reacted (then/catch/await/...).
+    if (IsSettled && IsRoot && !Reacted.count(N.Obj))
+      warn(B, BugCategory::MissingReaction, N.Id,
+           "promise settled but has no reaction (no then/catch/await uses "
+           "its result)");
+
+    // §VI-A.3c: the chain ending here has no rejection handler. Reported
+    // even when no exception was actually thrown (the paper checks chain
+    // structure, not executions).
+    if (Derived.empty() && !RejectHandled.count(N.Obj) && !IsRoot) {
+      auto It = DerivingCr.find(N.Obj);
+      bool EndsWithRejectReaction =
+          It != DerivingCr.end() && It->second->HasRejectHandler;
+      if (!EndsWithRejectReaction)
+        warn(B, BugCategory::MissingExceptionalReaction, N.Id,
+             "promise chain does not end with a reject reaction: an "
+             "exception anywhere in the chain would be silently dropped");
+    }
+
+    // §VI-A.3d: a reaction returned undefined but the chain continues with
+    // a value-consuming then (a trailing catch does not use the value).
+    if (N.ReactionReturnedUndefined &&
+        !G.derivedPromises(N.Id, "then").empty())
+      warn(B, BugCategory::MissingReturnInThen, N.Id,
+           "the reaction producing this promise returned undefined but "
+           "the chain continues: the next then receives undefined "
+           "(missing return)");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DetectorSuite
+//===----------------------------------------------------------------------===//
+
+DetectorSuite::DetectorSuite(DetectorConfig Config)
+    : Config(Config), Recursive(this->Config), Mixed(this->Config),
+      TimeoutOrder(this->Config), DeadListener(this->Config),
+      DeadEmit(this->Config), InvalidRemoval(this->Config),
+      Duplicate(this->Config), AddWithin(this->Config),
+      LeakDetector(this->Config), Promises(this->Config) {
+  Active = {&Recursive,      &Mixed,        &TimeoutOrder,
+            &DeadListener,   &DeadEmit,     &InvalidRemoval,
+            &Duplicate,      &AddWithin,    &LeakDetector,
+            &Promises};
+}
+
+void DetectorSuite::disable(GraphObserver *D) {
+  Active.erase(std::remove(Active.begin(), Active.end(), D), Active.end());
+}
+
+void DetectorSuite::onTickStart(AsyncGBuilder &B, const AgTick &T) {
+  for (GraphObserver *D : Active)
+    D->onTickStart(B, T);
+}
+
+void DetectorSuite::onNodeAdded(AsyncGBuilder &B, NodeId N) {
+  for (GraphObserver *D : Active)
+    D->onNodeAdded(B, N);
+}
+
+void DetectorSuite::onEdgeAdded(AsyncGBuilder &B, const AgEdge &E) {
+  for (GraphObserver *D : Active)
+    D->onEdgeAdded(B, E);
+}
+
+void DetectorSuite::onApiEvent(AsyncGBuilder &B,
+                               const instr::ApiCallEvent &E) {
+  for (GraphObserver *D : Active)
+    D->onApiEvent(B, E);
+}
+
+void DetectorSuite::onEnd(AsyncGBuilder &B) {
+  for (GraphObserver *D : Active)
+    D->onEnd(B);
+}

@@ -1,0 +1,106 @@
+//===- RaceDetector.cpp - data-flow races over the Async Graph ----------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/RaceDetector.h"
+
+#include "support/Format.h"
+
+#include <deque>
+
+using namespace asyncg;
+using namespace asyncg::detect;
+using namespace asyncg::ag;
+using namespace asyncg::jsrt;
+
+void RaceDetector::onPropertyAccess(const instr::PropertyAccessEvent &E) {
+  Access A;
+  A.Obj = E.Obj;
+  A.Key = E.Key;
+  A.IsWrite = E.IsWrite;
+  A.Loc = E.Loc;
+  A.Ce = Builder.currentCe();
+  A.Tick = Builder.currentTickIndex();
+  A.Phase = Builder.currentTickPhase();
+  Accesses.push_back(std::move(A));
+}
+
+bool RaceDetector::reaches(NodeId From, NodeId To) const {
+  if (From == InvalidNode || To == InvalidNode)
+    return false;
+  if (From == To)
+    return true;
+  const AsyncGraph &G = Builder.graph();
+  std::vector<bool> Seen(G.nodeCount(), false);
+  std::deque<NodeId> Work;
+  Work.push_back(From);
+  Seen[From] = true;
+  while (!Work.empty()) {
+    NodeId N = Work.front();
+    Work.pop_front();
+    for (uint32_t EI : G.outEdges(N)) {
+      const AgEdge &E = G.edge(EI);
+      if (E.Kind != EdgeKind::Causal && E.Kind != EdgeKind::HappensIn)
+        continue;
+      if (E.To == To)
+        return true;
+      if (!Seen[E.To]) {
+        Seen[E.To] = true;
+        Work.push_back(E.To);
+      }
+    }
+  }
+  return false;
+}
+
+void RaceDetector::onLoopEnd(const instr::LoopEndEvent &E) {
+  (void)E;
+  Warnings.clear();
+
+  for (size_t I = 0, N = Accesses.size(); I != N; ++I) {
+    const Access &A = Accesses[I];
+    if (!A.IsWrite)
+      continue;
+    for (size_t J = 0; J != N; ++J) {
+      if (J == I)
+        continue;
+      const Access &B = Accesses[J];
+      if (B.Obj != A.Obj || B.Key != A.Key)
+        continue;
+      // Same callback execution (or same tick): sequential, no race.
+      if (A.Ce == B.Ce || A.Tick == B.Tick)
+        continue;
+      // Only consider write/read and write/write pairs once (I < J for
+      // write/write symmetry).
+      if (B.IsWrite && J < I)
+        continue;
+      // Causally ordered either way: fine.
+      if (reaches(A.Ce, B.Ce) || reaches(B.Ce, A.Ce))
+        continue;
+      // Deterministic micro-task interleavings are not races.
+      if (!isExternalPhase(A.Phase) && !isExternalPhase(B.Phase))
+        continue;
+
+      std::string DedupKey = A.Loc.str() + "|" + B.Loc.str() + "|" + A.Key;
+      if (!Reported.insert(DedupKey).second)
+        continue;
+
+      Warning W;
+      W.Category = BugCategory::EventRace;
+      W.Loc = A.Loc;
+      W.Node = A.Ce;
+      W.Tick = A.Tick;
+      W.Message = strFormat(
+          "property '%s' written at %s (tick %u, %s phase) and %s at %s "
+          "(tick %u, %s phase) with no causal ordering: the outcome "
+          "depends on event arrival order",
+          A.Key.c_str(), A.Loc.str().c_str(), A.Tick,
+          phaseKindName(A.Phase), B.IsWrite ? "written" : "read",
+          B.Loc.str().c_str(), B.Tick, phaseKindName(B.Phase));
+      Warnings.push_back(W);
+      Builder.graph().addWarning(std::move(W));
+    }
+  }
+}

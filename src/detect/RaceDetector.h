@@ -1,0 +1,96 @@
+//===- RaceDetector.h - data-flow races over the Async Graph ----*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §IX ongoing-research extension: "extending AsyncG with data
+/// flow analysis to automatically detect race conditions caused by
+/// non-deterministic event ordering in Node.js".
+///
+/// The detector combines two sources:
+///  - property-access events (Runtime::getProperty/setProperty), giving
+///    the data flow;
+///  - the Async Graph, giving the causal (happens-before) structure:
+///    access A happens-before access B when A's callback execution reaches
+///    B's through causal/happens-in scheduling edges.
+///
+/// A write and another access to the same (object, property) from two
+/// different ticks with no causal path between them form a race candidate;
+/// it is reported when at least one of the two callbacks was dispatched by
+/// an externally scheduled event (I/O, timers, close) — those are the
+/// orderings the OS does not guarantee. Purely micro-task interleavings
+/// are deterministic and stay quiet (the Mixing-Similar-APIs detector
+/// covers ordering confusion there).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_DETECT_RACEDETECTOR_H
+#define ASYNCG_DETECT_RACEDETECTOR_H
+
+#include "ag/Builder.h"
+#include "instr/Hooks.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace detect {
+
+/// The race analysis. Attach to the runtime hooks *in addition to* the
+/// AsyncGBuilder it reads the causal structure from:
+/// \code
+///   ag::AsyncGBuilder Builder;
+///   detect::RaceDetector Races(Builder);
+///   RT.hooks().attach(&Builder);  // must come first (graph before races)
+///   RT.hooks().attach(&Races);
+/// \endcode
+class RaceDetector : public instr::AnalysisBase {
+public:
+  explicit RaceDetector(ag::AsyncGBuilder &Builder) : Builder(Builder) {}
+
+  const char *analysisName() const override { return "race-detector"; }
+
+  void onPropertyAccess(const instr::PropertyAccessEvent &E) override;
+  void onLoopEnd(const instr::LoopEndEvent &E) override;
+
+  /// The race warnings found at the last loop end.
+  const std::vector<ag::Warning> &warnings() const { return Warnings; }
+
+  /// Number of recorded accesses (diagnostics).
+  size_t accessCount() const { return Accesses.size(); }
+
+private:
+  struct Access {
+    uintptr_t Obj = 0;
+    std::string Key;
+    bool IsWrite = false;
+    SourceLocation Loc;
+    /// The CE the access happened in (InvalidNode outside callbacks).
+    ag::NodeId Ce = ag::InvalidNode;
+    uint32_t Tick = 0;
+    jsrt::PhaseKind Phase = jsrt::PhaseKind::Main;
+  };
+
+  /// True when a causal/happens-in path leads from \p From to \p To.
+  bool reaches(ag::NodeId From, ag::NodeId To) const;
+
+  /// True for phases whose dispatch order depends on external timing.
+  static bool isExternalPhase(jsrt::PhaseKind P) {
+    return P == jsrt::PhaseKind::Io || P == jsrt::PhaseKind::Timers ||
+           P == jsrt::PhaseKind::Close;
+  }
+
+  ag::AsyncGBuilder &Builder;
+  std::vector<Access> Accesses;
+  std::vector<ag::Warning> Warnings;
+  std::set<std::string> Reported;
+};
+
+} // namespace detect
+} // namespace asyncg
+
+#endif // ASYNCG_DETECT_RACEDETECTOR_H

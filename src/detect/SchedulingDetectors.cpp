@@ -1,0 +1,166 @@
+//===- SchedulingDetectors.cpp - Scheduling-bug detectors (§VI-A.1) ----------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detectors.h"
+
+#include "support/Format.h"
+
+using namespace asyncg;
+using namespace asyncg::detect;
+using namespace asyncg::ag;
+using namespace asyncg::jsrt;
+
+void DetectorBase::warn(AsyncGBuilder &B, BugCategory Cat, NodeId Node,
+                        std::string Message) {
+  const AgNode &N = B.graph().node(Node);
+  Warning W;
+  W.Category = Cat;
+  W.Message = std::move(Message);
+  W.Loc = N.Loc;
+  W.Node = Node;
+  W.Tick = N.Tick;
+  B.graph().addWarning(std::move(W));
+}
+
+void DetectorBase::warnAt(AsyncGBuilder &B, BugCategory Cat,
+                          SourceLocation Loc, std::string Message) {
+  Warning W;
+  W.Category = Cat;
+  W.Message = std::move(Message);
+  W.Loc = std::move(Loc);
+  W.Node = InvalidNode;
+  W.Tick = B.currentTickIndex();
+  B.graph().addWarning(std::move(W));
+}
+
+//===----------------------------------------------------------------------===//
+// Recursive micro-tasks (§VI-A.1a)
+//===----------------------------------------------------------------------===//
+
+void RecursiveMicrotaskDetector::onNodeAdded(AsyncGBuilder &B, NodeId N) {
+  const AgNode &Node = B.graph().node(N);
+  if (Node.Kind != NodeKind::CR)
+    return;
+  if (Node.Api != ApiKind::NextTick && Node.Api != ApiKind::PromiseThen)
+    return;
+  if (!isMicrotaskPhase(B.currentTickPhase()))
+    return;
+  NodeId Ce = B.currentCe();
+  if (Ce == InvalidNode)
+    return;
+  const AgNode &Exec = B.graph().node(Ce);
+  if (Exec.Func == 0 || Exec.Func != Node.Func)
+    return;
+  unsigned Count = ++Streak[Node.Func];
+  if (Count < Config.RecursiveMicrotaskThreshold)
+    return;
+  warn(B, BugCategory::RecursiveMicrotask, N,
+       strFormat("recursive %s re-schedules the running callback; the "
+                 "micro-task queue starves all other phases",
+                 apiKindName(Node.Api)));
+}
+
+//===----------------------------------------------------------------------===//
+// Mixing similar APIs (§VI-A.1b)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The deferral family of a registration, or -1.
+int deferralFamily(const AgNode &N, double ZeroTimeoutMs) {
+  switch (N.Api) {
+  case ApiKind::NextTick:
+    return 0;
+  case ApiKind::SetTimeout:
+    return N.TimeoutMs <= ZeroTimeoutMs ? 1 : -1;
+  case ApiKind::SetImmediate:
+    return 2;
+  default:
+    return -1;
+  }
+}
+
+const char *familyName(int F) {
+  switch (F) {
+  case 0:
+    return "process.nextTick";
+  case 1:
+    return "setTimeout(0)";
+  case 2:
+    return "setImmediate";
+  }
+  return "?";
+}
+
+} // namespace
+
+void MixedSimilarApisDetector::onTickStart(AsyncGBuilder &B,
+                                           const AgTick &T) {
+  (void)B;
+  (void)T;
+  SeenFamilies.clear();
+}
+
+void MixedSimilarApisDetector::onNodeAdded(AsyncGBuilder &B, NodeId N) {
+  const AgNode &Node = B.graph().node(N);
+  if (Node.Kind != NodeKind::CR || Node.Internal)
+    return;
+  int F = deferralFamily(Node, Config.ZeroTimeoutMs);
+  if (F < 0)
+    return;
+  for (const auto &[Other, FirstCr] : SeenFamilies) {
+    if (Other == F)
+      continue;
+    warn(B, BugCategory::MixedSimilarApis, N,
+         strFormat("%s mixed with %s in the same tick: their callbacks "
+                   "execute in different event-loop phases, not in "
+                   "registration order",
+                   familyName(F), familyName(Other)));
+    warn(B, BugCategory::MixedSimilarApis, FirstCr,
+         strFormat("%s mixed with %s in the same tick", familyName(Other),
+                   familyName(F)));
+    break;
+  }
+  SeenFamilies.emplace(F, N);
+}
+
+//===----------------------------------------------------------------------===//
+// Unexpected timeout execution order (§VI-A.1c)
+//===----------------------------------------------------------------------===//
+
+void TimeoutOrderDetector::onNodeAdded(AsyncGBuilder &B, NodeId N) {
+  const AgNode &Node = B.graph().node(N);
+
+  if (Node.Kind == NodeKind::CR && Node.Api == ApiKind::SetTimeout &&
+      !Node.Internal) {
+    ByTick[Node.Tick].push_back(N);
+    return;
+  }
+
+  if (Node.Kind != NodeKind::CE || Node.Api != ApiKind::SetTimeout)
+    return;
+  NodeId Cr = B.graph().registrationNode(Node.Sched);
+  if (Cr == InvalidNode)
+    return;
+  const AgNode &Reg = B.graph().node(Cr);
+  auto It = ByTick.find(Reg.Tick);
+  if (It == ByTick.end())
+    return;
+  for (NodeId Sibling : It->second) {
+    if (Sibling == Cr)
+      continue;
+    const AgNode &S = B.graph().node(Sibling);
+    if (S.TimeoutMs < Reg.TimeoutMs && S.ExecCount == 0 && !S.Removed) {
+      warn(B, BugCategory::TimeoutExecutionOrder, N,
+           strFormat("setTimeout(%s ms) executed before the same-tick "
+                     "setTimeout(%s ms): expired timers run in "
+                     "registration order, not timeout order",
+                     formatNumber(Reg.TimeoutMs).c_str(),
+                     formatNumber(S.TimeoutMs).c_str()));
+      return;
+    }
+  }
+}

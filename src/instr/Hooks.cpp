@@ -1,0 +1,13 @@
+//===- Hooks.cpp - Instrumentation hook interface ---------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instr/Hooks.h"
+
+using namespace asyncg;
+using namespace asyncg::instr;
+
+// Out-of-line virtual method anchor.
+AnalysisBase::~AnalysisBase() = default;

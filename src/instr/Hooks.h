@@ -1,0 +1,236 @@
+//===- Hooks.h - Instrumentation hook interface -----------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation framework standing in for NodeProf (§V-A): the jsrt
+/// runtime fires events at every function invocation, asynchronous API
+/// call, object creation, promise settlement, and loop lifecycle point.
+/// Analyses subclass AnalysisBase and attach to the registry; they can be
+/// attached and detached at runtime ("AsyncG is pluggable, and can be
+/// enabled/disabled at runtime"), and with no analyses attached every hook
+/// site reduces to a single empty() check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_INSTR_HOOKS_H
+#define ASYNCG_INSTR_HOOKS_H
+
+#include "jsrt/ApiKind.h"
+#include "jsrt/Completion.h"
+#include "jsrt/Dispatch.h"
+#include "jsrt/Function.h"
+#include "jsrt/Ids.h"
+#include "jsrt/PhaseKind.h"
+#include "jsrt/Value.h"
+#include "support/SourceLocation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace instr {
+
+/// Fired before a function body runs (Algorithm 1/3's functionEnter).
+struct FunctionEnterEvent {
+  const jsrt::Function &F;
+  const jsrt::CallArgs &Args;
+  const jsrt::DispatchInfo &Dispatch;
+};
+
+/// Fired after a function body runs (Algorithm 1's functionExit).
+struct FunctionExitEvent {
+  const jsrt::Function &F;
+  const jsrt::Completion &Result;
+  const jsrt::DispatchInfo &Dispatch;
+};
+
+/// Fired at every asynchronous API call: registrations (CR nodes) and
+/// trigger actions (CT nodes). This carries the information Algorithm 2's
+/// per-API templates extract: which callbacks, the target phase, whether
+/// the callback runs once, and the bound emitter/promise object.
+struct ApiCallEvent {
+  jsrt::ApiKind Api = jsrt::ApiKind::None;
+  /// Call-site location.
+  SourceLocation Loc;
+  /// Registration id (CR identity); 0 for pure trigger actions.
+  jsrt::ScheduleId Sched = 0;
+  /// The callbacks registered by this call.
+  std::vector<jsrt::Function> Callbacks;
+  /// The phase the callbacks will be scheduled in.
+  jsrt::PhaseKind TargetPhase = jsrt::PhaseKind::Main;
+  /// True if the callback is scheduled exactly once (setImmediate) rather
+  /// than possibly many times (emitter.on, setInterval).
+  bool Once = true;
+  /// Emitter/promise object the call is bound to; 0 when none.
+  jsrt::ObjectId BoundObj = 0;
+  /// Derived promise created by this call (then/catch/combinators).
+  jsrt::ObjectId DerivedObj = 0;
+  /// Input promises for combinators.
+  std::vector<jsrt::ObjectId> InputObjs;
+  /// Emitter event name.
+  std::string EventName;
+  /// Timer delay in milliseconds (timers only).
+  double TimeoutMs = 0;
+  /// True if this registration includes a rejection handler (then with two
+  /// arguments, catch, await).
+  bool HasRejectHandler = false;
+  /// Trigger action id (CT identity); 0 for registrations.
+  jsrt::TriggerId Trigger = 0;
+  /// For triggers: true iff the action did something (emit had listeners /
+  /// settle changed state). A false value on emit is a dead emit; a false
+  /// value on resolve/reject is a double settle.
+  bool TriggerHadEffect = false;
+  /// True when the call originates from internal library machinery rather
+  /// than application code.
+  bool Internal = false;
+};
+
+/// Fired when a promise or emitter object is created (OB nodes).
+struct ObjectCreateEvent {
+  jsrt::ObjectId Obj = 0;
+  bool IsPromise = false;
+  /// Debug name ("EventEmitter", "Promise", "http.Server", ...).
+  std::string Name;
+  SourceLocation Loc;
+  bool Internal = false;
+  /// For promises derived from another promise: the parent and the API
+  /// that derived it (then/catch/all/...), driving the dashed relation
+  /// edges between OB nodes.
+  jsrt::ObjectId Parent = 0;
+  jsrt::ApiKind Relation = jsrt::ApiKind::None;
+};
+
+/// Fired when a then-reaction returns and its result resolves the derived
+/// promise. Feeds the Missing-Return and Broken-Promise-Chain analyses.
+struct ReactionResultEvent {
+  jsrt::ObjectId Source = 0;
+  jsrt::ObjectId Derived = 0;
+  jsrt::ScheduleId Sched = 0;
+  bool ReturnedUndefined = false;
+  bool Threw = false;
+};
+
+/// Fired when a then-reaction returns a promise that gets adopted into the
+/// chain (the paper's "link" relation edge).
+struct PromiseLinkEvent {
+  /// The promise returned by the reaction callback.
+  jsrt::ObjectId Returned = 0;
+  /// The derived promise that adopts it.
+  jsrt::ObjectId Derived = 0;
+};
+
+/// Fired on tracked property reads/writes (Runtime::getProperty /
+/// setProperty). Feeds the data-flow race analysis (the paper's §IX
+/// ongoing-research extension).
+struct PropertyAccessEvent {
+  /// Identity of the accessed object.
+  uintptr_t Obj = 0;
+  std::string Key;
+  bool IsWrite = false;
+  SourceLocation Loc;
+};
+
+/// Fired when a Throw completion escapes a top-level dispatch.
+struct UncaughtErrorEvent {
+  const jsrt::Value &Error;
+  SourceLocation Loc;
+  uint64_t TickSeq = 0;
+};
+
+/// Fired when the event loop finishes (normally, by stop(), or by
+/// exhausting the tick budget — the latter indicates starvation, e.g. the
+/// recursive-nextTick bug of Fig. 1).
+struct LoopEndEvent {
+  uint64_t Ticks = 0;
+  bool TickBudgetExhausted = false;
+};
+
+/// Base class for dynamic analyses (AsyncG, the baselines, counters).
+/// All hooks default to no-ops; override what you need.
+class AnalysisBase {
+public:
+  virtual ~AnalysisBase();
+
+  /// Short analysis name for reports.
+  virtual const char *analysisName() const { return "analysis"; }
+
+  virtual void onFunctionEnter(const FunctionEnterEvent &E) { (void)E; }
+  virtual void onFunctionExit(const FunctionExitEvent &E) { (void)E; }
+  virtual void onApiCall(const ApiCallEvent &E) { (void)E; }
+  virtual void onObjectCreate(const ObjectCreateEvent &E) { (void)E; }
+  virtual void onReactionResult(const ReactionResultEvent &E) { (void)E; }
+  virtual void onPromiseLink(const PromiseLinkEvent &E) { (void)E; }
+  virtual void onPropertyAccess(const PropertyAccessEvent &E) { (void)E; }
+  virtual void onUncaughtError(const UncaughtErrorEvent &E) { (void)E; }
+  virtual void onLoopEnd(const LoopEndEvent &E) { (void)E; }
+};
+
+/// Registry of attached analyses. The runtime owns one; hook dispatch is a
+/// plain loop, so an empty registry costs one branch per hook site.
+class HookRegistry {
+public:
+  /// Attaches an analysis (not owned). May be called while running.
+  void attach(AnalysisBase *A) {
+    assert(A && "attaching null analysis");
+    Analyses.push_back(A);
+  }
+
+  /// Detaches a previously attached analysis. Safe while running.
+  void detach(AnalysisBase *A) {
+    Analyses.erase(std::remove(Analyses.begin(), Analyses.end(), A),
+                   Analyses.end());
+  }
+
+  bool empty() const { return Analyses.empty(); }
+  size_t size() const { return Analyses.size(); }
+
+  void fireFunctionEnter(const FunctionEnterEvent &E) {
+    for (AnalysisBase *A : Analyses)
+      A->onFunctionEnter(E);
+  }
+  void fireFunctionExit(const FunctionExitEvent &E) {
+    for (AnalysisBase *A : Analyses)
+      A->onFunctionExit(E);
+  }
+  void fireApiCall(const ApiCallEvent &E) {
+    for (AnalysisBase *A : Analyses)
+      A->onApiCall(E);
+  }
+  void fireObjectCreate(const ObjectCreateEvent &E) {
+    for (AnalysisBase *A : Analyses)
+      A->onObjectCreate(E);
+  }
+  void fireReactionResult(const ReactionResultEvent &E) {
+    for (AnalysisBase *A : Analyses)
+      A->onReactionResult(E);
+  }
+  void firePromiseLink(const PromiseLinkEvent &E) {
+    for (AnalysisBase *A : Analyses)
+      A->onPromiseLink(E);
+  }
+  void firePropertyAccess(const PropertyAccessEvent &E) {
+    for (AnalysisBase *A : Analyses)
+      A->onPropertyAccess(E);
+  }
+  void fireUncaughtError(const UncaughtErrorEvent &E) {
+    for (AnalysisBase *A : Analyses)
+      A->onUncaughtError(E);
+  }
+  void fireLoopEnd(const LoopEndEvent &E) {
+    for (AnalysisBase *A : Analyses)
+      A->onLoopEnd(E);
+  }
+
+private:
+  std::vector<AnalysisBase *> Analyses;
+};
+
+} // namespace instr
+} // namespace asyncg
+
+#endif // ASYNCG_INSTR_HOOKS_H

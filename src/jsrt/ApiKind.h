@@ -1,0 +1,238 @@
+//===- ApiKind.h - Asynchronous API identifiers -----------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifies every asynchronous API the runtime exposes. The AG builder
+/// selects a registration template per ApiKind (Algorithm 2's
+/// getAsyncTemplate), and the scheduling-bug detectors reason about which
+/// APIs are "similar" (nextTick vs setTimeout(0) vs setImmediate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_JSRT_APIKIND_H
+#define ASYNCG_JSRT_APIKIND_H
+
+#include "jsrt/PhaseKind.h"
+
+namespace asyncg {
+namespace jsrt {
+
+/// Asynchronous API kinds, covering all sources of asynchronous execution
+/// in §II-A: self-scheduling, external scheduling, emitters, and promises.
+enum class ApiKind {
+  None,
+
+  // Self-scheduling task dispatch.
+  NextTick,
+  QueueMicrotask, ///< queueMicrotask(fn): the promise micro-task queue.
+  SetTimeout,
+  SetInterval,
+  SetImmediate,
+
+  // Promise APIs that register callbacks.
+  PromiseCtor,   ///< new Promise(executor): executor runs instantly.
+  PromiseThen,   ///< p.then(onFulfill[, onReject])
+  PromiseCatch,  ///< p.catch(onReject)
+  PromiseFinally,///< p.finally(onFinally)
+  PromiseAll,    ///< Promise.all(list)
+  PromiseRace,   ///< Promise.race(list)
+  PromiseAllSettled, ///< Promise.allSettled(list)
+  PromiseAny,    ///< Promise.any(list)
+  Await,         ///< `await p` inside an async function.
+
+  // Promise trigger actions (CT nodes).
+  PromiseResolve, ///< resolve(value) — incl. internal adoption settles.
+  PromiseReject,  ///< reject(error)
+
+  // Emitter APIs.
+  EmitterOn,
+  EmitterOnce,
+  EmitterPrepend,
+  EmitterRemoveListener,
+  EmitterRemoveAll,
+  EmitterEmit, ///< Trigger action (CT node); listeners run synchronously.
+
+  // External scheduling (I/O) APIs in the node layer.
+  FsReadFile,
+  FsWriteFile,
+  NetCreateServer,
+  NetListen,
+  NetConnect,
+  HttpCreateServer,
+  HttpRequest,
+  DbQuery, ///< The mock-mongo callback interface used by AcmeAir.
+
+  // Internal dispatch (e.g. the io event dispatcher, adoption reactions).
+  Internal,
+};
+
+/// Human-readable API name as shown in graph node labels.
+inline const char *apiKindName(ApiKind K) {
+  switch (K) {
+  case ApiKind::None:
+    return "none";
+  case ApiKind::NextTick:
+    return "nextTick";
+  case ApiKind::QueueMicrotask:
+    return "queueMicrotask";
+  case ApiKind::SetTimeout:
+    return "setTimeout";
+  case ApiKind::SetInterval:
+    return "setInterval";
+  case ApiKind::SetImmediate:
+    return "setImmediate";
+  case ApiKind::PromiseCtor:
+    return "Promise";
+  case ApiKind::PromiseThen:
+    return "then";
+  case ApiKind::PromiseCatch:
+    return "catch";
+  case ApiKind::PromiseFinally:
+    return "finally";
+  case ApiKind::PromiseAll:
+    return "Promise.all";
+  case ApiKind::PromiseRace:
+    return "Promise.race";
+  case ApiKind::PromiseAllSettled:
+    return "Promise.allSettled";
+  case ApiKind::PromiseAny:
+    return "Promise.any";
+  case ApiKind::Await:
+    return "await";
+  case ApiKind::PromiseResolve:
+    return "resolve";
+  case ApiKind::PromiseReject:
+    return "reject";
+  case ApiKind::EmitterOn:
+    return "on";
+  case ApiKind::EmitterOnce:
+    return "once";
+  case ApiKind::EmitterPrepend:
+    return "prependListener";
+  case ApiKind::EmitterRemoveListener:
+    return "removeListener";
+  case ApiKind::EmitterRemoveAll:
+    return "removeAllListeners";
+  case ApiKind::EmitterEmit:
+    return "emit";
+  case ApiKind::FsReadFile:
+    return "fs.readFile";
+  case ApiKind::FsWriteFile:
+    return "fs.writeFile";
+  case ApiKind::NetCreateServer:
+    return "net.createServer";
+  case ApiKind::NetListen:
+    return "listen";
+  case ApiKind::NetConnect:
+    return "net.connect";
+  case ApiKind::HttpCreateServer:
+    return "http.createServer";
+  case ApiKind::HttpRequest:
+    return "http.request";
+  case ApiKind::DbQuery:
+    return "db.query";
+  case ApiKind::Internal:
+    return "*";
+  }
+  return "unknown";
+}
+
+/// True for APIs that register callbacks on an emitter object.
+inline bool isEmitterRegistrationApi(ApiKind K) {
+  return K == ApiKind::EmitterOn || K == ApiKind::EmitterOnce ||
+         K == ApiKind::EmitterPrepend;
+}
+
+/// True for APIs whose callbacks run as micro-tasks.
+inline bool isMicrotaskApi(ApiKind K) {
+  switch (K) {
+  case ApiKind::NextTick:
+  case ApiKind::QueueMicrotask:
+  case ApiKind::PromiseThen:
+  case ApiKind::PromiseCatch:
+  case ApiKind::PromiseFinally:
+  case ApiKind::Await:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True for the trigger-action APIs that produce CT nodes in the graph.
+inline bool isTriggerApi(ApiKind K) {
+  return K == ApiKind::PromiseResolve || K == ApiKind::PromiseReject ||
+         K == ApiKind::EmitterEmit;
+}
+
+/// True for promise-related APIs (used by the AsyncG "nopromise" setting of
+/// Fig. 6(a), which excludes promise tracking).
+inline bool isPromiseApi(ApiKind K) {
+  switch (K) {
+  case ApiKind::PromiseCtor:
+  case ApiKind::PromiseThen:
+  case ApiKind::PromiseCatch:
+  case ApiKind::PromiseFinally:
+  case ApiKind::PromiseAll:
+  case ApiKind::PromiseRace:
+  case ApiKind::PromiseAllSettled:
+  case ApiKind::PromiseAny:
+  case ApiKind::Await:
+  case ApiKind::PromiseResolve:
+  case ApiKind::PromiseReject:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// The "similar APIs" family of §VI-A.1b: task-deferral APIs with subtly
+/// different scheduling priorities whose mixture in one tick is suspicious.
+inline bool isDeferralApi(ApiKind K) {
+  return K == ApiKind::NextTick || K == ApiKind::SetTimeout ||
+         K == ApiKind::SetImmediate;
+}
+
+/// The event-loop phase a callback registered via \p K will execute in.
+inline PhaseKind targetPhaseOf(ApiKind K) {
+  switch (K) {
+  case ApiKind::NextTick:
+    return PhaseKind::NextTick;
+  case ApiKind::QueueMicrotask:
+    return PhaseKind::PromiseMicro;
+  case ApiKind::SetTimeout:
+  case ApiKind::SetInterval:
+    return PhaseKind::Timers;
+  case ApiKind::SetImmediate:
+    return PhaseKind::Check;
+  case ApiKind::PromiseThen:
+  case ApiKind::PromiseCatch:
+  case ApiKind::PromiseFinally:
+  case ApiKind::Await:
+  case ApiKind::PromiseAll:
+  case ApiKind::PromiseRace:
+  case ApiKind::PromiseAllSettled:
+  case ApiKind::PromiseAny:
+    return PhaseKind::PromiseMicro;
+  case ApiKind::FsReadFile:
+  case ApiKind::FsWriteFile:
+  case ApiKind::NetCreateServer:
+  case ApiKind::NetListen:
+  case ApiKind::NetConnect:
+  case ApiKind::HttpCreateServer:
+  case ApiKind::HttpRequest:
+  case ApiKind::DbQuery:
+    return PhaseKind::Io;
+  default:
+    // Emitter listeners and instant callbacks execute in whatever phase the
+    // trigger fires in; "Main" acts as the neutral answer here.
+    return PhaseKind::Main;
+  }
+}
+
+} // namespace jsrt
+} // namespace asyncg
+
+#endif // ASYNCG_JSRT_APIKIND_H

@@ -1,0 +1,199 @@
+//===- AsyncAwait.h - async/await via C++20 coroutines ----------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ECMAScript-8 async/await modelled with C++20 coroutines, covering the
+/// paper's claim that AsyncG "is compatible with the latest ECMAScript
+/// language features" including async/await (Table II).
+///
+/// An async function is a C++ coroutine returning JsAsync whose first
+/// parameter is `Runtime &`; an optional second `AsyncOrigin` parameter
+/// names it and gives it a source location:
+///
+/// \code
+///   JsAsync fetchUser(Runtime &RT, AsyncOrigin, Value Id) {
+///     Value Row = co_await Await(db.get(Id));          // suspends
+///     AwaitResult R = co_await TryAwait(riskyOp(RT));  // "try { await }"
+///     if (R.Rejected)
+///       co_return Completion::thrown(R.V);
+///     co_return Row;                                   // resolves result
+///   }
+/// \endcode
+///
+/// Calling an async function immediately runs its body up to the first
+/// await (JS semantics) and returns a JsAsync wrapping the result promise.
+///
+/// Toolchain note: some GCC releases miscompile braced initializer lists
+/// inside coroutine bodies ("array used as initializer"); build vectors
+/// with push_back inside async functions instead of `{a, b}` literals.
+/// Each `co_await` registers an Await-kind reaction (a CR in the Async
+/// Graph); the continuation is dispatched as a promise micro-task, so
+/// resumptions appear as CE nodes in their own promise ticks. A rejected
+/// plain `Await` rejects the async function's result promise and abandons
+/// the rest of the body, exactly like an uncaught `await` rejection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_JSRT_ASYNCAWAIT_H
+#define ASYNCG_JSRT_ASYNCAWAIT_H
+
+#include "jsrt/Runtime.h"
+
+#include <coroutine>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace asyncg {
+namespace jsrt {
+
+/// Optional name/location for an async function; pass as the second
+/// coroutine parameter.
+struct AsyncOrigin {
+  std::string Name = "async function";
+  SourceLocation Loc;
+};
+
+/// Result of TryAwait: the settled value and whether it was a rejection.
+struct AwaitResult {
+  Value V;
+  bool Rejected = false;
+};
+
+/// Coroutine return object for async functions.
+class JsAsync {
+public:
+  struct promise_type {
+    Runtime *RT = nullptr;
+    PromiseRef Result;
+    std::string Name = "async function";
+    SourceLocation Loc;
+
+    template <typename... ArgsT>
+    explicit promise_type(Runtime &R, ArgsT &&...Args) : RT(&R) {
+      applyOrigin(std::forward<ArgsT>(Args)...);
+      Result = R.promiseBare(Loc, Name);
+    }
+
+    JsAsync get_return_object() { return JsAsync(Result); }
+
+    /// The body runs synchronously up to the first await (JS semantics).
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+
+    /// co_return settles the result promise: normal completions resolve
+    /// (adopting returned promises), Throw completions reject.
+    void return_value(Completion C) {
+      if (C.isThrow())
+        RT->rejectPromiseInternal(Result, C.takeValue());
+      else
+        RT->resolvePromiseInternal(Result, C.takeValue());
+    }
+
+    void unhandled_exception() { std::terminate(); }
+
+  private:
+    void applyOrigin() {}
+    template <typename First, typename... Rest>
+    void applyOrigin(First &&F, Rest &&...) {
+      if constexpr (std::is_convertible_v<std::decay_t<First>, AsyncOrigin>) {
+        AsyncOrigin O = std::forward<First>(F);
+        Name = std::move(O.Name);
+        Loc = std::move(O.Loc);
+      }
+    }
+  };
+
+  explicit JsAsync(PromiseRef Result) : Result(std::move(Result)) {}
+
+  /// The promise the async function will settle.
+  const PromiseRef &promise() const { return Result; }
+  Value toValue() const { return Value::promise(Result); }
+
+private:
+  PromiseRef Result;
+};
+
+/// `co_await Await(p)`: yields the fulfillment value; a rejection rejects
+/// the async function's result promise and abandons the rest of the body.
+class Await {
+public:
+  explicit Await(PromiseRef P, SourceLocation Loc = SourceLocation())
+      : P(std::move(P)), Loc(std::move(Loc)) {}
+
+  /// Awaiting a plain value behaves like awaiting Promise.resolve(value).
+  explicit Await(const Value &V, SourceLocation Loc = SourceLocation())
+      : Loc(std::move(Loc)) {
+    if (V.isPromise())
+      P = V.asPromise();
+    else
+      Plain = V;
+  }
+
+  /// Even settled promises resume via a micro-task (JS semantics).
+  bool await_ready() const noexcept { return false; }
+
+  void await_suspend(std::coroutine_handle<JsAsync::promise_type> H) {
+    JsAsync::promise_type &PT = H.promise();
+    Runtime &RT = *PT.RT;
+    if (!P)
+      P = RT.promiseResolvedWith(SourceLocation::internal(), Plain);
+    PromiseRef ResultP = PT.Result;
+    SourceLocation Site = Loc.isValid() ? Loc : PT.Loc;
+    RT.promiseAwait(Site, P, PT.Name,
+                    [this, H, ResultP](Runtime &R, Value V, bool Rejected) {
+                      if (Rejected) {
+                        R.rejectPromiseInternal(ResultP, std::move(V));
+                        H.destroy();
+                        return;
+                      }
+                      Result = std::move(V);
+                      H.resume();
+                    });
+  }
+
+  Value await_resume() { return std::move(Result); }
+
+private:
+  PromiseRef P;
+  Value Plain;
+  SourceLocation Loc;
+  Value Result;
+};
+
+/// `co_await TryAwait(p)`: like `try { await p } catch`, yields an
+/// AwaitResult so the async function can handle rejections itself.
+class TryAwait {
+public:
+  explicit TryAwait(PromiseRef P, SourceLocation Loc = SourceLocation())
+      : P(std::move(P)), Loc(std::move(Loc)) {}
+
+  bool await_ready() const noexcept { return false; }
+
+  void await_suspend(std::coroutine_handle<JsAsync::promise_type> H) {
+    JsAsync::promise_type &PT = H.promise();
+    Runtime &RT = *PT.RT;
+    SourceLocation Site = Loc.isValid() ? Loc : PT.Loc;
+    RT.promiseAwait(Site, P, PT.Name,
+                    [this, H](Runtime &, Value V, bool Rejected) {
+                      Result.V = std::move(V);
+                      Result.Rejected = Rejected;
+                      H.resume();
+                    });
+  }
+
+  AwaitResult await_resume() { return std::move(Result); }
+
+private:
+  PromiseRef P;
+  SourceLocation Loc;
+  AwaitResult Result;
+};
+
+} // namespace jsrt
+} // namespace asyncg
+
+#endif // ASYNCG_JSRT_ASYNCAWAIT_H

@@ -1,0 +1,68 @@
+//===- Completion.h - Normal/throw completion records -----------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JavaScript exceptions are modelled as completion records instead of C++
+/// exceptions (the coding guides forbid exceptions in library code, and an
+/// interpreter-style explicit completion is more faithful anyway). Every
+/// callback body returns a Completion; a Throw completion propagating out of
+/// a top-level dispatch becomes an uncaught error, and one propagating out
+/// of a promise reaction rejects the derived promise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_JSRT_COMPLETION_H
+#define ASYNCG_JSRT_COMPLETION_H
+
+#include "jsrt/Value.h"
+
+namespace asyncg {
+namespace jsrt {
+
+/// The result of evaluating a callback body: either a normal value or a
+/// thrown value.
+class Completion {
+public:
+  /// Default: normal completion with undefined.
+  Completion() = default;
+
+  /// Implicit conversion from a value: a normal completion. Lets async
+  /// functions write `co_return Value::number(1)`.
+  Completion(Value V) : V(std::move(V)) {}
+
+  static Completion normal(Value V = Value::undefined()) {
+    Completion C;
+    C.V = std::move(V);
+    return C;
+  }
+
+  static Completion thrown(Value V) {
+    Completion C;
+    C.V = std::move(V);
+    C.IsThrow = true;
+    return C;
+  }
+
+  /// Convenience: throws a string error value.
+  static Completion error(std::string Message) {
+    return thrown(Value::str(std::move(Message)));
+  }
+
+  bool isThrow() const { return IsThrow; }
+  bool isNormal() const { return !IsThrow; }
+
+  const Value &value() const { return V; }
+  Value takeValue() { return std::move(V); }
+
+private:
+  Value V;
+  bool IsThrow = false;
+};
+
+} // namespace jsrt
+} // namespace asyncg
+
+#endif // ASYNCG_JSRT_COMPLETION_H

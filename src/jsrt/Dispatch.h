@@ -1,0 +1,71 @@
+//===- Dispatch.h - Callback dispatch metadata ------------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metadata attached to every function invocation, describing how the
+/// event loop dispatched it: the phase, the registration that scheduled it,
+/// and the trigger action (promise settle / event emission) that caused it.
+/// This is what NodeProf's internal-library instrumentation lets AsyncG
+/// observe; the AG builder's context validator consumes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_JSRT_DISPATCH_H
+#define ASYNCG_JSRT_DISPATCH_H
+
+#include "jsrt/ApiKind.h"
+#include "jsrt/Ids.h"
+#include "jsrt/PhaseKind.h"
+
+#include <string>
+
+namespace asyncg {
+namespace jsrt {
+
+/// Describes the trigger action (CT node) that caused a callback execution,
+/// if any: a promise resolve/reject or an emitter event emission.
+struct TriggerInfo {
+  enum class Kind {
+    None,
+    Promise, ///< resolve/reject action on Obj.
+    Emitter, ///< event Emission of Event on Obj.
+  };
+
+  Kind K = Kind::None;
+  /// Unique id of the trigger action (shared by all CEs it causes).
+  TriggerId Id = 0;
+  /// The promise/emitter the action applies to.
+  ObjectId Obj = 0;
+  /// Event name for emitter triggers.
+  std::string Event;
+  /// True for reject actions.
+  bool IsReject = false;
+
+  bool isNone() const { return K == Kind::None; }
+};
+
+/// Dispatch metadata passed to functionEnter hooks.
+struct DispatchInfo {
+  /// Phase the invocation runs in.
+  PhaseKind Phase = PhaseKind::Main;
+  /// True when the event loop dispatched this invocation directly (the
+  /// shadow stack is empty: a new tick starts, per Algorithm 1).
+  bool TopLevel = false;
+  /// The registration (CR) this execution fulfils; 0 for plain calls.
+  ScheduleId Sched = 0;
+  /// The API that registered the callback; None for plain calls.
+  ApiKind Api = ApiKind::None;
+  /// The trigger action that caused the execution, if any.
+  TriggerInfo Trigger;
+  /// The runtime's tick counter at dispatch (diagnostics only; the AG
+  /// builder derives its own tick indices from the shadow stack).
+  uint64_t TickSeq = 0;
+};
+
+} // namespace jsrt
+} // namespace asyncg
+
+#endif // ASYNCG_JSRT_DISPATCH_H

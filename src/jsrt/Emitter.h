@@ -1,0 +1,75 @@
+//===- Emitter.h - Node-style EventEmitter state ----------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EventEmitter state: per-event listener lists. Listener invocation is
+/// synchronous (Node semantics) and lives on Runtime so CT/CE
+/// instrumentation events fire. Emitters created by internal libraries
+/// (net/http servers and sockets) are flagged Internal and render as "*"
+/// nodes in the graph, matching the paper's figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_JSRT_EMITTER_H
+#define ASYNCG_JSRT_EMITTER_H
+
+#include "jsrt/ApiKind.h"
+#include "jsrt/Function.h"
+#include "jsrt/Ids.h"
+#include "support/SourceLocation.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace jsrt {
+
+/// One registered listener.
+struct Listener {
+  Function Fn;
+  bool Once = false;
+  /// The registration this listener came from (CR node identity).
+  ScheduleId Sched = 0;
+  /// The API that registered it (on/once/prependListener).
+  ApiKind Via = ApiKind::EmitterOn;
+};
+
+/// Heap state of one event emitter.
+class EmitterData {
+public:
+  ObjectId Id = 0;
+  /// Debug name ("EventEmitter", "http.Server", "Socket", ...).
+  std::string Name = "EventEmitter";
+  /// True for emitters created by internal libraries.
+  bool Internal = false;
+  SourceLocation CreatedAt;
+  /// Per-event listener lists, in invocation order.
+  std::map<std::string, std::vector<Listener>> Events;
+
+  size_t listenerCount(const std::string &Event) const {
+    auto It = Events.find(Event);
+    return It == Events.end() ? 0 : It->second.size();
+  }
+
+  bool hasListeners(const std::string &Event) const {
+    return listenerCount(Event) != 0;
+  }
+
+  /// All event names with at least one listener.
+  std::vector<std::string> eventNames() const {
+    std::vector<std::string> Names;
+    for (const auto &[Name, Ls] : Events)
+      if (!Ls.empty())
+        Names.push_back(Name);
+    return Names;
+  }
+};
+
+} // namespace jsrt
+} // namespace asyncg
+
+#endif // ASYNCG_JSRT_EMITTER_H

@@ -1,0 +1,52 @@
+//===- Ids.h - Identifier types used across the runtime ---------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain integer identifier aliases shared by the runtime, the
+/// instrumentation events, and the Async Graph builder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_JSRT_IDS_H
+#define ASYNCG_JSRT_IDS_H
+
+#include <cstdint>
+
+namespace asyncg {
+namespace jsrt {
+
+/// Identity of a JavaScript-level function (callback). Two Function values
+/// with the same FunctionId are "the same function object" for listener
+/// removal and recursion detection.
+using FunctionId = uint64_t;
+
+/// Identity of a promise or emitter object (OB node identity in the AG).
+using ObjectId = uint64_t;
+
+/// Identity of one callback registration (a CR node in the AG). Zero means
+/// "no registration" (e.g. a plain nested call).
+using ScheduleId = uint64_t;
+
+/// Identity of one callback-trigger action (a CT node in the AG): a promise
+/// resolve/reject or an emitter event emission. Zero means none.
+using TriggerId = uint64_t;
+
+/// Handle returned by setTimeout/setInterval for clearTimeout/clearInterval.
+struct TimerHandle {
+  uint64_t Id = 0;
+  bool isValid() const { return Id != 0; }
+};
+
+/// Handle returned by setImmediate for clearImmediate.
+struct ImmediateHandle {
+  uint64_t Id = 0;
+  bool isValid() const { return Id != 0; }
+};
+
+} // namespace jsrt
+} // namespace asyncg
+
+#endif // ASYNCG_JSRT_IDS_H

@@ -1,0 +1,79 @@
+//===- Object.h - Property-map objects and arrays ---------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain JS-like objects (ordered property maps) and arrays. These are what
+/// the motivating bugs of the paper manipulate — e.g. the §III example
+/// crashes because `foo.bar` is read from an object before the callback
+/// that assigns it has executed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_JSRT_OBJECT_H
+#define ASYNCG_JSRT_OBJECT_H
+
+#include "jsrt/Value.h"
+
+#include <map>
+#include <string>
+
+namespace asyncg {
+namespace jsrt {
+
+/// A plain object: an ordered string-keyed property map.
+class Object {
+public:
+  Object() = default;
+  explicit Object(std::string ClassName) : ClassName(std::move(ClassName)) {}
+
+  /// Returns the property value, or undefined when absent.
+  const Value &get(const std::string &Key) const {
+    static const Value Undef;
+    auto It = Props.find(Key);
+    return It == Props.end() ? Undef : It->second;
+  }
+
+  void set(const std::string &Key, Value V) { Props[Key] = std::move(V); }
+  bool has(const std::string &Key) const { return Props.count(Key) != 0; }
+  bool erase(const std::string &Key) { return Props.erase(Key) != 0; }
+  size_t size() const { return Props.size(); }
+
+  const std::map<std::string, Value> &properties() const { return Props; }
+  const std::string &className() const { return ClassName; }
+
+  /// Makes a fresh empty object value.
+  static Value make(std::string ClassName = "Object") {
+    return Value::object(std::make_shared<Object>(std::move(ClassName)));
+  }
+
+private:
+  std::string ClassName = "Object";
+  std::map<std::string, Value> Props;
+};
+
+/// A JS array: a vector of values.
+struct ArrayData {
+  std::vector<Value> Elems;
+
+  size_t size() const { return Elems.size(); }
+  void push(Value V) { Elems.push_back(std::move(V)); }
+  const Value &at(size_t I) const {
+    static const Value Undef;
+    return I < Elems.size() ? Elems[I] : Undef;
+  }
+
+  /// Makes a fresh array value.
+  static Value make(std::vector<Value> Elems = {}) {
+    auto A = std::make_shared<ArrayData>();
+    A->Elems = std::move(Elems);
+    return Value::array(std::move(A));
+  }
+};
+
+} // namespace jsrt
+} // namespace asyncg
+
+#endif // ASYNCG_JSRT_OBJECT_H

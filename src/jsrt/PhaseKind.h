@@ -1,0 +1,61 @@
+//===- PhaseKind.h - Event-loop phase identifiers ---------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event-loop phases of §II-B / Fig. 2 of the paper. Every event-loop
+/// tick (top-level callback dispatch) belongs to exactly one phase; the
+/// Async Graph names its ticks after these phases (e.g. "t3: io").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_JSRT_PHASEKIND_H
+#define ASYNCG_JSRT_PHASEKIND_H
+
+namespace asyncg {
+namespace jsrt {
+
+/// Event-loop phase a callback is dispatched from.
+enum class PhaseKind {
+  Main,         ///< The initial execution of the program (t1: main).
+  NextTick,     ///< process.nextTick micro-task (highest priority).
+  PromiseMicro, ///< Promise-reaction micro-task.
+  Timers,       ///< setTimeout / setInterval callbacks.
+  Io,           ///< External OS events (poll phase).
+  Check,        ///< setImmediate callbacks (the "immediates" phase).
+  Close,        ///< Close handlers (lowest priority).
+};
+
+/// Lowercase phase name as used in tick labels ("t2: nexttick").
+inline const char *phaseKindName(PhaseKind K) {
+  switch (K) {
+  case PhaseKind::Main:
+    return "main";
+  case PhaseKind::NextTick:
+    return "nexttick";
+  case PhaseKind::PromiseMicro:
+    return "promise";
+  case PhaseKind::Timers:
+    return "timers";
+  case PhaseKind::Io:
+    return "io";
+  case PhaseKind::Check:
+    return "immediate";
+  case PhaseKind::Close:
+    return "close";
+  }
+  return "unknown";
+}
+
+/// True for the two micro-task phases, which have priority over all other
+/// queues and can be scheduled between any other phases (paper Fig. 2(b)).
+inline bool isMicrotaskPhase(PhaseKind K) {
+  return K == PhaseKind::NextTick || K == PhaseKind::PromiseMicro;
+}
+
+} // namespace jsrt
+} // namespace asyncg
+
+#endif // ASYNCG_JSRT_PHASEKIND_H

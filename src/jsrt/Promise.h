@@ -1,0 +1,95 @@
+//===- Promise.h - ECMAScript-style promise state ---------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Promise state per ECMAScript: pending/fulfilled/rejected, a settled
+/// value, and reaction lists drained onto the promise micro-task queue.
+/// All operations (then/resolve/reject/combinators) live on Runtime, since
+/// they schedule micro-tasks and fire instrumentation events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_JSRT_PROMISE_H
+#define ASYNCG_JSRT_PROMISE_H
+
+#include "jsrt/ApiKind.h"
+#include "jsrt/Function.h"
+#include "jsrt/Ids.h"
+#include "jsrt/Value.h"
+#include "support/SourceLocation.h"
+
+#include <vector>
+
+namespace asyncg {
+namespace jsrt {
+
+/// Promise lifecycle states.
+enum class PromiseState {
+  Pending,
+  Fulfilled,
+  Rejected,
+};
+
+inline const char *promiseStateName(PromiseState S) {
+  switch (S) {
+  case PromiseState::Pending:
+    return "pending";
+  case PromiseState::Fulfilled:
+    return "fulfilled";
+  case PromiseState::Rejected:
+    return "rejected";
+  }
+  return "unknown";
+}
+
+/// One registered reaction pair (created by then/catch/finally/await or by
+/// internal machinery such as combinators and state adoption).
+struct PromiseReaction {
+  /// User handler for fulfillment; invalid means pass the value through.
+  Function OnFulfill;
+  /// User handler for rejection; invalid means pass the rejection through.
+  Function OnReject;
+  /// The promise resolved/rejected with the handler's result.
+  PromiseRef Derived;
+  /// The registration this reaction came from (CR node identity).
+  ScheduleId Sched = 0;
+  /// The API that registered it (then/catch/finally/await/internal).
+  ApiKind Via = ApiKind::None;
+};
+
+/// Heap state of one promise.
+class PromiseData {
+public:
+  ObjectId Id = 0;
+  PromiseState State = PromiseState::Pending;
+  /// Settled value (fulfillment value or rejection reason).
+  Value Result;
+  /// Reactions waiting for settlement (drained when the promise settles).
+  std::vector<PromiseReaction> Reactions;
+  /// True once any reaction (incl. await/adoption) has been attached; a
+  /// rejected promise that is never Handled is an unhandled rejection.
+  bool Handled = false;
+  /// True for promises created by internal machinery (combinators, async
+  /// function results are *not* internal; adoption helpers are).
+  bool Internal = false;
+  /// Where the promise was created (OB node location).
+  SourceLocation CreatedAt;
+  /// The trigger action (CT) that settled this promise; 0 while pending.
+  /// Reactions attached after settlement link their CEs to this trigger.
+  TriggerId SettleTrigger = 0;
+  /// Set while resolve() is adopting another promise's state: further
+  /// resolve/reject calls must be ignored (the promise is "resolved" though
+  /// still pending).
+  bool AlreadyResolved = false;
+
+  bool isPending() const { return State == PromiseState::Pending; }
+  bool isSettled() const { return State != PromiseState::Pending; }
+};
+
+} // namespace jsrt
+} // namespace asyncg
+
+#endif // ASYNCG_JSRT_PROMISE_H

@@ -1,0 +1,52 @@
+//===- TimerHeap.cpp - setTimeout/setInterval timer store -------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jsrt/TimerHeap.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+
+void TimerHeap::add(TimerEntry E) {
+  assert(E.Id != 0 && "timer id must be assigned");
+  auto Key = std::make_pair(E.Due, E.Id);
+  ById[E.Id] = Key;
+  ByDeadline.emplace(Key, std::move(E));
+}
+
+bool TimerHeap::cancel(uint64_t Id) {
+  auto It = ById.find(Id);
+  if (It == ById.end())
+    return false;
+  ByDeadline.erase(It->second);
+  ById.erase(It);
+  return true;
+}
+
+sim::SimTime TimerHeap::nextDeadline() const {
+  if (ByDeadline.empty())
+    return sim::NoDeadline;
+  return ByDeadline.begin()->first.first;
+}
+
+std::vector<TimerEntry> TimerHeap::takeDue(sim::SimTime Now) {
+  std::vector<TimerEntry> Due;
+  while (!ByDeadline.empty() && ByDeadline.begin()->first.first <= Now) {
+    auto It = ByDeadline.begin();
+    ById.erase(It->second.Id);
+    Due.push_back(std::move(It->second));
+    ByDeadline.erase(It);
+  }
+  // Within one batch, earlier-registered timers run first (see file
+  // comment); deadlines only gate *whether* a timer is in the batch.
+  std::sort(Due.begin(), Due.end(),
+            [](const TimerEntry &A, const TimerEntry &B) {
+              return A.Seq < B.Seq;
+            });
+  return Due;
+}

@@ -1,0 +1,78 @@
+//===- TimerHeap.h - setTimeout/setInterval timer store ---------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage for active timers. Deadlines determine *when* the timers phase
+/// has work; within one timers-phase batch, due callbacks execute in
+/// registration order — this reproduces the "unexpected timeout execution
+/// order" behaviour of §VI-A.1c, where a timer registered earlier with a
+/// larger timeout runs before a later-registered smaller one once both have
+/// expired.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_JSRT_TIMERHEAP_H
+#define ASYNCG_JSRT_TIMERHEAP_H
+
+#include "jsrt/ApiKind.h"
+#include "jsrt/Function.h"
+#include "jsrt/Ids.h"
+#include "jsrt/Value.h"
+#include "sim/Clock.h"
+#include "support/SourceLocation.h"
+
+#include <map>
+#include <vector>
+
+namespace asyncg {
+namespace jsrt {
+
+/// One active timer.
+struct TimerEntry {
+  uint64_t Id = 0;
+  /// Registration order; due timers run in ascending Seq.
+  uint64_t Seq = 0;
+  sim::SimTime Due = 0;
+  /// Repeat interval in microseconds; 0 for one-shot timers.
+  sim::SimTime IntervalUs = 0;
+  double TimeoutMs = 0;
+  Function Fn;
+  std::vector<Value> Args;
+  ScheduleId Sched = 0;
+  ApiKind Api = ApiKind::SetTimeout;
+  SourceLocation Loc;
+};
+
+/// The set of active timers.
+class TimerHeap {
+public:
+  /// Adds \p E (Id/Seq must be pre-assigned by the runtime).
+  void add(TimerEntry E);
+
+  /// Cancels the timer with \p Id. Returns false if not found.
+  bool cancel(uint64_t Id);
+
+  bool empty() const { return ByDeadline.empty(); }
+  size_t size() const { return ByDeadline.size(); }
+
+  /// Earliest deadline, or sim::NoDeadline when no timers are active.
+  sim::SimTime nextDeadline() const;
+
+  /// Removes and returns every timer due at or before \p Now, sorted by
+  /// registration order (see file comment). Interval timers must be
+  /// re-added by the caller after running.
+  std::vector<TimerEntry> takeDue(sim::SimTime Now);
+
+private:
+  // Key: (deadline, id) for ordered deadline scans.
+  std::map<std::pair<sim::SimTime, uint64_t>, TimerEntry> ByDeadline;
+  std::map<uint64_t, std::pair<sim::SimTime, uint64_t>> ById;
+};
+
+} // namespace jsrt
+} // namespace asyncg
+
+#endif // ASYNCG_JSRT_TIMERHEAP_H

@@ -1,0 +1,81 @@
+//===- Value.cpp - Dynamic JavaScript-like values ---------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jsrt/Value.h"
+
+#include "jsrt/Emitter.h"
+#include "jsrt/Function.h"
+#include "jsrt/Object.h"
+#include "jsrt/Promise.h"
+#include "support/Format.h"
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+
+bool Value::strictEquals(const Value &RHS) const {
+  if (kind() != RHS.kind())
+    return false;
+  switch (kind()) {
+  case ValueKind::Undefined:
+  case ValueKind::Null:
+    return true;
+  case ValueKind::Boolean:
+    return asBoolean() == RHS.asBoolean();
+  case ValueKind::Number:
+    return asNumber() == RHS.asNumber();
+  case ValueKind::String:
+    return asString() == RHS.asString();
+  case ValueKind::Object:
+    return asObject() == RHS.asObject();
+  case ValueKind::Array:
+    return asArray() == RHS.asArray();
+  case ValueKind::Function:
+    return asFunctionRef() == RHS.asFunctionRef();
+  case ValueKind::Promise:
+    return asPromise() == RHS.asPromise();
+  case ValueKind::Emitter:
+    return asEmitter() == RHS.asEmitter();
+  case ValueKind::External:
+    return std::get<External>(V).Ptr == std::get<External>(RHS.V).Ptr;
+  }
+  return false;
+}
+
+std::string Value::toDisplayString() const {
+  switch (kind()) {
+  case ValueKind::Undefined:
+    return "undefined";
+  case ValueKind::Null:
+    return "null";
+  case ValueKind::Boolean:
+    return asBoolean() ? "true" : "false";
+  case ValueKind::Number:
+    return formatNumber(asNumber());
+  case ValueKind::String:
+    return asString();
+  case ValueKind::Object: {
+    const ObjectRef &O = asObject();
+    return strFormat("[object %s]", O->className().c_str());
+  }
+  case ValueKind::Array:
+    return strFormat("[Array(%zu)]", asArray()->size());
+  case ValueKind::Function: {
+    const FunctionRef &F = asFunctionRef();
+    return strFormat("[Function %s]",
+                     F->Name.empty() ? "(anonymous)" : F->Name.c_str());
+  }
+  case ValueKind::Promise:
+    return strFormat("[Promise #%llu %s]",
+                     static_cast<unsigned long long>(asPromise()->Id),
+                     promiseStateName(asPromise()->State));
+  case ValueKind::Emitter:
+    return strFormat("[%s #%llu]", asEmitter()->Name.c_str(),
+                     static_cast<unsigned long long>(asEmitter()->Id));
+  case ValueKind::External:
+    return strFormat("[External %s]", std::get<External>(V).Tag);
+  }
+  return "<?>";
+}

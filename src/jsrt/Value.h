@@ -1,0 +1,239 @@
+//===- Value.h - Dynamic JavaScript-like values -----------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic value type flowing through the jsrt runtime: undefined, null,
+/// booleans, numbers, strings, objects, arrays, functions, promises,
+/// emitters, and opaque externals (used by the node layer to attach C++
+/// state such as HTTP response writers to JS-visible values).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_JSRT_VALUE_H
+#define ASYNCG_JSRT_VALUE_H
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace asyncg {
+namespace jsrt {
+
+class Object;
+struct ArrayData;
+struct FunctionData;
+class PromiseData;
+class EmitterData;
+
+using ObjectRef = std::shared_ptr<Object>;
+using ArrayRef = std::shared_ptr<ArrayData>;
+using FunctionRef = std::shared_ptr<FunctionData>;
+using PromiseRef = std::shared_ptr<PromiseData>;
+using EmitterRef = std::shared_ptr<EmitterData>;
+
+/// Discriminates the dynamic type of a Value.
+enum class ValueKind {
+  Undefined,
+  Null,
+  Boolean,
+  Number,
+  String,
+  Object,
+  Array,
+  Function,
+  Promise,
+  Emitter,
+  External,
+};
+
+/// An opaque C++ payload attached to a JS-visible value. \p Tag is a static
+/// string identifying the payload type (checked on extraction).
+struct External {
+  std::shared_ptr<void> Ptr;
+  const char *Tag = "";
+};
+
+/// A dynamically typed JavaScript-like value. Copying is cheap: strings and
+/// heap entities are reference counted.
+class Value {
+  struct UndefinedTag {};
+  struct NullTag {};
+  using Storage =
+      std::variant<UndefinedTag, NullTag, bool, double,
+                   std::shared_ptr<const std::string>, ObjectRef, ArrayRef,
+                   FunctionRef, PromiseRef, EmitterRef, External>;
+
+public:
+  /// Default-constructs undefined.
+  Value() : V(UndefinedTag{}) {}
+
+  static Value undefined() { return Value(); }
+  static Value null() {
+    Value R;
+    R.V = NullTag{};
+    return R;
+  }
+  static Value boolean(bool B) {
+    Value R;
+    R.V = B;
+    return R;
+  }
+  static Value number(double D) {
+    Value R;
+    R.V = D;
+    return R;
+  }
+  static Value str(std::string S) {
+    Value R;
+    R.V = std::make_shared<const std::string>(std::move(S));
+    return R;
+  }
+  static Value object(ObjectRef O) {
+    Value R;
+    R.V = std::move(O);
+    return R;
+  }
+  static Value array(ArrayRef A) {
+    Value R;
+    R.V = std::move(A);
+    return R;
+  }
+  static Value function(FunctionRef F) {
+    Value R;
+    R.V = std::move(F);
+    return R;
+  }
+  static Value promise(PromiseRef P) {
+    Value R;
+    R.V = std::move(P);
+    return R;
+  }
+  static Value emitter(EmitterRef E) {
+    Value R;
+    R.V = std::move(E);
+    return R;
+  }
+  static Value external(std::shared_ptr<void> Ptr, const char *Tag) {
+    Value R;
+    R.V = External{std::move(Ptr), Tag};
+    return R;
+  }
+
+  ValueKind kind() const {
+    return static_cast<ValueKind>(V.index());
+  }
+
+  bool isUndefined() const { return kind() == ValueKind::Undefined; }
+  bool isNull() const { return kind() == ValueKind::Null; }
+  bool isNullish() const { return isUndefined() || isNull(); }
+  bool isBoolean() const { return kind() == ValueKind::Boolean; }
+  bool isNumber() const { return kind() == ValueKind::Number; }
+  bool isString() const { return kind() == ValueKind::String; }
+  bool isObject() const { return kind() == ValueKind::Object; }
+  bool isArray() const { return kind() == ValueKind::Array; }
+  bool isFunction() const { return kind() == ValueKind::Function; }
+  bool isPromise() const { return kind() == ValueKind::Promise; }
+  bool isEmitter() const { return kind() == ValueKind::Emitter; }
+  bool isExternal() const { return kind() == ValueKind::External; }
+
+  bool asBoolean() const {
+    assert(isBoolean() && "not a boolean");
+    return std::get<bool>(V);
+  }
+  double asNumber() const {
+    assert(isNumber() && "not a number");
+    return std::get<double>(V);
+  }
+  const std::string &asString() const {
+    assert(isString() && "not a string");
+    return *std::get<std::shared_ptr<const std::string>>(V);
+  }
+  const ObjectRef &asObject() const {
+    assert(isObject() && "not an object");
+    return std::get<ObjectRef>(V);
+  }
+  const ArrayRef &asArray() const {
+    assert(isArray() && "not an array");
+    return std::get<ArrayRef>(V);
+  }
+  const FunctionRef &asFunctionRef() const {
+    assert(isFunction() && "not a function");
+    return std::get<FunctionRef>(V);
+  }
+  const PromiseRef &asPromise() const {
+    assert(isPromise() && "not a promise");
+    return std::get<PromiseRef>(V);
+  }
+  const EmitterRef &asEmitter() const {
+    assert(isEmitter() && "not an emitter");
+    return std::get<EmitterRef>(V);
+  }
+
+  /// Extracts an external payload, asserting the tag matches.
+  template <typename T> std::shared_ptr<T> asExternal(const char *Tag) const {
+    assert(isExternal() && "not an external");
+    const External &E = std::get<External>(V);
+    assert(std::string(E.Tag) == Tag && "external tag mismatch");
+    return std::static_pointer_cast<T>(E.Ptr);
+  }
+
+  /// JavaScript truthiness.
+  bool toBoolean() const {
+    switch (kind()) {
+    case ValueKind::Undefined:
+    case ValueKind::Null:
+      return false;
+    case ValueKind::Boolean:
+      return std::get<bool>(V);
+    case ValueKind::Number: {
+      double D = std::get<double>(V);
+      return D != 0.0 && D == D; // false for 0 and NaN
+    }
+    case ValueKind::String:
+      return !asString().empty();
+    default:
+      return true;
+    }
+  }
+
+  /// JavaScript `typeof` result string.
+  const char *typeOf() const {
+    switch (kind()) {
+    case ValueKind::Undefined:
+      return "undefined";
+    case ValueKind::Null:
+      return "object";
+    case ValueKind::Boolean:
+      return "boolean";
+    case ValueKind::Number:
+      return "number";
+    case ValueKind::String:
+      return "string";
+    case ValueKind::Function:
+      return "function";
+    default:
+      return "object";
+    }
+  }
+
+  /// Strict equality (===): same kind; value equality for primitives,
+  /// reference identity for heap entities.
+  bool strictEquals(const Value &RHS) const;
+
+  /// Renders a debug/display string ("undefined", "42", "\"s\"",
+  /// "[Function f]", "[Promise #3]", ...).
+  std::string toDisplayString() const;
+
+private:
+  Storage V;
+};
+
+} // namespace jsrt
+} // namespace asyncg
+
+#endif // ASYNCG_JSRT_VALUE_H

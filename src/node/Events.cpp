@@ -1,0 +1,48 @@
+//===- Events.cpp - node:events helpers (events.once) --------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "node/Events.h"
+
+#include "jsrt/Object.h"
+
+using namespace asyncg;
+using namespace asyncg::node;
+using namespace asyncg::jsrt;
+
+PromiseRef asyncg::node::events::once(Runtime &RT, SourceLocation Loc,
+                                      const EmitterRef &E,
+                                      const std::string &Event) {
+  assert(E && "events.once on null emitter");
+  PromiseRef P = RT.promiseBare(Loc, "events.once(" + Event + ")");
+  auto Settled = std::make_shared<bool>(false);
+
+  Function OnEvent = RT.makeBuiltin(
+      "(once " + Event + ")",
+      [P, Settled](Runtime &R, const CallArgs &A) {
+        if (*Settled)
+          return Completion::normal();
+        *Settled = true;
+        R.resolvePromiseInternal(P, ArrayData::make(A.all()));
+        return Completion::normal();
+      });
+  RT.emitterOnce(Loc, E, Event, OnEvent);
+
+  if (Event != "error") {
+    // A first 'error' emission rejects the pending promise (Node
+    // semantics). The error listener also suppresses the
+    // unhandled-'error' crash while we wait.
+    Function OnError = RT.makeBuiltin(
+        "(once error)", [P, Settled](Runtime &R, const CallArgs &A) {
+          if (*Settled)
+            return Completion::normal();
+          *Settled = true;
+          R.rejectPromiseInternal(P, A.arg(0));
+          return Completion::normal();
+        });
+    RT.emitterOnce(SourceLocation::internal(), E, "error", OnError);
+  }
+  return P;
+}

@@ -1,0 +1,37 @@
+//===- Events.h - node:events helpers (events.once) -------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `events` module helpers bridging emitters and promises —
+/// `events.once(emitter, name)` resolves with the first emission's
+/// arguments. This is precisely the kind of API *combination* (emitter +
+/// promise) the paper argues AsyncG is first to reason about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_NODE_EVENTS_H
+#define ASYNCG_NODE_EVENTS_H
+
+#include "jsrt/Runtime.h"
+#include "support/SourceLocation.h"
+
+#include <string>
+
+namespace asyncg {
+namespace node {
+namespace events {
+
+/// events.once(emitter, name): a promise fulfilled with an array of the
+/// first emission's arguments. Like Node, a first 'error' emission rejects
+/// the promise instead (unless \p Event is "error" itself).
+jsrt::PromiseRef once(jsrt::Runtime &RT, SourceLocation Loc,
+                      const jsrt::EmitterRef &E, const std::string &Event);
+
+} // namespace events
+} // namespace node
+} // namespace asyncg
+
+#endif // ASYNCG_NODE_EVENTS_H

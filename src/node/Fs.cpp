@@ -1,0 +1,55 @@
+//===- Fs.cpp - node:fs-like asynchronous file API ---------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "node/Fs.h"
+
+using namespace asyncg;
+using namespace asyncg::node;
+using namespace asyncg::jsrt;
+
+ScheduleId Fs::readFile(SourceLocation Loc, const std::string &Path,
+                        const Function &Cb) {
+  assert(Cb.isValid() && "fs.readFile requires a callback");
+  ScheduleId Sched =
+      RT.registerExternal(std::move(Loc), ApiKind::FsReadFile, Cb);
+  Runtime *R = &RT;
+  RT.fileSystem().readFileAsync(Path, [R, Cb, Sched](sim::FileResult Res) {
+    Value Err = Res.ok() ? Value::null() : Value::str(Res.Error);
+    Value Data = Res.ok() ? Value::str(Res.Data) : Value::undefined();
+    R->dispatchExternal(Cb, {std::move(Err), std::move(Data)}, Sched,
+                        ApiKind::FsReadFile);
+  });
+  return Sched;
+}
+
+ScheduleId Fs::writeFile(SourceLocation Loc, const std::string &Path,
+                         std::string Data, const Function &Cb) {
+  assert(Cb.isValid() && "fs.writeFile requires a callback");
+  ScheduleId Sched =
+      RT.registerExternal(std::move(Loc), ApiKind::FsWriteFile, Cb);
+  Runtime *R = &RT;
+  RT.fileSystem().writeFileAsync(
+      Path, std::move(Data), [R, Cb, Sched](sim::FileResult Res) {
+        Value Err = Res.ok() ? Value::null() : Value::str(Res.Error);
+        R->dispatchExternal(Cb, {std::move(Err)}, Sched,
+                            ApiKind::FsWriteFile);
+      });
+  return Sched;
+}
+
+PromiseRef Fs::readFilePromise(SourceLocation Loc, const std::string &Path) {
+  PromiseRef P = RT.promiseBare(Loc, "fs.readFile");
+  Function Cb = RT.makeBuiltin(
+      "(fs resolve)", [P](Runtime &R, const CallArgs &A) {
+        if (A.arg(0).isNull())
+          R.resolvePromiseInternal(P, A.arg(1));
+        else
+          R.rejectPromiseInternal(P, A.arg(0));
+        return Completion::normal();
+      });
+  readFile(std::move(Loc), Path, Cb);
+  return P;
+}

@@ -1,0 +1,52 @@
+//===- Fs.h - node:fs-like asynchronous file API ----------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The callback-style `fs` module on top of the simulated file system:
+/// completions arrive through the kernel and dispatch in the event loop's
+/// I/O phase, exactly like libuv's threadpool-backed fs operations. This is
+/// an "external scheduling" source in the paper's taxonomy (§II-A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_NODE_FS_H
+#define ASYNCG_NODE_FS_H
+
+#include "jsrt/Runtime.h"
+#include "support/SourceLocation.h"
+
+#include <string>
+
+namespace asyncg {
+namespace node {
+
+/// The `fs` module facade.
+class Fs {
+public:
+  explicit Fs(jsrt::Runtime &RT) : RT(RT) {}
+
+  /// fs.readFile(path, (err, data) => ...). \p Cb receives (null, string)
+  /// on success or (string error, undefined) on failure. Returns the
+  /// registration id (usable with the AG query helpers).
+  jsrt::ScheduleId readFile(SourceLocation Loc, const std::string &Path,
+                            const jsrt::Function &Cb);
+
+  /// fs.writeFile(path, data, (err) => ...).
+  jsrt::ScheduleId writeFile(SourceLocation Loc, const std::string &Path,
+                             std::string Data, const jsrt::Function &Cb);
+
+  /// fs.readFile returning a promise (the `fs/promises` flavour).
+  jsrt::PromiseRef readFilePromise(SourceLocation Loc,
+                                   const std::string &Path);
+
+private:
+  jsrt::Runtime &RT;
+};
+
+} // namespace node
+} // namespace asyncg
+
+#endif // ASYNCG_NODE_FS_H

@@ -1,0 +1,208 @@
+//===- Http.cpp - node:http-like HTTP server and client ----------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "node/Http.h"
+
+#include "support/Format.h"
+
+using namespace asyncg;
+using namespace asyncg::node;
+using namespace asyncg::node::http;
+using namespace asyncg::jsrt;
+
+//===----------------------------------------------------------------------===//
+// Wire framing
+//===----------------------------------------------------------------------===//
+
+std::string asyncg::node::http::frameRequestLine(const std::string &Method,
+                                                 const std::string &Path) {
+  return "REQ " + Method + " " + Path;
+}
+
+std::string asyncg::node::http::frameDataChunk(const std::string &Chunk) {
+  return "DAT " + Chunk;
+}
+
+std::string asyncg::node::http::frameEnd() { return "END"; }
+
+std::string asyncg::node::http::frameResponse(int Status,
+                                              const std::string &Body) {
+  return strFormat("RES %d %s", Status, Body.c_str());
+}
+
+bool asyncg::node::http::parseResponse(const std::string &Msg,
+                                       ClientResponse &Out) {
+  if (!startsWith(Msg, "RES "))
+    return false;
+  size_t Sp = Msg.find(' ', 4);
+  if (Sp == std::string::npos) {
+    Out.Status = std::atoi(Msg.substr(4).c_str());
+    Out.Body.clear();
+    return true;
+  }
+  Out.Status = std::atoi(Msg.substr(4, Sp - 4).c_str());
+  Out.Body = Msg.substr(Sp + 1);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ServerResponse
+//===----------------------------------------------------------------------===//
+
+bool ServerResponse::end(const std::string &Body) {
+  if (Ended)
+    return false;
+  Ended = true;
+  Sock->write(frameResponse(StatusCode, Body));
+  // Node's http internals complete the outgoing message on the next tick
+  // (write-finished bookkeeping).
+  RT->nextTick(SourceLocation::internal(),
+               RT->makeBuiltin("(response finish)",
+                               [](jsrt::Runtime &, const CallArgs &) {
+                                 return Completion::normal();
+                               }));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// HttpServer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-connection parser state.
+struct ConnState {
+  std::shared_ptr<IncomingMessage> CurrentReq;
+};
+
+} // namespace
+
+std::shared_ptr<HttpServer> HttpServer::create(Runtime &RT,
+                                               SourceLocation Loc,
+                                               const Function &OnRequest) {
+  std::shared_ptr<HttpServer> S(new HttpServer(RT));
+  S->Em = RT.emitterCreate(SourceLocation::internal(), "http.Server",
+                           /*Internal=*/true);
+  if (OnRequest.isValid())
+    RT.emitterOnVia(std::move(Loc), ApiKind::HttpCreateServer, S->Em,
+                    "request", OnRequest);
+
+  EmitterRef ServerEm = S->Em;
+  Function OnConnection = RT.makeBuiltin(
+      "(http connection)", [ServerEm](Runtime &R, const CallArgs &A) {
+        std::shared_ptr<Socket> Sock = Socket::from(A.arg(0));
+        auto Conn = std::make_shared<ConnState>();
+
+        Function OnData = R.makeBuiltin(
+            "(http parse)",
+            [ServerEm, Sock, Conn](Runtime &R2, const CallArgs &A2) {
+              const std::string &Msg = A2.arg(0).asString();
+              if (startsWith(Msg, "REQ ")) {
+                std::string Rest = Msg.substr(4);
+                size_t Sp = Rest.find(' ');
+                std::string Method =
+                    Sp == std::string::npos ? Rest : Rest.substr(0, Sp);
+                std::string Path =
+                    Sp == std::string::npos ? "/" : Rest.substr(Sp + 1);
+                EmitterRef ReqEm =
+                    R2.emitterCreate(SourceLocation::internal(),
+                                     "http.IncomingMessage",
+                                     /*Internal=*/true);
+                Conn->CurrentReq = std::make_shared<IncomingMessage>(
+                    ReqEm, std::move(Method), std::move(Path));
+                auto Res = std::make_shared<ServerResponse>(R2, Sock);
+                R2.emitterEmit(SourceLocation::internal(), ServerEm,
+                               "request",
+                               {Conn->CurrentReq->toValue(),
+                                Res->toValue()});
+                return Completion::normal();
+              }
+              if (startsWith(Msg, "DAT ")) {
+                if (Conn->CurrentReq)
+                  R2.emitterEmit(SourceLocation::internal(),
+                                 Conn->CurrentReq->emitter(), "data",
+                                 {Value::str(Msg.substr(4))});
+                return Completion::normal();
+              }
+              if (Msg == "END") {
+                if (Conn->CurrentReq) {
+                  auto Req = Conn->CurrentReq;
+                  // Keep-alive: ready for the next REQ on this socket.
+                  Conn->CurrentReq = nullptr;
+                  R2.emitterEmit(SourceLocation::internal(), Req->emitter(),
+                                 "end");
+                }
+                return Completion::normal();
+              }
+              return Completion::normal();
+            });
+        R.emitterOnVia(SourceLocation::internal(), ApiKind::EmitterOn,
+                       Sock->emitter(), "data", OnData);
+        return Completion::normal();
+      });
+
+  S->Tcp = node::createServer(RT, SourceLocation::internal(), OnConnection);
+  return S;
+}
+
+bool HttpServer::listen(SourceLocation Loc, int Port) {
+  return Tcp->listen(std::move(Loc), Port);
+}
+
+void HttpServer::close(SourceLocation Loc) {
+  Tcp->close(Loc);
+  EmitterRef ServerEm = Em;
+  Function EmitClose = RT.makeBuiltin(
+      "(http close)", [ServerEm](Runtime &R, const CallArgs &) {
+        R.emitterEmit(SourceLocation::internal(), ServerEm, "close");
+        return Completion::normal();
+      });
+  RT.scheduleCloseCallback(SourceLocation::internal(), EmitClose);
+}
+
+//===----------------------------------------------------------------------===//
+// Client
+//===----------------------------------------------------------------------===//
+
+void asyncg::node::http::request(Runtime &RT, SourceLocation Loc,
+                                 RequestOptions Options, const Function &Cb) {
+  assert(Cb.isValid() && "http.request requires a callback");
+  ScheduleId Sched =
+      RT.registerExternal(std::move(Loc), ApiKind::HttpRequest, Cb);
+  Runtime *R = &RT;
+
+  bool Ok = RT.network().connect(
+      Options.Port,
+      [R, Cb, Sched, Options](std::shared_ptr<sim::Socket> Raw) {
+        // Client endpoint stays raw C++: only the final response callback
+        // is a JS dispatch.
+        Raw->onData([R, Cb, Sched, Raw](const std::string &Msg) {
+          ClientResponse Res;
+          if (!parseResponse(Msg, Res))
+            return;
+          Raw->destroy();
+          R->dispatchExternal(Cb,
+                              {Value::null(),
+                               Value::number(Res.Status),
+                               Value::str(Res.Body)},
+                              Sched, ApiKind::HttpRequest);
+        });
+        Raw->write(frameRequestLine(Options.Method, Options.Path));
+        for (const std::string &Chunk : Options.BodyChunks)
+          Raw->write(frameDataChunk(Chunk));
+        Raw->write(frameEnd());
+      });
+
+  if (!Ok) {
+    RT.kernel().submit(RT.network().latency(), [R, Cb, Sched, Options] {
+      R->dispatchExternal(
+          Cb,
+          {Value::str(strFormat("ECONNREFUSED: port %d", Options.Port)),
+           Value::undefined(), Value::undefined()},
+          Sched, ApiKind::HttpRequest);
+    });
+  }
+}

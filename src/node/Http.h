@@ -1,0 +1,157 @@
+//===- Http.h - node:http-like HTTP server and client -----------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal HTTP layer over the net module, sufficient for the paper's
+/// examples and the AcmeAir evaluation server. The wire protocol is a
+/// simplified framing where each simulated network message is one unit:
+///
+///   client -> server:  "REQ <METHOD> <PATH>" | "DAT <chunk>" | "END"
+///   server -> client:  "RES <status> <body>"
+///
+/// Structure mirrors Node: http.createServer registers the request handler
+/// on an internal 'request' event emitter; each incoming request is itself
+/// an emitter delivering 'data' chunks and 'end' (the §II-A example);
+/// responses are written through a ServerResponse object. Connections are
+/// keep-alive: a client may send many REQ/DAT/END cycles on one socket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_NODE_HTTP_H
+#define ASYNCG_NODE_HTTP_H
+
+#include "jsrt/Runtime.h"
+#include "node/Net.h"
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace node {
+namespace http {
+
+/// An incoming HTTP request: an emitter ('data' string chunks, 'end') plus
+/// the request line.
+class IncomingMessage
+    : public std::enable_shared_from_this<IncomingMessage> {
+public:
+  IncomingMessage(jsrt::EmitterRef Em, std::string Method, std::string Url)
+      : Em(std::move(Em)), Method(std::move(Method)), Url(std::move(Url)) {}
+
+  const jsrt::EmitterRef &emitter() const { return Em; }
+  const std::string &method() const { return Method; }
+  const std::string &url() const { return Url; }
+
+  jsrt::Value toValue() {
+    return jsrt::Value::external(shared_from_this(), ExternalTag);
+  }
+  static std::shared_ptr<IncomingMessage> from(const jsrt::Value &V) {
+    return V.asExternal<IncomingMessage>(ExternalTag);
+  }
+
+  static constexpr const char *ExternalTag = "http.IncomingMessage";
+
+private:
+  jsrt::EmitterRef Em;
+  std::string Method;
+  std::string Url;
+};
+
+/// The response writer handed to request handlers.
+class ServerResponse : public std::enable_shared_from_this<ServerResponse> {
+public:
+  ServerResponse(jsrt::Runtime &RT, std::shared_ptr<Socket> Sock)
+      : RT(&RT), Sock(std::move(Sock)) {}
+
+  /// res.writeHead(status).
+  void writeHead(int Status) { StatusCode = Status; }
+
+  /// res.end([body]): sends the response. Returns false if already ended.
+  bool end(const std::string &Body = std::string());
+
+  bool isEnded() const { return Ended; }
+  int statusCode() const { return StatusCode; }
+
+  jsrt::Value toValue() {
+    return jsrt::Value::external(shared_from_this(), ExternalTag);
+  }
+  static std::shared_ptr<ServerResponse> from(const jsrt::Value &V) {
+    return V.asExternal<ServerResponse>(ExternalTag);
+  }
+
+  static constexpr const char *ExternalTag = "http.ServerResponse";
+
+private:
+  jsrt::Runtime *RT;
+  std::shared_ptr<Socket> Sock;
+  int StatusCode = 200;
+  bool Ended = false;
+};
+
+/// An HTTP server. Emits 'request' with (IncomingMessage, ServerResponse)
+/// values and 'close'.
+class HttpServer : public std::enable_shared_from_this<HttpServer> {
+public:
+  /// http.createServer([requestListener]).
+  static std::shared_ptr<HttpServer>
+  create(jsrt::Runtime &RT, SourceLocation Loc,
+         const jsrt::Function &OnRequest = jsrt::Function());
+
+  const jsrt::EmitterRef &emitter() const { return Em; }
+
+  /// server.listen(port).
+  bool listen(SourceLocation Loc, int Port);
+
+  /// server.close().
+  void close(SourceLocation Loc);
+
+private:
+  explicit HttpServer(jsrt::Runtime &RT) : RT(RT) {}
+
+  jsrt::Runtime &RT;
+  jsrt::EmitterRef Em;
+  std::shared_ptr<Server> Tcp;
+};
+
+/// Client-side response passed to http.request callbacks.
+struct ClientResponse {
+  int Status = 0;
+  std::string Body;
+};
+
+/// Options for http.request.
+struct RequestOptions {
+  std::string Method = "GET";
+  int Port = 0;
+  std::string Path = "/";
+  /// Body chunks, each sent as a separate DAT message (separate 'data'
+  /// events server-side).
+  std::vector<std::string> BodyChunks;
+};
+
+/// http.request(options, (err, status, body) => ...). One request per
+/// connection; the callback is dispatched in the I/O phase.
+void request(jsrt::Runtime &RT, SourceLocation Loc, RequestOptions Options,
+             const jsrt::Function &Cb);
+
+/// Serializes/parses the wire framing (exposed for the workload driver and
+/// tests).
+std::string frameRequestLine(const std::string &Method,
+                             const std::string &Path);
+std::string frameDataChunk(const std::string &Chunk);
+std::string frameEnd();
+std::string frameResponse(int Status, const std::string &Body);
+/// Parses "RES <status> <body>"; returns false when \p Msg is not a
+/// response frame.
+bool parseResponse(const std::string &Msg, ClientResponse &Out);
+
+} // namespace http
+} // namespace node
+} // namespace asyncg
+
+#endif // ASYNCG_NODE_HTTP_H

@@ -1,0 +1,133 @@
+//===- Net.cpp - node:net-like TCP servers and sockets -----------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "node/Net.h"
+
+using namespace asyncg;
+using namespace asyncg::node;
+using namespace asyncg::jsrt;
+
+std::shared_ptr<Socket> Socket::wrap(Runtime &RT,
+                                     std::shared_ptr<sim::Socket> Raw) {
+  std::shared_ptr<Socket> S(new Socket(RT, std::move(Raw)));
+  S->Em = RT.emitterCreate(SourceLocation::internal(), "net.Socket",
+                           /*Internal=*/true);
+
+  // Raw handlers run inside kernel completions (loop I/O context); each OS
+  // event becomes an internal top-level dispatch that synchronously emits
+  // on the socket emitter. They hold the wrapper strongly — an open socket
+  // stays alive like any active libuv handle; the cycle is broken when the
+  // close event fires.
+  Runtime *R = &RT;
+  std::shared_ptr<Socket> Self = S;
+  S->Raw->onData([R, Self](const std::string &Bytes) {
+    R->dispatchInternal("(socket data)", [Self, Bytes](Runtime &RT2) {
+      RT2.emitterEmit(SourceLocation::internal(), Self->Em, "data",
+                      {Value::str(Bytes)});
+    });
+  });
+  S->Raw->onEnd([R, Self] {
+    R->dispatchInternal("(socket end)", [Self](Runtime &RT2) {
+      RT2.emitterEmit(SourceLocation::internal(), Self->Em, "end");
+    });
+  });
+  S->Raw->onClose([R, Self] {
+    // Close events run in the close-handlers phase (lowest priority).
+    Function EmitClose =
+        R->makeBuiltin("(socket close)", [Self](Runtime &RT2,
+                                                const CallArgs &) {
+          RT2.emitterEmit(SourceLocation::internal(), Self->Em, "close");
+          return Completion::normal();
+        });
+    R->scheduleCloseCallback(SourceLocation::internal(), EmitClose);
+    Self->Raw->clearHandlers();
+  });
+  return S;
+}
+
+std::shared_ptr<Server> asyncg::node::createServer(
+    Runtime &RT, SourceLocation Loc, const Function &OnConnection) {
+  std::shared_ptr<Server> S(new Server(RT));
+  S->Em = RT.emitterCreate(SourceLocation::internal(), "net.Server",
+                           /*Internal=*/true);
+  if (OnConnection.isValid())
+    RT.emitterOnVia(std::move(Loc), ApiKind::NetCreateServer, S->Em,
+                    "connection", OnConnection);
+  return S;
+}
+
+bool Server::listen(SourceLocation Loc, int Port) {
+  assert(!isListening() && "server already listening");
+  Runtime *R = &RT;
+  EmitterRef ServerEm = Em;
+  // The listener table holds a strong self-reference while listening — a
+  // listening server keeps the process alive in Node; close() releases it.
+  std::shared_ptr<Server> Self = shared_from_this();
+  bool Ok = RT.network().listen(
+      Port, [R, ServerEm, Self](std::shared_ptr<sim::Socket> Raw) {
+        (void)Self;
+        R->dispatchInternal("(tcp accept)", [ServerEm, Raw](Runtime &RT2) {
+          auto Sock = Socket::wrap(RT2, Raw);
+          RT2.emitterEmit(SourceLocation::internal(), ServerEm, "connection",
+                          {Sock->toValue()});
+        });
+      });
+  if (!Ok)
+    return false;
+  this->Port = Port;
+
+  // Surface the listen call itself to the analyses (a CR-less API use).
+  if (!RT.hooks().empty()) {
+    instr::ApiCallEvent E;
+    E.Api = ApiKind::NetListen;
+    E.Loc = std::move(Loc);
+    E.BoundObj = Em->Id;
+    RT.hooks().fireApiCall(E);
+  }
+  return true;
+}
+
+void Server::close(SourceLocation Loc) {
+  (void)Loc;
+  if (!isListening())
+    return;
+  RT.network().closePort(Port);
+  Port = -1;
+  EmitterRef ServerEm = Em;
+  Function EmitClose = RT.makeBuiltin(
+      "(server close)", [ServerEm](Runtime &RT2, const CallArgs &) {
+        RT2.emitterEmit(SourceLocation::internal(), ServerEm, "close");
+        return Completion::normal();
+      });
+  RT.scheduleCloseCallback(SourceLocation::internal(), EmitClose);
+}
+
+void asyncg::node::connect(Runtime &RT, SourceLocation Loc, int Port,
+                           const Function &OnConnect) {
+  assert(OnConnect.isValid() && "net.connect requires a listener");
+  ScheduleId Sched =
+      RT.registerExternal(std::move(Loc), ApiKind::NetConnect, OnConnect);
+  Runtime *R = &RT;
+  bool Ok = RT.network().connect(
+      Port, [R, OnConnect, Sched](std::shared_ptr<sim::Socket> Raw) {
+        // Runs in a kernel completion: dispatch the user's connect callback
+        // as an I/O tick with the connected socket.
+        auto Sock = Socket::wrap(*R, Raw);
+        R->dispatchExternal(OnConnect, {Sock->toValue()}, Sched,
+                            ApiKind::NetConnect);
+      });
+  if (!Ok) {
+    // Connection refused: report asynchronously, as the OS would.
+    RT.kernel().submit(RT.network().latency(), [R, Port] {
+      R->dispatchInternal("(connect error)", [Port](Runtime &RT2) {
+        RT2.reportUncaught(
+            Value::str("ECONNREFUSED: connect to port " +
+                       std::to_string(Port)),
+            SourceLocation::internal());
+      });
+    });
+  }
+}

@@ -1,0 +1,116 @@
+//===- Net.h - node:net-like TCP servers and sockets ------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `net` module: TCP servers and sockets wrapping the simulated network
+/// in EventEmitter objects. Servers emit 'connection' and 'close'; sockets
+/// emit 'data', 'end', and 'close'. Incoming OS events are delivered by
+/// internal dispatcher callbacks in the I/O phase, and socket 'close'
+/// events go through the close-handlers phase (lowest priority), matching
+/// the paper's phase taxonomy (§II-B).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_NODE_NET_H
+#define ASYNCG_NODE_NET_H
+
+#include "jsrt/Runtime.h"
+#include "sim/Network.h"
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <string>
+
+namespace asyncg {
+namespace node {
+
+/// A JS-visible TCP socket: an emitter ('data'/'end'/'close') plus write
+/// and teardown methods. Wraps one endpoint of a simulated connection.
+class Socket : public std::enable_shared_from_this<Socket> {
+public:
+  /// Wraps a raw simulated socket and wires its events through internal
+  /// I/O dispatch into the emitter.
+  static std::shared_ptr<Socket> wrap(jsrt::Runtime &RT,
+                                      std::shared_ptr<sim::Socket> Raw);
+
+  /// The emitter carrying 'data' (string chunk), 'end', and 'close'.
+  const jsrt::EmitterRef &emitter() const { return Em; }
+
+  /// Sends bytes to the peer. Returns false once ended/destroyed.
+  bool write(const std::string &Bytes) { return Raw->write(Bytes); }
+
+  /// Half-closes the connection.
+  void end() { Raw->end(); }
+
+  /// Tears the connection down (both sides see 'close').
+  void destroy() { Raw->destroy(); }
+
+  /// Boxes this socket into a JS value (External-tagged).
+  jsrt::Value toValue() { return jsrt::Value::external(shared_from_this(),
+                                                       ExternalTag); }
+
+  /// Unboxes a socket from a JS value.
+  static std::shared_ptr<Socket> from(const jsrt::Value &V) {
+    return V.asExternal<Socket>(ExternalTag);
+  }
+
+  static constexpr const char *ExternalTag = "net.Socket";
+
+private:
+  Socket(jsrt::Runtime &RT, std::shared_ptr<sim::Socket> Raw)
+      : RT(RT), Raw(std::move(Raw)) {}
+
+  jsrt::Runtime &RT;
+  std::shared_ptr<sim::Socket> Raw;
+  jsrt::EmitterRef Em;
+};
+
+/// A JS-visible TCP server: an emitter carrying 'connection' (Socket value)
+/// and 'close'.
+class Server : public std::enable_shared_from_this<Server> {
+public:
+  const jsrt::EmitterRef &emitter() const { return Em; }
+
+  /// server.listen(port). Returns false if the port is in use.
+  bool listen(SourceLocation Loc, int Port);
+
+  /// server.close(): stops accepting; emits 'close' in the close phase.
+  void close(SourceLocation Loc);
+
+  bool isListening() const { return Port >= 0; }
+
+  static constexpr const char *ExternalTag = "net.Server";
+
+private:
+  friend std::shared_ptr<Server> createServer(jsrt::Runtime &,
+                                              SourceLocation,
+                                              const jsrt::Function &);
+  explicit Server(jsrt::Runtime &RT) : RT(RT) {}
+
+  jsrt::Runtime &RT;
+  jsrt::EmitterRef Em;
+  int Port = -1;
+};
+
+/// net.createServer([connectionListener]): creates a server whose internal
+/// emitter receives the listener on 'connection' — the paper's
+/// "□ L7: createServer registers the callback with an internal event
+/// emitter (*: E1)" structure.
+std::shared_ptr<Server> createServer(jsrt::Runtime &RT, SourceLocation Loc,
+                                     const jsrt::Function &OnConnection =
+                                         jsrt::Function());
+
+/// net.connect(port, [connectListener]): client side. The listener receives
+/// the connected Socket value. Returns immediately; connection (or an
+/// 'error'-style uncaught report when nothing listens) happens in the I/O
+/// phase.
+void connect(jsrt::Runtime &RT, SourceLocation Loc, int Port,
+             const jsrt::Function &OnConnect);
+
+} // namespace node
+} // namespace asyncg
+
+#endif // ASYNCG_NODE_NET_H

@@ -1,0 +1,55 @@
+//===- Clock.h - Virtual time ------------------------------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual clock backing the simulated kernel and the jsrt timer phase.
+/// All timing-related semantics (setTimeout ordering, I/O latencies) are
+/// expressed in virtual microseconds so runs are fully deterministic; the
+/// event loop advances the clock when it would otherwise block in poll.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SIM_CLOCK_H
+#define ASYNCG_SIM_CLOCK_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace asyncg {
+namespace sim {
+
+/// Virtual time in microseconds since simulation start.
+using SimTime = uint64_t;
+
+/// Sentinel meaning "no deadline".
+constexpr SimTime NoDeadline = ~static_cast<SimTime>(0);
+
+/// Converts milliseconds (the unit of the Node timer APIs) to SimTime.
+constexpr SimTime millis(uint64_t Ms) { return Ms * 1000; }
+
+/// A monotonically advancing virtual clock.
+class Clock {
+public:
+  SimTime now() const { return Now; }
+
+  /// Moves time forward to \p T. Never moves backwards.
+  void advanceTo(SimTime T) {
+    assert(T != NoDeadline && "advancing to the no-deadline sentinel");
+    if (T > Now)
+      Now = T;
+  }
+
+  /// Moves time forward by \p Delta microseconds.
+  void advanceBy(SimTime Delta) { Now += Delta; }
+
+private:
+  SimTime Now = 0;
+};
+
+} // namespace sim
+} // namespace asyncg
+
+#endif // ASYNCG_SIM_CLOCK_H

@@ -1,0 +1,31 @@
+//===- FileSystem.cpp - Simulated asynchronous file system -----------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/FileSystem.h"
+
+using namespace asyncg;
+using namespace asyncg::sim;
+
+void FileSystem::readFileAsync(const std::string &Path,
+                               std::function<void(FileResult)> Done) {
+  K.submit(LatencyUs, [this, Path, Done = std::move(Done)] {
+    auto It = Files.find(Path);
+    if (It == Files.end()) {
+      Done(FileResult{"ENOENT: no such file '" + Path + "'", ""});
+      return;
+    }
+    Done(FileResult{"", It->second});
+  });
+}
+
+void FileSystem::writeFileAsync(const std::string &Path, std::string Contents,
+                                std::function<void(FileResult)> Done) {
+  K.submit(LatencyUs,
+           [this, Path, Contents = std::move(Contents), Done = std::move(Done)] {
+             Files[Path] = Contents;
+             Done(FileResult{"", ""});
+           });
+}

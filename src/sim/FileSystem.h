@@ -1,0 +1,66 @@
+//===- FileSystem.h - Simulated asynchronous file system --------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-memory file store with asynchronous read/write completing through
+/// the simulated kernel, backing the node-layer `fs` module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SIM_FILESYSTEM_H
+#define ASYNCG_SIM_FILESYSTEM_H
+
+#include "sim/Kernel.h"
+
+#include <functional>
+#include <map>
+#include <string>
+
+namespace asyncg {
+namespace sim {
+
+/// Result of an asynchronous file operation: empty Error means success.
+struct FileResult {
+  std::string Error;
+  std::string Data;
+  bool ok() const { return Error.empty(); }
+};
+
+/// The simulated file system.
+class FileSystem {
+public:
+  FileSystem(Kernel &K, SimTime LatencyUs = 100) : K(K), LatencyUs(LatencyUs) {}
+
+  /// Creates/overwrites a file synchronously (setup helper for tests).
+  void putFile(const std::string &Path, std::string Contents) {
+    Files[Path] = std::move(Contents);
+  }
+
+  bool exists(const std::string &Path) const { return Files.count(Path) != 0; }
+
+  /// Synchronous read; asserts the file exists (setup helper).
+  const std::string &getFile(const std::string &Path) const {
+    return Files.at(Path);
+  }
+
+  /// Asynchronous read completing in the I/O phase after the fs latency.
+  void readFileAsync(const std::string &Path,
+                     std::function<void(FileResult)> Done);
+
+  /// Asynchronous write completing in the I/O phase after the fs latency.
+  void writeFileAsync(const std::string &Path, std::string Contents,
+                      std::function<void(FileResult)> Done);
+
+private:
+  Kernel &K;
+  SimTime LatencyUs;
+  std::map<std::string, std::string> Files;
+};
+
+} // namespace sim
+} // namespace asyncg
+
+#endif // ASYNCG_SIM_FILESYSTEM_H

@@ -1,0 +1,48 @@
+//===- Kernel.cpp - Simulated OS async-completion kernel -------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Kernel.h"
+
+#include <cassert>
+
+using namespace asyncg;
+using namespace asyncg::sim;
+
+OpId Kernel::submit(SimTime Delay, std::function<void()> Action) {
+  OpId Id = NextId++;
+  SimTime Deadline = TheClock.now() + Delay;
+  auto Key = std::make_pair(Deadline, Id);
+  Pending.emplace(Key, PendingOp{Id, std::move(Action)});
+  ById.emplace(Id, Key);
+  return Id;
+}
+
+bool Kernel::cancel(OpId Id) {
+  auto It = ById.find(Id);
+  if (It == ById.end())
+    return false;
+  Pending.erase(It->second);
+  ById.erase(It);
+  return true;
+}
+
+SimTime Kernel::nextDeadline() const {
+  if (Pending.empty())
+    return NoDeadline;
+  return Pending.begin()->first.first;
+}
+
+std::vector<std::function<void()>> Kernel::takeDue() {
+  std::vector<std::function<void()>> Due;
+  SimTime Now = TheClock.now();
+  while (!Pending.empty() && Pending.begin()->first.first <= Now) {
+    auto It = Pending.begin();
+    ById.erase(It->second.Id);
+    Due.push_back(std::move(It->second.Action));
+    Pending.erase(It);
+  }
+  return Due;
+}

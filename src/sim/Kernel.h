@@ -1,0 +1,84 @@
+//===- Kernel.h - Simulated OS async-completion kernel ----------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated operating system: a table of pending asynchronous
+/// operations, each with a virtual completion time and a completion action.
+/// The jsrt event loop polls the kernel in its I/O phase; when the loop is
+/// otherwise idle it advances the virtual clock to the next deadline, which
+/// models libuv blocking in epoll with a timeout.
+///
+/// This is the paper's "external scheduling" source (§II-A): callbacks
+/// scheduled by the OS which notifies the event loop with event data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SIM_KERNEL_H
+#define ASYNCG_SIM_KERNEL_H
+
+#include "sim/Clock.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace asyncg {
+namespace sim {
+
+/// Identifies a pending kernel operation (for cancellation).
+using OpId = uint64_t;
+
+/// The simulated kernel. Completion actions run when the event loop polls;
+/// they are plain C++ closures — the node-layer wraps them so that JS-level
+/// callbacks are dispatched through the instrumented runtime.
+class Kernel {
+public:
+  explicit Kernel(Clock &C) : TheClock(C) {}
+
+  Clock &clock() { return TheClock; }
+  SimTime now() const { return TheClock.now(); }
+
+  /// Schedules \p Action to complete \p Delay microseconds from now.
+  /// Returns an id usable with cancel().
+  OpId submit(SimTime Delay, std::function<void()> Action);
+
+  /// Cancels a pending operation. Returns false if it already completed.
+  bool cancel(OpId Id);
+
+  /// True if any operation is still pending.
+  bool hasPending() const { return !Pending.empty(); }
+
+  /// Number of pending operations.
+  size_t pendingCount() const { return Pending.size(); }
+
+  /// Earliest completion deadline, or NoDeadline when nothing is pending.
+  SimTime nextDeadline() const;
+
+  /// Removes and returns the actions of all operations due at or before the
+  /// current virtual time, in deadline order (FIFO among equal deadlines).
+  std::vector<std::function<void()>> takeDue();
+
+  /// Total operations ever submitted (for statistics/tests).
+  uint64_t submittedCount() const { return NextId; }
+
+private:
+  struct PendingOp {
+    OpId Id;
+    std::function<void()> Action;
+  };
+
+  Clock &TheClock;
+  // Key: (deadline, sequence) so equal deadlines complete in submit order.
+  std::map<std::pair<SimTime, OpId>, PendingOp> Pending;
+  std::map<OpId, std::pair<SimTime, OpId>> ById;
+  OpId NextId = 0;
+};
+
+} // namespace sim
+} // namespace asyncg
+
+#endif // ASYNCG_SIM_KERNEL_H

@@ -1,0 +1,108 @@
+//===- Network.cpp - Simulated TCP sockets and listeners -------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Network.h"
+
+#include <cassert>
+
+using namespace asyncg;
+using namespace asyncg::sim;
+
+bool Socket::write(const std::string &Bytes) {
+  if (Ended || Destroyed)
+    return false;
+  auto PeerRef = Peer;
+  K->submit(Latency, [PeerRef, Bytes] {
+    if (auto P = PeerRef.lock())
+      P->deliverData(Bytes);
+  });
+  return true;
+}
+
+void Socket::end() {
+  if (Ended || Destroyed)
+    return;
+  Ended = true;
+  auto PeerRef = Peer;
+  K->submit(Latency, [PeerRef] {
+    if (auto P = PeerRef.lock())
+      P->deliverEnd();
+  });
+}
+
+void Socket::destroy() {
+  if (Destroyed)
+    return;
+  Destroyed = true;
+  auto Self = weak_from_this();
+  auto PeerRef = Peer;
+  K->submit(Latency, [Self, PeerRef] {
+    if (auto S = Self.lock())
+      S->deliverClose();
+    if (auto P = PeerRef.lock())
+      P->deliverClose();
+  });
+}
+
+void Socket::deliverData(const std::string &Bytes) {
+  if (Destroyed)
+    return;
+  if (Data)
+    Data(Bytes);
+}
+
+void Socket::deliverEnd() {
+  if (Destroyed)
+    return;
+  if (End)
+    End();
+}
+
+void Socket::deliverClose() {
+  if (Close) {
+    // Fire close exactly once per endpoint.
+    EventHandler H = std::move(Close);
+    Close = nullptr;
+    Destroyed = true;
+    H();
+    return;
+  }
+  Destroyed = true;
+}
+
+bool Network::listen(int Port, AcceptHandler OnAccept) {
+  if (Listeners.count(Port))
+    return false;
+  Listeners.emplace(Port, std::move(OnAccept));
+  return true;
+}
+
+void Network::closePort(int Port) { Listeners.erase(Port); }
+
+bool Network::connect(int Port, ConnectHandler OnConnect) {
+  auto It = Listeners.find(Port);
+  if (It == Listeners.end())
+    return false;
+
+  auto ServerSide = std::make_shared<Socket>();
+  auto ClientSide = std::make_shared<Socket>();
+  ServerSide->K = &K;
+  ClientSide->K = &K;
+  ServerSide->Latency = LatencyUs;
+  ClientSide->Latency = LatencyUs;
+  ServerSide->Peer = ClientSide;
+  ClientSide->Peer = ServerSide;
+
+  AcceptHandler &Accept = It->second;
+  K.submit(LatencyUs, [Accept, ServerSide, OnConnect, ClientSide] {
+    // Accept on the server first (as the SYN arrives), then complete the
+    // client's connect.
+    Accept(ServerSide);
+    if (OnConnect)
+      OnConnect(ClientSide);
+  });
+  return true;
+}

@@ -1,0 +1,115 @@
+//===- Network.h - Simulated TCP sockets and listeners ----------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated TCP layer: listening ports, socket pairs, and message
+/// delivery with configurable virtual latency through the kernel.
+/// The node-layer net/http modules wrap these raw sockets in EventEmitter
+/// objects; the workload driver connects from "outside" the JS world, the
+/// way JMeter drives the AcmeAir server in the paper's evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SIM_NETWORK_H
+#define ASYNCG_SIM_NETWORK_H
+
+#include "sim/Kernel.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace asyncg {
+namespace sim {
+
+class Network;
+
+/// One endpoint of a simulated TCP connection. Data written here is
+/// delivered to the peer endpoint's data handler after the network latency.
+class Socket : public std::enable_shared_from_this<Socket> {
+public:
+  using DataHandler = std::function<void(const std::string &)>;
+  using EventHandler = std::function<void()>;
+
+  /// Installs the handler invoked when the peer sends data.
+  void onData(DataHandler H) { Data = std::move(H); }
+  /// Installs the handler invoked when the peer half-closes.
+  void onEnd(EventHandler H) { End = std::move(H); }
+  /// Installs the handler invoked when the connection is torn down.
+  void onClose(EventHandler H) { Close = std::move(H); }
+
+  /// Sends \p Bytes to the peer. Returns false after end()/destroy().
+  bool write(const std::string &Bytes);
+
+  /// Half-closes: the peer sees an end event after the latency.
+  void end();
+
+  /// Tears the connection down; both endpoints see a close event.
+  void destroy();
+
+  /// Drops all installed handlers (breaks owner<->handler reference
+  /// cycles once the owner saw the close event).
+  void clearHandlers() {
+    Data = nullptr;
+    End = nullptr;
+    Close = nullptr;
+  }
+
+  bool isEnded() const { return Ended; }
+  bool isDestroyed() const { return Destroyed; }
+
+private:
+  friend class Network;
+
+  void deliverData(const std::string &Bytes);
+  void deliverEnd();
+  void deliverClose();
+
+  Kernel *K = nullptr;
+  SimTime Latency = 0;
+  std::weak_ptr<Socket> Peer;
+  DataHandler Data;
+  EventHandler End;
+  EventHandler Close;
+  bool Ended = false;
+  bool Destroyed = false;
+};
+
+/// The simulated network: a port table plus socket-pair plumbing.
+class Network {
+public:
+  /// \p LatencyUs is the one-way delivery latency for connect/data/end.
+  Network(Kernel &K, SimTime LatencyUs = 50) : K(K), LatencyUs(LatencyUs) {}
+
+  using AcceptHandler = std::function<void(std::shared_ptr<Socket>)>;
+  using ConnectHandler = std::function<void(std::shared_ptr<Socket>)>;
+
+  /// Starts listening on \p Port. Returns false if the port is in use.
+  bool listen(int Port, AcceptHandler OnAccept);
+
+  /// Stops listening on \p Port.
+  void closePort(int Port);
+
+  bool isListening(int Port) const { return Listeners.count(Port) != 0; }
+
+  /// Connects to \p Port. After the latency, the listener's accept handler
+  /// receives the server endpoint and \p OnConnect receives the client
+  /// endpoint. Returns false immediately if nothing listens on the port.
+  bool connect(int Port, ConnectHandler OnConnect);
+
+  SimTime latency() const { return LatencyUs; }
+
+private:
+  Kernel &K;
+  SimTime LatencyUs;
+  std::map<int, AcceptHandler> Listeners;
+};
+
+} // namespace sim
+} // namespace asyncg
+
+#endif // ASYNCG_SIM_NETWORK_H

@@ -1,0 +1,78 @@
+//===- Random.h - Deterministic pseudo-random numbers -----------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seedable SplitMix64 generator used by the workload driver and the
+/// property-based tests. Deterministic across platforms, unlike
+/// std::default_random_engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SIM_RANDOM_H
+#define ASYNCG_SIM_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace asyncg {
+namespace sim {
+
+/// SplitMix64: tiny, fast, and statistically adequate for workload mixing.
+class Random {
+public:
+  explicit Random(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  uint64_t nextInt(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + next() % (Hi - Lo + 1);
+  }
+
+  /// Bernoulli trial with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+  /// Picks an index proportionally to Weights (any range of doubles).
+  template <typename Container> size_t pickWeighted(const Container &Weights) {
+    double Total = 0;
+    size_t Count = 0;
+    for (double W : Weights) {
+      Total += W;
+      ++Count;
+    }
+    assert(Total > 0 && "weights must be positive");
+    double X = nextDouble() * Total;
+    size_t I = 0;
+    for (double W : Weights) {
+      if (X < W)
+        return I;
+      X -= W;
+      ++I;
+    }
+    return Count - 1;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace sim
+} // namespace asyncg
+
+#endif // ASYNCG_SIM_RANDOM_H

@@ -1,0 +1,115 @@
+//===- Format.cpp - Tiny string formatting helpers ------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace asyncg;
+
+std::string asyncg::strFormatV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  return Out;
+}
+
+std::string asyncg::strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Out = strFormatV(Fmt, Args);
+  va_end(Args);
+  return Out;
+}
+
+std::string asyncg::joinStrings(const std::vector<std::string> &Parts,
+                                const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string asyncg::escapeString(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += strFormat("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+bool asyncg::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool asyncg::endsWith(const std::string &S, const std::string &Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+std::vector<std::string> asyncg::splitString(const std::string &S, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string::npos) {
+      Parts.push_back(S.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string asyncg::formatNumber(double V) {
+  if (std::isnan(V))
+    return "NaN";
+  if (std::isinf(V))
+    return V > 0 ? "Infinity" : "-Infinity";
+  if (V == static_cast<double>(static_cast<long long>(V)) &&
+      std::fabs(V) < 1e15)
+    return strFormat("%lld", static_cast<long long>(V));
+  std::string Out = strFormat("%.6f", V);
+  // Trim trailing zeros but keep at least one digit after the point.
+  while (endsWith(Out, "0"))
+    Out.pop_back();
+  if (endsWith(Out, "."))
+    Out.pop_back();
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- Format.h - Tiny string formatting helpers ----------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string plus a few string utilities used
+/// across the project. Library code avoids iostreams entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SUPPORT_FORMAT_H
+#define ASYNCG_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+
+/// Formats \p Fmt with printf semantics and returns the result as a string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of strFormat.
+std::string strFormatV(const char *Fmt, va_list Args);
+
+/// Joins \p Parts with \p Sep.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep);
+
+/// Escapes a string for embedding in a double-quoted JSON or DOT literal.
+std::string escapeString(const std::string &S);
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Returns true if \p S ends with \p Suffix.
+bool endsWith(const std::string &S, const std::string &Suffix);
+
+/// Splits \p S on the single-character separator \p Sep. Keeps empty fields.
+std::vector<std::string> splitString(const std::string &S, char Sep);
+
+/// Formats a double with trailing-zero trimming ("1.5", "3", "0.25").
+std::string formatNumber(double V);
+
+} // namespace asyncg
+
+#endif // ASYNCG_SUPPORT_FORMAT_H

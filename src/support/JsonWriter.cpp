@@ -1,0 +1,110 @@
+//===- JsonWriter.cpp - Streaming JSON emitter -----------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JsonWriter.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace asyncg;
+
+void JsonWriter::beforeValue() {
+  if (Scopes.empty())
+    return;
+  Scope &S = Scopes.back();
+  if (S.Kind == ScopeKind::Object) {
+    assert(PendingKey && "object value requires a preceding key");
+    PendingKey = false;
+    return;
+  }
+  if (S.SawElement)
+    raw(",");
+  S.SawElement = true;
+}
+
+void JsonWriter::beginObject() {
+  beforeValue();
+  raw("{");
+  Scopes.push_back({ScopeKind::Object, false});
+}
+
+void JsonWriter::endObject() {
+  assert(!Scopes.empty() && Scopes.back().Kind == ScopeKind::Object &&
+         "mismatched endObject");
+  assert(!PendingKey && "dangling key at endObject");
+  Scopes.pop_back();
+  raw("}");
+}
+
+void JsonWriter::beginArray() {
+  beforeValue();
+  raw("[");
+  Scopes.push_back({ScopeKind::Array, false});
+}
+
+void JsonWriter::endArray() {
+  assert(!Scopes.empty() && Scopes.back().Kind == ScopeKind::Array &&
+         "mismatched endArray");
+  Scopes.pop_back();
+  raw("]");
+}
+
+void JsonWriter::key(const std::string &K) {
+  assert(!Scopes.empty() && Scopes.back().Kind == ScopeKind::Object &&
+         "key outside of object");
+  assert(!PendingKey && "two keys in a row");
+  Scope &S = Scopes.back();
+  if (S.SawElement)
+    raw(",");
+  S.SawElement = true;
+  raw("\"" + escapeString(K) + "\":");
+  PendingKey = true;
+}
+
+void JsonWriter::value(const std::string &V) {
+  beforeValue();
+  raw("\"" + escapeString(V) + "\"");
+}
+
+void JsonWriter::value(const char *V) { value(std::string(V)); }
+
+void JsonWriter::value(double V) {
+  beforeValue();
+  if (std::isnan(V) || std::isinf(V)) {
+    raw("null");
+    return;
+  }
+  raw(formatNumber(V));
+}
+
+void JsonWriter::value(int64_t V) {
+  beforeValue();
+  raw(strFormat("%lld", static_cast<long long>(V)));
+}
+
+void JsonWriter::value(uint64_t V) {
+  beforeValue();
+  raw(strFormat("%llu", static_cast<unsigned long long>(V)));
+}
+
+void JsonWriter::value(bool V) {
+  beforeValue();
+  raw(V ? "true" : "false");
+}
+
+void JsonWriter::nullValue() {
+  beforeValue();
+  raw("null");
+}
+
+std::string JsonWriter::take() {
+  assert(Scopes.empty() && "taking JSON with open scopes");
+  std::string Result = std::move(Out);
+  Out.clear();
+  return Result;
+}

@@ -1,0 +1,87 @@
+//===- JsonWriter.h - Streaming JSON emitter --------------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer used to dump Async Graphs in the log format
+/// consumed by the paper artifact's visualization website. The writer builds
+/// into a std::string; callers decide where the bytes go.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SUPPORT_JSONWRITER_H
+#define ASYNCG_SUPPORT_JSONWRITER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+
+/// Streaming JSON writer. Usage:
+/// \code
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("ticks");
+///   W.beginArray();
+///   ...
+///   W.endArray();
+///   W.endObject();
+///   std::string S = W.take();
+/// \endcode
+/// The writer asserts on malformed sequences (e.g. a value without a key
+/// inside an object).
+class JsonWriter {
+public:
+  JsonWriter() = default;
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits an object key; must be inside an object and followed by a value.
+  void key(const std::string &K);
+
+  void value(const std::string &V);
+  void value(const char *V);
+  void value(double V);
+  void value(int64_t V);
+  void value(uint64_t V);
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(unsigned V) { value(static_cast<uint64_t>(V)); }
+  void value(bool V);
+  void nullValue();
+
+  /// Convenience: key + value in one call.
+  template <typename T> void field(const std::string &K, const T &V) {
+    key(K);
+    value(V);
+  }
+
+  /// Returns the accumulated JSON text and resets the writer.
+  std::string take();
+
+  /// Returns the accumulated JSON text without resetting.
+  const std::string &str() const { return Out; }
+
+private:
+  enum class ScopeKind { Object, Array };
+  struct Scope {
+    ScopeKind Kind;
+    bool SawElement = false;
+  };
+
+  void beforeValue();
+  void raw(const std::string &S) { Out += S; }
+
+  std::string Out;
+  std::vector<Scope> Scopes;
+  bool PendingKey = false;
+};
+
+} // namespace asyncg
+
+#endif // ASYNCG_SUPPORT_JSONWRITER_H

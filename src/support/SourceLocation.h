@@ -1,0 +1,81 @@
+//===- SourceLocation.h - Source positions for callbacks -------*- C++ -*-===//
+//
+// Part of AsyncG-C++, a reproduction of "Reasoning about the Node.js Event
+// Loop using Async Graphs" (CGO 2019). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations attached to callbacks and API call sites. In the paper,
+/// every Async Graph node is mapped to the originating code location; in this
+/// reproduction the "JavaScript" programs are C++ programs against the jsrt
+/// API, so locations either come from the C++ file (via JSLOC) or are given
+/// explicitly to mirror the line numbers of the paper's code snippets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SUPPORT_SOURCELOCATION_H
+#define ASYNCG_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace asyncg {
+
+/// A file/line pair identifying where a callback was defined or an
+/// asynchronous API was called. Internal (builtin) library code uses the
+/// pseudo-file "*", matching the paper's notation for internal libraries.
+class SourceLocation {
+public:
+  SourceLocation() = default;
+  SourceLocation(std::string File, uint32_t Line)
+      : File(std::move(File)), Line(Line) {}
+
+  /// The location used for Node.js-internal library code ("*" in the paper).
+  static SourceLocation internal() { return SourceLocation("*", 0); }
+
+  bool isValid() const { return !File.empty(); }
+  bool isInternal() const { return File == "*"; }
+
+  const std::string &file() const { return File; }
+  uint32_t line() const { return Line; }
+
+  /// Renders "file:line", "*" for internal code, or "<unknown>".
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    if (isInternal())
+      return "*";
+    return File + ":" + std::to_string(Line);
+  }
+
+  /// Renders the short "L<line>" form used for node names in the paper's
+  /// figures (e.g. "L7"), or "*" for internal locations.
+  std::string shortStr() const {
+    if (!isValid())
+      return "L?";
+    if (isInternal())
+      return "*";
+    return "L" + std::to_string(Line);
+  }
+
+  bool operator==(const SourceLocation &RHS) const {
+    return File == RHS.File && Line == RHS.Line;
+  }
+  bool operator!=(const SourceLocation &RHS) const { return !(*this == RHS); }
+
+private:
+  std::string File;
+  uint32_t Line = 0;
+};
+
+} // namespace asyncg
+
+/// Captures the current C++ source position as a jsrt source location.
+#define JSLOC ::asyncg::SourceLocation(__FILE__, __LINE__)
+
+/// Declares a pseudo "JavaScript" location with an explicit line number.
+/// Case programs use this to keep the line numbers of the paper's snippets.
+#define JSLINE(FileStr, LineNo) ::asyncg::SourceLocation((FileStr), (LineNo))
+
+#endif // ASYNCG_SUPPORT_SOURCELOCATION_H

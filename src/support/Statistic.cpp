@@ -1,0 +1,19 @@
+//===- Statistic.cpp - Named counters and simple stats ---------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+#include "support/Format.h"
+
+using namespace asyncg;
+
+std::string StatisticSet::str() const {
+  std::string Out;
+  for (const auto &[Name, Value] : Counters)
+    Out += strFormat("%s=%lld\n", Name.c_str(),
+                     static_cast<long long>(Value));
+  return Out;
+}

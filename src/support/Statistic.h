@@ -1,0 +1,76 @@
+//===- Statistic.h - Named counters and simple stats ------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters used by the instrumentation analyses and the benchmark
+/// harnesses (e.g. per-API callback execution counts for Fig. 6(b)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SUPPORT_STATISTIC_H
+#define ASYNCG_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+
+/// A bag of named integer counters with deterministic (sorted) iteration.
+class StatisticSet {
+public:
+  /// Adds \p Delta to the counter named \p Name (creating it at zero).
+  void add(const std::string &Name, int64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  /// Returns the counter value, or 0 when absent.
+  int64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  bool empty() const { return Counters.empty(); }
+  void clear() { Counters.clear(); }
+
+  const std::map<std::string, int64_t> &all() const { return Counters; }
+
+  /// Renders "name=value" lines, one per counter.
+  std::string str() const;
+
+private:
+  std::map<std::string, int64_t> Counters;
+};
+
+/// Accumulates samples of a scalar and reports count/mean/min/max.
+class RunningStat {
+public:
+  void sample(double V) {
+    if (Count == 0 || V < Min)
+      Min = V;
+    if (Count == 0 || V > Max)
+      Max = V;
+    Sum += V;
+    ++Count;
+  }
+
+  uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+  double mean() const { return Count == 0 ? 0.0 : Sum / Count; }
+  double min() const { return Count == 0 ? 0.0 : Min; }
+  double max() const { return Count == 0 ? 0.0 : Max; }
+
+private:
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+} // namespace asyncg
+
+#endif // ASYNCG_SUPPORT_STATISTIC_H

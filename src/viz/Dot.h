@@ -1,0 +1,42 @@
+//===- Dot.h - DOT rendering of Async Graphs --------------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an Async Graph in the DOT language (§V-C: "AsyncG can visualize
+/// the AG using the DOT language"). Ticks become clusters ("t3: io"); node
+/// shapes follow the paper: CR □ box, CE ○ ellipse, CT ★ diamond, OB △
+/// triangle; binding and relation edges are dashed; warnings highlight
+/// their node in red with a "(!)" marker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_VIZ_DOT_H
+#define ASYNCG_VIZ_DOT_H
+
+#include "ag/Graph.h"
+
+#include <string>
+
+namespace asyncg {
+namespace viz {
+
+/// DOT rendering options.
+struct DotOptions {
+  /// Include internal-library nodes ("*" locations).
+  bool IncludeInternal = true;
+  /// Include happens-in edges (they can clutter large graphs).
+  bool IncludeHappensIn = true;
+  /// Graph title.
+  std::string Title = "Async Graph";
+};
+
+/// Renders \p G as a DOT digraph.
+std::string toDot(const ag::AsyncGraph &G, const DotOptions &Opts = DotOptions());
+
+} // namespace viz
+} // namespace asyncg
+
+#endif // ASYNCG_VIZ_DOT_H

@@ -1,0 +1,122 @@
+//===- Html.cpp - self-contained HTML Async Graph viewer ------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "viz/Html.h"
+
+#include "support/Format.h"
+#include "viz/JsonDump.h"
+
+using namespace asyncg;
+using namespace asyncg::viz;
+
+std::string asyncg::viz::toHtml(const ag::AsyncGraph &G,
+                                const std::string &Title) {
+  std::string Json = toJson(G);
+  // Avoid closing the embedding <script> early.
+  std::string Safe;
+  Safe.reserve(Json.size());
+  for (size_t I = 0; I < Json.size(); ++I) {
+    if (Json.compare(I, 2, "</") == 0) {
+      Safe += "<\\/";
+      ++I;
+      continue;
+    }
+    Safe += Json[I];
+  }
+
+  std::string Out;
+  Out += "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
+  Out += "<title>" + escapeString(Title) + "</title>\n";
+  Out += R"(<style>
+ body { font-family: Helvetica, Arial, sans-serif; margin: 16px; }
+ h1 { font-size: 18px; }
+ #summary { color: #555; margin-bottom: 12px; }
+ #ticks { display: flex; flex-wrap: wrap; align-items: flex-start; gap: 8px; }
+ .tick { border: 1px dashed #999; border-radius: 6px; padding: 6px;
+         min-width: 150px; background: #fafafa; }
+ .tick h2 { font-size: 12px; margin: 0 0 6px 0; color: #333; }
+ .node { font-size: 11px; padding: 2px 4px; margin: 2px 0; border-radius: 4px;
+         border: 1px solid #ccc; background: #fff; cursor: default;
+         white-space: nowrap; }
+ .node.CR { border-style: solid; }
+ .node.CE { border-radius: 12px; }
+ .node.CT { background: #fdf3d7; }
+ .node.OB { background: #e7f0fd; }
+ .node.internal { color: #888; }
+ .node.warned { border-color: #c0392b; border-width: 2px; background: #fdecea; }
+ #warnings { margin-top: 16px; }
+ .warning { color: #c0392b; font-size: 12px; margin: 2px 0; }
+ #detail { position: fixed; right: 16px; bottom: 16px; max-width: 420px;
+           background: #222; color: #eee; font-size: 11px; padding: 8px;
+           border-radius: 6px; display: none; white-space: pre-line; }
+</style></head><body>
+)";
+  Out += "<h1>" + escapeString(Title) + "</h1>\n";
+  Out += "<div id=\"summary\"></div>\n<div id=\"ticks\"></div>\n";
+  Out += "<div id=\"warnings\"></div>\n<div id=\"detail\"></div>\n";
+  Out += "<script>\nconst AG = " + Safe + ";\n";
+  Out += R"JS(
+const GLYPH = {CR: "□", CE: "○", CT: "★", OB: "△"};
+const warned = new Set(AG.warnings.filter(w => w.node !== undefined)
+                                  .map(w => w.node));
+document.getElementById("summary").textContent =
+  `${AG.stats.ticks} ticks · ${AG.stats.nodes} nodes · ` +
+  `${AG.stats.edges} edges · ${AG.stats.warnings} warnings`;
+
+const edgesFrom = {}, edgesTo = {};
+for (const e of AG.edges) {
+  (edgesFrom[e.from] = edgesFrom[e.from] || []).push(e);
+  (edgesTo[e.to] = edgesTo[e.to] || []).push(e);
+}
+const detail = document.getElementById("detail");
+function describe(n) {
+  let s = `${GLYPH[n.kind]} ${n.label}  [${n.kind} @ ${n.loc}]`;
+  for (const e of edgesFrom[n.id] || [])
+    s += `\n  -[${e.kind}${e.label ? ":" + e.label : ""}]-> ` +
+         AG.nodes[e.to].label;
+  for (const e of edgesTo[n.id] || [])
+    s += `\n  <-[${e.kind}${e.label ? ":" + e.label : ""}]- ` +
+         AG.nodes[e.from].label;
+  return s;
+}
+const ticksDiv = document.getElementById("ticks");
+for (const t of AG.ticks) {
+  const col = document.createElement("div");
+  col.className = "tick";
+  const h = document.createElement("h2");
+  h.textContent = `t${t.index}: ${t.phase}`;
+  col.appendChild(h);
+  for (const id of t.nodes) {
+    const n = AG.nodes[id];
+    const d = document.createElement("div");
+    d.className = "node " + n.kind + (n.internal ? " internal" : "") +
+                  (warned.has(n.id) ? " warned" : "");
+    d.textContent = `${GLYPH[n.kind]} ${n.label}`;
+    d.onmouseenter = () => {
+      detail.textContent = describe(n);
+      detail.style.display = "block";
+    };
+    d.onmouseleave = () => { detail.style.display = "none"; };
+    col.appendChild(d);
+  }
+  ticksDiv.appendChild(col);
+}
+const wDiv = document.getElementById("warnings");
+if (AG.warnings.length) {
+  const h = document.createElement("h1");
+  h.textContent = "Warnings";
+  wDiv.appendChild(h);
+  for (const w of AG.warnings) {
+    const d = document.createElement("div");
+    d.className = "warning";
+    d.textContent = `[${w.category}] @ ${w.loc}: ${w.message}`;
+    wDiv.appendChild(d);
+  }
+}
+</script></body></html>
+)JS";
+  return Out;
+}

@@ -1,0 +1,34 @@
+//===- Html.h - self-contained HTML Async Graph viewer ----------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an Async Graph as a single self-contained HTML page — the
+/// equivalent of the paper artifact's visualization website
+/// (asyncgraph.github.io), which renders AsyncG's dumped log. The page
+/// embeds the JSON dump and a small renderer: ticks become columns,
+/// nodes are glyph chips (□ ○ ★ △) with warning highlighting, and
+/// hovering a node lists its edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_VIZ_HTML_H
+#define ASYNCG_VIZ_HTML_H
+
+#include "ag/Graph.h"
+
+#include <string>
+
+namespace asyncg {
+namespace viz {
+
+/// Renders \p G as a standalone HTML document.
+std::string toHtml(const ag::AsyncGraph &G,
+                   const std::string &Title = "Async Graph");
+
+} // namespace viz
+} // namespace asyncg
+
+#endif // ASYNCG_VIZ_HTML_H

@@ -1,0 +1,35 @@
+//===- JsonDump.h - JSON serialization of Async Graphs ----------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes an Async Graph into the JSON log format (the paper artifact
+/// dumps a log that its website visualizes with D3; this is the equivalent
+/// machine-readable dump).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_VIZ_JSONDUMP_H
+#define ASYNCG_VIZ_JSONDUMP_H
+
+#include "ag/Graph.h"
+
+#include <string>
+
+namespace asyncg {
+namespace viz {
+
+/// Serializes \p G as a JSON document with ticks, nodes, edges, warnings,
+/// and summary statistics.
+std::string toJson(const ag::AsyncGraph &G);
+
+/// Writes \p Contents to \p Path; returns false on I/O failure. (Small
+/// helper so examples can dump graphs next to their binaries.)
+bool writeFile(const std::string &Path, const std::string &Contents);
+
+} // namespace viz
+} // namespace asyncg
+
+#endif // ASYNCG_VIZ_JSONDUMP_H

@@ -1,0 +1,84 @@
+//===- TextReport.cpp - plain-text Async Graph reports -------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "viz/TextReport.h"
+
+#include "support/Format.h"
+
+#include <set>
+
+using namespace asyncg;
+using namespace asyncg::viz;
+using namespace asyncg::ag;
+
+namespace {
+
+const char *glyphOf(NodeKind K) {
+  switch (K) {
+  case NodeKind::CR:
+    return "[]";
+  case NodeKind::CE:
+    return "()";
+  case NodeKind::CT:
+    return "**";
+  case NodeKind::OB:
+    return "/\\";
+  }
+  return "??";
+}
+
+} // namespace
+
+std::string asyncg::viz::toText(const AsyncGraph &G,
+                                const TextOptions &Opts) {
+  std::set<NodeId> Warned;
+  for (const Warning &W : G.warnings())
+    if (W.Node != InvalidNode)
+      Warned.insert(W.Node);
+
+  std::string Out;
+  size_t Rendered = 0;
+  for (const AgTick &T : G.ticks()) {
+    if (Opts.MaxTicks != 0 && Rendered == Opts.MaxTicks) {
+      Out += strFormat("... (%zu more ticks)\n",
+                       G.ticks().size() - Rendered);
+      break;
+    }
+    ++Rendered;
+    Out += T.name() + "\n";
+    for (NodeId N : T.Nodes) {
+      const AgNode &Node = G.node(N);
+      if (!Opts.IncludeInternal && Node.Internal)
+        continue;
+      std::string Line =
+          strFormat("  %s %s", glyphOf(Node.Kind), Node.Label.c_str());
+      // Key relations rendered inline.
+      for (uint32_t E : G.outEdges(N)) {
+        const AgEdge &Edge = G.edge(E);
+        if (Edge.Kind == EdgeKind::Binding)
+          Line += strFormat("  ~~> %s", G.node(Edge.To).Label.c_str());
+        else if (Edge.Kind == EdgeKind::Relation && !Edge.Label.empty())
+          Line += strFormat("  --%s--> %s", Edge.Label.c_str(),
+                            G.node(Edge.To).Label.c_str());
+      }
+      if (Warned.count(N))
+        Line += "   (!)";
+      Out += Line + "\n";
+    }
+  }
+  return Out;
+}
+
+std::string asyncg::viz::warningsReport(const AsyncGraph &G) {
+  if (G.warnings().empty())
+    return "no warnings\n";
+  std::string Out;
+  for (const Warning &W : G.warnings())
+    Out += strFormat("warning[%s] @ %s (t%u): %s\n",
+                     bugCategoryName(W.Category), W.Loc.str().c_str(),
+                     W.Tick, W.Message.c_str());
+  return Out;
+}

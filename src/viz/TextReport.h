@@ -1,0 +1,43 @@
+//===- TextReport.h - plain-text Async Graph reports ------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain-text renderings of Async Graphs and warning lists for terminals:
+/// a tick-by-tick listing (the textual equivalent of the paper's figures)
+/// and a warnings report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_VIZ_TEXTREPORT_H
+#define ASYNCG_VIZ_TEXTREPORT_H
+
+#include "ag/Graph.h"
+
+#include <string>
+
+namespace asyncg {
+namespace viz {
+
+/// Options for the text rendering.
+struct TextOptions {
+  /// Maximum ticks rendered (0 = all); large graphs truncate with a note.
+  size_t MaxTicks = 0;
+  /// Include internal-library nodes.
+  bool IncludeInternal = true;
+};
+
+/// Tick-by-tick listing: one block per tick, one line per node with its
+/// kind glyph ([] CR, () CE, ** CT, /\ OB), label, and key edges.
+std::string toText(const ag::AsyncGraph &G,
+                   const TextOptions &Opts = TextOptions());
+
+/// One line per warning: "category @ loc: message".
+std::string warningsReport(const ag::AsyncGraph &G);
+
+} // namespace viz
+} // namespace asyncg
+
+#endif // ASYNCG_VIZ_TEXTREPORT_H

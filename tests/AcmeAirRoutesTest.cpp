@@ -1,0 +1,159 @@
+//===- AcmeAirRoutesTest.cpp - endpoint-level tests for the eval app -----------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives every AcmeAir REST endpoint through the JS-world http client and
+/// asserts the response protocol, in both the promise-enabled and the
+/// callback-only configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "apps/acmeair/App.h"
+#include "node/Http.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+using namespace asyncg::acmeair;
+using namespace asyncg::testhelpers;
+namespace http = asyncg::node::http;
+
+namespace {
+
+struct Response {
+  int Status = -1;
+  std::string Body;
+};
+
+class AcmeAirRoutes : public ::testing::TestWithParam<bool> {
+protected:
+  /// Sends one request and returns its response after draining the loop.
+  /// Multiple calls pump the same runtime again.
+  Response send(Runtime &RT, const std::string &Method,
+                const std::string &Path,
+                const std::vector<std::string> &Body = {}) {
+    auto Out = std::make_shared<Response>();
+    http::RequestOptions Opts;
+    Opts.Method = Method;
+    Opts.Port = 9080;
+    Opts.Path = Path;
+    Opts.BodyChunks = Body;
+    http::request(RT, JSLOC, Opts,
+                  RT.makeBuiltin("onResponse",
+                                 [Out](Runtime &, const CallArgs &A) {
+                                   Out->Status = static_cast<int>(
+                                       A.arg(1).asNumber());
+                                   Out->Body = A.arg(2).asString();
+                                   return Completion::normal();
+                                 }));
+    RT.runLoop();
+    return *Out;
+  }
+};
+
+TEST_P(AcmeAirRoutes, FullSessionFlow) {
+  Runtime RT;
+  AppConfig Cfg;
+  Cfg.UsePromises = GetParam();
+  AcmeAirApp App(RT, Cfg);
+  runMain(RT, [&](Runtime &) { App.start(JSLOC); });
+
+  // Login with the right password.
+  Response Login = send(RT, "POST", "/rest/api/login",
+                        {"user=uid3&password=password"});
+  EXPECT_EQ(Login.Status, 200);
+  EXPECT_EQ(Login.Body, "OK token=s-uid3");
+
+  // Login with a wrong password.
+  Response BadLogin = send(RT, "POST", "/rest/api/login",
+                           {"user=uid3&password=nope"});
+  EXPECT_EQ(BadLogin.Status, 401);
+
+  // Query flights both directions.
+  Response Query =
+      send(RT, "GET", "/rest/api/queryflights?from=SFO&to=JFK");
+  EXPECT_EQ(Query.Status, 200);
+  EXPECT_EQ(Query.Body, "OK out=5 ret=5"); // FlightsPerRoute default
+
+  // Book a flight with the session.
+  Response Book = send(RT, "POST", "/rest/api/bookflights",
+                       {"token=s-uid3&flight=SFO-JFK|f0"});
+  EXPECT_EQ(Book.Status, 200);
+  EXPECT_EQ(Book.Body.find("OK booked=uid3|b"), 0u);
+
+  // Booking without a session fails.
+  Response BadBook = send(RT, "POST", "/rest/api/bookflights",
+                          {"token=s-ghost&flight=SFO-JFK|f0"});
+  EXPECT_EQ(BadBook.Status, 401);
+
+  // Profile view.
+  Response View =
+      send(RT, "GET", "/rest/api/customer/byid?token=s-uid3");
+  EXPECT_EQ(View.Status, 200);
+  EXPECT_EQ(View.Body, "OK name=Customer 3");
+
+  // Profile update, then view reflects it.
+  Response Update = send(RT, "POST", "/rest/api/customer/update",
+                         {"token=s-uid3&name=Renamed"});
+  EXPECT_EQ(Update.Status, 200);
+  Response View2 =
+      send(RT, "GET", "/rest/api/customer/byid?token=s-uid3");
+  EXPECT_EQ(View2.Body, "OK name=Renamed");
+
+  // Booking count includes the one above.
+  Response Count = send(RT, "GET", "/rest/api/config/countBookings");
+  EXPECT_EQ(Count.Status, 200);
+  EXPECT_EQ(Count.Body, "OK count=1");
+
+  // Unknown route.
+  Response Missing = send(RT, "GET", "/rest/api/nope");
+  EXPECT_EQ(Missing.Status, 404);
+
+  EXPECT_TRUE(RT.uncaughtErrors().empty());
+  EXPECT_EQ(App.served(), 10u); // every request above, including the
+                                // 401s and the 404, ended a response
+}
+
+TEST_P(AcmeAirRoutes, UnknownUserLoginRejected) {
+  Runtime RT;
+  AppConfig Cfg;
+  Cfg.UsePromises = GetParam();
+  AcmeAirApp App(RT, Cfg);
+  runMain(RT, [&](Runtime &) { App.start(JSLOC); });
+  Response R = send(RT, "POST", "/rest/api/login",
+                    {"user=ghost&password=password"});
+  EXPECT_EQ(R.Status, 401);
+}
+
+TEST_P(AcmeAirRoutes, QueryUnknownRouteGivesZeroFlights) {
+  Runtime RT;
+  AppConfig Cfg;
+  Cfg.UsePromises = GetParam();
+  AcmeAirApp App(RT, Cfg);
+  runMain(RT, [&](Runtime &) { App.start(JSLOC); });
+  Response R = send(RT, "GET", "/rest/api/queryflights?from=XXX&to=YYY");
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_EQ(R.Body, "OK out=0 ret=0");
+}
+
+INSTANTIATE_TEST_SUITE_P(PromiseAndCallbackModes, AcmeAirRoutes,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool> &I) {
+                           return I.param ? "promises" : "callbacks";
+                         });
+
+TEST(ParseForm, KeyValuePairs) {
+  auto M = parseForm("a=1&b=two&c");
+  EXPECT_EQ(M.size(), 3u);
+  EXPECT_EQ(M["a"], "1");
+  EXPECT_EQ(M["b"], "two");
+  EXPECT_EQ(M["c"], "");
+  EXPECT_TRUE(parseForm("").empty());
+}
+
+} // namespace

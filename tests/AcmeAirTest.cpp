@@ -1,0 +1,116 @@
+//===- AcmeAirTest.cpp - integration tests for the evaluation app ------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/acmeair/App.h"
+#include "apps/acmeair/Workload.h"
+#include "ag/Builder.h"
+#include "baselines/ApiUsageCounter.h"
+#include "detect/Detectors.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+using namespace asyncg::acmeair;
+
+namespace {
+
+struct RunOutcome {
+  uint64_t Completed = 0;
+  uint64_t Errors = 0;
+  uint64_t Served = 0;
+  uint64_t Ticks = 0;
+  baselines::ApiUsageCounter Usage;
+};
+
+RunOutcome runAcmeAir(uint64_t Requests, bool UsePromises,
+                      instr::AnalysisBase *Extra = nullptr) {
+  Runtime RT;
+  AppConfig ACfg;
+  ACfg.UsePromises = UsePromises;
+  AcmeAirApp App(RT, ACfg);
+  WorkloadConfig WCfg;
+  WCfg.TotalRequests = Requests;
+  WCfg.Clients = 4;
+  WorkloadDriver Driver(RT, ACfg.Port, WCfg);
+
+  RunOutcome Out;
+  RT.hooks().attach(&Out.Usage);
+  if (Extra)
+    RT.hooks().attach(Extra);
+
+  Function Main = RT.makeBuiltin("main", [&](Runtime &R, const CallArgs &) {
+    App.start(JSLOC);
+    Driver.start();
+    (void)R;
+    return Completion::normal();
+  });
+  RT.main(Main);
+
+  Out.Completed = Driver.completed();
+  Out.Errors = Driver.errors();
+  Out.Served = App.served();
+  Out.Ticks = RT.tickCount();
+  EXPECT_TRUE(RT.uncaughtErrors().empty());
+  return Out;
+}
+
+TEST(AcmeAir, ServesAllRequestsWithoutErrors) {
+  RunOutcome Out = runAcmeAir(200, /*UsePromises=*/true);
+  EXPECT_EQ(Out.Completed, 200u);
+  EXPECT_EQ(Out.Errors, 0u);
+  EXPECT_EQ(Out.Served, 200u);
+  EXPECT_GT(Out.Ticks, 400u);
+}
+
+TEST(AcmeAir, CallbackModeAlsoServes) {
+  RunOutcome Out = runAcmeAir(200, /*UsePromises=*/false);
+  EXPECT_EQ(Out.Completed, 200u);
+  EXPECT_EQ(Out.Errors, 0u);
+  // Stock AcmeAir uses no promises.
+  EXPECT_EQ(Out.Usage.executions(baselines::ApiFamily::Promise), 0u);
+}
+
+TEST(AcmeAir, ApiMixMatchesFig6bShape) {
+  RunOutcome Out = runAcmeAir(400, /*UsePromises=*/true);
+  double N = 400.0;
+  double NextTick =
+      static_cast<double>(Out.Usage.executions(baselines::ApiFamily::NextTick)) / N;
+  double Emitter =
+      static_cast<double>(Out.Usage.executions(baselines::ApiFamily::Emitter)) / N;
+  double Promise =
+      static_cast<double>(Out.Usage.executions(baselines::ApiFamily::Promise)) / N;
+  // Fig. 6(b): nextTick ~8.70 > emitter ~4.31 > promise ~1.31 per request.
+  EXPECT_GT(NextTick, Emitter);
+  EXPECT_GT(Emitter, Promise);
+  EXPECT_GT(Promise, 0.2);
+  EXPECT_LT(Promise, 4.0);
+  EXPECT_GT(NextTick, 3.0);
+}
+
+TEST(AcmeAir, RunsUnderFullAsyncG) {
+  ag::AsyncGBuilder Builder;
+  detect::DetectorSuite Detectors;
+  Detectors.attachTo(Builder);
+  RunOutcome Out = runAcmeAir(100, /*UsePromises=*/true, &Builder);
+  EXPECT_EQ(Out.Completed, 100u);
+  EXPECT_EQ(Out.Errors, 0u);
+  // The graph covers the whole run.
+  EXPECT_GT(Builder.graph().nodeCount(), 1000u);
+  EXPECT_GT(Builder.graph().ticks().size(), 400u);
+}
+
+TEST(AcmeAir, DeterministicAcrossRuns) {
+  RunOutcome A = runAcmeAir(150, true);
+  RunOutcome B = runAcmeAir(150, true);
+  EXPECT_EQ(A.Ticks, B.Ticks);
+  EXPECT_EQ(A.Usage.executions(baselines::ApiFamily::NextTick),
+            B.Usage.executions(baselines::ApiFamily::NextTick));
+  EXPECT_EQ(A.Usage.executions(baselines::ApiFamily::Emitter),
+            B.Usage.executions(baselines::ApiFamily::Emitter));
+}
+
+} // namespace

@@ -1,0 +1,310 @@
+//===- AnalysesTest.cpp - AG queries, baselines, hook lifecycle ----------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "ag/Builder.h"
+#include "baselines/ApiUsageCounter.h"
+#include "baselines/EmitterOnlyAnalyzer.h"
+#include "baselines/PromiseOnlyAnalyzer.h"
+#include "detect/AgQueries.h"
+#include "node/Fs.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::ag;
+using namespace asyncg::jsrt;
+using namespace asyncg::testhelpers;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// AG query helpers (§VI-B)
+//===----------------------------------------------------------------------===//
+
+TEST(AgQueries, TicksUntilExecution) {
+  AsyncGBuilder B;
+  Runtime RT;
+  RT.hooks().attach(&B);
+  RT.fileSystem().putFile("f", "x");
+  ScheduleId ReadSched = 0, NeverSched = 0;
+  runMain(RT, [&](Runtime &R) {
+    node::Fs Fs(R);
+    ReadSched = Fs.readFile(JSLINE("q.js", 2), "f",
+                            R.makeBuiltin("cb",
+                                          [](Runtime &, const CallArgs &) {
+                                            return Completion::normal();
+                                          }));
+    NeverSched = R.registerExternal(JSLINE("q.js", 3), ApiKind::DbQuery,
+                                    R.makeBuiltin("never",
+                                                  [](Runtime &,
+                                                     const CallArgs &) {
+                                                    return Completion::
+                                                        normal();
+                                                  }));
+  });
+  EXPECT_GT(detect::ticksUntilExecution(B.graph(), ReadSched), 0);
+  EXPECT_EQ(detect::ticksUntilExecution(B.graph(), NeverSched), -1);
+  EXPECT_EQ(detect::ticksUntilExecution(B.graph(), 9999), -1);
+
+  EXPECT_TRUE(detect::reportExpectSyncCallback(B.graph(), ReadSched));
+  EXPECT_TRUE(B.graph().hasWarning(BugCategory::ExpectSyncCallback));
+  // Re-reporting dedups.
+  EXPECT_FALSE(detect::reportExpectSyncCallback(B.graph(), ReadSched));
+}
+
+TEST(AgQueries, ExpectSyncQuietForInstantCallback) {
+  AsyncGBuilder B;
+  Runtime RT;
+  RT.hooks().attach(&B);
+  ScheduleId Sched = 0;
+  runMain(RT, [&](Runtime &R) {
+    // A promise executor runs in the registration tick: gap 0.
+    R.promiseCreate(JSLINE("q.js", 1),
+                    R.makeFunction("exec", JSLINE("q.js", 1),
+                                   [](Runtime &, const CallArgs &) {
+                                     return Completion::normal();
+                                   }));
+    Sched = 0;
+    // Find the executor registration: the only PromiseCtor CR.
+    for (const AgNode &N : B.graph().nodes())
+      if (N.Kind == NodeKind::CR && N.Api == ApiKind::PromiseCtor)
+        Sched = N.Sched;
+  });
+  ASSERT_NE(Sched, 0u);
+  EXPECT_EQ(detect::ticksUntilExecution(B.graph(), Sched), 0);
+  EXPECT_FALSE(detect::reportExpectSyncCallback(B.graph(), Sched));
+}
+
+TEST(AgQueries, DroppedChainPromises) {
+  AsyncGBuilder B;
+  Runtime RT;
+  RT.hooks().attach(&B);
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseResolvedWith(JSLINE("q.js", 1), Value::number(0));
+    R.promiseThen(JSLINE("q.js", 2), P,
+                  R.makeFunction("dropper", JSLINE("q.js", 2),
+                                 [](Runtime &R2, const CallArgs &) {
+                                   // Created and dropped inside a reaction.
+                                   R2.promiseResolvedWith(JSLINE("q.js", 3),
+                                                          Value::number(1));
+                                   return Completion::normal();
+                                 }));
+  });
+  auto Dropped = detect::findDroppedChainPromises(B.graph());
+  ASSERT_EQ(Dropped.size(), 1u);
+  EXPECT_EQ(B.graph().node(Dropped.front()).Loc.line(), 3u);
+  EXPECT_GT(detect::reportBrokenPromiseChains(B.graph()), 0u);
+}
+
+TEST(AgQueries, ReturnedPromiseIsNotDropped) {
+  AsyncGBuilder B;
+  Runtime RT;
+  RT.hooks().attach(&B);
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseResolvedWith(JSLINE("q.js", 1), Value::number(0));
+    PromiseRef P2 = R.promiseThen(
+        JSLINE("q.js", 2), P,
+        R.makeFunction("returner", JSLINE("q.js", 2),
+                       [](Runtime &R2, const CallArgs &) {
+                         PromiseRef Inner = R2.promiseResolvedWith(
+                             JSLINE("q.js", 3), Value::number(1));
+                         return Completion::normal(Value::promise(Inner));
+                       }));
+    R.promiseCatch(JSLINE("q.js", 4), P2,
+                   R.makeBuiltin("c", [](Runtime &, const CallArgs &) {
+                     return Completion::normal();
+                   }));
+  });
+  EXPECT_TRUE(detect::findDroppedChainPromises(B.graph()).empty());
+  EXPECT_EQ(detect::reportBrokenPromiseChains(B.graph()), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Baselines
+//===----------------------------------------------------------------------===//
+
+TEST(ApiUsageCounter, CountsPerFamily) {
+  baselines::ApiUsageCounter C;
+  Runtime RT;
+  RT.hooks().attach(&C);
+  runMain(RT, [&](Runtime &R) {
+    R.nextTick(JSLOC, R.makeBuiltin("a", [](Runtime &, const CallArgs &) {
+      return Completion::normal();
+    }));
+    R.setTimeout(JSLOC,
+                 R.makeBuiltin("b",
+                               [](Runtime &, const CallArgs &) {
+                                 return Completion::normal();
+                               }),
+                 1);
+    EmitterRef E = R.emitterCreate(JSLOC);
+    R.emitterOn(JSLOC, E, "x",
+                R.makeBuiltin("c", [](Runtime &, const CallArgs &) {
+                  return Completion::normal();
+                }));
+    R.emitterEmit(JSLOC, E, "x");
+    R.emitterEmit(JSLOC, E, "x");
+    PromiseRef P = R.promiseResolvedWith(JSLOC, Value::number(1));
+    R.promiseThen(JSLOC, P,
+                  R.makeBuiltin("d", [](Runtime &, const CallArgs &) {
+                    return Completion::normal();
+                  }));
+  });
+  using baselines::ApiFamily;
+  EXPECT_EQ(C.executions(ApiFamily::NextTick), 1u);
+  EXPECT_EQ(C.executions(ApiFamily::Timer), 1u);
+  EXPECT_EQ(C.executions(ApiFamily::Emitter), 2u);
+  EXPECT_EQ(C.executions(ApiFamily::Promise), 1u);
+  EXPECT_EQ(C.totalExecutions(), 5u);
+  C.reset();
+  EXPECT_EQ(C.totalExecutions(), 0u);
+}
+
+TEST(PromiseOnlyBaseline, DetectsPromiseBugsOnly) {
+  baselines::PromiseOnlyAnalyzer A;
+  Runtime RT;
+  RT.hooks().attach(&A);
+  runMain(RT, [&](Runtime &R) {
+    // Promise bug: settled, never reacted.
+    R.promiseResolvedWith(JSLINE("p.js", 1), Value::number(1));
+    // Emitter bug it cannot see: dead emit.
+    EmitterRef E = R.emitterCreate(JSLINE("p.js", 2));
+    R.emitterEmit(JSLINE("p.js", 3), E, "ghost");
+  });
+  auto Cats = A.detectedCategories();
+  EXPECT_TRUE(Cats.count(BugCategory::MissingReaction));
+  EXPECT_FALSE(Cats.count(BugCategory::DeadEmit));
+}
+
+TEST(PromiseOnlyBaseline, ChainTracking) {
+  baselines::PromiseOnlyAnalyzer A;
+  Runtime RT;
+  RT.hooks().attach(&A);
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseResolvedWith(JSLINE("p.js", 1), Value::number(1));
+    R.promiseThen(JSLINE("p.js", 2), P,
+                  R.makeBuiltin("h", [](Runtime &, const CallArgs &) {
+                    return Completion::normal();
+                  }));
+  });
+  EXPECT_TRUE(A.detectedCategories().count(
+      BugCategory::MissingExceptionalReaction));
+}
+
+TEST(EmitterOnlyBaseline, DetectsEmitterBugsOnly) {
+  baselines::EmitterOnlyAnalyzer A;
+  Runtime RT;
+  RT.hooks().attach(&A);
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLINE("e.js", 1));
+    R.emitterEmit(JSLINE("e.js", 2), E, "ghost"); // dead emit
+    R.emitterOn(JSLINE("e.js", 3), E, "quiet",
+                R.makeFunction("l", JSLINE("e.js", 3),
+                               [](Runtime &, const CallArgs &) {
+                                 return Completion::normal();
+                               })); // dead listener
+    // Promise bug it cannot see.
+    R.promiseResolvedWith(JSLINE("e.js", 4), Value::number(1));
+  });
+  auto Cats = A.detectedCategories();
+  EXPECT_TRUE(Cats.count(BugCategory::DeadEmit));
+  EXPECT_TRUE(Cats.count(BugCategory::DeadListener));
+  EXPECT_FALSE(Cats.count(BugCategory::MissingReaction));
+}
+
+//===----------------------------------------------------------------------===//
+// Hook registry lifecycle (NodeProf's runtime (de)activation)
+//===----------------------------------------------------------------------===//
+
+class CountingAnalysis : public instr::AnalysisBase {
+public:
+  const char *analysisName() const override { return "counting"; }
+  void onFunctionEnter(const instr::FunctionEnterEvent &) override {
+    ++Enters;
+  }
+  void onApiCall(const instr::ApiCallEvent &) override { ++ApiCalls; }
+  int Enters = 0;
+  int ApiCalls = 0;
+};
+
+TEST(Instrumentation, AttachAndDetachAtRuntime) {
+  Runtime RT;
+  CountingAnalysis A;
+  runMain(RT, [&](Runtime &R) {
+    // Attach mid-run: only later events observed.
+    R.nextTick(JSLOC, R.makeBuiltin("pre", [](Runtime &, const CallArgs &) {
+      return Completion::normal();
+    }));
+    R.hooks().attach(&A);
+    R.nextTick(JSLOC,
+               R.makeBuiltin("during",
+                             [&A](Runtime &R2, const CallArgs &) {
+                               // Detach from within a callback: later
+                               // ticks unobserved.
+                               R2.hooks().detach(&A);
+                               R2.nextTick(JSLOC,
+                                           R2.makeBuiltin(
+                                               "post",
+                                               [](Runtime &,
+                                                  const CallArgs &) {
+                                                 return Completion::normal();
+                                               }));
+                               return Completion::normal();
+                             }));
+  });
+  // Observed: the "during" registration (api call) and executions between
+  // attach and detach.
+  EXPECT_EQ(A.ApiCalls, 1);
+  EXPECT_GE(A.Enters, 1);
+  EXPECT_LE(A.Enters, 3);
+}
+
+TEST(Instrumentation, BuilderAttachedMidRunStartsCleanly) {
+  // §V-B: "If AsyncG is enabled in the middle of the run ... it will
+  // construct the shadow stack from the following tick."
+  Runtime RT;
+  AsyncGBuilder B;
+  runMain(RT, [&](Runtime &R) {
+    R.nextTick(JSLOC, R.makeBuiltin("first", [](Runtime &, const CallArgs &) {
+      return Completion::normal();
+    }));
+    R.setTimeout(JSLOC,
+                 R.makeBuiltin("attacher",
+                               [&B](Runtime &R2, const CallArgs &) {
+                                 R2.hooks().attach(&B);
+                                 return Completion::normal();
+                               }),
+                 1);
+    R.setTimeout(JSLOC,
+                 R.makeBuiltin("observed",
+                               [](Runtime &, const CallArgs &) {
+                                 return Completion::normal();
+                               }),
+                 2);
+  });
+  // The builder saw at least the "observed" tick; its shadow stack ended
+  // balanced (the onLoopEnd assert did not fire) and ticks are committed.
+  EXPECT_GE(B.graph().ticks().size(), 1u);
+}
+
+TEST(Instrumentation, MultipleAnalysesAllReceiveEvents) {
+  Runtime RT;
+  CountingAnalysis A1, A2;
+  RT.hooks().attach(&A1);
+  RT.hooks().attach(&A2);
+  EXPECT_EQ(RT.hooks().size(), 2u);
+  runMain(RT, [&](Runtime &R) {
+    R.nextTick(JSLOC, R.makeBuiltin("t", [](Runtime &, const CallArgs &) {
+      return Completion::normal();
+    }));
+  });
+  EXPECT_EQ(A1.Enters, A2.Enters);
+  EXPECT_EQ(A1.ApiCalls, A2.ApiCalls);
+  EXPECT_GT(A1.Enters, 0);
+}
+
+} // namespace

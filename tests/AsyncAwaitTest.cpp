@@ -1,0 +1,228 @@
+//===- AsyncAwaitTest.cpp - async/await coroutine tests ------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "jsrt/AsyncAwait.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+using namespace asyncg::testhelpers;
+
+namespace {
+
+PromiseRef resolveLater(Runtime &RT, double Ms, Value V) {
+  PromiseRef P = RT.promiseBare(JSLOC);
+  RT.setTimeout(JSLOC,
+                RT.makeBuiltin("resolveLater",
+                               [P, V](Runtime &R, const CallArgs &) {
+                                 R.resolvePromise(JSLOC, P, V);
+                                 return Completion::normal();
+                               }),
+                Ms);
+  return P;
+}
+
+PromiseRef rejectLater(Runtime &RT, double Ms, Value V) {
+  PromiseRef P = RT.promiseBare(JSLOC);
+  RT.setTimeout(JSLOC,
+                RT.makeBuiltin("rejectLater",
+                               [P, V](Runtime &R, const CallArgs &) {
+                                 R.rejectPromise(JSLOC, P, V);
+                                 return Completion::normal();
+                               }),
+                Ms);
+  return P;
+}
+
+JsAsync simpleAdd(Runtime &RT, AsyncOrigin, double A, double B) {
+  Value X = co_await Await(resolveLater(RT, 1, Value::number(A)));
+  Value Y = co_await Await(resolveLater(RT, 1, Value::number(B)));
+  co_return Value::number(X.asNumber() + Y.asNumber());
+}
+
+TEST(AsyncAwait, SequentialAwaits) {
+  Runtime RT;
+  double Got = 0;
+  runMain(RT, [&](Runtime &R) {
+    JsAsync A = simpleAdd(R, AsyncOrigin{"simpleAdd", JSLOC}, 3, 4);
+    R.promiseThen(JSLOC, A.promise(),
+                  R.makeBuiltin("h", [&Got](Runtime &, const CallArgs &Ar) {
+                    Got = Ar.arg(0).asNumber();
+                    return Completion::normal();
+                  }));
+  });
+  EXPECT_EQ(Got, 7);
+}
+
+JsAsync runsToFirstAwait(Runtime &RT, AsyncOrigin,
+                         std::vector<std::string> &Log) {
+  Log.push_back("body-start");
+  co_await Await(resolveLater(RT, 1, Value::undefined()));
+  Log.push_back("body-resumed");
+  co_return Value::undefined();
+}
+
+TEST(AsyncAwait, BodyRunsSynchronouslyToFirstAwait) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    Log.push_back("before-call");
+    runsToFirstAwait(R, AsyncOrigin{"f", JSLOC}, Log);
+    Log.push_back("after-call");
+  });
+  ASSERT_EQ(Log.size(), 4u);
+  EXPECT_EQ(Log[0], "before-call");
+  EXPECT_EQ(Log[1], "body-start");
+  EXPECT_EQ(Log[2], "after-call");
+  EXPECT_EQ(Log[3], "body-resumed");
+}
+
+JsAsync abandonsOnRejection(Runtime &RT, AsyncOrigin, bool &ReachedTail) {
+  co_await Await(rejectLater(RT, 1, Value::str("nope")));
+  ReachedTail = true;
+  co_return Value::undefined();
+}
+
+TEST(AsyncAwait, RejectionAbandonsBodyAndRejectsResult) {
+  Runtime RT;
+  bool ReachedTail = false;
+  std::string Err;
+  runMain(RT, [&](Runtime &R) {
+    JsAsync A = abandonsOnRejection(R, AsyncOrigin{"f", JSLOC}, ReachedTail);
+    R.promiseCatch(JSLOC, A.promise(),
+                   R.makeBuiltin("h", [&Err](Runtime &, const CallArgs &Ar) {
+                     Err = Ar.arg(0).asString();
+                     return Completion::normal();
+                   }));
+  });
+  EXPECT_FALSE(ReachedTail);
+  EXPECT_EQ(Err, "nope");
+}
+
+JsAsync handlesRejection(Runtime &RT, AsyncOrigin) {
+  AwaitResult R = co_await TryAwait(rejectLater(RT, 1, Value::str("caught")));
+  if (R.Rejected)
+    co_return Value::str("recovered:" + R.V.asString());
+  co_return Value::str("unexpected");
+}
+
+TEST(AsyncAwait, TryAwaitCatchesRejection) {
+  Runtime RT;
+  std::string Got;
+  runMain(RT, [&](Runtime &R) {
+    JsAsync A = handlesRejection(R, AsyncOrigin{"f", JSLOC});
+    R.promiseThen(JSLOC, A.promise(),
+                  R.makeBuiltin("h", [&Got](Runtime &, const CallArgs &Ar) {
+                    Got = Ar.arg(0).asString();
+                    return Completion::normal();
+                  }));
+  });
+  EXPECT_EQ(Got, "recovered:caught");
+}
+
+JsAsync awaitsPlainValue(Runtime &RT, AsyncOrigin,
+                         std::vector<std::string> &Log) {
+  (void)RT;
+  Value V = co_await Await(Value::number(5));
+  Log.push_back("got:" + V.toDisplayString());
+  co_return V;
+}
+
+TEST(AsyncAwait, AwaitNonPromiseStillYieldsToMicrotasks) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    awaitsPlainValue(R, AsyncOrigin{"f", JSLOC}, Log);
+    Log.push_back("sync-after");
+  });
+  // Awaiting a plain value resumes in a micro-task, not synchronously.
+  EXPECT_EQ(Log, (std::vector<std::string>{"sync-after", "got:5"}));
+}
+
+JsAsync inner(Runtime &RT, AsyncOrigin) {
+  Value V = co_await Await(resolveLater(RT, 1, Value::number(10)));
+  co_return V;
+}
+
+JsAsync outer(Runtime &RT, AsyncOrigin) {
+  JsAsync I = inner(RT, AsyncOrigin{"inner", JSLOC});
+  Value V = co_await Await(I.promise());
+  co_return Value::number(V.asNumber() * 2);
+}
+
+TEST(AsyncAwait, NestedAsyncFunctions) {
+  Runtime RT;
+  double Got = 0;
+  runMain(RT, [&](Runtime &R) {
+    JsAsync O = outer(R, AsyncOrigin{"outer", JSLOC});
+    R.promiseThen(JSLOC, O.promise(),
+                  R.makeBuiltin("h", [&Got](Runtime &, const CallArgs &Ar) {
+                    Got = Ar.arg(0).asNumber();
+                    return Completion::normal();
+                  }));
+  });
+  EXPECT_EQ(Got, 20);
+}
+
+JsAsync throws(Runtime &RT, AsyncOrigin) {
+  co_await Await(resolveLater(RT, 1, Value::undefined()));
+  co_return Completion::thrown(Value::str("async-throw"));
+}
+
+TEST(AsyncAwait, CoReturnThrownRejectsResultPromise) {
+  Runtime RT;
+  std::string Err;
+  runMain(RT, [&](Runtime &R) {
+    JsAsync A = throws(R, AsyncOrigin{"f", JSLOC});
+    R.promiseCatch(JSLOC, A.promise(),
+                   R.makeBuiltin("h", [&Err](Runtime &, const CallArgs &Ar) {
+                     Err = Ar.arg(0).asString();
+                     return Completion::normal();
+                   }));
+  });
+  EXPECT_EQ(Err, "async-throw");
+}
+
+JsAsync returnsPromise(Runtime &RT, AsyncOrigin) {
+  co_return Value::promise(resolveLater(RT, 1, Value::number(99)));
+}
+
+TEST(AsyncAwait, CoReturnPromiseIsAdopted) {
+  Runtime RT;
+  double Got = 0;
+  runMain(RT, [&](Runtime &R) {
+    JsAsync A = returnsPromise(R, AsyncOrigin{"f", JSLOC});
+    R.promiseThen(JSLOC, A.promise(),
+                  R.makeBuiltin("h", [&Got](Runtime &, const CallArgs &Ar) {
+                    Got = Ar.arg(0).asNumber();
+                    return Completion::normal();
+                  }));
+  });
+  EXPECT_EQ(Got, 99);
+}
+
+JsAsync noOriginParam(Runtime &RT) {
+  Value V = co_await Await(resolveLater(RT, 1, Value::number(1)));
+  co_return V;
+}
+
+TEST(AsyncAwait, OriginParameterIsOptional) {
+  Runtime RT;
+  double Got = 0;
+  runMain(RT, [&](Runtime &R) {
+    JsAsync A = noOriginParam(R);
+    R.promiseThen(JSLOC, A.promise(),
+                  R.makeBuiltin("h", [&Got](Runtime &, const CallArgs &Ar) {
+                    Got = Ar.arg(0).asNumber();
+                    return Completion::normal();
+                  }));
+  });
+  EXPECT_EQ(Got, 1);
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+//===- DataStructuresTest.cpp - TimerHeap and AsyncGraph unit tests ------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "ag/Builder.h"
+#include "ag/Graph.h"
+#include "jsrt/TimerHeap.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::ag;
+using namespace asyncg::jsrt;
+using namespace asyncg::testhelpers;
+
+namespace {
+
+TimerEntry timer(uint64_t Id, uint64_t Seq, sim::SimTime Due) {
+  TimerEntry T;
+  T.Id = Id;
+  T.Seq = Seq;
+  T.Due = Due;
+  return T;
+}
+
+TEST(TimerHeap, DeadlineGatesBatchMembership) {
+  TimerHeap H;
+  H.add(timer(1, 1, 100));
+  H.add(timer(2, 2, 50));
+  EXPECT_EQ(H.nextDeadline(), 50u);
+  auto Due = H.takeDue(60);
+  ASSERT_EQ(Due.size(), 1u);
+  EXPECT_EQ(Due[0].Id, 2u);
+  EXPECT_EQ(H.size(), 1u);
+  EXPECT_EQ(H.nextDeadline(), 100u);
+}
+
+TEST(TimerHeap, BatchRunsInRegistrationOrder) {
+  // §VI-A.1c: within one batch, earlier-registered timers run first even
+  // when their deadline is later.
+  TimerHeap H;
+  H.add(timer(1, /*Seq=*/1, /*Due=*/101));
+  H.add(timer(2, /*Seq=*/2, /*Due=*/100));
+  auto Due = H.takeDue(500);
+  ASSERT_EQ(Due.size(), 2u);
+  EXPECT_EQ(Due[0].Id, 1u);
+  EXPECT_EQ(Due[1].Id, 2u);
+}
+
+TEST(TimerHeap, CancelAndEmpty) {
+  TimerHeap H;
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.nextDeadline(), sim::NoDeadline);
+  H.add(timer(7, 1, 10));
+  EXPECT_TRUE(H.cancel(7));
+  EXPECT_FALSE(H.cancel(7));
+  EXPECT_TRUE(H.empty());
+  EXPECT_TRUE(H.takeDue(1000).empty());
+}
+
+AgNode node(NodeKind K) {
+  AgNode N;
+  N.Kind = K;
+  return N;
+}
+
+TEST(Graph, NodeIndexing) {
+  AsyncGraph G;
+  AgTick T;
+  T.Index = 1;
+
+  AgNode Ob = node(NodeKind::OB);
+  Ob.Obj = 42;
+  NodeId ObId = G.addNode(Ob, T);
+
+  AgNode Cr = node(NodeKind::CR);
+  Cr.Sched = 7;
+  NodeId CrId = G.addNode(Cr, T);
+
+  AgNode Ct = node(NodeKind::CT);
+  Ct.Trigger = 9;
+  NodeId CtId = G.addNode(Ct, T);
+
+  AgNode Ce = node(NodeKind::CE);
+  Ce.Sched = 7;
+  NodeId CeId = G.addNode(Ce, T);
+  G.appendTick(T);
+
+  EXPECT_EQ(G.objectNode(42), ObId);
+  EXPECT_EQ(G.objectNode(43), InvalidNode);
+  EXPECT_EQ(G.registrationNode(7), CrId);
+  EXPECT_EQ(G.triggerNode(9), CtId);
+  ASSERT_EQ(G.executionsOf(7).size(), 1u);
+  EXPECT_EQ(G.executionsOf(7)[0], CeId);
+  EXPECT_EQ(G.node(CeId).Tick, 1u);
+}
+
+TEST(Graph, AdjacencyMaintained) {
+  AsyncGraph G;
+  AgTick T;
+  T.Index = 1;
+  NodeId A = G.addNode(node(NodeKind::CR), T);
+  NodeId B = G.addNode(node(NodeKind::CE), T);
+  G.appendTick(T);
+  G.addEdge(A, B, EdgeKind::Causal);
+  G.addEdge(B, A, EdgeKind::Binding, "b");
+  ASSERT_EQ(G.outEdges(A).size(), 1u);
+  ASSERT_EQ(G.inEdges(A).size(), 1u);
+  EXPECT_EQ(G.edge(G.outEdges(A)[0]).To, B);
+  EXPECT_EQ(G.edge(G.inEdges(A)[0]).Label, "b");
+}
+
+TEST(Graph, WarningDedupAndClear) {
+  AsyncGraph G;
+  AgTick T;
+  T.Index = 1;
+  NodeId N = G.addNode(node(NodeKind::CR), T);
+  G.appendTick(T);
+
+  Warning W;
+  W.Category = BugCategory::DeadListener;
+  W.Node = N;
+  W.Loc = SourceLocation("x.js", 1);
+  EXPECT_TRUE(G.addWarning(W));
+  EXPECT_FALSE(G.addWarning(W)); // dedup
+  W.Loc = SourceLocation("x.js", 2);
+  EXPECT_TRUE(G.addWarning(W)); // different location
+  W.Category = BugCategory::DeadEmit;
+  EXPECT_TRUE(G.addWarning(W)); // different category
+  EXPECT_EQ(G.warnings().size(), 3u);
+  EXPECT_TRUE(G.hasWarning(BugCategory::DeadListener));
+  EXPECT_EQ(G.warningsOf(BugCategory::DeadListener).size(), 2u);
+
+  G.clearWarnings({BugCategory::DeadListener});
+  EXPECT_FALSE(G.hasWarning(BugCategory::DeadListener));
+  EXPECT_TRUE(G.hasWarning(BugCategory::DeadEmit));
+  // Cleared warnings can be re-added (recompute semantics).
+  W.Category = BugCategory::DeadListener;
+  W.Loc = SourceLocation("x.js", 1);
+  EXPECT_TRUE(G.addWarning(W));
+}
+
+TEST(Graph, TickNames) {
+  AgTick T;
+  T.Index = 3;
+  T.Phase = PhaseKind::Io;
+  EXPECT_EQ(T.name(), "t3: io");
+  T.Phase = PhaseKind::Check;
+  EXPECT_EQ(T.name(), "t3: immediate");
+}
+
+TEST(QueueMicrotask, RunsAfterNextTickBeforeMacro) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    R.setImmediate(JSLOC, recorder(R, Log, "macro"));
+    R.queueMicrotask(JSLOC, recorder(R, Log, "micro"));
+    R.nextTick(JSLOC, recorder(R, Log, "tick"));
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"tick", "micro", "macro"}));
+}
+
+TEST(QueueMicrotask, ProducesCrAndCeInGraph) {
+  Runtime RT;
+  AsyncGBuilder B;
+  RT.hooks().attach(&B);
+  runMain(RT, [&](Runtime &R) {
+    R.queueMicrotask(JSLINE("m.js", 2),
+                     R.makeFunction("m", JSLINE("m.js", 2),
+                                    [](Runtime &, const CallArgs &) {
+                                      return Completion::normal();
+                                    }));
+  });
+  bool SawCr = false, SawCe = false;
+  for (const AgNode &N : B.graph().nodes()) {
+    if (N.Api != ApiKind::QueueMicrotask)
+      continue;
+    SawCr |= N.Kind == NodeKind::CR;
+    SawCe |= N.Kind == NodeKind::CE;
+  }
+  EXPECT_TRUE(SawCr);
+  EXPECT_TRUE(SawCe);
+}
+
+} // namespace

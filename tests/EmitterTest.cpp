@@ -1,0 +1,236 @@
+//===- EmitterTest.cpp - EventEmitter semantics tests --------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+using namespace asyncg::testhelpers;
+
+namespace {
+
+TEST(Emitter, ListenersRunSynchronouslyInOrder) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    R.emitterOn(JSLOC, E, "x", recorder(R, Log, "first"));
+    R.emitterOn(JSLOC, E, "x", recorder(R, Log, "second"));
+    Log.push_back("pre");
+    EXPECT_TRUE(R.emitterEmit(JSLOC, E, "x"));
+    Log.push_back("post");
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"pre", "first", "second",
+                                           "post"}));
+}
+
+TEST(Emitter, EmitReturnsFalseWithoutListeners) {
+  Runtime RT;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    EXPECT_FALSE(R.emitterEmit(JSLOC, E, "nothing"));
+  });
+}
+
+TEST(Emitter, EmitPassesArguments) {
+  Runtime RT;
+  double N = 0;
+  std::string S;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    R.emitterOn(JSLOC, E, "pair",
+                R.makeFunction("l", JSLOC,
+                               [&](Runtime &, const CallArgs &A) {
+                                 N = A.arg(0).asNumber();
+                                 S = A.arg(1).asString();
+                                 return Completion::normal();
+                               }));
+    R.emitterEmit(JSLOC, E, "pair", {Value::number(4), Value::str("ok")});
+  });
+  EXPECT_EQ(N, 4);
+  EXPECT_EQ(S, "ok");
+}
+
+TEST(Emitter, OnceFiresExactlyOnce) {
+  Runtime RT;
+  int Count = 0;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    R.emitterOnce(JSLOC, E, "x",
+                  R.makeBuiltin("once", [&Count](Runtime &,
+                                                 const CallArgs &) {
+                    ++Count;
+                    return Completion::normal();
+                  }));
+    R.emitterEmit(JSLOC, E, "x");
+    R.emitterEmit(JSLOC, E, "x");
+    EXPECT_EQ(E->listenerCount("x"), 0u);
+  });
+  EXPECT_EQ(Count, 1);
+}
+
+TEST(Emitter, PrependListenerRunsFirst) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    R.emitterOn(JSLOC, E, "x", recorder(R, Log, "normal"));
+    R.emitterPrepend(JSLOC, E, "x", recorder(R, Log, "prepended"));
+    R.emitterEmit(JSLOC, E, "x");
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"prepended", "normal"}));
+}
+
+TEST(Emitter, RemoveListenerByIdentity) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    Function L = recorder(R, Log, "kept");
+    Function M = recorder(R, Log, "removed");
+    R.emitterOn(JSLOC, E, "x", L);
+    R.emitterOn(JSLOC, E, "x", M);
+    EXPECT_TRUE(R.emitterRemoveListener(JSLOC, E, "x", M));
+    // Removing a look-alike function fails (identity semantics).
+    Function LookAlike = recorder(R, Log, "kept");
+    EXPECT_FALSE(R.emitterRemoveListener(JSLOC, E, "x", LookAlike));
+    R.emitterEmit(JSLOC, E, "x");
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"kept"}));
+}
+
+TEST(Emitter, RemoveFirstMatchingOnly) {
+  Runtime RT;
+  int Count = 0;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    Function L = R.makeBuiltin("l", [&Count](Runtime &, const CallArgs &) {
+      ++Count;
+      return Completion::normal();
+    });
+    R.emitterOn(JSLOC, E, "x", L);
+    R.emitterOn(JSLOC, E, "x", L); // duplicate registration
+    EXPECT_TRUE(R.emitterRemoveListener(JSLOC, E, "x", L));
+    EXPECT_EQ(E->listenerCount("x"), 1u);
+    R.emitterEmit(JSLOC, E, "x");
+  });
+  EXPECT_EQ(Count, 1);
+}
+
+TEST(Emitter, RemoveAllListeners) {
+  Runtime RT;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    Function L = R.makeBuiltin("l", [](Runtime &, const CallArgs &) {
+      return Completion::normal();
+    });
+    R.emitterOn(JSLOC, E, "x", L);
+    R.emitterOn(JSLOC, E, "x", L);
+    R.emitterOn(JSLOC, E, "y", L);
+    R.emitterRemoveAll(JSLOC, E, "x");
+    EXPECT_EQ(E->listenerCount("x"), 0u);
+    EXPECT_EQ(E->listenerCount("y"), 1u);
+  });
+}
+
+TEST(Emitter, MutationDuringEmitUsesSnapshot) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    Function Late = recorder(R, Log, "late");
+    R.emitterOn(JSLOC, E, "x",
+                R.makeBuiltin("adder", [&Log, E, Late](Runtime &R2,
+                                                       const CallArgs &) {
+                  Log.push_back("adder");
+                  // Added during emission: not invoked by THIS emit.
+                  R2.emitterOn(JSLOC, E, "x", Late);
+                  return Completion::normal();
+                }));
+    R.emitterEmit(JSLOC, E, "x");
+    EXPECT_EQ(Log, (std::vector<std::string>{"adder"}));
+    R.emitterEmit(JSLOC, E, "x");
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"adder", "adder", "late"}));
+}
+
+TEST(Emitter, RemovalDuringEmitStillInvokesSnapshot) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    Function Second = recorder(R, Log, "second");
+    R.emitterOn(JSLOC, E, "x",
+                R.makeBuiltin("remover", [&Log, E, Second](Runtime &R2,
+                                                           const CallArgs &) {
+                  Log.push_back("remover");
+                  R2.emitterRemoveListener(JSLOC, E, "x", Second);
+                  return Completion::normal();
+                }));
+    R.emitterOn(JSLOC, E, "x", Second);
+    R.emitterEmit(JSLOC, E, "x");
+    // Node snapshots the listener array at emit time.
+    EXPECT_EQ(Log, (std::vector<std::string>{"remover", "second"}));
+    R.emitterEmit(JSLOC, E, "x");
+  });
+  EXPECT_EQ(Log,
+            (std::vector<std::string>{"remover", "second", "remover"}));
+}
+
+TEST(Emitter, UnhandledErrorEventBecomesUncaught) {
+  Runtime RT;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    R.emitterEmit(JSLINE("x.js", 9), E, "error", {Value::str("broken")});
+  });
+  ASSERT_EQ(RT.uncaughtErrors().size(), 1u);
+  EXPECT_EQ(RT.uncaughtErrors()[0].Error.asString(), "broken");
+}
+
+TEST(Emitter, HandledErrorEventIsFine) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    R.emitterOn(JSLOC, E, "error", recorder(R, Log, "handler"));
+    R.emitterEmit(JSLOC, E, "error", {Value::str("broken")});
+  });
+  EXPECT_TRUE(RT.uncaughtErrors().empty());
+  EXPECT_EQ(Log, (std::vector<std::string>{"handler"}));
+}
+
+TEST(Emitter, ThrowingListenerBecomesUncaughtAndOthersStillRun) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    R.emitterOn(JSLOC, E, "x",
+                R.makeFunction("thrower", JSLOC,
+                               [](Runtime &, const CallArgs &) {
+                                 return Completion::error("listener-boom");
+                               }));
+    R.emitterOn(JSLOC, E, "x", recorder(R, Log, "survivor"));
+    R.emitterEmit(JSLOC, E, "x");
+  });
+  EXPECT_EQ(RT.uncaughtErrors().size(), 1u);
+  EXPECT_EQ(Log, (std::vector<std::string>{"survivor"}));
+}
+
+TEST(Emitter, LiveEmittersTracksWeakly) {
+  Runtime RT;
+  EmitterRef Kept;
+  runMain(RT, [&](Runtime &R) {
+    Kept = R.emitterCreate(JSLOC, "KeptBus");
+    R.emitterCreate(JSLOC, "DroppedBus");
+  });
+  auto Live = RT.liveEmitters();
+  ASSERT_EQ(Live.size(), 1u);
+  EXPECT_EQ(Live[0]->Name, "KeptBus");
+}
+
+} // namespace

@@ -1,0 +1,417 @@
+//===- EventLoopTest.cpp - event-loop dispatch semantics (§II-B) --------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins down the event-loop semantics of Fig. 2: phase ordering, micro-task
+/// priority (nextTick over promise, mutual scheduling), immediate-vs-I/O
+/// fairness, timer behaviour, cancellation, and the tick budget.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "node/Fs.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+using namespace asyncg::testhelpers;
+
+namespace {
+
+TEST(EventLoop, PhasePriorityOrder) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  RT.fileSystem().putFile("f", "x");
+  runMain(RT, [&](Runtime &R) {
+    node::Fs Fs(R);
+    Fs.readFile(JSLOC, "f", recorder(R, Log, "io"));
+    R.setImmediate(JSLOC, recorder(R, Log, "immediate"));
+    R.setTimeout(JSLOC, recorder(R, Log, "timer"), 0);
+    PromiseRef P = R.promiseResolvedWith(JSLOC, Value::number(0));
+    R.promiseThen(JSLOC, P, recorder(R, Log, "promise"));
+    R.nextTick(JSLOC, recorder(R, Log, "nexttick"));
+  });
+  // Micro-tasks first (nextTick before promise). Among the macro phases
+  // the immediate is runnable at t=0 already, the fs completion becomes
+  // due at the 100us fs latency, and the 0ms timer was clamped to 1ms.
+  ASSERT_EQ(Log.size(), 5u);
+  EXPECT_EQ(Log[0], "nexttick");
+  EXPECT_EQ(Log[1], "promise");
+  EXPECT_EQ(Log[2], "immediate");
+  EXPECT_EQ(Log[3], "io");
+  EXPECT_EQ(Log[4], "timer");
+}
+
+TEST(EventLoop, MicrotasksScheduleEachOther) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseResolvedWith(JSLOC, Value::number(0));
+    R.promiseThen(JSLOC, P,
+                  R.makeFunction("fromPromise", JSLOC,
+                                 [&Log](Runtime &R2, const CallArgs &) {
+                                   Log.push_back("promise1");
+                                   R2.nextTick(JSLOC,
+                                               recorder(R2, Log,
+                                                        "tickFromPromise"));
+                                   return Completion::normal();
+                                 }));
+    R.nextTick(JSLOC,
+               R.makeFunction("fromTick", JSLOC,
+                              [&Log](Runtime &R2, const CallArgs &) {
+                                Log.push_back("tick1");
+                                PromiseRef P2 = R2.promiseResolvedWith(
+                                    JSLOC, Value::number(1));
+                                R2.promiseThen(
+                                    JSLOC, P2,
+                                    recorder(R2, Log, "promiseFromTick"));
+                                return Completion::normal();
+                              }));
+  });
+  // tick1 runs first (nextTick priority), then promise micro-tasks, and a
+  // nextTick scheduled from a promise jumps ahead of remaining promises.
+  ASSERT_EQ(Log.size(), 4u);
+  EXPECT_EQ(Log[0], "tick1");
+  EXPECT_EQ(Log[1], "promise1");
+  EXPECT_EQ(Log[2], "tickFromPromise");
+  EXPECT_EQ(Log[3], "promiseFromTick");
+}
+
+TEST(EventLoop, IoInterleavesWithImmediateChain) {
+  // Fig. 3(b): a self-rescheduling setImmediate chain (the fixed Fig. 1
+  // program) lets polled I/O events in between check phases, unlike the
+  // recursive-nextTick version.
+  Runtime RT;
+  RT.fileSystem().putFile("f", "x");
+  int Hops = 0;
+  int HopsWhenIoArrived = -1;
+  runMain(RT, [&](Runtime &R) {
+    node::Fs Fs(R);
+    Fs.readFile(JSLOC, "f",
+                R.makeBuiltin("onRead",
+                              [&](Runtime &, const CallArgs &) {
+                                HopsWhenIoArrived = Hops;
+                                return Completion::normal();
+                              }));
+    Function Chain = R.makeBuiltin("chain", nullptr);
+    Chain.ref()->Body = [&, Chain](Runtime &R2, const CallArgs &) {
+      if (++Hops < 5000 && HopsWhenIoArrived < 0)
+        R2.setImmediate(JSLOC, Chain);
+      return Completion::normal();
+    };
+    R.setImmediate(JSLOC, Chain);
+  });
+  // The I/O event arrived while the chain was still running: interleaved.
+  ASSERT_GE(HopsWhenIoArrived, 1);
+  EXPECT_LT(HopsWhenIoArrived, 5000);
+}
+
+TEST(EventLoop, ImmediateScheduledDuringCheckWaitsForNextIteration) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    R.setImmediate(JSLOC,
+                   R.makeFunction("imm1", JSLOC,
+                                  [&Log](Runtime &R2, const CallArgs &) {
+                                    Log.push_back("imm1");
+                                    R2.setImmediate(JSLOC,
+                                                    recorder(R2, Log,
+                                                             "imm2"));
+                                    return Completion::normal();
+                                  }));
+    R.setImmediate(JSLOC, recorder(R, Log, "imm1b"));
+  });
+  // imm1 and imm1b run in the same check phase; imm2 in the next one.
+  EXPECT_EQ(Log, (std::vector<std::string>{"imm1", "imm1b", "imm2"}));
+}
+
+TEST(EventLoop, TimerOrderingByDeadline) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    R.setTimeout(JSLOC, recorder(R, Log, "t30"), 30);
+    R.setTimeout(JSLOC, recorder(R, Log, "t10"), 10);
+    R.setTimeout(JSLOC, recorder(R, Log, "t20"), 20);
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"t10", "t20", "t30"}));
+}
+
+TEST(EventLoop, ExpiredTimersRunInRegistrationOrder) {
+  // §VI-A.1c: when the loop is blocked past both deadlines, the earlier
+  // registered timer runs first even with the larger timeout.
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    R.setTimeout(JSLOC, recorder(R, Log, "foo101"), 101);
+    R.setTimeout(JSLOC, recorder(R, Log, "bar100"), 100);
+    // Block the loop past both deadlines with a long busy main phase.
+    R.clock().advanceBy(sim::millis(500));
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"foo101", "bar100"}));
+}
+
+TEST(EventLoop, ZeroTimeoutClampedToOneMs) {
+  Runtime RT;
+  sim::SimTime FireTime = 0;
+  runMain(RT, [&](Runtime &R) {
+    R.setTimeout(JSLOC,
+                 R.makeBuiltin("t",
+                               [&FireTime](Runtime &R2, const CallArgs &) {
+                                 FireTime = R2.clock().now();
+                                 return Completion::normal();
+                               }),
+                 0);
+  });
+  EXPECT_EQ(FireTime, sim::millis(1));
+}
+
+TEST(EventLoop, ClampingCanBeDisabled) {
+  RuntimeConfig Cfg;
+  Cfg.ClampZeroTimeout = false;
+  Cfg.TickCostUs = 0; // exact fire-time comparison below
+  Runtime RT(Cfg);
+  sim::SimTime FireTime = 1;
+  runMain(RT, [&](Runtime &R) {
+    R.setTimeout(JSLOC,
+                 R.makeBuiltin("t",
+                               [&FireTime](Runtime &R2, const CallArgs &) {
+                                 FireTime = R2.clock().now();
+                                 return Completion::normal();
+                               }),
+                 0);
+  });
+  EXPECT_EQ(FireTime, 0u);
+}
+
+TEST(EventLoop, IntervalRepeatsAndClears) {
+  Runtime RT;
+  int Count = 0;
+  runMain(RT, [&](Runtime &R) {
+    auto Handle = std::make_shared<TimerHandle>();
+    *Handle = R.setInterval(
+        JSLOC,
+        R.makeBuiltin("interval",
+                      [&Count, Handle](Runtime &R2, const CallArgs &) {
+                        if (++Count == 3) {
+                          // The interval is currently running, so the heap
+                          // no longer holds it; the re-add is suppressed.
+                          EXPECT_FALSE(R2.clearTimer(*Handle));
+                        }
+                        return Completion::normal();
+                      }),
+        10);
+  });
+  EXPECT_EQ(Count, 3);
+}
+
+TEST(EventLoop, ClearTimeoutPreventsExecution) {
+  Runtime RT;
+  int Ran = 0;
+  runMain(RT, [&](Runtime &R) {
+    TimerHandle H = R.setTimeout(JSLOC,
+                                 R.makeBuiltin("t",
+                                               [&Ran](Runtime &,
+                                                      const CallArgs &) {
+                                                 ++Ran;
+                                                 return Completion::normal();
+                                               }),
+                                 10);
+    EXPECT_TRUE(R.clearTimer(H));
+  });
+  EXPECT_EQ(Ran, 0);
+}
+
+TEST(EventLoop, ClearImmediate) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    ImmediateHandle H = R.setImmediate(JSLOC, recorder(R, Log, "a"));
+    R.setImmediate(JSLOC, recorder(R, Log, "b"));
+    EXPECT_TRUE(R.clearImmediate(H));
+    EXPECT_FALSE(R.clearImmediate(H));
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"b"}));
+}
+
+TEST(EventLoop, NextTickArgsArePassed) {
+  Runtime RT;
+  double Got = 0;
+  std::string GotS;
+  runMain(RT, [&](Runtime &R) {
+    R.nextTick(JSLOC,
+               R.makeBuiltin("cb",
+                             [&](Runtime &, const CallArgs &A) {
+                               Got = A.arg(0).asNumber();
+                               GotS = A.arg(1).asString();
+                               return Completion::normal();
+                             }),
+               {Value::number(7), Value::str("x")});
+  });
+  EXPECT_EQ(Got, 7);
+  EXPECT_EQ(GotS, "x");
+}
+
+TEST(EventLoop, UncaughtErrorsAreRecorded) {
+  Runtime RT;
+  runMain(RT, [&](Runtime &R) {
+    R.setTimeout(JSLOC,
+                 R.makeFunction("thrower", JSLINE("x.js", 3),
+                                [](Runtime &, const CallArgs &) {
+                                  return Completion::error("boom");
+                                }),
+                 1);
+  });
+  ASSERT_EQ(RT.uncaughtErrors().size(), 1u);
+  EXPECT_EQ(RT.uncaughtErrors()[0].Error.asString(), "boom");
+  EXPECT_EQ(RT.uncaughtErrors()[0].Loc.line(), 3u);
+}
+
+TEST(EventLoop, StopRequestHaltsTheLoop) {
+  Runtime RT;
+  int Count = 0;
+  runMain(RT, [&](Runtime &R) {
+    Function Self = R.makeBuiltin("loop", nullptr);
+    Self.ref()->Body = [&Count, Self](Runtime &R2, const CallArgs &) {
+      if (++Count == 5)
+        R2.stop();
+      else
+        R2.setImmediate(JSLOC, Self);
+      return Completion::normal();
+    };
+    R.setImmediate(JSLOC, Self);
+  });
+  EXPECT_EQ(Count, 5);
+  EXPECT_FALSE(RT.tickBudgetExhausted());
+}
+
+TEST(EventLoop, TickBudgetStopsStarvation) {
+  RuntimeConfig Cfg;
+  Cfg.MaxTicks = 25;
+  Runtime RT(Cfg);
+  int Count = 0;
+  runMain(RT, [&](Runtime &R) {
+    Function Self = R.makeBuiltin("spin", nullptr);
+    Self.ref()->Body = [&Count, Self](Runtime &R2, const CallArgs &) {
+      ++Count;
+      R2.nextTick(JSLOC, Self);
+      return Completion::normal();
+    };
+    R.nextTick(JSLOC, Self);
+  });
+  EXPECT_TRUE(RT.tickBudgetExhausted());
+  EXPECT_LE(RT.tickCount(), 25u);
+  EXPECT_GT(Count, 10);
+}
+
+TEST(EventLoop, VirtualTimeOnlyAdvancesWhenIdle) {
+  Runtime RT;
+  std::vector<sim::SimTime> Times;
+  runMain(RT, [&](Runtime &R) {
+    R.setTimeout(JSLOC,
+                 R.makeBuiltin("a",
+                               [&Times](Runtime &R2, const CallArgs &) {
+                                 Times.push_back(R2.clock().now());
+                                 return Completion::normal();
+                               }),
+                 5);
+    R.setTimeout(JSLOC,
+                 R.makeBuiltin("b",
+                               [&Times](Runtime &R2, const CallArgs &) {
+                                 Times.push_back(R2.clock().now());
+                                 return Completion::normal();
+                               }),
+                 50);
+  });
+  ASSERT_EQ(Times.size(), 2u);
+  EXPECT_EQ(Times[0], sim::millis(5));
+  EXPECT_EQ(Times[1], sim::millis(50));
+}
+
+TEST(EventLoop, CloseCallbacksRunLast) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    R.scheduleCloseCallback(JSLOC, recorder(R, Log, "close"));
+    R.setImmediate(JSLOC, recorder(R, Log, "immediate"));
+    R.nextTick(JSLOC, recorder(R, Log, "tick"));
+  });
+  EXPECT_EQ(Log,
+            (std::vector<std::string>{"tick", "immediate", "close"}));
+}
+
+TEST(EventLoop, NestedCallsShareTheTick) {
+  Runtime RT;
+  std::vector<uint64_t> Ticks;
+  runMain(RT, [&](Runtime &R) {
+    Function Inner = R.makeBuiltin("inner", [&](Runtime &R2,
+                                                const CallArgs &) {
+      Ticks.push_back(R2.tickCount());
+      return Completion::normal();
+    });
+    Ticks.push_back(R.tickCount());
+    R.call(Inner);
+    R.call(Inner);
+  });
+  ASSERT_EQ(Ticks.size(), 3u);
+  EXPECT_EQ(Ticks[0], Ticks[1]);
+  EXPECT_EQ(Ticks[1], Ticks[2]);
+}
+
+TEST(EventLoop, StatsCountTicks) {
+  Runtime RT;
+  runMain(RT, [&](Runtime &R) {
+    R.nextTick(JSLOC, R.makeBuiltin("t", [](Runtime &, const CallArgs &) {
+      return Completion::normal();
+    }));
+  });
+  EXPECT_EQ(RT.stats().get("jsrt.ticks"), 2); // main + nexttick
+}
+
+TEST(EventLoop, BeforeExitFiresOnDrain) {
+  Runtime RT;
+  int Fires = 0;
+  runMain(RT, [&](Runtime &R) {
+    R.emitterOn(JSLOC, R.process(), "beforeExit",
+                R.makeBuiltin("onBeforeExit",
+                              [&Fires](Runtime &, const CallArgs &) {
+                                ++Fires;
+                                return Completion::normal();
+                              }));
+  });
+  // Emitted once; the listener scheduled nothing, so the loop exited.
+  EXPECT_EQ(Fires, 1);
+}
+
+TEST(EventLoop, BeforeExitCanKeepTheLoopAlive) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  int Fires = 0;
+  runMain(RT, [&](Runtime &R) {
+    R.setTimeout(JSLOC, recorder(R, Log, "work1"), 1);
+    R.emitterOn(JSLOC, R.process(), "beforeExit",
+                R.makeBuiltin("onBeforeExit",
+                              [&Fires, &Log](Runtime &R2, const CallArgs &) {
+                                if (++Fires == 1)
+                                  R2.setTimeout(JSLOC,
+                                                recorder(R2, Log, "work2"),
+                                                1);
+                                return Completion::normal();
+                              }));
+  });
+  // First drain -> beforeExit schedules work2 -> second drain -> second
+  // beforeExit schedules nothing -> exit.
+  EXPECT_EQ(Fires, 2);
+  EXPECT_EQ(Log, (std::vector<std::string>{"work1", "work2"}));
+}
+
+TEST(EventLoop, NoBeforeExitListenersNoExtraTicks) {
+  Runtime RT;
+  runMain(RT, [&](Runtime &R) { (void)R.process(); });
+  EXPECT_EQ(RT.stats().get("jsrt.ticks"), 1); // just main
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+//===- JsrtSmokeTest.cpp - early smoke tests for the jsrt core --------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jsrt/AsyncAwait.h"
+#include "jsrt/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+
+namespace {
+
+TEST(JsrtSmoke, MicrotaskPriorityOverTimers) {
+  Runtime RT;
+  std::vector<std::string> Order;
+
+  Function Main = RT.makeFunction("main", JSLOC, [&](Runtime &R,
+                                                     const CallArgs &) {
+    PromiseRef P = R.promiseResolvedWith(JSLOC, Value::number(0));
+    R.promiseThen(JSLOC, P, R.makeFunction("thenCb", JSLOC,
+                                           [&](Runtime &, const CallArgs &) {
+                                             Order.push_back("promise");
+                                             return Completion::normal();
+                                           }));
+    R.setTimeout(JSLOC,
+                 R.makeFunction("timeoutCb", JSLOC,
+                                [&](Runtime &, const CallArgs &) {
+                                  Order.push_back("timeout");
+                                  return Completion::normal();
+                                }),
+                 0);
+    R.nextTick(JSLOC, R.makeFunction("tickCb", JSLOC,
+                                     [&](Runtime &, const CallArgs &) {
+                                       Order.push_back("nexttick");
+                                       return Completion::normal();
+                                     }));
+    return Completion::normal();
+  });
+
+  RT.main(Main);
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order[0], "nexttick");
+  EXPECT_EQ(Order[1], "promise");
+  EXPECT_EQ(Order[2], "timeout");
+}
+
+TEST(JsrtSmoke, EmitterSynchronousAndOnce) {
+  Runtime RT;
+  int OnCount = 0, OnceCount = 0;
+
+  Function Main = RT.makeFunction("main", JSLOC, [&](Runtime &R,
+                                                     const CallArgs &) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    R.emitterOn(JSLOC, E, "x",
+                R.makeFunction("onX", JSLOC, [&](Runtime &, const CallArgs &) {
+                  ++OnCount;
+                  return Completion::normal();
+                }));
+    R.emitterOnce(JSLOC, E, "x",
+                  R.makeFunction("onceX", JSLOC,
+                                 [&](Runtime &, const CallArgs &) {
+                                   ++OnceCount;
+                                   return Completion::normal();
+                                 }));
+    EXPECT_TRUE(R.emitterEmit(JSLOC, E, "x"));
+    EXPECT_TRUE(R.emitterEmit(JSLOC, E, "x"));
+    EXPECT_FALSE(R.emitterEmit(JSLOC, E, "unknown"));
+    return Completion::normal();
+  });
+
+  RT.main(Main);
+  EXPECT_EQ(OnCount, 2);
+  EXPECT_EQ(OnceCount, 1);
+}
+
+JsAsync addLater(Runtime &RT, AsyncOrigin, double A, double B) {
+  PromiseRef P = RT.promiseBare(JSLOC, "delay");
+  RT.setTimeout(JSLOC,
+                RT.makeBuiltin("resolveDelay",
+                               [P, A, B](Runtime &R, const CallArgs &) {
+                                 R.resolvePromise(JSLOC, P,
+                                                  Value::number(A + B));
+                                 return Completion::normal();
+                               }),
+                5);
+  Value V = co_await Await(P);
+  co_return V;
+}
+
+TEST(JsrtSmoke, AsyncAwaitResolves) {
+  Runtime RT;
+  double Got = -1;
+
+  Function Main = RT.makeFunction("main", JSLOC, [&](Runtime &R,
+                                                     const CallArgs &) {
+    JsAsync A = addLater(R, AsyncOrigin{"addLater", JSLOC}, 2, 3);
+    R.promiseThen(JSLOC, A.promise(),
+                  R.makeFunction("got", JSLOC,
+                                 [&](Runtime &, const CallArgs &Args) {
+                                   Got = Args.arg(0).asNumber();
+                                   return Completion::normal();
+                                 }));
+    return Completion::normal();
+  });
+
+  RT.main(Main);
+  EXPECT_EQ(Got, 5.0);
+}
+
+TEST(JsrtSmoke, RecursiveNextTickHitsBudget) {
+  RuntimeConfig Cfg;
+  Cfg.MaxTicks = 50;
+  Runtime RT(Cfg);
+  int Computes = 0;
+
+  Function Compute = RT.makeFunction("compute", JSLOC, nullptr);
+  Compute.ref()->Body = [&](Runtime &R, const CallArgs &) {
+    ++Computes;
+    R.nextTick(JSLOC, Compute);
+    return Completion::normal();
+  };
+
+  Function Main =
+      RT.makeFunction("main", JSLOC, [&](Runtime &R, const CallArgs &) {
+        R.setTimeout(JSLOC,
+                     R.makeFunction("never", JSLOC,
+                                    [&](Runtime &, const CallArgs &) {
+                                      ADD_FAILURE() << "timer must starve";
+                                      return Completion::normal();
+                                    }),
+                     1);
+        return R.call(Compute);
+      });
+
+  RT.main(Main);
+  EXPECT_TRUE(RT.tickBudgetExhausted());
+  EXPECT_GT(Computes, 10);
+}
+
+} // namespace

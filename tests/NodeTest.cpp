@@ -1,0 +1,386 @@
+//===- NodeTest.cpp - node layer tests (fs, net, http) -------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "node/Events.h"
+#include "node/Fs.h"
+#include "node/Http.h"
+#include "node/Net.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+using namespace asyncg::testhelpers;
+namespace http = asyncg::node::http;
+
+namespace {
+
+TEST(NodeFs, ReadFileSuccessAndError) {
+  Runtime RT;
+  RT.fileSystem().putFile("ok.txt", "payload");
+  std::string Data, Err;
+  runMain(RT, [&](Runtime &R) {
+    node::Fs Fs(R);
+    Fs.readFile(JSLOC, "ok.txt",
+                R.makeBuiltin("cb1", [&Data](Runtime &, const CallArgs &A) {
+                  EXPECT_TRUE(A.arg(0).isNull());
+                  Data = A.arg(1).asString();
+                  return Completion::normal();
+                }));
+    Fs.readFile(JSLOC, "missing.txt",
+                R.makeBuiltin("cb2", [&Err](Runtime &, const CallArgs &A) {
+                  Err = A.arg(0).asString();
+                  EXPECT_TRUE(A.arg(1).isUndefined());
+                  return Completion::normal();
+                }));
+  });
+  EXPECT_EQ(Data, "payload");
+  EXPECT_NE(Err.find("ENOENT"), std::string::npos);
+}
+
+TEST(NodeFs, WriteThenRead) {
+  Runtime RT;
+  std::string RoundTrip;
+  runMain(RT, [&](Runtime &R) {
+    auto Fs = std::make_shared<node::Fs>(R);
+    Fs->writeFile(JSLOC, "new.txt", "fresh",
+                  R.makeBuiltin("onWrite", [Fs, &RoundTrip](
+                                               Runtime &R2,
+                                               const CallArgs &A) {
+                    EXPECT_TRUE(A.arg(0).isNull());
+                    Fs->readFile(JSLOC, "new.txt",
+                                 R2.makeBuiltin(
+                                     "onRead",
+                                     [&RoundTrip](Runtime &,
+                                                  const CallArgs &A2) {
+                                       RoundTrip = A2.arg(1).asString();
+                                       return Completion::normal();
+                                     }));
+                    return Completion::normal();
+                  }));
+  });
+  EXPECT_EQ(RoundTrip, "fresh");
+}
+
+TEST(NodeFs, PromiseInterface) {
+  Runtime RT;
+  RT.fileSystem().putFile("p.txt", "via-promise");
+  std::string Data;
+  runMain(RT, [&](Runtime &R) {
+    node::Fs Fs(R);
+    PromiseRef P = Fs.readFilePromise(JSLOC, "p.txt");
+    R.promiseThen(JSLOC, P,
+                  R.makeBuiltin("h", [&Data](Runtime &, const CallArgs &A) {
+                    Data = A.arg(0).asString();
+                    return Completion::normal();
+                  }));
+  });
+  EXPECT_EQ(Data, "via-promise");
+}
+
+TEST(NodeNet, EchoServer) {
+  Runtime RT;
+  std::vector<std::string> ClientGot;
+  runMain(RT, [&](Runtime &R) {
+    // Echo server: replies with "echo:<data>".
+    Function OnConnection = R.makeFunction(
+        "onConnection", JSLOC, [](Runtime &R2, const CallArgs &A) {
+          auto Sock = node::Socket::from(A.arg(0));
+          R2.emitterOn(JSLOC, Sock->emitter(), "data",
+                       R2.makeBuiltin("echo",
+                                      [Sock](Runtime &, const CallArgs &A2) {
+                                        Sock->write("echo:" +
+                                                    A2.arg(0).asString());
+                                        return Completion::normal();
+                                      }));
+          return Completion::normal();
+        });
+    auto Server = node::createServer(R, JSLOC, OnConnection);
+    ASSERT_TRUE(Server->listen(JSLOC, 7777));
+
+    node::connect(R, JSLOC, 7777,
+                  R.makeFunction("onConnect", JSLOC,
+                                 [&ClientGot](Runtime &R2,
+                                              const CallArgs &A) {
+                                   auto Client = node::Socket::from(A.arg(0));
+                                   R2.emitterOn(
+                                       JSLOC, Client->emitter(), "data",
+                                       R2.makeBuiltin(
+                                           "clientData",
+                                           [&ClientGot, Client](
+                                               Runtime &,
+                                               const CallArgs &A2) {
+                                             ClientGot.push_back(
+                                                 A2.arg(0).asString());
+                                             Client->destroy();
+                                             return Completion::normal();
+                                           }));
+                                   Client->write("hello");
+                                   return Completion::normal();
+                                 }));
+  });
+  EXPECT_EQ(ClientGot, (std::vector<std::string>{"echo:hello"}));
+}
+
+TEST(NodeNet, CloseEventsArriveInClosePhase) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    Function OnConnection = R.makeFunction(
+        "onConnection", JSLOC, [&Log](Runtime &R2, const CallArgs &A) {
+          auto Sock = node::Socket::from(A.arg(0));
+          R2.emitterOn(JSLOC, Sock->emitter(), "close",
+                       R2.makeBuiltin("onClose",
+                                      [&Log](Runtime &R3, const CallArgs &) {
+                                        Log.push_back("close");
+                                        EXPECT_EQ(R3.currentPhase(),
+                                                  PhaseKind::Close);
+                                        return Completion::normal();
+                                      }));
+          return Completion::normal();
+        });
+    auto Server = node::createServer(R, JSLOC, OnConnection);
+    ASSERT_TRUE(Server->listen(JSLOC, 7001));
+    node::connect(R, JSLOC, 7001,
+                  R.makeBuiltin("client", [](Runtime &, const CallArgs &A) {
+                    node::Socket::from(A.arg(0))->destroy();
+                    return Completion::normal();
+                  }));
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"close"}));
+}
+
+TEST(NodeNet, ListenOnBusyPortFails) {
+  Runtime RT;
+  runMain(RT, [&](Runtime &R) {
+    auto A = node::createServer(R, JSLOC);
+    auto B = node::createServer(R, JSLOC);
+    EXPECT_TRUE(A->listen(JSLOC, 7002));
+    EXPECT_FALSE(B->listen(JSLOC, 7002));
+    A->close(JSLOC);
+    EXPECT_TRUE(B->listen(JSLOC, 7002));
+  });
+}
+
+TEST(NodeHttp, RequestResponseRoundTrip) {
+  Runtime RT;
+  int Status = 0;
+  std::string Body;
+  runMain(RT, [&](Runtime &R) {
+    Function OnRequest = R.makeFunction(
+        "handler", JSLOC, [](Runtime &, const CallArgs &A) {
+          auto Req = http::IncomingMessage::from(A.arg(0));
+          auto Res = http::ServerResponse::from(A.arg(1));
+          EXPECT_EQ(Req->method(), "GET");
+          EXPECT_EQ(Req->url(), "/hello?x=1");
+          Res->writeHead(201);
+          Res->end("hi-there");
+          return Completion::normal();
+        });
+    auto Server = http::HttpServer::create(R, JSLOC, OnRequest);
+    ASSERT_TRUE(Server->listen(JSLOC, 8080));
+
+    http::RequestOptions Opts;
+    Opts.Method = "GET";
+    Opts.Port = 8080;
+    Opts.Path = "/hello?x=1";
+    http::request(R, JSLOC, Opts,
+                  R.makeBuiltin("onResponse",
+                                [&](Runtime &, const CallArgs &A) {
+                                  EXPECT_TRUE(A.arg(0).isNull());
+                                  Status = static_cast<int>(
+                                      A.arg(1).asNumber());
+                                  Body = A.arg(2).asString();
+                                  return Completion::normal();
+                                }));
+  });
+  EXPECT_EQ(Status, 201);
+  EXPECT_EQ(Body, "hi-there");
+}
+
+TEST(NodeHttp, BodyChunksStreamAsDataEvents) {
+  Runtime RT;
+  std::vector<std::string> Chunks;
+  bool SawEnd = false;
+  std::string Resp;
+  runMain(RT, [&](Runtime &R) {
+    Function OnRequest = R.makeFunction(
+        "handler", JSLOC,
+        [&Chunks, &SawEnd](Runtime &R2, const CallArgs &A) {
+          auto Req = http::IncomingMessage::from(A.arg(0));
+          auto Res = http::ServerResponse::from(A.arg(1));
+          R2.emitterOn(JSLOC, Req->emitter(), "data",
+                       R2.makeBuiltin("onData",
+                                      [&Chunks](Runtime &,
+                                                const CallArgs &A2) {
+                                        Chunks.push_back(
+                                            A2.arg(0).asString());
+                                        return Completion::normal();
+                                      }));
+          R2.emitterOn(JSLOC, Req->emitter(), "end",
+                       R2.makeBuiltin("onEnd",
+                                      [&SawEnd, Res](Runtime &,
+                                                     const CallArgs &) {
+                                        SawEnd = true;
+                                        Res->end("done");
+                                        return Completion::normal();
+                                      }));
+          return Completion::normal();
+        });
+    auto Server = http::HttpServer::create(R, JSLOC, OnRequest);
+    ASSERT_TRUE(Server->listen(JSLOC, 8081));
+
+    http::RequestOptions Opts;
+    Opts.Method = "POST";
+    Opts.Port = 8081;
+    Opts.Path = "/upload";
+    Opts.BodyChunks = {"part1", "part2"};
+    http::request(R, JSLOC, Opts,
+                  R.makeBuiltin("onResponse",
+                                [&Resp](Runtime &, const CallArgs &A) {
+                                  Resp = A.arg(2).asString();
+                                  return Completion::normal();
+                                }));
+  });
+  EXPECT_EQ(Chunks, (std::vector<std::string>{"part1", "part2"}));
+  EXPECT_TRUE(SawEnd);
+  EXPECT_EQ(Resp, "done");
+}
+
+TEST(NodeHttp, ConnectionRefused) {
+  Runtime RT;
+  std::string Err;
+  runMain(RT, [&](Runtime &R) {
+    http::RequestOptions Opts;
+    Opts.Port = 9999; // nothing listening
+    http::request(R, JSLOC, Opts,
+                  R.makeBuiltin("onResponse",
+                                [&Err](Runtime &, const CallArgs &A) {
+                                  Err = A.arg(0).asString();
+                                  return Completion::normal();
+                                }));
+  });
+  EXPECT_NE(Err.find("ECONNREFUSED"), std::string::npos);
+}
+
+TEST(NodeHttp, ResponseEndIsIdempotent) {
+  Runtime RT;
+  int Responses = 0;
+  runMain(RT, [&](Runtime &R) {
+    Function OnRequest = R.makeFunction(
+        "handler", JSLOC, [](Runtime &, const CallArgs &A) {
+          auto Res = http::ServerResponse::from(A.arg(1));
+          EXPECT_TRUE(Res->end("one"));
+          EXPECT_FALSE(Res->end("two"));
+          return Completion::normal();
+        });
+    auto Server = http::HttpServer::create(R, JSLOC, OnRequest);
+    ASSERT_TRUE(Server->listen(JSLOC, 8082));
+    http::RequestOptions Opts;
+    Opts.Port = 8082;
+    http::request(R, JSLOC, Opts,
+                  R.makeBuiltin("onResponse",
+                                [&Responses](Runtime &, const CallArgs &A) {
+                                  ++Responses;
+                                  EXPECT_EQ(A.arg(2).asString(), "one");
+                                  return Completion::normal();
+                                }));
+  });
+  EXPECT_EQ(Responses, 1);
+}
+
+TEST(NodeHttp, FramingHelpers) {
+  EXPECT_EQ(http::frameRequestLine("GET", "/x"), "REQ GET /x");
+  EXPECT_EQ(http::frameDataChunk("abc"), "DAT abc");
+  EXPECT_EQ(http::frameEnd(), "END");
+  EXPECT_EQ(http::frameResponse(200, "ok"), "RES 200 ok");
+
+  http::ClientResponse R;
+  EXPECT_TRUE(http::parseResponse("RES 404 not found", R));
+  EXPECT_EQ(R.Status, 404);
+  EXPECT_EQ(R.Body, "not found");
+  EXPECT_TRUE(http::parseResponse("RES 200", R));
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_EQ(R.Body, "");
+  EXPECT_FALSE(http::parseResponse("REQ GET /", R));
+}
+
+TEST(NodeEvents, OnceResolvesWithEmitArgs) {
+  Runtime RT;
+  std::vector<double> Got;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    PromiseRef P = node::events::once(R, JSLOC, E, "ready");
+    R.promiseThen(JSLOC, P,
+                  R.makeBuiltin("h", [&Got](Runtime &, const CallArgs &A) {
+                    for (const Value &V : A.arg(0).asArray()->Elems)
+                      Got.push_back(V.asNumber());
+                    return Completion::normal();
+                  }));
+    R.setImmediate(JSLOC,
+                   R.makeBuiltin("emitReady",
+                                 [E](Runtime &R2, const CallArgs &) {
+                                   R2.emitterEmit(JSLOC, E, "ready",
+                                                  {Value::number(1),
+                                                   Value::number(2)});
+                                   // A second emission is ignored.
+                                   R2.emitterEmit(JSLOC, E, "ready",
+                                                  {Value::number(9)});
+                                   return Completion::normal();
+                                 }));
+  });
+  EXPECT_EQ(Got, (std::vector<double>{1, 2}));
+}
+
+TEST(NodeEvents, OnceRejectsOnErrorEvent) {
+  Runtime RT;
+  std::string Err;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    PromiseRef P = node::events::once(R, JSLOC, E, "ready");
+    R.promiseCatch(JSLOC, P,
+                   R.makeBuiltin("h", [&Err](Runtime &, const CallArgs &A) {
+                     Err = A.arg(0).asString();
+                     return Completion::normal();
+                   }));
+    R.setImmediate(JSLOC,
+                   R.makeBuiltin("emitError",
+                                 [E](Runtime &R2, const CallArgs &) {
+                                   R2.emitterEmit(JSLOC, E, "error",
+                                                  {Value::str("broke")});
+                                   return Completion::normal();
+                                 }));
+  });
+  EXPECT_EQ(Err, "broke");
+  // The internal once-error listener handled the 'error' event.
+  EXPECT_TRUE(RT.uncaughtErrors().empty());
+}
+
+TEST(NodeEvents, OnceForErrorEventItselfResolves) {
+  Runtime RT;
+  bool Resolved = false;
+  runMain(RT, [&](Runtime &R) {
+    EmitterRef E = R.emitterCreate(JSLOC);
+    PromiseRef P = node::events::once(R, JSLOC, E, "error");
+    R.promiseThen(JSLOC, P,
+                  R.makeBuiltin("h", [&Resolved](Runtime &,
+                                                 const CallArgs &) {
+                    Resolved = true;
+                    return Completion::normal();
+                  }));
+    R.setImmediate(JSLOC,
+                   R.makeBuiltin("emitError",
+                                 [E](Runtime &R2, const CallArgs &) {
+                                   R2.emitterEmit(JSLOC, E, "error",
+                                                  {Value::str("x")});
+                                   return Completion::normal();
+                                 }));
+  });
+  EXPECT_TRUE(Resolved);
+}
+
+} // namespace

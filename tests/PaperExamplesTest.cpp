@@ -1,0 +1,188 @@
+//===- PaperExamplesTest.cpp - the paper's inline examples, pinned -------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the paper's §III motivating example (callback-order crash), the
+/// §II-A http chain example, and HTTP keep-alive connections end-to-end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "ag/Builder.h"
+#include "detect/Detectors.h"
+#include "node/Http.h"
+#include "node/Net.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::ag;
+using namespace asyncg::jsrt;
+using namespace asyncg::testhelpers;
+namespace http = asyncg::node::http;
+
+namespace {
+
+TEST(PaperExamples, SectionThreeExecutionOrderAndCrash) {
+  // let foo;
+  // Promise.resolve({}).then((v) => { foo = v; });      L2
+  // setTimeout(() => { foo.bar = ...; }, 0);            L5
+  // process.nextTick(() => { foo.bar(); });             L8
+  // Real order: L8 - L2 - L5; the nextTick callback crashes.
+  Runtime RT;
+  AsyncGBuilder B;
+  detect::DetectorSuite Suite;
+  Suite.attachTo(B);
+  RT.hooks().attach(&B);
+
+  const char *F = "s3.js";
+  std::vector<int> Order;
+  auto Foo = std::make_shared<Value>();
+
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseResolvedWith(JSLINE(F, 2), Object::make());
+    R.promiseThen(JSLINE(F, 2), P,
+                  R.makeFunction("setFoo", JSLINE(F, 2),
+                                 [&, Foo](Runtime &, const CallArgs &A) {
+                                   Order.push_back(2);
+                                   *Foo = A.arg(0);
+                                   return Completion::normal();
+                                 }));
+    R.setTimeout(JSLINE(F, 5),
+                 R.makeFunction("installBar", JSLINE(F, 5),
+                                [&](Runtime &, const CallArgs &) {
+                                  Order.push_back(5);
+                                  return Completion::normal();
+                                }),
+                 0);
+    R.nextTick(JSLINE(F, 8),
+               R.makeFunction("callBar", JSLINE(F, 8),
+                              [&, Foo](Runtime &, const CallArgs &) {
+                                Order.push_back(8);
+                                if (!Foo->isObject() ||
+                                    !Foo->asObject()->has("bar"))
+                                  return Completion::error(
+                                      "TypeError: foo.bar is not a "
+                                      "function");
+                                return Completion::normal();
+                              }));
+  });
+
+  EXPECT_EQ(Order, (std::vector<int>{8, 2, 5}));
+  ASSERT_EQ(RT.uncaughtErrors().size(), 1u);
+  EXPECT_EQ(RT.uncaughtErrors()[0].Loc.line(), 8u);
+  EXPECT_TRUE(B.graph().hasWarning(BugCategory::MixedSimilarApis));
+}
+
+TEST(PaperExamples, SectionTwoHttpChain) {
+  // The §II-A server: http-request -> data receiving -> setImmediate ->
+  // data processing -> response.
+  Runtime RT;
+  AsyncGBuilder B;
+  RT.hooks().attach(&B);
+
+  const char *F = "s2.js";
+  std::string Answer;
+  runMain(RT, [&](Runtime &R) {
+    Function Accept = R.makeFunction(
+        "accept", JSLINE(F, 1), [F](Runtime &R2, const CallArgs &A) {
+          auto Req = http::IncomingMessage::from(A.arg(0));
+          auto Res = http::ServerResponse::from(A.arg(1));
+          auto Body = std::make_shared<std::string>();
+          R2.emitterOn(JSLINE(F, 3), Req->emitter(), "data",
+                       R2.makeFunction("data", JSLINE(F, 3),
+                                       [Body](Runtime &,
+                                              const CallArgs &A2) {
+                                         *Body += A2.arg(0).asString();
+                                         return Completion::normal();
+                                       }));
+          R2.emitterOn(
+              JSLINE(F, 5), Req->emitter(), "end",
+              R2.makeFunction(
+                  "end", JSLINE(F, 5),
+                  [Body, Res, F](Runtime &R3, const CallArgs &) {
+                    R3.setImmediate(
+                        JSLINE(F, 6),
+                        R3.makeFunction("defer", JSLINE(F, 6),
+                                        [Body, Res](Runtime &,
+                                                    const CallArgs &) {
+                                          Res->end("processed:" + *Body);
+                                          return Completion::normal();
+                                        }));
+                    return Completion::normal();
+                  }));
+          return Completion::normal();
+        });
+    auto Server = http::HttpServer::create(R, JSLINE(F, 1), Accept);
+    ASSERT_TRUE(Server->listen(JSLINE(F, 10), 8200));
+
+    http::RequestOptions Opts;
+    Opts.Method = "POST";
+    Opts.Port = 8200;
+    Opts.Path = "/";
+    Opts.BodyChunks = {"abc", "def"};
+    http::request(R, JSLINE(F, 12), Opts,
+                  R.makeBuiltin("onResponse",
+                                [&Answer](Runtime &, const CallArgs &A) {
+                                  Answer = A.arg(2).asString();
+                                  return Completion::normal();
+                                }));
+  });
+  EXPECT_EQ(Answer, "processed:abcdef");
+
+  // The chain's phases appear in the graph: io ticks (request/data/end)
+  // and an immediate tick for the deferred processing.
+  bool SawIo = false, SawCheck = false;
+  for (const AgTick &T : B.graph().ticks()) {
+    SawIo |= T.Phase == PhaseKind::Io;
+    SawCheck |= T.Phase == PhaseKind::Check;
+  }
+  EXPECT_TRUE(SawIo);
+  EXPECT_TRUE(SawCheck);
+}
+
+TEST(PaperExamples, HttpKeepAliveServesSequentialRequests) {
+  Runtime RT;
+  std::vector<std::string> Responses;
+  runMain(RT, [&](Runtime &R) {
+    Function OnRequest = R.makeFunction(
+        "handler", JSLOC, [](Runtime &, const CallArgs &A) {
+          auto Req = http::IncomingMessage::from(A.arg(0));
+          auto Res = http::ServerResponse::from(A.arg(1));
+          Res->end("path=" + Req->url());
+          return Completion::normal();
+        });
+    auto Server = http::HttpServer::create(R, JSLOC, OnRequest);
+    ASSERT_TRUE(Server->listen(JSLOC, 8201));
+
+    // Drive two REQ/END cycles over one raw connection (keep-alive), as
+    // the workload driver does.
+    Runtime *RPtr = &R;
+    R.network().connect(8201, [RPtr, &Responses](
+                                  std::shared_ptr<sim::Socket> Raw) {
+      auto Pending = std::make_shared<int>(0);
+      Raw->onData([Raw, Pending, &Responses](const std::string &Msg) {
+        http::ClientResponse Res;
+        if (!http::parseResponse(Msg, Res))
+          return;
+        Responses.push_back(Res.Body);
+        if (++*Pending == 1) {
+          Raw->write(http::frameRequestLine("GET", "/second"));
+          Raw->write(http::frameEnd());
+        } else {
+          Raw->end();
+        }
+      });
+      Raw->write(http::frameRequestLine("GET", "/first"));
+      Raw->write(http::frameEnd());
+      (void)RPtr;
+    });
+  });
+  EXPECT_EQ(Responses,
+            (std::vector<std::string>{"path=/first", "path=/second"}));
+}
+
+} // namespace

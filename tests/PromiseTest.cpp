@@ -1,0 +1,439 @@
+//===- PromiseTest.cpp - promise semantics tests -------------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+using namespace asyncg::testhelpers;
+
+namespace {
+
+TEST(Promise, ExecutorRunsSynchronously) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    Log.push_back("before");
+    R.promiseCreate(JSLOC,
+                    R.makeFunction("executor", JSLOC,
+                                   [&Log](Runtime &, const CallArgs &) {
+                                     Log.push_back("executor");
+                                     return Completion::normal();
+                                   }));
+    Log.push_back("after");
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"before", "executor", "after"}));
+}
+
+TEST(Promise, ReactionsAreMicrotasks) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseResolvedWith(JSLOC, Value::number(1));
+    R.promiseThen(JSLOC, P, recorder(R, Log, "reaction"));
+    Log.push_back("sync");
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"sync", "reaction"}));
+}
+
+TEST(Promise, ThenReceivesValueAndChains) {
+  Runtime RT;
+  std::vector<double> Seen;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseResolvedWith(JSLOC, Value::number(1));
+    PromiseRef P2 = R.promiseThen(
+        JSLOC, P,
+        R.makeFunction("addOne", JSLOC, [&Seen](Runtime &, const CallArgs &A) {
+          Seen.push_back(A.arg(0).asNumber());
+          return Completion::normal(Value::number(A.arg(0).asNumber() + 1));
+        }));
+    R.promiseThen(JSLOC, P2,
+                  R.makeFunction("final", JSLOC,
+                                 [&Seen](Runtime &, const CallArgs &A) {
+                                   Seen.push_back(A.arg(0).asNumber());
+                                   return Completion::normal();
+                                 }));
+  });
+  EXPECT_EQ(Seen, (std::vector<double>{1, 2}));
+}
+
+TEST(Promise, RejectionFlowsToCatchSkippingThen) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseRejectedWith(JSLOC, Value::str("err"));
+    PromiseRef P2 = R.promiseThen(JSLOC, P, recorder(R, Log, "skipped"));
+    R.promiseCatch(JSLOC, P2,
+                   R.makeFunction("handler", JSLOC,
+                                  [&Log](Runtime &, const CallArgs &A) {
+                                    Log.push_back("caught:" +
+                                                  A.arg(0).asString());
+                                    return Completion::normal();
+                                  }));
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"caught:err"}));
+}
+
+TEST(Promise, ThrowInReactionRejectsDerived) {
+  Runtime RT;
+  std::string Caught;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseResolvedWith(JSLOC, Value::number(0));
+    PromiseRef P2 = R.promiseThen(
+        JSLOC, P, R.makeFunction("thrower", JSLOC,
+                                 [](Runtime &, const CallArgs &) {
+                                   return Completion::error("boom");
+                                 }));
+    R.promiseCatch(JSLOC, P2,
+                   R.makeFunction("handler", JSLOC,
+                                  [&Caught](Runtime &, const CallArgs &A) {
+                                    Caught = A.arg(0).asString();
+                                    return Completion::normal();
+                                  }));
+  });
+  EXPECT_EQ(Caught, "boom");
+}
+
+TEST(Promise, ThrowInExecutorRejects) {
+  Runtime RT;
+  std::string Caught;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseCreate(
+        JSLOC, R.makeFunction("executor", JSLOC,
+                              [](Runtime &, const CallArgs &) {
+                                return Completion::error("ctor-boom");
+                              }));
+    R.promiseCatch(JSLOC, P,
+                   R.makeFunction("handler", JSLOC,
+                                  [&Caught](Runtime &, const CallArgs &A) {
+                                    Caught = A.arg(0).asString();
+                                    return Completion::normal();
+                                  }));
+  });
+  EXPECT_EQ(Caught, "ctor-boom");
+}
+
+TEST(Promise, ReturnedPromiseIsAdopted) {
+  Runtime RT;
+  double Got = 0;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseResolvedWith(JSLOC, Value::number(0));
+    PromiseRef P2 = R.promiseThen(
+        JSLOC, P,
+        R.makeFunction("inner", JSLOC, [](Runtime &R2, const CallArgs &) {
+          PromiseRef Inner = R2.promiseBare(JSLOC);
+          R2.setTimeout(JSLOC,
+                        R2.makeBuiltin("resolveInner",
+                                       [Inner](Runtime &R3,
+                                               const CallArgs &) {
+                                         R3.resolvePromise(
+                                             JSLOC, Inner,
+                                             Value::number(42));
+                                         return Completion::normal();
+                                       }),
+                        5);
+          return Completion::normal(Value::promise(Inner));
+        }));
+    R.promiseThen(JSLOC, P2,
+                  R.makeFunction("outer", JSLOC,
+                                 [&Got](Runtime &, const CallArgs &A) {
+                                   Got = A.arg(0).asNumber();
+                                   return Completion::normal();
+                                 }));
+  });
+  EXPECT_EQ(Got, 42);
+}
+
+TEST(Promise, ResolveWithPromiseAdoptsState) {
+  Runtime RT;
+  std::string Got;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef Inner = R.promiseRejectedWith(JSLOC, Value::str("inner-err"));
+    PromiseRef Outer = R.promiseBare(JSLOC);
+    R.resolvePromise(JSLOC, Outer, Value::promise(Inner));
+    R.promiseCatch(JSLOC, Outer,
+                   R.makeFunction("handler", JSLOC,
+                                  [&Got](Runtime &, const CallArgs &A) {
+                                    Got = A.arg(0).asString();
+                                    return Completion::normal();
+                                  }));
+  });
+  EXPECT_EQ(Got, "inner-err");
+}
+
+TEST(Promise, DoubleResolveHasNoEffect) {
+  Runtime RT;
+  std::vector<double> Got;
+  PromiseRef Kept;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseBare(JSLOC);
+    Kept = P;
+    R.resolvePromise(JSLOC, P, Value::number(1));
+    R.resolvePromise(JSLOC, P, Value::number(2));
+    R.rejectPromise(JSLOC, P, Value::str("late"));
+    R.promiseThen(JSLOC, P,
+                  R.makeFunction("h", JSLOC,
+                                 [&Got](Runtime &, const CallArgs &A) {
+                                   Got.push_back(A.arg(0).asNumber());
+                                   return Completion::normal();
+                                 }));
+  });
+  EXPECT_EQ(Got, (std::vector<double>{1}));
+  // livePromises tracks weakly; the promise we kept alive is visible.
+  ASSERT_EQ(RT.livePromises().size(), 1u);
+  EXPECT_EQ(Kept->State, PromiseState::Fulfilled);
+  EXPECT_EQ(Kept->Result.asNumber(), 1);
+}
+
+TEST(Promise, ThenOnSettledPromiseStillAsync) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseResolvedWith(JSLOC, Value::number(0));
+    R.nextTick(JSLOC,
+               R.makeBuiltin("later", [&Log, P](Runtime &R2,
+                                                const CallArgs &) {
+                 R2.promiseThen(JSLOC, P, recorder(R2, Log, "lateThen"));
+                 Log.push_back("attached");
+                 return Completion::normal();
+               }));
+  });
+  EXPECT_EQ(Log, (std::vector<std::string>{"attached", "lateThen"}));
+}
+
+TEST(Promise, FinallyRunsOnBothPathsAndPassesThrough) {
+  Runtime RT;
+  std::vector<std::string> Log;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef Ok = R.promiseResolvedWith(JSLOC, Value::number(7));
+    PromiseRef AfterOk = R.promiseFinally(JSLOC, Ok,
+                                          recorder(R, Log, "finally-ok"));
+    R.promiseThen(JSLOC, AfterOk,
+                  R.makeFunction("h", JSLOC,
+                                 [&Log](Runtime &, const CallArgs &A) {
+                                   Log.push_back(
+                                       "value:" +
+                                       A.arg(0).toDisplayString());
+                                   return Completion::normal();
+                                 }));
+
+    PromiseRef Bad = R.promiseRejectedWith(JSLOC, Value::str("e"));
+    PromiseRef AfterBad = R.promiseFinally(JSLOC, Bad,
+                                           recorder(R, Log, "finally-bad"));
+    R.promiseCatch(JSLOC, AfterBad,
+                   R.makeFunction("h2", JSLOC,
+                                  [&Log](Runtime &, const CallArgs &A) {
+                                    Log.push_back("err:" +
+                                                  A.arg(0).asString());
+                                    return Completion::normal();
+                                  }));
+  });
+  ASSERT_EQ(Log.size(), 4u);
+  EXPECT_EQ(Log[0], "finally-ok");
+  EXPECT_EQ(Log[1], "finally-bad");
+  EXPECT_EQ(Log[2], "value:7");
+  EXPECT_EQ(Log[3], "err:e");
+}
+
+TEST(Promise, AllResolvesWithOrderedValues) {
+  Runtime RT;
+  std::vector<double> Got;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef A = R.promiseBare(JSLOC);
+    PromiseRef B = R.promiseResolvedWith(JSLOC, Value::number(2));
+    // A resolves later than B, but keeps position 0.
+    R.setTimeout(JSLOC,
+                 R.makeBuiltin("ra",
+                               [A](Runtime &R2, const CallArgs &) {
+                                 R2.resolvePromise(JSLOC, A,
+                                                   Value::number(1));
+                                 return Completion::normal();
+                               }),
+                 5);
+    PromiseRef All = R.promiseAll(JSLOC, {A, B});
+    R.promiseThen(JSLOC, All,
+                  R.makeFunction("h", JSLOC,
+                                 [&Got](Runtime &, const CallArgs &Args) {
+                                   const ArrayRef &Arr = Args.arg(0).asArray();
+                                   for (const Value &V : Arr->Elems)
+                                     Got.push_back(V.asNumber());
+                                   return Completion::normal();
+                                 }));
+  });
+  EXPECT_EQ(Got, (std::vector<double>{1, 2}));
+}
+
+TEST(Promise, AllRejectsOnFirstRejection) {
+  Runtime RT;
+  std::string Err;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef A = R.promiseBare(JSLOC); // never settles
+    PromiseRef B = R.promiseRejectedWith(JSLOC, Value::str("b-fail"));
+    PromiseRef All = R.promiseAll(JSLOC, {A, B});
+    R.promiseCatch(JSLOC, All,
+                   R.makeFunction("h", JSLOC,
+                                  [&Err](Runtime &, const CallArgs &A2) {
+                                    Err = A2.arg(0).asString();
+                                    return Completion::normal();
+                                  }));
+  });
+  EXPECT_EQ(Err, "b-fail");
+}
+
+TEST(Promise, AllOfEmptyResolvesImmediately) {
+  Runtime RT;
+  bool Resolved = false;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef All = R.promiseAll(JSLOC, {});
+    R.promiseThen(JSLOC, All,
+                  R.makeBuiltin("h",
+                                [&Resolved](Runtime &, const CallArgs &A) {
+                                  Resolved = A.arg(0).isArray() &&
+                                             A.arg(0).asArray()->size() == 0;
+                                  return Completion::normal();
+                                }));
+  });
+  EXPECT_TRUE(Resolved);
+}
+
+TEST(Promise, RaceTakesFirstSettlement) {
+  Runtime RT;
+  double Got = 0;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef Slow = R.promiseBare(JSLOC);
+    PromiseRef Fast = R.promiseBare(JSLOC);
+    R.setTimeout(JSLOC,
+                 R.makeBuiltin("fast",
+                               [Fast](Runtime &R2, const CallArgs &) {
+                                 R2.resolvePromise(JSLOC, Fast,
+                                                   Value::number(10));
+                                 return Completion::normal();
+                               }),
+                 5);
+    R.setTimeout(JSLOC,
+                 R.makeBuiltin("slow",
+                               [Slow](Runtime &R2, const CallArgs &) {
+                                 R2.resolvePromise(JSLOC, Slow,
+                                                   Value::number(20));
+                                 return Completion::normal();
+                               }),
+                 50);
+    PromiseRef Race = R.promiseRace(JSLOC, {Slow, Fast});
+    R.promiseThen(JSLOC, Race,
+                  R.makeFunction("h", JSLOC,
+                                 [&Got](Runtime &, const CallArgs &A) {
+                                   Got = A.arg(0).asNumber();
+                                   return Completion::normal();
+                                 }));
+  });
+  EXPECT_EQ(Got, 10);
+}
+
+TEST(Promise, AllSettledReportsBothOutcomes) {
+  Runtime RT;
+  std::vector<std::string> Statuses;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef A = R.promiseResolvedWith(JSLOC, Value::number(1));
+    PromiseRef B = R.promiseRejectedWith(JSLOC, Value::str("nope"));
+    PromiseRef S = R.promiseAllSettled(JSLOC, {A, B});
+    R.promiseThen(JSLOC, S,
+                  R.makeFunction("h", JSLOC,
+                                 [&Statuses](Runtime &,
+                                             const CallArgs &Args) {
+                                   for (const Value &E :
+                                        Args.arg(0).asArray()->Elems)
+                                     Statuses.push_back(
+                                         E.asObject()
+                                             ->get("status")
+                                             .asString());
+                                   return Completion::normal();
+                                 }));
+  });
+  EXPECT_EQ(Statuses,
+            (std::vector<std::string>{"fulfilled", "rejected"}));
+}
+
+TEST(Promise, AnyResolvesOnFirstFulfillment) {
+  Runtime RT;
+  double Got = 0;
+  std::string AllRejectedErr;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef A = R.promiseRejectedWith(JSLOC, Value::str("a"));
+    PromiseRef B = R.promiseResolvedWith(JSLOC, Value::number(5));
+    PromiseRef Any = R.promiseAny(JSLOC, {A, B});
+    R.promiseThen(JSLOC, Any,
+                  R.makeFunction("h", JSLOC,
+                                 [&Got](Runtime &, const CallArgs &A2) {
+                                   Got = A2.arg(0).asNumber();
+                                   return Completion::normal();
+                                 }));
+
+    PromiseRef C = R.promiseRejectedWith(JSLOC, Value::str("c"));
+    PromiseRef AllBad = R.promiseAny(JSLOC, {C});
+    R.promiseCatch(JSLOC, AllBad,
+                   R.makeFunction("h2", JSLOC,
+                                  [&AllRejectedErr](Runtime &,
+                                                    const CallArgs &A2) {
+                                    AllRejectedErr = A2.arg(0).asString();
+                                    return Completion::normal();
+                                  }));
+  });
+  EXPECT_EQ(Got, 5);
+  EXPECT_NE(AllRejectedErr.find("AggregateError"), std::string::npos);
+}
+
+TEST(Promise, UnhandledRejectionsAreQueryable) {
+  Runtime RT;
+  PromiseRef KeepLost, KeepHandled; // livePromises tracks weakly
+  runMain(RT, [&](Runtime &R) {
+    KeepLost = R.promiseRejectedWith(JSLINE("x.js", 3), Value::str("lost"));
+    KeepHandled = R.promiseRejectedWith(JSLOC, Value::str("ok"));
+    R.promiseCatch(JSLOC, KeepHandled,
+                   R.makeBuiltin("h", [](Runtime &, const CallArgs &) {
+                     return Completion::normal();
+                   }));
+  });
+  auto Unhandled = RT.unhandledRejections();
+  ASSERT_EQ(Unhandled.size(), 1u);
+  EXPECT_EQ(Unhandled[0]->Result.asString(), "lost");
+  EXPECT_EQ(Unhandled[0]->CreatedAt.line(), 3u);
+}
+
+TEST(Promise, PassthroughSkipsMissingHandlers) {
+  Runtime RT;
+  double Got = 0;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseResolvedWith(JSLOC, Value::number(3));
+    // catch() has no fulfill handler: the value passes through.
+    PromiseRef P2 = R.promiseCatch(JSLOC, P,
+                                   R.makeBuiltin("never",
+                                                 [](Runtime &,
+                                                    const CallArgs &) {
+                                                   ADD_FAILURE();
+                                                   return Completion::normal();
+                                                 }));
+    R.promiseThen(JSLOC, P2,
+                  R.makeFunction("h", JSLOC,
+                                 [&Got](Runtime &, const CallArgs &A) {
+                                   Got = A.arg(0).asNumber();
+                                   return Completion::normal();
+                                 }));
+  });
+  EXPECT_EQ(Got, 3);
+}
+
+TEST(Promise, PromiseResolvedWithExistingPromiseReturnsIt) {
+  Runtime RT;
+  runMain(RT, [&](Runtime &R) {
+    PromiseRef P = R.promiseBare(JSLOC);
+    PromiseRef Same = R.promiseResolvedWith(JSLOC, Value::promise(P));
+    EXPECT_EQ(P, Same);
+  });
+}
+
+} // namespace

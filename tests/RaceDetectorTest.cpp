@@ -1,0 +1,187 @@
+//===- RaceDetectorTest.cpp - data-flow race detector tests --------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "ag/Builder.h"
+#include "detect/RaceDetector.h"
+#include "node/Fs.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::ag;
+using namespace asyncg::jsrt;
+using namespace asyncg::testhelpers;
+
+namespace {
+
+struct RaceRun {
+  AsyncGBuilder Builder;
+  std::unique_ptr<detect::RaceDetector> Races;
+  RaceRun() { Races = std::make_unique<detect::RaceDetector>(Builder); }
+};
+
+std::unique_ptr<RaceRun> runWithRaces(std::function<void(Runtime &)> Body,
+                                      Runtime *RTOut = nullptr) {
+  auto R = std::make_unique<RaceRun>();
+  Runtime Local;
+  Runtime &RT = RTOut ? *RTOut : Local;
+  RT.hooks().attach(&R->Builder);
+  RT.hooks().attach(R->Races.get());
+  runMain(RT, std::move(Body));
+  return R;
+}
+
+TEST(RaceDetector, FiresOnUnorderedIoWriteAndRead) {
+  Runtime RT;
+  RT.fileSystem().putFile("a", "1");
+  RT.fileSystem().putFile("b", "2");
+  auto R = runWithRaces(
+      [](Runtime &Rr) {
+        Value State = Object::make();
+        node::Fs Fs(Rr);
+        // Two independent I/O completions touch the same property: the
+        // completion order is an OS artifact.
+        Fs.readFile(JSLINE("race.js", 2), "a",
+                    Rr.makeFunction("onA", JSLINE("race.js", 2),
+                                    [State](Runtime &R2, const CallArgs &A) {
+                                      R2.setProperty(JSLINE("race.js", 3),
+                                                     State, "latest",
+                                                     A.arg(1));
+                                      return Completion::normal();
+                                    }));
+        Fs.readFile(JSLINE("race.js", 5), "b",
+                    Rr.makeFunction("onB", JSLINE("race.js", 5),
+                                    [State](Runtime &R2, const CallArgs &) {
+                                      R2.getProperty(JSLINE("race.js", 6),
+                                                     State, "latest");
+                                      return Completion::normal();
+                                    }));
+      },
+      &RT);
+  ASSERT_FALSE(R->Races->warnings().empty());
+  EXPECT_EQ(R->Races->warnings()[0].Category, BugCategory::EventRace);
+  EXPECT_TRUE(R->Builder.graph().hasWarning(BugCategory::EventRace));
+}
+
+TEST(RaceDetector, QuietWhenCausallyOrdered) {
+  Runtime RT;
+  RT.fileSystem().putFile("a", "1");
+  auto R = runWithRaces(
+      [](Runtime &Rr) {
+        Value State = Object::make();
+        node::Fs Fs(Rr);
+        // The read is scheduled from inside the write callback: ordered.
+        Fs.readFile(
+            JSLINE("race.js", 2), "a",
+            Rr.makeFunction(
+                "onA", JSLINE("race.js", 2),
+                [State](Runtime &R2, const CallArgs &A) {
+                  R2.setProperty(JSLINE("race.js", 3), State, "latest",
+                                 A.arg(1));
+                  R2.setTimeout(
+                      JSLINE("race.js", 4),
+                      R2.makeFunction("later", JSLINE("race.js", 4),
+                                      [State](Runtime &R3,
+                                              const CallArgs &) {
+                                        R3.getProperty(JSLINE("race.js", 5),
+                                                       State, "latest");
+                                        return Completion::normal();
+                                      }),
+                      1);
+                  return Completion::normal();
+                }));
+      },
+      &RT);
+  EXPECT_TRUE(R->Races->warnings().empty());
+}
+
+TEST(RaceDetector, QuietForSameTickAccesses) {
+  auto R = runWithRaces([](Runtime &Rr) {
+    Value State = Object::make();
+    Rr.setProperty(JSLINE("race.js", 1), State, "x", Value::number(1));
+    Rr.getProperty(JSLINE("race.js", 2), State, "x");
+  });
+  EXPECT_TRUE(R->Races->warnings().empty());
+}
+
+TEST(RaceDetector, QuietForPureMicrotaskInterleavings) {
+  auto R = runWithRaces([](Runtime &Rr) {
+    Value State = Object::make();
+    // Deterministic ordering (nextTick before promise): not a race.
+    Rr.nextTick(JSLINE("race.js", 1),
+                Rr.makeFunction("w", JSLINE("race.js", 1),
+                                [State](Runtime &R2, const CallArgs &) {
+                                  R2.setProperty(JSLINE("race.js", 1),
+                                                 State, "x",
+                                                 Value::number(1));
+                                  return Completion::normal();
+                                }));
+    PromiseRef P = Rr.promiseResolvedWith(JSLINE("race.js", 2),
+                                          Value::number(0));
+    Rr.promiseThen(JSLINE("race.js", 3), P,
+                   Rr.makeFunction("r", JSLINE("race.js", 3),
+                                   [State](Runtime &R2, const CallArgs &) {
+                                     R2.getProperty(JSLINE("race.js", 3),
+                                                    State, "x");
+                                     return Completion::normal();
+                                   }));
+  });
+  EXPECT_TRUE(R->Races->warnings().empty());
+}
+
+TEST(RaceDetector, WriteWriteConflictDetectedOnce) {
+  auto R = runWithRaces([](Runtime &Rr) {
+    Value State = Object::make();
+    for (int I = 0; I < 2; ++I) {
+      Rr.setTimeout(JSLINE("race.js", static_cast<uint32_t>(10 + I)),
+                    Rr.makeFunction("w" + std::to_string(I),
+                                    JSLINE("race.js",
+                                           static_cast<uint32_t>(10 + I)),
+                                    [State, I](Runtime &R2,
+                                               const CallArgs &) {
+                                      R2.setProperty(
+                                          JSLINE("race.js",
+                                                 static_cast<uint32_t>(10 +
+                                                                       I)),
+                                          State, "winner",
+                                          Value::number(I));
+                                      return Completion::normal();
+                                    }),
+                    static_cast<double>(5 + I));
+    }
+  });
+  // Two same-deadline-ish timers writing the same slot: exactly one
+  // write/write race pair.
+  EXPECT_EQ(R->Races->warnings().size(), 1u);
+}
+
+TEST(RaceDetector, DistinctKeysDoNotConflict) {
+  auto R = runWithRaces([](Runtime &Rr) {
+    Value State = Object::make();
+    Rr.setTimeout(JSLINE("race.js", 1),
+                  Rr.makeFunction("w1", JSLINE("race.js", 1),
+                                  [State](Runtime &R2, const CallArgs &) {
+                                    R2.setProperty(JSLINE("race.js", 1),
+                                                   State, "a",
+                                                   Value::number(1));
+                                    return Completion::normal();
+                                  }),
+                  5);
+    Rr.setTimeout(JSLINE("race.js", 2),
+                  Rr.makeFunction("w2", JSLINE("race.js", 2),
+                                  [State](Runtime &R2, const CallArgs &) {
+                                    R2.setProperty(JSLINE("race.js", 2),
+                                                   State, "b",
+                                                   Value::number(2));
+                                    return Completion::normal();
+                                  }),
+                  6);
+  });
+  EXPECT_TRUE(R->Races->warnings().empty());
+}
+
+} // namespace

@@ -1,0 +1,236 @@
+//===- SimTest.cpp - unit tests for the simulated OS substrate ----------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Clock.h"
+#include "sim/FileSystem.h"
+#include "sim/Kernel.h"
+#include "sim/Network.h"
+#include "sim/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::sim;
+
+namespace {
+
+TEST(Clock, AdvancesMonotonically) {
+  Clock C;
+  EXPECT_EQ(C.now(), 0u);
+  C.advanceTo(100);
+  EXPECT_EQ(C.now(), 100u);
+  C.advanceTo(50); // never backwards
+  EXPECT_EQ(C.now(), 100u);
+  C.advanceBy(25);
+  EXPECT_EQ(C.now(), 125u);
+  EXPECT_EQ(millis(3), 3000u);
+}
+
+TEST(Kernel, CompletionOrderByDeadlineThenSubmission) {
+  Clock C;
+  Kernel K(C);
+  std::vector<int> Order;
+  K.submit(100, [&] { Order.push_back(1); });
+  K.submit(50, [&] { Order.push_back(2); });
+  K.submit(100, [&] { Order.push_back(3); });
+
+  EXPECT_EQ(K.nextDeadline(), 50u);
+  C.advanceTo(200);
+  for (auto &A : K.takeDue())
+    A();
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order, (std::vector<int>{2, 1, 3}));
+  EXPECT_FALSE(K.hasPending());
+  EXPECT_EQ(K.nextDeadline(), NoDeadline);
+}
+
+TEST(Kernel, TakeDueOnlyTakesDue) {
+  Clock C;
+  Kernel K(C);
+  int Ran = 0;
+  K.submit(10, [&] { ++Ran; });
+  K.submit(20, [&] { ++Ran; });
+  C.advanceTo(10);
+  for (auto &A : K.takeDue())
+    A();
+  EXPECT_EQ(Ran, 1);
+  EXPECT_TRUE(K.hasPending());
+  C.advanceTo(20);
+  for (auto &A : K.takeDue())
+    A();
+  EXPECT_EQ(Ran, 2);
+}
+
+TEST(Kernel, Cancel) {
+  Clock C;
+  Kernel K(C);
+  int Ran = 0;
+  OpId Id = K.submit(10, [&] { ++Ran; });
+  EXPECT_TRUE(K.cancel(Id));
+  EXPECT_FALSE(K.cancel(Id)); // Already cancelled.
+  C.advanceTo(100);
+  EXPECT_TRUE(K.takeDue().empty());
+  EXPECT_EQ(Ran, 0);
+}
+
+TEST(Kernel, SubmitDuringCompletion) {
+  Clock C;
+  Kernel K(C);
+  std::vector<int> Order;
+  K.submit(10, [&] {
+    Order.push_back(1);
+    K.submit(0, [&] { Order.push_back(2); });
+  });
+  C.advanceTo(10);
+  for (auto &A : K.takeDue())
+    A();
+  // The nested op was submitted at t=10 with 0 delay: due on a later poll,
+  // not inside the same batch.
+  EXPECT_EQ(Order, (std::vector<int>{1}));
+  for (auto &A : K.takeDue())
+    A();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2}));
+}
+
+TEST(Random, DeterministicAcrossInstances) {
+  Random A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, RangesRespected) {
+  Random R(7);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.nextInt(5, 9);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 9u);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Random, WeightedPickCoversAllAndOnlyPositive) {
+  Random R(11);
+  double W[3] = {1, 0, 3};
+  int Counts[3] = {};
+  for (int I = 0; I < 3000; ++I)
+    ++Counts[R.pickWeighted(W)];
+  EXPECT_GT(Counts[0], 0);
+  EXPECT_EQ(Counts[1], 0);
+  EXPECT_GT(Counts[2], Counts[0]); // ~3x more likely.
+}
+
+class NetworkTest : public ::testing::Test {
+protected:
+  /// Pumps the kernel until idle (advancing virtual time).
+  void pump() {
+    while (K.hasPending()) {
+      C.advanceTo(K.nextDeadline());
+      for (auto &A : K.takeDue())
+        A();
+    }
+  }
+
+  Clock C;
+  Kernel K{C};
+  Network Net{K, 50};
+};
+
+TEST_F(NetworkTest, ConnectDeliversBothEndpoints) {
+  std::shared_ptr<Socket> ServerSide, ClientSide;
+  ASSERT_TRUE(Net.listen(80, [&](std::shared_ptr<Socket> S) {
+    ServerSide = std::move(S);
+  }));
+  EXPECT_TRUE(Net.isListening(80));
+  ASSERT_TRUE(Net.connect(80, [&](std::shared_ptr<Socket> S) {
+    ClientSide = std::move(S);
+  }));
+  EXPECT_EQ(ServerSide, nullptr); // Not before the latency elapsed.
+  pump();
+  ASSERT_NE(ServerSide, nullptr);
+  ASSERT_NE(ClientSide, nullptr);
+}
+
+TEST_F(NetworkTest, ConnectToClosedPortFails) {
+  EXPECT_FALSE(Net.connect(81, nullptr));
+  Net.listen(81, [](std::shared_ptr<Socket>) {});
+  Net.closePort(81);
+  EXPECT_FALSE(Net.connect(81, nullptr));
+}
+
+TEST_F(NetworkTest, DataFlowsWithLatency) {
+  std::shared_ptr<Socket> ServerSide, ClientSide;
+  std::vector<std::string> Received;
+  Net.listen(80, [&](std::shared_ptr<Socket> S) {
+    ServerSide = S;
+    S->onData([&](const std::string &D) { Received.push_back(D); });
+  });
+  Net.connect(80, [&](std::shared_ptr<Socket> S) { ClientSide = S; });
+  pump();
+  ASSERT_NE(ClientSide, nullptr);
+
+  ClientSide->write("one");
+  ClientSide->write("two");
+  pump();
+  EXPECT_EQ(Received, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST_F(NetworkTest, EndAndCloseSemantics) {
+  std::shared_ptr<Socket> ServerSide, ClientSide;
+  bool SawEnd = false, ServerClosed = false, ClientClosed = false;
+  Net.listen(80, [&](std::shared_ptr<Socket> S) {
+    ServerSide = S;
+    S->onEnd([&] { SawEnd = true; });
+    S->onClose([&] { ServerClosed = true; });
+  });
+  Net.connect(80, [&](std::shared_ptr<Socket> S) {
+    ClientSide = S;
+    S->onClose([&] { ClientClosed = true; });
+  });
+  pump();
+
+  ClientSide->end();
+  EXPECT_TRUE(ClientSide->isEnded());
+  EXPECT_FALSE(ClientSide->write("late")); // Cannot write after end.
+  pump();
+  EXPECT_TRUE(SawEnd);
+  EXPECT_FALSE(ServerClosed);
+
+  ServerSide->destroy();
+  pump();
+  EXPECT_TRUE(ServerClosed);
+  EXPECT_TRUE(ClientClosed);
+}
+
+TEST(FileSystemTest, ReadWriteAndErrors) {
+  Clock C;
+  Kernel K(C);
+  FileSystem FS(K, 100);
+  FS.putFile("a.txt", "hello");
+  EXPECT_TRUE(FS.exists("a.txt"));
+  EXPECT_EQ(FS.getFile("a.txt"), "hello");
+
+  FileResult ReadOk, ReadMissing, WriteOk;
+  FS.readFileAsync("a.txt", [&](FileResult R) { ReadOk = std::move(R); });
+  FS.readFileAsync("missing.txt",
+                   [&](FileResult R) { ReadMissing = std::move(R); });
+  FS.writeFileAsync("b.txt", "world",
+                    [&](FileResult R) { WriteOk = std::move(R); });
+  while (K.hasPending()) {
+    C.advanceTo(K.nextDeadline());
+    for (auto &A : K.takeDue())
+      A();
+  }
+  EXPECT_TRUE(ReadOk.ok());
+  EXPECT_EQ(ReadOk.Data, "hello");
+  EXPECT_FALSE(ReadMissing.ok());
+  EXPECT_NE(ReadMissing.Error.find("ENOENT"), std::string::npos);
+  EXPECT_TRUE(WriteOk.ok());
+  EXPECT_EQ(FS.getFile("b.txt"), "world");
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- SupportTest.cpp - unit tests for the support library -------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include "support/JsonWriter.h"
+#include "support/SourceLocation.h"
+#include "support/Statistic.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+
+namespace {
+
+TEST(Format, StrFormatBasic) {
+  EXPECT_EQ(strFormat("x=%d", 42), "x=42");
+  EXPECT_EQ(strFormat("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(strFormat("empty"), "empty");
+  EXPECT_EQ(strFormat("%05.1f", 2.25), "002.2");
+}
+
+TEST(Format, StrFormatLongStrings) {
+  std::string Long(5000, 'x');
+  EXPECT_EQ(strFormat("%s!", Long.c_str()).size(), 5001u);
+}
+
+TEST(Format, JoinStrings) {
+  EXPECT_EQ(joinStrings({}, ","), "");
+  EXPECT_EQ(joinStrings({"a"}, ","), "a");
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Format, EscapeString) {
+  EXPECT_EQ(escapeString("plain"), "plain");
+  EXPECT_EQ(escapeString("a\"b"), "a\\\"b");
+  EXPECT_EQ(escapeString("a\\b"), "a\\\\b");
+  EXPECT_EQ(escapeString("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(escapeString(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Format, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("REQ GET /", "REQ "));
+  EXPECT_FALSE(startsWith("RE", "REQ"));
+  EXPECT_TRUE(endsWith("file.dot", ".dot"));
+  EXPECT_FALSE(endsWith("dot", ".dot"));
+  EXPECT_TRUE(startsWith("", ""));
+}
+
+TEST(Format, SplitString) {
+  auto P = splitString("a=1&b=2&c", '&');
+  ASSERT_EQ(P.size(), 3u);
+  EXPECT_EQ(P[0], "a=1");
+  EXPECT_EQ(P[2], "c");
+  EXPECT_EQ(splitString("", ',').size(), 1u);
+  EXPECT_EQ(splitString("a,,b", ',').size(), 3u);
+  EXPECT_EQ(splitString("a,,b", ',')[1], "");
+}
+
+TEST(Format, FormatNumber) {
+  EXPECT_EQ(formatNumber(42), "42");
+  EXPECT_EQ(formatNumber(-3), "-3");
+  EXPECT_EQ(formatNumber(1.5), "1.5");
+  EXPECT_EQ(formatNumber(0.25), "0.25");
+  EXPECT_EQ(formatNumber(0), "0");
+  EXPECT_EQ(formatNumber(0.0 / 0.0), "NaN");
+  EXPECT_EQ(formatNumber(1.0 / 0.0), "Infinity");
+  EXPECT_EQ(formatNumber(-1.0 / 0.0), "-Infinity");
+}
+
+TEST(SourceLocation, Basics) {
+  SourceLocation L("app.js", 7);
+  EXPECT_TRUE(L.isValid());
+  EXPECT_FALSE(L.isInternal());
+  EXPECT_EQ(L.str(), "app.js:7");
+  EXPECT_EQ(L.shortStr(), "L7");
+
+  SourceLocation Internal = SourceLocation::internal();
+  EXPECT_TRUE(Internal.isInternal());
+  EXPECT_EQ(Internal.str(), "*");
+  EXPECT_EQ(Internal.shortStr(), "*");
+
+  SourceLocation Invalid;
+  EXPECT_FALSE(Invalid.isValid());
+  EXPECT_EQ(Invalid.str(), "<unknown>");
+}
+
+TEST(SourceLocation, Equality) {
+  EXPECT_EQ(SourceLocation("a.js", 1), SourceLocation("a.js", 1));
+  EXPECT_NE(SourceLocation("a.js", 1), SourceLocation("a.js", 2));
+  EXPECT_NE(SourceLocation("a.js", 1), SourceLocation("b.js", 1));
+}
+
+TEST(SourceLocation, JslocMacro) {
+  SourceLocation L = JSLOC;
+  EXPECT_TRUE(endsWith(L.file(), "SupportTest.cpp"));
+  EXPECT_GT(L.line(), 0u);
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("a", 1);
+  W.field("b", "two");
+  W.field("c", true);
+  W.key("d");
+  W.nullValue();
+  W.endObject();
+  EXPECT_EQ(W.take(), "{\"a\":1,\"b\":\"two\",\"c\":true,\"d\":null}");
+}
+
+TEST(JsonWriter, NestedArrays) {
+  JsonWriter W;
+  W.beginArray();
+  W.value(1);
+  W.beginArray();
+  W.value(2.5);
+  W.endArray();
+  W.beginObject();
+  W.field("k", "v");
+  W.endObject();
+  W.endArray();
+  EXPECT_EQ(W.take(), "[1,[2.5],{\"k\":\"v\"}]");
+}
+
+TEST(JsonWriter, EscapesKeysAndValues) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("a\"b", "c\nd");
+  W.endObject();
+  EXPECT_EQ(W.take(), "{\"a\\\"b\":\"c\\nd\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter W;
+  W.beginArray();
+  W.value(0.0 / 0.0);
+  W.value(1e18); // large but finite
+  W.endArray();
+  std::string S = W.take();
+  EXPECT_TRUE(startsWith(S, "[null,"));
+}
+
+TEST(Statistic, Counters) {
+  StatisticSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.get("x"), 0);
+  S.add("x");
+  S.add("x", 4);
+  S.add("y", -2);
+  EXPECT_EQ(S.get("x"), 5);
+  EXPECT_EQ(S.get("y"), -2);
+  EXPECT_EQ(S.str(), "x=5\ny=-2\n");
+  S.clear();
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(Statistic, RunningStat) {
+  RunningStat R;
+  EXPECT_EQ(R.count(), 0u);
+  EXPECT_EQ(R.mean(), 0.0);
+  R.sample(2);
+  R.sample(4);
+  R.sample(9);
+  EXPECT_EQ(R.count(), 3u);
+  EXPECT_EQ(R.min(), 2.0);
+  EXPECT_EQ(R.max(), 9.0);
+  EXPECT_DOUBLE_EQ(R.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(R.sum(), 15.0);
+}
+
+} // namespace

@@ -1,0 +1,44 @@
+//===- TestHelpers.h - shared helpers for the test suites -------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_TESTS_TESTHELPERS_H
+#define ASYNCG_TESTS_TESTHELPERS_H
+
+#include "jsrt/Runtime.h"
+
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace testhelpers {
+
+/// A function that appends \p Tag to \p Log when invoked.
+inline jsrt::Function recorder(jsrt::Runtime &RT, std::vector<std::string> &Log,
+                               std::string Tag,
+                               SourceLocation Loc = SourceLocation()) {
+  return RT.makeFunction(Tag, Loc.isValid() ? Loc : JSLOC,
+                         [&Log, Tag](jsrt::Runtime &, const jsrt::CallArgs &) {
+                           Log.push_back(Tag);
+                           return jsrt::Completion::normal();
+                         });
+}
+
+/// Runs \p Body as the program's main tick and drains the loop.
+inline void runMain(jsrt::Runtime &RT,
+                    std::function<void(jsrt::Runtime &)> Body) {
+  jsrt::Function Main = RT.makeFunction(
+      "main", JSLOC, [Body = std::move(Body)](jsrt::Runtime &R,
+                                              const jsrt::CallArgs &) {
+        Body(R);
+        return jsrt::Completion::normal();
+      });
+  RT.main(Main);
+}
+
+} // namespace testhelpers
+} // namespace asyncg
+
+#endif // ASYNCG_TESTS_TESTHELPERS_H

@@ -1,0 +1,212 @@
+//===- ValueTest.cpp - unit tests for values, objects, completions ------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jsrt/Completion.h"
+#include "jsrt/Emitter.h"
+#include "jsrt/Object.h"
+#include "jsrt/Promise.h"
+#include "jsrt/Runtime.h"
+#include "jsrt/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value().isUndefined());
+  EXPECT_TRUE(Value::null().isNull());
+  EXPECT_TRUE(Value::null().isNullish());
+  EXPECT_TRUE(Value::boolean(true).asBoolean());
+  EXPECT_EQ(Value::number(2.5).asNumber(), 2.5);
+  EXPECT_EQ(Value::str("hi").asString(), "hi");
+  EXPECT_EQ(Value::str("hi").kind(), ValueKind::String);
+  Value O = Object::make("Thing");
+  EXPECT_TRUE(O.isObject());
+  EXPECT_EQ(O.asObject()->className(), "Thing");
+  Value A = ArrayData::make({Value::number(1), Value::number(2)});
+  EXPECT_TRUE(A.isArray());
+  EXPECT_EQ(A.asArray()->size(), 2u);
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value().toBoolean());
+  EXPECT_FALSE(Value::null().toBoolean());
+  EXPECT_FALSE(Value::boolean(false).toBoolean());
+  EXPECT_FALSE(Value::number(0).toBoolean());
+  EXPECT_FALSE(Value::number(0.0 / 0.0).toBoolean()); // NaN
+  EXPECT_FALSE(Value::str("").toBoolean());
+  EXPECT_TRUE(Value::number(-1).toBoolean());
+  EXPECT_TRUE(Value::str("0").toBoolean());
+  EXPECT_TRUE(Object::make().toBoolean());
+  EXPECT_TRUE(ArrayData::make().toBoolean());
+}
+
+TEST(Value, TypeOf) {
+  EXPECT_STREQ(Value().typeOf(), "undefined");
+  EXPECT_STREQ(Value::null().typeOf(), "object");
+  EXPECT_STREQ(Value::boolean(true).typeOf(), "boolean");
+  EXPECT_STREQ(Value::number(1).typeOf(), "number");
+  EXPECT_STREQ(Value::str("s").typeOf(), "string");
+  Runtime RT;
+  Function F = RT.makeBuiltin("f", [](Runtime &, const CallArgs &) {
+    return Completion::normal();
+  });
+  EXPECT_STREQ(F.toValue().typeOf(), "function");
+}
+
+TEST(Value, StrictEquals) {
+  EXPECT_TRUE(Value().strictEquals(Value::undefined()));
+  EXPECT_TRUE(Value::null().strictEquals(Value::null()));
+  EXPECT_FALSE(Value::null().strictEquals(Value::undefined()));
+  EXPECT_TRUE(Value::number(3).strictEquals(Value::number(3)));
+  EXPECT_FALSE(Value::number(3).strictEquals(Value::number(4)));
+  EXPECT_FALSE(Value::number(3).strictEquals(Value::str("3")));
+  EXPECT_TRUE(Value::str("a").strictEquals(Value::str("a")));
+
+  // Reference identity for heap entities.
+  Value O1 = Object::make(), O2 = Object::make();
+  EXPECT_TRUE(O1.strictEquals(O1));
+  EXPECT_FALSE(O1.strictEquals(O2));
+
+  Runtime RT;
+  auto Body = [](Runtime &, const CallArgs &) { return Completion::normal(); };
+  Function F1 = RT.makeBuiltin("f", Body);
+  Function F2 = RT.makeBuiltin("f", Body);
+  EXPECT_TRUE(F1.toValue().strictEquals(F1.toValue()));
+  EXPECT_FALSE(F1.toValue().strictEquals(F2.toValue()));
+  EXPECT_TRUE(F1.sameAs(F1));
+  EXPECT_FALSE(F1.sameAs(F2));
+}
+
+TEST(Value, DisplayStrings) {
+  EXPECT_EQ(Value().toDisplayString(), "undefined");
+  EXPECT_EQ(Value::number(42).toDisplayString(), "42");
+  EXPECT_EQ(Value::str("s").toDisplayString(), "s");
+  EXPECT_EQ(Object::make("Session").toDisplayString(), "[object Session]");
+  EXPECT_EQ(ArrayData::make({Value::number(1)}).toDisplayString(),
+            "[Array(1)]");
+  Runtime RT;
+  EmitterRef E = RT.emitterCreate(JSLOC, "Bus");
+  EXPECT_NE(Value::emitter(E).toDisplayString().find("Bus"),
+            std::string::npos);
+  PromiseRef P = RT.promiseBare(JSLOC);
+  EXPECT_NE(Value::promise(P).toDisplayString().find("pending"),
+            std::string::npos);
+}
+
+TEST(Value, ExternalRoundTrip) {
+  auto Payload = std::make_shared<int>(7);
+  Value V = Value::external(Payload, "test.payload");
+  EXPECT_TRUE(V.isExternal());
+  EXPECT_EQ(*V.asExternal<int>("test.payload"), 7);
+  EXPECT_TRUE(V.strictEquals(Value::external(Payload, "test.payload")));
+}
+
+TEST(Object, Properties) {
+  Value V = Object::make();
+  ObjectRef O = V.asObject();
+  EXPECT_FALSE(O->has("a"));
+  EXPECT_TRUE(O->get("a").isUndefined());
+  O->set("a", Value::number(1));
+  O->set("b", Value::str("x"));
+  EXPECT_TRUE(O->has("a"));
+  EXPECT_EQ(O->size(), 2u);
+  EXPECT_EQ(O->get("b").asString(), "x");
+  O->set("a", Value::number(2)); // overwrite
+  EXPECT_EQ(O->get("a").asNumber(), 2);
+  EXPECT_TRUE(O->erase("a"));
+  EXPECT_FALSE(O->erase("a"));
+  EXPECT_EQ(O->size(), 1u);
+}
+
+TEST(Object, ArrayOps) {
+  Value V = ArrayData::make();
+  ArrayRef A = V.asArray();
+  EXPECT_EQ(A->size(), 0u);
+  A->push(Value::number(5));
+  A->push(Value::str("s"));
+  EXPECT_EQ(A->at(0).asNumber(), 5);
+  EXPECT_TRUE(A->at(99).isUndefined());
+}
+
+TEST(Completion, NormalAndThrow) {
+  Completion N = Completion::normal(Value::number(1));
+  EXPECT_TRUE(N.isNormal());
+  EXPECT_FALSE(N.isThrow());
+  EXPECT_EQ(N.value().asNumber(), 1);
+
+  Completion T = Completion::thrown(Value::str("boom"));
+  EXPECT_TRUE(T.isThrow());
+  EXPECT_EQ(T.value().asString(), "boom");
+
+  Completion E = Completion::error("TypeError: x");
+  EXPECT_TRUE(E.isThrow());
+  EXPECT_EQ(E.value().asString(), "TypeError: x");
+
+  // Implicit Value -> normal completion (used by co_return).
+  Completion Implicit = Value::number(9);
+  EXPECT_TRUE(Implicit.isNormal());
+  EXPECT_EQ(Implicit.value().asNumber(), 9);
+
+  Completion Default;
+  EXPECT_TRUE(Default.isNormal());
+  EXPECT_TRUE(Default.value().isUndefined());
+}
+
+TEST(CallArgsTest, OutOfRangeIsUndefined) {
+  CallArgs Empty;
+  EXPECT_EQ(Empty.size(), 0u);
+  EXPECT_TRUE(Empty.arg(0).isUndefined());
+  CallArgs Two(Value::number(1), {Value::str("a"), Value::str("b")});
+  EXPECT_EQ(Two.size(), 2u);
+  EXPECT_EQ(Two.thisValue().asNumber(), 1);
+  EXPECT_EQ(Two.arg(1).asString(), "b");
+  EXPECT_TRUE(Two.arg(2).isUndefined());
+}
+
+TEST(FunctionTest, IdentityAndMetadata) {
+  Runtime RT;
+  Function F = RT.makeFunction("myFn", JSLINE("x.js", 12),
+                               [](Runtime &, const CallArgs &) {
+                                 return Completion::normal();
+                               });
+  EXPECT_TRUE(F.isValid());
+  EXPECT_GT(F.id(), 0u);
+  EXPECT_EQ(F.name(), "myFn");
+  EXPECT_EQ(F.loc().line(), 12u);
+  EXPECT_FALSE(F.isBuiltin());
+
+  Function B = RT.makeBuiltin("b", [](Runtime &, const CallArgs &) {
+    return Completion::normal();
+  });
+  EXPECT_TRUE(B.isBuiltin());
+  EXPECT_TRUE(B.loc().isInternal());
+  EXPECT_NE(F.id(), B.id());
+
+  Function Invalid;
+  EXPECT_FALSE(Invalid.isValid());
+  EXPECT_EQ(Invalid.id(), 0u);
+}
+
+TEST(EmitterData, StateQueries) {
+  Runtime RT;
+  EmitterRef E = RT.emitterCreate(JSLOC);
+  EXPECT_EQ(E->listenerCount("x"), 0u);
+  EXPECT_FALSE(E->hasListeners("x"));
+  Function F = RT.makeBuiltin("l", [](Runtime &, const CallArgs &) {
+    return Completion::normal();
+  });
+  RT.emitterOn(JSLOC, E, "x", F);
+  RT.emitterOn(JSLOC, E, "x", F);
+  RT.emitterOn(JSLOC, E, "y", F);
+  EXPECT_EQ(E->listenerCount("x"), 2u);
+  EXPECT_EQ(E->eventNames(), (std::vector<std::string>{"x", "y"}));
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+//===- asyncg_cli.cpp - command-line front end ---------------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The equivalent of the artifact's run script: executes one of the bundled
+// Table-I case programs under AsyncG and dumps the Async Graph for the
+// visualization front ends.
+//
+//   asyncg_cli --list
+//   asyncg_cli --case SO-33330277 [--fixed] [--nopromise]
+//              [--dot FILE] [--json FILE] [--html FILE] [--quiet]
+//
+// With no output flags, prints the tick-by-tick text rendering and the
+// warnings to stdout.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cases/Case.h"
+#include "support/Format.h"
+#include "viz/Dot.h"
+#include "viz/Html.h"
+#include "viz/JsonDump.h"
+#include "viz/TextReport.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace asyncg;
+using namespace asyncg::cases;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s --list\n"
+               "       %s --case NAME [--fixed] [--nopromise] [--dot FILE]"
+               " [--json FILE] [--html FILE] [--quiet]\n",
+               Prog, Prog);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string CaseName, DotFile, JsonFile, HtmlFile;
+  bool Fixed = false, NoPromise = false, Quiet = false, List = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&](std::string &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = Argv[++I];
+      return true;
+    };
+    if (Arg == "--list")
+      List = true;
+    else if (Arg == "--fixed")
+      Fixed = true;
+    else if (Arg == "--nopromise")
+      NoPromise = true;
+    else if (Arg == "--quiet")
+      Quiet = true;
+    else if (Arg == "--case" && Next(CaseName))
+      continue;
+    else if (Arg == "--dot" && Next(DotFile))
+      continue;
+    else if (Arg == "--json" && Next(JsonFile))
+      continue;
+    else if (Arg == "--html" && Next(HtmlFile))
+      continue;
+    else
+      return usage(Argv[0]);
+  }
+
+  if (List) {
+    std::printf("%-14s %-34s %s\n", "name", "category", "description");
+    for (const CaseDef &Def : allCases())
+      std::printf("%-14s %-34s %s\n", Def.Name.c_str(),
+                  ag::bugCategoryName(Def.Expected),
+                  Def.Description.c_str());
+    return 0;
+  }
+  if (CaseName.empty())
+    return usage(Argv[0]);
+
+  const CaseDef *Found = nullptr;
+  for (const CaseDef &Def : allCases())
+    if (Def.Name == CaseName)
+      Found = &Def;
+  if (!Found) {
+    std::fprintf(stderr, "error: unknown case '%s' (try --list)\n",
+                 CaseName.c_str());
+    return 2;
+  }
+
+  // Run under a fresh runtime so we keep the graph for dumping.
+  jsrt::Runtime RT(Found->Config);
+  ag::BuilderConfig BCfg;
+  BCfg.TrackPromises = !NoPromise;
+  ag::AsyncGBuilder Builder(BCfg);
+  detect::DetectorSuite Detectors;
+  Detectors.attachTo(Builder);
+  RT.hooks().attach(&Builder);
+  Found->Run(RT, Fixed);
+  if (Found->PostAnalysis)
+    Found->PostAnalysis(RT, Builder.graph());
+
+  const ag::AsyncGraph &G = Builder.graph();
+  if (!Quiet) {
+    std::printf("=== %s (%s variant%s) ===\n", Found->Name.c_str(),
+                Fixed ? "fixed" : "buggy",
+                NoPromise ? ", promise tracking off" : "");
+    std::printf("%s\n", Found->Description.c_str());
+    std::printf("ticks: %llu%s | graph: %zu nodes, %zu edges\n\n",
+                static_cast<unsigned long long>(RT.tickCount()),
+                RT.tickBudgetExhausted() ? " (budget exhausted: starved)"
+                                         : "",
+                G.nodeCount(), G.edges().size());
+    viz::TextOptions TOpts;
+    TOpts.MaxTicks = 12;
+    std::printf("%s\n%s", viz::toText(G, TOpts).c_str(),
+                viz::warningsReport(G).c_str());
+  }
+
+  if (!DotFile.empty() && !viz::writeFile(DotFile, viz::toDot(G))) {
+    std::fprintf(stderr, "error: cannot write %s\n", DotFile.c_str());
+    return 1;
+  }
+  if (!JsonFile.empty() && !viz::writeFile(JsonFile, viz::toJson(G))) {
+    std::fprintf(stderr, "error: cannot write %s\n", JsonFile.c_str());
+    return 1;
+  }
+  if (!HtmlFile.empty() &&
+      !viz::writeFile(HtmlFile,
+                      viz::toHtml(G, Found->Name + " — Async Graph"))) {
+    std::fprintf(stderr, "error: cannot write %s\n", HtmlFile.c_str());
+    return 1;
+  }
+  return 0;
+}
