@@ -1,0 +1,141 @@
+//===- BenchReport.h - machine-readable benchmark output -------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared `--json <path>` support for the bench/ binaries. Every harness
+/// keeps its human-readable stdout table and, when asked, also writes a
+/// small JSON report so tooling (tools/bench_smoke.sh, CI trend lines) can
+/// consume the numbers without scraping printf output.
+///
+/// Schema (one object per file, conventionally named BENCH_<bench>.json):
+/// \code
+///   {
+///     "bench": "micro_ag",
+///     "config": {"requests": 3000, "clients": 8},
+///     "metrics": [
+///       {"name": "GraphNodeInsertion", "value": 1.1e7, "unit": "items/s"}
+///     ]
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_BENCH_BENCHREPORT_H
+#define ASYNCG_BENCH_BENCHREPORT_H
+
+#include "support/JsonWriter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace benchjson {
+
+/// Accumulates config entries and metrics, then serializes them.
+class BenchReport {
+public:
+  explicit BenchReport(std::string BenchName) : Bench(std::move(BenchName)) {}
+
+  void config(const std::string &Key, const std::string &Value) {
+    Configs.push_back({Key, Value, 0, false});
+  }
+  void config(const std::string &Key, double Value) {
+    Configs.push_back({Key, std::string(), Value, true});
+  }
+
+  void metric(const std::string &Name, double Value,
+              const std::string &Unit) {
+    Metrics.push_back({Name, Value, Unit});
+  }
+
+  std::string json() const {
+    JsonWriter W;
+    W.beginObject();
+    W.field("bench", Bench);
+    W.key("config");
+    W.beginObject();
+    for (const ConfigEntry &C : Configs) {
+      W.key(C.Key);
+      if (C.IsNumber)
+        W.value(C.Num);
+      else
+        W.value(C.Str);
+    }
+    W.endObject();
+    W.key("metrics");
+    W.beginArray();
+    for (const Metric &M : Metrics) {
+      W.beginObject();
+      W.field("name", M.Name);
+      W.field("value", M.Value);
+      W.field("unit", M.Unit);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    return W.take();
+  }
+
+  /// Writes the report to \p Path; returns false (with a message on
+  /// stderr) when the file cannot be written.
+  bool write(const std::string &Path) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "benchjson: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::string S = json();
+    S += "\n";
+    size_t Written = std::fwrite(S.data(), 1, S.size(), F);
+    std::fclose(F);
+    return Written == S.size();
+  }
+
+private:
+  struct Metric {
+    std::string Name;
+    double Value;
+    std::string Unit;
+  };
+  struct ConfigEntry {
+    std::string Key;
+    std::string Str;
+    double Num;
+    bool IsNumber;
+  };
+
+  std::string Bench;
+  std::vector<ConfigEntry> Configs;
+  std::vector<Metric> Metrics;
+};
+
+/// Extracts "--json <path>" (or "--json=<path>") from the argument list,
+/// compacting argv so downstream parsers (google-benchmark's
+/// Initialize) never see it. Returns the empty string when absent.
+inline std::string extractJsonPath(int &Argc, char **Argv) {
+  std::string Path;
+  int Out = 1;
+  for (int In = 1; In < Argc; ++In) {
+    if (std::strcmp(Argv[In], "--json") == 0 && In + 1 < Argc) {
+      Path = Argv[++In];
+      continue;
+    }
+    if (std::strncmp(Argv[In], "--json=", 7) == 0) {
+      Path = Argv[In] + 7;
+      continue;
+    }
+    Argv[Out++] = Argv[In];
+  }
+  Argc = Out;
+  return Path;
+}
+
+} // namespace benchjson
+} // namespace asyncg
+
+#endif // ASYNCG_BENCH_BENCHREPORT_H

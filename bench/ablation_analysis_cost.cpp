@@ -19,6 +19,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "ag/Builder.h"
 #include "apps/acmeair/App.h"
 #include "apps/acmeair/Workload.h"
@@ -102,7 +104,8 @@ double bestOf(Mode M, uint64_t Requests, int Reps) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = benchjson::extractJsonPath(argc, argv);
   const uint64_t Requests = 2000;
   const int Reps = 3;
 
@@ -126,6 +129,9 @@ int main() {
       {"full(detectors)", Mode::Full},
   };
 
+  benchjson::BenchReport Report("ablation_analysis_cost");
+  Report.config("requests", static_cast<double>(Requests));
+  Report.config("reps", static_cast<double>(Reps));
   double Base = 0;
   std::printf("%-18s %12s %12s\n", "configuration", "seconds", "overhead");
   for (const Row &R : Rows) {
@@ -134,7 +140,12 @@ int main() {
       Base = S;
     std::printf("%-18s %12.3f %11.2fx\n", R.Name, S,
                 Base > 0 ? S / Base : 0.0);
+    Report.metric(std::string(R.Name) + "/seconds", S, "s");
+    Report.metric(std::string(R.Name) + "/overhead",
+                  Base > 0 ? S / Base : 0.0, "x");
   }
   std::printf("\n");
+  if (!JsonPath.empty() && !Report.write(JsonPath))
+    return 1;
   return 0;
 }

@@ -17,6 +17,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "ag/Builder.h"
 #include "apps/acmeair/App.h"
 #include "apps/acmeair/Workload.h"
@@ -85,7 +87,8 @@ double best(const Setting &S, uint64_t Requests, int Reps) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = benchjson::extractJsonPath(argc, argv);
   const uint64_t Requests = 3000;
   const int Reps = 3;
 
@@ -118,5 +121,21 @@ int main() {
               "withpromise (~10x slower)\n");
   bool ShapeHolds = Results[0] > Results[1] && Results[1] > Results[2];
   std::printf("ordering holds here: %s\n\n", ShapeHolds ? "yes" : "NO");
+
+  if (!JsonPath.empty()) {
+    benchjson::BenchReport Report("fig6a_throughput");
+    Report.config("requests", static_cast<double>(Requests));
+    Report.config("clients", 8.0);
+    Report.config("reps", static_cast<double>(Reps));
+    for (int I = 0; I < 3; ++I) {
+      Report.metric(std::string(Settings[I].Name) + "/throughput",
+                    Results[I], "req/s");
+      Report.metric(std::string(Settings[I].Name) + "/slowdown",
+                    Results[I] > 0 ? Results[0] / Results[I] : 0.0, "x");
+    }
+    Report.metric("ordering_holds", ShapeHolds ? 1 : 0, "bool");
+    if (!Report.write(JsonPath))
+      return 1;
+  }
   return ShapeHolds ? 0 : 1;
 }

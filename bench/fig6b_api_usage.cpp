@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "apps/acmeair/App.h"
 #include "apps/acmeair/Workload.h"
 #include "baselines/ApiUsageCounter.h"
@@ -23,7 +25,8 @@ using namespace asyncg::jsrt;
 using namespace asyncg::acmeair;
 using baselines::ApiFamily;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = benchjson::extractJsonPath(argc, argv);
   const uint64_t Requests = 4000;
 
   Runtime RT;
@@ -66,6 +69,8 @@ int main() {
       {ApiFamily::Promise, 1.31},
   };
 
+  benchjson::BenchReport Report("fig6b_api_usage");
+  Report.config("requests", static_cast<double>(Requests));
   std::printf("%-12s %12s %12s\n", "API", "measured", "paper");
   double Prev = 1e9;
   bool OrderingHolds = true;
@@ -73,11 +78,17 @@ int main() {
     double PerReq = static_cast<double>(Usage.executions(R.Fam)) / N;
     std::printf("%-12s %12.2f %12.2f\n", baselines::apiFamilyName(R.Fam),
                 PerReq, R.Paper);
+    Report.metric(std::string(baselines::apiFamilyName(R.Fam)) +
+                      "/executions_per_request",
+                  PerReq, "count/req");
     if (PerReq > Prev)
       OrderingHolds = false;
     Prev = PerReq;
   }
   std::printf("\npaper ordering (nextTick > emitter > promise) holds: %s\n\n",
               OrderingHolds ? "yes" : "NO");
+  Report.metric("ordering_holds", OrderingHolds ? 1 : 0, "bool");
+  if (!JsonPath.empty() && !Report.write(JsonPath))
+    return 1;
   return OrderingHolds && Driver.errors() == 0 ? 0 : 1;
 }

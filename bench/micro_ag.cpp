@@ -17,6 +17,8 @@
 #include "viz/Dot.h"
 #include "viz/JsonDump.h"
 
+#include "GBenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace asyncg;
@@ -158,4 +160,6 @@ BENCHMARK(benchSerializeDot);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return asyncg::benchjson::gbenchMain(argc, argv, "micro_ag");
+}

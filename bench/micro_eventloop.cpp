@@ -14,6 +14,8 @@
 #include "detect/Detectors.h"
 #include "jsrt/Runtime.h"
 
+#include "GBenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace asyncg;
@@ -122,4 +124,6 @@ REGISTER_INSTR_BENCH(benchEmitterEmit);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return asyncg::benchjson::gbenchMain(argc, argv, "micro_eventloop");
+}

@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "ag/Builder.h"
 #include "apps/acmeair/App.h"
 #include "apps/acmeair/Workload.h"
@@ -32,6 +34,7 @@ struct Row {
   size_t Edges;
   size_t Ticks;
   size_t WarningCount;
+  size_t MemoryBytes;
   double Seconds;
 };
 
@@ -64,35 +67,51 @@ Row runSize(uint64_t Requests) {
   R.Edges = Builder.graph().edges().size();
   R.Ticks = Builder.graph().ticks().size();
   R.WarningCount = Builder.graph().warnings().size();
+  R.MemoryBytes = Builder.graph().memoryFootprint();
   R.Seconds = std::chrono::duration<double>(End - Start).count();
   return R;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = benchjson::extractJsonPath(argc, argv);
   std::printf("==========================================================="
               "=====================\n");
   std::printf("SCALING: Async Graph growth vs served requests (AcmeAir, "
               "full AsyncG)\n");
   std::printf("==========================================================="
               "=====================\n");
-  std::printf("%-10s %12s %12s %10s %10s %10s %12s\n", "requests", "nodes",
-              "edges", "ticks", "warnings", "seconds", "nodes/req");
+  std::printf("%-10s %12s %12s %10s %10s %12s %10s %12s\n", "requests",
+              "nodes", "edges", "ticks", "warnings", "mem(KiB)", "seconds",
+              "nodes/req");
   uint64_t Sizes[] = {125, 250, 500, 1000, 2000, 4000};
   double PrevPerReq = 0;
   bool Linearish = true;
+  benchjson::BenchReport Report("scaling_graph_growth");
+  Report.config("clients", 8.0);
   for (uint64_t S : Sizes) {
     Row R = runSize(S);
     double PerReq = static_cast<double>(R.Nodes) / static_cast<double>(S);
-    std::printf("%-10llu %12zu %12zu %10zu %10zu %10.3f %12.1f\n",
+    std::printf("%-10llu %12zu %12zu %10zu %10zu %12.1f %10.3f %12.1f\n",
                 static_cast<unsigned long long>(R.Requests), R.Nodes,
-                R.Edges, R.Ticks, R.WarningCount, R.Seconds, PerReq);
+                R.Edges, R.Ticks, R.WarningCount,
+                static_cast<double>(R.MemoryBytes) / 1024.0, R.Seconds,
+                PerReq);
     if (PrevPerReq > 0 && PerReq > PrevPerReq * 1.5)
       Linearish = false;
     PrevPerReq = PerReq;
+    std::string Prefix = "requests_" + std::to_string(S);
+    Report.metric(Prefix + "/nodes", static_cast<double>(R.Nodes), "count");
+    Report.metric(Prefix + "/edges", static_cast<double>(R.Edges), "count");
+    Report.metric(Prefix + "/memory",
+                  static_cast<double>(R.MemoryBytes), "bytes");
+    Report.metric(Prefix + "/seconds", R.Seconds, "s");
   }
   std::printf("\ngraph growth is linear in served requests: %s\n\n",
               Linearish ? "yes" : "NO");
+  Report.metric("linear_growth", Linearish ? 1 : 0, "bool");
+  if (!JsonPath.empty() && !Report.write(JsonPath))
+    return 1;
   return Linearish ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "cases/Case.h"
 #include "support/Format.h"
 
@@ -19,7 +21,8 @@
 using namespace asyncg;
 using namespace asyncg::cases;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = asyncg::benchjson::extractJsonPath(argc, argv);
   std::printf("==========================================================="
               "=====================\n");
   std::printf("TABLE I: Detected bugs (paper section VII-A)\n");
@@ -55,5 +58,14 @@ int main() {
   std::printf("detected %u/%u buggy variants; %u/%u fixed variants clean\n",
               Detected, Total, FixedClean, Fixable);
   std::printf("(paper: AsyncG locates the cause of all Table-I bugs)\n\n");
+  if (!JsonPath.empty()) {
+    asyncg::benchjson::BenchReport Report("table1_cases");
+    Report.metric("detected", Detected, "count");
+    Report.metric("total", Total, "count");
+    Report.metric("fixed_clean", FixedClean, "count");
+    Report.metric("fixable", Fixable, "count");
+    if (!Report.write(JsonPath))
+      return 1;
+  }
   return Detected == Total && FixedClean == Fixable ? 0 : 1;
 }

@@ -19,6 +19,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+
 #include "ag/Builder.h"
 #include "baselines/EmitterOnlyAnalyzer.h"
 #include "baselines/PromiseOnlyAnalyzer.h"
@@ -50,7 +52,8 @@ bool runWithAsyncG(const CaseDef &Def) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = benchjson::extractJsonPath(argc, argv);
   std::printf("==========================================================="
               "=====================\n");
   std::printf("TABLE II: comparison with related approaches (empirical "
@@ -101,5 +104,14 @@ int main() {
                 R.Methods, R.Loop, R.Emitter, R.Promise, R.Await, R.Auto);
   std::printf("\n(the AsyncG column must dominate both implemented "
               "baselines)\n\n");
+  if (!JsonPath.empty()) {
+    benchjson::BenchReport Report("table2_coverage");
+    Report.metric("promise_only_detected", P, "count");
+    Report.metric("emitter_only_detected", E, "count");
+    Report.metric("asyncg_detected", A, "count");
+    Report.metric("total", Total, "count");
+    if (!Report.write(JsonPath))
+      return 1;
+  }
   return A == Total && P < A && E < A ? 0 : 1;
 }

@@ -16,7 +16,11 @@ using namespace asyncg::jsrt;
 
 GraphObserver::~GraphObserver() = default;
 
-AsyncGBuilder::AsyncGBuilder(BuilderConfig Config) : Config(Config) {}
+AsyncGBuilder::AsyncGBuilder(BuilderConfig Config) : Config(Config) {
+  if (Config.BuildGraph)
+    Graph.reserveHint(Config.ExpectedNodes, Config.ExpectedEdges);
+  CurTick.Nodes.reserve(16);
+}
 
 AsyncGBuilder::~AsyncGBuilder() = default;
 
@@ -52,7 +56,7 @@ bool AsyncGBuilder::filtered(ApiKind Api) const {
 
 void AsyncGBuilder::openTick(PhaseKind Phase) {
   commitTick();
-  CurTick = AgTick();
+  CurTick.Nodes.clear();
   CurTick.Index = static_cast<uint32_t>(++TickCounter);
   CurTick.Phase = Phase;
   TickOpen = true;
@@ -63,8 +67,14 @@ void AsyncGBuilder::openTick(PhaseKind Phase) {
 void AsyncGBuilder::commitTick() {
   if (!TickOpen)
     return;
-  if (!CurTick.Nodes.empty())
-    Graph.appendTick(CurTick);
+  if (!CurTick.Nodes.empty()) {
+    // Move the node list into the graph instead of copying it; the next
+    // tick's vector is pre-sized to the committed tick's node count.
+    size_t LastTickNodes = CurTick.Nodes.size();
+    Graph.appendTick(std::move(CurTick));
+    CurTick.Nodes = std::vector<NodeId>();
+    CurTick.Nodes.reserve(LastTickNodes);
+  }
   CurTick.Nodes.clear();
   TickOpen = false;
 }
@@ -77,6 +87,14 @@ void AsyncGBuilder::ensureTick(PhaseKind Phase) {
 //===----------------------------------------------------------------------===//
 // Node/edge plumbing
 //===----------------------------------------------------------------------===//
+
+Symbol AsyncGBuilder::ceLabel(const Function &F) {
+  Scratch.clear();
+  F.loc().appendShort(Scratch);
+  Scratch += ": ";
+  Scratch += F.name();
+  return Symbol(std::string_view(Scratch));
+}
 
 NodeId AsyncGBuilder::addNode(AgNode N) {
   ensureTick(CurTick.Index == 0 ? PhaseKind::Main : CurTick.Phase);
@@ -91,8 +109,8 @@ NodeId AsyncGBuilder::addNode(AgNode N) {
 }
 
 void AsyncGBuilder::addEdge(NodeId From, NodeId To, EdgeKind Kind,
-                            std::string Label) {
-  Graph.addEdge(From, To, Kind, std::move(Label));
+                            Symbol Label) {
+  Graph.addEdge(From, To, Kind, Label);
   for (GraphObserver *O : Observers)
     O->onEdgeAdded(*this, Graph.edges().back());
 }
@@ -123,9 +141,8 @@ void AsyncGBuilder::onFunctionEnter(const instr::FunctionEnterEvent &E) {
   NodeId Ce = InvalidNode;
   if (Config.BuildGraph && !filtered(D.Api)) {
     // Algorithm 3: map this execution to a pending registration.
-    auto It = Pending.find(E.F.id());
-    if (It != Pending.end()) {
-      auto &Regs = It->second;
+    if (std::vector<PendingReg> *RegsP = Pending.find(E.F.id())) {
+      auto &Regs = *RegsP;
       for (size_t I = 0, N = Regs.size(); I != N; ++I) {
         PendingReg &Reg = Regs[I];
         if (!ContextValidator::isValid(Reg, D, CurTick.Phase))
@@ -137,7 +154,7 @@ void AsyncGBuilder::onFunctionEnter(const instr::FunctionEnterEvent &E) {
         Node.Kind = NodeKind::CE;
         Node.Loc = E.F.loc();
         Node.Api = Reg.Api;
-        Node.Label = E.F.loc().shortStr() + ": " + E.F.name();
+        Node.Label = ceLabel(E.F);
         Node.Func = E.F.id();
         Node.Sched = Reg.Sched;
         Node.Obj = Reg.BoundObj;
@@ -171,7 +188,7 @@ void AsyncGBuilder::onFunctionEnter(const instr::FunctionEnterEvent &E) {
       Node.Kind = NodeKind::CE;
       Node.Loc = E.F.loc();
       Node.Api = D.Api;
-      Node.Label = E.F.loc().shortStr() + ": " + E.F.name();
+      Node.Label = ceLabel(E.F);
       Node.Func = E.F.id();
       Node.Sched = D.Sched;
       Node.Internal = true;
@@ -219,7 +236,7 @@ void AsyncGBuilder::processRegistration(const instr::ApiCallEvent &E) {
   Node.Kind = NodeKind::CR;
   Node.Loc = E.Loc;
   Node.Api = E.Api;
-  Node.Label = crLabel(E);
+  Node.Label = crLabel(E, Scratch);
   Node.Func = E.Callbacks.empty() ? 0 : E.Callbacks.front().id();
   Node.Sched = E.Sched;
   Node.Obj = E.BoundObj;
@@ -248,7 +265,7 @@ void AsyncGBuilder::processRegistration(const instr::ApiCallEvent &E) {
     NodeId Ob = Graph.objectNode(E.BoundObj);
     if (Ob != InvalidNode)
       addEdge(Ob, Cr, EdgeKind::Relation,
-              E.EventName.empty() ? apiKindName(E.Api) : E.EventName);
+              E.EventName.empty() ? apiKindSymbol(E.Api) : E.EventName);
   }
 }
 
@@ -257,7 +274,7 @@ void AsyncGBuilder::processTrigger(const instr::ApiCallEvent &E) {
   Node.Kind = NodeKind::CT;
   Node.Loc = E.Loc;
   Node.Api = E.Api;
-  Node.Label = ctLabel(E);
+  Node.Label = ctLabel(E, Scratch);
   Node.Obj = E.BoundObj;
   Node.Trigger = E.Trigger;
   Node.Event = E.EventName;
@@ -269,7 +286,7 @@ void AsyncGBuilder::processTrigger(const instr::ApiCallEvent &E) {
     NodeId Ob = Graph.objectNode(E.BoundObj);
     if (Ob != InvalidNode)
       addEdge(Ob, Ct, EdgeKind::Relation,
-              E.EventName.empty() ? apiKindName(E.Api) : E.EventName);
+              E.EventName.empty() ? apiKindSymbol(E.Api) : E.EventName);
   }
 }
 
@@ -280,7 +297,7 @@ void AsyncGBuilder::processCombinator(const instr::ApiCallEvent &E) {
   for (ObjectId In : E.InputObjs) {
     NodeId Ob = Graph.objectNode(In);
     if (Ob != InvalidNode)
-      addEdge(Ob, Result, EdgeKind::Relation, apiKindName(E.Api));
+      addEdge(Ob, Result, EdgeKind::Relation, apiKindSymbol(E.Api));
   }
 }
 
@@ -288,10 +305,10 @@ void AsyncGBuilder::processRemoval(const instr::ApiCallEvent &E) {
   if (E.Api == ApiKind::EmitterRemoveListener) {
     if (!E.TriggerHadEffect || E.Callbacks.empty())
       return;
-    auto It = Pending.find(E.Callbacks.front().id());
-    if (It == Pending.end())
+    std::vector<PendingReg> *Regs = Pending.find(E.Callbacks.front().id());
+    if (!Regs)
       return;
-    for (PendingReg &Reg : It->second) {
+    for (PendingReg &Reg : *Regs) {
       if (Reg.BoundObj != E.BoundObj || Reg.Event != E.EventName)
         continue;
       AgNode &Cr = Graph.node(Reg.Cr);
@@ -352,7 +369,7 @@ void AsyncGBuilder::onObjectCreate(const instr::ObjectCreateEvent &E) {
   AgNode Node;
   Node.Kind = NodeKind::OB;
   Node.Loc = E.Loc;
-  Node.Label = obLabel(E);
+  Node.Label = obLabel(E, Scratch);
   Node.Obj = E.Obj;
   Node.Internal = E.Internal || E.Loc.isInternal();
   Node.IsPromise = E.IsPromise;
@@ -362,7 +379,7 @@ void AsyncGBuilder::onObjectCreate(const instr::ObjectCreateEvent &E) {
   if (E.Parent != 0) {
     NodeId Parent = Graph.objectNode(E.Parent);
     if (Parent != InvalidNode)
-      addEdge(Parent, Ob, EdgeKind::Relation, apiKindName(E.Relation));
+      addEdge(Parent, Ob, EdgeKind::Relation, apiKindSymbol(E.Relation));
   }
 }
 

@@ -31,8 +31,9 @@
 #include "ag/Observer.h"
 #include "ag/Validator.h"
 #include "instr/Hooks.h"
+#include "support/FlatMap.h"
 
-#include <map>
+#include <string>
 #include <vector>
 
 namespace asyncg {
@@ -48,6 +49,10 @@ struct BuilderConfig {
   /// Build graph nodes/edges. When false, only the shadow stack and tick
   /// accounting run (ablation baseline for the analysis cost benches).
   bool BuildGraph = true;
+  /// Storage pre-sizing hints passed to AsyncGraph::reserveHint(); raise
+  /// them for long-running workloads to avoid growth reallocations.
+  size_t ExpectedNodes = 256;
+  size_t ExpectedEdges = 512;
 };
 
 /// The AsyncG dynamic analysis.
@@ -113,8 +118,11 @@ private:
   /// and notifying observers.
   NodeId addNode(AgNode N);
 
-  void addEdge(NodeId From, NodeId To, EdgeKind Kind,
-               std::string Label = std::string());
+  void addEdge(NodeId From, NodeId To, EdgeKind Kind, Symbol Label = Symbol());
+
+  /// "L7: handler" display label for a CE executing \p F (built in the
+  /// scratch buffer, interned).
+  Symbol ceLabel(const jsrt::Function &F);
 
   void processRegistration(const instr::ApiCallEvent &E);
   void processTrigger(const instr::ApiCallEvent &E);
@@ -142,8 +150,11 @@ private:
   uint64_t TickCounter = 0;
 
   /// The pending registration lists L_pending^cb, keyed by callback
-  /// function identity.
-  std::map<jsrt::FunctionId, std::vector<PendingReg>> Pending;
+  /// function identity (flat-hash: probed on every function enter).
+  FlatMap<jsrt::FunctionId, std::vector<PendingReg>> Pending;
+
+  /// Reusable label-building buffer: steady state allocates nothing.
+  std::string Scratch;
 };
 
 } // namespace ag

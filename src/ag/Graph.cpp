@@ -38,8 +38,16 @@ NodeId AsyncGraph::addNode(AgNode N, AgTick &T) {
       TriggerIndex[N.Trigger] = Id;
     break;
   case NodeKind::CE:
-    if (N.Sched != 0)
-      ExecIndex.emplace(N.Sched, Id);
+    if (N.Sched != 0) {
+      ExecChain &C = ExecIndex[N.Sched];
+      uint32_t Cell = static_cast<uint32_t>(ExecPool.size());
+      ExecPool.push_back(detail::AdjCell{Id, detail::AdjNil});
+      if (C.Tail == detail::AdjNil)
+        C.Head = Cell;
+      else
+        ExecPool[C.Tail].Next = Cell;
+      C.Tail = Cell;
+    }
     break;
   }
 
@@ -49,18 +57,41 @@ NodeId AsyncGraph::addNode(AgNode N, AgTick &T) {
   return Id;
 }
 
-void AsyncGraph::addEdge(NodeId From, NodeId To, EdgeKind Kind,
-                         std::string Label) {
+void AsyncGraph::pushAdj(AdjList &L, uint32_t E) {
+  uint32_t Cell = static_cast<uint32_t>(AdjPool.size());
+  AdjPool.push_back(detail::AdjCell{E, detail::AdjNil});
+  if (L.Tail == detail::AdjNil)
+    L.Head = Cell;
+  else
+    AdjPool[L.Tail].Next = Cell;
+  L.Tail = Cell;
+  ++L.Count;
+}
+
+void AsyncGraph::addEdge(NodeId From, NodeId To, EdgeKind Kind, Symbol Label) {
   assert(From < Nodes.size() && To < Nodes.size() && "edge endpoints exist");
   uint32_t E = static_cast<uint32_t>(Edges.size());
-  Edges.push_back(AgEdge{From, To, Kind, std::move(Label)});
-  Out[From].push_back(E);
-  In[To].push_back(E);
+  Edges.push_back(AgEdge{From, To, Kind, Label});
+  pushAdj(Out[From], E);
+  pushAdj(In[To], E);
+}
+
+void AsyncGraph::reserveHint(size_t ExpectedNodes, size_t ExpectedEdges) {
+  Nodes.reserve(ExpectedNodes);
+  Out.reserve(ExpectedNodes);
+  In.reserve(ExpectedNodes);
+  Edges.reserve(ExpectedEdges);
+  AdjPool.reserve(ExpectedEdges * 2);
+  ObjIndex.reserve(ExpectedNodes / 4);
+  SchedIndex.reserve(ExpectedNodes / 4);
+  TriggerIndex.reserve(ExpectedNodes / 4);
+  ExecIndex.reserve(ExpectedNodes / 4);
+  ExecPool.reserve(ExpectedNodes / 4);
 }
 
 bool AsyncGraph::addWarning(Warning W) {
-  auto Key =
-      std::make_tuple(static_cast<int>(W.Category), W.Node, W.Loc.str());
+  auto Key = std::make_tuple(static_cast<int>(W.Category), W.Node,
+                             W.Loc.fileSymbol().id(), W.Loc.line());
   if (!WarningKeys.insert(Key).second)
     return false;
   Warnings.push_back(std::move(W));
@@ -73,7 +104,8 @@ void AsyncGraph::clearWarnings(const std::set<BugCategory> &Categories) {
   for (Warning &W : Warnings) {
     if (Categories.count(W.Category)) {
       WarningKeys.erase(std::make_tuple(static_cast<int>(W.Category), W.Node,
-                                        W.Loc.str()));
+                                        W.Loc.fileSymbol().id(),
+                                        W.Loc.line()));
       continue;
     }
     Kept.push_back(std::move(W));
@@ -82,25 +114,27 @@ void AsyncGraph::clearWarnings(const std::set<BugCategory> &Categories) {
 }
 
 NodeId AsyncGraph::objectNode(jsrt::ObjectId Obj) const {
-  auto It = ObjIndex.find(Obj);
-  return It == ObjIndex.end() ? InvalidNode : It->second;
+  const NodeId *N = ObjIndex.find(Obj);
+  return N ? *N : InvalidNode;
 }
 
 NodeId AsyncGraph::registrationNode(jsrt::ScheduleId S) const {
-  auto It = SchedIndex.find(S);
-  return It == SchedIndex.end() ? InvalidNode : It->second;
+  const NodeId *N = SchedIndex.find(S);
+  return N ? *N : InvalidNode;
 }
 
 NodeId AsyncGraph::triggerNode(jsrt::TriggerId T) const {
-  auto It = TriggerIndex.find(T);
-  return It == TriggerIndex.end() ? InvalidNode : It->second;
+  const NodeId *N = TriggerIndex.find(T);
+  return N ? *N : InvalidNode;
 }
 
 std::vector<NodeId> AsyncGraph::executionsOf(jsrt::ScheduleId S) const {
   std::vector<NodeId> R;
-  auto [B, E] = ExecIndex.equal_range(S);
-  for (auto It = B; It != E; ++It)
-    R.push_back(It->second);
+  const ExecChain *C = ExecIndex.find(S);
+  if (!C)
+    return R;
+  for (uint32_t At = C->Head; At != detail::AdjNil; At = ExecPool[At].Next)
+    R.push_back(ExecPool[At].Edge);
   return R;
 }
 
@@ -119,9 +153,11 @@ bool AsyncGraph::hasWarning(BugCategory C) const {
 
 /// True for the relation labels that derive one promise from another
 /// through a reaction (combinator input edges and adoption links are not
-/// derivations).
-static bool isDerivationLabel(const std::string &L) {
-  return L == "then" || L == "catch" || L == "finally";
+/// derivations). Compared by interned id: the three symbols are created
+/// once.
+static bool isDerivationLabel(Symbol L) {
+  static const Symbol Then("then"), Catch("catch"), Finally("finally");
+  return L == Then || L == Catch || L == Finally;
 }
 
 std::vector<NodeId> AsyncGraph::derivedPromises(NodeId ObNode,
@@ -129,11 +165,11 @@ std::vector<NodeId> AsyncGraph::derivedPromises(NodeId ObNode,
   std::vector<NodeId> R;
   assert(ObNode < Nodes.size() && Nodes[ObNode].Kind == NodeKind::OB &&
          "derivedPromises on a non-OB node");
-  for (uint32_t E : Out[ObNode]) {
+  for (uint32_t E : outEdges(ObNode)) {
     const AgEdge &Edge = Edges[E];
     if (Edge.Kind != EdgeKind::Relation || !isDerivationLabel(Edge.Label))
       continue;
-    if (Label && Edge.Label != Label)
+    if (Label && Edge.Label != std::string_view(Label))
       continue;
     const AgNode &To = Nodes[Edge.To];
     if (To.Kind == NodeKind::OB && To.IsPromise)
@@ -145,7 +181,7 @@ std::vector<NodeId> AsyncGraph::derivedPromises(NodeId ObNode,
 NodeId AsyncGraph::parentPromise(NodeId ObNode) const {
   assert(ObNode < Nodes.size() && Nodes[ObNode].Kind == NodeKind::OB &&
          "parentPromise on a non-OB node");
-  for (uint32_t E : In[ObNode]) {
+  for (uint32_t E : inEdges(ObNode)) {
     const AgEdge &Edge = Edges[E];
     if (Edge.Kind != EdgeKind::Relation || !isDerivationLabel(Edge.Label))
       continue;
@@ -154,4 +190,21 @@ NodeId AsyncGraph::parentPromise(NodeId ObNode) const {
       return Edge.From;
   }
   return InvalidNode;
+}
+
+size_t AsyncGraph::memoryFootprint() const {
+  size_t Bytes = 0;
+  Bytes += Nodes.capacity() * sizeof(AgNode);
+  Bytes += Edges.capacity() * sizeof(AgEdge);
+  Bytes += Out.capacity() * sizeof(AdjList);
+  Bytes += In.capacity() * sizeof(AdjList);
+  Bytes += AdjPool.capacity() * sizeof(detail::AdjCell);
+  Bytes += ExecPool.capacity() * sizeof(detail::AdjCell);
+  Bytes += ObjIndex.memoryUsage() + SchedIndex.memoryUsage() +
+           TriggerIndex.memoryUsage() + ExecIndex.memoryUsage();
+  Bytes += Ticks.capacity() * sizeof(AgTick);
+  for (const AgTick &T : Ticks)
+    Bytes += T.Nodes.capacity() * sizeof(NodeId);
+  Bytes += Warnings.capacity() * sizeof(Warning);
+  return Bytes;
 }

@@ -12,6 +12,11 @@
 /// CE), registration binding (dashed CE ⇠ CR), and labeled relation edges
 /// (OB ⇠ CR listener registrations, OB ⇠ OB promise chains and links).
 ///
+/// Storage is built for the instrumentation hot path: labels and event
+/// names are interned Symbols (4 bytes, no per-node heap traffic), the
+/// id→node indices are open-addressing FlatMaps, and adjacency lists live
+/// in one shared pool instead of a vector-per-node.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ASYNCG_AG_GRAPH_H
@@ -21,12 +26,14 @@
 #include "jsrt/ApiKind.h"
 #include "jsrt/Ids.h"
 #include "jsrt/PhaseKind.h"
+#include "support/FlatMap.h"
 #include "support/SourceLocation.h"
+#include "support/SymbolTable.h"
 
 #include <cstdint>
-#include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace asyncg {
@@ -84,8 +91,8 @@ struct AgNode {
   uint32_t Tick = 0;
   SourceLocation Loc;
   jsrt::ApiKind Api = jsrt::ApiKind::None;
-  /// Display label, e.g. "L7: createServer".
-  std::string Label;
+  /// Display label, e.g. "L7: createServer" (interned).
+  Symbol Label;
   /// CR: registered callback; CE: executed function.
   jsrt::FunctionId Func = 0;
   /// CR: its registration id; CE: the matched registration's id.
@@ -94,8 +101,8 @@ struct AgNode {
   jsrt::ObjectId Obj = 0;
   /// CT only: the trigger action id.
   jsrt::TriggerId Trigger = 0;
-  /// Emitter event name (CR listener registrations, CT emits).
-  std::string Event;
+  /// Emitter event name (CR listener registrations, CT emits), interned.
+  Symbol Event;
   /// True for internal-library nodes (rendered "*").
   bool Internal = false;
   /// OB only: promise (true) or emitter (false).
@@ -124,7 +131,7 @@ struct AgEdge {
   NodeId From = InvalidNode;
   NodeId To = InvalidNode;
   EdgeKind Kind = EdgeKind::Causal;
-  std::string Label;
+  Symbol Label;
 };
 
 /// One event-loop tick ("t3: io").
@@ -134,9 +141,68 @@ struct AgTick {
   std::vector<NodeId> Nodes;
 
   std::string name() const {
-    return "t" + std::to_string(Index) + ": " +
-           jsrt::phaseKindName(Phase);
+    std::string S("t");
+    S += std::to_string(Index);
+    S += ": ";
+    S += jsrt::phaseKindName(Phase);
+    return S;
   }
+};
+
+namespace detail {
+/// One cell of the shared adjacency pool: an edge index plus the pool
+/// index of the next cell in the same per-node list.
+struct AdjCell {
+  uint32_t Edge;
+  uint32_t Next;
+};
+constexpr uint32_t AdjNil = ~0u;
+} // namespace detail
+
+/// Lightweight view over one node's in- or out-edge indices, replacing the
+/// per-node std::vector the adjacency used to copy into. Iterates the
+/// shared pool in insertion order.
+class EdgeRange {
+public:
+  class iterator {
+  public:
+    using value_type = uint32_t;
+    iterator(const detail::AdjCell *Pool, uint32_t At)
+        : Pool(Pool), At(At) {}
+    uint32_t operator*() const { return Pool[At].Edge; }
+    iterator &operator++() {
+      At = Pool[At].Next;
+      return *this;
+    }
+    bool operator==(const iterator &O) const { return At == O.At; }
+    bool operator!=(const iterator &O) const { return At != O.At; }
+
+  private:
+    const detail::AdjCell *Pool;
+    uint32_t At;
+  };
+
+  EdgeRange(const detail::AdjCell *Pool, uint32_t Head, uint32_t Count)
+      : Pool(Pool), Head(Head), Count(Count) {}
+
+  iterator begin() const { return iterator(Pool, Head); }
+  iterator end() const { return iterator(Pool, detail::AdjNil); }
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  uint32_t front() const { return Pool[Head].Edge; }
+
+  /// O(I) chain walk; kept for tests and occasional positional access.
+  uint32_t operator[](size_t I) const {
+    uint32_t At = Head;
+    while (I--)
+      At = Pool[At].Next;
+    return Pool[At].Edge;
+  }
+
+private:
+  const detail::AdjCell *Pool;
+  uint32_t Head;
+  uint32_t Count;
 };
 
 /// The Async Graph: ticks, nodes, edges, adjacency, and warnings.
@@ -153,8 +219,7 @@ public:
   NodeId addNode(AgNode N, AgTick &T);
 
   /// Adds an edge and updates adjacency.
-  void addEdge(NodeId From, NodeId To, EdgeKind Kind,
-               std::string Label = std::string());
+  void addEdge(NodeId From, NodeId To, EdgeKind Kind, Symbol Label = Symbol());
 
   /// Records a warning (deduplicated on (category, node)). Returns true if
   /// newly added.
@@ -163,6 +228,10 @@ public:
   /// Drops all end-of-run warnings so a re-run of the final analyses (after
   /// another loop drain) can recompute them. \p Categories selects which.
   void clearWarnings(const std::set<BugCategory> &Categories);
+
+  /// Pre-sizes node/edge/adjacency storage for an expected graph size
+  /// (builder-known workload hints); cheap to call more than once.
+  void reserveHint(size_t ExpectedNodes, size_t ExpectedEdges);
   /// @}
 
   /// \name Queries
@@ -177,8 +246,12 @@ public:
   size_t nodeCount() const { return Nodes.size(); }
 
   /// Edge indices leaving / entering a node.
-  const std::vector<uint32_t> &outEdges(NodeId N) const { return Out[N]; }
-  const std::vector<uint32_t> &inEdges(NodeId N) const { return In[N]; }
+  EdgeRange outEdges(NodeId N) const {
+    return EdgeRange(AdjPool.data(), Out[N].Head, Out[N].Count);
+  }
+  EdgeRange inEdges(NodeId N) const {
+    return EdgeRange(AdjPool.data(), In[N].Head, In[N].Count);
+  }
   const AgEdge &edge(uint32_t E) const { return Edges[E]; }
 
   /// OB node for an object id, or InvalidNode.
@@ -190,7 +263,7 @@ public:
   /// CT node for a trigger id, or InvalidNode.
   NodeId triggerNode(jsrt::TriggerId T) const;
 
-  /// All CE nodes bound to a registration.
+  /// All CE nodes bound to a registration, in execution order.
   std::vector<NodeId> executionsOf(jsrt::ScheduleId S) const;
 
   /// Warnings of one category.
@@ -207,20 +280,46 @@ public:
 
   /// \returns the OB this promise was derived from, or InvalidNode.
   NodeId parentPromise(NodeId ObNode) const;
+
+  /// Bytes held by the graph's own storage (nodes, edges, adjacency pool,
+  /// indices, ticks, warnings). The shared symbol table is global and
+  /// reported separately by symtab().memoryUsage().
+  size_t memoryFootprint() const;
   /// @}
 
 private:
+  /// Per-node adjacency list head/tail into AdjPool.
+  struct AdjList {
+    uint32_t Head = detail::AdjNil;
+    uint32_t Tail = detail::AdjNil;
+    uint32_t Count = 0;
+  };
+
+  /// Per-registration execution chain head/tail into ExecPool.
+  struct ExecChain {
+    uint32_t Head = detail::AdjNil;
+    uint32_t Tail = detail::AdjNil;
+  };
+
+  void pushAdj(AdjList &L, uint32_t E);
+
   std::vector<AgTick> Ticks;
   std::vector<AgNode> Nodes;
   std::vector<AgEdge> Edges;
-  std::vector<std::vector<uint32_t>> Out;
-  std::vector<std::vector<uint32_t>> In;
+  std::vector<AdjList> Out;
+  std::vector<AdjList> In;
+  /// Shared pool of adjacency cells (one per edge per direction).
+  std::vector<detail::AdjCell> AdjPool;
   std::vector<Warning> Warnings;
-  std::set<std::tuple<int, NodeId, std::string>> WarningKeys;
-  std::map<jsrt::ObjectId, NodeId> ObjIndex;
-  std::map<jsrt::ScheduleId, NodeId> SchedIndex;
-  std::map<jsrt::TriggerId, NodeId> TriggerIndex;
-  std::multimap<jsrt::ScheduleId, NodeId> ExecIndex;
+  /// Dedup key: (category, node, file symbol, line) — no string building.
+  std::set<std::tuple<int, NodeId, SymbolId, uint32_t>> WarningKeys;
+  FlatMap<jsrt::ObjectId, NodeId> ObjIndex;
+  FlatMap<jsrt::ScheduleId, NodeId> SchedIndex;
+  FlatMap<jsrt::TriggerId, NodeId> TriggerIndex;
+  /// CE nodes per registration id, chained through ExecPool in insertion
+  /// order (replaces the std::multimap).
+  FlatMap<jsrt::ScheduleId, ExecChain> ExecIndex;
+  std::vector<detail::AdjCell> ExecPool;
 };
 
 } // namespace ag

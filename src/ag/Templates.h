@@ -18,7 +18,9 @@
 
 #include "instr/Hooks.h"
 #include "jsrt/ApiKind.h"
+#include "support/SymbolTable.h"
 
+#include <array>
 #include <string>
 
 namespace asyncg {
@@ -102,27 +104,59 @@ inline ApiTemplate getAsyncTemplate(jsrt::ApiKind Api) {
   return {TemplateKind::Misc, false};
 }
 
+/// Interned apiKindName(), computed once per kind.
+inline Symbol apiKindSymbol(jsrt::ApiKind Api) {
+  static const auto Names = [] {
+    std::array<Symbol, static_cast<size_t>(jsrt::ApiKind::Internal) + 1> A;
+    for (size_t I = 0; I != A.size(); ++I)
+      A[I] = Symbol(jsrt::apiKindName(static_cast<jsrt::ApiKind>(I)));
+    return A;
+  }();
+  return Names[static_cast<size_t>(Api)];
+}
+
+/// The label builders append into a caller-owned scratch buffer (steady
+/// state: zero allocations once the buffer has grown) and intern the
+/// result; repeated labels hit the symbol table's fast path.
+
 /// Builds the display label of a CR node ("L7: createServer",
 /// "L9: on(foo)").
-inline std::string crLabel(const instr::ApiCallEvent &E) {
-  std::string L = E.Loc.shortStr() + ": " + jsrt::apiKindName(E.Api);
-  if (!E.EventName.empty())
-    L += "(" + E.EventName + ")";
-  return L;
+inline Symbol crLabel(const instr::ApiCallEvent &E, std::string &Scratch) {
+  Scratch.clear();
+  E.Loc.appendShort(Scratch);
+  Scratch += ": ";
+  Scratch += jsrt::apiKindName(E.Api);
+  if (!E.EventName.empty()) {
+    Scratch += '(';
+    Scratch += E.EventName.view();
+    Scratch += ')';
+  }
+  return Symbol(std::string_view(Scratch));
 }
 
 /// Builds the display label of a CT node ("L15: emit(foo)", "L3: resolve").
-inline std::string ctLabel(const instr::ApiCallEvent &E) {
-  std::string L = E.Loc.shortStr() + ": " + jsrt::apiKindName(E.Api);
-  if (E.Api == jsrt::ApiKind::EmitterEmit)
-    L += "(" + E.EventName + ")";
-  return L;
+inline Symbol ctLabel(const instr::ApiCallEvent &E, std::string &Scratch) {
+  Scratch.clear();
+  E.Loc.appendShort(Scratch);
+  Scratch += ": ";
+  Scratch += jsrt::apiKindName(E.Api);
+  if (E.Api == jsrt::ApiKind::EmitterEmit) {
+    Scratch += '(';
+    Scratch += E.EventName.view();
+    Scratch += ')';
+  }
+  return Symbol(std::string_view(Scratch));
 }
 
 /// Builds the display label of an OB node ("L1: E5", "L2: P7", "*: E1").
-inline std::string obLabel(const instr::ObjectCreateEvent &E) {
-  std::string Tag = (E.IsPromise ? "P" : "E") + std::to_string(E.Obj);
-  return E.Loc.shortStr() + ": " + Tag;
+inline Symbol obLabel(const instr::ObjectCreateEvent &E,
+                      std::string &Scratch) {
+  Scratch.clear();
+  E.Loc.appendShort(Scratch);
+  Scratch += ": ";
+  Scratch += E.IsPromise ? 'P' : 'E';
+  Scratch += std::to_string(E.Obj);
+  return Symbol(std::string_view(Scratch));
 }
 
 } // namespace ag

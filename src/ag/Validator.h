@@ -25,8 +25,7 @@
 #include "jsrt/Dispatch.h"
 #include "jsrt/Ids.h"
 #include "jsrt/PhaseKind.h"
-
-#include <string>
+#include "support/SymbolTable.h"
 
 namespace asyncg {
 namespace ag {
@@ -45,8 +44,9 @@ struct PendingReg {
   bool Once = true;
   /// Bound emitter/promise object; 0 when none.
   jsrt::ObjectId BoundObj = 0;
-  /// Emitter event name for listener registrations.
-  std::string Event;
+  /// Emitter event name for listener registrations (interned; equality
+  /// against the trigger's event is an integer compare).
+  Symbol Event;
 };
 
 /// The context validator (Algorithm 3, line 3).

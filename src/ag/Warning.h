@@ -15,9 +15,9 @@
 #define ASYNCG_AG_WARNING_H
 
 #include "support/SourceLocation.h"
+#include "support/SymbolTable.h"
 
 #include <cstdint>
-#include <string>
 
 namespace asyncg {
 namespace ag {
@@ -100,9 +100,11 @@ inline const char *bugCategoryName(BugCategory C) {
 }
 
 /// One reported warning, anchored to a graph node and a source location.
+/// The message text is interned; warnings are deduplicated anyway, so the
+/// symbol table holds each distinct message once.
 struct Warning {
   BugCategory Category;
-  std::string Message;
+  Symbol Message;
   SourceLocation Loc;
   NodeId Node = InvalidNode;
   uint32_t Tick = 0;

@@ -30,14 +30,14 @@ void EmitterOnlyAnalyzer::onApiCall(const instr::ApiCallEvent &E) {
   case ApiKind::HttpCreateServer: {
     ListenerInfo &L = Listeners[E.Sched];
     L.Loc = E.Loc;
-    L.Event = E.EventName;
+    L.Event = E.EventName.str();
     L.Internal = E.Internal || E.Loc.isInternal();
     return;
   }
   case ApiKind::EmitterEmit:
     if (!E.TriggerHadEffect && !E.Internal && !E.Loc.isInternal())
       warn(ag::BugCategory::DeadEmit, E.Loc,
-           "event '" + E.EventName + "' emitted without listeners");
+           "event '" + E.EventName.str() + "' emitted without listeners");
     return;
   case ApiKind::EmitterRemoveListener:
     // Without callback-identity modelling, Radar-style analyses cannot

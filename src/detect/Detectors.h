@@ -154,7 +154,7 @@ public:
                   const instr::ApiCallEvent &E) override;
 
 private:
-  using Key = std::tuple<jsrt::ObjectId, std::string, jsrt::FunctionId>;
+  using Key = std::tuple<jsrt::ObjectId, Symbol, jsrt::FunctionId>;
   std::map<Key, unsigned> Live;
 };
 
@@ -170,7 +170,7 @@ public:
                   const instr::ApiCallEvent &E) override;
 
 private:
-  using Key = std::pair<jsrt::ObjectId, std::string>;
+  using Key = std::pair<jsrt::ObjectId, Symbol>;
   std::map<Key, unsigned> Live;
 };
 

@@ -11,3 +11,9 @@ using namespace asyncg::instr;
 
 // Out-of-line virtual method anchor.
 AnalysisBase::~AnalysisBase() = default;
+
+uint64_t instr::detail::ConstructedEvents = 0;
+
+uint64_t instr::constructedEventCount() { return detail::ConstructedEvents; }
+
+void instr::resetConstructedEventCount() { detail::ConstructedEvents = 0; }

@@ -26,14 +26,25 @@
 #include "jsrt/PhaseKind.h"
 #include "jsrt/Value.h"
 #include "support/SourceLocation.h"
+#include "support/SymbolTable.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace asyncg {
 namespace instr {
+
+/// Counts ApiCallEvent / ObjectCreateEvent constructions. Hook sites must
+/// build these only behind a !HookRegistry::empty() guard; the lazy-fire
+/// test asserts this stays 0 through an uninstrumented run.
+uint64_t constructedEventCount();
+void resetConstructedEventCount();
+namespace detail {
+extern uint64_t ConstructedEvents;
+}
 
 /// Fired before a function body runs (Algorithm 1/3's functionEnter).
 struct FunctionEnterEvent {
@@ -54,6 +65,8 @@ struct FunctionExitEvent {
 /// per-API templates extract: which callbacks, the target phase, whether
 /// the callback runs once, and the bound emitter/promise object.
 struct ApiCallEvent {
+  ApiCallEvent() { ++detail::ConstructedEvents; }
+
   jsrt::ApiKind Api = jsrt::ApiKind::None;
   /// Call-site location.
   SourceLocation Loc;
@@ -72,8 +85,8 @@ struct ApiCallEvent {
   jsrt::ObjectId DerivedObj = 0;
   /// Input promises for combinators.
   std::vector<jsrt::ObjectId> InputObjs;
-  /// Emitter event name.
-  std::string EventName;
+  /// Emitter event name (interned).
+  Symbol EventName;
   /// Timer delay in milliseconds (timers only).
   double TimeoutMs = 0;
   /// True if this registration includes a rejection handler (then with two
@@ -92,10 +105,12 @@ struct ApiCallEvent {
 
 /// Fired when a promise or emitter object is created (OB nodes).
 struct ObjectCreateEvent {
+  ObjectCreateEvent() { ++detail::ConstructedEvents; }
+
   jsrt::ObjectId Obj = 0;
   bool IsPromise = false;
-  /// Debug name ("EventEmitter", "Promise", "http.Server", ...).
-  std::string Name;
+  /// Debug name ("EventEmitter", "Promise", "http.Server", ...), interned.
+  Symbol Name;
   SourceLocation Loc;
   bool Internal = false;
   /// For promises derived from another promise: the parent and the API
@@ -172,62 +187,91 @@ public:
 
 /// Registry of attached analyses. The runtime owns one; hook dispatch is a
 /// plain loop, so an empty registry costs one branch per hook site.
+///
+/// Attach and detach are safe from inside a hook callback (an analysis may
+/// detach itself at runtime): firing iterates by index over the size
+/// captured at loop start, detach during a fire nulls the slot instead of
+/// erasing it, and the vector is compacted when the outermost fire
+/// returns. Analyses attached mid-fire are not invoked for the event that
+/// was already in flight.
 class HookRegistry {
 public:
   /// Attaches an analysis (not owned). May be called while running.
   void attach(AnalysisBase *A) {
     assert(A && "attaching null analysis");
     Analyses.push_back(A);
+    ++Live;
   }
 
-  /// Detaches a previously attached analysis. Safe while running.
+  /// Detaches a previously attached analysis. Safe while running, including
+  /// from inside a hook callback of a fire* loop.
   void detach(AnalysisBase *A) {
-    Analyses.erase(std::remove(Analyses.begin(), Analyses.end(), A),
-                   Analyses.end());
+    for (AnalysisBase *&Slot : Analyses) {
+      if (Slot != A)
+        continue;
+      Slot = nullptr;
+      --Live;
+      NeedsCompact = true;
+    }
+    if (FireDepth == 0)
+      compact();
   }
 
-  bool empty() const { return Analyses.empty(); }
-  size_t size() const { return Analyses.size(); }
+  bool empty() const { return Live == 0; }
+  size_t size() const { return Live; }
 
   void fireFunctionEnter(const FunctionEnterEvent &E) {
-    for (AnalysisBase *A : Analyses)
-      A->onFunctionEnter(E);
+    fire([&E](AnalysisBase *A) { A->onFunctionEnter(E); });
   }
   void fireFunctionExit(const FunctionExitEvent &E) {
-    for (AnalysisBase *A : Analyses)
-      A->onFunctionExit(E);
+    fire([&E](AnalysisBase *A) { A->onFunctionExit(E); });
   }
   void fireApiCall(const ApiCallEvent &E) {
-    for (AnalysisBase *A : Analyses)
-      A->onApiCall(E);
+    fire([&E](AnalysisBase *A) { A->onApiCall(E); });
   }
   void fireObjectCreate(const ObjectCreateEvent &E) {
-    for (AnalysisBase *A : Analyses)
-      A->onObjectCreate(E);
+    fire([&E](AnalysisBase *A) { A->onObjectCreate(E); });
   }
   void fireReactionResult(const ReactionResultEvent &E) {
-    for (AnalysisBase *A : Analyses)
-      A->onReactionResult(E);
+    fire([&E](AnalysisBase *A) { A->onReactionResult(E); });
   }
   void firePromiseLink(const PromiseLinkEvent &E) {
-    for (AnalysisBase *A : Analyses)
-      A->onPromiseLink(E);
+    fire([&E](AnalysisBase *A) { A->onPromiseLink(E); });
   }
   void firePropertyAccess(const PropertyAccessEvent &E) {
-    for (AnalysisBase *A : Analyses)
-      A->onPropertyAccess(E);
+    fire([&E](AnalysisBase *A) { A->onPropertyAccess(E); });
   }
   void fireUncaughtError(const UncaughtErrorEvent &E) {
-    for (AnalysisBase *A : Analyses)
-      A->onUncaughtError(E);
+    fire([&E](AnalysisBase *A) { A->onUncaughtError(E); });
   }
   void fireLoopEnd(const LoopEndEvent &E) {
-    for (AnalysisBase *A : Analyses)
-      A->onLoopEnd(E);
+    fire([&E](AnalysisBase *A) { A->onLoopEnd(E); });
   }
 
 private:
+  template <typename Fn> void fire(Fn &&Invoke) {
+    ++FireDepth;
+    // Index-based over the size at loop start: detach nulls slots (checked
+    // below) and attach appends past N (skipped for this event).
+    size_t N = Analyses.size();
+    for (size_t I = 0; I != N; ++I)
+      if (AnalysisBase *A = Analyses[I])
+        Invoke(A);
+    if (--FireDepth == 0 && NeedsCompact)
+      compact();
+  }
+
+  void compact() {
+    Analyses.erase(std::remove(Analyses.begin(), Analyses.end(), nullptr),
+                   Analyses.end());
+    NeedsCompact = false;
+    assert(Analyses.size() == Live && "live count out of sync");
+  }
+
   std::vector<AnalysisBase *> Analyses;
+  size_t Live = 0;
+  size_t FireDepth = 0;
+  bool NeedsCompact = false;
 };
 
 } // namespace instr

@@ -19,8 +19,7 @@
 #include "jsrt/ApiKind.h"
 #include "jsrt/Ids.h"
 #include "jsrt/PhaseKind.h"
-
-#include <string>
+#include "support/SymbolTable.h"
 
 namespace asyncg {
 namespace jsrt {
@@ -39,8 +38,8 @@ struct TriggerInfo {
   TriggerId Id = 0;
   /// The promise/emitter the action applies to.
   ObjectId Obj = 0;
-  /// Event name for emitter triggers.
-  std::string Event;
+  /// Event name for emitter triggers (interned).
+  Symbol Event;
   /// True for reject actions.
   bool IsReject = false;
 

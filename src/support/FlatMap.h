@@ -1,0 +1,260 @@
+//===- FlatMap.h - Open-addressing hash map ---------------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat open-addressing hash map for the graph-index hot path. The
+/// Async Graph keeps four id→node indices that are hit on every node
+/// insertion and every CE-to-CR match; std::map costs one allocation plus
+/// an O(log n) pointer chase per operation, while this map is a single
+/// probe over contiguous storage.
+///
+/// Design: power-of-two capacity, linear probing, backward-shift deletion
+/// (no tombstones, so probe chains never degrade), max load factor 0.75.
+/// Integral keys are scrambled with a splitmix64 finalizer because the
+/// runtime hands out sequential ids.
+///
+/// The iterator yields std::pair<K,V>&, so structured bindings written for
+/// std::map keep working. Iteration order is unspecified.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SUPPORT_FLATMAP_H
+#define ASYNCG_SUPPORT_FLATMAP_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace asyncg {
+
+/// Default hash: splitmix64 finalizer for integral keys, std::hash
+/// otherwise.
+template <typename K> struct FlatHash {
+  size_t operator()(const K &Key) const {
+    if constexpr (std::is_integral_v<K> || std::is_enum_v<K>) {
+      uint64_t H = static_cast<uint64_t>(Key);
+      H ^= H >> 30;
+      H *= 0xbf58476d1ce4e5b9ull;
+      H ^= H >> 27;
+      H *= 0x94d049bb133111ebull;
+      H ^= H >> 31;
+      return static_cast<size_t>(H);
+    } else {
+      return std::hash<K>()(Key);
+    }
+  }
+};
+
+template <typename K, typename V, typename Hash = FlatHash<K>>
+class FlatMap {
+public:
+  using value_type = std::pair<K, V>;
+
+  FlatMap() = default;
+
+  FlatMap(const FlatMap &) = default;
+  FlatMap(FlatMap &&) = default;
+  FlatMap &operator=(const FlatMap &) = default;
+  FlatMap &operator=(FlatMap &&) = default;
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  size_t capacity() const { return Slots.size(); }
+
+  void clear() {
+    Slots.clear();
+    Used.clear();
+    Count = 0;
+    Mask = 0;
+  }
+
+  /// Pre-sizes the table for \p N elements without rehashing on the way.
+  void reserve(size_t N) {
+    size_t Want = capacityFor(N);
+    if (Want > Slots.size())
+      rehash(Want);
+  }
+
+  /// Returns a pointer to the mapped value, or nullptr.
+  V *find(const K &Key) {
+    if (Count == 0)
+      return nullptr;
+    size_t I = findSlot(Key);
+    return I != NPos ? &Slots[I].second : nullptr;
+  }
+  const V *find(const K &Key) const {
+    return const_cast<FlatMap *>(this)->find(Key);
+  }
+
+  bool contains(const K &Key) const { return find(Key) != nullptr; }
+
+  /// Inserts a default-constructed value if the key is absent.
+  V &operator[](const K &Key) {
+    if (needsGrow())
+      rehash(Slots.empty() ? MinCapacity : Slots.size() * 2);
+    size_t I = probeFor(Key);
+    if (!Used[I]) {
+      Slots[I].first = Key;
+      Slots[I].second = V();
+      Used[I] = 1;
+      ++Count;
+    }
+    return Slots[I].second;
+  }
+
+  /// Removes \p Key; returns true if it was present. Backward-shift
+  /// deletion keeps probe chains compact without tombstones.
+  bool erase(const K &Key) {
+    if (Count == 0)
+      return false;
+    size_t I = findSlot(Key);
+    if (I == NPos)
+      return false;
+    // Backward-shift: scan the rest of the probe cluster; an entry may
+    // fill the hole only when the hole lies on its probe path (its home
+    // slot is cyclically outside (Hole, J]). Entries that can't move are
+    // skipped, not stopped at — later entries may still need the hole.
+    size_t Hole = I;
+    size_t J = I;
+    while (true) {
+      J = (J + 1) & Mask;
+      if (!Used[J])
+        break;
+      size_t Home = Hasher(Slots[J].first) & Mask;
+      bool Movable = (J > Hole) ? (Home <= Hole || Home > J)
+                                : (Home <= Hole && Home > J);
+      if (Movable) {
+        Slots[Hole] = std::move(Slots[J]);
+        Hole = J;
+      }
+    }
+    Used[Hole] = 0;
+    Slots[Hole].second = V();
+    --Count;
+    return true;
+  }
+
+  /// Bytes held by the backing arrays.
+  size_t memoryUsage() const {
+    return Slots.capacity() * sizeof(value_type) + Used.capacity();
+  }
+
+  class iterator {
+  public:
+    iterator(FlatMap *M, size_t I) : Map(M), Idx(I) { skip(); }
+    value_type &operator*() const { return Map->Slots[Idx]; }
+    value_type *operator->() const { return &Map->Slots[Idx]; }
+    iterator &operator++() {
+      ++Idx;
+      skip();
+      return *this;
+    }
+    bool operator==(const iterator &O) const { return Idx == O.Idx; }
+    bool operator!=(const iterator &O) const { return Idx != O.Idx; }
+
+  private:
+    void skip() {
+      while (Idx < Map->Slots.size() && !Map->Used[Idx])
+        ++Idx;
+    }
+    FlatMap *Map;
+    size_t Idx;
+  };
+
+  class const_iterator {
+  public:
+    const_iterator(const FlatMap *M, size_t I) : Map(M), Idx(I) { skip(); }
+    const value_type &operator*() const { return Map->Slots[Idx]; }
+    const value_type *operator->() const { return &Map->Slots[Idx]; }
+    const_iterator &operator++() {
+      ++Idx;
+      skip();
+      return *this;
+    }
+    bool operator==(const const_iterator &O) const { return Idx == O.Idx; }
+    bool operator!=(const const_iterator &O) const { return Idx != O.Idx; }
+
+  private:
+    void skip() {
+      while (Idx < Map->Slots.size() && !Map->Used[Idx])
+        ++Idx;
+    }
+    const FlatMap *Map;
+    size_t Idx;
+  };
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, Slots.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, Slots.size()); }
+
+private:
+  static constexpr size_t NPos = static_cast<size_t>(-1);
+  static constexpr size_t MinCapacity = 16;
+
+  static size_t capacityFor(size_t N) {
+    size_t Cap = MinCapacity;
+    // Grow until N fits under the 0.75 load ceiling.
+    while (N * 4 > Cap * 3)
+      Cap *= 2;
+    return Cap;
+  }
+
+  bool needsGrow() const {
+    return Slots.empty() || (Count + 1) * 4 > Slots.size() * 3;
+  }
+
+  /// Slot of \p Key, or NPos.
+  size_t findSlot(const K &Key) const {
+    size_t I = Hasher(Key) & Mask;
+    while (Used[I]) {
+      if (Slots[I].first == Key)
+        return I;
+      I = (I + 1) & Mask;
+    }
+    return NPos;
+  }
+
+  /// Slot of \p Key, or the empty slot where it belongs.
+  size_t probeFor(const K &Key) const {
+    size_t I = Hasher(Key) & Mask;
+    while (Used[I] && !(Slots[I].first == Key))
+      I = (I + 1) & Mask;
+    return I;
+  }
+
+  void rehash(size_t NewCap) {
+    assert((NewCap & (NewCap - 1)) == 0 && "capacity must be a power of two");
+    std::vector<value_type> OldSlots = std::move(Slots);
+    std::vector<uint8_t> OldUsed = std::move(Used);
+    Slots.clear();
+    Slots.resize(NewCap);
+    Used.assign(NewCap, 0);
+    Mask = NewCap - 1;
+    for (size_t I = 0; I != OldSlots.size(); ++I) {
+      if (!OldUsed[I])
+        continue;
+      size_t J = Hasher(OldSlots[I].first) & Mask;
+      while (Used[J])
+        J = (J + 1) & Mask;
+      Slots[J] = std::move(OldSlots[I]);
+      Used[J] = 1;
+    }
+  }
+
+  std::vector<value_type> Slots;
+  std::vector<uint8_t> Used;
+  size_t Count = 0;
+  size_t Mask = 0;
+  [[no_unique_address]] Hash Hasher;
+};
+
+} // namespace asyncg
+
+#endif // ASYNCG_SUPPORT_FLATMAP_H

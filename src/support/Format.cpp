@@ -43,7 +43,7 @@ std::string asyncg::joinStrings(const std::vector<std::string> &Parts,
   return Out;
 }
 
-std::string asyncg::escapeString(const std::string &S) {
+std::string asyncg::escapeString(std::string_view S) {
   std::string Out;
   Out.reserve(S.size() + 8);
   for (char C : S) {

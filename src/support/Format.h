@@ -31,7 +31,7 @@ std::string joinStrings(const std::vector<std::string> &Parts,
                         const std::string &Sep);
 
 /// Escapes a string for embedding in a double-quoted JSON or DOT literal.
-std::string escapeString(const std::string &S);
+std::string escapeString(std::string_view S);
 
 /// Returns true if \p S starts with \p Prefix.
 bool startsWith(const std::string &S, const std::string &Prefix);

@@ -62,16 +62,27 @@ void JsonWriter::key(const std::string &K) {
   if (S.SawElement)
     raw(",");
   S.SawElement = true;
-  raw("\"" + escapeString(K) + "\":");
+  raw("\"");
+  raw(escapeString(K));
+  raw("\":");
   PendingKey = true;
 }
 
 void JsonWriter::value(const std::string &V) {
   beforeValue();
-  raw("\"" + escapeString(V) + "\"");
+  raw("\"");
+  raw(escapeString(V));
+  raw("\"");
 }
 
-void JsonWriter::value(const char *V) { value(std::string(V)); }
+void JsonWriter::value(std::string_view V) {
+  beforeValue();
+  raw("\"");
+  raw(escapeString(V));
+  raw("\"");
+}
+
+void JsonWriter::value(const char *V) { value(std::string_view(V)); }
 
 void JsonWriter::value(double V) {
   beforeValue();

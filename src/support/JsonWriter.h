@@ -14,8 +14,11 @@
 #ifndef ASYNCG_SUPPORT_JSONWRITER_H
 #define ASYNCG_SUPPORT_JSONWRITER_H
 
+#include "support/SymbolTable.h"
+
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace asyncg {
@@ -46,7 +49,9 @@ public:
   void key(const std::string &K);
 
   void value(const std::string &V);
+  void value(std::string_view V);
   void value(const char *V);
+  void value(Symbol V) { value(V.view()); }
   void value(double V);
   void value(int64_t V);
   void value(uint64_t V);

@@ -12,13 +12,19 @@
 /// API, so locations either come from the C++ file (via JSLOC) or are given
 /// explicitly to mirror the line numbers of the paper's code snippets.
 ///
+/// The file name is an interned Symbol: a SourceLocation is 8 bytes and
+/// trivially copyable, so stamping one on every graph node costs nothing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ASYNCG_SUPPORT_SOURCELOCATION_H
 #define ASYNCG_SUPPORT_SOURCELOCATION_H
 
+#include "support/SymbolTable.h"
+
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace asyncg {
 
@@ -28,17 +34,24 @@ namespace asyncg {
 class SourceLocation {
 public:
   SourceLocation() = default;
-  SourceLocation(std::string File, uint32_t Line)
-      : File(std::move(File)), Line(Line) {}
+  SourceLocation(Symbol File, uint32_t Line) : File(File), Line_(Line) {}
+  SourceLocation(std::string_view File, uint32_t Line)
+      : File(File), Line_(Line) {}
+  SourceLocation(const char *File, uint32_t Line) : File(File), Line_(Line) {}
+  SourceLocation(const std::string &File, uint32_t Line)
+      : File(File), Line_(Line) {}
 
   /// The location used for Node.js-internal library code ("*" in the paper).
   static SourceLocation internal() { return SourceLocation("*", 0); }
 
   bool isValid() const { return !File.empty(); }
-  bool isInternal() const { return File == "*"; }
+  bool isInternal() const {
+    return File.id() == internalFileSymbol().id();
+  }
 
-  const std::string &file() const { return File; }
-  uint32_t line() const { return Line; }
+  std::string_view file() const { return File.view(); }
+  Symbol fileSymbol() const { return File; }
+  uint32_t line() const { return Line_; }
 
   /// Renders "file:line", "*" for internal code, or "<unknown>".
   std::string str() const {
@@ -46,27 +59,47 @@ public:
       return "<unknown>";
     if (isInternal())
       return "*";
-    return File + ":" + std::to_string(Line);
+    std::string S(File.view());
+    S += ":";
+    S += std::to_string(Line_);
+    return S;
   }
 
   /// Renders the short "L<line>" form used for node names in the paper's
   /// figures (e.g. "L7"), or "*" for internal locations.
   std::string shortStr() const {
-    if (!isValid())
-      return "L?";
-    if (isInternal())
-      return "*";
-    return "L" + std::to_string(Line);
+    std::string S;
+    appendShort(S);
+    return S;
+  }
+
+  /// Appends the shortStr() form to \p Out without a temporary.
+  void appendShort(std::string &Out) const {
+    if (!isValid()) {
+      Out += "L?";
+      return;
+    }
+    if (isInternal()) {
+      Out += '*';
+      return;
+    }
+    Out += 'L';
+    Out += std::to_string(Line_);
   }
 
   bool operator==(const SourceLocation &RHS) const {
-    return File == RHS.File && Line == RHS.Line;
+    return File == RHS.File && Line_ == RHS.Line_;
   }
   bool operator!=(const SourceLocation &RHS) const { return !(*this == RHS); }
 
 private:
-  std::string File;
-  uint32_t Line = 0;
+  static Symbol internalFileSymbol() {
+    static const Symbol Star("*");
+    return Star;
+  }
+
+  Symbol File;
+  uint32_t Line_ = 0;
 };
 
 } // namespace asyncg

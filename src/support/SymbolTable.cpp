@@ -1,0 +1,111 @@
+//===- SymbolTable.cpp - Arena-backed string interning ------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SymbolTable.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace asyncg;
+
+static uint64_t hashBytes(std::string_view S) {
+  // FNV-1a, then a splitmix64-style finalizer so short strings spread over
+  // the power-of-two table.
+  uint64_t H = 1469598103934665603ull;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  H ^= H >> 30;
+  H *= 0xbf58476d1ce4e5b9ull;
+  H ^= H >> 27;
+  return H;
+}
+
+SymbolTable::SymbolTable() {
+  Lookup.resize(256, 0);
+  LookupMask = Lookup.size() - 1;
+  // Id 0 is the empty string, always present.
+  [[maybe_unused]] SymbolId Empty = intern(std::string_view());
+  assert(Empty == 0 && "empty string must get id 0");
+}
+
+SymbolTable &SymbolTable::global() {
+  static SymbolTable Table;
+  return Table;
+}
+
+const char *SymbolTable::arenaStore(std::string_view S) {
+  size_t Need = S.size() + 1;
+  if (Need > ChunkSize) {
+    // Oversized string: dedicated allocation so the regular chunks stay
+    // fixed-size (and the active tail chunk keeps its remaining space).
+    BigChunks.push_back(std::make_unique<char[]>(Need));
+    char *Dst = BigChunks.back().get();
+    std::memcpy(Dst, S.data(), S.size());
+    Dst[S.size()] = '\0';
+    OversizedBytes += Need;
+    return Dst;
+  }
+  if (Chunks.empty() || ChunkUsed + Need > ChunkSize) {
+    Chunks.push_back(std::make_unique<char[]>(ChunkSize));
+    ChunkUsed = 0;
+  }
+  char *Dst = Chunks.back().get() + ChunkUsed;
+  if (!S.empty())
+    std::memcpy(Dst, S.data(), S.size());
+  Dst[S.size()] = '\0';
+  ChunkUsed += Need;
+  return Dst;
+}
+
+void SymbolTable::grow() {
+  std::vector<uint32_t> Old = std::move(Lookup);
+  Lookup.assign(Old.size() * 2, 0);
+  LookupMask = Lookup.size() - 1;
+  for (uint32_t Slot : Old) {
+    if (Slot == 0)
+      continue;
+    size_t I = Entries[Slot - 1].Hash & LookupMask;
+    while (Lookup[I] != 0)
+      I = (I + 1) & LookupMask;
+    Lookup[I] = Slot;
+  }
+}
+
+SymbolId SymbolTable::intern(std::string_view S) {
+  uint64_t H = hashBytes(S);
+  size_t I = H & LookupMask;
+  while (true) {
+    uint32_t Slot = Lookup[I];
+    if (Slot == 0)
+      break;
+    const Entry &E = Entries[Slot - 1];
+    if (E.Hash == H && E.Len == S.size() &&
+        (S.empty() || std::memcmp(E.Ptr, S.data(), S.size()) == 0))
+      return Slot - 1;
+    I = (I + 1) & LookupMask;
+  }
+
+  // Keep the load factor under 1/2.
+  if ((Entries.size() + 1) * 2 > Lookup.size()) {
+    grow();
+    I = H & LookupMask;
+    while (Lookup[I] != 0)
+      I = (I + 1) & LookupMask;
+  }
+
+  SymbolId Id = static_cast<SymbolId>(Entries.size());
+  Entries.push_back(Entry{arenaStore(S), static_cast<uint32_t>(S.size()), H});
+  Lookup[I] = Id + 1;
+  return Id;
+}
+
+size_t SymbolTable::memoryUsage() const {
+  return Chunks.size() * ChunkSize + OversizedBytes +
+         Entries.capacity() * sizeof(Entry) +
+         Lookup.capacity() * sizeof(uint32_t);
+}

@@ -1,0 +1,182 @@
+//===- SymbolTable.h - Arena-backed string interning ------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String interning for the instrumentation hot path. Node labels, event
+/// names, and edge labels repeat endlessly while the Async Graph is built
+/// (every 'data' listener registration carries the string "data"); storing
+/// a 4-byte SymbolId instead of a std::string removes the per-node heap
+/// traffic and turns label equality into an integer compare.
+///
+/// - SymbolTable: append-only arena of null-terminated strings plus an
+///   open-addressing lookup table. Interning an already-known string is a
+///   hash probe with no allocation; id 0 is always the empty string.
+/// - Symbol: a value type wrapping a SymbolId. It converts implicitly from
+///   const char* / std::string / std::string_view (interning on
+///   construction) so existing assignment sites keep compiling, and
+///   resolves back to text only at serialization time via str()/c_str().
+///
+/// The table is a process-wide singleton (symtab()) and is intentionally
+/// not thread-safe: the event loop, like Node's, is single-threaded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SUPPORT_SYMBOLTABLE_H
+#define ASYNCG_SUPPORT_SYMBOLTABLE_H
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asyncg {
+
+/// Index into the global symbol table. 0 is the empty string.
+using SymbolId = uint32_t;
+
+/// Arena-backed intern pool. Strings are stored null-terminated, so
+/// resolving to a C string is free.
+class SymbolTable {
+public:
+  SymbolTable();
+
+  /// Interns \p S, returning its stable id. Idempotent: the same bytes
+  /// always produce the same id for the lifetime of the table.
+  SymbolId intern(std::string_view S);
+
+  /// Resolves an id to its text. The view stays valid for the lifetime of
+  /// the table (the arena never moves strings).
+  std::string_view view(SymbolId Id) const {
+    const Entry &E = Entries[Id];
+    return std::string_view(E.Ptr, E.Len);
+  }
+
+  /// Null-terminated resolution.
+  const char *c_str(SymbolId Id) const { return Entries[Id].Ptr; }
+
+  /// Number of distinct interned strings (including the empty string).
+  size_t size() const { return Entries.size(); }
+
+  /// Bytes held by the arena, the entry vector, and the hash table.
+  size_t memoryUsage() const;
+
+  /// The process-wide table used by Symbol.
+  static SymbolTable &global();
+
+private:
+  struct Entry {
+    const char *Ptr;
+    uint32_t Len;
+    uint64_t Hash;
+  };
+
+  const char *arenaStore(std::string_view S);
+  void grow();
+
+  static constexpr size_t ChunkSize = 64 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> Chunks;
+  /// Strings larger than ChunkSize get dedicated allocations.
+  std::vector<std::unique_ptr<char[]>> BigChunks;
+  size_t ChunkUsed = 0;
+  size_t OversizedBytes = 0;
+  std::vector<Entry> Entries;
+  /// Open-addressing table of entry indices + 1 (0 = empty slot).
+  std::vector<uint32_t> Lookup;
+  size_t LookupMask = 0;
+};
+
+/// Returns the global symbol table.
+inline SymbolTable &symtab() { return SymbolTable::global(); }
+
+/// An interned string value. 8x smaller than std::string and trivially
+/// copyable; comparisons between Symbols are integer compares.
+class Symbol {
+public:
+  constexpr Symbol() = default;
+  Symbol(const char *S) : Id(symtab().intern(S)) {}
+  Symbol(const std::string &S) : Id(symtab().intern(S)) {}
+  Symbol(std::string_view S) : Id(symtab().intern(S)) {}
+
+  /// Wraps an id previously obtained from the table without re-hashing.
+  static constexpr Symbol fromId(SymbolId Id) {
+    Symbol S;
+    S.Id = Id;
+    return S;
+  }
+
+  constexpr SymbolId id() const { return Id; }
+  constexpr bool empty() const { return Id == 0; }
+
+  std::string_view view() const { return symtab().view(Id); }
+  const char *c_str() const { return symtab().c_str(Id); }
+  std::string str() const { return std::string(view()); }
+  size_t size() const { return view().size(); }
+
+  friend constexpr bool operator==(Symbol A, Symbol B) {
+    return A.Id == B.Id;
+  }
+  friend constexpr bool operator!=(Symbol A, Symbol B) {
+    return A.Id != B.Id;
+  }
+  /// Orders by id: arbitrary but stable, good enough for map keys.
+  friend constexpr bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+  /// Text comparison against strings that may not be interned (does not
+  /// mutate the table). The const char* / std::string overloads exist so
+  /// these comparisons don't ambiguously match both the implicit Symbol
+  /// conversion and the string_view one.
+  friend bool operator==(Symbol A, std::string_view S) {
+    return A.view() == S;
+  }
+  friend bool operator==(std::string_view S, Symbol A) {
+    return A.view() == S;
+  }
+  friend bool operator!=(Symbol A, std::string_view S) {
+    return A.view() != S;
+  }
+  friend bool operator!=(std::string_view S, Symbol A) {
+    return A.view() != S;
+  }
+  friend bool operator==(Symbol A, const char *S) {
+    return A.view() == std::string_view(S);
+  }
+  friend bool operator==(const char *S, Symbol A) {
+    return A.view() == std::string_view(S);
+  }
+  friend bool operator!=(Symbol A, const char *S) {
+    return A.view() != std::string_view(S);
+  }
+  friend bool operator!=(const char *S, Symbol A) {
+    return A.view() != std::string_view(S);
+  }
+  friend bool operator==(Symbol A, const std::string &S) {
+    return A.view() == std::string_view(S);
+  }
+  friend bool operator==(const std::string &S, Symbol A) {
+    return A.view() == std::string_view(S);
+  }
+  friend bool operator!=(Symbol A, const std::string &S) {
+    return A.view() != std::string_view(S);
+  }
+  friend bool operator!=(const std::string &S, Symbol A) {
+    return A.view() != std::string_view(S);
+  }
+
+private:
+  SymbolId Id = 0;
+};
+
+/// gtest / logging support.
+inline std::ostream &operator<<(std::ostream &OS, Symbol S) {
+  return OS << S.view();
+}
+
+} // namespace asyncg
+
+#endif // ASYNCG_SUPPORT_SYMBOLTABLE_H

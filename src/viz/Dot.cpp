@@ -59,7 +59,7 @@ std::string asyncg::viz::toDot(const AsyncGraph &G, const DotOptions &Opts) {
         Skipped.insert(N);
         continue;
       }
-      std::string Label = Node.Label;
+      std::string Label = Node.Label.str();
       bool HasWarning = Warned.count(N) != 0;
       if (HasWarning)
         Label = "(!) " + Label;
@@ -102,7 +102,7 @@ std::string asyncg::viz::toDot(const AsyncGraph &G, const DotOptions &Opts) {
                        Extra);
     else
       Out += strFormat("  n%u -> n%u [style=%s%s, label=\"%s\"];\n", E.From,
-                       E.To, Style, Extra, escapeString(E.Label).c_str());
+                       E.To, Style, Extra, escapeString(E.Label.view()).c_str());
   }
 
   Out += "}\n";

@@ -307,4 +307,112 @@ TEST(Instrumentation, MultipleAnalysesAllReceiveEvents) {
   EXPECT_GT(A1.Enters, 0);
 }
 
+/// Detaches a chosen analysis from inside its own onApiCall hook.
+class DetachingAnalysis : public instr::AnalysisBase {
+public:
+  const char *analysisName() const override { return "detaching"; }
+  void onApiCall(const instr::ApiCallEvent &) override {
+    ++ApiCalls;
+    if (Reg && Victim) {
+      Reg->detach(Victim);
+      Victim = nullptr;
+    }
+  }
+  instr::HookRegistry *Reg = nullptr;
+  instr::AnalysisBase *Victim = nullptr;
+  int ApiCalls = 0;
+};
+
+TEST(Instrumentation, SelfDetachDuringFireIsSafe) {
+  // Regression: detach used to erase from the vector the fire loop was
+  // iterating, invalidating the loop. Now it nulls the slot and compacts
+  // after the outermost fire returns.
+  instr::HookRegistry Reg;
+  CountingAnalysis Before, After;
+  DetachingAnalysis Self;
+  Reg.attach(&Before);
+  Reg.attach(&Self);
+  Reg.attach(&After);
+  Self.Reg = &Reg;
+  Self.Victim = &Self;
+
+  instr::ApiCallEvent E;
+  Reg.fireApiCall(E);
+  // Everyone saw the in-flight event, including analyses after the
+  // detached slot.
+  EXPECT_EQ(Before.ApiCalls, 1);
+  EXPECT_EQ(Self.ApiCalls, 1);
+  EXPECT_EQ(After.ApiCalls, 1);
+  EXPECT_EQ(Reg.size(), 2u);
+
+  Reg.fireApiCall(E);
+  EXPECT_EQ(Self.ApiCalls, 1); // detached: no further events
+  EXPECT_EQ(Before.ApiCalls, 2);
+  EXPECT_EQ(After.ApiCalls, 2);
+}
+
+TEST(Instrumentation, DetachLaterAnalysisDuringFireSkipsIt) {
+  instr::HookRegistry Reg;
+  DetachingAnalysis First;
+  CountingAnalysis Last;
+  Reg.attach(&First);
+  Reg.attach(&Last);
+  First.Reg = &Reg;
+  First.Victim = &Last;
+
+  instr::ApiCallEvent E;
+  Reg.fireApiCall(E);
+  // Last's slot was nulled before the loop reached it: not invoked for
+  // the event that caused its detach.
+  EXPECT_EQ(First.ApiCalls, 1);
+  EXPECT_EQ(Last.ApiCalls, 0);
+  EXPECT_EQ(Reg.size(), 1u);
+
+  Reg.fireApiCall(E);
+  EXPECT_EQ(First.ApiCalls, 2);
+  EXPECT_EQ(Last.ApiCalls, 0);
+}
+
+TEST(Instrumentation, EmptyRegistryConstructsNoEvents) {
+  // The hot-path contract: with no analyses attached, hook sites must not
+  // even build the event structs (their default ctors count themselves).
+  auto Workload = [](Runtime &R) {
+    R.nextTick(JSLOC, R.makeBuiltin("t", [](Runtime &, const CallArgs &) {
+      return Completion::normal();
+    }));
+    R.setTimeout(JSLOC,
+                 R.makeBuiltin("timer",
+                               [](Runtime &, const CallArgs &) {
+                                 return Completion::normal();
+                               }),
+                 1);
+    EmitterRef Em = R.emitterCreate(JSLOC);
+    R.emitterOn(JSLOC, Em, "evt",
+                R.makeBuiltin("l", [](Runtime &, const CallArgs &) {
+                  return Completion::normal();
+                }));
+    R.emitterEmit(JSLOC, Em, "evt", {});
+    PromiseRef P = R.promiseResolvedWith(JSLOC, Value::number(1));
+    R.promiseThen(JSLOC, P,
+                  R.makeBuiltin("then", [](Runtime &, const CallArgs &A) {
+                    return Completion::normal(A.arg(0));
+                  }));
+  };
+
+  {
+    Runtime RT;
+    instr::resetConstructedEventCount();
+    runMain(RT, Workload);
+    EXPECT_EQ(instr::constructedEventCount(), 0u);
+  }
+  {
+    Runtime RT;
+    AsyncGBuilder B;
+    RT.hooks().attach(&B);
+    instr::resetConstructedEventCount();
+    runMain(RT, Workload);
+    EXPECT_GT(instr::constructedEventCount(), 0u);
+  }
+}
+
 } // namespace

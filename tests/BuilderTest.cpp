@@ -368,7 +368,7 @@ TEST(Builder, AwaitAppearsAsRegistrationAndResumption) {
   auto Execs = G.executionsOf(Cr->Sched);
   ASSERT_EQ(Execs.size(), 1u);
   const AgNode &Ce = G.node(Execs.front());
-  EXPECT_NE(Ce.Label.find("myAsyncFn (resumed)"), std::string::npos);
+  EXPECT_NE(Ce.Label.view().find("myAsyncFn (resumed)"), std::string_view::npos);
   // The resumption runs in a promise micro-tick.
   for (const AgTick &T : G.ticks()) {
     if (T.Index == Ce.Tick) {

@@ -39,7 +39,7 @@ TEST_P(CaseDetection, BuggyVariantDetected) {
       << R.Warnings.size() << " warnings";
   for (const ag::Warning &W : R.Warnings)
     SCOPED_TRACE(std::string(ag::bugCategoryName(W.Category)) + ": " +
-                 W.Message);
+                 W.Message.str());
 }
 
 TEST_P(CaseDetection, FixedVariantClean) {

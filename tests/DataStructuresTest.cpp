@@ -8,8 +8,13 @@
 #include "ag/Builder.h"
 #include "ag/Graph.h"
 #include "jsrt/TimerHeap.h"
+#include "support/FlatMap.h"
+#include "support/SymbolTable.h"
 
 #include <gtest/gtest.h>
+
+#include <map>
+#include <random>
 
 using namespace asyncg;
 using namespace asyncg::ag;
@@ -150,6 +155,198 @@ TEST(Graph, TickNames) {
   EXPECT_EQ(T.name(), "t3: io");
   T.Phase = PhaseKind::Check;
   EXPECT_EQ(T.name(), "t3: immediate");
+}
+
+//===----------------------------------------------------------------------===//
+// FlatMap (open addressing, backward-shift deletion) vs std::map oracle
+//===----------------------------------------------------------------------===//
+
+TEST(FlatMap, BasicInsertFindErase) {
+  FlatMap<uint64_t, int> M;
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.find(7), nullptr);
+  M[7] = 42;
+  ASSERT_NE(M.find(7), nullptr);
+  EXPECT_EQ(*M.find(7), 42);
+  EXPECT_EQ(M.size(), 1u);
+  M[7] = 43; // overwrite, not duplicate
+  EXPECT_EQ(*M.find(7), 43);
+  EXPECT_EQ(M.size(), 1u);
+  EXPECT_TRUE(M.erase(7));
+  EXPECT_FALSE(M.erase(7));
+  EXPECT_EQ(M.find(7), nullptr);
+  EXPECT_TRUE(M.empty());
+}
+
+TEST(FlatMap, GrowthPreservesEntries) {
+  FlatMap<uint32_t, uint32_t> M;
+  const uint32_t N = 10000; // forces many rehashes from the 16-slot start
+  for (uint32_t I = 0; I < N; ++I)
+    M[I * 2654435761u] = I;
+  EXPECT_EQ(M.size(), N);
+  for (uint32_t I = 0; I < N; ++I) {
+    const uint32_t *V = M.find(I * 2654435761u);
+    ASSERT_NE(V, nullptr);
+    EXPECT_EQ(*V, I);
+  }
+}
+
+TEST(FlatMap, RandomOpsMatchStdMapOracle) {
+  // Property test: a random interleaving of insert / overwrite / erase /
+  // lookup must agree with std::map at every step. Keys are drawn from a
+  // small range so collisions, tombstone-free deletions, and re-insertion
+  // into shifted slots all get exercised.
+  std::mt19937 Rng(0xA5CEC5u);
+  FlatMap<uint64_t, uint64_t> M;
+  std::map<uint64_t, uint64_t> Oracle;
+  for (int Step = 0; Step < 20000; ++Step) {
+    uint64_t Key = Rng() % 512;
+    switch (Rng() % 4) {
+    case 0:
+    case 1: { // insert / overwrite
+      uint64_t Val = Rng();
+      M[Key] = Val;
+      Oracle[Key] = Val;
+      break;
+    }
+    case 2: { // erase
+      bool Erased = M.erase(Key);
+      EXPECT_EQ(Erased, Oracle.erase(Key) == 1u);
+      break;
+    }
+    case 3: { // lookup
+      const uint64_t *V = M.find(Key);
+      auto It = Oracle.find(Key);
+      if (It == Oracle.end()) {
+        EXPECT_EQ(V, nullptr);
+      } else {
+        ASSERT_NE(V, nullptr);
+        EXPECT_EQ(*V, It->second);
+      }
+      break;
+    }
+    }
+    ASSERT_EQ(M.size(), Oracle.size());
+  }
+  // Final sweep: every surviving key agrees; iteration sees each exactly
+  // once.
+  std::map<uint64_t, uint64_t> Seen;
+  for (const auto &[K, V] : M) {
+    EXPECT_TRUE(Seen.emplace(K, V).second);
+  }
+  EXPECT_EQ(Seen, Oracle);
+  EXPECT_GT(M.memoryUsage(), 0u);
+}
+
+TEST(FlatMap, ReserveAvoidsRehash) {
+  FlatMap<uint64_t, uint64_t> M;
+  M.reserve(1000);
+  size_t Cap = M.capacity();
+  for (uint64_t I = 0; I < 1000; ++I)
+    M[I] = I;
+  EXPECT_EQ(M.capacity(), Cap);
+  M.clear();
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.find(5), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// SymbolTable / Symbol
+//===----------------------------------------------------------------------===//
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable T;
+  SymbolId A = T.intern("setTimeout");
+  SymbolId B = T.intern("setTimeout");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, T.intern("nextTick"));
+  EXPECT_EQ(T.intern(""), 0u); // id 0 is always the empty string
+}
+
+TEST(SymbolTable, IdsStableAcrossGrowth) {
+  // Interning thousands of strings forces both arena-chunk and hash-table
+  // growth; previously handed-out ids must keep resolving to their bytes.
+  SymbolTable T;
+  std::vector<SymbolId> Ids;
+  std::vector<std::string> Strs;
+  for (int I = 0; I < 5000; ++I) {
+    Strs.push_back("label-" + std::to_string(I));
+    Ids.push_back(T.intern(Strs.back()));
+  }
+  for (int I = 0; I < 5000; ++I) {
+    EXPECT_EQ(T.view(Ids[I]), Strs[I]);
+    EXPECT_EQ(T.intern(Strs[I]), Ids[I]); // still idempotent after growth
+  }
+  EXPECT_EQ(T.size(), 5001u); // + the empty string
+  EXPECT_GT(T.memoryUsage(), 0u);
+}
+
+TEST(SymbolTable, ResolveRoundTrip) {
+  SymbolTable T;
+  SymbolId Id = T.intern("on('data')");
+  EXPECT_EQ(T.view(Id), "on('data')");
+  EXPECT_STREQ(T.c_str(Id), "on('data')"); // arena strings are terminated
+  // Long strings larger than one arena chunk still round-trip.
+  std::string Big(200000, 'x');
+  SymbolId BigId = T.intern(Big);
+  EXPECT_EQ(T.view(BigId), Big);
+}
+
+TEST(SymbolValue, ComparesAndConverts) {
+  Symbol A = "data";
+  Symbol B = std::string("data");
+  Symbol C = "error";
+  EXPECT_EQ(A, B); // same id, integer compare
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A, "data"); // text compare against non-interned strings
+  EXPECT_NE(A, "err");
+  EXPECT_EQ(A.str(), "data");
+  EXPECT_TRUE(Symbol().empty());
+  EXPECT_EQ(Symbol::fromId(A.id()), A);
+}
+
+//===----------------------------------------------------------------------===//
+// Pooled adjacency (EdgeRange) and the memory footprint accessor
+//===----------------------------------------------------------------------===//
+
+TEST(Graph, EdgeRangeIterationMatchesInsertion) {
+  AsyncGraph G;
+  AgTick T;
+  T.Index = 1;
+  NodeId Hub = G.addNode(node(NodeKind::CR), T);
+  std::vector<NodeId> Spokes;
+  for (int I = 0; I < 40; ++I)
+    Spokes.push_back(G.addNode(node(NodeKind::CE), T));
+  G.appendTick(T);
+  for (NodeId S : Spokes)
+    G.addEdge(Hub, S, EdgeKind::Causal);
+
+  auto Range = G.outEdges(Hub);
+  EXPECT_FALSE(Range.empty());
+  ASSERT_EQ(Range.size(), Spokes.size());
+  size_t I = 0;
+  for (uint32_t EdgeId : Range) { // pooled lists keep insertion order
+    EXPECT_EQ(G.edge(EdgeId).To, Spokes[I]);
+    ++I;
+  }
+  EXPECT_EQ(I, Spokes.size());
+  for (NodeId S : Spokes)
+    EXPECT_EQ(G.inEdges(S).size(), 1u);
+}
+
+TEST(Graph, MemoryFootprintGrowsWithContent) {
+  AsyncGraph G;
+  size_t Empty = G.memoryFootprint();
+  AgTick T;
+  T.Index = 1;
+  NodeId Prev = G.addNode(node(NodeKind::CR), T);
+  for (int I = 0; I < 1000; ++I) {
+    NodeId N = G.addNode(node(NodeKind::CE), T);
+    G.addEdge(Prev, N, EdgeKind::Causal);
+    Prev = N;
+  }
+  G.appendTick(T);
+  EXPECT_GT(G.memoryFootprint(), Empty);
 }
 
 TEST(QueueMicrotask, RunsAfterNextTickBeforeMacro) {

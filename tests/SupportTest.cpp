@@ -95,7 +95,7 @@ TEST(SourceLocation, Equality) {
 
 TEST(SourceLocation, JslocMacro) {
   SourceLocation L = JSLOC;
-  EXPECT_TRUE(endsWith(L.file(), "SupportTest.cpp"));
+  EXPECT_TRUE(endsWith(std::string(L.file()), "SupportTest.cpp"));
   EXPECT_GT(L.line(), 0u);
 }
 

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+#===- tools/bench_smoke.sh - build + run the JSON-emitting micro benches ---===#
+#
+# Part of AsyncG-C++. MIT License.
+#
+# Smoke-checks the benchmark JSON pipeline: configures a Release build,
+# runs micro_ag and micro_eventloop with --json, and validates that each
+# emitted BENCH_<name>.json matches the BenchReport schema
+# (bench / config / metrics[{name, value, unit}]). Exits non-zero on any
+# build, run, or schema failure.
+#
+# Usage: tools/bench_smoke.sh [build-dir]   (default: build-bench-smoke)
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-bench-smoke}"
+OUT_DIR="$BUILD_DIR/bench-json"
+
+echo "== configuring Release build in $BUILD_DIR"
+cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
+
+echo "== building micro_ag + micro_eventloop"
+cmake --build "$BUILD_DIR" --target micro_ag micro_eventloop -j >/dev/null
+
+mkdir -p "$OUT_DIR"
+
+run_bench() {
+  local name="$1"
+  local json="$OUT_DIR/BENCH_${name}.json"
+  echo "== running $name --json $json"
+  "$BUILD_DIR/bench/$name" --json "$json" --benchmark_min_time=0.01 \
+    >/dev/null
+  [ -s "$json" ] || { echo "FAIL: $json missing or empty"; exit 1; }
+}
+
+run_bench micro_ag
+run_bench micro_eventloop
+
+echo "== validating schema"
+python3 - "$OUT_DIR"/BENCH_*.json <<'EOF'
+import json
+import sys
+
+failed = False
+for path in sys.argv[1:]:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        assert isinstance(doc, dict), "top level must be an object"
+        assert isinstance(doc.get("bench"), str) and doc["bench"], \
+            "missing 'bench' name"
+        assert isinstance(doc.get("config"), dict), "missing 'config' object"
+        metrics = doc.get("metrics")
+        assert isinstance(metrics, list) and metrics, \
+            "'metrics' must be a non-empty array"
+        for m in metrics:
+            assert isinstance(m.get("name"), str) and m["name"], \
+                "metric missing 'name'"
+            assert isinstance(m.get("value"), (int, float)), \
+                "metric missing numeric 'value'"
+            assert isinstance(m.get("unit"), str) and m["unit"], \
+                "metric missing 'unit'"
+        print(f"ok   {path} ({len(metrics)} metrics)")
+    except Exception as e:
+        print(f"FAIL {path}: {e}")
+        failed = True
+sys.exit(1 if failed else 0)
+EOF
+
+echo "== bench smoke OK"
