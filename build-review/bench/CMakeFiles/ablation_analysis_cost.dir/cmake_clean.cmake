@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_analysis_cost.dir/ablation_analysis_cost.cpp.o"
+  "CMakeFiles/ablation_analysis_cost.dir/ablation_analysis_cost.cpp.o.d"
+  "ablation_analysis_cost"
+  "ablation_analysis_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_analysis_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

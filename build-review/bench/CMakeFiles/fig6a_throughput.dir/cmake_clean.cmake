@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_throughput.dir/fig6a_throughput.cpp.o"
+  "CMakeFiles/fig6a_throughput.dir/fig6a_throughput.cpp.o.d"
+  "fig6a_throughput"
+  "fig6a_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

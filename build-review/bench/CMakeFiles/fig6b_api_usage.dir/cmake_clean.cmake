@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_api_usage.dir/fig6b_api_usage.cpp.o"
+  "CMakeFiles/fig6b_api_usage.dir/fig6b_api_usage.cpp.o.d"
+  "fig6b_api_usage"
+  "fig6b_api_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_api_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ag.dir/micro_ag.cpp.o"
+  "CMakeFiles/micro_ag.dir/micro_ag.cpp.o.d"
+  "micro_ag"
+  "micro_ag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

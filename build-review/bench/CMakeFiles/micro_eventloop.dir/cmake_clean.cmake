@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_eventloop.dir/micro_eventloop.cpp.o"
+  "CMakeFiles/micro_eventloop.dir/micro_eventloop.cpp.o.d"
+  "micro_eventloop"
+  "micro_eventloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_eventloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/scaling_graph_growth.cpp" "bench/CMakeFiles/scaling_graph_growth.dir/scaling_graph_growth.cpp.o" "gcc" "bench/CMakeFiles/scaling_graph_growth.dir/scaling_graph_growth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/cases/CMakeFiles/asyncg_cases.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/apps/acmeair/CMakeFiles/asyncg_acmeair.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/viz/CMakeFiles/asyncg_viz.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/detect/CMakeFiles/asyncg_detect.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ag/CMakeFiles/asyncg_ag.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/asyncg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/node/CMakeFiles/asyncg_node.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/jsrt/CMakeFiles/asyncg_jsrt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/asyncg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/instr/CMakeFiles/asyncg_instr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/asyncg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_graph_growth.dir/scaling_graph_growth.cpp.o"
+  "CMakeFiles/scaling_graph_growth.dir/scaling_graph_growth.cpp.o.d"
+  "scaling_graph_growth"
+  "scaling_graph_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_graph_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

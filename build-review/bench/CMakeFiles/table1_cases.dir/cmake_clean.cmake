@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cases.dir/table1_cases.cpp.o"
+  "CMakeFiles/table1_cases.dir/table1_cases.cpp.o.d"
+  "table1_cases"
+  "table1_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

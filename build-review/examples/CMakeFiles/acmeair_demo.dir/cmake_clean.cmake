@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acmeair_demo.dir/acmeair_demo.cpp.o"
+  "CMakeFiles/acmeair_demo.dir/acmeair_demo.cpp.o.d"
+  "acmeair_demo"
+  "acmeair_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acmeair_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

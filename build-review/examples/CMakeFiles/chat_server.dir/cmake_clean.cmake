@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_server.dir/chat_server.cpp.o"
+  "CMakeFiles/chat_server.dir/chat_server.cpp.o.d"
+  "chat_server"
+  "chat_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_server_bug.dir/fig1_server_bug.cpp.o"
+  "CMakeFiles/fig1_server_bug.dir/fig1_server_bug.cpp.o.d"
+  "fig1_server_bug"
+  "fig1_server_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_server_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

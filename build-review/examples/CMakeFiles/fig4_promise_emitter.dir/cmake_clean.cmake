@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_promise_emitter.dir/fig4_promise_emitter.cpp.o"
+  "CMakeFiles/fig4_promise_emitter.dir/fig4_promise_emitter.cpp.o.d"
+  "fig4_promise_emitter"
+  "fig4_promise_emitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_promise_emitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

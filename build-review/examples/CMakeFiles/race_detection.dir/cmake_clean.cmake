@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_detection.dir/race_detection.cpp.o"
+  "CMakeFiles/race_detection.dir/race_detection.cpp.o.d"
+  "race_detection"
+  "race_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sim")
+subdirs("jsrt")
+subdirs("node")
+subdirs("instr")
+subdirs("ag")
+subdirs("detect")
+subdirs("viz")
+subdirs("baselines")
+subdirs("apps/acmeair")
+subdirs("cases")

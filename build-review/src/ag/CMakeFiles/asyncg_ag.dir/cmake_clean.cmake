@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncg_ag.dir/Builder.cpp.o"
+  "CMakeFiles/asyncg_ag.dir/Builder.cpp.o.d"
+  "CMakeFiles/asyncg_ag.dir/Graph.cpp.o"
+  "CMakeFiles/asyncg_ag.dir/Graph.cpp.o.d"
+  "libasyncg_ag.a"
+  "libasyncg_ag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncg_ag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

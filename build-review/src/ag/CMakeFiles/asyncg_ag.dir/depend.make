@@ -1,0 +1,2 @@
+# Empty dependencies file for asyncg_ag.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncg_acmeair.dir/App.cpp.o"
+  "CMakeFiles/asyncg_acmeair.dir/App.cpp.o.d"
+  "CMakeFiles/asyncg_acmeair.dir/MockMongo.cpp.o"
+  "CMakeFiles/asyncg_acmeair.dir/MockMongo.cpp.o.d"
+  "CMakeFiles/asyncg_acmeair.dir/Workload.cpp.o"
+  "CMakeFiles/asyncg_acmeair.dir/Workload.cpp.o.d"
+  "libasyncg_acmeair.a"
+  "libasyncg_acmeair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncg_acmeair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncg_baselines.dir/ApiUsageCounter.cpp.o"
+  "CMakeFiles/asyncg_baselines.dir/ApiUsageCounter.cpp.o.d"
+  "CMakeFiles/asyncg_baselines.dir/EmitterOnlyAnalyzer.cpp.o"
+  "CMakeFiles/asyncg_baselines.dir/EmitterOnlyAnalyzer.cpp.o.d"
+  "CMakeFiles/asyncg_baselines.dir/PromiseOnlyAnalyzer.cpp.o"
+  "CMakeFiles/asyncg_baselines.dir/PromiseOnlyAnalyzer.cpp.o.d"
+  "libasyncg_baselines.a"
+  "libasyncg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

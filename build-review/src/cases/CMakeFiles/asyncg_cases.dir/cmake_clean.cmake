@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncg_cases.dir/CaseRunner.cpp.o"
+  "CMakeFiles/asyncg_cases.dir/CaseRunner.cpp.o.d"
+  "CMakeFiles/asyncg_cases.dir/CasesEmitter.cpp.o"
+  "CMakeFiles/asyncg_cases.dir/CasesEmitter.cpp.o.d"
+  "CMakeFiles/asyncg_cases.dir/CasesPromise.cpp.o"
+  "CMakeFiles/asyncg_cases.dir/CasesPromise.cpp.o.d"
+  "CMakeFiles/asyncg_cases.dir/CasesScheduling.cpp.o"
+  "CMakeFiles/asyncg_cases.dir/CasesScheduling.cpp.o.d"
+  "CMakeFiles/asyncg_cases.dir/Registry.cpp.o"
+  "CMakeFiles/asyncg_cases.dir/Registry.cpp.o.d"
+  "libasyncg_cases.a"
+  "libasyncg_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncg_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for asyncg_cases.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncg_detect.dir/AgQueries.cpp.o"
+  "CMakeFiles/asyncg_detect.dir/AgQueries.cpp.o.d"
+  "CMakeFiles/asyncg_detect.dir/EmitterDetectors.cpp.o"
+  "CMakeFiles/asyncg_detect.dir/EmitterDetectors.cpp.o.d"
+  "CMakeFiles/asyncg_detect.dir/PromiseDetectors.cpp.o"
+  "CMakeFiles/asyncg_detect.dir/PromiseDetectors.cpp.o.d"
+  "CMakeFiles/asyncg_detect.dir/RaceDetector.cpp.o"
+  "CMakeFiles/asyncg_detect.dir/RaceDetector.cpp.o.d"
+  "CMakeFiles/asyncg_detect.dir/SchedulingDetectors.cpp.o"
+  "CMakeFiles/asyncg_detect.dir/SchedulingDetectors.cpp.o.d"
+  "libasyncg_detect.a"
+  "libasyncg_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncg_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

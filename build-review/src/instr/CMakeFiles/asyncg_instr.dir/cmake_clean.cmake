@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncg_instr.dir/Hooks.cpp.o"
+  "CMakeFiles/asyncg_instr.dir/Hooks.cpp.o.d"
+  "libasyncg_instr.a"
+  "libasyncg_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncg_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jsrt/Runtime.cpp" "src/jsrt/CMakeFiles/asyncg_jsrt.dir/Runtime.cpp.o" "gcc" "src/jsrt/CMakeFiles/asyncg_jsrt.dir/Runtime.cpp.o.d"
+  "/root/repo/src/jsrt/TimerHeap.cpp" "src/jsrt/CMakeFiles/asyncg_jsrt.dir/TimerHeap.cpp.o" "gcc" "src/jsrt/CMakeFiles/asyncg_jsrt.dir/TimerHeap.cpp.o.d"
+  "/root/repo/src/jsrt/Value.cpp" "src/jsrt/CMakeFiles/asyncg_jsrt.dir/Value.cpp.o" "gcc" "src/jsrt/CMakeFiles/asyncg_jsrt.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/asyncg_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/asyncg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/instr/CMakeFiles/asyncg_instr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncg_jsrt.dir/Runtime.cpp.o"
+  "CMakeFiles/asyncg_jsrt.dir/Runtime.cpp.o.d"
+  "CMakeFiles/asyncg_jsrt.dir/TimerHeap.cpp.o"
+  "CMakeFiles/asyncg_jsrt.dir/TimerHeap.cpp.o.d"
+  "CMakeFiles/asyncg_jsrt.dir/Value.cpp.o"
+  "CMakeFiles/asyncg_jsrt.dir/Value.cpp.o.d"
+  "libasyncg_jsrt.a"
+  "libasyncg_jsrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncg_jsrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasyncg_jsrt.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/Events.cpp" "src/node/CMakeFiles/asyncg_node.dir/Events.cpp.o" "gcc" "src/node/CMakeFiles/asyncg_node.dir/Events.cpp.o.d"
+  "/root/repo/src/node/Fs.cpp" "src/node/CMakeFiles/asyncg_node.dir/Fs.cpp.o" "gcc" "src/node/CMakeFiles/asyncg_node.dir/Fs.cpp.o.d"
+  "/root/repo/src/node/Http.cpp" "src/node/CMakeFiles/asyncg_node.dir/Http.cpp.o" "gcc" "src/node/CMakeFiles/asyncg_node.dir/Http.cpp.o.d"
+  "/root/repo/src/node/Net.cpp" "src/node/CMakeFiles/asyncg_node.dir/Net.cpp.o" "gcc" "src/node/CMakeFiles/asyncg_node.dir/Net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/jsrt/CMakeFiles/asyncg_jsrt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/asyncg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/instr/CMakeFiles/asyncg_instr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/asyncg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncg_node.dir/Events.cpp.o"
+  "CMakeFiles/asyncg_node.dir/Events.cpp.o.d"
+  "CMakeFiles/asyncg_node.dir/Fs.cpp.o"
+  "CMakeFiles/asyncg_node.dir/Fs.cpp.o.d"
+  "CMakeFiles/asyncg_node.dir/Http.cpp.o"
+  "CMakeFiles/asyncg_node.dir/Http.cpp.o.d"
+  "CMakeFiles/asyncg_node.dir/Net.cpp.o"
+  "CMakeFiles/asyncg_node.dir/Net.cpp.o.d"
+  "libasyncg_node.a"
+  "libasyncg_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncg_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

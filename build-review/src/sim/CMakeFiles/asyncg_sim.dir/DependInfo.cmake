@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/FileSystem.cpp" "src/sim/CMakeFiles/asyncg_sim.dir/FileSystem.cpp.o" "gcc" "src/sim/CMakeFiles/asyncg_sim.dir/FileSystem.cpp.o.d"
+  "/root/repo/src/sim/Kernel.cpp" "src/sim/CMakeFiles/asyncg_sim.dir/Kernel.cpp.o" "gcc" "src/sim/CMakeFiles/asyncg_sim.dir/Kernel.cpp.o.d"
+  "/root/repo/src/sim/Network.cpp" "src/sim/CMakeFiles/asyncg_sim.dir/Network.cpp.o" "gcc" "src/sim/CMakeFiles/asyncg_sim.dir/Network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/asyncg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncg_sim.dir/FileSystem.cpp.o"
+  "CMakeFiles/asyncg_sim.dir/FileSystem.cpp.o.d"
+  "CMakeFiles/asyncg_sim.dir/Kernel.cpp.o"
+  "CMakeFiles/asyncg_sim.dir/Kernel.cpp.o.d"
+  "CMakeFiles/asyncg_sim.dir/Network.cpp.o"
+  "CMakeFiles/asyncg_sim.dir/Network.cpp.o.d"
+  "libasyncg_sim.a"
+  "libasyncg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

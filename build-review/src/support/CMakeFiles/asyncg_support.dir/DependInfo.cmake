@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Format.cpp" "src/support/CMakeFiles/asyncg_support.dir/Format.cpp.o" "gcc" "src/support/CMakeFiles/asyncg_support.dir/Format.cpp.o.d"
+  "/root/repo/src/support/JsonWriter.cpp" "src/support/CMakeFiles/asyncg_support.dir/JsonWriter.cpp.o" "gcc" "src/support/CMakeFiles/asyncg_support.dir/JsonWriter.cpp.o.d"
+  "/root/repo/src/support/Statistic.cpp" "src/support/CMakeFiles/asyncg_support.dir/Statistic.cpp.o" "gcc" "src/support/CMakeFiles/asyncg_support.dir/Statistic.cpp.o.d"
+  "/root/repo/src/support/SymbolTable.cpp" "src/support/CMakeFiles/asyncg_support.dir/SymbolTable.cpp.o" "gcc" "src/support/CMakeFiles/asyncg_support.dir/SymbolTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncg_support.dir/Format.cpp.o"
+  "CMakeFiles/asyncg_support.dir/Format.cpp.o.d"
+  "CMakeFiles/asyncg_support.dir/JsonWriter.cpp.o"
+  "CMakeFiles/asyncg_support.dir/JsonWriter.cpp.o.d"
+  "CMakeFiles/asyncg_support.dir/Statistic.cpp.o"
+  "CMakeFiles/asyncg_support.dir/Statistic.cpp.o.d"
+  "CMakeFiles/asyncg_support.dir/SymbolTable.cpp.o"
+  "CMakeFiles/asyncg_support.dir/SymbolTable.cpp.o.d"
+  "libasyncg_support.a"
+  "libasyncg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncg_viz.dir/Dot.cpp.o"
+  "CMakeFiles/asyncg_viz.dir/Dot.cpp.o.d"
+  "CMakeFiles/asyncg_viz.dir/Html.cpp.o"
+  "CMakeFiles/asyncg_viz.dir/Html.cpp.o.d"
+  "CMakeFiles/asyncg_viz.dir/JsonDump.cpp.o"
+  "CMakeFiles/asyncg_viz.dir/JsonDump.cpp.o.d"
+  "CMakeFiles/asyncg_viz.dir/TextReport.cpp.o"
+  "CMakeFiles/asyncg_viz.dir/TextReport.cpp.o.d"
+  "libasyncg_viz.a"
+  "libasyncg_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncg_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

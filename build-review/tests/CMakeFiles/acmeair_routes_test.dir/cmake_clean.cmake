@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acmeair_routes_test.dir/AcmeAirRoutesTest.cpp.o"
+  "CMakeFiles/acmeair_routes_test.dir/AcmeAirRoutesTest.cpp.o.d"
+  "acmeair_routes_test"
+  "acmeair_routes_test.pdb"
+  "acmeair_routes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acmeair_routes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acmeair_test.dir/AcmeAirTest.cpp.o"
+  "CMakeFiles/acmeair_test.dir/AcmeAirTest.cpp.o.d"
+  "acmeair_test"
+  "acmeair_test.pdb"
+  "acmeair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acmeair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyses_test.dir/AnalysesTest.cpp.o"
+  "CMakeFiles/analyses_test.dir/AnalysesTest.cpp.o.d"
+  "analyses_test"
+  "analyses_test.pdb"
+  "analyses_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

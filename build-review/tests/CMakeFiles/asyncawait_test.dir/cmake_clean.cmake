@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncawait_test.dir/AsyncAwaitTest.cpp.o"
+  "CMakeFiles/asyncawait_test.dir/AsyncAwaitTest.cpp.o.d"
+  "asyncawait_test"
+  "asyncawait_test.pdb"
+  "asyncawait_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncawait_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cases_test.dir/CasesTest.cpp.o"
+  "CMakeFiles/cases_test.dir/CasesTest.cpp.o.d"
+  "cases_test"
+  "cases_test.pdb"
+  "cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datastructures_test.dir/DataStructuresTest.cpp.o"
+  "CMakeFiles/datastructures_test.dir/DataStructuresTest.cpp.o.d"
+  "datastructures_test"
+  "datastructures_test.pdb"
+  "datastructures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datastructures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

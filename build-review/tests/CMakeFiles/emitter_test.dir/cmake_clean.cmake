@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emitter_test.dir/EmitterTest.cpp.o"
+  "CMakeFiles/emitter_test.dir/EmitterTest.cpp.o.d"
+  "emitter_test"
+  "emitter_test.pdb"
+  "emitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventloop_test.dir/EventLoopTest.cpp.o"
+  "CMakeFiles/eventloop_test.dir/EventLoopTest.cpp.o.d"
+  "eventloop_test"
+  "eventloop_test.pdb"
+  "eventloop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventloop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsrt_smoke_test.dir/JsrtSmokeTest.cpp.o"
+  "CMakeFiles/jsrt_smoke_test.dir/JsrtSmokeTest.cpp.o.d"
+  "jsrt_smoke_test"
+  "jsrt_smoke_test.pdb"
+  "jsrt_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsrt_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

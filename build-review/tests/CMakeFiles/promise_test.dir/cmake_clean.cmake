@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promise_test.dir/PromiseTest.cpp.o"
+  "CMakeFiles/promise_test.dir/PromiseTest.cpp.o.d"
+  "promise_test"
+  "promise_test.pdb"
+  "promise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

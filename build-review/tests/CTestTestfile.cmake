@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/jsrt_smoke_test[1]_include.cmake")
+include("/root/repo/build-review/tests/cases_test[1]_include.cmake")
+include("/root/repo/build-review/tests/acmeair_test[1]_include.cmake")
+include("/root/repo/build-review/tests/support_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/value_test[1]_include.cmake")
+include("/root/repo/build-review/tests/eventloop_test[1]_include.cmake")
+include("/root/repo/build-review/tests/promise_test[1]_include.cmake")
+include("/root/repo/build-review/tests/emitter_test[1]_include.cmake")
+include("/root/repo/build-review/tests/asyncawait_test[1]_include.cmake")
+include("/root/repo/build-review/tests/node_test[1]_include.cmake")
+include("/root/repo/build-review/tests/builder_test[1]_include.cmake")
+include("/root/repo/build-review/tests/detector_test[1]_include.cmake")
+include("/root/repo/build-review/tests/property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/viz_test[1]_include.cmake")
+include("/root/repo/build-review/tests/analyses_test[1]_include.cmake")
+include("/root/repo/build-review/tests/race_detector_test[1]_include.cmake")
+include("/root/repo/build-review/tests/acmeair_routes_test[1]_include.cmake")
+include("/root/repo/build-review/tests/datastructures_test[1]_include.cmake")
+include("/root/repo/build-review/tests/stress_test[1]_include.cmake")
+include("/root/repo/build-review/tests/paper_examples_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncg_cli.dir/asyncg_cli.cpp.o"
+  "CMakeFiles/asyncg_cli.dir/asyncg_cli.cpp.o.d"
+  "asyncg_cli"
+  "asyncg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
