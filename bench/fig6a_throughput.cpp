@@ -7,9 +7,21 @@
 // Fig. 6(a): AcmeAir server throughput (client requests per second) under
 // three instrumentation settings:
 //
-//   baseline     — AsyncG disabled (no analysis attached)
-//   nopromise    — AsyncG without promise tracking
-//   withpromise  — full AsyncG (graph + all detectors)
+//   baseline           — AsyncG disabled (no analysis attached)
+//   nopromise          — AsyncG without promise tracking
+//   withpromise        — full AsyncG (graph + all detectors), built inline
+//   nopromise-async    — nopromise behind the off-thread pipeline
+//   withpromise-async  — full AsyncG behind the off-thread pipeline: the
+//                        loop thread only encodes events into the SPSC
+//                        ring; graph + detectors run on the builder thread
+//
+// The async settings use DrainMode::Deferred (records buffer in the ring
+// during the serving window; the builder thread drains at flush), which is
+// the right shape for this single-core container — a concurrent drain
+// would just time-slice against the loop thread. Two numbers are reported
+// for them: the serving window (time until the last request completes,
+// the Fig. 6(a) requests/second definition) and the completion window
+// (serving + drain until the graph is final).
 //
 // The paper reports ~2x slowdown for nopromise and ~10x for withpromise on
 // GraalVM; absolute factors here depend on the simulator's work-to-analysis
@@ -19,6 +31,7 @@
 
 #include "BenchReport.h"
 
+#include "ag/AsyncPipeline.h"
 #include "ag/Builder.h"
 #include "apps/acmeair/App.h"
 #include "apps/acmeair/Workload.h"
@@ -27,6 +40,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 
 using namespace asyncg;
 using namespace asyncg::jsrt;
@@ -38,9 +52,19 @@ struct Setting {
   const char *Name;
   bool Attach;
   bool TrackPromises;
+  ag::PipelineMode Mode = ag::PipelineMode::Synchronous;
 };
 
-double runSetting(const Setting &S, uint64_t Requests, bool PromiseApp) {
+struct SettingResult {
+  /// Requests/s over the serving window (last request completed).
+  double Serving = 0;
+  /// Requests/s over serving + graph-drain (async modes only differ here).
+  double Complete = 0;
+  uint64_t Records = 0;
+};
+
+SettingResult runSetting(const Setting &S, uint64_t Requests,
+                         bool PromiseApp) {
   Runtime RT;
   AppConfig ACfg;
   ACfg.UsePromises = PromiseApp;
@@ -55,8 +79,20 @@ double runSetting(const Setting &S, uint64_t Requests, bool PromiseApp) {
   ag::AsyncGBuilder Builder(BCfg);
   detect::DetectorSuite Detectors;
   Detectors.attachTo(Builder);
-  if (S.Attach)
-    RT.hooks().attach(&Builder);
+  // In async mode the builder (and its detectors) run on the pipeline's
+  // thread; the loop thread only encodes records into the ring.
+  std::unique_ptr<ag::AsyncPipeline> Pipeline;
+  if (S.Attach) {
+    if (S.Mode == ag::PipelineMode::Async) {
+      ag::PipelineConfig PCfg;
+      PCfg.Drain = ag::DrainMode::Deferred;
+      PCfg.RingCapacity = 1 << 21; // buffer the whole run if it fits
+      Pipeline = std::make_unique<ag::AsyncPipeline>(Builder, PCfg);
+      RT.hooks().attach(Pipeline.get());
+    } else {
+      RT.hooks().attach(&Builder);
+    }
+  }
 
   Function Main = RT.makeBuiltin("main", [&](Runtime &, const CallArgs &) {
     App.start(JSLOC);
@@ -66,24 +102,38 @@ double runSetting(const Setting &S, uint64_t Requests, bool PromiseApp) {
 
   auto Start = std::chrono::steady_clock::now();
   RT.main(Main);
+  auto Served = std::chrono::steady_clock::now();
+  SettingResult R;
+  if (Pipeline) {
+    Pipeline->stop(); // drain + join: the graph is complete after this
+    R.Records = Pipeline->pushedRecords();
+  }
   auto End = std::chrono::steady_clock::now();
-  double Seconds = std::chrono::duration<double>(End - Start).count();
 
   if (Driver.completed() != Requests || Driver.errors() != 0) {
     std::printf("  [%s] RUN FAILED: completed=%llu errors=%llu\n", S.Name,
                 static_cast<unsigned long long>(Driver.completed()),
                 static_cast<unsigned long long>(Driver.errors()));
-    return 0;
+    return R;
   }
-  return static_cast<double>(Requests) / Seconds;
+  R.Serving = static_cast<double>(Requests) /
+              std::chrono::duration<double>(Served - Start).count();
+  R.Complete = static_cast<double>(Requests) /
+               std::chrono::duration<double>(End - Start).count();
+  return R;
 }
 
-double best(const Setting &S, uint64_t Requests, int Reps) {
-  double Best = 0;
-  for (int I = 0; I < Reps; ++I)
-    Best = std::max(Best, runSetting(S, Requests, /*PromiseApp=*/true));
+SettingResult best(const Setting &S, uint64_t Requests, int Reps) {
+  SettingResult Best;
+  for (int I = 0; I < Reps; ++I) {
+    SettingResult R = runSetting(S, Requests, /*PromiseApp=*/true);
+    if (R.Serving > Best.Serving)
+      Best = R;
+  }
   return Best;
 }
+
+constexpr int NumSettings = 5;
 
 } // namespace
 
@@ -102,40 +152,67 @@ int main(int argc, char **argv) {
               "promise-enabled db interface\n\n",
               static_cast<unsigned long long>(Requests));
 
-  Setting Settings[] = {
-      {"baseline", false, true},
-      {"nopromise", true, false},
-      {"withpromise", true, true},
+  Setting Settings[NumSettings] = {
+      {"baseline", false, true, ag::PipelineMode::Synchronous},
+      {"nopromise", true, false, ag::PipelineMode::Synchronous},
+      {"withpromise", true, true, ag::PipelineMode::Synchronous},
+      {"nopromise-async", true, false, ag::PipelineMode::Async},
+      {"withpromise-async", true, true, ag::PipelineMode::Async},
   };
 
-  double Results[3] = {};
-  for (int I = 0; I < 3; ++I)
+  SettingResult Results[NumSettings];
+  for (int I = 0; I < NumSettings; ++I)
     Results[I] = best(Settings[I], Requests, Reps);
 
-  std::printf("%-14s %12s %12s\n", "setting", "req/s", "slowdown");
-  for (int I = 0; I < 3; ++I)
-    std::printf("%-14s %12.0f %11.2fx\n", Settings[I].Name, Results[I],
-                Results[I] > 0 ? Results[0] / Results[I] : 0.0);
+  double Base = Results[0].Serving;
+  std::printf("%-18s %12s %10s %14s\n", "setting", "req/s", "slowdown",
+              "complete-slow");
+  for (int I = 0; I < NumSettings; ++I)
+    std::printf("%-18s %12.0f %9.2fx %13.2fx\n", Settings[I].Name,
+                Results[I].Serving,
+                Results[I].Serving > 0 ? Base / Results[I].Serving : 0.0,
+                Results[I].Complete > 0 ? Base / Results[I].Complete : 0.0);
 
   std::printf("\npaper shape: baseline > nopromise (~2x slower) > "
               "withpromise (~10x slower)\n");
-  bool ShapeHolds = Results[0] > Results[1] && Results[1] > Results[2];
-  std::printf("ordering holds here: %s\n\n", ShapeHolds ? "yes" : "NO");
+  bool ShapeHolds = Results[0].Serving > Results[1].Serving &&
+                    Results[1].Serving > Results[2].Serving;
+  std::printf("ordering holds here: %s\n", ShapeHolds ? "yes" : "NO");
+
+  // The pipeline must keep the serving window substantially cheaper than
+  // inline withpromise: the loop thread only encodes ring records.
+  bool AsyncFaster = Results[4].Serving > Results[2].Serving;
+  std::printf("async serving window beats inline withpromise: %s "
+              "(%.2fx vs %.2fx slowdown; complete graph at %.2fx)\n\n",
+              AsyncFaster ? "yes" : "NO",
+              Results[4].Serving > 0 ? Base / Results[4].Serving : 0.0,
+              Results[2].Serving > 0 ? Base / Results[2].Serving : 0.0,
+              Results[4].Complete > 0 ? Base / Results[4].Complete : 0.0);
 
   if (!JsonPath.empty()) {
     benchjson::BenchReport Report("fig6a_throughput");
     Report.config("requests", static_cast<double>(Requests));
     Report.config("clients", 8.0);
     Report.config("reps", static_cast<double>(Reps));
-    for (int I = 0; I < 3; ++I) {
+    for (int I = 0; I < NumSettings; ++I) {
       Report.metric(std::string(Settings[I].Name) + "/throughput",
-                    Results[I], "req/s");
+                    Results[I].Serving, "req/s");
       Report.metric(std::string(Settings[I].Name) + "/slowdown",
-                    Results[I] > 0 ? Results[0] / Results[I] : 0.0, "x");
+                    Results[I].Serving > 0 ? Base / Results[I].Serving : 0.0,
+                    "x");
+      if (Settings[I].Mode == ag::PipelineMode::Async) {
+        Report.metric(std::string(Settings[I].Name) + "/complete_slowdown",
+                      Results[I].Complete > 0 ? Base / Results[I].Complete
+                                              : 0.0,
+                      "x");
+        Report.metric(std::string(Settings[I].Name) + "/trace_records",
+                      static_cast<double>(Results[I].Records), "records");
+      }
     }
     Report.metric("ordering_holds", ShapeHolds ? 1 : 0, "bool");
+    Report.metric("async_beats_inline", AsyncFaster ? 1 : 0, "bool");
     if (!Report.write(JsonPath))
       return 1;
   }
-  return ShapeHolds ? 0 : 1;
+  return ShapeHolds && AsyncFaster ? 0 : 1;
 }

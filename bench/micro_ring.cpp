@@ -1,0 +1,125 @@
+//===- micro_ring.cpp - SPSC ring + pipeline throughput micro bench ----------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Throughput of the async-pipeline transport layer:
+//
+//   RingPushPop/<batch>    — uncontended push/pop of 32-byte TraceRecords
+//                            in spans of <batch> (per-record cost floor)
+//   RingTransfer/<cap>     — producer thread -> consumer thread through a
+//                            ring of <cap> records, batched drain
+//   PipelineEvents         — hook-event encode + ring + decode + dispatch,
+//                            end to end through AsyncPipeline
+//
+// Reports records/s (items_per_second); run with --json for a BenchReport.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GBenchMain.h"
+
+#include "ag/AsyncPipeline.h"
+#include "support/SpscRing.h"
+#include "support/TraceFormat.h"
+
+#include <thread>
+
+using namespace asyncg;
+
+namespace {
+
+trace::TraceRecord makeRecord(uint64_t I) {
+  trace::TraceRecord R;
+  R.Op = static_cast<uint8_t>(trace::TraceOp::ObjCreate);
+  R.D64 = I;
+  R.E64 = I ^ 0x9e3779b97f4a7c15ull;
+  return R;
+}
+
+void BM_RingPushPop(benchmark::State &State) {
+  const size_t Batch = static_cast<size_t>(State.range(0));
+  SpscRing<trace::TraceRecord> Ring(1 << 12);
+  std::vector<trace::TraceRecord> Span(Batch);
+  for (size_t I = 0; I != Batch; ++I)
+    Span[I] = makeRecord(I);
+  std::vector<trace::TraceRecord> Out(Batch);
+
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Ring.tryPushAll(Span.data(), Batch));
+    benchmark::DoNotOptimize(Ring.tryPopBatch(Out.data(), Batch));
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Batch));
+}
+BENCHMARK(BM_RingPushPop)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_RingTransfer(benchmark::State &State) {
+  const size_t Capacity = static_cast<size_t>(State.range(0));
+  constexpr uint64_t Total = 1 << 20;
+
+  for (auto _ : State) {
+    SpscRing<trace::TraceRecord> Ring(Capacity);
+    std::thread Consumer([&Ring] {
+      trace::TraceRecord Buf[256];
+      uint64_t Seen = 0;
+      while (Seen != Total) {
+        size_t N = Ring.tryPopBatch(Buf, 256);
+        if (N == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        Seen += N;
+      }
+    });
+
+    trace::TraceRecord Span[4];
+    for (uint64_t I = 0; I != Total; I += 4) {
+      for (uint64_t J = 0; J != 4; ++J)
+        Span[J] = makeRecord(I + J);
+      while (!Ring.tryPushAll(Span, 4))
+        std::this_thread::yield();
+    }
+    Consumer.join();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Total));
+}
+BENCHMARK(BM_RingTransfer)->Arg(1 << 10)->Arg(1 << 16)->UseRealTime();
+
+/// Sink that only counts: isolates the pipeline transport + codec cost
+/// from graph construction.
+class CountingSink final : public instr::AnalysisBase {
+public:
+  const char *analysisName() const override { return "counting-sink"; }
+  void onObjectCreate(const instr::ObjectCreateEvent &) override { ++Seen; }
+  uint64_t Seen = 0;
+};
+
+void BM_PipelineEvents(benchmark::State &State) {
+  constexpr uint64_t Total = 1 << 18;
+  for (auto _ : State) {
+    CountingSink Sink;
+    {
+      ag::AsyncPipeline Pipeline(Sink);
+      instr::ObjectCreateEvent Ev;
+      Ev.IsPromise = true;
+      for (uint64_t I = 0; I != Total; ++I) {
+        Ev.Obj = I + 1;
+        Pipeline.onObjectCreate(Ev);
+      }
+      Pipeline.stop();
+    }
+    if (Sink.Seen != Total)
+      State.SkipWithError("pipeline lost events");
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Total));
+}
+BENCHMARK(BM_PipelineEvents)->UseRealTime();
+
+} // namespace
+
+int main(int argc, char **argv) {
+  return asyncg::benchjson::gbenchMain(argc, argv, "micro_ring");
+}

@@ -1,0 +1,134 @@
+//===- AsyncPipeline.cpp - Off-thread Async Graph construction ----------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ag/AsyncPipeline.h"
+
+#include <cassert>
+
+using namespace asyncg;
+using namespace asyncg::ag;
+
+AsyncPipeline::AsyncPipeline(instr::AnalysisBase &Sink, PipelineConfig Config)
+    : Sink(Sink), Config(Config), Ring(Config.RingCapacity) {
+  assert(Ring.capacity() >= 1024 &&
+         "ring too small for the largest event span");
+  Scratch.reserve(64);
+  Builder = std::thread([this] { consumerMain(); });
+}
+
+AsyncPipeline::~AsyncPipeline() { stop(); }
+
+void AsyncPipeline::wakeConsumer() {
+  {
+    std::lock_guard<std::mutex> Lock(WakeMutex);
+    WakeRequested = true;
+  }
+  WakeCv.notify_one();
+}
+
+void AsyncPipeline::pushScratch(bool Structural) {
+  size_t N = Scratch.size();
+  if (N == 0)
+    return;
+  const trace::TraceRecord *Data = Scratch.data();
+  if (!Ring.tryPushAll(Data, N)) {
+    if (!Structural && Config.Policy == BackpressurePolicy::Drop) {
+      DroppedEvents.fetch_add(1, std::memory_order_relaxed);
+      Scratch.clear();
+      return;
+    }
+    // Ring overflow in deferred mode: the builder thread must drain during
+    // the run after all.
+    if (Config.Drain == DrainMode::Deferred)
+      wakeConsumer();
+    do
+      std::this_thread::yield();
+    while (!Ring.tryPushAll(Data, N));
+  }
+  Pushed.fetch_add(N, std::memory_order_relaxed);
+  Scratch.clear();
+}
+
+void AsyncPipeline::flush() {
+  uint64_t Target = Pushed.load(std::memory_order_relaxed);
+  if (Config.Drain == DrainMode::Deferred)
+    wakeConsumer();
+  while (Consumed.load(std::memory_order_acquire) < Target)
+    std::this_thread::yield();
+}
+
+void AsyncPipeline::stop() {
+  if (!Builder.joinable())
+    return;
+  flush();
+  StopRequested.store(true, std::memory_order_release);
+  if (Config.Drain == DrainMode::Deferred)
+    wakeConsumer();
+  Builder.join();
+}
+
+void AsyncPipeline::consumerMain() {
+  std::vector<trace::TraceRecord> Buf(Config.DrainBatch ? Config.DrainBatch
+                                                        : 1);
+  while (true) {
+    if (Config.Drain == DrainMode::Deferred) {
+      // Park *before* touching the ring: records buffer until flush()/
+      // stop() asks for a drain or the producer overflows the ring. The
+      // flag persists across a drain pass, so a wake that arrives while
+      // we are draining just triggers one more (possibly empty) pass —
+      // never a lost request.
+      std::unique_lock<std::mutex> Lock(WakeMutex);
+      WakeCv.wait(Lock, [this] { return WakeRequested; });
+      WakeRequested = false;
+    }
+    size_t N;
+    while ((N = Ring.tryPopBatch(Buf.data(), Buf.size())) > 0) {
+      Decoder.decode(Buf.data(), N, Sink);
+      // Release so flush()'s acquire load sees the sink writes of this
+      // batch.
+      Consumed.fetch_add(N, std::memory_order_release);
+    }
+    if (StopRequested.load(std::memory_order_acquire) && Ring.emptyApprox())
+      break;
+    if (Config.Drain == DrainMode::Concurrent)
+      std::this_thread::yield();
+  }
+}
+
+void AsyncPipeline::onFunctionEnter(const instr::FunctionEnterEvent &E) {
+  Encoder.functionEnter(E, Scratch);
+  pushScratch(/*Structural=*/true);
+}
+
+void AsyncPipeline::onFunctionExit(const instr::FunctionExitEvent &E) {
+  Encoder.functionExit(E, Scratch);
+  pushScratch(/*Structural=*/true);
+}
+
+void AsyncPipeline::onApiCall(const instr::ApiCallEvent &E) {
+  Encoder.apiCall(E, Scratch);
+  pushScratch(/*Structural=*/false);
+}
+
+void AsyncPipeline::onObjectCreate(const instr::ObjectCreateEvent &E) {
+  Encoder.objectCreate(E, Scratch);
+  pushScratch(/*Structural=*/false);
+}
+
+void AsyncPipeline::onReactionResult(const instr::ReactionResultEvent &E) {
+  Encoder.reactionResult(E, Scratch);
+  pushScratch(/*Structural=*/false);
+}
+
+void AsyncPipeline::onPromiseLink(const instr::PromiseLinkEvent &E) {
+  Encoder.promiseLink(E, Scratch);
+  pushScratch(/*Structural=*/false);
+}
+
+void AsyncPipeline::onLoopEnd(const instr::LoopEndEvent &E) {
+  Encoder.loopEnd(E, Scratch);
+  pushScratch(/*Structural=*/true);
+}

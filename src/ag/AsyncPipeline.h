@@ -1,0 +1,174 @@
+//===- AsyncPipeline.h - Off-thread Async Graph construction ----*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Moves Async Graph construction off the event-loop thread. The pipeline
+/// attaches to the hook registry like any analysis, but instead of building
+/// the graph inline it encodes each event into fixed-size trace records
+/// (instr/TraceCodec.h) and pushes them through a lock-free SPSC ring
+/// (support/SpscRing.h); a dedicated builder thread drains the ring in
+/// batches and drives the wrapped sink — normally an ag::AsyncGBuilder with
+/// its detectors attached as graph observers.
+///
+/// What the loop thread pays per event is therefore just the encode (a few
+/// stores into a scratch vector, no allocation in steady state) plus one
+/// release store; graph nodes, label interning, FlatMap probes, and
+/// detector work all happen on the builder thread.
+///
+/// Backpressure when the ring is full is selectable:
+///  - Block (default): spin-yield until space frees up. Lossless.
+///  - Drop: discard the event and bump droppedEvents(). Only *decoration*
+///    events (API calls, object creation, reaction results, promise links)
+///    are droppable; structural records — function enter/exit and loop end,
+///    which keep the builder's shadow stack balanced — always block.
+///
+/// flush() is the completion barrier: it returns once every record pushed
+/// so far has been decoded, so the graph is complete and safe to read
+/// (call it after the loop finishes, before inspecting the graph). stop()
+/// flushes and joins the builder thread; the destructor stops implicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_AG_ASYNCPIPELINE_H
+#define ASYNCG_AG_ASYNCPIPELINE_H
+
+#include "instr/TraceCodec.h"
+#include "support/SpscRing.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asyncg {
+namespace ag {
+
+/// How graph construction is driven; tools and benches switch on this.
+enum class PipelineMode {
+  /// Builder attached directly to the hooks (the pre-pipeline behavior).
+  Synchronous,
+  /// Builder driven from the ring-draining thread via AsyncPipeline.
+  Async,
+};
+
+/// What the producer does when the ring is full.
+enum class BackpressurePolicy {
+  Block, ///< Spin-yield until space frees up (lossless).
+  Drop,  ///< Discard decoration events, counting them.
+};
+
+/// When the builder thread consumes the ring.
+enum class DrainMode {
+  /// Decode continuously as records arrive. Lowest graph latency; right
+  /// when a spare core is available to absorb the builder work.
+  Concurrent,
+  /// Park the builder thread and buffer records in the ring during the
+  /// run; decode at flush()/stop() (or when the ring fills). Keeps the
+  /// loop thread's serving window free of builder CPU contention — the
+  /// in-memory analogue of recording a trace and replaying it afterwards,
+  /// right on single-core/saturated machines. Size RingCapacity for the
+  /// expected record volume; overflow degrades gracefully into draining
+  /// during the run (Block) or dropping decorations (Drop).
+  Deferred,
+};
+
+struct PipelineConfig {
+  /// Ring capacity in records (rounded up to a power of two). Must be at
+  /// least large enough for the largest single event span.
+  size_t RingCapacity = 1 << 16;
+  /// Max records the builder thread decodes per drain.
+  size_t DrainBatch = 256;
+  BackpressurePolicy Policy = BackpressurePolicy::Block;
+  DrainMode Drain = DrainMode::Concurrent;
+};
+
+/// The asynchronous instrumentation pipeline. Attach to a HookRegistry on
+/// the loop thread; \p Sink runs exclusively on the internal builder
+/// thread until stop().
+class AsyncPipeline final : public instr::AnalysisBase {
+public:
+  /// Starts the builder thread. \p Sink (typically an AsyncGBuilder) must
+  /// outlive the pipeline and must not be touched by other threads until
+  /// flush()/stop() establishes a barrier.
+  explicit AsyncPipeline(instr::AnalysisBase &Sink,
+                         PipelineConfig Config = PipelineConfig());
+  ~AsyncPipeline() override;
+
+  const char *analysisName() const override { return "async-pipeline"; }
+
+  /// Producer-side barrier: returns once everything pushed so far has been
+  /// decoded into the sink. Call from the producer thread.
+  void flush();
+
+  /// flush() + join the builder thread. Idempotent; after stop() the sink
+  /// is safe to use from any thread again.
+  void stop();
+
+  /// \name Counters (records are ring slots; events are hook firings)
+  /// @{
+  uint64_t pushedRecords() const {
+    return Pushed.load(std::memory_order_relaxed);
+  }
+  uint64_t consumedRecords() const {
+    return Consumed.load(std::memory_order_relaxed);
+  }
+  /// Decoration events discarded under BackpressurePolicy::Drop.
+  uint64_t droppedEvents() const {
+    return DroppedEvents.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+  /// \name AnalysisBase hooks (producer side)
+  /// @{
+  void onFunctionEnter(const instr::FunctionEnterEvent &E) override;
+  void onFunctionExit(const instr::FunctionExitEvent &E) override;
+  void onApiCall(const instr::ApiCallEvent &E) override;
+  void onObjectCreate(const instr::ObjectCreateEvent &E) override;
+  void onReactionResult(const instr::ReactionResultEvent &E) override;
+  void onPromiseLink(const instr::PromiseLinkEvent &E) override;
+  void onLoopEnd(const instr::LoopEndEvent &E) override;
+  /// @}
+
+private:
+  /// Pushes Scratch into the ring all-or-nothing. Structural events ignore
+  /// the Drop policy (the shadow stack must stay balanced).
+  void pushScratch(bool Structural);
+
+  void consumerMain();
+
+  /// Deferred mode: unparks the builder thread.
+  void wakeConsumer();
+
+  instr::AnalysisBase &Sink;
+  PipelineConfig Config;
+  SpscRing<trace::TraceRecord> Ring;
+
+  /// Producer-side encoder state + scratch (loop thread only).
+  instr::TraceEncoder Encoder;
+  std::vector<trace::TraceRecord> Scratch;
+
+  /// Consumer-side decoder state (builder thread only).
+  instr::TraceDecoder Decoder;
+
+  std::atomic<uint64_t> Pushed{0};
+  std::atomic<uint64_t> Consumed{0};
+  std::atomic<uint64_t> DroppedEvents{0};
+  std::atomic<bool> StopRequested{false};
+
+  /// Parking lot for DrainMode::Deferred (unused in Concurrent mode).
+  std::mutex WakeMutex;
+  std::condition_variable WakeCv;
+  bool WakeRequested = false;
+
+  std::thread Builder;
+};
+
+} // namespace ag
+} // namespace asyncg
+
+#endif // ASYNCG_AG_ASYNCPIPELINE_H

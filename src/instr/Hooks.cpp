@@ -12,8 +12,12 @@ using namespace asyncg::instr;
 // Out-of-line virtual method anchor.
 AnalysisBase::~AnalysisBase() = default;
 
-uint64_t instr::detail::ConstructedEvents = 0;
+std::atomic<uint64_t> instr::detail::ConstructedEvents{0};
 
-uint64_t instr::constructedEventCount() { return detail::ConstructedEvents; }
+uint64_t instr::constructedEventCount() {
+  return detail::ConstructedEvents.load(std::memory_order_relaxed);
+}
 
-void instr::resetConstructedEventCount() { detail::ConstructedEvents = 0; }
+void instr::resetConstructedEventCount() {
+  detail::ConstructedEvents.store(0, std::memory_order_relaxed);
+}

@@ -29,6 +29,7 @@
 #include "support/SymbolTable.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <string>
@@ -39,11 +40,13 @@ namespace instr {
 
 /// Counts ApiCallEvent / ObjectCreateEvent constructions. Hook sites must
 /// build these only behind a !HookRegistry::empty() guard; the lazy-fire
-/// test asserts this stays 0 through an uninstrumented run.
+/// test asserts this stays 0 through an uninstrumented run. Atomic because
+/// the async pipeline's decoder reconstructs events on the builder thread
+/// while the loop thread keeps constructing its own.
 uint64_t constructedEventCount();
 void resetConstructedEventCount();
 namespace detail {
-extern uint64_t ConstructedEvents;
+extern std::atomic<uint64_t> ConstructedEvents;
 }
 
 /// Fired before a function body runs (Algorithm 1/3's functionEnter).
@@ -65,7 +68,9 @@ struct FunctionExitEvent {
 /// per-API templates extract: which callbacks, the target phase, whether
 /// the callback runs once, and the bound emitter/promise object.
 struct ApiCallEvent {
-  ApiCallEvent() { ++detail::ConstructedEvents; }
+  ApiCallEvent() {
+    detail::ConstructedEvents.fetch_add(1, std::memory_order_relaxed);
+  }
 
   jsrt::ApiKind Api = jsrt::ApiKind::None;
   /// Call-site location.
@@ -105,7 +110,9 @@ struct ApiCallEvent {
 
 /// Fired when a promise or emitter object is created (OB nodes).
 struct ObjectCreateEvent {
-  ObjectCreateEvent() { ++detail::ConstructedEvents; }
+  ObjectCreateEvent() {
+    detail::ConstructedEvents.fetch_add(1, std::memory_order_relaxed);
+  }
 
   jsrt::ObjectId Obj = 0;
   bool IsPromise = false;

@@ -1,0 +1,174 @@
+//===- TraceCodec.h - Hook events <-> binary trace records ------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates between the instrumentation hook events (instr/Hooks.h) and
+/// the fixed-size binary records of support/TraceFormat.h:
+///
+///  - TraceEncoder runs on the event-loop thread. It turns each event into
+///    a short span of records in a caller-owned scratch vector (steady
+///    state: no allocation) and emits one FuncDef per function the first
+///    time it appears, so consumers can rebuild Function identities.
+///  - TraceDecoder runs wherever the records are consumed — the async
+///    pipeline's builder thread or an offline replay — and fires the
+///    reconstructed events into any AnalysisBase. Function handles are
+///    materialized from FuncDef records (name, location, builtin flag; the
+///    body is empty, which no analysis invokes).
+///  - TraceRecorder is an AnalysisBase that encodes straight into an
+///    `.agtrace` file: attach it to a runtime to record a workload, then
+///    replayTrace() the file into a fresh AsyncGBuilder at zero loop cost.
+///
+/// PropertyAccessEvent and UncaughtErrorEvent are not encoded (they carry
+/// borrowed Values / uninterned strings and feed only the synchronous race
+/// analysis); everything the Async Graph builder consumes round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_INSTR_TRACECODEC_H
+#define ASYNCG_INSTR_TRACECODEC_H
+
+#include "instr/Hooks.h"
+#include "support/FlatMap.h"
+#include "support/TraceFormat.h"
+
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace instr {
+
+//===----------------------------------------------------------------------===//
+// TraceEncoder
+//===----------------------------------------------------------------------===//
+
+/// Encodes hook events into trace records. Append-only into a caller-owned
+/// vector so the caller controls batching (ring push vs file write).
+class TraceEncoder {
+public:
+  /// \name Event encoders: append the event's records to \p Out.
+  /// @{
+  void functionEnter(const FunctionEnterEvent &E,
+                     std::vector<trace::TraceRecord> &Out);
+  void functionExit(const FunctionExitEvent &E,
+                    std::vector<trace::TraceRecord> &Out);
+  void apiCall(const ApiCallEvent &E, std::vector<trace::TraceRecord> &Out);
+  void objectCreate(const ObjectCreateEvent &E,
+                    std::vector<trace::TraceRecord> &Out);
+  void reactionResult(const ReactionResultEvent &E,
+                      std::vector<trace::TraceRecord> &Out);
+  void promiseLink(const PromiseLinkEvent &E,
+                   std::vector<trace::TraceRecord> &Out);
+  void loopEnd(const LoopEndEvent &E, std::vector<trace::TraceRecord> &Out);
+  /// @}
+
+private:
+  /// Emits a FuncDef for \p F if this encoder hasn't yet.
+  void defineFunc(const jsrt::Function &F,
+                  std::vector<trace::TraceRecord> &Out);
+
+  /// Function ids already defined, indexed by id (ids are small and
+  /// sequential).
+  std::vector<bool> SeenFunc;
+};
+
+//===----------------------------------------------------------------------===//
+// TraceDecoder
+//===----------------------------------------------------------------------===//
+
+/// Decodes trace records and fires the reconstructed events into a sink
+/// analysis. Single-threaded; feed records in encode order.
+class TraceDecoder {
+public:
+  TraceDecoder();
+
+  /// Installs the old-id -> new-id symbol mapping of a cross-process trace
+  /// (TraceFileReader::symbolRemap()). Without one, ids are taken as-is
+  /// (in-process ring transport).
+  void setSymbolRemap(std::vector<SymbolId> Remap) {
+    this->Remap = std::move(Remap);
+  }
+
+  /// Decodes \p N records, invoking \p Sink's hooks.
+  void decode(const trace::TraceRecord *Records, size_t N,
+              AnalysisBase &Sink);
+
+  /// Records whose opcode or sequencing was invalid (diagnostics; such
+  /// records are skipped).
+  uint64_t badRecords() const { return BadRecords; }
+
+private:
+  void feed(const trace::TraceRecord &R, AnalysisBase &Sink);
+  Symbol sym(uint32_t Raw) const;
+  SourceLocation loc(uint64_t Packed) const;
+
+  /// Returns the Function handle for \p Id, creating a placeholder if no
+  /// FuncDef arrived yet (e.g. callbacks referenced before first entry).
+  const jsrt::Function &funcFor(jsrt::FunctionId Id);
+
+  FlatMap<jsrt::FunctionId, jsrt::Function> Funcs;
+  std::vector<SymbolId> Remap;
+
+  /// Pending EnterTrigger for the next Enter.
+  jsrt::TriggerInfo PendingTrigger;
+  /// Multi-record ApiCall assembly state.
+  ApiCallEvent Api;
+  SourceLocation ApiLoc;
+  unsigned ApiFuncsLeft = 0;
+  unsigned ApiInputsLeft = 0;
+  bool ApiOpen = false;
+
+  uint64_t BadRecords = 0;
+
+  void finishApiIfReady(AnalysisBase &Sink);
+};
+
+//===----------------------------------------------------------------------===//
+// Recording and replay
+//===----------------------------------------------------------------------===//
+
+/// An analysis that records the instrumented run into an `.agtrace` file.
+///
+/// \code
+///   instr::TraceRecorder Rec;
+///   Rec.open("run.agtrace");
+///   RT.hooks().attach(&Rec);
+///   RT.main(Main);
+///   Rec.finalize();
+/// \endcode
+class TraceRecorder final : public AnalysisBase {
+public:
+  const char *analysisName() const override { return "trace-recorder"; }
+
+  bool open(const std::string &Path) { return Writer.open(Path); }
+  bool finalize() { return Writer.finalize(); }
+  uint64_t recordCount() const { return Writer.recordCount(); }
+
+  void onFunctionEnter(const FunctionEnterEvent &E) override;
+  void onFunctionExit(const FunctionExitEvent &E) override;
+  void onApiCall(const ApiCallEvent &E) override;
+  void onObjectCreate(const ObjectCreateEvent &E) override;
+  void onReactionResult(const ReactionResultEvent &E) override;
+  void onPromiseLink(const PromiseLinkEvent &E) override;
+  void onLoopEnd(const LoopEndEvent &E) override;
+
+private:
+  void flushScratch();
+
+  TraceEncoder Encoder;
+  std::vector<trace::TraceRecord> Scratch;
+  trace::TraceFileWriter Writer;
+};
+
+/// Rebuilds a run from \p Path by firing every recorded event into
+/// \p Sink (typically an ag::AsyncGBuilder). Returns false and sets
+/// \p Err on open/validation failure.
+bool replayTrace(const std::string &Path, AnalysisBase &Sink,
+                 std::string *Err = nullptr);
+
+} // namespace instr
+} // namespace asyncg
+
+#endif // ASYNCG_INSTR_TRACECODEC_H

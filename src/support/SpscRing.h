@@ -1,0 +1,136 @@
+//===- SpscRing.h - Lock-free single-producer/single-consumer ring -*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity, cache-line-padded, lock-free SPSC ring buffer. The
+/// async instrumentation pipeline (ag/AsyncPipeline.h) uses it to hand
+/// compact binary trace records from the event-loop thread to the graph
+/// builder thread without locks or allocation on either side.
+///
+/// Design (the classic bounded SPSC queue with cached peer cursors):
+///  - Head (consumer cursor) and Tail (producer cursor) are monotonically
+///    increasing uint64_t values; slot = cursor & (capacity - 1). They
+///    live on separate cache lines so the producer and consumer don't
+///    false-share.
+///  - Each side keeps a *cached* copy of the other side's cursor and only
+///    re-reads the shared atomic when the cached value suggests the ring
+///    is full (producer) or empty (consumer). In steady state a push or a
+///    batched pop touches exactly one shared cache line.
+///  - All element types must be trivially copyable: batch transfers are
+///    plain memcpy-able loops with no per-element synchronization.
+///
+/// Synchronization contract: the release store of Tail publishes every
+/// element write (and anything else the producer did before pushing, e.g.
+/// symbol-table interning) to the consumer's acquire load of Tail — and
+/// symmetrically for Head, so the producer can reuse slots the consumer
+/// vacated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SUPPORT_SPSCRING_H
+#define ASYNCG_SUPPORT_SPSCRING_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+namespace asyncg {
+
+/// Rounds \p N up to the next power of two (min 2).
+constexpr size_t roundUpPow2(size_t N) {
+  size_t P = 2;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+template <typename T> class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscRing elements must be trivially copyable");
+
+public:
+  /// Creates a ring holding \p Capacity elements (rounded up to a power of
+  /// two).
+  explicit SpscRing(size_t Capacity)
+      : Mask(roundUpPow2(Capacity) - 1),
+        Buf(std::make_unique<T[]>(Mask + 1)) {}
+
+  SpscRing(const SpscRing &) = delete;
+  SpscRing &operator=(const SpscRing &) = delete;
+
+  size_t capacity() const { return Mask + 1; }
+
+  /// Producer: pushes one element. Returns false when the ring is full.
+  bool tryPush(const T &V) { return tryPushAll(&V, 1); }
+
+  /// Producer: pushes all \p N elements or none (events spanning several
+  /// records must never be torn). Returns false when fewer than \p N slots
+  /// are free. \p N must not exceed capacity().
+  bool tryPushAll(const T *Items, size_t N) {
+    assert(N <= capacity() && "batch larger than the ring");
+    uint64_t T0 = Tail.load(std::memory_order_relaxed);
+    if (T0 + N - CachedHead > capacity()) {
+      CachedHead = Head.load(std::memory_order_acquire);
+      if (T0 + N - CachedHead > capacity())
+        return false;
+    }
+    for (size_t I = 0; I != N; ++I)
+      Buf[(T0 + I) & Mask] = Items[I];
+    Tail.store(T0 + N, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: pops one element. Returns false when the ring is empty.
+  bool tryPop(T &Out) { return tryPopBatch(&Out, 1) == 1; }
+
+  /// Consumer: pops up to \p Max elements into \p Out; returns the count
+  /// (0 when empty).
+  size_t tryPopBatch(T *Out, size_t Max) {
+    uint64_t H0 = Head.load(std::memory_order_relaxed);
+    if (CachedTail == H0) {
+      CachedTail = Tail.load(std::memory_order_acquire);
+      if (CachedTail == H0)
+        return 0;
+    }
+    size_t N = static_cast<size_t>(CachedTail - H0);
+    if (N > Max)
+      N = Max;
+    for (size_t I = 0; I != N; ++I)
+      Out[I] = Buf[(H0 + I) & Mask];
+    Head.store(H0 + N, std::memory_order_release);
+    return N;
+  }
+
+  /// Approximate occupancy; exact only when called from the producer (the
+  /// consumer can still drain concurrently) or when both sides are quiet.
+  size_t sizeApprox() const {
+    uint64_t T0 = Tail.load(std::memory_order_acquire);
+    uint64_t H0 = Head.load(std::memory_order_acquire);
+    return static_cast<size_t>(T0 - H0);
+  }
+
+  bool emptyApprox() const { return sizeApprox() == 0; }
+
+private:
+  /// Consumer cursor; owned by the consumer, read by the producer.
+  alignas(64) std::atomic<uint64_t> Head{0};
+  /// Producer's cached view of Head (producer-private line).
+  alignas(64) uint64_t CachedHead = 0;
+  /// Producer cursor; owned by the producer, read by the consumer.
+  alignas(64) std::atomic<uint64_t> Tail{0};
+  /// Consumer's cached view of Tail (consumer-private line).
+  alignas(64) uint64_t CachedTail = 0;
+
+  const size_t Mask;
+  std::unique_ptr<T[]> Buf;
+};
+
+} // namespace asyncg
+
+#endif // ASYNCG_SUPPORT_SPSCRING_H

@@ -69,7 +69,7 @@ void SymbolTable::grow() {
   for (uint32_t Slot : Old) {
     if (Slot == 0)
       continue;
-    size_t I = Entries[Slot - 1].Hash & LookupMask;
+    size_t I = entry(Slot - 1).Hash & LookupMask;
     while (Lookup[I] != 0)
       I = (I + 1) & LookupMask;
     Lookup[I] = Slot;
@@ -78,34 +78,50 @@ void SymbolTable::grow() {
 
 SymbolId SymbolTable::intern(std::string_view S) {
   uint64_t H = hashBytes(S);
+  std::lock_guard<std::mutex> Guard(Mutex);
   size_t I = H & LookupMask;
   while (true) {
     uint32_t Slot = Lookup[I];
     if (Slot == 0)
       break;
-    const Entry &E = Entries[Slot - 1];
+    const Entry &E = entry(Slot - 1);
     if (E.Hash == H && E.Len == S.size() &&
         (S.empty() || std::memcmp(E.Ptr, S.data(), S.size()) == 0))
       return Slot - 1;
     I = (I + 1) & LookupMask;
   }
 
+  uint32_t Count = EntryCount.load(std::memory_order_relaxed);
+
   // Keep the load factor under 1/2.
-  if ((Entries.size() + 1) * 2 > Lookup.size()) {
+  if ((size_t(Count) + 1) * 2 > Lookup.size()) {
     grow();
     I = H & LookupMask;
     while (Lookup[I] != 0)
       I = (I + 1) & LookupMask;
   }
 
-  SymbolId Id = static_cast<SymbolId>(Entries.size());
-  Entries.push_back(Entry{arenaStore(S), static_cast<uint32_t>(S.size()), H});
+  SymbolId Id = Count;
+  size_t PageIdx = Id >> PageBits;
+  assert(PageIdx < MaxPages && "symbol table page limit exceeded");
+  Entry *Page = Pages[PageIdx].load(std::memory_order_relaxed);
+  if (!Page) {
+    PageStore.push_back(std::make_unique<Entry[]>(PageSize));
+    Page = PageStore.back().get();
+    // Publish the page before any id pointing into it can escape.
+    Pages[PageIdx].store(Page, std::memory_order_release);
+  }
+  Page[Id & (PageSize - 1)] =
+      Entry{arenaStore(S), static_cast<uint32_t>(S.size()), H};
+  // Publish the entry after its slot is fully written.
+  EntryCount.store(Count + 1, std::memory_order_release);
   Lookup[I] = Id + 1;
   return Id;
 }
 
 size_t SymbolTable::memoryUsage() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
   return Chunks.size() * ChunkSize + OversizedBytes +
-         Entries.capacity() * sizeof(Entry) +
+         PageStore.size() * PageSize * sizeof(Entry) +
          Lookup.capacity() * sizeof(uint32_t);
 }

@@ -19,16 +19,26 @@
 ///   construction) so existing assignment sites keep compiling, and
 ///   resolves back to text only at serialization time via str()/c_str().
 ///
-/// The table is a process-wide singleton (symtab()) and is intentionally
-/// not thread-safe: the event loop, like Node's, is single-threaded.
+/// The table is a process-wide singleton (symtab()). Since the async
+/// instrumentation pipeline (ag/AsyncPipeline.h) resolves and interns
+/// symbols from its builder thread while the event loop keeps interning,
+/// the table is thread-safe: intern() is serialized by a mutex, while
+/// view()/c_str() are lock-free — entries live in fixed-size pages whose
+/// pointers are published with release ordering and never move, and the
+/// arena never moves strings. A reader may only resolve ids it legitimately
+/// obtained (program order, or a release/acquire hand-off such as the SPSC
+/// event ring), which is exactly how Symbols travel between threads.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ASYNCG_SUPPORT_SYMBOLTABLE_H
 #define ASYNCG_SUPPORT_SYMBOLTABLE_H
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -46,23 +56,25 @@ public:
   SymbolTable();
 
   /// Interns \p S, returning its stable id. Idempotent: the same bytes
-  /// always produce the same id for the lifetime of the table.
+  /// always produce the same id for the lifetime of the table. Serialized
+  /// by an internal mutex; safe to call from any thread.
   SymbolId intern(std::string_view S);
 
   /// Resolves an id to its text. The view stays valid for the lifetime of
-  /// the table (the arena never moves strings).
+  /// the table (the arena never moves strings). Lock-free; safe
+  /// concurrently with intern() for any id the caller properly obtained.
   std::string_view view(SymbolId Id) const {
-    const Entry &E = Entries[Id];
+    const Entry &E = entry(Id);
     return std::string_view(E.Ptr, E.Len);
   }
 
   /// Null-terminated resolution.
-  const char *c_str(SymbolId Id) const { return Entries[Id].Ptr; }
+  const char *c_str(SymbolId Id) const { return entry(Id).Ptr; }
 
   /// Number of distinct interned strings (including the empty string).
-  size_t size() const { return Entries.size(); }
+  size_t size() const { return EntryCount.load(std::memory_order_acquire); }
 
-  /// Bytes held by the arena, the entry vector, and the hash table.
+  /// Bytes held by the arena, the entry pages, and the hash table.
   size_t memoryUsage() const;
 
   /// The process-wide table used by Symbol.
@@ -75,17 +87,33 @@ private:
     uint64_t Hash;
   };
 
+  /// Entries are stored in fixed-size pages so resolution never races with
+  /// growth: a page pointer is published once (release) and its slots are
+  /// written before the entry's id escapes the interning thread.
+  static constexpr size_t PageBits = 12;
+  static constexpr size_t PageSize = size_t(1) << PageBits;
+  static constexpr size_t MaxPages = size_t(1) << 12; ///< 16M symbols.
+
+  const Entry &entry(SymbolId Id) const {
+    const Entry *Page =
+        Pages[Id >> PageBits].load(std::memory_order_acquire);
+    return Page[Id & (PageSize - 1)];
+  }
+
   const char *arenaStore(std::string_view S);
   void grow();
 
   static constexpr size_t ChunkSize = 64 * 1024;
 
+  mutable std::mutex Mutex;
   std::vector<std::unique_ptr<char[]>> Chunks;
   /// Strings larger than ChunkSize get dedicated allocations.
   std::vector<std::unique_ptr<char[]>> BigChunks;
   size_t ChunkUsed = 0;
   size_t OversizedBytes = 0;
-  std::vector<Entry> Entries;
+  std::array<std::atomic<Entry *>, MaxPages> Pages{};
+  std::vector<std::unique_ptr<Entry[]>> PageStore;
+  std::atomic<uint32_t> EntryCount{0};
   /// Open-addressing table of entry indices + 1 (0 = empty slot).
   std::vector<uint32_t> Lookup;
   size_t LookupMask = 0;

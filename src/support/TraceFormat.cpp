@@ -1,0 +1,135 @@
+//===- TraceFormat.cpp - Compact binary trace records -------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TraceFormat.h"
+
+#include <cstring>
+
+using namespace asyncg;
+using namespace asyncg::trace;
+
+//===----------------------------------------------------------------------===//
+// TraceFileWriter
+//===----------------------------------------------------------------------===//
+
+TraceFileWriter::~TraceFileWriter() {
+  if (File)
+    std::fclose(File);
+}
+
+bool TraceFileWriter::open(const std::string &Path) {
+  File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  Count = 0;
+  TraceFileHeader H = {};
+  std::memcpy(H.Magic, TraceMagic, sizeof(H.Magic));
+  H.Version = TraceVersion;
+  return std::fwrite(&H, sizeof(H), 1, File) == 1;
+}
+
+bool TraceFileWriter::append(const TraceRecord *Records, size_t N) {
+  if (!File || N == 0)
+    return File != nullptr;
+  if (std::fwrite(Records, sizeof(TraceRecord), N, File) != N)
+    return false;
+  Count += N;
+  return true;
+}
+
+bool TraceFileWriter::finalize() {
+  if (!File)
+    return false;
+  bool Ok = true;
+  long SymtabOffset = std::ftell(File);
+  Ok = Ok && SymtabOffset > 0;
+
+  // Dump the whole symbol table: every id a record can reference is below
+  // the current size, and for trace-sized workloads the section is small.
+  SymbolTable &Tab = symtab();
+  uint64_t SymCount = Tab.size();
+  Ok = Ok && std::fwrite(&SymCount, sizeof(SymCount), 1, File) == 1;
+  for (SymbolId Id = 0; Ok && Id < SymCount; ++Id) {
+    std::string_view S = Tab.view(Id);
+    uint32_t Len = static_cast<uint32_t>(S.size());
+    Ok = std::fwrite(&Len, sizeof(Len), 1, File) == 1 &&
+         (Len == 0 || std::fwrite(S.data(), 1, Len, File) == Len);
+  }
+
+  if (Ok) {
+    TraceFileHeader H = {};
+    std::memcpy(H.Magic, TraceMagic, sizeof(H.Magic));
+    H.Version = TraceVersion;
+    H.RecordCount = Count;
+    H.SymtabOffset = static_cast<uint64_t>(SymtabOffset);
+    Ok = std::fseek(File, 0, SEEK_SET) == 0 &&
+         std::fwrite(&H, sizeof(H), 1, File) == 1;
+  }
+  Ok = std::fclose(File) == 0 && Ok;
+  File = nullptr;
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceFileReader
+//===----------------------------------------------------------------------===//
+
+TraceFileReader::~TraceFileReader() {
+  if (File)
+    std::fclose(File);
+}
+
+static bool fail(std::string *Err, const char *Message) {
+  if (Err)
+    *Err = Message;
+  return false;
+}
+
+bool TraceFileReader::open(const std::string &Path, std::string *Err) {
+  File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return fail(Err, "cannot open trace file");
+  if (std::fread(&Header, sizeof(Header), 1, File) != 1)
+    return fail(Err, "trace file truncated: no header");
+  if (std::memcmp(Header.Magic, TraceMagic, sizeof(Header.Magic)) != 0)
+    return fail(Err, "bad magic: not an .agtrace file");
+  if (Header.Version != TraceVersion)
+    return fail(Err, "unsupported trace version");
+
+  // Load the symbol section and re-intern into this process's table.
+  if (std::fseek(File, static_cast<long>(Header.SymtabOffset), SEEK_SET) != 0)
+    return fail(Err, "trace file truncated: no symbol section");
+  uint64_t SymCount = 0;
+  if (std::fread(&SymCount, sizeof(SymCount), 1, File) != 1)
+    return fail(Err, "trace file truncated: symbol count");
+  Remap.clear();
+  Remap.reserve(SymCount);
+  std::string Scratch;
+  for (uint64_t I = 0; I != SymCount; ++I) {
+    uint32_t Len = 0;
+    if (std::fread(&Len, sizeof(Len), 1, File) != 1)
+      return fail(Err, "trace file truncated: symbol length");
+    Scratch.resize(Len);
+    if (Len != 0 && std::fread(Scratch.data(), 1, Len, File) != Len)
+      return fail(Err, "trace file truncated: symbol bytes");
+    Remap.push_back(symtab().intern(Scratch));
+  }
+
+  if (std::fseek(File, sizeof(TraceFileHeader), SEEK_SET) != 0)
+    return fail(Err, "trace file seek failed");
+  ReadSoFar = 0;
+  return true;
+}
+
+size_t TraceFileReader::read(TraceRecord *Out, size_t Max) {
+  if (!File || ReadSoFar >= Header.RecordCount)
+    return 0;
+  uint64_t Left = Header.RecordCount - ReadSoFar;
+  size_t Want = Max < Left ? Max : static_cast<size_t>(Left);
+  size_t Got = std::fread(Out, sizeof(TraceRecord), Want, File);
+  ReadSoFar += Got;
+  return Got;
+}

@@ -1,0 +1,203 @@
+//===- TraceFormat.h - Compact binary trace records -------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary on-the-wire format of the asynchronous instrumentation
+/// pipeline: every hook event is encoded into one or more fixed-size
+/// 32-byte TraceRecords. The same records travel through the in-process
+/// SPSC ring (support/SpscRing.h) and, unchanged, into `.agtrace` files
+/// for offline replay (instr/TraceCodec.h builds events back from them).
+///
+/// Record layout (32 bytes, little-endian fields, trivially copyable):
+///
+///   | field | size | purpose                                         |
+///   |-------|------|-------------------------------------------------|
+///   | Op    | 1    | TraceOp opcode                                  |
+///   | A8    | 1    | small scalar / flags (per opcode)               |
+///   | B16   | 2    | flags / counts (per opcode)                     |
+///   | C32   | 4    | Symbol id / 32-bit scalar (per opcode)          |
+///   | D64   | 8    | id / payload                                    |
+///   | E64   | 8    | id / payload                                    |
+///   | F64   | 8    | id / payload (packLoc: low32 file, high32 line) |
+///
+/// Multi-record events keep a fixed order so the decoder is a simple state
+/// machine: [FuncDef]* [EnterTrigger]? Enter — and ApiBase ApiExt
+/// [ApiFuncs]* [ApiInputs]*, with counts carried in ApiExt.
+///
+/// `.agtrace` file layout: a 32-byte TraceFileHeader (magic + version,
+/// validated on open), RecordCount raw records, then a symbol-table
+/// section (count + length-prefixed strings) so Symbol ids survive across
+/// processes; the reader re-interns them and hands the decoder an
+/// old-id -> new-id remap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SUPPORT_TRACEFORMAT_H
+#define ASYNCG_SUPPORT_TRACEFORMAT_H
+
+#include "support/SymbolTable.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace asyncg {
+namespace trace {
+
+/// Opcode of one trace record.
+enum class TraceOp : uint8_t {
+  /// Defines a function the first time it appears: A8 = IsBuiltin,
+  /// C32 = name Symbol, D64 = FunctionId, F64 = packed definition loc.
+  FuncDef = 1,
+  /// Trigger context for the next Enter: A8 = TriggerInfo::Kind,
+  /// B16 bit0 = IsReject, C32 = event Symbol, D64 = TriggerId,
+  /// E64 = ObjectId.
+  EnterTrigger = 2,
+  /// Function enter: A8 = PhaseKind, B16 bit0 = TopLevel, C32 = ApiKind,
+  /// D64 = FunctionId, E64 = ScheduleId, F64 = TickSeq.
+  Enter = 3,
+  /// Function exit: D64 = FunctionId.
+  Exit = 4,
+  /// API call, part 1: A8 = ApiKind, B16 bits0-3 = Once/HasRejectHandler/
+  /// TriggerHadEffect/Internal, bits8-11 = TargetPhase, C32 = event
+  /// Symbol, D64 = ScheduleId, E64 = BoundObj, F64 = TriggerId.
+  ApiBase = 5,
+  /// API call, part 2 (always follows ApiBase): A8 = callback count,
+  /// B16 = input-promise count, C32 = loc line, D64 = TimeoutMs bits,
+  /// E64 = DerivedObj, F64 low32 = loc file Symbol.
+  ApiExt = 6,
+  /// Callback FunctionIds of the preceding ApiBase/ApiExt: A8 = how many
+  /// of D64/E64/F64 are valid (1..3).
+  ApiFuncs = 7,
+  /// Input-promise ObjectIds (combinators), same packing as ApiFuncs.
+  ApiInputs = 8,
+  /// Object creation: A8 bit0 = IsPromise, bit1 = Internal,
+  /// B16 = Relation ApiKind, C32 = name Symbol, D64 = ObjectId,
+  /// E64 = parent ObjectId, F64 = packed loc.
+  ObjCreate = 9,
+  /// Reaction result: A8 bit0 = ReturnedUndefined, bit1 = Threw,
+  /// D64 = source ObjectId, E64 = derived ObjectId, F64 = ScheduleId.
+  ReactionResult = 10,
+  /// Promise link (adoption): D64 = returned ObjectId, E64 = derived.
+  PromiseLink = 11,
+  /// Loop end: A8 bit0 = TickBudgetExhausted, D64 = tick count.
+  LoopEnd = 12,
+};
+
+/// One fixed-size pipeline record. See the file comment for the per-opcode
+/// field assignments.
+struct TraceRecord {
+  uint8_t Op = 0;
+  uint8_t A8 = 0;
+  uint16_t B16 = 0;
+  uint32_t C32 = 0;
+  uint64_t D64 = 0;
+  uint64_t E64 = 0;
+  uint64_t F64 = 0;
+};
+
+static_assert(sizeof(TraceRecord) == 32, "records must stay 32 bytes");
+static_assert(std::is_trivially_copyable_v<TraceRecord>,
+              "records must be memcpy-safe for the ring and the file");
+
+/// Packs a (file Symbol, line) source location into one u64.
+inline uint64_t packLoc(SymbolId File, uint32_t Line) {
+  return static_cast<uint64_t>(File) | (static_cast<uint64_t>(Line) << 32);
+}
+inline SymbolId packedLocFile(uint64_t P) {
+  return static_cast<SymbolId>(P & 0xffffffffu);
+}
+inline uint32_t packedLocLine(uint64_t P) {
+  return static_cast<uint32_t>(P >> 32);
+}
+
+//===----------------------------------------------------------------------===//
+// .agtrace files
+//===----------------------------------------------------------------------===//
+
+constexpr char TraceMagic[8] = {'A', 'G', 'T', 'R', 'A', 'C', 'E', '\0'};
+constexpr uint32_t TraceVersion = 1;
+
+/// On-disk header; 32 bytes like a record.
+struct TraceFileHeader {
+  char Magic[8];
+  uint32_t Version;
+  uint32_t Flags;
+  uint64_t RecordCount;
+  /// Absolute file offset of the symbol-table section.
+  uint64_t SymtabOffset;
+};
+
+static_assert(sizeof(TraceFileHeader) == 32, "header must stay 32 bytes");
+
+/// Streams records into an `.agtrace` file. finalize() appends the symbol
+/// table (everything interned so far, so every id any record references is
+/// covered) and patches the header.
+class TraceFileWriter {
+public:
+  TraceFileWriter() = default;
+  ~TraceFileWriter();
+
+  TraceFileWriter(const TraceFileWriter &) = delete;
+  TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+  /// Opens \p Path and writes a placeholder header. Returns false on I/O
+  /// failure.
+  bool open(const std::string &Path);
+
+  bool isOpen() const { return File != nullptr; }
+
+  /// Appends \p N records. Returns false on I/O failure.
+  bool append(const TraceRecord *Records, size_t N);
+
+  /// Writes the symbol section, patches the header, and closes the file.
+  /// Returns false on I/O failure (the file is closed either way).
+  bool finalize();
+
+  uint64_t recordCount() const { return Count; }
+
+private:
+  std::FILE *File = nullptr;
+  uint64_t Count = 0;
+};
+
+/// Reads an `.agtrace` file: validates magic/version, loads the symbol
+/// section, and streams records back.
+class TraceFileReader {
+public:
+  TraceFileReader() = default;
+  ~TraceFileReader();
+
+  TraceFileReader(const TraceFileReader &) = delete;
+  TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+  /// Opens and validates \p Path; loads the symbol section and interns
+  /// every symbol into the current process's table. On failure returns
+  /// false and, when \p Err is non-null, describes the problem.
+  bool open(const std::string &Path, std::string *Err = nullptr);
+
+  /// Reads up to \p Max records; returns the count (0 at end of trace).
+  size_t read(TraceRecord *Out, size_t Max);
+
+  uint64_t recordCount() const { return Header.RecordCount; }
+
+  /// Maps a symbol id as written by the recording process to the id of the
+  /// same string in this process's table.
+  const std::vector<SymbolId> &symbolRemap() const { return Remap; }
+
+private:
+  std::FILE *File = nullptr;
+  TraceFileHeader Header = {};
+  uint64_t ReadSoFar = 0;
+  std::vector<SymbolId> Remap;
+};
+
+} // namespace trace
+} // namespace asyncg
+
+#endif // ASYNCG_SUPPORT_TRACEFORMAT_H

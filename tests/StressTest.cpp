@@ -5,10 +5,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestHelpers.h"
+#include "ag/AsyncPipeline.h"
 #include "ag/Builder.h"
 #include "apps/acmeair/App.h"
 #include "apps/acmeair/Workload.h"
 #include "detect/Detectors.h"
+#include "viz/Dot.h"
 
 #include <gtest/gtest.h>
 
@@ -133,6 +135,42 @@ TEST(Stress, AcmeAirGraphInvariantsAtScale) {
       RouterCr = N.Id;
   ASSERT_NE(RouterCr, InvalidNode);
   EXPECT_EQ(G.node(RouterCr).ExecCount, 600u);
+}
+
+/// The off-thread pipeline under a realistic server workload: the graph the
+/// builder thread constructs from ring records must match the inline-built
+/// graph byte-for-byte.
+TEST(Stress, AcmeAirAsyncPipelineMatchesSync) {
+  auto RunServer = [](instr::AnalysisBase &Analysis) {
+    Runtime RT;
+    acmeair::AppConfig ACfg;
+    acmeair::AcmeAirApp App(RT, ACfg);
+    acmeair::WorkloadConfig WCfg;
+    WCfg.TotalRequests = 300;
+    WCfg.Clients = 8;
+    acmeair::WorkloadDriver Driver(RT, ACfg.Port, WCfg);
+    RT.hooks().attach(&Analysis);
+    runMain(RT, [&](Runtime &) {
+      App.start(JSLOC);
+      Driver.start();
+    });
+    ASSERT_EQ(Driver.errors(), 0u);
+  };
+
+  AsyncGBuilder Sync;
+  RunServer(Sync);
+
+  AsyncGBuilder OffThread;
+  {
+    ag::AsyncPipeline Pipeline(OffThread);
+    RunServer(Pipeline);
+    Pipeline.stop();
+    EXPECT_GT(Pipeline.pushedRecords(), 10000u);
+    EXPECT_EQ(Pipeline.pushedRecords(), Pipeline.consumedRecords());
+    EXPECT_EQ(Pipeline.droppedEvents(), 0u);
+  }
+
+  EXPECT_EQ(viz::toDot(OffThread.graph()), viz::toDot(Sync.graph()));
 }
 
 } // namespace

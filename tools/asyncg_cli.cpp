@@ -9,15 +9,23 @@
 // visualization front ends.
 //
 //   asyncg_cli --list
-//   asyncg_cli --case SO-33330277 [--fixed] [--nopromise]
-//              [--dot FILE] [--json FILE] [--html FILE] [--quiet]
+//   asyncg_cli --case SO-33330277 [--fixed] [--nopromise] [--async]
+//              [--record FILE] [--dot FILE] [--json FILE] [--html FILE]
+//              [--quiet]
+//   asyncg_cli --replay FILE [--nopromise] [--dot FILE] [--json FILE]
+//              [--html FILE] [--quiet]
 //
 // With no output flags, prints the tick-by-tick text rendering and the
-// warnings to stdout.
+// warnings to stdout. --async routes construction through the off-thread
+// pipeline (ag/AsyncPipeline.h); --record additionally writes a binary
+// .agtrace of the run, and --replay rebuilds a graph from such a trace
+// without executing any case.
 //
 //===----------------------------------------------------------------------===//
 
+#include "ag/AsyncPipeline.h"
 #include "cases/Case.h"
+#include "instr/TraceCodec.h"
 #include "support/Format.h"
 #include "viz/Dot.h"
 #include "viz/Html.h"
@@ -26,6 +34,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 using namespace asyncg;
@@ -36,17 +45,22 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s --list\n"
-               "       %s --case NAME [--fixed] [--nopromise] [--dot FILE]"
+               "       %s --case NAME [--fixed] [--nopromise] [--async]"
+               " [--record FILE]\n"
+               "           [--dot FILE] [--json FILE] [--html FILE]"
+               " [--quiet]\n"
+               "       %s --replay FILE [--nopromise] [--dot FILE]"
                " [--json FILE] [--html FILE] [--quiet]\n",
-               Prog, Prog);
+               Prog, Prog, Prog);
   return 2;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string CaseName, DotFile, JsonFile, HtmlFile;
+  std::string CaseName, DotFile, JsonFile, HtmlFile, RecordFile, ReplayFile;
   bool Fixed = false, NoPromise = false, Quiet = false, List = false;
+  bool Async = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -64,6 +78,12 @@ int main(int Argc, char **Argv) {
       NoPromise = true;
     else if (Arg == "--quiet")
       Quiet = true;
+    else if (Arg == "--async")
+      Async = true;
+    else if (Arg == "--record" && Next(RecordFile))
+      continue;
+    else if (Arg == "--replay" && Next(ReplayFile))
+      continue;
     else if (Arg == "--case" && Next(CaseName))
       continue;
     else if (Arg == "--dot" && Next(DotFile))
@@ -84,8 +104,54 @@ int main(int Argc, char **Argv) {
                   Def.Description.c_str());
     return 0;
   }
-  if (CaseName.empty())
+  if (CaseName.empty() == ReplayFile.empty()) // exactly one of the two
     return usage(Argv[0]);
+
+  ag::BuilderConfig BCfg;
+  BCfg.TrackPromises = !NoPromise;
+
+  // Shared tail: text rendering + file dumps for whichever graph we built.
+  auto Emit = [&](const ag::AsyncGraph &G) {
+    if (!DotFile.empty() && !viz::writeFile(DotFile, viz::toDot(G))) {
+      std::fprintf(stderr, "error: cannot write %s\n", DotFile.c_str());
+      return 1;
+    }
+    if (!JsonFile.empty() && !viz::writeFile(JsonFile, viz::toJson(G))) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonFile.c_str());
+      return 1;
+    }
+    if (!HtmlFile.empty() &&
+        !viz::writeFile(HtmlFile, viz::toHtml(G, CaseName.empty()
+                                                  ? ReplayFile + " — Async Graph"
+                                                  : CaseName + " — Async Graph"))) {
+      std::fprintf(stderr, "error: cannot write %s\n", HtmlFile.c_str());
+      return 1;
+    }
+    return 0;
+  };
+
+  if (!ReplayFile.empty()) {
+    ag::AsyncGBuilder Builder(BCfg);
+    detect::DetectorSuite Detectors;
+    Detectors.attachTo(Builder);
+    std::string Err;
+    if (!instr::replayTrace(ReplayFile, Builder, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    const ag::AsyncGraph &G = Builder.graph();
+    if (!Quiet) {
+      std::printf("=== replay of %s%s ===\n", ReplayFile.c_str(),
+                  NoPromise ? " (promise tracking off)" : "");
+      std::printf("graph: %zu nodes, %zu edges\n\n", G.nodeCount(),
+                  G.edges().size());
+      viz::TextOptions TOpts;
+      TOpts.MaxTicks = 12;
+      std::printf("%s\n%s", viz::toText(G, TOpts).c_str(),
+                  viz::warningsReport(G).c_str());
+    }
+    return Emit(G);
+  }
 
   const CaseDef *Found = nullptr;
   for (const CaseDef &Def : allCases())
@@ -99,13 +165,37 @@ int main(int Argc, char **Argv) {
 
   // Run under a fresh runtime so we keep the graph for dumping.
   jsrt::Runtime RT(Found->Config);
-  ag::BuilderConfig BCfg;
-  BCfg.TrackPromises = !NoPromise;
   ag::AsyncGBuilder Builder(BCfg);
   detect::DetectorSuite Detectors;
   Detectors.attachTo(Builder);
-  RT.hooks().attach(&Builder);
+  std::unique_ptr<ag::AsyncPipeline> Pipeline;
+  if (Async) {
+    Pipeline = std::make_unique<ag::AsyncPipeline>(Builder);
+    RT.hooks().attach(Pipeline.get());
+  } else {
+    RT.hooks().attach(&Builder);
+  }
+  instr::TraceRecorder Recorder;
+  if (!RecordFile.empty()) {
+    if (!Recorder.open(RecordFile)) {
+      std::fprintf(stderr, "error: cannot write %s\n", RecordFile.c_str());
+      return 1;
+    }
+    RT.hooks().attach(&Recorder);
+  }
   Found->Run(RT, Fixed);
+  if (Pipeline)
+    Pipeline->stop(); // barrier: graph complete before we read it
+  if (!RecordFile.empty()) {
+    if (!Recorder.finalize()) {
+      std::fprintf(stderr, "error: cannot finalize %s\n", RecordFile.c_str());
+      return 1;
+    }
+    if (!Quiet)
+      std::printf("trace: %llu records -> %s\n",
+                  static_cast<unsigned long long>(Recorder.recordCount()),
+                  RecordFile.c_str());
+  }
   if (Found->PostAnalysis)
     Found->PostAnalysis(RT, Builder.graph());
 
@@ -126,19 +216,5 @@ int main(int Argc, char **Argv) {
                 viz::warningsReport(G).c_str());
   }
 
-  if (!DotFile.empty() && !viz::writeFile(DotFile, viz::toDot(G))) {
-    std::fprintf(stderr, "error: cannot write %s\n", DotFile.c_str());
-    return 1;
-  }
-  if (!JsonFile.empty() && !viz::writeFile(JsonFile, viz::toJson(G))) {
-    std::fprintf(stderr, "error: cannot write %s\n", JsonFile.c_str());
-    return 1;
-  }
-  if (!HtmlFile.empty() &&
-      !viz::writeFile(HtmlFile,
-                      viz::toHtml(G, Found->Name + " — Async Graph"))) {
-    std::fprintf(stderr, "error: cannot write %s\n", HtmlFile.c_str());
-    return 1;
-  }
-  return 0;
+  return Emit(G);
 }

@@ -4,7 +4,7 @@
 # Part of AsyncG-C++. MIT License.
 #
 # Smoke-checks the benchmark JSON pipeline: configures a Release build,
-# runs micro_ag and micro_eventloop with --json, and validates that each
+# runs micro_ag, micro_eventloop, and micro_ring with --json, and validates that each
 # emitted BENCH_<name>.json matches the BenchReport schema
 # (bench / config / metrics[{name, value, unit}]). Exits non-zero on any
 # build, run, or schema failure.
@@ -21,8 +21,8 @@ OUT_DIR="$BUILD_DIR/bench-json"
 echo "== configuring Release build in $BUILD_DIR"
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 
-echo "== building micro_ag + micro_eventloop"
-cmake --build "$BUILD_DIR" --target micro_ag micro_eventloop -j >/dev/null
+echo "== building micro_ag + micro_eventloop + micro_ring"
+cmake --build "$BUILD_DIR" --target micro_ag micro_eventloop micro_ring -j >/dev/null
 
 mkdir -p "$OUT_DIR"
 
@@ -37,6 +37,7 @@ run_bench() {
 
 run_bench micro_ag
 run_bench micro_eventloop
+run_bench micro_ring
 
 echo "== validating schema"
 python3 - "$OUT_DIR"/BENCH_*.json <<'EOF'
