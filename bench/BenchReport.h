@@ -21,6 +21,9 @@
 ///   }
 /// \endcode
 ///
+/// Every report automatically appends a "peak_rss" metric (KiB, from
+/// getrusage) so memory regressions show up in the same trend lines.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ASYNCG_BENCH_BENCHREPORT_H
@@ -33,8 +36,30 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace asyncg {
 namespace benchjson {
+
+/// Peak resident set size of this process in KiB, or 0 when the platform
+/// does not expose it. Sampled at report-serialization time, so it covers
+/// the whole benchmark run.
+inline double peakRssKiB() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return static_cast<double>(RU.ru_maxrss) / 1024.0; // bytes on macOS
+#else
+  return static_cast<double>(RU.ru_maxrss); // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// Accumulates config entries and metrics, then serializes them.
 class BenchReport {
@@ -74,6 +99,13 @@ public:
       W.field("name", M.Name);
       W.field("value", M.Value);
       W.field("unit", M.Unit);
+      W.endObject();
+    }
+    if (double Rss = peakRssKiB(); Rss > 0) {
+      W.beginObject();
+      W.field("name", "peak_rss");
+      W.field("value", Rss);
+      W.field("unit", "KiB");
       W.endObject();
     }
     W.endArray();

@@ -1,0 +1,292 @@
+//===- soak_steady_state.cpp - bounded-memory soak (retirement) ---------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Long-haul soak (ours, beyond the paper): drives the AcmeAir workload for
+// many requests twice — once with the full in-memory Async Graph (the
+// paper's design) and once with tick-epoch retirement (--retire) — and
+// reports the steady-state builder footprint, peak process RSS, and the
+// first-half vs second-half request throughput drift. Demonstrates that
+// retirement turns the O(run-length) graph into an O(retain-window)
+// structure without slowing the loop down over time.
+//
+//   soak_steady_state [--requests N] [--clients N] [--window N]
+//                     [--json FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+
+#include "ag/Builder.h"
+#include "apps/acmeair/App.h"
+#include "apps/acmeair/Workload.h"
+#include "detect/Detectors.h"
+#include "jsrt/Runtime.h"
+#include "support/SymbolTable.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+using namespace asyncg::acmeair;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Piggybacks on the instrumentation stream to sample the builder footprint
+/// periodically and timestamp the moment half the requests completed. Lives
+/// outside the graph pipeline: it only reads.
+class SoakSampler : public instr::AnalysisBase {
+public:
+  SoakSampler(const ag::AsyncGBuilder &Builder, const WorkloadDriver &Driver,
+              uint64_t HalfRequests)
+      : Builder(Builder), Driver(Driver), HalfRequests(HalfRequests) {}
+
+  const char *analysisName() const override { return "SoakSampler"; }
+
+  void onFunctionEnter(const instr::FunctionEnterEvent &) override {
+    if (++Events % SampleEvery != 0)
+      return;
+    size_t Foot = Builder.memoryFootprint();
+    Samples.push_back(Foot);
+    Peak = std::max(Peak, Foot);
+    if (HalfAt == Clock::time_point() && Driver.completed() >= HalfRequests) {
+      HalfAt = Clock::now();
+      HalfSampleIndex = Samples.size();
+    }
+  }
+
+  uint64_t Events = 0;
+  static constexpr uint64_t SampleEvery = 4096;
+  std::vector<size_t> Samples;
+  size_t Peak = 0;
+  Clock::time_point HalfAt;
+  size_t HalfSampleIndex = 0;
+
+private:
+  const ag::AsyncGBuilder &Builder;
+  const WorkloadDriver &Driver;
+  uint64_t HalfRequests;
+};
+
+struct SoakRun {
+  uint64_t Completed = 0;
+  uint64_t Errors = 0;
+  double Seconds = 0;
+  double FirstHalfSecs = 0;
+  double SecondHalfSecs = 0;
+  size_t FinalFootprint = 0;
+  size_t PeakFootprint = 0;
+  /// Largest sample seen after the halfway point (steady state).
+  size_t SecondHalfMax = 0;
+  /// Footprint at the halfway point (start of steady state).
+  size_t HalfFootprint = 0;
+  size_t Warnings = 0;
+};
+
+SoakRun runSoak(uint64_t Requests, int Clients, bool Retire,
+                uint32_t Window) {
+  Runtime RT;
+  AppConfig ACfg;
+  AcmeAirApp App(RT, ACfg);
+  WorkloadConfig WCfg;
+  WCfg.TotalRequests = Requests;
+  WCfg.Clients = Clients;
+  WorkloadDriver Driver(RT, ACfg.Port, WCfg);
+
+  ag::BuilderConfig BCfg;
+  BCfg.Retire = Retire;
+  BCfg.RetainWindow = Window;
+  BCfg.ExpectedNodes = Retire ? 4096 : Requests * 16;
+  BCfg.ExpectedEdges = Retire ? 8192 : Requests * 24;
+  ag::AsyncGBuilder Builder(BCfg);
+  detect::DetectorSuite Detectors;
+  Detectors.attachTo(Builder);
+  SoakSampler Sampler(Builder, Driver, Requests / 2);
+  RT.hooks().attach(&Builder);
+  RT.hooks().attach(&Sampler);
+
+  Function Main = RT.makeBuiltin("main", [&](Runtime &, const CallArgs &) {
+    App.start(JSLOC);
+    Driver.start();
+    return Completion::normal();
+  });
+  auto Start = Clock::now();
+  RT.main(Main);
+  auto End = Clock::now();
+
+  SoakRun R;
+  R.Completed = Driver.completed();
+  R.Errors = Driver.errors();
+  R.Seconds = std::chrono::duration<double>(End - Start).count();
+  if (Sampler.HalfAt != Clock::time_point()) {
+    R.FirstHalfSecs =
+        std::chrono::duration<double>(Sampler.HalfAt - Start).count();
+    R.SecondHalfSecs =
+        std::chrono::duration<double>(End - Sampler.HalfAt).count();
+  }
+  R.FinalFootprint = Builder.memoryFootprint();
+  R.PeakFootprint = std::max(Sampler.Peak, R.FinalFootprint);
+  if (Sampler.HalfSampleIndex > 0 &&
+      Sampler.HalfSampleIndex <= Sampler.Samples.size()) {
+    R.HalfFootprint = Sampler.Samples[Sampler.HalfSampleIndex - 1];
+    for (size_t I = Sampler.HalfSampleIndex; I < Sampler.Samples.size(); ++I)
+      R.SecondHalfMax = std::max(R.SecondHalfMax, Sampler.Samples[I]);
+    R.SecondHalfMax = std::max(R.SecondHalfMax, R.FinalFootprint);
+  }
+  R.Warnings = Builder.graph().warnings().size();
+  if (std::getenv("SOAK_DUMP")) {
+    const ag::AsyncGraph &G = Builder.graph();
+    std::fprintf(stderr,
+                 "[dump retire=%d] ticks vec=%zu live=%zu | nodes vec=%zu "
+                 "live=%zu | edges vec=%zu live=%zu | warnings=%zu | "
+                 "retired ticks=%llu nodes=%llu\n",
+                 Retire, G.ticks().size(), G.liveTickCount(),
+                 G.nodes().size(), G.nodeCount(), G.edges().size(),
+                 G.liveEdgeCount(), G.warnings().size(),
+                 static_cast<unsigned long long>(G.retired().Ticks),
+                 static_cast<unsigned long long>(G.retired().Nodes));
+  }
+  return R;
+}
+
+double mib(size_t Bytes) {
+  return static_cast<double>(Bytes) / (1024.0 * 1024.0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath = benchjson::extractJsonPath(argc, argv);
+  uint64_t Requests = 50000;
+  int Clients = 8;
+  uint32_t Window = 8;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--requests") == 0 && I + 1 < argc)
+      Requests = std::strtoull(argv[++I], nullptr, 10);
+    else if (std::strcmp(argv[I], "--clients") == 0 && I + 1 < argc)
+      Clients = std::atoi(argv[++I]);
+    else if (std::strcmp(argv[I], "--window") == 0 && I + 1 < argc)
+      Window = static_cast<uint32_t>(std::strtoul(argv[++I], nullptr, 10));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--requests N] [--clients N] [--window N]"
+                   " [--json FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("SOAK: bounded-memory steady state (AcmeAir, %llu requests, "
+              "%d clients)\n",
+              static_cast<unsigned long long>(Requests), Clients);
+  std::printf("==============================================================="
+              "=================\n");
+
+  SoakRun Full = runSoak(Requests, Clients, /*Retire=*/false, Window);
+  SoakRun Ret = runSoak(Requests, Clients, /*Retire=*/true, Window);
+
+  auto Report = [&](const char *Name, const SoakRun &R) {
+    double ReqPerSec = R.Seconds > 0
+                           ? static_cast<double>(R.Completed) / R.Seconds
+                           : 0;
+    std::printf("%-12s %8llu req  %8.3f s  %10.1f req/s  footprint "
+                "%8.2f MiB (peak %8.2f MiB)  warnings %zu\n",
+                Name, static_cast<unsigned long long>(R.Completed),
+                R.Seconds, ReqPerSec, mib(R.FinalFootprint),
+                mib(R.PeakFootprint), R.Warnings);
+  };
+  Report("unbounded", Full);
+  Report("retire", Ret);
+
+  double FootprintRatio =
+      Full.FinalFootprint > 0
+          ? static_cast<double>(Ret.FinalFootprint) /
+                static_cast<double>(Full.FinalFootprint)
+          : 1.0;
+  // Steady state is flat when the footprint never grows appreciably past
+  // its halfway-point level in the second half of the run.
+  double SecondHalfGrowth =
+      Ret.HalfFootprint > 0
+          ? static_cast<double>(Ret.SecondHalfMax) /
+                static_cast<double>(Ret.HalfFootprint)
+          : 0.0;
+  // Throughput drift: how much slower the second half ran than the first
+  // (positive = slowdown). The unbounded graph drifts as indices grow; the
+  // retired one should not.
+  double Drift = 0;
+  if (Ret.FirstHalfSecs > 0 && Ret.SecondHalfSecs > 0) {
+    double FirstRate = static_cast<double>(Requests) / 2 / Ret.FirstHalfSecs;
+    double SecondRate =
+        static_cast<double>(Ret.Completed - Requests / 2) /
+        Ret.SecondHalfSecs;
+    Drift = (FirstRate - SecondRate) / FirstRate;
+  }
+
+  std::printf("\nretire/unbounded footprint ratio : %6.3f\n", FootprintRatio);
+  std::printf("retire second-half growth        : %6.3f "
+              "(max/halfway footprint)\n",
+              SecondHalfGrowth);
+  std::printf("retire req/s drift (first->second): %+6.2f%%\n", Drift * 100);
+
+  benchjson::BenchReport R("soak_steady_state");
+  R.config("requests", static_cast<double>(Requests));
+  R.config("clients", static_cast<double>(Clients));
+  R.config("retain_window", static_cast<double>(Window));
+  R.metric("unbounded/footprint", static_cast<double>(Full.FinalFootprint),
+           "bytes");
+  R.metric("unbounded/peak_footprint",
+           static_cast<double>(Full.PeakFootprint), "bytes");
+  R.metric("unbounded/seconds", Full.Seconds, "s");
+  R.metric("unbounded/warnings", static_cast<double>(Full.Warnings), "count");
+  R.metric("retire/footprint", static_cast<double>(Ret.FinalFootprint),
+           "bytes");
+  R.metric("retire/peak_footprint", static_cast<double>(Ret.PeakFootprint),
+           "bytes");
+  R.metric("retire/seconds", Ret.Seconds, "s");
+  R.metric("retire/warnings", static_cast<double>(Ret.Warnings), "count");
+  R.metric("symbol_table", static_cast<double>(symtab().memoryUsage()),
+           "bytes");
+  R.metric("footprint_ratio", FootprintRatio, "ratio");
+  R.metric("second_half_growth", SecondHalfGrowth, "ratio");
+  R.metric("throughput_drift", Drift, "ratio");
+  if (!JsonPath.empty() && !R.write(JsonPath))
+    return 1;
+
+  // Acceptance gates (only meaningful once the run is long enough for the
+  // retain window to be a tiny fraction of the tick count).
+  bool Ok = true;
+  if (Requests >= 10000) {
+    if (FootprintRatio > 0.10) {
+      std::printf("FAIL: retire footprint is %.1f%% of unbounded "
+                  "(budget: 10%%)\n",
+                  FootprintRatio * 100);
+      Ok = false;
+    }
+    if (SecondHalfGrowth > 1.10) {
+      std::printf("FAIL: retired footprint grew %.1f%% past its halfway "
+                  "level (budget: 10%%)\n",
+                  (SecondHalfGrowth - 1) * 100);
+      Ok = false;
+    }
+    if (Drift > 0.05) {
+      std::printf("FAIL: second-half throughput %.1f%% below first half "
+                  "(budget: 5%%)\n",
+                  Drift * 100);
+      Ok = false;
+    }
+  }
+  std::printf("\nbounded-memory steady state: %s\n", Ok ? "yes" : "NO");
+  return Ok ? 0 : 1;
+}

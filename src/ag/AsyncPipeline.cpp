@@ -87,6 +87,9 @@ void AsyncPipeline::consumerMain() {
     size_t N;
     while ((N = Ring.tryPopBatch(Buf.data(), Buf.size())) > 0) {
       Decoder.decode(Buf.data(), N, Sink);
+      // Batch boundary on the builder thread: the sink may retire quiesced
+      // graph regions here, off the event-loop thread's critical path.
+      Sink.onBatchBoundary();
       // Release so flush()'s acquire load sees the sink writes of this
       // batch.
       Consumed.fetch_add(N, std::memory_order_release);
@@ -126,6 +129,13 @@ void AsyncPipeline::onReactionResult(const instr::ReactionResultEvent &E) {
 void AsyncPipeline::onPromiseLink(const instr::PromiseLinkEvent &E) {
   Encoder.promiseLink(E, Scratch);
   pushScratch(/*Structural=*/false);
+}
+
+void AsyncPipeline::onObjectRelease(const instr::ObjectReleaseEvent &E) {
+  Encoder.objectRelease(E, Scratch);
+  // Structural: region-pending accounting depends on every release being
+  // observed, so these never drop under BackpressurePolicy::Drop.
+  pushScratch(/*Structural=*/true);
 }
 
 void AsyncPipeline::onLoopEnd(const instr::LoopEndEvent &E) {

@@ -131,6 +131,7 @@ public:
   void onObjectCreate(const instr::ObjectCreateEvent &E) override;
   void onReactionResult(const instr::ReactionResultEvent &E) override;
   void onPromiseLink(const instr::PromiseLinkEvent &E) override;
+  void onObjectRelease(const instr::ObjectReleaseEvent &E) override;
   void onLoopEnd(const instr::LoopEndEvent &E) override;
   /// @}
 

@@ -71,12 +71,77 @@ void AsyncGBuilder::commitTick() {
     // Move the node list into the graph instead of copying it; the next
     // tick's vector is pre-sized to the committed tick's node count.
     size_t LastTickNodes = CurTick.Nodes.size();
+    uint32_t Committed = CurTick.Index;
     Graph.appendTick(std::move(CurTick));
     CurTick.Nodes = std::vector<NodeId>();
     CurTick.Nodes.reserve(LastTickNodes);
+    if (Config.Retire) {
+      RegionOrdinal[Committed] = ++CommittedCount;
+      // A tick with no obligations quiesces at commit; otherwise the last
+      // unpin queues it (see unpinRegion).
+      if (!RegionPending.contains(Committed))
+        Quiesced.push_back(Committed);
+      runRetireScan();
+    }
   }
   CurTick.Nodes.clear();
   TickOpen = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Tick-epoch retirement
+//===----------------------------------------------------------------------===//
+
+void AsyncGBuilder::pinRegion(uint32_t Tick) {
+  if (!Config.Retire)
+    return;
+  ++RegionPending[Tick];
+}
+
+void AsyncGBuilder::unpinRegion(uint32_t Tick) {
+  if (!Config.Retire)
+    return;
+  uint32_t *Count = RegionPending.find(Tick);
+  assert(Count && *Count > 0 && "unpin without a matching pin");
+  if (--*Count == 0) {
+    RegionPending.erase(Tick);
+    // Still-open ticks (no ordinal yet) quiesce at commitTick instead;
+    // obligations can only be added while a tick is open.
+    if (RegionOrdinal.contains(Tick))
+      Quiesced.push_back(Tick);
+  }
+}
+
+void AsyncGBuilder::runRetireScan() {
+  if (!Config.Retire || Quiesced.empty())
+    return;
+  // Clamped to 1 so the newest committed tick is never retired (its
+  // ordinal equals CommittedCount).
+  uint64_t Window = Config.RetainWindow ? Config.RetainWindow : 1;
+  size_t W = 0;
+  for (size_t I = 0; I != Quiesced.size(); ++I) {
+    uint32_t T = Quiesced[I];
+    const uint64_t *Ord = RegionOrdinal.find(T);
+    if (!Ord)
+      continue; // stale duplicate of an already-retired region
+    if (*Ord + Window > CommittedCount) {
+      Quiesced[W++] = T; // still inside the retain window
+      continue;
+    }
+    for (GraphObserver *O : Observers)
+      O->onRegionRetire(*this, T);
+    Graph.retireTick(T);
+    RegionOrdinal.erase(T);
+  }
+  Quiesced.resize(W);
+}
+
+void AsyncGBuilder::onBatchBoundary() {
+  // Between pipeline ring drains / replay chunks, on the thread driving
+  // this builder. Never retire with a tick open: its nodes still gain
+  // edges to recent regions.
+  if (Config.Retire && !TickOpen)
+    runRetireScan();
 }
 
 void AsyncGBuilder::ensureTick(PhaseKind Phase) {
@@ -110,9 +175,9 @@ NodeId AsyncGBuilder::addNode(AgNode N) {
 
 void AsyncGBuilder::addEdge(NodeId From, NodeId To, EdgeKind Kind,
                             Symbol Label) {
-  Graph.addEdge(From, To, Kind, Label);
+  uint32_t E = Graph.addEdge(From, To, Kind, Label);
   for (GraphObserver *O : Observers)
-    O->onEdgeAdded(*this, Graph.edges().back());
+    O->onEdgeAdded(*this, Graph.edges()[E]);
 }
 
 //===----------------------------------------------------------------------===//
@@ -173,8 +238,14 @@ void AsyncGBuilder::onFunctionEnter(const instr::FunctionEnterEvent &E) {
           addEdge(Reg.Cr, Ce, EdgeKind::Causal);
 
         ++Graph.node(Reg.Cr).ExecCount;
-        if (Reg.Once)
+        if (Reg.Once) {
+          unpinRegion(Reg.RegTick);
           Regs.erase(Regs.begin() + static_cast<ptrdiff_t>(I));
+          // Drop the emptied key so the map stays proportional to the
+          // genuinely pending registrations.
+          if (Regs.empty())
+            Pending.erase(E.F.id());
+        }
         break;
       }
     }
@@ -256,6 +327,8 @@ void AsyncGBuilder::processRegistration(const instr::ApiCallEvent &E) {
     Reg.Once = E.Once;
     Reg.BoundObj = E.BoundObj;
     Reg.Event = E.EventName;
+    Reg.RegTick = Graph.node(Cr).Tick;
+    pinRegion(Reg.RegTick);
     Pending[Cb.id()].push_back(std::move(Reg));
   }
 
@@ -302,31 +375,58 @@ void AsyncGBuilder::processCombinator(const instr::ApiCallEvent &E) {
 }
 
 void AsyncGBuilder::processRemoval(const instr::ApiCallEvent &E) {
+  // A removed registration can never fire: mark its CR, notify observers,
+  // and erase it from the pending lists (releasing its region pin).
   if (E.Api == ApiKind::EmitterRemoveListener) {
     if (!E.TriggerHadEffect || E.Callbacks.empty())
       return;
-    std::vector<PendingReg> *Regs = Pending.find(E.Callbacks.front().id());
+    FunctionId Fn = E.Callbacks.front().id();
+    std::vector<PendingReg> *Regs = Pending.find(Fn);
     if (!Regs)
       return;
-    for (PendingReg &Reg : *Regs) {
+    for (size_t I = 0, N = Regs->size(); I != N; ++I) {
+      PendingReg &Reg = (*Regs)[I];
       if (Reg.BoundObj != E.BoundObj || Reg.Event != E.EventName)
         continue;
-      AgNode &Cr = Graph.node(Reg.Cr);
-      if (Cr.Removed)
-        continue;
-      Cr.Removed = true;
+      NodeId CrId = Reg.Cr;
+      Graph.node(CrId).Removed = true;
+      unpinRegion(Reg.RegTick);
+      Regs->erase(Regs->begin() + static_cast<ptrdiff_t>(I));
+      if (Regs->empty())
+        Pending.erase(Fn);
+      for (GraphObserver *O : Observers)
+        O->onRegistrationRemoved(*this, CrId);
       return;
     }
     return;
   }
 
   if (E.Api == ApiKind::EmitterRemoveAll) {
+    KeyScratch.clear();
     for (auto &[Fn, Regs] : Pending) {
-      (void)Fn;
-      for (PendingReg &Reg : Regs)
-        if (Reg.BoundObj == E.BoundObj && Reg.Event == E.EventName)
-          Graph.node(Reg.Cr).Removed = true;
+      size_t W = 0;
+      for (size_t I = 0; I != Regs.size(); ++I) {
+        PendingReg &Reg = Regs[I];
+        if (Reg.BoundObj == E.BoundObj && Reg.Event == E.EventName) {
+          NodeId CrId = Reg.Cr;
+          Graph.node(CrId).Removed = true;
+          unpinRegion(Reg.RegTick);
+          for (GraphObserver *O : Observers)
+            O->onRegistrationRemoved(*this, CrId);
+          continue;
+        }
+        if (W != I)
+          Regs[W] = std::move(Regs[I]);
+        ++W;
+      }
+      Regs.resize(W);
+      if (Regs.empty())
+        KeyScratch.push_back(Fn);
     }
+    // Erase emptied keys after the iteration: FlatMap must not be mutated
+    // while being walked.
+    for (FunctionId Fn : KeyScratch)
+      Pending.erase(Fn);
   }
 }
 
@@ -374,6 +474,9 @@ void AsyncGBuilder::onObjectCreate(const instr::ObjectCreateEvent &E) {
   Node.Internal = E.Internal || E.Loc.isInternal();
   Node.IsPromise = E.IsPromise;
   NodeId Ob = addNode(std::move(Node));
+  // The OB pins its region until the runtime releases the object: queries
+  // and detectors can reach it for as long as the program can.
+  pinRegion(Graph.node(Ob).Tick);
 
   // Promise chain relation: parent △ ⇠ derived △ labeled with the API.
   if (E.Parent != 0) {
@@ -400,10 +503,69 @@ void AsyncGBuilder::onPromiseLink(const instr::PromiseLinkEvent &E) {
     addEdge(From, To, EdgeKind::Relation, "link");
 }
 
+void AsyncGBuilder::onObjectRelease(const instr::ObjectReleaseEvent &E) {
+  if (!Config.BuildGraph)
+    return;
+  if (E.IsPromise ? !Config.TrackPromises : !Config.TrackEmitters)
+    return;
+
+  // Every registration still bound to the object can never fire again:
+  // give observers the definitive verdict, then erase it. This runs in
+  // both modes so detector inputs are identical with and without --retire.
+  KeyScratch.clear();
+  for (auto &[Fn, Regs] : Pending) {
+    size_t W = 0;
+    for (size_t I = 0; I != Regs.size(); ++I) {
+      PendingReg &Reg = Regs[I];
+      if (Reg.BoundObj == E.Obj) {
+        NodeId CrId = Reg.Cr;
+        for (GraphObserver *O : Observers)
+          O->onRegistrationReleased(*this, CrId);
+        unpinRegion(Reg.RegTick);
+        continue;
+      }
+      if (W != I)
+        Regs[W] = std::move(Regs[I]);
+      ++W;
+    }
+    Regs.resize(W);
+    if (Regs.empty())
+      KeyScratch.push_back(Fn);
+  }
+  for (FunctionId Fn : KeyScratch)
+    Pending.erase(Fn);
+
+  NodeId Ob = Graph.objectNode(E.Obj);
+  for (GraphObserver *O : Observers)
+    O->onObjectReleased(*this, Ob, E.Obj, E.IsPromise);
+  // The object's OB node (if it was ever bound into the graph) no longer
+  // pins its region.
+  if (Ob != InvalidNode)
+    unpinRegion(Graph.node(Ob).Tick);
+}
+
 void AsyncGBuilder::onLoopEnd(const instr::LoopEndEvent &E) {
   (void)E;
   assert(ShadowStack.empty() && "loop ended mid-callback");
   commitTick();
+  // Regions quiesced by releases since the last commit retire now, before
+  // end-of-run analyses run over the retained window.
+  runRetireScan();
   for (GraphObserver *O : Observers)
     O->onEnd(*this);
+}
+
+size_t AsyncGBuilder::memoryFootprint() const {
+  size_t Bytes = Graph.memoryFootprint();
+  Bytes += Pending.memoryUsage();
+  for (const auto &KV : Pending)
+    Bytes += KV.second.capacity() * sizeof(PendingReg);
+  Bytes += RegionPending.memoryUsage();
+  Bytes += RegionOrdinal.memoryUsage();
+  Bytes += Quiesced.capacity() * sizeof(uint32_t);
+  Bytes += KeyScratch.capacity() * sizeof(jsrt::FunctionId);
+  Bytes += ShadowStack.capacity() * sizeof(jsrt::FunctionId);
+  Bytes += CeStack.capacity() * sizeof(NodeId);
+  Bytes += CurTick.Nodes.capacity() * sizeof(NodeId);
+  return Bytes;
 }

@@ -53,6 +53,16 @@ struct BuilderConfig {
   /// them for long-running workloads to avoid growth reallocations.
   size_t ExpectedNodes = 256;
   size_t ExpectedEdges = 512;
+  /// Tick-epoch retirement: once a tick-rooted region has no pending
+  /// registrations, live listeners/timers, or unreleased tracked objects,
+  /// and has fallen RetainWindow ticks behind the newest committed tick,
+  /// its nodes are folded into the graph's RetiredSummary and reclaimed.
+  /// Off by default: the full graph is the paper's behavior, and short
+  /// runs want it for post-mortem queries.
+  bool Retire = false;
+  /// How many committed ticks a quiesced region is retained before being
+  /// retired (the live window available to detectors and viz).
+  uint32_t RetainWindow = 8;
 };
 
 /// The AsyncG dynamic analysis.
@@ -88,6 +98,11 @@ public:
   uint64_t ticksOpened() const { return TickCounter; }
   /// @}
 
+  /// Bytes retained by the builder: the graph plus the validator's pending
+  /// lists and the retirement accounting. The global symbol table is
+  /// reported separately by symtab().memoryUsage().
+  size_t memoryFootprint() const;
+
   /// \name AnalysisBase hooks
   /// @{
   void onFunctionEnter(const instr::FunctionEnterEvent &E) override;
@@ -96,7 +111,11 @@ public:
   void onObjectCreate(const instr::ObjectCreateEvent &E) override;
   void onReactionResult(const instr::ReactionResultEvent &E) override;
   void onPromiseLink(const instr::PromiseLinkEvent &E) override;
+  void onObjectRelease(const instr::ObjectReleaseEvent &E) override;
   void onLoopEnd(const instr::LoopEndEvent &E) override;
+  /// Safe point between pipeline/replay batches: retires eligible regions
+  /// when Config.Retire is on and no tick is open.
+  void onBatchBoundary() override;
   /// @}
 
 private:
@@ -129,6 +148,21 @@ private:
   void processCombinator(const instr::ApiCallEvent &E);
   void processRemoval(const instr::ApiCallEvent &E);
 
+  /// \name Tick-epoch retirement accounting
+  /// Each committed tick roots a region; RegionPending counts the
+  /// obligations pinning it: one per pending registration whose CR lives
+  /// in the tick, one per unreleased tracked object whose OB lives in it.
+  /// A region whose count reaches zero after commit is quiesced; once it
+  /// falls RetainWindow ticks behind the newest committed tick it is
+  /// retired (observers notified, then storage reclaimed).
+  /// @{
+  void pinRegion(uint32_t Tick);
+  void unpinRegion(uint32_t Tick);
+  /// Retires every quiesced region outside the retain window. Called at
+  /// commitTick and from onBatchBoundary (never while a tick is open).
+  void runRetireScan();
+  /// @}
+
   BuilderConfig Config;
   AsyncGraph Graph;
   std::vector<GraphObserver *> Observers;
@@ -152,6 +186,23 @@ private:
   /// The pending registration lists L_pending^cb, keyed by callback
   /// function identity (flat-hash: probed on every function enter).
   FlatMap<jsrt::FunctionId, std::vector<PendingReg>> Pending;
+
+  /// Obligation count per (committed or open) tick index; absent = zero.
+  FlatMap<uint32_t, uint32_t> RegionPending;
+  /// Committed ticks whose obligation count dropped to zero, awaiting the
+  /// retain window. May transiently hold duplicates/live entries; the
+  /// retire scan re-checks.
+  std::vector<uint32_t> Quiesced;
+  /// Commit ordinal per retained committed tick (1-based); a region is
+  /// outside the retain window once CommittedCount has advanced
+  /// RetainWindow past its ordinal, i.e. the window is measured in
+  /// committed (rendered) ticks, not opened tick indices. Erased at
+  /// retirement, so the map is proportional to the retained ticks.
+  FlatMap<uint32_t, uint64_t> RegionOrdinal;
+  uint64_t CommittedCount = 0;
+
+  /// Reusable scratch for FlatMap key collection during releases.
+  std::vector<jsrt::FunctionId> KeyScratch;
 
   /// Reusable label-building buffer: steady state allocates nothing.
   std::string Scratch;

@@ -20,7 +20,16 @@ void AsyncGraph::appendTick(AgTick T) {
 }
 
 NodeId AsyncGraph::addNode(AgNode N, AgTick &T) {
-  NodeId Id = static_cast<NodeId>(Nodes.size());
+  NodeId Id;
+  if (!FreeNodes.empty()) {
+    Id = FreeNodes.back();
+    FreeNodes.pop_back();
+  } else {
+    Id = static_cast<NodeId>(Nodes.size());
+    Nodes.emplace_back();
+    Out.emplace_back();
+    In.emplace_back();
+  }
   N.Id = Id;
   N.Tick = T.Index;
   T.Nodes.push_back(Id);
@@ -40,8 +49,15 @@ NodeId AsyncGraph::addNode(AgNode N, AgTick &T) {
   case NodeKind::CE:
     if (N.Sched != 0) {
       ExecChain &C = ExecIndex[N.Sched];
-      uint32_t Cell = static_cast<uint32_t>(ExecPool.size());
-      ExecPool.push_back(detail::AdjCell{Id, detail::AdjNil});
+      uint32_t Cell;
+      if (ExecFree != detail::AdjNil) {
+        Cell = ExecFree;
+        ExecFree = ExecPool[Cell].Next;
+        ExecPool[Cell] = detail::AdjCell{Id, detail::AdjNil};
+      } else {
+        Cell = static_cast<uint32_t>(ExecPool.size());
+        ExecPool.push_back(detail::AdjCell{Id, detail::AdjNil});
+      }
       if (C.Tail == detail::AdjNil)
         C.Head = Cell;
       else
@@ -51,15 +67,20 @@ NodeId AsyncGraph::addNode(AgNode N, AgTick &T) {
     break;
   }
 
-  Nodes.push_back(std::move(N));
-  Out.emplace_back();
-  In.emplace_back();
+  Nodes[Id] = std::move(N);
   return Id;
 }
 
 void AsyncGraph::pushAdj(AdjList &L, uint32_t E) {
-  uint32_t Cell = static_cast<uint32_t>(AdjPool.size());
-  AdjPool.push_back(detail::AdjCell{E, detail::AdjNil});
+  uint32_t Cell;
+  if (AdjFree != detail::AdjNil) {
+    Cell = AdjFree;
+    AdjFree = AdjPool[Cell].Next;
+    AdjPool[Cell] = detail::AdjCell{E, detail::AdjNil};
+  } else {
+    Cell = static_cast<uint32_t>(AdjPool.size());
+    AdjPool.push_back(detail::AdjCell{E, detail::AdjNil});
+  }
   if (L.Tail == detail::AdjNil)
     L.Head = Cell;
   else
@@ -68,12 +89,56 @@ void AsyncGraph::pushAdj(AdjList &L, uint32_t E) {
   ++L.Count;
 }
 
-void AsyncGraph::addEdge(NodeId From, NodeId To, EdgeKind Kind, Symbol Label) {
+void AsyncGraph::unlinkAdj(AdjList &L, uint32_t E) {
+  uint32_t Prev = detail::AdjNil;
+  for (uint32_t At = L.Head; At != detail::AdjNil; At = AdjPool[At].Next) {
+    if (AdjPool[At].Edge != E) {
+      Prev = At;
+      continue;
+    }
+    uint32_t Next = AdjPool[At].Next;
+    if (Prev == detail::AdjNil)
+      L.Head = Next;
+    else
+      AdjPool[Prev].Next = Next;
+    if (L.Tail == At)
+      L.Tail = Prev;
+    AdjPool[At].Next = AdjFree;
+    AdjFree = At;
+    --L.Count;
+    return;
+  }
+  assert(false && "unlinkAdj: edge not in list");
+}
+
+uint32_t AsyncGraph::addEdge(NodeId From, NodeId To, EdgeKind Kind,
+                             Symbol Label) {
   assert(From < Nodes.size() && To < Nodes.size() && "edge endpoints exist");
-  uint32_t E = static_cast<uint32_t>(Edges.size());
-  Edges.push_back(AgEdge{From, To, Kind, Label});
+  assert(Nodes[From].Id == From && Nodes[To].Id == To &&
+         "edge endpoints are live");
+  uint32_t E;
+  if (!FreeEdges.empty()) {
+    E = FreeEdges.back();
+    FreeEdges.pop_back();
+    Edges[E] = AgEdge{From, To, Kind, Label};
+  } else {
+    E = static_cast<uint32_t>(Edges.size());
+    Edges.push_back(AgEdge{From, To, Kind, Label});
+  }
   pushAdj(Out[From], E);
   pushAdj(In[To], E);
+  return E;
+}
+
+void AsyncGraph::removeEdge(uint32_t E) {
+  AgEdge &Ed = Edges[E];
+  assert(Ed.From != InvalidNode && "removing a dead edge");
+  unlinkAdj(Out[Ed.From], E);
+  unlinkAdj(In[Ed.To], E);
+  Ed.From = InvalidNode;
+  Ed.To = InvalidNode;
+  FreeEdges.push_back(E);
+  ++Summary.Edges;
 }
 
 void AsyncGraph::reserveHint(size_t ExpectedNodes, size_t ExpectedEdges) {
@@ -90,7 +155,7 @@ void AsyncGraph::reserveHint(size_t ExpectedNodes, size_t ExpectedEdges) {
 }
 
 bool AsyncGraph::addWarning(Warning W) {
-  auto Key = std::make_tuple(static_cast<int>(W.Category), W.Node,
+  auto Key = std::make_tuple(static_cast<int>(W.Category), W.Message.id(),
                              W.Loc.fileSymbol().id(), W.Loc.line());
   if (!WarningKeys.insert(Key).second)
     return false;
@@ -102,8 +167,9 @@ void AsyncGraph::clearWarnings(const std::set<BugCategory> &Categories) {
   std::vector<Warning> Kept;
   Kept.reserve(Warnings.size());
   for (Warning &W : Warnings) {
-    if (Categories.count(W.Category)) {
-      WarningKeys.erase(std::make_tuple(static_cast<int>(W.Category), W.Node,
+    if (!W.Sticky && Categories.count(W.Category)) {
+      WarningKeys.erase(std::make_tuple(static_cast<int>(W.Category),
+                                        W.Message.id(),
                                         W.Loc.fileSymbol().id(),
                                         W.Loc.line()));
       continue;
@@ -111,6 +177,114 @@ void AsyncGraph::clearWarnings(const std::set<BugCategory> &Categories) {
     Kept.push_back(std::move(W));
   }
   Warnings = std::move(Kept);
+}
+
+void AsyncGraph::retireNode(NodeId N) {
+  AgNode &Node = Nodes[N];
+  assert(Node.Id == N && "retiring a dead node");
+
+  ++Summary.Nodes;
+  ++Summary.ByKind[static_cast<int>(Node.Kind)];
+  ++Summary.ByApi[static_cast<uint32_t>(Node.Api)];
+  ++Summary.ByLoc[(static_cast<uint64_t>(Node.Loc.fileSymbol().id()) << 32) |
+                  Node.Loc.line()];
+
+  // Unlink every incident edge. Read each cell's Next before removal:
+  // removeEdge frees the cell we stand on (its Next becomes a freelist
+  // link), but never any other cell of the same chain — the edge's second
+  // cell lives in the opposite endpoint's list (the graph has no
+  // self-edges).
+  for (int Dir = 0; Dir != 2; ++Dir) {
+    uint32_t Head = Dir == 0 ? Out[N].Head : In[N].Head;
+    for (uint32_t At = Head, Next; At != detail::AdjNil; At = Next) {
+      Next = AdjPool[At].Next;
+      uint32_t E = AdjPool[At].Edge;
+      if (Edges[E].From != InvalidNode)
+        removeEdge(E);
+    }
+  }
+  assert(Out[N].Count == 0 && In[N].Count == 0 &&
+         "adjacency must drain with its edges");
+  Out[N] = AdjList{};
+  In[N] = AdjList{};
+
+  switch (Node.Kind) {
+  case NodeKind::OB:
+    if (const NodeId *P = ObjIndex.find(Node.Obj); P && *P == N)
+      ObjIndex.erase(Node.Obj);
+    break;
+  case NodeKind::CR:
+    if (Node.Sched != 0)
+      if (const NodeId *P = SchedIndex.find(Node.Sched); P && *P == N)
+        SchedIndex.erase(Node.Sched);
+    break;
+  case NodeKind::CT:
+    if (Node.Trigger != 0)
+      if (const NodeId *P = TriggerIndex.find(Node.Trigger); P && *P == N)
+        TriggerIndex.erase(Node.Trigger);
+    break;
+  case NodeKind::CE:
+    if (Node.Sched != 0)
+      if (ExecChain *C = ExecIndex.find(Node.Sched)) {
+        uint32_t Prev = detail::AdjNil;
+        for (uint32_t At = C->Head; At != detail::AdjNil;
+             At = ExecPool[At].Next) {
+          if (ExecPool[At].Edge != N) {
+            Prev = At;
+            continue;
+          }
+          uint32_t Next = ExecPool[At].Next;
+          if (Prev == detail::AdjNil)
+            C->Head = Next;
+          else
+            ExecPool[Prev].Next = Next;
+          if (C->Tail == At)
+            C->Tail = Prev;
+          ExecPool[At].Next = ExecFree;
+          ExecFree = At;
+          break;
+        }
+        if (C->Head == detail::AdjNil)
+          ExecIndex.erase(Node.Sched);
+      }
+    break;
+  }
+
+  Nodes[N] = AgNode{}; // default Id is InvalidNode: the dead-slot marker
+  FreeNodes.push_back(N);
+}
+
+void AsyncGraph::retireTick(uint32_t Index) {
+  auto It = std::lower_bound(
+      Ticks.begin(), Ticks.end(), Index,
+      [](const AgTick &T, uint32_t I) { return T.Index < I; });
+  if (It == Ticks.end() || It->Index != Index || It->Retired)
+    return;
+  AgTick &T = *It;
+
+  // Warnings anchored to dying nodes lose their node reference (the id is
+  // about to be recycled); category/location/message — everything the
+  // warning report prints — stay.
+  for (Warning &W : Warnings)
+    if (W.Node != InvalidNode && W.Node < Nodes.size() &&
+        Nodes[W.Node].Id == W.Node && Nodes[W.Node].Tick == Index)
+      W.Node = InvalidNode;
+
+  for (NodeId N : T.Nodes)
+    retireNode(N);
+  std::vector<NodeId>().swap(T.Nodes);
+  T.Retired = true;
+  ++Summary.Ticks;
+  ++RetiredInVector;
+
+  // Compact the tick vector once tombstones dominate, so Ticks itself
+  // stays O(live window).
+  if (RetiredInVector > 64 && RetiredInVector * 2 > Ticks.size()) {
+    Ticks.erase(std::remove_if(Ticks.begin(), Ticks.end(),
+                               [](const AgTick &T) { return T.Retired; }),
+                Ticks.end());
+    RetiredInVector = 0;
+  }
 }
 
 NodeId AsyncGraph::objectNode(jsrt::ObjectId Obj) const {
@@ -206,5 +380,12 @@ size_t AsyncGraph::memoryFootprint() const {
   for (const AgTick &T : Ticks)
     Bytes += T.Nodes.capacity() * sizeof(NodeId);
   Bytes += Warnings.capacity() * sizeof(Warning);
+  // Warning dedup keys: red-black tree nodes (key + 3 pointers + color).
+  Bytes += WarningKeys.size() *
+           (sizeof(std::tuple<int, SymbolId, SymbolId, uint32_t>) +
+            4 * sizeof(void *));
+  Bytes += FreeNodes.capacity() * sizeof(NodeId);
+  Bytes += FreeEdges.capacity() * sizeof(uint32_t);
+  Bytes += Summary.ByApi.memoryUsage() + Summary.ByLoc.memoryUsage();
   return Bytes;
 }

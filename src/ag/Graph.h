@@ -139,6 +139,10 @@ struct AgTick {
   uint32_t Index = 0;
   jsrt::PhaseKind Phase = jsrt::PhaseKind::Main;
   std::vector<NodeId> Nodes;
+  /// True once the tick's region was retired: its nodes were reclaimed and
+  /// folded into the graph's RetiredSummary. Kept as a tombstone (Index
+  /// still orders the vector for binary search) until compaction.
+  bool Retired = false;
 
   std::string name() const {
     std::string S("t");
@@ -205,6 +209,21 @@ private:
   uint32_t Count;
 };
 
+/// Compact residue of retired regions: what the graph remembers about
+/// reclaimed ticks once their nodes and edges are gone. Bounded by the
+/// number of distinct APIs and source locations, not by run length.
+struct RetiredSummary {
+  uint64_t Ticks = 0;
+  uint64_t Nodes = 0;
+  uint64_t Edges = 0;
+  /// Nodes by NodeKind (CR/CE/CT/OB).
+  uint64_t ByKind[4] = {0, 0, 0, 0};
+  /// Nodes per jsrt::ApiKind (cast to uint32_t).
+  FlatMap<uint32_t, uint64_t> ByApi;
+  /// Nodes per packed (file symbol << 32 | line) source location.
+  FlatMap<uint64_t, uint64_t> ByLoc;
+};
+
 /// The Async Graph: ticks, nodes, edges, adjacency, and warnings.
 class AsyncGraph {
 public:
@@ -218,20 +237,35 @@ public:
   /// \p T must be the currently open tick's storage (builder-managed).
   NodeId addNode(AgNode N, AgTick &T);
 
-  /// Adds an edge and updates adjacency.
-  void addEdge(NodeId From, NodeId To, EdgeKind Kind, Symbol Label = Symbol());
+  /// Adds an edge and updates adjacency. Returns the edge's slot in
+  /// edges() — a recycled freelist slot when regions have retired, so
+  /// callers must not assume the new edge is edges().back().
+  uint32_t addEdge(NodeId From, NodeId To, EdgeKind Kind,
+                   Symbol Label = Symbol());
 
-  /// Records a warning (deduplicated on (category, node)). Returns true if
-  /// newly added.
+  /// Records a warning (deduplicated on (category, message, location) —
+  /// deliberately not on the node id, which is recycled once regions
+  /// retire). Returns true if newly added.
   bool addWarning(Warning W);
 
-  /// Drops all end-of-run warnings so a re-run of the final analyses (after
-  /// another loop drain) can recompute them. \p Categories selects which.
+  /// Drops all non-sticky end-of-run warnings so a re-run of the final
+  /// analyses (after another loop drain) can recompute them. \p Categories
+  /// selects which. Sticky warnings (definitive verdicts) survive.
   void clearWarnings(const std::set<BugCategory> &Categories);
 
   /// Pre-sizes node/edge/adjacency storage for an expected graph size
   /// (builder-known workload hints); cheap to call more than once.
   void reserveHint(size_t ExpectedNodes, size_t ExpectedEdges);
+
+  /// Retires the region rooted at tick \p Index: folds every node into the
+  /// RetiredSummary, unlinks and frees all incident edges and adjacency
+  /// cells, drops the id-index entries, invalidates warnings anchored to
+  /// the dying nodes, and pushes node/edge slots onto freelists so live
+  /// NodeIds stay stable while storage is recycled. The caller (the
+  /// builder) guarantees the region has quiesced: no pending registration,
+  /// live listener/timer, or unreleased tracked object pins it. No-op if
+  /// the tick is unknown or already retired.
+  void retireTick(uint32_t Index);
   /// @}
 
   /// \name Queries
@@ -243,7 +277,21 @@ public:
 
   const AgNode &node(NodeId N) const { return Nodes[N]; }
   AgNode &node(NodeId N) { return Nodes[N]; }
-  size_t nodeCount() const { return Nodes.size(); }
+
+  /// Live node count (slots minus freelisted ones). Equals nodes().size()
+  /// until regions retire.
+  size_t nodeCount() const { return Nodes.size() - FreeNodes.size(); }
+  size_t liveEdgeCount() const { return Edges.size() - FreeEdges.size(); }
+  size_t liveTickCount() const { return Ticks.size() - RetiredInVector; }
+
+  /// True if the node slot was reclaimed by retirement (cold-path scans
+  /// over nodes() must skip these).
+  bool deadNode(NodeId N) const { return Nodes[N].Id == InvalidNode; }
+  /// True if the edge slot was reclaimed by retirement.
+  bool deadEdge(uint32_t E) const { return Edges[E].From == InvalidNode; }
+
+  /// Aggregate residue of everything retired so far.
+  const RetiredSummary &retired() const { return Summary; }
 
   /// Edge indices leaving / entering a node.
   EdgeRange outEdges(NodeId N) const {
@@ -302,6 +350,12 @@ private:
   };
 
   void pushAdj(AdjList &L, uint32_t E);
+  /// Unlinks the cell for edge \p E from list \p L and freelists it.
+  void unlinkAdj(AdjList &L, uint32_t E);
+  /// Unlinks \p E from both endpoints' adjacency and freelists the slot.
+  void removeEdge(uint32_t E);
+  /// Reclaims one node: edges, index entries, exec chains, then the slot.
+  void retireNode(NodeId N);
 
   std::vector<AgTick> Ticks;
   std::vector<AgNode> Nodes;
@@ -311,8 +365,10 @@ private:
   /// Shared pool of adjacency cells (one per edge per direction).
   std::vector<detail::AdjCell> AdjPool;
   std::vector<Warning> Warnings;
-  /// Dedup key: (category, node, file symbol, line) — no string building.
-  std::set<std::tuple<int, NodeId, SymbolId, uint32_t>> WarningKeys;
+  /// Dedup key: (category, message symbol, file symbol, line). The node id
+  /// is deliberately excluded: ids are recycled across retired regions, and
+  /// keying on the site keeps warning storage bounded by distinct sites.
+  std::set<std::tuple<int, SymbolId, SymbolId, uint32_t>> WarningKeys;
   FlatMap<jsrt::ObjectId, NodeId> ObjIndex;
   FlatMap<jsrt::ScheduleId, NodeId> SchedIndex;
   FlatMap<jsrt::TriggerId, NodeId> TriggerIndex;
@@ -320,6 +376,20 @@ private:
   /// order (replaces the std::multimap).
   FlatMap<jsrt::ScheduleId, ExecChain> ExecIndex;
   std::vector<detail::AdjCell> ExecPool;
+
+  /// \name Retirement storage
+  /// Freelists recycle slots so live ids stay stable; the summary is the
+  /// bounded residue of everything reclaimed.
+  /// @{
+  std::vector<NodeId> FreeNodes;
+  std::vector<uint32_t> FreeEdges;
+  uint32_t AdjFree = detail::AdjNil;
+  uint32_t ExecFree = detail::AdjNil;
+  /// Tombstoned (retired) AgTick entries still in Ticks; the vector is
+  /// compacted once they dominate.
+  size_t RetiredInVector = 0;
+  RetiredSummary Summary;
+  /// @}
 };
 
 } // namespace ag

@@ -56,6 +56,44 @@ public:
     (void)E;
   }
 
+  /// A pending registration was explicitly removed (removeListener,
+  /// removeAllListeners). \p Cr is the registration's CR node, still live.
+  virtual void onRegistrationRemoved(AsyncGBuilder &B, NodeId Cr) {
+    (void)B;
+    (void)Cr;
+  }
+
+  /// A pending registration was released because the object it was bound
+  /// to (its emitter or promise) was released: it can never fire again.
+  /// \p Cr is the registration's CR node, still live — detectors can issue
+  /// definitive (sticky) verdicts here. Fired once per released pending
+  /// registration, before the registration is erased.
+  virtual void onRegistrationReleased(AsyncGBuilder &B, NodeId Cr) {
+    (void)B;
+    (void)Cr;
+  }
+
+  /// A tracked object (promise or emitter) was released by the program.
+  /// \p Ob is its OB node or InvalidNode if the object was never bound
+  /// into the graph. Fired after every registration bound to the object
+  /// was released (see onRegistrationReleased).
+  virtual void onObjectReleased(AsyncGBuilder &B, NodeId Ob,
+                                jsrt::ObjectId Obj, bool IsPromise) {
+    (void)B;
+    (void)Ob;
+    (void)Obj;
+    (void)IsPromise;
+  }
+
+  /// The region rooted at tick \p TickIndex is about to be retired: its
+  /// nodes will be folded into the graph's RetiredSummary and reclaimed
+  /// when this returns. Observers must drop any state keyed by the
+  /// region's tick or node ids.
+  virtual void onRegionRetire(AsyncGBuilder &B, uint32_t TickIndex) {
+    (void)B;
+    (void)TickIndex;
+  }
+
   /// The event loop drained: run end-of-run analyses. May fire more than
   /// once if the embedder pumps the loop again; implementations should
   /// recompute rather than accumulate (see AsyncGraph::clearWarnings).

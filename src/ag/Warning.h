@@ -108,6 +108,11 @@ struct Warning {
   SourceLocation Loc;
   NodeId Node = InvalidNode;
   uint32_t Tick = 0;
+  /// Sticky warnings record definitive verdicts (e.g. a listener whose
+  /// emitter was released without ever emitting) and survive
+  /// AsyncGraph::clearWarnings; non-sticky ones are end-of-drain snapshots
+  /// that detectors clear and recompute on every loop drain.
+  bool Sticky = false;
 };
 
 } // namespace ag

@@ -8,6 +8,9 @@
 
 #include "support/Format.h"
 
+#include <climits>
+#include <cstdint>
+
 using namespace asyncg;
 using namespace asyncg::detect;
 using namespace asyncg::ag;
@@ -21,10 +24,19 @@ int asyncg::detect::ticksUntilExecution(const AsyncGraph &G,
   std::vector<NodeId> Execs = G.executionsOf(Sched);
   if (Execs.empty())
     return -1;
-  uint32_t First = G.node(Execs.front()).Tick;
+  uint32_t First = UINT32_MAX;
   for (NodeId E : Execs)
     First = std::min(First, G.node(E).Tick);
-  return static_cast<int>(First) - static_cast<int>(G.node(Cr).Tick);
+  // Tick indices are uint32_t; compute the gap in 64 bits and clamp into
+  // the int result (negative gaps cannot happen: an execution never
+  // precedes its registration).
+  int64_t Gap =
+      static_cast<int64_t>(First) - static_cast<int64_t>(G.node(Cr).Tick);
+  if (Gap < 0)
+    Gap = 0;
+  if (Gap > INT_MAX)
+    Gap = INT_MAX;
+  return static_cast<int>(Gap);
 }
 
 bool asyncg::detect::reportExpectSyncCallback(AsyncGraph &G,
@@ -57,6 +69,9 @@ std::vector<NodeId>
 asyncg::detect::findDroppedChainPromises(const AsyncGraph &G) {
   std::vector<NodeId> Out;
   for (const AgNode &N : G.nodes()) {
+    // Retired slots are dead until the freelist recycles them.
+    if (N.Id == InvalidNode)
+      continue;
     if (N.Kind != NodeKind::OB || !N.IsPromise || N.Internal)
       continue;
     // Created during a reaction body?
@@ -124,6 +139,8 @@ unsigned asyncg::detect::reportBrokenPromiseChains(AsyncGraph &G) {
   // Missing-return breaks: the chain continues past a reaction that
   // returned undefined (SO-50996870).
   for (const AgNode &N : G.nodes()) {
+    if (N.Id == InvalidNode)
+      continue;
     if (N.Kind != NodeKind::OB || !N.IsPromise || N.Internal)
       continue;
     if (!N.ReactionReturnedUndefined ||

@@ -34,6 +34,7 @@
 #include "ag/Builder.h"
 #include "ag/Graph.h"
 #include "ag/Observer.h"
+#include "support/FlatMap.h"
 
 #include <map>
 #include <set>
@@ -63,9 +64,10 @@ public:
   explicit DetectorBase(const DetectorConfig &Config) : Config(Config) {}
 
 protected:
-  /// Adds a warning anchored at \p Node.
+  /// Adds a warning anchored at \p Node. Sticky warnings are definitive
+  /// verdicts (issued at release events) that survive clearWarnings.
   void warn(ag::AsyncGBuilder &B, ag::BugCategory Cat, ag::NodeId Node,
-            std::string Message);
+            std::string Message, bool Sticky = false);
 
   /// Adds a node-less warning (e.g. invalid listener removal call sites).
   void warnAt(ag::AsyncGBuilder &B, ag::BugCategory Cat, SourceLocation Loc,
@@ -109,9 +111,11 @@ public:
   using DetectorBase::DetectorBase;
   const char *observerName() const override { return "timeout-order"; }
   void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
+  void onRegionRetire(ag::AsyncGBuilder &B, uint32_t TickIndex) override;
 
 private:
-  /// setTimeout CR nodes grouped by registration tick.
+  /// setTimeout CR nodes grouped by registration tick; a tick's group is
+  /// dropped when its region retires (the sibling ids die with it).
   std::map<uint32_t, std::vector<ag::NodeId>> ByTick;
 };
 
@@ -119,12 +123,26 @@ private:
 // Emitter-bug detectors (§VI-A.2)
 //===----------------------------------------------------------------------===//
 
-/// §VI-A.2a: listeners that never executed (end-of-run).
+/// §VI-A.2a: listeners that never executed. Incremental: a pending set of
+/// never-executed listener CRs is maintained from graph events, so the
+/// end-of-run pass is O(pending) instead of a full node sweep, and a
+/// listener whose emitter is released gets a definitive (sticky) warning
+/// at the release point — before the region can be retired.
 class DeadListenerDetector : public DetectorBase {
 public:
   using DetectorBase::DetectorBase;
   const char *observerName() const override { return "dead-listener"; }
+  void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
+  void onEdgeAdded(ag::AsyncGBuilder &B, const ag::AgEdge &E) override;
+  void onRegistrationRemoved(ag::AsyncGBuilder &B, ag::NodeId Cr) override;
+  void onRegistrationReleased(ag::AsyncGBuilder &B, ag::NodeId Cr) override;
   void onEnd(ag::AsyncGBuilder &B) override;
+
+private:
+  /// Non-internal listener CRs that never executed. Every member's
+  /// registration is still pending in the builder, which pins its region:
+  /// members are always live nodes.
+  FlatMap<ag::NodeId, char> PendingSet;
 };
 
 /// §VI-A.2b: emits with no registered listener (online).
@@ -152,9 +170,13 @@ public:
   void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
   void onApiEvent(ag::AsyncGBuilder &B,
                   const instr::ApiCallEvent &E) override;
+  void onObjectReleased(ag::AsyncGBuilder &B, ag::NodeId Ob,
+                        jsrt::ObjectId Obj, bool IsPromise) override;
 
 private:
   using Key = std::tuple<jsrt::ObjectId, Symbol, jsrt::FunctionId>;
+  /// Live listener counts; entries of a released emitter are purged so the
+  /// map stays proportional to the live emitters.
   std::map<Key, unsigned> Live;
 };
 
@@ -168,9 +190,12 @@ public:
   void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
   void onApiEvent(ag::AsyncGBuilder &B,
                   const instr::ApiCallEvent &E) override;
+  void onObjectReleased(ag::AsyncGBuilder &B, ag::NodeId Ob,
+                        jsrt::ObjectId Obj, bool IsPromise) override;
 
 private:
   using Key = std::pair<jsrt::ObjectId, Symbol>;
+  /// Live listener counts per (emitter, event); purged on emitter release.
   std::map<Key, unsigned> Live;
 };
 
@@ -192,17 +217,46 @@ public:
 /// Shared promise bookkeeping: which promises settled / gained reactions.
 /// §VI-A.3a (DeadPromise), 3b (MissingReaction), 3c
 /// (MissingExceptionalReaction), 3d (MissingReturn), 3e (DoubleSettle).
+///
+/// Incremental: one compact state record per live non-internal promise,
+/// maintained from node/edge events. When the runtime releases a promise
+/// its fate is final (nothing can settle it or react to it any more), so
+/// its verdicts are issued as sticky warnings and the record is dropped —
+/// the liveness passes never sweep the graph, and state is proportional
+/// to the live promises.
 class PromiseDetector : public DetectorBase {
 public:
   using DetectorBase::DetectorBase;
   const char *observerName() const override { return "promise-bugs"; }
   void onNodeAdded(ag::AsyncGBuilder &B, ag::NodeId N) override;
+  void onEdgeAdded(ag::AsyncGBuilder &B, const ag::AgEdge &E) override;
+  void onObjectReleased(ag::AsyncGBuilder &B, ag::NodeId Ob,
+                        jsrt::ObjectId Obj, bool IsPromise) override;
   void onEnd(ag::AsyncGBuilder &B) override;
 
 private:
-  std::set<jsrt::ObjectId> Settled;
-  std::set<jsrt::ObjectId> Reacted;
-  std::set<jsrt::ObjectId> RejectHandled;
+  /// Everything the liveness warnings need to decide a promise's fate.
+  struct PromState {
+    ag::NodeId Ob = ag::InvalidNode;
+    bool Settled = false;
+    bool Reacted = false;
+    bool RejectHandled = false;
+    /// Derived from another promise via then/catch/finally (not a root).
+    bool HasParent = false;
+    /// Reject-handler bit of the newest CR deriving this promise.
+    bool DerivingCrHasReject = false;
+    /// Outgoing then/catch/finally derivations; "then" only.
+    uint32_t DerivedCount = 0;
+    uint32_t DerivedThenCount = 0;
+  };
+
+  /// Issues the liveness warnings for one promise's final (release) or
+  /// current (end-of-run) state. The OB node is live in both cases.
+  void judge(ag::AsyncGBuilder &B, const PromState &P, bool Sticky);
+
+  FlatMap<jsrt::ObjectId, PromState> Proms;
+  /// Scratch for the end-of-run pass (sorted for deterministic output).
+  std::vector<const PromState *> EndScratch;
 };
 
 //===----------------------------------------------------------------------===//
@@ -245,6 +299,11 @@ public:
   void onEdgeAdded(ag::AsyncGBuilder &B, const ag::AgEdge &E) override;
   void onApiEvent(ag::AsyncGBuilder &B,
                   const instr::ApiCallEvent &E) override;
+  void onRegistrationRemoved(ag::AsyncGBuilder &B, ag::NodeId Cr) override;
+  void onRegistrationReleased(ag::AsyncGBuilder &B, ag::NodeId Cr) override;
+  void onObjectReleased(ag::AsyncGBuilder &B, ag::NodeId Ob,
+                        jsrt::ObjectId Obj, bool IsPromise) override;
+  void onRegionRetire(ag::AsyncGBuilder &B, uint32_t TickIndex) override;
   void onEnd(ag::AsyncGBuilder &B) override;
 
 private:

@@ -8,6 +8,8 @@
 
 #include "support/Format.h"
 
+#include <algorithm>
+
 using namespace asyncg;
 using namespace asyncg::detect;
 using namespace asyncg::ag;
@@ -29,20 +31,62 @@ bool isListenerApi(ApiKind K) {
 // Dead listeners (§VI-A.2a)
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+std::string deadListenerMessage(const AgNode &N) {
+  return strFormat("listener for event '%s' never executed (dead "
+                   "listener): the emitter never emitted it while the "
+                   "listener was registered",
+                   N.Event.c_str());
+}
+
+} // namespace
+
+void DeadListenerDetector::onNodeAdded(AsyncGBuilder &B, NodeId N) {
+  const AgNode &Node = B.graph().node(N);
+  if (Node.Kind == NodeKind::CR && isListenerApi(Node.Api) && !Node.Internal)
+    PendingSet[N] = 1;
+}
+
+void DeadListenerDetector::onEdgeAdded(AsyncGBuilder &B, const AgEdge &E) {
+  // A binding edge CE -> CR means the registration executed (the builder
+  // adds one on every path that bumps ExecCount).
+  if (E.Kind == EdgeKind::Binding && !PendingSet.empty())
+    PendingSet.erase(E.To);
+  (void)B;
+}
+
+void DeadListenerDetector::onRegistrationRemoved(AsyncGBuilder &B,
+                                                 NodeId Cr) {
+  // Explicitly removed listeners are not dead listeners.
+  (void)B;
+  PendingSet.erase(Cr);
+}
+
+void DeadListenerDetector::onRegistrationReleased(AsyncGBuilder &B,
+                                                  NodeId Cr) {
+  // The emitter died with the listener never having fired: the verdict is
+  // definitive, so the warning sticks across end-of-run recomputations.
+  if (!PendingSet.contains(Cr))
+    return;
+  PendingSet.erase(Cr);
+  warn(B, BugCategory::DeadListener, Cr,
+       deadListenerMessage(B.graph().node(Cr)), /*Sticky=*/true);
+}
+
 void DeadListenerDetector::onEnd(AsyncGBuilder &B) {
   AsyncGraph &G = B.graph();
   G.clearWarnings({BugCategory::DeadListener});
-  for (const AgNode &N : G.nodes()) {
-    if (N.Kind != NodeKind::CR || !isListenerApi(N.Api))
-      continue;
-    if (N.ExecCount != 0 || N.Removed || N.Internal)
-      continue;
-    warn(B, BugCategory::DeadListener, N.Id,
-         strFormat("listener for event '%s' never executed (dead "
-                   "listener): the emitter never emitted it while the "
-                   "listener was registered",
-                   N.Event.c_str()));
-  }
+  // O(pending), not a graph sweep. Sorted so repeated runs and the
+  // retire-on/off modes report in the same order.
+  std::vector<NodeId> Ids;
+  Ids.reserve(PendingSet.size());
+  for (const auto &KV : PendingSet)
+    Ids.push_back(KV.first);
+  std::sort(Ids.begin(), Ids.end());
+  for (NodeId N : Ids)
+    warn(B, BugCategory::DeadListener, N,
+         deadListenerMessage(G.node(N)));
 }
 
 //===----------------------------------------------------------------------===//
@@ -123,6 +167,17 @@ void DuplicateListenerDetector::onApiEvent(AsyncGBuilder &B,
   }
 }
 
+void DuplicateListenerDetector::onObjectReleased(AsyncGBuilder &B, NodeId Ob,
+                                                 ObjectId Obj,
+                                                 bool IsPromise) {
+  (void)B;
+  (void)Ob;
+  if (IsPromise)
+    return;
+  for (auto It = Live.begin(); It != Live.end();)
+    It = std::get<0>(It->first) == Obj ? Live.erase(It) : std::next(It);
+}
+
 //===----------------------------------------------------------------------===//
 // Add listener within listener (§VI-A.2e)
 //===----------------------------------------------------------------------===//
@@ -184,4 +239,14 @@ void ListenerLeakDetector::onApiEvent(AsyncGBuilder &B,
   }
   if (E.Api == ApiKind::EmitterRemoveAll)
     Live.erase(Key{E.BoundObj, E.EventName});
+}
+
+void ListenerLeakDetector::onObjectReleased(AsyncGBuilder &B, NodeId Ob,
+                                            ObjectId Obj, bool IsPromise) {
+  (void)B;
+  (void)Ob;
+  if (IsPromise)
+    return;
+  for (auto It = Live.begin(); It != Live.end();)
+    It = It->first.first == Obj ? Live.erase(It) : std::next(It);
 }

@@ -23,16 +23,37 @@ bool isReactionApi(ApiKind K) {
          K == ApiKind::PromiseFinally || K == ApiKind::Await;
 }
 
+/// Relation labels that derive one promise from another through a
+/// reaction (mirrors AsyncGraph::derivedPromises; combinator inputs and
+/// adoption links are not derivations).
+bool isDerivationLabel(Symbol L) {
+  static const Symbol Then("then"), Catch("catch"), Finally("finally");
+  return L == Then || L == Catch || L == Finally;
+}
+
 } // namespace
 
 void PromiseDetector::onNodeAdded(AsyncGBuilder &B, NodeId N) {
   const AgNode &Node = B.graph().node(N);
 
+  // A new promise: start its state record. Internal promises never warn
+  // and are not tracked (their derivation edges are still counted on the
+  // non-internal endpoints below).
+  if (Node.Kind == NodeKind::OB && Node.IsPromise) {
+    if (!Node.Internal) {
+      PromState &P = Proms[Node.Obj];
+      P = PromState();
+      P.Ob = N;
+    }
+    return;
+  }
+
   // Settle trigger actions.
   if (Node.Kind == NodeKind::CT && (Node.Api == ApiKind::PromiseResolve ||
                                     Node.Api == ApiKind::PromiseReject)) {
     if (Node.HadEffect) {
-      Settled.insert(Node.Obj);
+      if (PromState *P = Proms.find(Node.Obj))
+        P->Settled = true;
       return;
     }
     if (!Node.Internal)
@@ -43,15 +64,102 @@ void PromiseDetector::onNodeAdded(AsyncGBuilder &B, NodeId N) {
     return;
   }
 
+  if (Node.Kind != NodeKind::CR)
+    return;
+
   // Reaction registrations (user-level and internal adoption/combinator
   // reactions; the latter also count — a promise consumed by a combinator
   // or adopted into a chain is handled).
-  if (Node.Kind == NodeKind::CR && Node.Obj != 0 &&
+  if (Node.Obj != 0 &&
       (isReactionApi(Node.Api) || Node.Api == ApiKind::Internal)) {
-    Reacted.insert(Node.Obj);
-    if (Node.HasRejectHandler)
-      RejectHandled.insert(Node.Obj);
+    if (PromState *P = Proms.find(Node.Obj)) {
+      P->Reacted = true;
+      if (Node.HasRejectHandler)
+        P->RejectHandled = true;
+    }
   }
+
+  // The newest CR deriving a promise decides whether its chain ends with
+  // a reject reaction (last writer wins, as the old full scan's node-order
+  // map did).
+  if (Node.DerivedObj != 0)
+    if (PromState *P = Proms.find(Node.DerivedObj))
+      P->DerivingCrHasReject = Node.HasRejectHandler;
+}
+
+void PromiseDetector::onEdgeAdded(AsyncGBuilder &B, const AgEdge &E) {
+  // Promise chain derivations: a then/catch/finally relation edge between
+  // two promise OBs (the builder also labels OB->CR edges with API names,
+  // so both endpoint kinds must be checked).
+  if (E.Kind != EdgeKind::Relation || !isDerivationLabel(E.Label))
+    return;
+  const AgNode &From = B.graph().node(E.From);
+  const AgNode &To = B.graph().node(E.To);
+  if (From.Kind != NodeKind::OB || !From.IsPromise ||
+      To.Kind != NodeKind::OB || !To.IsPromise)
+    return;
+  static const Symbol Then("then");
+  if (PromState *P = Proms.find(From.Obj)) {
+    ++P->DerivedCount;
+    if (E.Label == Then)
+      ++P->DerivedThenCount;
+  }
+  if (PromState *P = Proms.find(To.Obj))
+    P->HasParent = true;
+}
+
+void PromiseDetector::judge(AsyncGBuilder &B, const PromState &P,
+                            bool Sticky) {
+  const AgNode &N = B.graph().node(P.Ob);
+  bool IsRoot = !P.HasParent;
+
+  // §VI-A.3a: never settled during this execution.
+  if (!P.Settled && IsRoot)
+    warn(B, BugCategory::DeadPromise, P.Ob,
+         "promise was never resolved or rejected during this execution "
+         "(dead promise)",
+         Sticky);
+
+  // §VI-A.3b: settled but nothing ever reacted (then/catch/await/...).
+  if (P.Settled && IsRoot && !P.Reacted)
+    warn(B, BugCategory::MissingReaction, P.Ob,
+         "promise settled but has no reaction (no then/catch/await uses "
+         "its result)",
+         Sticky);
+
+  // §VI-A.3c: the chain ending here has no rejection handler. Reported
+  // even when no exception was actually thrown (the paper checks chain
+  // structure, not executions).
+  if (P.DerivedCount == 0 && !P.RejectHandled && !IsRoot &&
+      !P.DerivingCrHasReject)
+    warn(B, BugCategory::MissingExceptionalReaction, P.Ob,
+         "promise chain does not end with a reject reaction: an "
+         "exception anywhere in the chain would be silently dropped",
+         Sticky);
+
+  // §VI-A.3d: a reaction returned undefined but the chain continues with
+  // a value-consuming then (a trailing catch does not use the value).
+  if (N.ReactionReturnedUndefined && P.DerivedThenCount != 0)
+    warn(B, BugCategory::MissingReturnInThen, P.Ob,
+         "the reaction producing this promise returned undefined but "
+         "the chain continues: the next then receives undefined "
+         "(missing return)",
+         Sticky);
+}
+
+void PromiseDetector::onObjectReleased(AsyncGBuilder &B, NodeId Ob,
+                                       ObjectId Obj, bool IsPromise) {
+  (void)Ob;
+  if (!IsPromise)
+    return;
+  PromState *P = Proms.find(Obj);
+  if (!P)
+    return;
+  // A released promise's fate is final: nothing can settle it, react to
+  // it, or derive from it any more. Issue the definitive verdicts and
+  // drop the record.
+  judge(B, *P, /*Sticky=*/true);
+  Proms.erase(Obj);
 }
 
 void PromiseDetector::onEnd(AsyncGBuilder &B) {
@@ -60,55 +168,17 @@ void PromiseDetector::onEnd(AsyncGBuilder &B) {
                    BugCategory::MissingExceptionalReaction,
                    BugCategory::MissingReturnInThen});
 
-  // CRs indexed by the promise they derive, to check whether a chain's
-  // last reaction includes a rejection handler.
-  std::map<ObjectId, const AgNode *> DerivingCr;
-  for (const AgNode &N : G.nodes())
-    if (N.Kind == NodeKind::CR && N.DerivedObj != 0)
-      DerivingCr[N.DerivedObj] = &N;
-
-  for (const AgNode &N : G.nodes()) {
-    if (N.Kind != NodeKind::OB || !N.IsPromise || N.Internal)
-      continue;
-
-    bool IsSettled = Settled.count(N.Obj) != 0;
-    bool IsRoot = G.parentPromise(N.Id) == InvalidNode;
-    std::vector<NodeId> Derived = G.derivedPromises(N.Id);
-
-    // §VI-A.3a: never settled during this execution.
-    if (!IsSettled && IsRoot)
-      warn(B, BugCategory::DeadPromise, N.Id,
-           "promise was never resolved or rejected during this execution "
-           "(dead promise)");
-
-    // §VI-A.3b: settled but nothing ever reacted (then/catch/await/...).
-    if (IsSettled && IsRoot && !Reacted.count(N.Obj))
-      warn(B, BugCategory::MissingReaction, N.Id,
-           "promise settled but has no reaction (no then/catch/await uses "
-           "its result)");
-
-    // §VI-A.3c: the chain ending here has no rejection handler. Reported
-    // even when no exception was actually thrown (the paper checks chain
-    // structure, not executions).
-    if (Derived.empty() && !RejectHandled.count(N.Obj) && !IsRoot) {
-      auto It = DerivingCr.find(N.Obj);
-      bool EndsWithRejectReaction =
-          It != DerivingCr.end() && It->second->HasRejectHandler;
-      if (!EndsWithRejectReaction)
-        warn(B, BugCategory::MissingExceptionalReaction, N.Id,
-             "promise chain does not end with a reject reaction: an "
-             "exception anywhere in the chain would be silently dropped");
-    }
-
-    // §VI-A.3d: a reaction returned undefined but the chain continues with
-    // a value-consuming then (a trailing catch does not use the value).
-    if (N.ReactionReturnedUndefined &&
-        !G.derivedPromises(N.Id, "then").empty())
-      warn(B, BugCategory::MissingReturnInThen, N.Id,
-           "the reaction producing this promise returned undefined but "
-           "the chain continues: the next then receives undefined "
-           "(missing return)");
-  }
+  // O(live promises), not a graph sweep; node-id order matches the old
+  // full scan and keeps retire-on/off reports identical.
+  EndScratch.clear();
+  for (const auto &KV : Proms)
+    EndScratch.push_back(&KV.second);
+  std::sort(EndScratch.begin(), EndScratch.end(),
+            [](const PromState *A, const PromState *B) {
+              return A->Ob < B->Ob;
+            });
+  for (const PromState *P : EndScratch)
+    judge(B, *P, /*Sticky=*/false);
 }
 
 //===----------------------------------------------------------------------===//
@@ -150,6 +220,27 @@ void DetectorSuite::onApiEvent(AsyncGBuilder &B,
                                const instr::ApiCallEvent &E) {
   for (GraphObserver *D : Active)
     D->onApiEvent(B, E);
+}
+
+void DetectorSuite::onRegistrationRemoved(AsyncGBuilder &B, NodeId Cr) {
+  for (GraphObserver *D : Active)
+    D->onRegistrationRemoved(B, Cr);
+}
+
+void DetectorSuite::onRegistrationReleased(AsyncGBuilder &B, NodeId Cr) {
+  for (GraphObserver *D : Active)
+    D->onRegistrationReleased(B, Cr);
+}
+
+void DetectorSuite::onObjectReleased(AsyncGBuilder &B, NodeId Ob,
+                                     ObjectId Obj, bool IsPromise) {
+  for (GraphObserver *D : Active)
+    D->onObjectReleased(B, Ob, Obj, IsPromise);
+}
+
+void DetectorSuite::onRegionRetire(AsyncGBuilder &B, uint32_t TickIndex) {
+  for (GraphObserver *D : Active)
+    D->onRegionRetire(B, TickIndex);
 }
 
 void DetectorSuite::onEnd(AsyncGBuilder &B) {

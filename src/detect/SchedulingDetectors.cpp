@@ -14,7 +14,7 @@ using namespace asyncg::ag;
 using namespace asyncg::jsrt;
 
 void DetectorBase::warn(AsyncGBuilder &B, BugCategory Cat, NodeId Node,
-                        std::string Message) {
+                        std::string Message, bool Sticky) {
   const AgNode &N = B.graph().node(Node);
   Warning W;
   W.Category = Cat;
@@ -22,6 +22,7 @@ void DetectorBase::warn(AsyncGBuilder &B, BugCategory Cat, NodeId Node,
   W.Loc = N.Loc;
   W.Node = Node;
   W.Tick = N.Tick;
+  W.Sticky = Sticky;
   B.graph().addWarning(std::move(W));
 }
 
@@ -130,6 +131,14 @@ void MixedSimilarApisDetector::onNodeAdded(AsyncGBuilder &B, NodeId N) {
 //===----------------------------------------------------------------------===//
 // Unexpected timeout execution order (§VI-A.1c)
 //===----------------------------------------------------------------------===//
+
+void TimeoutOrderDetector::onRegionRetire(AsyncGBuilder &B,
+                                          uint32_t TickIndex) {
+  (void)B;
+  // The tick's CR siblings are about to be reclaimed; no future CE can
+  // bind to a registration from a retired (fully quiesced) region.
+  ByTick.erase(TickIndex);
+}
 
 void TimeoutOrderDetector::onNodeAdded(AsyncGBuilder &B, NodeId N) {
   const AgNode &Node = B.graph().node(N);

@@ -164,6 +164,19 @@ struct UncaughtErrorEvent {
   uint64_t TickSeq = 0;
 };
 
+/// Fired when a tracked promise or emitter object is no longer reachable
+/// by the program (the runtime's weak registry observed its destruction).
+/// This is the definitive end of the object's story: no further listener
+/// can fire, no reaction can be added, no settle can land — analyses can
+/// finalize per-object verdicts and the builder can release the pending
+/// registrations bound to it. Fired in creation order, at deterministic
+/// loop points (once per loop iteration and before loop end), so recorded
+/// traces replay identically.
+struct ObjectReleaseEvent {
+  jsrt::ObjectId Obj = 0;
+  bool IsPromise = false;
+};
+
 /// Fired when the event loop finishes (normally, by stop(), or by
 /// exhausting the tick budget — the latter indicates starvation, e.g. the
 /// recursive-nextTick bug of Fig. 1).
@@ -187,9 +200,16 @@ public:
   virtual void onObjectCreate(const ObjectCreateEvent &E) { (void)E; }
   virtual void onReactionResult(const ReactionResultEvent &E) { (void)E; }
   virtual void onPromiseLink(const PromiseLinkEvent &E) { (void)E; }
+  virtual void onObjectRelease(const ObjectReleaseEvent &E) { (void)E; }
   virtual void onPropertyAccess(const PropertyAccessEvent &E) { (void)E; }
   virtual void onUncaughtError(const UncaughtErrorEvent &E) { (void)E; }
   virtual void onLoopEnd(const LoopEndEvent &E) { (void)E; }
+
+  /// Fired by batching transports (the async pipeline between ring drains,
+  /// the trace replayer between file chunks) on the thread that runs the
+  /// analysis: a safe point for deferred maintenance such as Async Graph
+  /// region retirement. Never fired mid-event.
+  virtual void onBatchBoundary() {}
 };
 
 /// Registry of attached analyses. The runtime owns one; hook dispatch is a
@@ -244,6 +264,9 @@ public:
   }
   void firePromiseLink(const PromiseLinkEvent &E) {
     fire([&E](AnalysisBase *A) { A->onPromiseLink(E); });
+  }
+  void fireObjectRelease(const ObjectReleaseEvent &E) {
+    fire([&E](AnalysisBase *A) { A->onObjectRelease(E); });
   }
   void firePropertyAccess(const PropertyAccessEvent &E) {
     fire([&E](AnalysisBase *A) { A->onPropertyAccess(E); });

@@ -177,6 +177,15 @@ void TraceEncoder::promiseLink(const PromiseLinkEvent &E,
   Out.push_back(R);
 }
 
+void TraceEncoder::objectRelease(const ObjectReleaseEvent &E,
+                                 std::vector<TraceRecord> &Out) {
+  TraceRecord R;
+  R.Op = static_cast<uint8_t>(TraceOp::ObjectRelease);
+  R.A8 = E.IsPromise ? 1 : 0;
+  R.D64 = E.Obj;
+  Out.push_back(R);
+}
+
 void TraceEncoder::loopEnd(const LoopEndEvent &E,
                            std::vector<TraceRecord> &Out) {
   TraceRecord R;
@@ -376,6 +385,14 @@ void TraceDecoder::feed(const TraceRecord &R, AnalysisBase &Sink) {
     return;
   }
 
+  case TraceOp::ObjectRelease: {
+    ObjectReleaseEvent Ev;
+    Ev.IsPromise = (R.A8 & 1) != 0;
+    Ev.Obj = R.D64;
+    Sink.onObjectRelease(Ev);
+    return;
+  }
+
   case TraceOp::LoopEnd: {
     LoopEndEvent Ev;
     Ev.TickBudgetExhausted = (R.A8 & 1) != 0;
@@ -420,6 +437,10 @@ void TraceRecorder::onPromiseLink(const PromiseLinkEvent &E) {
   Encoder.promiseLink(E, Scratch);
   flushScratch();
 }
+void TraceRecorder::onObjectRelease(const ObjectReleaseEvent &E) {
+  Encoder.objectRelease(E, Scratch);
+  flushScratch();
+}
 void TraceRecorder::onLoopEnd(const LoopEndEvent &E) {
   Encoder.loopEnd(E, Scratch);
   flushScratch();
@@ -433,7 +454,11 @@ bool instr::replayTrace(const std::string &Path, AnalysisBase &Sink,
   TraceDecoder Decoder;
   Decoder.setSymbolRemap(Reader.symbolRemap());
   TraceRecord Buf[1024];
-  while (size_t N = Reader.read(Buf, 1024))
+  while (size_t N = Reader.read(Buf, 1024)) {
     Decoder.decode(Buf, N, Sink);
+    // Chunk boundary: lets a retiring builder reclaim quiesced regions so
+    // replaying a long trace needs only O(live-window) memory too.
+    Sink.onBatchBoundary();
+  }
   return true;
 }

@@ -61,6 +61,8 @@ public:
                       std::vector<trace::TraceRecord> &Out);
   void promiseLink(const PromiseLinkEvent &E,
                    std::vector<trace::TraceRecord> &Out);
+  void objectRelease(const ObjectReleaseEvent &E,
+                     std::vector<trace::TraceRecord> &Out);
   void loopEnd(const LoopEndEvent &E, std::vector<trace::TraceRecord> &Out);
   /// @}
 
@@ -152,6 +154,7 @@ public:
   void onObjectCreate(const ObjectCreateEvent &E) override;
   void onReactionResult(const ReactionResultEvent &E) override;
   void onPromiseLink(const PromiseLinkEvent &E) override;
+  void onObjectRelease(const ObjectReleaseEvent &E) override;
   void onLoopEnd(const LoopEndEvent &E) override;
 
 private:

@@ -221,8 +221,48 @@ bool Runtime::runClosePhase() {
   return Ran;
 }
 
+void Runtime::sweepReleasedObjects() {
+  // Stable two-finger compaction in creation order. Firing is pure
+  // observation: weak_ptr::expired() reads the control block, nothing is
+  // destroyed here, so the vectors stay consistent under the loop.
+  size_t W = 0;
+  for (size_t I = 0; I != AllPromises.size(); ++I) {
+    if (!AllPromises[I].Ref.expired()) {
+      if (W != I)
+        AllPromises[W] = std::move(AllPromises[I]);
+      ++W;
+      continue;
+    }
+    if (!Hooks.empty()) {
+      instr::ObjectReleaseEvent E;
+      E.Obj = AllPromises[I].Id;
+      E.IsPromise = true;
+      Hooks.fireObjectRelease(E);
+    }
+  }
+  AllPromises.resize(W);
+
+  W = 0;
+  for (size_t I = 0; I != AllEmitters.size(); ++I) {
+    if (!AllEmitters[I].Ref.expired()) {
+      if (W != I)
+        AllEmitters[W] = std::move(AllEmitters[I]);
+      ++W;
+      continue;
+    }
+    if (!Hooks.empty()) {
+      instr::ObjectReleaseEvent E;
+      E.Obj = AllEmitters[I].Id;
+      E.IsPromise = false;
+      Hooks.fireObjectRelease(E);
+    }
+  }
+  AllEmitters.resize(W);
+}
+
 void Runtime::runLoop() {
   while (!StopRequested) {
+    sweepReleasedObjects();
     drainMicrotasks();
     if (StopRequested)
       break;
@@ -267,6 +307,7 @@ void Runtime::runLoop() {
     runClosePhase();
   }
 
+  sweepReleasedObjects();
   if (!Hooks.empty())
     Hooks.fireLoopEnd(instr::LoopEndEvent{TickSeq, BudgetExhausted});
 }
@@ -431,7 +472,7 @@ PromiseRef Runtime::promiseNew(SourceLocation Loc, bool Internal,
   P->Id = nextObjectId();
   P->CreatedAt = Loc;
   P->Internal = Internal;
-  AllPromises.push_back(P);
+  AllPromises.push_back(TrackedPromise{P->Id, P});
   if (!Hooks.empty()) {
     instr::ObjectCreateEvent E;
     E.Obj = P->Id;
@@ -956,7 +997,7 @@ PromiseRef Runtime::promiseAny(SourceLocation Loc,
 std::vector<PromiseRef> Runtime::livePromises() const {
   std::vector<PromiseRef> Out;
   for (const auto &W : AllPromises)
-    if (PromiseRef P = W.lock())
+    if (PromiseRef P = W.Ref.lock())
       Out.push_back(std::move(P));
   return Out;
 }
@@ -964,7 +1005,7 @@ std::vector<PromiseRef> Runtime::livePromises() const {
 std::vector<PromiseRef> Runtime::unhandledRejections() const {
   std::vector<PromiseRef> Out;
   for (const auto &W : AllPromises) {
-    PromiseRef P = W.lock();
+    PromiseRef P = W.Ref.lock();
     if (P && P->State == PromiseState::Rejected && !P->Handled)
       Out.push_back(std::move(P));
   }
@@ -982,7 +1023,7 @@ EmitterRef Runtime::emitterCreate(SourceLocation Loc, std::string Name,
   E->Name = Name;
   E->Internal = Internal;
   E->CreatedAt = Loc;
-  AllEmitters.push_back(E);
+  AllEmitters.push_back(TrackedEmitter{E->Id, E});
   if (!Hooks.empty()) {
     instr::ObjectCreateEvent Ev;
     Ev.Obj = E->Id;
@@ -1155,7 +1196,7 @@ bool Runtime::emitterEmit(SourceLocation Loc, const EmitterRef &E,
 std::vector<EmitterRef> Runtime::liveEmitters() const {
   std::vector<EmitterRef> Out;
   for (const auto &W : AllEmitters)
-    if (EmitterRef E = W.lock())
+    if (EmitterRef E = W.Ref.lock())
       Out.push_back(std::move(E));
   return Out;
 }

@@ -389,6 +389,13 @@ private:
   /// if it ran (the loop should re-check for work).
   bool tryBeforeExit();
 
+  /// Compacts the weak object registries, firing an ObjectReleaseEvent for
+  /// every tracked promise/emitter whose last strong reference was dropped
+  /// since the previous sweep. Runs once per loop iteration and once
+  /// before loop end; always compacts (bounding registry growth) even with
+  /// no analyses attached.
+  void sweepReleasedObjects();
+
   ScheduleId newSchedule() { return ++LastScheduleId; }
   TriggerId newTrigger() { return ++LastTriggerId; }
 
@@ -451,8 +458,22 @@ private:
   bool LoopEndFired = false;
 
   std::vector<UncaughtError> Uncaught;
-  std::vector<std::weak_ptr<PromiseData>> AllPromises;
-  std::vector<std::weak_ptr<EmitterData>> AllEmitters;
+
+  /// Weak registries of every tracked object, in creation order. The id is
+  /// stored beside the weak_ptr so a release can still be reported after
+  /// the object is gone; sweepReleasedObjects() compacts both vectors once
+  /// per loop iteration, firing ObjectReleaseEvents in creation order (a
+  /// deterministic point, so recorded traces replay identically).
+  struct TrackedPromise {
+    ObjectId Id;
+    std::weak_ptr<PromiseData> Ref;
+  };
+  struct TrackedEmitter {
+    ObjectId Id;
+    std::weak_ptr<EmitterData> Ref;
+  };
+  std::vector<TrackedPromise> AllPromises;
+  std::vector<TrackedEmitter> AllEmitters;
 
   /// Interval timers cleared while their callback was running.
   std::set<uint64_t> CancelledTimers;

@@ -134,6 +134,14 @@ std::shared_ptr<HttpServer> HttpServer::create(Runtime &RT,
                   Conn->CurrentReq = nullptr;
                   R2.emitterEmit(SourceLocation::internal(), Req->emitter(),
                                  "end");
+                  // The message is complete: drop its listeners, as Node's
+                  // http internals detach the completed IncomingMessage.
+                  // The listener closures hold the last strong references
+                  // to the request (and the response captured in the app's
+                  // handlers), so this is what lets the per-request
+                  // emitters expire and be swept as released — without it
+                  // a keep-alive server retains every message forever.
+                  Req->emitter()->Events.clear();
                 }
                 return Completion::normal();
               }

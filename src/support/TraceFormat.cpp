@@ -96,7 +96,7 @@ bool TraceFileReader::open(const std::string &Path, std::string *Err) {
     return fail(Err, "trace file truncated: no header");
   if (std::memcmp(Header.Magic, TraceMagic, sizeof(Header.Magic)) != 0)
     return fail(Err, "bad magic: not an .agtrace file");
-  if (Header.Version != TraceVersion)
+  if (Header.Version < TraceMinVersion || Header.Version > TraceVersion)
     return fail(Err, "unsupported trace version");
 
   // Load the symbol section and re-intern into this process's table.

@@ -87,6 +87,8 @@ enum class TraceOp : uint8_t {
   PromiseLink = 11,
   /// Loop end: A8 bit0 = TickBudgetExhausted, D64 = tick count.
   LoopEnd = 12,
+  /// Tracked object released (v2): A8 bit0 = IsPromise, D64 = ObjectId.
+  ObjectRelease = 13,
 };
 
 /// One fixed-size pipeline record. See the file comment for the per-opcode
@@ -121,7 +123,10 @@ inline uint32_t packedLocLine(uint64_t P) {
 //===----------------------------------------------------------------------===//
 
 constexpr char TraceMagic[8] = {'A', 'G', 'T', 'R', 'A', 'C', 'E', '\0'};
-constexpr uint32_t TraceVersion = 1;
+/// v2 added the ObjectRelease opcode; v1 traces (no release records) still
+/// replay — the reader accepts both.
+constexpr uint32_t TraceVersion = 2;
+constexpr uint32_t TraceMinVersion = 1;
 
 /// On-disk header; 32 bytes like a record.
 struct TraceFileHeader {

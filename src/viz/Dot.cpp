@@ -48,8 +48,14 @@ std::string asyncg::viz::toDot(const AsyncGraph &G, const DotOptions &Opts) {
 
   std::set<NodeId> Skipped;
 
+  if (G.retired().Ticks != 0)
+    Out += strFormat("  // %llu retired tick(s) folded into summary\n",
+                     static_cast<unsigned long long>(G.retired().Ticks));
+
   // One cluster per tick.
   for (const AgTick &T : G.ticks()) {
+    if (T.Retired)
+      continue;
     Out += strFormat("  subgraph cluster_t%u {\n", T.Index);
     Out += strFormat("    label=\"%s\";\n    style=dashed;\n",
                      escapeString(T.name()).c_str());
@@ -74,6 +80,8 @@ std::string asyncg::viz::toDot(const AsyncGraph &G, const DotOptions &Opts) {
   }
 
   for (const AgEdge &E : G.edges()) {
+    if (E.From == InvalidNode) // freelisted (retired) edge slot
+      continue;
     if (Skipped.count(E.From) || Skipped.count(E.To))
       continue;
     const char *Style = "solid";

@@ -21,6 +21,8 @@ std::string asyncg::viz::toJson(const AsyncGraph &G) {
   W.key("ticks");
   W.beginArray();
   for (const AgTick &T : G.ticks()) {
+    if (T.Retired)
+      continue;
     W.beginObject();
     W.field("index", static_cast<uint64_t>(T.Index));
     W.field("phase", jsrt::phaseKindName(T.Phase));
@@ -36,6 +38,8 @@ std::string asyncg::viz::toJson(const AsyncGraph &G) {
   W.key("nodes");
   W.beginArray();
   for (const AgNode &N : G.nodes()) {
+    if (N.Id == InvalidNode) // freelisted (retired) node slot
+      continue;
     W.beginObject();
     W.field("id", static_cast<uint64_t>(N.Id));
     W.field("kind", nodeKindName(N.Kind));
@@ -67,6 +71,8 @@ std::string asyncg::viz::toJson(const AsyncGraph &G) {
   W.key("edges");
   W.beginArray();
   for (const AgEdge &E : G.edges()) {
+    if (E.From == InvalidNode) // freelisted (retired) edge slot
+      continue;
     W.beginObject();
     W.field("from", static_cast<uint64_t>(E.From));
     W.field("to", static_cast<uint64_t>(E.To));
@@ -93,11 +99,27 @@ std::string asyncg::viz::toJson(const AsyncGraph &G) {
 
   W.key("stats");
   W.beginObject();
-  W.field("ticks", static_cast<uint64_t>(G.ticks().size()));
-  W.field("nodes", static_cast<uint64_t>(G.nodes().size()));
-  W.field("edges", static_cast<uint64_t>(G.edges().size()));
+  W.field("ticks", static_cast<uint64_t>(G.liveTickCount()));
+  W.field("nodes", static_cast<uint64_t>(G.nodeCount()));
+  W.field("edges", static_cast<uint64_t>(G.liveEdgeCount()));
   W.field("warnings", static_cast<uint64_t>(G.warnings().size()));
   W.endObject();
+
+  const RetiredSummary &R = G.retired();
+  if (R.Ticks != 0) {
+    W.key("retired");
+    W.beginObject();
+    W.field("ticks", R.Ticks);
+    W.field("nodes", R.Nodes);
+    W.field("edges", R.Edges);
+    W.key("byKind");
+    W.beginObject();
+    for (int K = 0; K != 4; ++K)
+      if (R.ByKind[K] != 0)
+        W.field(nodeKindName(static_cast<NodeKind>(K)), R.ByKind[K]);
+    W.endObject();
+    W.endObject();
+  }
 
   W.endObject();
   return W.take();

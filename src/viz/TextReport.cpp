@@ -40,11 +40,20 @@ std::string asyncg::viz::toText(const AsyncGraph &G,
       Warned.insert(W.Node);
 
   std::string Out;
+  const RetiredSummary &Retired = G.retired();
+  if (Retired.Ticks != 0)
+    Out += strFormat("[%llu retired tick(s): %llu nodes, %llu edges "
+                     "folded into summary]\n",
+                     static_cast<unsigned long long>(Retired.Ticks),
+                     static_cast<unsigned long long>(Retired.Nodes),
+                     static_cast<unsigned long long>(Retired.Edges));
   size_t Rendered = 0;
+  size_t LiveTicks = G.liveTickCount();
   for (const AgTick &T : G.ticks()) {
+    if (T.Retired)
+      continue;
     if (Opts.MaxTicks != 0 && Rendered == Opts.MaxTicks) {
-      Out += strFormat("... (%zu more ticks)\n",
-                       G.ticks().size() - Rendered);
+      Out += strFormat("... (%zu more ticks)\n", LiveTicks - Rendered);
       break;
     }
     ++Rendered;

@@ -10,16 +10,19 @@
 //
 //   asyncg_cli --list
 //   asyncg_cli --case SO-33330277 [--fixed] [--nopromise] [--async]
-//              [--record FILE] [--dot FILE] [--json FILE] [--html FILE]
-//              [--quiet]
-//   asyncg_cli --replay FILE [--nopromise] [--dot FILE] [--json FILE]
-//              [--html FILE] [--quiet]
+//              [--retire] [--retain-window N] [--record FILE] [--dot FILE]
+//              [--json FILE] [--html FILE] [--quiet]
+//   asyncg_cli --replay FILE [--nopromise] [--retire] [--retain-window N]
+//              [--dot FILE] [--json FILE] [--html FILE] [--quiet]
 //
 // With no output flags, prints the tick-by-tick text rendering and the
 // warnings to stdout. --async routes construction through the off-thread
 // pipeline (ag/AsyncPipeline.h); --record additionally writes a binary
 // .agtrace of the run, and --replay rebuilds a graph from such a trace
-// without executing any case.
+// without executing any case. --retire enables tick-epoch retirement
+// (bounded-memory steady state): quiesced regions older than the retain
+// window (--retain-window, default 8 ticks) are folded into summary
+// counters and reclaimed; warnings are unaffected.
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +36,7 @@
 #include "viz/TextReport.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -46,11 +50,14 @@ int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s --list\n"
                "       %s --case NAME [--fixed] [--nopromise] [--async]"
-               " [--record FILE]\n"
+               " [--retire]\n"
+               "           [--retain-window N] [--record FILE] [--dot FILE]"
+               " [--json FILE]\n"
+               "           [--html FILE] [--quiet]\n"
+               "       %s --replay FILE [--nopromise] [--retire]"
+               " [--retain-window N]\n"
                "           [--dot FILE] [--json FILE] [--html FILE]"
-               " [--quiet]\n"
-               "       %s --replay FILE [--nopromise] [--dot FILE]"
-               " [--json FILE] [--html FILE] [--quiet]\n",
+               " [--quiet]\n",
                Prog, Prog, Prog);
   return 2;
 }
@@ -60,7 +67,8 @@ int usage(const char *Prog) {
 int main(int Argc, char **Argv) {
   std::string CaseName, DotFile, JsonFile, HtmlFile, RecordFile, ReplayFile;
   bool Fixed = false, NoPromise = false, Quiet = false, List = false;
-  bool Async = false;
+  bool Async = false, Retire = false;
+  unsigned long RetainWindow = 8;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -80,7 +88,20 @@ int main(int Argc, char **Argv) {
       Quiet = true;
     else if (Arg == "--async")
       Async = true;
-    else if (Arg == "--record" && Next(RecordFile))
+    else if (Arg == "--retire")
+      Retire = true;
+    else if (Arg == "--retain-window") {
+      std::string N;
+      if (!Next(N))
+        return usage(Argv[0]);
+      char *End = nullptr;
+      RetainWindow = std::strtoul(N.c_str(), &End, 10);
+      if (End == N.c_str() || *End != '\0' || RetainWindow == 0) {
+        std::fprintf(stderr, "error: --retain-window expects a positive "
+                             "tick count\n");
+        return 2;
+      }
+    } else if (Arg == "--record" && Next(RecordFile))
       continue;
     else if (Arg == "--replay" && Next(ReplayFile))
       continue;
@@ -109,6 +130,8 @@ int main(int Argc, char **Argv) {
 
   ag::BuilderConfig BCfg;
   BCfg.TrackPromises = !NoPromise;
+  BCfg.Retire = Retire;
+  BCfg.RetainWindow = static_cast<uint32_t>(RetainWindow);
 
   // Shared tail: text rendering + file dumps for whichever graph we built.
   auto Emit = [&](const ag::AsyncGraph &G) {
@@ -144,7 +167,7 @@ int main(int Argc, char **Argv) {
       std::printf("=== replay of %s%s ===\n", ReplayFile.c_str(),
                   NoPromise ? " (promise tracking off)" : "");
       std::printf("graph: %zu nodes, %zu edges\n\n", G.nodeCount(),
-                  G.edges().size());
+                  G.liveEdgeCount());
       viz::TextOptions TOpts;
       TOpts.MaxTicks = 12;
       std::printf("%s\n%s", viz::toText(G, TOpts).c_str(),
@@ -209,7 +232,7 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(RT.tickCount()),
                 RT.tickBudgetExhausted() ? " (budget exhausted: starved)"
                                          : "",
-                G.nodeCount(), G.edges().size());
+                G.nodeCount(), G.liveEdgeCount());
     viz::TextOptions TOpts;
     TOpts.MaxTicks = 12;
     std::printf("%s\n%s", viz::toText(G, TOpts).c_str(),

@@ -4,40 +4,56 @@
 # Part of AsyncG-C++. MIT License.
 #
 # Smoke-checks the benchmark JSON pipeline: configures a Release build,
-# runs micro_ag, micro_eventloop, and micro_ring with --json, and validates that each
-# emitted BENCH_<name>.json matches the BenchReport schema
-# (bench / config / metrics[{name, value, unit}]). Exits non-zero on any
+# runs micro_ag, micro_eventloop, micro_ring, and a short soak_steady_state
+# config with --json, and validates that each emitted BENCH_<name>.json
+# matches the BenchReport schema (bench / config / metrics[{name, value,
+# unit}], including the automatic peak_rss metric). Exits non-zero on any
 # build, run, or schema failure.
 #
-# Usage: tools/bench_smoke.sh [build-dir]   (default: build-bench-smoke)
+# With --check, additionally configures an ASan+UBSan build
+# (-DASYNCG_ASAN=ON) and runs the retirement test suite plus the short
+# soak under it: the retirement freelists recycle node/edge/adjacency
+# storage, which is exactly the kind of code ASan exists for.
+#
+# Usage: tools/bench_smoke.sh [--check] [build-dir]
+#        (default build dir: build-bench-smoke)
 #===------------------------------------------------------------------------===#
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+CHECK_MODE=0
+if [ "${1:-}" = "--check" ]; then
+  CHECK_MODE=1
+  shift
+fi
 BUILD_DIR="${1:-$REPO_ROOT/build-bench-smoke}"
 OUT_DIR="$BUILD_DIR/bench-json"
 
 echo "== configuring Release build in $BUILD_DIR"
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 
-echo "== building micro_ag + micro_eventloop + micro_ring"
-cmake --build "$BUILD_DIR" --target micro_ag micro_eventloop micro_ring -j >/dev/null
+echo "== building micro_ag + micro_eventloop + micro_ring + soak_steady_state"
+cmake --build "$BUILD_DIR" --target micro_ag micro_eventloop micro_ring \
+  soak_steady_state -j >/dev/null
 
 mkdir -p "$OUT_DIR"
 
 run_bench() {
   local name="$1"
+  shift
   local json="$OUT_DIR/BENCH_${name}.json"
   echo "== running $name --json $json"
-  "$BUILD_DIR/bench/$name" --json "$json" --benchmark_min_time=0.01 \
-    >/dev/null
+  "$BUILD_DIR/bench/$name" --json "$json" "$@" >/dev/null
   [ -s "$json" ] || { echo "FAIL: $json missing or empty"; exit 1; }
 }
 
-run_bench micro_ag
-run_bench micro_eventloop
-run_bench micro_ring
+run_bench micro_ag --benchmark_min_time=0.01
+run_bench micro_eventloop --benchmark_min_time=0.01
+run_bench micro_ring --benchmark_min_time=0.01
+# Short soak: exercises the retire-on/off comparison end to end; the
+# 10%-footprint acceptance gates only arm at >= 10000 requests.
+run_bench soak_steady_state --requests 2000 --clients 8
 
 echo "== validating schema"
 python3 - "$OUT_DIR"/BENCH_*.json <<'EOF'
@@ -69,5 +85,25 @@ for path in sys.argv[1:]:
         failed = True
 sys.exit(1 if failed else 0)
 EOF
+
+if [ "$CHECK_MODE" = 1 ]; then
+  ASAN_DIR="$BUILD_DIR-asan"
+  echo "== [check] configuring ASan+UBSan build in $ASAN_DIR"
+  cmake -S "$REPO_ROOT" -B "$ASAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DASYNCG_ASAN=ON >/dev/null
+  echo "== [check] building retirement_test + soak_steady_state"
+  cmake --build "$ASAN_DIR" --target retirement_test soak_steady_state -j \
+    >/dev/null
+  echo "== [check] running retirement tests under ASan"
+  # detect_leaks=0: the simulated network layer keeps sockets alive in
+  # closure cycles until process exit (a known property of the simulator,
+  # not of the graph). Use-after-free / overflow detection — what the
+  # freelist recycling needs — is unaffected.
+  ASAN_OPTIONS=detect_leaks=0 "$ASAN_DIR/tests/retirement_test"
+  echo "== [check] running short soak under ASan"
+  ASAN_OPTIONS=detect_leaks=0 \
+    "$ASAN_DIR/bench/soak_steady_state" --requests 1000 --clients 4 >/dev/null
+  echo "== [check] ASan retirement checks OK"
+fi
 
 echo "== bench smoke OK"
