@@ -61,6 +61,8 @@ struct SettingResult {
   /// Requests/s over serving + graph-drain (async modes only differ here).
   double Complete = 0;
   uint64_t Records = 0;
+  /// SPSC ring backpressure (async settings; zeros otherwise).
+  ag::BackpressureStats BP;
 };
 
 SettingResult runSetting(const Setting &S, uint64_t Requests,
@@ -107,6 +109,7 @@ SettingResult runSetting(const Setting &S, uint64_t Requests,
   if (Pipeline) {
     Pipeline->stop(); // drain + join: the graph is complete after this
     R.Records = Pipeline->pushedRecords();
+    R.BP = Pipeline->backpressure();
   }
   auto End = std::chrono::steady_clock::now();
 
@@ -207,6 +210,15 @@ int main(int argc, char **argv) {
                       "x");
         Report.metric(std::string(Settings[I].Name) + "/trace_records",
                       static_cast<double>(Results[I].Records), "records");
+        Report.metric(std::string(Settings[I].Name) + "/ring_max_depth",
+                      static_cast<double>(Results[I].BP.MaxQueueDepth),
+                      "records");
+        Report.metric(std::string(Settings[I].Name) + "/ring_blocked_pushes",
+                      static_cast<double>(Results[I].BP.BlockedPushes),
+                      "count");
+        Report.metric(std::string(Settings[I].Name) + "/ring_dropped",
+                      static_cast<double>(Results[I].BP.DroppedEvents),
+                      "count");
       }
     }
     Report.metric("ordering_holds", ShapeHolds ? 1 : 0, "bool");

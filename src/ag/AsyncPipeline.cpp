@@ -7,6 +7,7 @@
 #include "ag/AsyncPipeline.h"
 
 #include <cassert>
+#include <chrono>
 
 using namespace asyncg;
 using namespace asyncg::ag;
@@ -44,11 +45,21 @@ void AsyncPipeline::pushScratch(bool Structural) {
     // the run after all.
     if (Config.Drain == DrainMode::Deferred)
       wakeConsumer();
+    BlockedPushes.fetch_add(1, std::memory_order_relaxed);
+    auto T0 = std::chrono::steady_clock::now();
     do
       std::this_thread::yield();
     while (!Ring.tryPushAll(Data, N));
+    auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+    BlockedTimeNs.fetch_add(static_cast<uint64_t>(Ns),
+                            std::memory_order_relaxed);
   }
-  Pushed.fetch_add(N, std::memory_order_relaxed);
+  uint64_t Total = Pushed.fetch_add(N, std::memory_order_relaxed) + N;
+  uint64_t Depth = Total - Consumed.load(std::memory_order_relaxed);
+  if (Depth > MaxQueueDepth.load(std::memory_order_relaxed))
+    MaxQueueDepth.store(Depth, std::memory_order_relaxed);
   Scratch.clear();
 }
 

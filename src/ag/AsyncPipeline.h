@@ -77,6 +77,19 @@ enum class DrainMode {
   Deferred,
 };
 
+/// Producer-side backpressure counters: how hard the loop thread had to
+/// fight for ring space. All zeros when the ring was sized right.
+struct BackpressureStats {
+  /// Pushes that found the ring full and had to spin (Block) at least once.
+  uint64_t BlockedPushes = 0;
+  /// Total producer wall time spent spinning on a full ring.
+  uint64_t BlockedTimeNs = 0;
+  /// Decoration events discarded under BackpressurePolicy::Drop.
+  uint64_t DroppedEvents = 0;
+  /// Deepest pushed-minus-consumed backlog observed at push time.
+  uint64_t MaxQueueDepth = 0;
+};
+
 struct PipelineConfig {
   /// Ring capacity in records (rounded up to a power of two). Must be at
   /// least large enough for the largest single event span.
@@ -121,6 +134,17 @@ public:
   uint64_t droppedEvents() const {
     return DroppedEvents.load(std::memory_order_relaxed);
   }
+
+  /// Snapshot of the producer's backpressure counters (exact after
+  /// flush()/stop(); racy-but-monotone while the loop is running).
+  BackpressureStats backpressure() const {
+    BackpressureStats S;
+    S.BlockedPushes = BlockedPushes.load(std::memory_order_relaxed);
+    S.BlockedTimeNs = BlockedTimeNs.load(std::memory_order_relaxed);
+    S.DroppedEvents = DroppedEvents.load(std::memory_order_relaxed);
+    S.MaxQueueDepth = MaxQueueDepth.load(std::memory_order_relaxed);
+    return S;
+  }
   /// @}
 
   /// \name AnalysisBase hooks (producer side)
@@ -159,6 +183,11 @@ private:
   std::atomic<uint64_t> Pushed{0};
   std::atomic<uint64_t> Consumed{0};
   std::atomic<uint64_t> DroppedEvents{0};
+  /// Backpressure counters, written by the producer only (atomic so
+  /// mid-run snapshots from other threads stay well-defined).
+  std::atomic<uint64_t> BlockedPushes{0};
+  std::atomic<uint64_t> BlockedTimeNs{0};
+  std::atomic<uint64_t> MaxQueueDepth{0};
   std::atomic<bool> StopRequested{false};
 
   /// Parking lot for DrainMode::Deferred (unused in Concurrent mode).

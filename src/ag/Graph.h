@@ -134,10 +134,15 @@ struct AgEdge {
   Symbol Label;
 };
 
-/// One event-loop tick ("t3: io").
+/// One event-loop tick ("t3: io"; "t3: io @s2" on shard 2 of a merged
+/// cluster graph).
 struct AgTick {
   uint32_t Index = 0;
   jsrt::PhaseKind Phase = jsrt::PhaseKind::Main;
+  /// Cluster shard the tick ran on. Only merged multi-loop graphs carry
+  /// non-zero shards; it affects name() only when non-zero, so single-loop
+  /// graphs render identically with or without the merge layer.
+  uint32_t Shard = 0;
   std::vector<NodeId> Nodes;
   /// True once the tick's region was retired: its nodes were reclaimed and
   /// folded into the graph's RetiredSummary. Kept as a tombstone (Index
@@ -149,6 +154,10 @@ struct AgTick {
     S += std::to_string(Index);
     S += ": ";
     S += jsrt::phaseKindName(Phase);
+    if (Shard != 0) {
+      S += " @s";
+      S += std::to_string(Shard);
+    }
     return S;
   }
 };

@@ -82,6 +82,14 @@ inline ApiTemplate getAsyncTemplate(jsrt::ApiKind Api) {
   case ApiKind::PromiseReject:
     return {TemplateKind::Trigger, false};
 
+  // Cross-loop send: a CT whose execution is dispatched by another loop
+  // (ClusterRecv never reaches onApiCall — it arrives as the delivery
+  // tick's DispatchInfo — but the switch must stay exhaustive).
+  case ApiKind::ClusterSend:
+    return {TemplateKind::Trigger, true};
+  case ApiKind::ClusterRecv:
+    return {TemplateKind::Misc, true};
+
   case ApiKind::PromiseAll:
   case ApiKind::PromiseRace:
   case ApiKind::PromiseAllSettled:
@@ -107,7 +115,7 @@ inline ApiTemplate getAsyncTemplate(jsrt::ApiKind Api) {
 /// Interned apiKindName(), computed once per kind.
 inline Symbol apiKindSymbol(jsrt::ApiKind Api) {
   static const auto Names = [] {
-    std::array<Symbol, static_cast<size_t>(jsrt::ApiKind::Internal) + 1> A;
+    std::array<Symbol, static_cast<size_t>(jsrt::ApiKind::ClusterRecv) + 1> A;
     for (size_t I = 0; I != A.size(); ++I)
       A[I] = Symbol(jsrt::apiKindName(static_cast<jsrt::ApiKind>(I)));
     return A;

@@ -6,6 +6,8 @@
 
 #include "instr/TraceCodec.h"
 
+#include "jsrt/Ids.h"
+
 #include <cstring>
 #include <memory>
 
@@ -32,11 +34,14 @@ static double bitsDouble(uint64_t U) {
 void TraceEncoder::defineFunc(const jsrt::Function &F,
                               std::vector<TraceRecord> &Out) {
   jsrt::FunctionId Id = F.id();
-  if (Id < SeenFunc.size() && SeenFunc[Id])
+  // One encoder serves one shard, so the seen-set is indexed by the dense
+  // shard-local id; records still carry the full (shard-packed) id.
+  uint64_t Local = jsrt::idLocal(Id);
+  if (Local < SeenFunc.size() && SeenFunc[Local])
     return;
-  if (Id >= SeenFunc.size())
-    SeenFunc.resize(Id + 1, false);
-  SeenFunc[Id] = true;
+  if (Local >= SeenFunc.size())
+    SeenFunc.resize(Local + 1, false);
+  SeenFunc[Local] = true;
 
   TraceRecord R;
   R.Op = static_cast<uint8_t>(TraceOp::FuncDef);
@@ -44,6 +49,13 @@ void TraceEncoder::defineFunc(const jsrt::Function &F,
   R.C32 = Symbol(F.name()).id();
   R.D64 = Id;
   R.F64 = packLoc(F.loc().fileSymbol().id(), F.loc().line());
+  Out.push_back(R);
+}
+
+void TraceEncoder::shardInfo(uint32_t Shard, std::vector<TraceRecord> &Out) {
+  TraceRecord R;
+  R.Op = static_cast<uint8_t>(TraceOp::ShardInfo);
+  R.C32 = Shard;
   Out.push_back(R);
 }
 
@@ -400,6 +412,13 @@ void TraceDecoder::feed(const TraceRecord &R, AnalysisBase &Sink) {
     Sink.onLoopEnd(Ev);
     return;
   }
+
+  case TraceOp::ShardInfo: {
+    // Stream metadata, not an event: remember which shard recorded this
+    // stream so consumers (merge layers, tools) can ask.
+    ShardId = R.C32;
+    return;
+  }
   }
   ++BadRecords;
 }
@@ -407,6 +426,16 @@ void TraceDecoder::feed(const TraceRecord &R, AnalysisBase &Sink) {
 //===----------------------------------------------------------------------===//
 // TraceRecorder + replay
 //===----------------------------------------------------------------------===//
+
+bool TraceRecorder::open(const std::string &Path, uint32_t Shard) {
+  if (!Writer.open(Path))
+    return false;
+  if (Shard != 0) {
+    Encoder.shardInfo(Shard, Scratch);
+    flushScratch();
+  }
+  return true;
+}
 
 void TraceRecorder::flushScratch() {
   Writer.append(Scratch.data(), Scratch.size());

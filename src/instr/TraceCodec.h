@@ -66,13 +66,19 @@ public:
   void loopEnd(const LoopEndEvent &E, std::vector<trace::TraceRecord> &Out);
   /// @}
 
+  /// Appends a v3 ShardInfo record naming the recording loop's shard.
+  /// Cluster streams emit it first; callers skip it for shard 0 so
+  /// single-loop traces stay byte-identical to v2.
+  void shardInfo(uint32_t Shard, std::vector<trace::TraceRecord> &Out);
+
 private:
   /// Emits a FuncDef for \p F if this encoder hasn't yet.
   void defineFunc(const jsrt::Function &F,
                   std::vector<trace::TraceRecord> &Out);
 
-  /// Function ids already defined, indexed by id (ids are small and
-  /// sequential).
+  /// Function ids already defined, indexed by the shard-local part of the
+  /// id (an encoder serves exactly one shard, and local ids are small and
+  /// sequential; the full id carries the shard in its top bits).
   std::vector<bool> SeenFunc;
 };
 
@@ -101,6 +107,9 @@ public:
   /// records are skipped).
   uint64_t badRecords() const { return BadRecords; }
 
+  /// Shard announced by a v3 ShardInfo record (0 for single-loop traces).
+  uint32_t shard() const { return ShardId; }
+
 private:
   void feed(const trace::TraceRecord &R, AnalysisBase &Sink);
   Symbol sym(uint32_t Raw) const;
@@ -122,6 +131,7 @@ private:
   unsigned ApiInputsLeft = 0;
   bool ApiOpen = false;
 
+  uint32_t ShardId = 0;
   uint64_t BadRecords = 0;
 
   void finishApiIfReady(AnalysisBase &Sink);
@@ -144,7 +154,10 @@ class TraceRecorder final : public AnalysisBase {
 public:
   const char *analysisName() const override { return "trace-recorder"; }
 
-  bool open(const std::string &Path) { return Writer.open(Path); }
+  /// Opens \p Path. When recording a cluster shard, pass its non-zero
+  /// \p Shard and a ShardInfo record leads the stream; shard 0 writes no
+  /// such record, keeping single-loop traces byte-identical to v2.
+  bool open(const std::string &Path, uint32_t Shard = 0);
   bool finalize() { return Writer.finalize(); }
   uint64_t recordCount() const { return Writer.recordCount(); }
 

@@ -67,6 +67,12 @@ enum class ApiKind {
 
   // Internal dispatch (e.g. the io event dispatcher, adoption reactions).
   Internal,
+
+  // Cluster mode (appended after Internal so the numeric values of every
+  // earlier kind — stored raw in v1/v2 trace records — stay stable).
+  ClusterSend, ///< Cross-loop send: a CT whose execution lands on another
+               ///< loop (the handoff id becomes the receiver tick's Sched).
+  ClusterRecv, ///< Cross-loop delivery tick on the receiving loop.
 };
 
 /// Human-readable API name as shown in graph node labels.
@@ -136,6 +142,10 @@ inline const char *apiKindName(ApiKind K) {
     return "db.query";
   case ApiKind::Internal:
     return "*";
+  case ApiKind::ClusterSend:
+    return "cluster.send";
+  case ApiKind::ClusterRecv:
+    return "cluster.recv";
   }
   return "unknown";
 }
@@ -224,6 +234,8 @@ inline PhaseKind targetPhaseOf(ApiKind K) {
   case ApiKind::HttpCreateServer:
   case ApiKind::HttpRequest:
   case ApiKind::DbQuery:
+  case ApiKind::ClusterSend:
+  case ApiKind::ClusterRecv:
     return PhaseKind::Io;
   default:
     // Emitter listeners and instant callbacks execute in whatever phase the

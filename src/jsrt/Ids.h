@@ -34,6 +34,40 @@ using ScheduleId = uint64_t;
 /// resolve/reject or an emitter event emission. Zero means none.
 using TriggerId = uint64_t;
 
+/// \name Shard-namespaced ids (cluster mode)
+///
+/// Cluster mode runs N event loops on N threads, each minting ids from its
+/// own generators. To keep per-shard Async Graphs buildable lock-free and
+/// mergeable without collisions, every 64-bit id carries its loop's shard
+/// number in the top ShardIdBits bits; the low bits stay a small sequential
+/// local counter. Shard 0 is the identity encoding — a single-loop runtime
+/// produces exactly the ids it produced before cluster mode existed, which
+/// is what keeps 1-loop cluster runs byte-identical to the classic path.
+/// @{
+
+/// Number of id bits reserved for the shard number.
+constexpr unsigned ShardIdBits = 8;
+/// Bit position of the shard field.
+constexpr unsigned ShardIdShift = 64 - ShardIdBits;
+/// Highest representable shard number (255 loops).
+constexpr uint32_t MaxShardId = (1u << ShardIdBits) - 1;
+
+/// First id value of \p Shard's namespace (0 for shard 0).
+constexpr uint64_t shardIdBase(uint32_t Shard) {
+  return static_cast<uint64_t>(Shard) << ShardIdShift;
+}
+
+/// The shard number an id was minted by.
+constexpr uint32_t idShard(uint64_t Id) {
+  return static_cast<uint32_t>(Id >> ShardIdShift);
+}
+
+/// The shard-local sequential part of an id (small, dense per shard).
+constexpr uint64_t idLocal(uint64_t Id) {
+  return Id & (shardIdBase(1) - 1);
+}
+/// @}
+
 /// Handle returned by setTimeout/setInterval for clearTimeout/clearInterval.
 struct TimerHandle {
   uint64_t Id = 0;

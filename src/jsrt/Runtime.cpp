@@ -18,9 +18,22 @@ using namespace asyncg::jsrt;
 Runtime::Runtime(RuntimeConfig Config)
     : Config(Config), TheKernel(TheClock),
       TheNetwork(TheKernel, Config.NetLatencyUs),
-      TheFileSystem(TheKernel, Config.FsLatencyUs) {}
+      TheFileSystem(TheKernel, Config.FsLatencyUs) {
+  assert(Config.Shard <= MaxShardId && "shard number out of range");
+  // Namespace every id generator into this loop's shard (Ids.h). Shard 0's
+  // base is 0, so single-loop runtimes mint exactly the ids they always did.
+  uint64_t Base = shardIdBase(Config.Shard);
+  LastFunctionId = Base;
+  LastObjectId = Base;
+  LastScheduleId = Base;
+  LastTriggerId = Base;
+  LastTimerId = Base;
+  LastImmediateId = Base;
+}
 
 Runtime::~Runtime() = default;
+
+LoopPort::~LoopPort() = default;
 
 //===----------------------------------------------------------------------===//
 // Function factories and invocation
@@ -266,9 +279,21 @@ void Runtime::runLoop() {
     drainMicrotasks();
     if (StopRequested)
       break;
+    // Cluster mode: deliver cross-loop messages as top-level I/O ticks
+    // before deciding whether the loop has work.
+    if (Port && Port->pump(*this)) {
+      drainMicrotasks();
+      if (StopRequested)
+        break;
+    }
     if (!hasMacroWork()) {
-      // The loop ran dry: give 'beforeExit' listeners a chance to
-      // schedule more work (Node semantics), once per drain.
+      // The loop ran dry locally. In cluster mode, park until another loop
+      // posts work or the whole cluster quiesces; only a quiesced cluster
+      // proceeds to 'beforeExit' / exit.
+      if (Port && Port->waitForWork(*this))
+        continue;
+      // Give 'beforeExit' listeners a chance to schedule more work (Node
+      // semantics), once per drain.
       if (tryBeforeExit())
         continue;
       break;
@@ -290,8 +315,12 @@ void Runtime::runLoop() {
                           ImmediatePending || !CloseQueue.empty();
     if (!AnythingDueNow) {
       sim::SimTime Next = std::min(TimerNext, KernelNext);
-      if (Next == sim::NoDeadline)
-        break; // Nothing can ever become due.
+      if (Next == sim::NoDeadline) {
+        // Nothing local can ever become due; cross-loop work still can.
+        if (Port && Port->waitForWork(*this))
+          continue;
+        break;
+      }
       TheClock.advanceTo(Next);
     }
 
@@ -1235,6 +1264,24 @@ void Runtime::dispatchExternal(const Function &Fn, std::vector<Value> Args,
   T.Sched = Sched;
   T.Api = Api;
   dispatchTask(T, PhaseKind::Io);
+}
+
+TriggerId Runtime::emitExternalTrigger(SourceLocation Loc, ApiKind Api,
+                                       ObjectId BoundObj,
+                                       std::string EventName, bool Internal) {
+  TriggerId T = newTrigger();
+  if (!Hooks.empty()) {
+    instr::ApiCallEvent E;
+    E.Api = Api;
+    E.Loc = std::move(Loc);
+    E.Trigger = T;
+    E.BoundObj = BoundObj;
+    E.EventName = std::move(EventName);
+    E.TriggerHadEffect = true;
+    E.Internal = Internal;
+    Hooks.fireApiCall(E);
+  }
+  return T;
 }
 
 void Runtime::dispatchInternal(const std::string &Name,

@@ -78,6 +78,34 @@ struct RuntimeConfig {
   /// loop — without it, an infinite setImmediate chain would never let a
   /// pending I/O completion become due (Fig. 3(b)'s interleaving).
   sim::SimTime TickCostUs = 1;
+
+  /// Cluster shard number of this loop (0..MaxShardId). Every id the
+  /// runtime mints is namespaced into this shard (see Ids.h), so per-shard
+  /// Async Graphs never collide and merge without renaming. Shard 0 is the
+  /// identity encoding: a single-loop runtime produces exactly the ids it
+  /// always did.
+  uint32_t Shard = 0;
+};
+
+class Runtime;
+
+/// Cross-loop delivery port (cluster mode). A runtime with a port installed
+/// pumps it once per loop iteration — delivering cross-loop messages as
+/// top-level I/O ticks — and consults it instead of exiting when the loop
+/// runs dry: the loop parks until another loop posts work or the whole
+/// cluster quiesces. Runtimes without a port behave exactly as before.
+class LoopPort {
+public:
+  virtual ~LoopPort();
+
+  /// Delivers pending cross-loop work into \p RT as top-level ticks.
+  /// Returns true if anything was dispatched.
+  virtual bool pump(Runtime &RT) = 0;
+
+  /// The loop has no runnable or future local work. Blocks until new
+  /// cross-loop work may be available (returns true: re-check the loop) or
+  /// the cluster has quiesced (returns false: proceed to normal exit).
+  virtual bool waitForWork(Runtime &RT) = 0;
 };
 
 /// The runtime: object factories, asynchronous APIs, and the event loop.
@@ -98,6 +126,14 @@ public:
   sim::FileSystem &fileSystem() { return TheFileSystem; }
   instr::HookRegistry &hooks() { return Hooks; }
   StatisticSet &stats() { return Stats; }
+
+  /// This loop's cluster shard number (0 outside cluster mode).
+  uint32_t shard() const { return Config.Shard; }
+
+  /// Installs (or clears, with nullptr) the cross-loop delivery port. The
+  /// port must outlive the loop run.
+  void setLoopPort(LoopPort *P) { Port = P; }
+  LoopPort *loopPort() const { return Port; }
   /// @}
 
   /// \name Function factories
@@ -298,6 +334,16 @@ public:
   void dispatchInternal(const std::string &Name,
                         std::function<void(Runtime &)> Body);
 
+  /// Mints a trigger-action id and fires the corresponding CT-producing
+  /// ApiCallEvent. Used by the node cluster layer for cross-loop sends,
+  /// where the triggered execution happens on another loop: the returned
+  /// id travels with the message and becomes the receiver tick's Sched,
+  /// which the merge layer joins back to this CT.
+  TriggerId emitExternalTrigger(SourceLocation Loc, ApiKind Api,
+                                ObjectId BoundObj = 0,
+                                std::string EventName = std::string(),
+                                bool Internal = false);
+
   /// Schedules a callback on the close-handlers queue (lowest priority).
   ScheduleId scheduleCloseCallback(SourceLocation Loc, const Function &Fn,
                                    std::vector<Value> Args = {},
@@ -426,6 +472,7 @@ private:
                          bool Once, bool Prepend);
 
   RuntimeConfig Config;
+  LoopPort *Port = nullptr;
   sim::Clock TheClock;
   sim::Kernel TheKernel;
   sim::Network TheNetwork;

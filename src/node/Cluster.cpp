@@ -1,0 +1,65 @@
+//===- Cluster.cpp - node:cluster-like cross-loop messaging -------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "node/Cluster.h"
+
+using namespace asyncg;
+using namespace asyncg::node::cluster;
+using namespace asyncg::jsrt;
+
+Worker::Worker(Runtime &RT, sim::ClusterKernel &Kernel)
+    : RT(RT), Kernel(Kernel) {
+  assert(RT.shard() < Kernel.size() && "runtime shard outside the cluster");
+  Channel = RT.emitterCreate(SourceLocation::internal(), "cluster.Worker",
+                             /*Internal=*/true);
+  EmitterRef Ch = Channel;
+  Deliver = RT.makeBuiltin(
+      "(cluster message)", [Ch](Runtime &RT2, const CallArgs &A) {
+        RT2.emitterEmit(SourceLocation::internal(), Ch, "message", A.all());
+        return Completion::normal();
+      });
+}
+
+bool Worker::send(SourceLocation Loc, uint32_t ToShard,
+                  std::string Payload) {
+  assert(ToShard < Kernel.size() && "destination shard outside the cluster");
+  // The CT fires on this loop even if the post below is dropped — exactly
+  // like a process.send() racing worker exit: the send happened, the
+  // delivery didn't.
+  TriggerId Handoff = RT.emitExternalTrigger(
+      std::move(Loc), ApiKind::ClusterSend, Channel->Id, "message");
+  sim::ClusterMessage M;
+  M.From = RT.shard();
+  M.Handoff = Handoff;
+  M.Payload = std::move(Payload);
+  if (!Kernel.post(ToShard, std::move(M)))
+    return false;
+  ++Sent;
+  return true;
+}
+
+bool Worker::pump(Runtime &RT2) {
+  Inbox.clear();
+  if (Kernel.drain(RT2.shard(), Inbox) == 0)
+    return false;
+  for (sim::ClusterMessage &M : Inbox) {
+    // Top-level I/O tick whose Sched is the sender-minted handoff id. No
+    // local registration matches it, so the shard's builder records the
+    // tick's CE with that foreign Sched — the merge joins it to the
+    // sender's CT.
+    RT2.dispatchExternal(Deliver,
+                         {Value::str(std::move(M.Payload)),
+                          Value::number(static_cast<double>(M.From))},
+                         M.Handoff, ApiKind::ClusterRecv);
+    ++Received;
+  }
+  Inbox.clear();
+  return true;
+}
+
+bool Worker::waitForWork(Runtime &RT2) {
+  return Kernel.waitForWork(RT2.shard());
+}

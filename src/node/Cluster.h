@@ -1,0 +1,82 @@
+//===- Cluster.h - node:cluster-like cross-loop messaging -------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `cluster` module: each event loop in a multi-loop cluster owns one
+/// Worker, which is both the JS-visible messaging endpoint (a channel
+/// emitter carrying 'message' events) and the loop's jsrt::LoopPort (the
+/// hook runLoop uses to pump cross-loop deliveries and park on the shared
+/// kernel when local work runs dry).
+///
+/// A send mints a handoff id on the sending loop — a CT-producing
+/// ApiCallEvent (ApiKind::ClusterSend), so the sender's shard graph shows
+/// the trigger — and posts plain data to the sim::ClusterKernel. The
+/// receiving loop's pump dispatches each delivery as a top-level I/O tick
+/// whose Sched is that handoff id (ApiKind::ClusterRecv); the tick emits
+/// 'message' on the receiver's channel. Per-shard graphs never reference
+/// each other's nodes — the handoff id is the only shared token, and
+/// ag::ShardedGraph joins it back into a cross-loop causal edge at merge
+/// time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_NODE_CLUSTER_H
+#define ASYNCG_NODE_CLUSTER_H
+
+#include "jsrt/Runtime.h"
+#include "sim/Cluster.h"
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace node {
+namespace cluster {
+
+/// One loop's membership in a cluster: messaging endpoint + loop port.
+/// Create it on the loop's own thread after constructing the Runtime, and
+/// install with `RT.setLoopPort(&W)` before running the loop.
+class Worker final : public jsrt::LoopPort {
+public:
+  Worker(jsrt::Runtime &RT, sim::ClusterKernel &Kernel);
+
+  /// The channel emitter. Deliveries emit 'message' on it with args
+  /// (payload string, sender shard number); register listeners with
+  /// `RT.emitterOn(Loc, W.channel(), "message", Fn)`.
+  const jsrt::EmitterRef &channel() const { return Channel; }
+
+  /// process.send()-style cross-loop message: fires the ClusterSend
+  /// trigger event and posts to \p ToShard's delivery queue. Returns false
+  /// once the cluster has quiesced (the message is dropped).
+  bool send(SourceLocation Loc, uint32_t ToShard, std::string Payload);
+
+  uint64_t sent() const { return Sent; }
+  uint64_t received() const { return Received; }
+
+  /// \name jsrt::LoopPort
+  /// @{
+  bool pump(jsrt::Runtime &RT) override;
+  bool waitForWork(jsrt::Runtime &RT) override;
+  /// @}
+
+private:
+  jsrt::Runtime &RT;
+  sim::ClusterKernel &Kernel;
+  jsrt::EmitterRef Channel;
+  /// The builtin that runs each delivery tick (reused across messages).
+  jsrt::Function Deliver;
+  /// Drain scratch, reused across pumps.
+  std::vector<sim::ClusterMessage> Inbox;
+  uint64_t Sent = 0;
+  uint64_t Received = 0;
+};
+
+} // namespace cluster
+} // namespace node
+} // namespace asyncg
+
+#endif // ASYNCG_NODE_CLUSTER_H

@@ -1,0 +1,85 @@
+//===- Cluster.cpp - Shared kernel state for multi-loop clusters --------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cluster.h"
+
+#include <cassert>
+
+using namespace asyncg;
+using namespace asyncg::sim;
+
+ClusterKernel::ClusterKernel(uint32_t NumShards)
+    : NumShards(NumShards), Queues(NumShards), Stats(NumShards) {
+  assert(NumShards > 0 && "a cluster has at least one loop");
+}
+
+bool ClusterKernel::post(uint32_t ToShard, ClusterMessage M) {
+  assert(ToShard < NumShards && M.From < NumShards && "shard out of range");
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Quiesced)
+    return false;
+  ++Stats[M.From].Posted;
+  Queues[ToShard].push_back(std::move(M));
+  Cv.notify_all();
+  return true;
+}
+
+size_t ClusterKernel::drain(uint32_t Shard, std::vector<ClusterMessage> &Out) {
+  assert(Shard < NumShards && "shard out of range");
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::deque<ClusterMessage> &Q = Queues[Shard];
+  size_t N = Q.size();
+  for (ClusterMessage &M : Q)
+    Out.push_back(std::move(M));
+  Q.clear();
+  Stats[Shard].Delivered += N;
+  return N;
+}
+
+bool ClusterKernel::waitForWork(uint32_t Shard) {
+  assert(Shard < NumShards && "shard out of range");
+  std::unique_lock<std::mutex> Lock(Mu);
+  // A delivery may have landed between the loop's pump and this park.
+  if (!Queues[Shard].empty())
+    return true;
+  if (Quiesced)
+    return false;
+
+  ++IdleCount;
+  if (IdleCount == NumShards) {
+    // Possibly the last loop standing: if no delivery is in flight either,
+    // nothing can ever create work again (posts only happen from non-idle
+    // loops), so the cluster quiesces and everyone is released.
+    bool AllEmpty = true;
+    for (const std::deque<ClusterMessage> &Q : Queues)
+      if (!Q.empty()) {
+        AllEmpty = false;
+        break;
+      }
+    if (AllEmpty) {
+      Quiesced = true;
+      Cv.notify_all();
+      return false;
+    }
+  }
+
+  Cv.wait(Lock, [&] { return !Queues[Shard].empty() || Quiesced; });
+  if (Quiesced)
+    return false;
+  --IdleCount;
+  return true;
+}
+
+bool ClusterKernel::quiesced() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Quiesced;
+}
+
+ClusterShardStats ClusterKernel::shardStats(uint32_t Shard) const {
+  assert(Shard < NumShards && "shard out of range");
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats[Shard];
+}

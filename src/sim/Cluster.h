@@ -1,0 +1,110 @@
+//===- Cluster.h - Shared kernel state for multi-loop clusters --*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel-side machinery cluster mode shares between N event loops on N
+/// threads (SO_REUSEPORT-style): per-loop delivery queues for cross-loop
+/// messages, a deterministic accept balancer, and distributed-termination
+/// detection so every loop knows when the whole cluster has drained.
+///
+/// Each loop keeps its own sim::Kernel/Network/Clock — virtual time is
+/// per-loop, exactly like wall time is per-core — and the ClusterKernel is
+/// the only synchronized object between them. Messages are plain data
+/// (shard ids, a handoff id minted by the sender's runtime, and a string
+/// payload); everything instrumentation-visible happens on the two loop
+/// threads, never inside the shared kernel.
+///
+/// Termination: a loop with no local work parks in waitForWork(), which
+/// counts it idle. When every loop is idle and every delivery queue is
+/// empty the cluster has quiesced — no message can ever arrive again,
+/// because posts only happen from non-idle loops — and all parked loops
+/// are released to run their normal exit path ('beforeExit', loop end).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SIM_CLUSTER_H
+#define ASYNCG_SIM_CLUSTER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace sim {
+
+/// One cross-loop message. Plain data: the instrumentation-visible events
+/// (the send's CT, the delivery tick's CE) are fired on the loop threads.
+struct ClusterMessage {
+  /// Sending shard.
+  uint32_t From = 0;
+  /// Handoff id minted by the sender's runtime (a TriggerId in the
+  /// sender's shard namespace). The receiver dispatches the delivery tick
+  /// with this as its Sched, which is what the graph merge joins on.
+  uint64_t Handoff = 0;
+  /// Message payload (the cluster layer's serialized message).
+  std::string Payload;
+};
+
+/// Aggregated per-shard delivery counters (for reports and tests).
+struct ClusterShardStats {
+  uint64_t Posted = 0;    ///< Messages this shard sent.
+  uint64_t Delivered = 0; ///< Messages drained by this shard.
+};
+
+/// The shared cluster kernel. Thread-safe; one instance per cluster,
+/// referenced by every loop's port.
+class ClusterKernel {
+public:
+  explicit ClusterKernel(uint32_t NumShards);
+
+  uint32_t size() const { return NumShards; }
+
+  /// Deterministic SO_REUSEPORT-style balancer: the shard that accepts the
+  /// \p N-th arriving client. Static round robin, so a cluster run is
+  /// reproducible from the seed alone.
+  uint32_t shardForClient(uint64_t N) const {
+    return static_cast<uint32_t>(N % NumShards);
+  }
+
+  /// Posts a message from \p M.From to \p ToShard. Must be called from a
+  /// non-idle loop thread (loop code that is running cannot be parked).
+  /// Returns false once the cluster has quiesced — late posts from exit
+  /// paths are dropped rather than resurrecting drained loops.
+  bool post(uint32_t ToShard, ClusterMessage M);
+
+  /// Moves all pending deliveries for \p Shard into \p Out (appending).
+  /// Returns the number drained.
+  size_t drain(uint32_t Shard, std::vector<ClusterMessage> &Out);
+
+  /// Parks \p Shard as idle. Returns true when new deliveries (may) await —
+  /// the caller re-enters its loop and pumps — or false once the whole
+  /// cluster has quiesced. See the file comment for the protocol.
+  bool waitForWork(uint32_t Shard);
+
+  /// True once every loop went idle with all queues empty.
+  bool quiesced() const;
+
+  /// Per-shard post/delivery counters (racy reads are fine after join).
+  ClusterShardStats shardStats(uint32_t Shard) const;
+
+private:
+  const uint32_t NumShards;
+
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  std::vector<std::deque<ClusterMessage>> Queues;
+  std::vector<ClusterShardStats> Stats;
+  uint32_t IdleCount = 0;
+  bool Quiesced = false;
+};
+
+} // namespace sim
+} // namespace asyncg
+
+#endif // ASYNCG_SIM_CLUSTER_H

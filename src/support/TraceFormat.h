@@ -89,6 +89,10 @@ enum class TraceOp : uint8_t {
   LoopEnd = 12,
   /// Tracked object released (v2): A8 bit0 = IsPromise, D64 = ObjectId.
   ObjectRelease = 13,
+  /// Cluster shard of the recording loop (v3): C32 = shard id. Emitted as
+  /// the first record of a stream, and only when the shard is non-zero, so
+  /// single-loop traces stay byte-identical to v2.
+  ShardInfo = 14,
 };
 
 /// One fixed-size pipeline record. See the file comment for the per-opcode
@@ -123,9 +127,10 @@ inline uint32_t packedLocLine(uint64_t P) {
 //===----------------------------------------------------------------------===//
 
 constexpr char TraceMagic[8] = {'A', 'G', 'T', 'R', 'A', 'C', 'E', '\0'};
-/// v2 added the ObjectRelease opcode; v1 traces (no release records) still
-/// replay — the reader accepts both.
-constexpr uint32_t TraceVersion = 2;
+/// v2 added the ObjectRelease opcode; v3 added the ShardInfo opcode for
+/// cluster-mode shard streams. Older traces (which simply lack the newer
+/// opcodes) still replay — the reader accepts every version since v1.
+constexpr uint32_t TraceVersion = 3;
 constexpr uint32_t TraceMinVersion = 1;
 
 /// On-disk header; 32 bytes like a record.

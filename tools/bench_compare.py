@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare two BenchReport JSON files and flag regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+                           [--allow-missing]
+
+Matches metrics by name and judges each by its unit's direction:
+
+  - rate units ("req/s", "items/s", anything ending in "/s"): higher is
+    better; a drop of more than the threshold is a regression.
+  - cost units ("x" slowdown factors, "ns"/"ms"/"s" times, "KiB"/"MiB"
+    sizes, "bytes"): lower is better; a rise past the threshold is a
+    regression.
+  - "bool": exact match required (gates like ordering_holds flipping from
+    1 to 0 is a regression regardless of threshold).
+  - anything else ("records", "count", "edges", ...): informational only —
+    printed, never gated. These are workload-shape numbers, not
+    performance.
+
+A metric present in the baseline but missing from the current report is a
+regression unless --allow-missing is given (renames should be caught, not
+silently dropped from the trend). New metrics in the current report are
+informational.
+
+Exit code: 0 when no regressions, 1 otherwise, 2 on bad input.
+"""
+
+import argparse
+import json
+import sys
+
+RATE_SUFFIX = "/s"
+COST_UNITS = {"x", "ns", "us", "ms", "s", "KiB", "MiB", "bytes"}
+
+
+def direction(unit):
+    """'up' = higher is better, 'down' = lower is better, 'bool', or None
+    (informational)."""
+    if unit.endswith(RATE_SUFFIX):
+        return "up"
+    if unit in COST_UNITS:
+        return "down"
+    if unit == "bool":
+        return "bool"
+    return None
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        return {m["name"]: (float(m["value"]), m["unit"])
+                for m in doc["metrics"]}
+    except (OSError, ValueError, KeyError, TypeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two BENCH_*.json files with a % threshold")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="allowed regression in percent (default 10)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="metrics missing from CURRENT are not regressions")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions = []
+    rows = []
+    for name, (bval, bunit) in sorted(base.items()):
+        if name not in cur:
+            rows.append((name, bunit, bval, None, "MISSING"))
+            if not args.allow_missing:
+                regressions.append(name)
+            continue
+        cval, cunit = cur[name]
+        d = direction(bunit if bunit == cunit else "")
+        if d == "bool":
+            ok = bval == cval
+            rows.append((name, bunit, bval, cval, "ok" if ok else "FLIPPED"))
+            if not ok:
+                regressions.append(name)
+            continue
+        if d is None or bval == 0:
+            rows.append((name, bunit, bval, cval, "info"))
+            continue
+        delta = (cval - bval) / bval * 100.0
+        worse = -delta if d == "up" else delta
+        status = f"{delta:+.1f}%"
+        if worse > args.threshold:
+            status += " REGRESSION"
+            regressions.append(name)
+        rows.append((name, bunit, bval, cval, status))
+    for name in sorted(cur):
+        if name not in base:
+            rows.append((name, cur[name][1], None, cur[name][0], "new"))
+
+    wide = max((len(r[0]) for r in rows), default=10)
+    fmt_v = lambda v: "-" if v is None else f"{v:.6g}"
+    print(f"{'metric':<{wide}} {'unit':>8} {'baseline':>14} "
+          f"{'current':>14}  status")
+    for name, unit, bval, cval, status in rows:
+        print(f"{name:<{wide}} {unit:>8} {fmt_v(bval):>14} "
+              f"{fmt_v(cval):>14}  {status}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) past "
+              f"{args.threshold:.1f}%: {', '.join(regressions)}")
+        return 1
+    print(f"\nno regressions (threshold {args.threshold:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

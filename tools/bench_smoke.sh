@@ -10,12 +10,21 @@
 # unit}], including the automatic peak_rss metric). Exits non-zero on any
 # build, run, or schema failure.
 #
-# With --check, additionally configures an ASan+UBSan build
-# (-DASYNCG_ASAN=ON) and runs the retirement test suite plus the short
-# soak under it: the retirement freelists recycle node/edge/adjacency
-# storage, which is exactly the kind of code ASan exists for.
+# With --check, additionally:
+#   - self-compares every emitted JSON with tools/bench_compare.py (a
+#     report must never regress against itself — catches schema/parse
+#     drift in the compare tool and the reports together), and when
+#     --baseline DIR is given, diffs each BENCH_<name>.json against the
+#     same-named file in DIR with a 15% threshold;
+#   - configures an ASan+UBSan build (-DASYNCG_ASAN=ON) and runs the
+#     retirement test suite plus the short soak under it: the retirement
+#     freelists recycle node/edge/adjacency storage, which is exactly the
+#     kind of code ASan exists for;
+#   - configures a TSan build (-DASYNCG_TSAN=ON) and runs the SPSC ring
+#     and multi-loop cluster tests under it: N loop threads, the shared
+#     cluster kernel, and the per-shard rings are the concurrent surface.
 #
-# Usage: tools/bench_smoke.sh [--check] [build-dir]
+# Usage: tools/bench_smoke.sh [--check] [--baseline DIR] [build-dir]
 #        (default build dir: build-bench-smoke)
 #===------------------------------------------------------------------------===#
 
@@ -23,10 +32,14 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 CHECK_MODE=0
-if [ "${1:-}" = "--check" ]; then
-  CHECK_MODE=1
-  shift
-fi
+BASELINE_DIR=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --check) CHECK_MODE=1; shift ;;
+    --baseline) BASELINE_DIR="$2"; shift 2 ;;
+    *) break ;;
+  esac
+done
 BUILD_DIR="${1:-$REPO_ROOT/build-bench-smoke}"
 OUT_DIR="$BUILD_DIR/bench-json"
 
@@ -34,8 +47,9 @@ echo "== configuring Release build in $BUILD_DIR"
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 
 echo "== building micro_ag + micro_eventloop + micro_ring + soak_steady_state"
+echo "   + cluster_scaling"
 cmake --build "$BUILD_DIR" --target micro_ag micro_eventloop micro_ring \
-  soak_steady_state -j >/dev/null
+  soak_steady_state cluster_scaling -j >/dev/null
 
 mkdir -p "$OUT_DIR"
 
@@ -54,6 +68,8 @@ run_bench micro_ring --benchmark_min_time=0.01
 # Short soak: exercises the retire-on/off comparison end to end; the
 # 10%-footprint acceptance gates only arm at >= 10000 requests.
 run_bench soak_steady_state --requests 2000 --clients 8
+# Cluster scaling: 1/2/4 loops, virtual-throughput scaling and merge gates.
+run_bench cluster_scaling
 
 echo "== validating schema"
 python3 - "$OUT_DIR"/BENCH_*.json <<'EOF'
@@ -87,6 +103,25 @@ sys.exit(1 if failed else 0)
 EOF
 
 if [ "$CHECK_MODE" = 1 ]; then
+  echo "== [check] bench_compare self-comparison sanity"
+  for json in "$OUT_DIR"/BENCH_*.json; do
+    python3 "$REPO_ROOT/tools/bench_compare.py" "$json" "$json" \
+      --threshold 0.01 >/dev/null \
+      || { echo "FAIL: $json does not compare clean against itself"; exit 1; }
+  done
+  if [ -n "$BASELINE_DIR" ]; then
+    echo "== [check] comparing against baseline dir $BASELINE_DIR"
+    for json in "$OUT_DIR"/BENCH_*.json; do
+      base="$BASELINE_DIR/$(basename "$json")"
+      if [ -f "$base" ]; then
+        python3 "$REPO_ROOT/tools/bench_compare.py" "$base" "$json" \
+          --threshold 15
+      else
+        echo "   (no baseline for $(basename "$json"), skipping)"
+      fi
+    done
+  fi
+
   ASAN_DIR="$BUILD_DIR-asan"
   echo "== [check] configuring ASan+UBSan build in $ASAN_DIR"
   cmake -S "$REPO_ROOT" -B "$ASAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -104,6 +139,18 @@ if [ "$CHECK_MODE" = 1 ]; then
   ASAN_OPTIONS=detect_leaks=0 \
     "$ASAN_DIR/bench/soak_steady_state" --requests 1000 --clients 4 >/dev/null
   echo "== [check] ASan retirement checks OK"
+
+  TSAN_DIR="$BUILD_DIR-tsan"
+  echo "== [check] configuring TSan build in $TSAN_DIR"
+  cmake -S "$REPO_ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DASYNCG_TSAN=ON >/dev/null
+  echo "== [check] building spsc_ring_test + cluster_test"
+  cmake --build "$TSAN_DIR" --target spsc_ring_test cluster_test -j >/dev/null
+  echo "== [check] running SPSC ring tests under TSan"
+  "$TSAN_DIR/tests/spsc_ring_test"
+  echo "== [check] running multi-loop cluster tests under TSan"
+  "$TSAN_DIR/tests/cluster_test"
+  echo "== [check] TSan concurrency checks OK"
 fi
 
 echo "== bench smoke OK"
