@@ -13,7 +13,14 @@
 //   nopromise-async    — nopromise behind the off-thread pipeline
 //   withpromise-async  — full AsyncG behind the off-thread pipeline: the
 //                        loop thread only encodes events into the SPSC
-//                        ring; graph + detectors run on the builder thread
+//                        ring; graph + detectors run on the builder thread.
+//                        A v4 columnar TraceRecorder writes the run to disk
+//                        at the same time, so this row's slowdown is the
+//                        full always-on production cost (analysis + trace
+//                        artifact).
+//   withpromise-sampled — withpromise-async under a 5% emit-time sampling
+//                        budget; reports tick coverage and dropped
+//                        decoration counts alongside the throughput
 //
 // The async settings use DrainMode::Deferred (records buffer in the ring
 // during the serving window; the builder thread drains at flush), which is
@@ -53,6 +60,10 @@ struct Setting {
   bool Attach;
   bool TrackPromises;
   ag::PipelineMode Mode = ag::PipelineMode::Synchronous;
+  /// Tee the run into a v4 trace artifact from the builder thread.
+  bool Record = false;
+  /// Emit-time sampling budget (percent of loop wall time; 0 = lossless).
+  double SampleBudget = 0;
 };
 
 struct SettingResult {
@@ -61,8 +72,12 @@ struct SettingResult {
   /// Requests/s over serving + graph-drain (async modes only differ here).
   double Complete = 0;
   uint64_t Records = 0;
+  /// v4 record-section bytes written by the recording tee (0 = tee off).
+  uint64_t RecordedBytes = 0;
   /// SPSC ring backpressure (async settings; zeros otherwise).
   ag::BackpressureStats BP;
+  /// Sampling coverage (withpromise-sampled; BudgetPct 0 otherwise).
+  ag::SamplingStats Sampling;
 };
 
 SettingResult runSetting(const Setting &S, uint64_t Requests,
@@ -89,6 +104,9 @@ SettingResult runSetting(const Setting &S, uint64_t Requests,
       ag::PipelineConfig PCfg;
       PCfg.Drain = ag::DrainMode::Deferred;
       PCfg.RingCapacity = 1 << 21; // buffer the whole run if it fits
+      PCfg.SampleBudgetPct = S.SampleBudget;
+      if (S.Record)
+        PCfg.RecordPath = "/tmp/fig6a_" + std::string(S.Name) + ".agtrace";
       Pipeline = std::make_unique<ag::AsyncPipeline>(Builder, PCfg);
       RT.hooks().attach(Pipeline.get());
     } else {
@@ -109,7 +127,11 @@ SettingResult runSetting(const Setting &S, uint64_t Requests,
   if (Pipeline) {
     Pipeline->stop(); // drain + join: the graph is complete after this
     R.Records = Pipeline->pushedRecords();
+    R.RecordedBytes = Pipeline->recordedBytes();
     R.BP = Pipeline->backpressure();
+    R.Sampling = Pipeline->sampling();
+    if (S.Record && Pipeline->recordingFailed())
+      std::printf("  [%s] WARNING: trace artifact write failed\n", S.Name);
   }
   auto End = std::chrono::steady_clock::now();
 
@@ -136,7 +158,7 @@ SettingResult best(const Setting &S, uint64_t Requests, int Reps) {
   return Best;
 }
 
-constexpr int NumSettings = 5;
+constexpr int NumSettings = 6;
 
 } // namespace
 
@@ -160,7 +182,10 @@ int main(int argc, char **argv) {
       {"nopromise", true, false, ag::PipelineMode::Synchronous},
       {"withpromise", true, true, ag::PipelineMode::Synchronous},
       {"nopromise-async", true, false, ag::PipelineMode::Async},
-      {"withpromise-async", true, true, ag::PipelineMode::Async},
+      {"withpromise-async", true, true, ag::PipelineMode::Async,
+       /*Record=*/true},
+      {"withpromise-sampled", true, true, ag::PipelineMode::Async,
+       /*Record=*/false, /*SampleBudget=*/5.0},
   };
 
   SettingResult Results[NumSettings];
@@ -186,11 +211,25 @@ int main(int argc, char **argv) {
   // inline withpromise: the loop thread only encodes ring records.
   bool AsyncFaster = Results[4].Serving > Results[2].Serving;
   std::printf("async serving window beats inline withpromise: %s "
-              "(%.2fx vs %.2fx slowdown; complete graph at %.2fx)\n\n",
+              "(%.2fx vs %.2fx slowdown; complete graph at %.2fx)\n",
               AsyncFaster ? "yes" : "NO",
               Results[4].Serving > 0 ? Base / Results[4].Serving : 0.0,
               Results[2].Serving > 0 ? Base / Results[2].Serving : 0.0,
               Results[4].Complete > 0 ? Base / Results[4].Complete : 0.0);
+  std::printf("withpromise-async trace artifact: %llu records, %llu "
+              "record-section bytes (v4 columnar, builder-thread tee)\n",
+              static_cast<unsigned long long>(Results[4].Records),
+              static_cast<unsigned long long>(Results[4].RecordedBytes));
+  const ag::SamplingStats &SS = Results[5].Sampling;
+  std::printf("withpromise-sampled (%.0f%% budget): %llu/%llu ticks "
+              "decorated (%.1f%% coverage), %llu decoration events "
+              "dropped, est emit %llu ns/event\n\n",
+              SS.BudgetPct,
+              static_cast<unsigned long long>(SS.SampledTicks),
+              static_cast<unsigned long long>(SS.TotalTicks),
+              100.0 * SS.tickCoverage(),
+              static_cast<unsigned long long>(SS.DroppedEvents),
+              static_cast<unsigned long long>(SS.EstEmitNs));
 
   if (!JsonPath.empty()) {
     benchjson::BenchReport Report("fig6a_throughput");
@@ -219,6 +258,24 @@ int main(int argc, char **argv) {
         Report.metric(std::string(Settings[I].Name) + "/ring_dropped",
                       static_cast<double>(Results[I].BP.DroppedEvents),
                       "count");
+      }
+      if (Settings[I].Record)
+        Report.metric(std::string(Settings[I].Name) + "/trace_bytes",
+                      static_cast<double>(Results[I].RecordedBytes),
+                      "bytes");
+      if (Settings[I].SampleBudget > 0) {
+        const ag::SamplingStats &S = Results[I].Sampling;
+        std::string P = Settings[I].Name;
+        Report.metric(P + "/budget_pct", S.BudgetPct, "%");
+        Report.metric(P + "/ticks_total",
+                      static_cast<double>(S.TotalTicks), "count");
+        Report.metric(P + "/ticks_sampled",
+                      static_cast<double>(S.SampledTicks), "count");
+        Report.metric(P + "/tick_coverage", S.tickCoverage(), "ratio");
+        Report.metric(P + "/dropped_decorations",
+                      static_cast<double>(S.DroppedEvents), "count");
+        Report.metric(P + "/est_emit_ns",
+                      static_cast<double>(S.EstEmitNs), "ns");
       }
     }
     Report.metric("ordering_holds", ShapeHolds ? 1 : 0, "bool");

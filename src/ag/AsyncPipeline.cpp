@@ -16,7 +16,13 @@ AsyncPipeline::AsyncPipeline(instr::AnalysisBase &Sink, PipelineConfig Config)
     : Sink(Sink), Config(Config), Ring(Config.RingCapacity) {
   assert(Ring.capacity() >= 1024 &&
          "ring too small for the largest event span");
-  Scratch.reserve(64);
+  // A pending chunk plus the largest event span must fit all-or-nothing.
+  if (this->Config.ProducerChunk > Ring.capacity() / 2)
+    this->Config.ProducerChunk = Ring.capacity() / 2;
+  SamplingOn = Config.SampleBudgetPct > 0;
+  Start = std::chrono::steady_clock::now();
+  Scratch.reserve(this->Config.ProducerChunk ? this->Config.ProducerChunk + 64
+                                             : 64);
   Builder = std::thread([this] { consumerMain(); });
 }
 
@@ -30,17 +36,12 @@ void AsyncPipeline::wakeConsumer() {
   WakeCv.notify_one();
 }
 
-void AsyncPipeline::pushScratch(bool Structural) {
+void AsyncPipeline::pushPending() {
   size_t N = Scratch.size();
   if (N == 0)
     return;
   const trace::TraceRecord *Data = Scratch.data();
   if (!Ring.tryPushAll(Data, N)) {
-    if (!Structural && Config.Policy == BackpressurePolicy::Drop) {
-      DroppedEvents.fetch_add(1, std::memory_order_relaxed);
-      Scratch.clear();
-      return;
-    }
     // Ring overflow in deferred mode: the builder thread must drain during
     // the run after all.
     if (Config.Drain == DrainMode::Deferred)
@@ -56,7 +57,40 @@ void AsyncPipeline::pushScratch(bool Structural) {
     BlockedTimeNs.fetch_add(static_cast<uint64_t>(Ns),
                             std::memory_order_relaxed);
   }
-  uint64_t Total = Pushed.fetch_add(N, std::memory_order_relaxed) + N;
+  // Producer is the only writer of Pushed: plain load + store beats an RMW
+  // on the per-event path.
+  uint64_t Total = Pushed.load(std::memory_order_relaxed) + N;
+  Pushed.store(Total, std::memory_order_relaxed);
+  uint64_t Depth = Total - Consumed.load(std::memory_order_relaxed);
+  if (Depth > MaxQueueDepth.load(std::memory_order_relaxed))
+    MaxQueueDepth.store(Depth, std::memory_order_relaxed);
+  Scratch.clear();
+}
+
+void AsyncPipeline::pushScratch(bool Structural) {
+  if (Config.Policy == BackpressurePolicy::Block && Config.ProducerChunk) {
+    // Chunked producer: let events accumulate in Scratch and spill in one
+    // amortized push (ring availability check + two counter updates per
+    // chunk instead of per event). Tick boundaries and flush() push the
+    // remainder, so nothing is held past one loop turn.
+    if (Scratch.size() >= Config.ProducerChunk)
+      pushPending();
+    return;
+  }
+  size_t N = Scratch.size();
+  if (N == 0)
+    return;
+  if (!Ring.tryPushAll(Scratch.data(), N)) {
+    if (!Structural && Config.Policy == BackpressurePolicy::Drop) {
+      DroppedEvents.fetch_add(1, std::memory_order_relaxed);
+      Scratch.clear();
+      return;
+    }
+    pushPending(); // spins until space frees up
+    return;
+  }
+  uint64_t Total = Pushed.load(std::memory_order_relaxed) + N;
+  Pushed.store(Total, std::memory_order_relaxed);
   uint64_t Depth = Total - Consumed.load(std::memory_order_relaxed);
   if (Depth > MaxQueueDepth.load(std::memory_order_relaxed))
     MaxQueueDepth.store(Depth, std::memory_order_relaxed);
@@ -64,6 +98,7 @@ void AsyncPipeline::pushScratch(bool Structural) {
 }
 
 void AsyncPipeline::flush() {
+  pushPending();
   uint64_t Target = Pushed.load(std::memory_order_relaxed);
   if (Config.Drain == DrainMode::Deferred)
     wakeConsumer();
@@ -84,6 +119,13 @@ void AsyncPipeline::stop() {
 void AsyncPipeline::consumerMain() {
   std::vector<trace::TraceRecord> Buf(Config.DrainBatch ? Config.DrainBatch
                                                         : 1);
+  // Recording tee: the drained batches double as the trace artifact, so
+  // the loop thread never pays for encoding the file.
+  bool Tee = !Config.RecordPath.empty();
+  if (Tee && !RecWriter.open(Config.RecordPath, Config.RecordVersion)) {
+    RecordFailed.store(true, std::memory_order_relaxed);
+    Tee = false;
+  }
   while (true) {
     if (Config.Drain == DrainMode::Deferred) {
       // Park *before* touching the ring: records buffer until flush()/
@@ -97,6 +139,15 @@ void AsyncPipeline::consumerMain() {
     }
     size_t N;
     while ((N = Ring.tryPopBatch(Buf.data(), Buf.size())) > 0) {
+      if (Tee) {
+        if (RecWriter.append(Buf.data(), N)) {
+          RecordedBytes.store(RecWriter.recordBytes(),
+                              std::memory_order_relaxed);
+        } else {
+          RecordFailed.store(true, std::memory_order_relaxed);
+          Tee = false;
+        }
+      }
       Decoder.decode(Buf.data(), N, Sink);
       // Batch boundary on the builder thread: the sink may retire quiesced
       // graph regions here, off the event-loop thread's critical path.
@@ -110,46 +161,128 @@ void AsyncPipeline::consumerMain() {
     if (Config.Drain == DrainMode::Concurrent)
       std::this_thread::yield();
   }
+  if (RecWriter.isOpen()) {
+    // The producer is parked in stop()'s join, so the global symbol table
+    // is quiescent for the symbol-section write.
+    if (!RecWriter.finalize())
+      RecordFailed.store(true, std::memory_order_relaxed);
+    RecordedBytes.store(RecWriter.recordBytes(), std::memory_order_relaxed);
+  }
+}
+
+void AsyncPipeline::emitEnd(std::chrono::steady_clock::time_point T0) {
+  if (!SamplingOn)
+    return;
+  if (CalibrateLeft) {
+    auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+    --CalibrateLeft;
+    CalibNs += static_cast<uint64_t>(Ns);
+    ++CalibCount;
+    EstEmitNs.store(CalibNs / CalibCount, std::memory_order_relaxed);
+    EstSpentNs.fetch_add(static_cast<uint64_t>(Ns),
+                         std::memory_order_relaxed);
+    return;
+  }
+  // Past calibration: charge the average without touching the clock.
+  EstSpentNs.fetch_add(EstEmitNs.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+void AsyncPipeline::onTickBoundary(const instr::TickBoundaryEvent &E) {
+  (void)E;
+  // Bound chunked-producer latency to one loop turn — but only when the
+  // builder is actually consuming live. In Deferred mode it is parked
+  // until flush()/stop(), so spilling partial chunks per tick would only
+  // defeat the chunk amortization without making the graph any fresher.
+  if (Config.Drain == DrainMode::Concurrent &&
+      Config.Policy == BackpressurePolicy::Block && Config.ProducerChunk)
+    pushPending();
+  if (!SamplingOn)
+    return;
+  TotalTicks.fetch_add(1, std::memory_order_relaxed);
+  if (CalibrateLeft) {
+    // Still calibrating the per-event cost: emit everything.
+    SampleThisTick = true;
+    SampledTicks.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto ElapsedNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  double AllowedNs =
+      static_cast<double>(ElapsedNs) * Config.SampleBudgetPct / 100.0;
+  SampleThisTick = static_cast<double>(EstSpentNs.load(
+                       std::memory_order_relaxed)) <= AllowedNs;
+  if (SampleThisTick)
+    SampledTicks.fetch_add(1, std::memory_order_relaxed);
 }
 
 void AsyncPipeline::onFunctionEnter(const instr::FunctionEnterEvent &E) {
+  auto T0 = emitStart();
   Encoder.functionEnter(E, Scratch);
   pushScratch(/*Structural=*/true);
+  emitEnd(T0);
 }
 
 void AsyncPipeline::onFunctionExit(const instr::FunctionExitEvent &E) {
+  auto T0 = emitStart();
   Encoder.functionExit(E, Scratch);
   pushScratch(/*Structural=*/true);
+  emitEnd(T0);
 }
 
 void AsyncPipeline::onApiCall(const instr::ApiCallEvent &E) {
+  if (!sampleGate())
+    return;
+  auto T0 = emitStart();
   Encoder.apiCall(E, Scratch);
   pushScratch(/*Structural=*/false);
+  emitEnd(T0);
 }
 
 void AsyncPipeline::onObjectCreate(const instr::ObjectCreateEvent &E) {
+  if (!sampleGate())
+    return;
+  auto T0 = emitStart();
   Encoder.objectCreate(E, Scratch);
   pushScratch(/*Structural=*/false);
+  emitEnd(T0);
 }
 
 void AsyncPipeline::onReactionResult(const instr::ReactionResultEvent &E) {
+  if (!sampleGate())
+    return;
+  auto T0 = emitStart();
   Encoder.reactionResult(E, Scratch);
   pushScratch(/*Structural=*/false);
+  emitEnd(T0);
 }
 
 void AsyncPipeline::onPromiseLink(const instr::PromiseLinkEvent &E) {
+  if (!sampleGate())
+    return;
+  auto T0 = emitStart();
   Encoder.promiseLink(E, Scratch);
   pushScratch(/*Structural=*/false);
+  emitEnd(T0);
 }
 
 void AsyncPipeline::onObjectRelease(const instr::ObjectReleaseEvent &E) {
+  auto T0 = emitStart();
   Encoder.objectRelease(E, Scratch);
   // Structural: region-pending accounting depends on every release being
-  // observed, so these never drop under BackpressurePolicy::Drop.
+  // observed, so these never drop under BackpressurePolicy::Drop and are
+  // never skipped by sampling.
   pushScratch(/*Structural=*/true);
+  emitEnd(T0);
 }
 
 void AsyncPipeline::onLoopEnd(const instr::LoopEndEvent &E) {
   Encoder.loopEnd(E, Scratch);
   pushScratch(/*Structural=*/true);
+  // The loop is over: spill any partial chunk so flush() has nothing left
+  // to do on the producer side.
+  pushPending();
 }

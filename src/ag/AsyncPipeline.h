@@ -39,6 +39,7 @@
 #include "support/SpscRing.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -90,6 +91,35 @@ struct BackpressureStats {
   uint64_t MaxQueueDepth = 0;
 };
 
+/// Coverage counters for the overhead-budgeted sampling mode
+/// (PipelineConfig::SampleBudgetPct). Like BackpressureStats these travel
+/// alongside the graph so detectors and reports can state degraded
+/// confidence: on unsampled ticks the pipeline emits only structural
+/// events (enter/exit/release/loop-end — the graph skeleton stays exact),
+/// while decoration events (API calls, object creation, reaction results,
+/// promise links) are skipped and counted here. Linearizability and
+/// lifetime warnings that hinge on decorations may therefore be missed —
+/// never fabricated — on unsampled ticks.
+struct SamplingStats {
+  /// Configured budget (percent of loop wall time; 0 = sampling off).
+  double BudgetPct = 0;
+  /// Loop turns observed / turns on which decorations were emitted.
+  uint64_t TotalTicks = 0;
+  uint64_t SampledTicks = 0;
+  /// Decoration events skipped on unsampled ticks (the dropped coverage).
+  uint64_t DroppedEvents = 0;
+  /// Calibrated per-event emit cost and the estimated total emit time the
+  /// budget decisions were based on.
+  uint64_t EstEmitNs = 0;
+  uint64_t EstSpentNs = 0;
+
+  bool enabled() const { return BudgetPct > 0; }
+  /// Fraction of ticks with full decoration coverage (1 when lossless).
+  double tickCoverage() const {
+    return TotalTicks ? static_cast<double>(SampledTicks) / TotalTicks : 1.0;
+  }
+};
+
 struct PipelineConfig {
   /// Ring capacity in records (rounded up to a power of two). Must be at
   /// least large enough for the largest single event span.
@@ -98,6 +128,27 @@ struct PipelineConfig {
   size_t DrainBatch = 256;
   BackpressurePolicy Policy = BackpressurePolicy::Block;
   DrainMode Drain = DrainMode::Concurrent;
+  /// Records the producer accumulates before one amortized ring push
+  /// (Block policy only; Drop keeps per-event pushes so a full ring can
+  /// shed exactly one decoration event). Pending records are flushed at
+  /// every tick boundary and at flush(), so builder latency is bounded by
+  /// one loop turn. 0 pushes per event.
+  size_t ProducerChunk = 256;
+  /// Overhead budget for adaptive sampling: the percentage of loop wall
+  /// time the producer may spend emitting (0 = off, lossless). The
+  /// pipeline calibrates the per-event emit cost on its first events,
+  /// then decides once per tick boundary whether the estimated spend is
+  /// under budget; over-budget ticks emit structural events only and
+  /// count skipped decorations in SamplingStats.
+  double SampleBudgetPct = 0;
+  /// When non-empty, the builder thread tees every record it drains into
+  /// this .agtrace file while decoding it into the sink, producing a
+  /// replayable artifact at zero cost to the loop thread (the ring hand-
+  /// off already paid for the records; the symbol section comes from the
+  /// process-global table at finalize). The file is finalized at stop().
+  std::string RecordPath;
+  /// File encoding for RecordPath (v4 columnar frames by default).
+  uint32_t RecordVersion = trace::TraceVersion;
 };
 
 /// The asynchronous instrumentation pipeline. Attach to a HookRegistry on
@@ -145,6 +196,31 @@ public:
     S.MaxQueueDepth = MaxQueueDepth.load(std::memory_order_relaxed);
     return S;
   }
+
+  /// Bytes of the record section written to Config.RecordPath so far
+  /// (exact after stop(); racy-but-monotone mid-run). 0 when the tee is
+  /// off or nothing has been drained yet.
+  uint64_t recordedBytes() const {
+    return RecordedBytes.load(std::memory_order_relaxed);
+  }
+  /// True when the tee could not open or write RecordPath. The pipeline
+  /// keeps building the graph; only the artifact is lost.
+  bool recordingFailed() const {
+    return RecordFailed.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the sampling coverage counters (exact after flush()/
+  /// stop()). All zeros except BudgetPct when sampling never kicked in.
+  SamplingStats sampling() const {
+    SamplingStats S;
+    S.BudgetPct = Config.SampleBudgetPct;
+    S.TotalTicks = TotalTicks.load(std::memory_order_relaxed);
+    S.SampledTicks = SampledTicks.load(std::memory_order_relaxed);
+    S.DroppedEvents = SamplingDropped.load(std::memory_order_relaxed);
+    S.EstEmitNs = EstEmitNs.load(std::memory_order_relaxed);
+    S.EstSpentNs = EstSpentNs.load(std::memory_order_relaxed);
+    return S;
+  }
   /// @}
 
   /// \name AnalysisBase hooks (producer side)
@@ -157,12 +233,42 @@ public:
   void onPromiseLink(const instr::PromiseLinkEvent &E) override;
   void onObjectRelease(const instr::ObjectReleaseEvent &E) override;
   void onLoopEnd(const instr::LoopEndEvent &E) override;
+  void onTickBoundary(const instr::TickBoundaryEvent &E) override;
   /// @}
 
 private:
+  /// Emit-cost calibration window for the sampling mode: the first this
+  /// many emitted events are individually timed, after which the running
+  /// average is charged per event with no clock reads on the hot path.
+  static constexpr unsigned CalibrateEvents = 2048;
+
   /// Pushes Scratch into the ring all-or-nothing. Structural events ignore
-  /// the Drop policy (the shadow stack must stay balanced).
+  /// the Drop policy (the shadow stack must stay balanced). Under the
+  /// Block policy with ProducerChunk set, records accumulate in Scratch
+  /// across events and only spill once the chunk fills.
   void pushScratch(bool Structural);
+
+  /// Pushes whatever Scratch holds right now (chunk spill / tick boundary
+  /// / flush). Producer thread only.
+  void pushPending();
+
+  /// Sampling gate for decoration events: true = emit. Counts the skip.
+  bool sampleGate() {
+    if (!SamplingOn || SampleThisTick)
+      return true;
+    SamplingDropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// \name Emit-cost accounting (no-ops while sampling is off).
+  /// @{
+  std::chrono::steady_clock::time_point emitStart() const {
+    if (SamplingOn && CalibrateLeft)
+      return std::chrono::steady_clock::now();
+    return {};
+  }
+  void emitEnd(std::chrono::steady_clock::time_point T0);
+  /// @}
 
   void consumerMain();
 
@@ -180,9 +286,31 @@ private:
   /// Consumer-side decoder state (builder thread only).
   instr::TraceDecoder Decoder;
 
+  /// Recording tee (builder thread only; the atomics mirror its progress
+  /// for cross-thread snapshots).
+  trace::TraceFileWriter RecWriter;
+  std::atomic<uint64_t> RecordedBytes{0};
+  std::atomic<bool> RecordFailed{false};
+
   std::atomic<uint64_t> Pushed{0};
   std::atomic<uint64_t> Consumed{0};
   std::atomic<uint64_t> DroppedEvents{0};
+
+  /// Sampling state. The decision and calibration counters live on the
+  /// producer thread; the exported totals are atomic only so mid-run
+  /// snapshots from other threads stay well-defined.
+  bool SamplingOn = false;
+  bool SampleThisTick = true;
+  unsigned CalibrateLeft = CalibrateEvents;
+  uint64_t CalibNs = 0;
+  uint64_t CalibCount = 0;
+  std::chrono::steady_clock::time_point Start;
+  std::atomic<uint64_t> EstEmitNs{0};
+  std::atomic<uint64_t> EstSpentNs{0};
+  std::atomic<uint64_t> TotalTicks{0};
+  std::atomic<uint64_t> SampledTicks{0};
+  std::atomic<uint64_t> SamplingDropped{0};
+
   /// Backpressure counters, written by the producer only (atomic so
   /// mid-run snapshots from other threads stay well-defined).
   std::atomic<uint64_t> BlockedPushes{0};

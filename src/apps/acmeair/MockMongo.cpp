@@ -65,7 +65,7 @@ void MockMongo::asyncOp(SourceLocation Loc,
   // Surface the API use to the analyses (a CR-less bookkeeping event; the
   // actual callback registration is the driver's nextTick delivery).
   if (!RT.hooks().empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = ApiKind::DbQuery;
     E.Loc = std::move(Loc);
     E.TargetPhase = PhaseKind::Io;

@@ -34,6 +34,7 @@ struct ShardState {
   std::unique_ptr<ag::AsyncGBuilder> Builder;
   std::unique_ptr<detect::DetectorSuite> Detectors;
   std::unique_ptr<ag::AsyncPipeline> Pipeline;
+  std::unique_ptr<instr::TraceRecorder> Recorder;
   std::unique_ptr<node::cluster::Worker> Worker;
   ShardResult Result;
 };
@@ -66,11 +67,24 @@ void runShard(const ClusterConfig &Cfg, sim::ClusterKernel &Kernel,
       ag::PipelineConfig PCfg;
       PCfg.Drain = ag::DrainMode::Deferred;
       PCfg.RingCapacity = Cfg.RingCapacity;
+      PCfg.SampleBudgetPct = Cfg.SampleBudgetPct;
       St.Pipeline = std::make_unique<ag::AsyncPipeline>(*St.Builder, PCfg);
       RT.hooks().attach(St.Pipeline.get());
     } else {
       RT.hooks().attach(St.Builder.get());
     }
+  }
+
+  if (!Cfg.RecordDir.empty()) {
+    St.Recorder = std::make_unique<instr::TraceRecorder>();
+    std::string Path =
+        Cfg.RecordDir + "/shard" + std::to_string(S) + ".agtrace";
+    // Non-zero shards lead their stream with a ShardInfo record so an
+    // offline ShardedGraph merge can reassemble the cluster.
+    if (St.Recorder->open(Path, S, Cfg.TraceVer))
+      RT.hooks().attach(St.Recorder.get());
+    else
+      St.Recorder.reset();
   }
 
   if (Cfg.Loops > 1) {
@@ -126,6 +140,11 @@ void runShard(const ClusterConfig &Cfg, sim::ClusterKernel &Kernel,
     St.Pipeline->stop();
     St.Result.PushedRecords = St.Pipeline->pushedRecords();
     St.Result.Backpressure = St.Pipeline->backpressure();
+    St.Result.Sampling = St.Pipeline->sampling();
+  }
+  if (St.Recorder) {
+    St.Recorder->finalize();
+    St.Result.RecordedBytes = St.Recorder->recordBytes();
   }
 
   St.Result.VirtualTimeUs = RT.clock().now();

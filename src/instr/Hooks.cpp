@@ -12,12 +12,12 @@ using namespace asyncg::instr;
 // Out-of-line virtual method anchor.
 AnalysisBase::~AnalysisBase() = default;
 
-std::atomic<uint64_t> instr::detail::ConstructedEvents{0};
+thread_local uint64_t instr::detail::ConstructedEvents = 0;
 
 uint64_t instr::constructedEventCount() {
-  return detail::ConstructedEvents.load(std::memory_order_relaxed);
+  return detail::ConstructedEvents;
 }
 
 void instr::resetConstructedEventCount() {
-  detail::ConstructedEvents.store(0, std::memory_order_relaxed);
+  detail::ConstructedEvents = 0;
 }

@@ -46,7 +46,11 @@ namespace instr {
 uint64_t constructedEventCount();
 void resetConstructedEventCount();
 namespace detail {
-extern std::atomic<uint64_t> ConstructedEvents;
+/// Per-thread: each loop thread (and the pipeline's decoder thread)
+/// counts its own constructions, so the hot path pays a plain increment
+/// instead of an atomic RMW. constructedEventCount() reads the calling
+/// thread's count, which is what the lazy-fire test observes.
+extern thread_local uint64_t ConstructedEvents;
 }
 
 /// Fired before a function body runs (Algorithm 1/3's functionEnter).
@@ -68,8 +72,28 @@ struct FunctionExitEvent {
 /// per-API templates extract: which callbacks, the target phase, whether
 /// the callback runs once, and the bound emitter/promise object.
 struct ApiCallEvent {
-  ApiCallEvent() {
-    detail::ConstructedEvents.fetch_add(1, std::memory_order_relaxed);
+  ApiCallEvent() { ++detail::ConstructedEvents; }
+
+  /// Resets every field to its construction default while keeping the
+  /// Callbacks/InputObjs heap capacity, so a scratch event can be reused
+  /// across fire sites without reallocating per call (see scratchApiCall).
+  void clear() {
+    ++detail::ConstructedEvents;
+    Api = jsrt::ApiKind::None;
+    Loc = SourceLocation();
+    Sched = 0;
+    Callbacks.clear();
+    TargetPhase = jsrt::PhaseKind::Main;
+    Once = true;
+    BoundObj = 0;
+    DerivedObj = 0;
+    InputObjs.clear();
+    EventName = Symbol();
+    TimeoutMs = 0;
+    HasRejectHandler = false;
+    Trigger = 0;
+    TriggerHadEffect = false;
+    Internal = false;
   }
 
   jsrt::ApiKind Api = jsrt::ApiKind::None;
@@ -108,11 +132,21 @@ struct ApiCallEvent {
   bool Internal = false;
 };
 
+/// Returns a cleared thread-local scratch ApiCallEvent. Hot fire sites
+/// reuse it so the Callbacks/InputObjs heap capacity survives across
+/// events instead of being allocated and freed per API call. The reference
+/// is valid until the next scratchApiCall() on this thread; hook handlers
+/// must copy anything they keep (they already do — the event dies at the
+/// end of the fire either way).
+inline ApiCallEvent &scratchApiCall() {
+  thread_local ApiCallEvent E;
+  E.clear();
+  return E;
+}
+
 /// Fired when a promise or emitter object is created (OB nodes).
 struct ObjectCreateEvent {
-  ObjectCreateEvent() {
-    detail::ConstructedEvents.fetch_add(1, std::memory_order_relaxed);
-  }
+  ObjectCreateEvent() { ++detail::ConstructedEvents; }
 
   jsrt::ObjectId Obj = 0;
   bool IsPromise = false;
@@ -185,6 +219,17 @@ struct LoopEndEvent {
   bool TickBudgetExhausted = false;
 };
 
+/// Fired at the top of every event-loop turn — a safe point between
+/// dispatches, never mid-event. Not part of the recorded trace (the Async
+/// Graph derives ticks from Enter records); transports use it for
+/// deferred maintenance on the loop thread: the async pipeline flushes
+/// its producer-side record chunk and re-evaluates its overhead-budget
+/// sampling decision here.
+struct TickBoundaryEvent {
+  /// Dispatch tick sequence at the boundary.
+  uint64_t TickSeq = 0;
+};
+
 /// Base class for dynamic analyses (AsyncG, the baselines, counters).
 /// All hooks default to no-ops; override what you need.
 class AnalysisBase {
@@ -204,6 +249,7 @@ public:
   virtual void onPropertyAccess(const PropertyAccessEvent &E) { (void)E; }
   virtual void onUncaughtError(const UncaughtErrorEvent &E) { (void)E; }
   virtual void onLoopEnd(const LoopEndEvent &E) { (void)E; }
+  virtual void onTickBoundary(const TickBoundaryEvent &E) { (void)E; }
 
   /// Fired by batching transports (the async pipeline between ring drains,
   /// the trace replayer between file chunks) on the thread that runs the
@@ -276,6 +322,9 @@ public:
   }
   void fireLoopEnd(const LoopEndEvent &E) {
     fire([&E](AnalysisBase *A) { A->onLoopEnd(E); });
+  }
+  void fireTickBoundary(const TickBoundaryEvent &E) {
+    fire([&E](AnalysisBase *A) { A->onTickBoundary(E); });
   }
 
 private:

@@ -427,14 +427,23 @@ void TraceDecoder::feed(const TraceRecord &R, AnalysisBase &Sink) {
 // TraceRecorder + replay
 //===----------------------------------------------------------------------===//
 
-bool TraceRecorder::open(const std::string &Path, uint32_t Shard) {
-  if (!Writer.open(Path))
+bool TraceRecorder::open(const std::string &Path, uint32_t Shard,
+                         uint32_t Version) {
+  if (Shard != 0 && Version < 3)
+    return false; // ShardInfo is a v3 opcode
+  if (!Writer.open(Path, Version))
     return false;
+  Scratch.clear();
   if (Shard != 0) {
     Encoder.shardInfo(Shard, Scratch);
     flushScratch();
   }
   return true;
+}
+
+bool TraceRecorder::finalize() {
+  flushScratch();
+  return Writer.finalize();
 }
 
 void TraceRecorder::flushScratch() {
@@ -475,19 +484,132 @@ void TraceRecorder::onLoopEnd(const LoopEndEvent &E) {
   flushScratch();
 }
 
-bool instr::replayTrace(const std::string &Path, AnalysisBase &Sink,
-                        std::string *Err) {
+namespace {
+
+bool replayStdio(const std::string &Path, AnalysisBase &Sink,
+                 std::string *Err, ReplayStats *Stats) {
   TraceFileReader Reader;
   if (!Reader.open(Path, Err))
     return false;
   TraceDecoder Decoder;
   Decoder.setSymbolRemap(Reader.symbolRemap());
+  uint64_t Records = 0;
   TraceRecord Buf[1024];
   while (size_t N = Reader.read(Buf, 1024)) {
     Decoder.decode(Buf, N, Sink);
+    Records += N;
     // Chunk boundary: lets a retiring builder reclaim quiesced regions so
     // replaying a long trace needs only O(live-window) memory too.
     Sink.onBatchBoundary();
   }
+  if (Stats) {
+    Stats->Records = Records;
+    Stats->RecordBytes = Reader.version() <= trace::TraceLastRawVersion
+                             ? Reader.recordCount() * sizeof(TraceRecord)
+                             : 0; // see mmap path for exact v4 bytes
+    Stats->BadRecords = Decoder.badRecords();
+    Stats->Version = Reader.version();
+  }
+  if (!Reader.error().empty()) {
+    if (Err)
+      *Err = Reader.error();
+    return false;
+  }
   return true;
+}
+
+bool replayMmap(const std::string &Path, AnalysisBase &Sink,
+                std::string *Err, ReplayStats *Stats) {
+  TraceMmapReader Map;
+  if (!Map.open(Path, Err))
+    return false;
+  TraceDecoder Decoder;
+  Decoder.setSymbolRemap(Map.symbolRemap());
+  const TraceFileHeader &H = Map.header();
+  uint64_t Records = 0;
+  bool Ok = true;
+
+  if (H.Version <= trace::TraceLastRawVersion) {
+    // Raw rows: feed batches straight out of the mapping (the file layout
+    // is the in-memory layout).
+    const auto *R = reinterpret_cast<const TraceRecord *>(Map.recordData());
+    uint64_t Left = H.RecordCount;
+    while (Left != 0) {
+      size_t N = Left < 4096 ? static_cast<size_t>(Left) : 4096;
+      Decoder.decode(R, N, Sink);
+      R += N;
+      Left -= N;
+      Records += N;
+      Sink.onBatchBoundary();
+    }
+  } else {
+    // v4 frames: decode record-at-a-time from the mapping into the event
+    // decoder — no intermediate record buffer.
+    const uint8_t *P = Map.recordData();
+    uint64_t Avail = Map.recordByteSize();
+    while (Records < H.RecordCount) {
+      if (Avail == 0) {
+        Ok = false;
+        if (Err)
+          *Err = "trace file truncated: missing frames";
+        break;
+      }
+      size_t Consumed = 0;
+      Ok = trace::decodeV4Frame(
+          P, static_cast<size_t>(Avail), Consumed,
+          [&](const TraceRecord &R) {
+            Decoder.decodeOne(R, Sink);
+            ++Records;
+          },
+          Err);
+      if (!Ok)
+        break;
+      P += Consumed;
+      Avail -= Consumed;
+      // Frame boundary: the retirement safe point of this transport.
+      Sink.onBatchBoundary();
+    }
+  }
+
+  if (Stats) {
+    Stats->Records = Records;
+    Stats->RecordBytes = Map.recordByteSize();
+    Stats->BadRecords = Decoder.badRecords();
+    Stats->Version = H.Version;
+  }
+  return Ok;
+}
+
+} // namespace
+
+bool instr::replayTrace(const std::string &Path, AnalysisBase &Sink,
+                        std::string *Err, ReplayTransport Transport,
+                        ReplayStats *Stats) {
+  if (Transport == ReplayTransport::Stdio)
+    return replayStdio(Path, Sink, Err, Stats);
+  if (Transport == ReplayTransport::Mmap)
+    return replayMmap(Path, Sink, Err, Stats);
+  // Auto: v4 gets the zero-copy path; raw versions keep their historical
+  // stdio path (and any mmap setup failure falls back to stdio). Peek at
+  // the header alone to pick — full validation happens in the chosen path.
+  {
+    TraceFileHeader H = {};
+    std::FILE *F = std::fopen(Path.c_str(), "rb");
+    bool GotHeader = F && std::fread(&H, sizeof(H), 1, F) == 1;
+    if (F)
+      std::fclose(F);
+    if (!GotHeader ||
+        std::memcmp(H.Magic, trace::TraceMagic, sizeof(H.Magic)) != 0 ||
+        H.Version <= trace::TraceLastRawVersion)
+      return replayStdio(Path, Sink, Err, Stats);
+  }
+  std::string MmapErr;
+  if (replayMmap(Path, Sink, &MmapErr, Stats))
+    return true;
+  if (MmapErr == "mmap unavailable on this platform" ||
+      MmapErr == "cannot mmap trace file")
+    return replayStdio(Path, Sink, Err, Stats);
+  if (Err)
+    *Err = MmapErr;
+  return false;
 }

@@ -103,6 +103,12 @@ public:
   void decode(const trace::TraceRecord *Records, size_t N,
               AnalysisBase &Sink);
 
+  /// Decodes a single record (the v4 mmap replay path feeds records
+  /// straight out of the frame decoder, no intermediate buffer).
+  void decodeOne(const trace::TraceRecord &R, AnalysisBase &Sink) {
+    feed(R, Sink);
+  }
+
   /// Records whose opcode or sequencing was invalid (diagnostics; such
   /// records are skipped).
   uint64_t badRecords() const { return BadRecords; }
@@ -156,10 +162,18 @@ public:
 
   /// Opens \p Path. When recording a cluster shard, pass its non-zero
   /// \p Shard and a ShardInfo record leads the stream; shard 0 writes no
-  /// such record, keeping single-loop traces byte-identical to v2.
-  bool open(const std::string &Path, uint32_t Shard = 0);
-  bool finalize() { return Writer.finalize(); }
+  /// such record, keeping single-loop v3 traces byte-identical to v2.
+  /// \p Version selects the file encoding (v4 columnar frames by default;
+  /// 2/3 write the raw 32-byte rows for older consumers). A non-zero
+  /// shard needs the ShardInfo opcode and therefore \p Version >= 3.
+  bool open(const std::string &Path, uint32_t Shard = 0,
+            uint32_t Version = trace::TraceVersion);
+  bool finalize();
   uint64_t recordCount() const { return Writer.recordCount(); }
+
+  /// Bytes of the record section written so far (the size lever v4 pulls;
+  /// excludes header/symbol sections and any still-buffered records).
+  uint64_t recordBytes() const { return Writer.recordBytes(); }
 
   void onFunctionEnter(const FunctionEnterEvent &E) override;
   void onFunctionExit(const FunctionExitEvent &E) override;
@@ -178,11 +192,37 @@ private:
   trace::TraceFileWriter Writer;
 };
 
+/// How replayTrace reads the file back.
+enum class ReplayTransport {
+  /// v4 traces replay zero-copy from an mmap of the file; raw v1..v3
+  /// traces stream through stdio (their historical path).
+  Auto,
+  /// Force buffered stdio reads (any version).
+  Stdio,
+  /// Force the mmap path (any version; raw rows are fed straight from the
+  /// mapping, v4 frames decode record-at-a-time from the mapping). Fails
+  /// where mmap is unavailable.
+  Mmap,
+};
+
+/// Decode-side counters from a replay.
+struct ReplayStats {
+  uint64_t Records = 0;
+  /// Bytes of the file's record section (what the codec version controls).
+  uint64_t RecordBytes = 0;
+  /// Records whose opcode or sequencing was invalid (skipped).
+  uint64_t BadRecords = 0;
+  uint32_t Version = 0;
+};
+
 /// Rebuilds a run from \p Path by firing every recorded event into
 /// \p Sink (typically an ag::AsyncGBuilder). Returns false and sets
-/// \p Err on open/validation failure.
+/// \p Err on open/validation/decode failure. \p Stats, when non-null,
+/// receives decode-side counters even on partial failure.
 bool replayTrace(const std::string &Path, AnalysisBase &Sink,
-                 std::string *Err = nullptr);
+                 std::string *Err = nullptr,
+                 ReplayTransport Transport = ReplayTransport::Auto,
+                 ReplayStats *Stats = nullptr);
 
 } // namespace instr
 } // namespace asyncg

@@ -275,6 +275,10 @@ void Runtime::sweepReleasedObjects() {
 
 void Runtime::runLoop() {
   while (!StopRequested) {
+    // Turn boundary: a safe point between dispatches. Transports flush
+    // producer-side batches and re-evaluate sampling budgets here.
+    if (!Hooks.empty())
+      Hooks.fireTickBoundary(instr::TickBoundaryEvent{TickSeq});
     sweepReleasedObjects();
     drainMicrotasks();
     if (StopRequested)
@@ -359,11 +363,11 @@ ScheduleId Runtime::nextTick(SourceLocation Loc, const Function &Fn,
   assert(Fn.isValid() && "nextTick requires a callback");
   ScheduleId S = newSchedule();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = ApiKind::NextTick;
     E.Loc = Loc;
     E.Sched = S;
-    E.Callbacks = {Fn};
+    E.Callbacks.push_back(Fn);
     E.TargetPhase = PhaseKind::NextTick;
     E.Once = true;
     Hooks.fireApiCall(E);
@@ -385,11 +389,11 @@ TimerHandle Runtime::setTimeout(SourceLocation Loc, const Function &Fn,
     Clamped = 1.0;
   ScheduleId S = newSchedule();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = ApiKind::SetTimeout;
     E.Loc = Loc;
     E.Sched = S;
-    E.Callbacks = {Fn};
+    E.Callbacks.push_back(Fn);
     E.TargetPhase = PhaseKind::Timers;
     E.Once = true;
     E.TimeoutMs = Ms;
@@ -418,11 +422,11 @@ TimerHandle Runtime::setInterval(SourceLocation Loc, const Function &Fn,
     Clamped = 1.0;
   ScheduleId S = newSchedule();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = ApiKind::SetInterval;
     E.Loc = Loc;
     E.Sched = S;
-    E.Callbacks = {Fn};
+    E.Callbacks.push_back(Fn);
     E.TargetPhase = PhaseKind::Timers;
     E.Once = false;
     E.TimeoutMs = Ms;
@@ -459,11 +463,11 @@ ImmediateHandle Runtime::setImmediate(SourceLocation Loc, const Function &Fn,
   assert(Fn.isValid() && "setImmediate requires a callback");
   ScheduleId S = newSchedule();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = ApiKind::SetImmediate;
     E.Loc = Loc;
     E.Sched = S;
-    E.Callbacks = {Fn};
+    E.Callbacks.push_back(Fn);
     E.TargetPhase = PhaseKind::Check;
     E.Once = true;
     Hooks.fireApiCall(E);
@@ -528,11 +532,11 @@ PromiseRef Runtime::promiseCreate(SourceLocation Loc,
 
   ScheduleId S = newSchedule();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = ApiKind::PromiseCtor;
     E.Loc = Loc;
     E.Sched = S;
-    E.Callbacks = {Executor};
+    E.Callbacks.push_back(Executor);
     E.TargetPhase = CurPhase; // Executors run instantly in the current tick.
     E.Once = true;
     E.BoundObj = P->Id;
@@ -593,7 +597,7 @@ PromiseRef Runtime::promiseReactionJob(SourceLocation Loc, ApiKind Via,
 
   ScheduleId S = newSchedule();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = Via;
     E.Loc = Loc;
     E.Sched = S;
@@ -758,7 +762,7 @@ void Runtime::resolveImpl(SourceLocation Loc, const PromiseRef &P, Value V,
   TriggerId Trig = newTrigger();
   bool Effect = P->isPending() && !P->AlreadyResolved;
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = Reject ? ApiKind::PromiseReject : ApiKind::PromiseResolve;
     E.Loc = Loc;
     E.TargetPhase = PhaseKind::PromiseMicro;
@@ -819,7 +823,7 @@ void Runtime::settleFromAdoption(const PromiseRef &P, bool Reject, Value V) {
   }
   TriggerId Trig = newTrigger();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = Reject ? ApiKind::PromiseReject : ApiKind::PromiseResolve;
     E.Loc = SourceLocation::internal();
     E.TargetPhase = PhaseKind::PromiseMicro;
@@ -894,7 +898,7 @@ PromiseRef Runtime::combinator(SourceLocation Loc, ApiKind Api,
 
   ScheduleId S = newSchedule();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = Api;
     E.Loc = Loc;
     E.Sched = S;
@@ -1072,11 +1076,11 @@ ScheduleId Runtime::addListener(SourceLocation Loc, ApiKind Api,
   assert(Fn.isValid() && "listener function required");
   ScheduleId S = newSchedule();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent Ev;
+    instr::ApiCallEvent &Ev = instr::scratchApiCall();
     Ev.Api = Api;
     Ev.Loc = Loc;
     Ev.Sched = S;
-    Ev.Callbacks = {Fn};
+    Ev.Callbacks.push_back(Fn);
     Ev.TargetPhase = CurPhase; // Listeners run wherever emit() fires.
     Ev.Once = Once;
     Ev.BoundObj = E->Id;
@@ -1134,10 +1138,10 @@ bool Runtime::emitterRemoveListener(SourceLocation Loc, const EmitterRef &E,
     }
   }
   if (!Hooks.empty()) {
-    instr::ApiCallEvent Ev;
+    instr::ApiCallEvent &Ev = instr::scratchApiCall();
     Ev.Api = ApiKind::EmitterRemoveListener;
     Ev.Loc = std::move(Loc);
-    Ev.Callbacks = {Fn};
+    Ev.Callbacks.push_back(Fn);
     Ev.BoundObj = E->Id;
     Ev.EventName = Event;
     Ev.TriggerHadEffect = Removed;
@@ -1152,7 +1156,7 @@ void Runtime::emitterRemoveAll(SourceLocation Loc, const EmitterRef &E,
   bool Removed = E->hasListeners(Event);
   E->Events.erase(Event);
   if (!Hooks.empty()) {
-    instr::ApiCallEvent Ev;
+    instr::ApiCallEvent &Ev = instr::scratchApiCall();
     Ev.Api = ApiKind::EmitterRemoveAll;
     Ev.Loc = std::move(Loc);
     Ev.BoundObj = E->Id;
@@ -1177,7 +1181,7 @@ bool Runtime::emitterEmit(SourceLocation Loc, const EmitterRef &E,
   bool HadListeners = !Snapshot.empty();
 
   if (!Hooks.empty()) {
-    instr::ApiCallEvent Ev;
+    instr::ApiCallEvent &Ev = instr::scratchApiCall();
     Ev.Api = ApiKind::EmitterEmit;
     Ev.Loc = Loc;
     Ev.TargetPhase = CurPhase;
@@ -1241,11 +1245,11 @@ ScheduleId Runtime::registerExternal(SourceLocation Loc, ApiKind Api,
   assert(Fn.isValid() && "external registration requires a callback");
   ScheduleId S = newSchedule();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = Api;
     E.Loc = std::move(Loc);
     E.Sched = S;
-    E.Callbacks = {Fn};
+    E.Callbacks.push_back(Fn);
     E.TargetPhase = PhaseKind::Io;
     E.Once = Once;
     E.BoundObj = BoundObj;
@@ -1271,7 +1275,7 @@ TriggerId Runtime::emitExternalTrigger(SourceLocation Loc, ApiKind Api,
                                        std::string EventName, bool Internal) {
   TriggerId T = newTrigger();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = Api;
     E.Loc = std::move(Loc);
     E.Trigger = T;
@@ -1304,11 +1308,11 @@ ScheduleId Runtime::scheduleCloseCallback(SourceLocation Loc,
   assert(Fn.isValid() && "close callback required");
   ScheduleId S = newSchedule();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = ApiKind::Internal;
     E.Loc = std::move(Loc);
     E.Sched = S;
-    E.Callbacks = {Fn};
+    E.Callbacks.push_back(Fn);
     E.TargetPhase = PhaseKind::Close;
     E.Once = true;
     E.Internal = Internal;
@@ -1364,11 +1368,11 @@ ScheduleId Runtime::queueMicrotask(SourceLocation Loc, const Function &Fn,
   assert(Fn.isValid() && "queueMicrotask requires a callback");
   ScheduleId S = newSchedule();
   if (!Hooks.empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = ApiKind::QueueMicrotask;
     E.Loc = std::move(Loc);
     E.Sched = S;
-    E.Callbacks = {Fn};
+    E.Callbacks.push_back(Fn);
     E.TargetPhase = PhaseKind::PromiseMicro;
     E.Once = true;
     Hooks.fireApiCall(E);

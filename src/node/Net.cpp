@@ -81,7 +81,7 @@ bool Server::listen(SourceLocation Loc, int Port) {
 
   // Surface the listen call itself to the analyses (a CR-less API use).
   if (!RT.hooks().empty()) {
-    instr::ApiCallEvent E;
+    instr::ApiCallEvent &E = instr::scratchApiCall();
     E.Api = ApiKind::NetListen;
     E.Loc = std::move(Loc);
     E.BoundObj = Em->Id;

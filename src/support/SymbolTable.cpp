@@ -26,8 +26,10 @@ static uint64_t hashBytes(std::string_view S) {
 }
 
 SymbolTable::SymbolTable() {
-  Lookup.resize(256, 0);
-  LookupMask = Lookup.size() - 1;
+  TableStore.push_back(std::make_unique<LookupTable>(256));
+  for (size_t I = 0; I <= TableStore.back()->Mask; ++I)
+    TableStore.back()->Slots[I].store(0, std::memory_order_relaxed);
+  Table.store(TableStore.back().get(), std::memory_order_release);
   // Id 0 is the empty string, always present.
   [[maybe_unused]] SymbolId Empty = intern(std::string_view());
   assert(Empty == 0 && "empty string must get id 0");
@@ -63,42 +65,72 @@ const char *SymbolTable::arenaStore(std::string_view S) {
 }
 
 void SymbolTable::grow() {
-  std::vector<uint32_t> Old = std::move(Lookup);
-  Lookup.assign(Old.size() * 2, 0);
-  LookupMask = Lookup.size() - 1;
-  for (uint32_t Slot : Old) {
+  LookupTable *Old = Table.load(std::memory_order_relaxed);
+  auto Next = std::make_unique<LookupTable>((Old->Mask + 1) * 2);
+  // The new table is private until the release store below, so relaxed
+  // stores suffice while rehashing into it.
+  for (size_t I = 0; I <= Next->Mask; ++I)
+    Next->Slots[I].store(0, std::memory_order_relaxed);
+  for (size_t I = 0; I <= Old->Mask; ++I) {
+    uint32_t Slot = Old->Slots[I].load(std::memory_order_relaxed);
     if (Slot == 0)
       continue;
-    size_t I = entry(Slot - 1).Hash & LookupMask;
-    while (Lookup[I] != 0)
-      I = (I + 1) & LookupMask;
-    Lookup[I] = Slot;
+    size_t J = entry(Slot - 1).Hash & Next->Mask;
+    while (Next->Slots[J].load(std::memory_order_relaxed) != 0)
+      J = (J + 1) & Next->Mask;
+    Next->Slots[J].store(Slot, std::memory_order_relaxed);
   }
+  // Publish; the old table stays alive in TableStore for concurrent
+  // lock-free probes that loaded it before the swap. They can at worst
+  // miss a fresh entry and fall back to the mutex path.
+  Table.store(Next.get(), std::memory_order_release);
+  TableStore.push_back(std::move(Next));
 }
 
 SymbolId SymbolTable::intern(std::string_view S) {
   uint64_t H = hashBytes(S);
+  // Lock-free fast path: probe the published table. Slots go empty ->
+  // occupied exactly once and entries never change, so a hit here is
+  // authoritative; a miss (including a stale table during growth) just
+  // falls through to the serialized insert, which re-probes.
+  {
+    const LookupTable *T = Table.load(std::memory_order_acquire);
+    size_t I = H & T->Mask;
+    while (true) {
+      uint32_t Slot = T->Slots[I].load(std::memory_order_acquire);
+      if (Slot == 0)
+        break;
+      const Entry &E = entry(Slot - 1);
+      if (E.Hash == H && E.Len == S.size() &&
+          (S.empty() || std::memcmp(E.Ptr, S.data(), S.size()) == 0))
+        return Slot - 1;
+      I = (I + 1) & T->Mask;
+    }
+  }
+
   std::lock_guard<std::mutex> Guard(Mutex);
-  size_t I = H & LookupMask;
+  LookupTable *T = Table.load(std::memory_order_relaxed);
+  size_t I = H & T->Mask;
   while (true) {
-    uint32_t Slot = Lookup[I];
+    uint32_t Slot = T->Slots[I].load(std::memory_order_relaxed);
     if (Slot == 0)
       break;
     const Entry &E = entry(Slot - 1);
     if (E.Hash == H && E.Len == S.size() &&
         (S.empty() || std::memcmp(E.Ptr, S.data(), S.size()) == 0))
       return Slot - 1;
-    I = (I + 1) & LookupMask;
+    I = (I + 1) & T->Mask;
   }
 
   uint32_t Count = EntryCount.load(std::memory_order_relaxed);
 
   // Keep the load factor under 1/2.
-  if ((size_t(Count) + 1) * 2 > Lookup.size()) {
+  if ((size_t(Count) + 1) * 2 > T->Mask + 1) {
     grow();
-    I = H & LookupMask;
-    while (Lookup[I] != 0)
-      I = (I + 1) & LookupMask;
+    T = Table.load(std::memory_order_relaxed);
+    I = H & T->Mask;
+    while (T->Slots[I].load(std::memory_order_relaxed) != 0)
+      I = (I + 1) & T->Mask;
   }
 
   SymbolId Id = Count;
@@ -113,15 +145,18 @@ SymbolId SymbolTable::intern(std::string_view S) {
   }
   Page[Id & (PageSize - 1)] =
       Entry{arenaStore(S), static_cast<uint32_t>(S.size()), H};
-  // Publish the entry after its slot is fully written.
   EntryCount.store(Count + 1, std::memory_order_release);
-  Lookup[I] = Id + 1;
+  // Publish the slot only after its Entry is fully written: a lock-free
+  // prober acquire-loading this slot must see a complete entry.
+  T->Slots[I].store(Id + 1, std::memory_order_release);
   return Id;
 }
 
 size_t SymbolTable::memoryUsage() const {
   std::lock_guard<std::mutex> Guard(Mutex);
+  size_t TableBytes = 0;
+  for (const auto &T : TableStore)
+    TableBytes += (T->Mask + 1) * sizeof(std::atomic<uint32_t>);
   return Chunks.size() * ChunkSize + OversizedBytes +
-         PageStore.size() * PageSize * sizeof(Entry) +
-         Lookup.capacity() * sizeof(uint32_t);
+         PageStore.size() * PageSize * sizeof(Entry) + TableBytes;
 }

@@ -22,12 +22,16 @@
 /// The table is a process-wide singleton (symtab()). Since the async
 /// instrumentation pipeline (ag/AsyncPipeline.h) resolves and interns
 /// symbols from its builder thread while the event loop keeps interning,
-/// the table is thread-safe: intern() is serialized by a mutex, while
-/// view()/c_str() are lock-free — entries live in fixed-size pages whose
-/// pointers are published with release ordering and never move, and the
-/// arena never moves strings. A reader may only resolve ids it legitimately
-/// obtained (program order, or a release/acquire hand-off such as the SPSC
-/// event ring), which is exactly how Symbols travel between threads.
+/// the table is thread-safe: intern() probes the published lookup table
+/// lock-free (slots only ever transition empty -> occupied and entries are
+/// immutable, so a hit is authoritative) and takes the mutex only to insert
+/// a string it has not seen; view()/c_str() are lock-free — entries live in
+/// fixed-size pages whose pointers are published with release ordering and
+/// never move, and the arena never moves strings. Retired lookup tables are
+/// kept alive after growth so a concurrent reader never touches freed
+/// memory. A reader may only resolve ids it legitimately obtained (program
+/// order, or a release/acquire hand-off such as the SPSC event ring), which
+/// is exactly how Symbols travel between threads.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -56,8 +60,9 @@ public:
   SymbolTable();
 
   /// Interns \p S, returning its stable id. Idempotent: the same bytes
-  /// always produce the same id for the lifetime of the table. Serialized
-  /// by an internal mutex; safe to call from any thread.
+  /// always produce the same id for the lifetime of the table. Safe to
+  /// call from any thread: already-interned strings resolve with a
+  /// lock-free probe; only first-time inserts take the internal mutex.
   SymbolId intern(std::string_view S);
 
   /// Resolves an id to its text. The view stays valid for the lifetime of
@@ -100,6 +105,19 @@ private:
     return Page[Id & (PageSize - 1)];
   }
 
+  /// Open-addressing table of entry indices + 1 (0 = empty slot). Slots
+  /// are atomics because the fast path of intern() probes the current
+  /// table without the mutex: a slot is written exactly once (release,
+  /// after its Entry is fully published), so an acquire load either sees
+  /// 0 (treat as miss, fall back to the mutex) or a valid, immutable
+  /// entry index.
+  struct LookupTable {
+    explicit LookupTable(size_t N)
+        : Mask(N - 1), Slots(std::make_unique<std::atomic<uint32_t>[]>(N)) {}
+    size_t Mask;
+    std::unique_ptr<std::atomic<uint32_t>[]> Slots;
+  };
+
   const char *arenaStore(std::string_view S);
   void grow();
 
@@ -114,9 +132,13 @@ private:
   std::array<std::atomic<Entry *>, MaxPages> Pages{};
   std::vector<std::unique_ptr<Entry[]>> PageStore;
   std::atomic<uint32_t> EntryCount{0};
-  /// Open-addressing table of entry indices + 1 (0 = empty slot).
-  std::vector<uint32_t> Lookup;
-  size_t LookupMask = 0;
+  /// Currently published lookup table; replaced wholesale on growth.
+  std::atomic<LookupTable *> Table{nullptr};
+  /// Owns every table ever published (current one last). Retired tables
+  /// stay alive so lock-free probes racing a grow() never see freed
+  /// memory; their cost is negligible (a geometric series below the
+  /// final table's size).
+  std::vector<std::unique_ptr<LookupTable>> TableStore;
 };
 
 /// Returns the global symbol table.

@@ -8,8 +8,82 @@
 
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define ASYNCG_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 using namespace asyncg;
 using namespace asyncg::trace;
+
+static bool fail(std::string *Err, const char *Message) {
+  if (Err)
+    *Err = Message;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// V4FrameEncoder
+//===----------------------------------------------------------------------===//
+
+void V4FrameEncoder::encodeFrame(const TraceRecord *Records, size_t N,
+                                 std::vector<uint8_t> &Out) {
+  for (TraceRecord &P : Prev)
+    P = TraceRecord();
+  for (unsigned C = 0; C != FrameColumns; ++C)
+    Col[C].clear();
+
+  for (size_t I = 0; I != N; ++I) {
+    const TraceRecord &R = Records[I];
+    uint8_t Op = R.Op;
+    TraceRecord &P = Prev[Op < TraceOpLimit ? Op : 0];
+    uint8_t Mask = 0;
+    if (R.A8 != P.A8) {
+      Mask |= MaskA8;
+      appendVarint(Col[2], zigzagEncode(static_cast<int64_t>(R.A8) -
+                                        static_cast<int64_t>(P.A8)));
+    }
+    if (R.B16 != P.B16) {
+      Mask |= MaskB16;
+      appendVarint(Col[3], zigzagEncode(static_cast<int64_t>(R.B16) -
+                                        static_cast<int64_t>(P.B16)));
+    }
+    if (R.C32 != P.C32) {
+      Mask |= MaskC32;
+      appendVarint(Col[4], zigzagEncode(static_cast<int64_t>(R.C32) -
+                                        static_cast<int64_t>(P.C32)));
+    }
+    if (R.D64 != P.D64) {
+      Mask |= MaskD64;
+      appendVarint(Col[5], zigzagEncode(static_cast<int64_t>(R.D64 - P.D64)));
+    }
+    if (R.E64 != P.E64) {
+      Mask |= MaskE64;
+      appendVarint(Col[6], zigzagEncode(static_cast<int64_t>(R.E64 - P.E64)));
+    }
+    if (R.F64 != P.F64) {
+      Mask |= MaskF64;
+      appendVarint(Col[7], zigzagEncode(static_cast<int64_t>(R.F64 - P.F64)));
+    }
+    Col[0].push_back(Op);
+    Col[1].push_back(Mask);
+    P = R;
+  }
+
+  TraceFrameHeader H;
+  H.Magic = FrameMagic;
+  H.RecordCount = static_cast<uint32_t>(N);
+  for (unsigned C = 0; C != FrameColumns; ++C)
+    H.ColBytes[C] = static_cast<uint32_t>(Col[C].size());
+  size_t HeaderAt = Out.size();
+  Out.resize(HeaderAt + sizeof(H));
+  std::memcpy(Out.data() + HeaderAt, &H, sizeof(H));
+  for (unsigned C = 0; C != FrameColumns; ++C)
+    Out.insert(Out.end(), Col[C].begin(), Col[C].end());
+}
 
 //===----------------------------------------------------------------------===//
 // TraceFileWriter
@@ -20,23 +94,56 @@ TraceFileWriter::~TraceFileWriter() {
     std::fclose(File);
 }
 
-bool TraceFileWriter::open(const std::string &Path) {
+bool TraceFileWriter::open(const std::string &Path, uint32_t Ver) {
+  if (Ver < TraceMinVersion || Ver > TraceVersion)
+    return false;
   File = std::fopen(Path.c_str(), "wb");
   if (!File)
     return false;
   Count = 0;
+  RecordSectionBytes = 0;
+  Version = Ver;
+  Pending.clear();
   TraceFileHeader H = {};
   std::memcpy(H.Magic, TraceMagic, sizeof(H.Magic));
-  H.Version = TraceVersion;
+  H.Version = Version;
   return std::fwrite(&H, sizeof(H), 1, File) == 1;
+}
+
+bool TraceFileWriter::flushFrame() {
+  if (Pending.empty())
+    return true;
+  FrameBuf.clear();
+  Encoder.encodeFrame(Pending.data(), Pending.size(), FrameBuf);
+  Pending.clear();
+  if (std::fwrite(FrameBuf.data(), 1, FrameBuf.size(), File) !=
+      FrameBuf.size())
+    return false;
+  RecordSectionBytes += FrameBuf.size();
+  return true;
 }
 
 bool TraceFileWriter::append(const TraceRecord *Records, size_t N) {
   if (!File || N == 0)
     return File != nullptr;
+  if (Version > TraceLastRawVersion) {
+    Count += N;
+    while (N != 0) {
+      size_t Take = FrameRecords - Pending.size();
+      if (Take > N)
+        Take = N;
+      Pending.insert(Pending.end(), Records, Records + Take);
+      Records += Take;
+      N -= Take;
+      if (Pending.size() == FrameRecords && !flushFrame())
+        return false;
+    }
+    return true;
+  }
   if (std::fwrite(Records, sizeof(TraceRecord), N, File) != N)
     return false;
   Count += N;
+  RecordSectionBytes += N * sizeof(TraceRecord);
   return true;
 }
 
@@ -44,6 +151,8 @@ bool TraceFileWriter::finalize() {
   if (!File)
     return false;
   bool Ok = true;
+  if (Version > TraceLastRawVersion)
+    Ok = flushFrame();
   long SymtabOffset = std::ftell(File);
   Ok = Ok && SymtabOffset > 0;
 
@@ -62,7 +171,7 @@ bool TraceFileWriter::finalize() {
   if (Ok) {
     TraceFileHeader H = {};
     std::memcpy(H.Magic, TraceMagic, sizeof(H.Magic));
-    H.Version = TraceVersion;
+    H.Version = Version;
     H.RecordCount = Count;
     H.SymtabOffset = static_cast<uint64_t>(SymtabOffset);
     Ok = std::fseek(File, 0, SEEK_SET) == 0 &&
@@ -74,6 +183,61 @@ bool TraceFileWriter::finalize() {
 }
 
 //===----------------------------------------------------------------------===//
+// Shared image validation
+//===----------------------------------------------------------------------===//
+
+bool trace::validateTraceImage(const uint8_t *Bytes, uint64_t Size,
+                               TraceFileHeader &Header,
+                               std::vector<SymbolId> &Remap,
+                               std::string *Err) {
+  if (Size < sizeof(TraceFileHeader))
+    return fail(Err, "trace file truncated: no header");
+  std::memcpy(&Header, Bytes, sizeof(Header));
+  if (std::memcmp(Header.Magic, TraceMagic, sizeof(Header.Magic)) != 0)
+    return fail(Err, "bad magic: not an .agtrace file");
+  if (Header.Version < TraceMinVersion || Header.Version > TraceVersion)
+    return fail(Err, "unsupported trace version");
+  if (Header.SymtabOffset < sizeof(TraceFileHeader) ||
+      Header.SymtabOffset > Size)
+    return fail(Err, "trace file truncated: no symbol section");
+  if (Header.Version <= TraceLastRawVersion) {
+    uint64_t RecordBytes = Header.SymtabOffset - sizeof(TraceFileHeader);
+    if (RecordBytes / sizeof(TraceRecord) < Header.RecordCount)
+      return fail(Err, "trace file truncated: record section");
+  }
+
+  // Symbol section: count + length-prefixed strings, every length checked
+  // against the bytes actually present (a corrupt length must not drive a
+  // multi-gigabyte allocation).
+  const uint8_t *P = Bytes + Header.SymtabOffset;
+  const uint8_t *End = Bytes + Size;
+  if (End - P < static_cast<ptrdiff_t>(sizeof(uint64_t)))
+    return fail(Err, "trace file truncated: symbol count");
+  uint64_t SymCount;
+  std::memcpy(&SymCount, P, sizeof(SymCount));
+  P += sizeof(SymCount);
+  // Each symbol needs at least its 4-byte length prefix.
+  if (SymCount > static_cast<uint64_t>(End - P) / sizeof(uint32_t))
+    return fail(Err, "corrupt trace: implausible symbol count");
+  Remap.clear();
+  Remap.reserve(static_cast<size_t>(SymCount));
+  std::string Scratch;
+  for (uint64_t I = 0; I != SymCount; ++I) {
+    if (End - P < static_cast<ptrdiff_t>(sizeof(uint32_t)))
+      return fail(Err, "trace file truncated: symbol length");
+    uint32_t Len;
+    std::memcpy(&Len, P, sizeof(Len));
+    P += sizeof(Len);
+    if (Len > static_cast<uint64_t>(End - P))
+      return fail(Err, "trace file truncated: symbol bytes");
+    Scratch.assign(reinterpret_cast<const char *>(P), Len);
+    P += Len;
+    Remap.push_back(symtab().intern(Scratch));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
 // TraceFileReader
 //===----------------------------------------------------------------------===//
 
@@ -82,22 +246,31 @@ TraceFileReader::~TraceFileReader() {
     std::fclose(File);
 }
 
-static bool fail(std::string *Err, const char *Message) {
-  if (Err)
-    *Err = Message;
-  return false;
-}
-
 bool TraceFileReader::open(const std::string &Path, std::string *Err) {
   File = std::fopen(Path.c_str(), "rb");
   if (!File)
     return fail(Err, "cannot open trace file");
-  if (std::fread(&Header, sizeof(Header), 1, File) != 1)
+  if (std::fseek(File, 0, SEEK_END) != 0)
+    return fail(Err, "trace file seek failed");
+  long Sz = std::ftell(File);
+  if (Sz < 0)
+    return fail(Err, "trace file seek failed");
+  FileSize = static_cast<uint64_t>(Sz);
+  if (std::fseek(File, 0, SEEK_SET) != 0 ||
+      std::fread(&Header, sizeof(Header), 1, File) != 1)
     return fail(Err, "trace file truncated: no header");
   if (std::memcmp(Header.Magic, TraceMagic, sizeof(Header.Magic)) != 0)
     return fail(Err, "bad magic: not an .agtrace file");
   if (Header.Version < TraceMinVersion || Header.Version > TraceVersion)
     return fail(Err, "unsupported trace version");
+  if (Header.SymtabOffset < sizeof(TraceFileHeader) ||
+      Header.SymtabOffset > FileSize)
+    return fail(Err, "trace file truncated: no symbol section");
+  if (Header.Version <= TraceLastRawVersion) {
+    uint64_t RecordBytes = Header.SymtabOffset - sizeof(TraceFileHeader);
+    if (RecordBytes / sizeof(TraceRecord) < Header.RecordCount)
+      return fail(Err, "trace file truncated: record section");
+  }
 
   // Load the symbol section and re-intern into this process's table.
   if (std::fseek(File, static_cast<long>(Header.SymtabOffset), SEEK_SET) != 0)
@@ -105,31 +278,158 @@ bool TraceFileReader::open(const std::string &Path, std::string *Err) {
   uint64_t SymCount = 0;
   if (std::fread(&SymCount, sizeof(SymCount), 1, File) != 1)
     return fail(Err, "trace file truncated: symbol count");
+  uint64_t SymBytesLeft = FileSize - Header.SymtabOffset - sizeof(SymCount);
+  if (SymCount > SymBytesLeft / sizeof(uint32_t))
+    return fail(Err, "corrupt trace: implausible symbol count");
   Remap.clear();
-  Remap.reserve(SymCount);
+  Remap.reserve(static_cast<size_t>(SymCount));
   std::string Scratch;
   for (uint64_t I = 0; I != SymCount; ++I) {
     uint32_t Len = 0;
     if (std::fread(&Len, sizeof(Len), 1, File) != 1)
       return fail(Err, "trace file truncated: symbol length");
+    SymBytesLeft -= sizeof(Len);
+    if (Len > SymBytesLeft)
+      return fail(Err, "trace file truncated: symbol bytes");
     Scratch.resize(Len);
     if (Len != 0 && std::fread(Scratch.data(), 1, Len, File) != Len)
       return fail(Err, "trace file truncated: symbol bytes");
+    SymBytesLeft -= Len;
     Remap.push_back(symtab().intern(Scratch));
   }
 
   if (std::fseek(File, sizeof(TraceFileHeader), SEEK_SET) != 0)
     return fail(Err, "trace file seek failed");
   ReadSoFar = 0;
+  RecordBytesLeft = Header.SymtabOffset - sizeof(TraceFileHeader);
+  Decoded.clear();
+  DecodedPos = 0;
+  ReadError.clear();
   return true;
 }
 
+bool TraceFileReader::loadNextFrame() {
+  TraceFrameHeader FH;
+  if (RecordBytesLeft < sizeof(FH)) {
+    ReadError = "trace file truncated: frame header";
+    return false;
+  }
+  if (std::fread(&FH, sizeof(FH), 1, File) != 1) {
+    ReadError = "trace file truncated: frame header";
+    return false;
+  }
+  RecordBytesLeft -= sizeof(FH);
+  if (FH.Magic != FrameMagic) {
+    ReadError = "corrupt trace: bad frame magic";
+    return false;
+  }
+  if (FH.RecordCount == 0 || FH.RecordCount > FrameMaxRecords) {
+    ReadError = "corrupt trace: implausible frame record count";
+    return false;
+  }
+  uint64_t Payload = 0;
+  for (unsigned C = 0; C != FrameColumns; ++C)
+    Payload += FH.ColBytes[C];
+  if (Payload > RecordBytesLeft) {
+    ReadError = "trace file truncated: frame payload";
+    return false;
+  }
+  // Re-assemble header + payload so the shared frame decoder sees one
+  // contiguous image.
+  FrameBuf.resize(sizeof(FH) + static_cast<size_t>(Payload));
+  std::memcpy(FrameBuf.data(), &FH, sizeof(FH));
+  if (Payload != 0 &&
+      std::fread(FrameBuf.data() + sizeof(FH), 1,
+                 static_cast<size_t>(Payload), File) != Payload) {
+    ReadError = "trace file truncated: frame payload";
+    return false;
+  }
+  RecordBytesLeft -= Payload;
+
+  Decoded.clear();
+  Decoded.reserve(FH.RecordCount);
+  DecodedPos = 0;
+  size_t Consumed = 0;
+  return decodeV4Frame(
+      FrameBuf.data(), FrameBuf.size(), Consumed,
+      [this](const TraceRecord &R) { Decoded.push_back(R); }, &ReadError);
+}
+
 size_t TraceFileReader::read(TraceRecord *Out, size_t Max) {
-  if (!File || ReadSoFar >= Header.RecordCount)
+  if (!File || ReadSoFar >= Header.RecordCount || !ReadError.empty())
     return 0;
   uint64_t Left = Header.RecordCount - ReadSoFar;
   size_t Want = Max < Left ? Max : static_cast<size_t>(Left);
-  size_t Got = std::fread(Out, sizeof(TraceRecord), Want, File);
-  ReadSoFar += Got;
-  return Got;
+
+  if (Header.Version <= TraceLastRawVersion) {
+    size_t Got = std::fread(Out, sizeof(TraceRecord), Want, File);
+    ReadSoFar += Got;
+    return Got;
+  }
+
+  size_t Total = 0;
+  while (Total != Want) {
+    if (DecodedPos == Decoded.size() && !loadNextFrame())
+      break;
+    size_t Avail = Decoded.size() - DecodedPos;
+    size_t Take = Want - Total < Avail ? Want - Total : Avail;
+    std::memcpy(Out + Total, Decoded.data() + DecodedPos,
+                Take * sizeof(TraceRecord));
+    DecodedPos += Take;
+    Total += Take;
+  }
+  ReadSoFar += Total;
+  return Total;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceMmapReader
+//===----------------------------------------------------------------------===//
+
+TraceMmapReader::~TraceMmapReader() {
+#if ASYNCG_HAVE_MMAP
+  if (Base)
+    ::munmap(const_cast<uint8_t *>(Base), static_cast<size_t>(Size));
+#endif
+}
+
+bool TraceMmapReader::open(const std::string &Path, std::string *Err) {
+#if ASYNCG_HAVE_MMAP
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return fail(Err, "cannot open trace file");
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || St.st_size < 0) {
+    ::close(Fd);
+    return fail(Err, "cannot stat trace file");
+  }
+  Size = static_cast<uint64_t>(St.st_size);
+  if (Size < sizeof(TraceFileHeader)) {
+    ::close(Fd);
+    return fail(Err, "trace file truncated: no header");
+  }
+  // The whole (small, columnar) file is consumed front to back exactly
+  // once, so populate the mapping in one batched read up front instead of
+  // taking a synchronous page fault per 4K of frame data on a cold cache.
+  int Flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+  Flags |= MAP_POPULATE;
+#endif
+  void *Map =
+      ::mmap(nullptr, static_cast<size_t>(Size), PROT_READ, Flags, Fd, 0);
+  ::close(Fd);
+  if (Map == MAP_FAILED)
+    return fail(Err, "cannot mmap trace file");
+  ::madvise(Map, static_cast<size_t>(Size), MADV_SEQUENTIAL);
+  Base = static_cast<const uint8_t *>(Map);
+  if (!validateTraceImage(Base, Size, Header, Remap, Err)) {
+    ::munmap(Map, static_cast<size_t>(Size));
+    Base = nullptr;
+    return false;
+  }
+  return true;
+#else
+  (void)Path;
+  return fail(Err, "mmap unavailable on this platform");
+#endif
 }

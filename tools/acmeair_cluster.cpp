@@ -10,6 +10,14 @@
 //
 //   acmeair_cluster [--loops N] [--requests N] [--clients N] [--seed N]
 //                   [--sync] [--no-gossip] [--baseline] [--dot FILE]
+//                   [--record-dir DIR] [--trace-version N]
+//                   [--sample-budget PCT]
+//
+// --record-dir writes one `.agtrace` per shard (shard<S>.agtrace) in the
+// chosen --trace-version (default v4 columnar frames) for offline replay
+// and merge. --sample-budget caps each shard pipeline's instrumentation
+// overhead at PCT percent of loop wall time; the dropped decoration
+// coverage is reported per shard.
 //
 // Each loop runs on its own thread with its own runtime, AcmeAir server,
 // workload shard, and Async Graph builder (behind a per-shard SPSC ring
@@ -58,7 +66,21 @@ int main(int argc, char **argv) {
       Cfg.Gossip = false;
     else if (!std::strcmp(argv[I], "--baseline"))
       Cfg.Instrument = false;
-    else if (!std::strcmp(argv[I], "--dot")) {
+    else if (!std::strcmp(argv[I], "--trace-version"))
+      Cfg.TraceVer = static_cast<uint32_t>(Num("--trace-version"));
+    else if (!std::strcmp(argv[I], "--sample-budget")) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "--sample-budget needs a value\n");
+        return 2;
+      }
+      Cfg.SampleBudgetPct = std::atof(argv[++I]);
+    } else if (!std::strcmp(argv[I], "--record-dir")) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "--record-dir needs a value\n");
+        return 2;
+      }
+      Cfg.RecordDir = argv[++I];
+    } else if (!std::strcmp(argv[I], "--dot")) {
       if (I + 1 >= argc) {
         std::fprintf(stderr, "--dot needs a value\n");
         return 2;
@@ -69,10 +91,26 @@ int main(int argc, char **argv) {
                    "usage: %s [--loops N] [--requests N] [--clients N]"
                    " [--seed N]\n"
                    "          [--sync] [--no-gossip] [--baseline]"
-                   " [--dot FILE]\n",
+                   " [--dot FILE]\n"
+                   "          [--record-dir DIR] [--trace-version N]"
+                   " [--sample-budget PCT]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (Cfg.TraceVer < 2 || Cfg.TraceVer > trace::TraceVersion) {
+    std::fprintf(stderr, "--trace-version must be 2..%u\n",
+                 trace::TraceVersion);
+    return 2;
+  }
+  if (Cfg.SampleBudgetPct < 0 || Cfg.SampleBudgetPct > 100) {
+    std::fprintf(stderr, "--sample-budget must be in [0, 100]\n");
+    return 2;
+  }
+  if (!Cfg.RecordDir.empty() && Cfg.Loops > 1 && Cfg.TraceVer < 3) {
+    std::fprintf(stderr, "--record-dir with --loops > 1 needs "
+                         "--trace-version >= 3 (ShardInfo records)\n");
+    return 2;
   }
   if (Cfg.Loops == 0 || Cfg.Loops > jsrt::MaxShardId) {
     std::fprintf(stderr, "--loops must be 1..%u\n", jsrt::MaxShardId);
@@ -98,6 +136,24 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(SR.Sent),
                 static_cast<unsigned long long>(SR.Received),
                 static_cast<unsigned long long>(SR.PushedRecords));
+  }
+  if (!Cfg.RecordDir.empty()) {
+    uint64_t Bytes = 0;
+    for (const cluster::ShardResult &SR : R.Shards)
+      Bytes += SR.RecordedBytes;
+    std::printf("recorded: v%u traces, %llu record bytes -> %s/shard*.agtrace\n",
+                Cfg.TraceVer, static_cast<unsigned long long>(Bytes),
+                Cfg.RecordDir.c_str());
+  }
+  if (Cfg.SampleBudgetPct > 0) {
+    for (size_t S = 0; S != R.Shards.size(); ++S) {
+      const ag::SamplingStats &SS = R.Shards[S].Sampling;
+      std::printf("s%zu sampling: %llu/%llu ticks covered, %llu decoration "
+                  "events skipped\n",
+                  S, static_cast<unsigned long long>(SS.SampledTicks),
+                  static_cast<unsigned long long>(SS.TotalTicks),
+                  static_cast<unsigned long long>(SS.DroppedEvents));
+    }
   }
   std::printf("\nvirtual throughput: %.0f req/s (slowest shard %.2f ms "
               "virtual)\n",

@@ -1,0 +1,183 @@
+//===- agtrace_inspect.cpp - .agtrace structure dump ---------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Prints the structure of an `.agtrace` file: header fields, per-opcode
+// record counts, symbol-table size, and — for v4 columnar traces — the
+// per-column compressed byte totals across all frames, so the effect of
+// the delta compression is visible column by column:
+//
+//   agtrace_inspect run.agtrace [more.agtrace ...]
+//
+// Works on v2/v3 raw-row traces and v4 frame traces alike; raw traces
+// simply report 32 bytes/record with no column breakdown.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TraceFormat.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace asyncg;
+using namespace asyncg::trace;
+
+namespace {
+
+const char *opName(unsigned Op) {
+  switch (static_cast<TraceOp>(Op)) {
+  case TraceOp::FuncDef:
+    return "FuncDef";
+  case TraceOp::EnterTrigger:
+    return "EnterTrigger";
+  case TraceOp::Enter:
+    return "Enter";
+  case TraceOp::Exit:
+    return "Exit";
+  case TraceOp::ApiBase:
+    return "ApiBase";
+  case TraceOp::ApiExt:
+    return "ApiExt";
+  case TraceOp::ApiFuncs:
+    return "ApiFuncs";
+  case TraceOp::ApiInputs:
+    return "ApiInputs";
+  case TraceOp::ObjCreate:
+    return "ObjCreate";
+  case TraceOp::ReactionResult:
+    return "ReactionResult";
+  case TraceOp::PromiseLink:
+    return "PromiseLink";
+  case TraceOp::LoopEnd:
+    return "LoopEnd";
+  case TraceOp::ObjectRelease:
+    return "ObjectRelease";
+  case TraceOp::ShardInfo:
+    return "ShardInfo";
+  }
+  return "unknown";
+}
+
+const char *colName(unsigned C) {
+  static const char *Names[FrameColumns] = {"Op",  "Mask", "A8",  "B16",
+                                            "C32", "D64",  "E64", "F64"};
+  return C < FrameColumns ? Names[C] : "?";
+}
+
+/// Reads the whole file so the v4 frame chain can be walked directly.
+bool slurp(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  std::fseek(F, 0, SEEK_SET);
+  if (Size < 0) {
+    std::fclose(F);
+    return false;
+  }
+  Out.resize(static_cast<size_t>(Size));
+  bool Ok = Out.empty() || std::fread(Out.data(), 1, Out.size(), F) ==
+                               Out.size();
+  std::fclose(F);
+  return Ok;
+}
+
+int inspect(const std::string &Path) {
+  std::vector<uint8_t> Image;
+  if (!slurp(Path, Image)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    return 1;
+  }
+  TraceFileHeader Header;
+  std::vector<SymbolId> Remap;
+  std::string Err;
+  if (!validateTraceImage(Image.data(), Image.size(), Header, Remap, &Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+    return 1;
+  }
+
+  uint64_t RecordBytes = Header.SymtabOffset - sizeof(TraceFileHeader);
+  uint64_t SymtabBytes = Image.size() - Header.SymtabOffset;
+  std::printf("%s\n", Path.c_str());
+  std::printf("  version        v%" PRIu32 "\n", Header.Version);
+  std::printf("  file size      %zu bytes\n", Image.size());
+  std::printf("  records        %" PRIu64 " (%" PRIu64
+              " record bytes, %.2f bytes/rec)\n",
+              Header.RecordCount, RecordBytes,
+              Header.RecordCount
+                  ? static_cast<double>(RecordBytes) / Header.RecordCount
+                  : 0.0);
+  std::printf("  symbols        %zu (%" PRIu64 " bytes)\n", Remap.size(),
+              SymtabBytes);
+
+  // Per-opcode counts; for v4 also the per-column compressed totals.
+  uint64_t OpCount[TraceOpLimit + 1] = {};
+  const uint8_t *Rec = Image.data() + sizeof(TraceFileHeader);
+  if (Header.Version <= TraceLastRawVersion) {
+    for (uint64_t I = 0; I != Header.RecordCount; ++I) {
+      uint8_t Op = Rec[I * sizeof(TraceRecord)];
+      ++OpCount[Op < TraceOpLimit ? Op : TraceOpLimit];
+    }
+  } else {
+    uint64_t ColTotal[FrameColumns] = {};
+    uint64_t Frames = 0;
+    const uint8_t *P = Rec;
+    uint64_t Left = RecordBytes;
+    while (Left > 0) {
+      size_t Consumed = 0;
+      bool Ok = decodeV4Frame(
+          P, static_cast<size_t>(Left), Consumed,
+          [&](const TraceRecord &R) {
+            ++OpCount[R.Op < TraceOpLimit ? R.Op : TraceOpLimit];
+          },
+          &Err);
+      if (!Ok) {
+        std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+        return 1;
+      }
+      TraceFrameHeader FH;
+      std::memcpy(&FH, P, sizeof(FH));
+      for (unsigned C = 0; C != FrameColumns; ++C)
+        ColTotal[C] += FH.ColBytes[C];
+      ++Frames;
+      P += Consumed;
+      Left -= Consumed;
+    }
+    std::printf("  frames         %" PRIu64 " (%u records/frame max)\n",
+                Frames, FrameRecords);
+    std::printf("  columns        (compressed bytes across all frames)\n");
+    for (unsigned C = 0; C != FrameColumns; ++C)
+      std::printf("    %-12s %10" PRIu64 "  %6.2f bytes/rec\n", colName(C),
+                  ColTotal[C],
+                  Header.RecordCount
+                      ? static_cast<double>(ColTotal[C]) / Header.RecordCount
+                      : 0.0);
+  }
+
+  std::printf("  opcodes\n");
+  for (unsigned Op = 0; Op <= TraceOpLimit; ++Op)
+    if (OpCount[Op])
+      std::printf("    %-14s %10" PRIu64 "\n",
+                  Op == TraceOpLimit ? "unknown" : opName(Op), OpCount[Op]);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE.agtrace [FILE.agtrace ...]\n",
+                 Argv[0]);
+    return 2;
+  }
+  int Rc = 0;
+  for (int I = 1; I < Argc; ++I)
+    Rc |= inspect(Argv[I]);
+  return Rc;
+}

@@ -10,19 +10,28 @@
 //
 //   asyncg_cli --list
 //   asyncg_cli --case SO-33330277 [--fixed] [--nopromise] [--async]
-//              [--retire] [--retain-window N] [--record FILE] [--dot FILE]
+//              [--retire] [--retain-window N] [--record FILE]
+//              [--trace-version N] [--sample-budget PCT] [--dot FILE]
 //              [--json FILE] [--html FILE] [--quiet]
 //   asyncg_cli --replay FILE [--nopromise] [--retire] [--retain-window N]
-//              [--dot FILE] [--json FILE] [--html FILE] [--quiet]
+//              [--mmap|--stdio] [--dot FILE] [--json FILE] [--html FILE]
+//              [--quiet]
 //
 // With no output flags, prints the tick-by-tick text rendering and the
 // warnings to stdout. --async routes construction through the off-thread
 // pipeline (ag/AsyncPipeline.h); --record additionally writes a binary
-// .agtrace of the run, and --replay rebuilds a graph from such a trace
-// without executing any case. --retire enables tick-epoch retirement
-// (bounded-memory steady state): quiesced regions older than the retain
-// window (--retain-window, default 8 ticks) are folded into summary
-// counters and reclaimed; warnings are unaffected.
+// .agtrace of the run (--trace-version picks the file encoding: 4 =
+// columnar delta frames, the default; 2/3 = raw 32-byte rows), and
+// --replay rebuilds a graph from such a trace without executing any case
+// (v4 files replay zero-copy from an mmap; --mmap/--stdio force the
+// transport). --sample-budget enables overhead-budgeted sampling in the
+// async pipeline: decoration events are emitted only while the estimated
+// instrumentation spend stays under PCT percent of loop wall time, and the
+// dropped coverage is reported so detector confidence can be judged.
+// --retire enables tick-epoch retirement (bounded-memory steady state):
+// quiesced regions older than the retain window (--retain-window, default
+// 8 ticks) are folded into summary counters and reclaimed; warnings are
+// unaffected.
 //
 //===----------------------------------------------------------------------===//
 
@@ -51,13 +60,16 @@ int usage(const char *Prog) {
                "usage: %s --list\n"
                "       %s --case NAME [--fixed] [--nopromise] [--async]"
                " [--retire]\n"
-               "           [--retain-window N] [--record FILE] [--dot FILE]"
+               "           [--retain-window N] [--record FILE]"
+               " [--trace-version N]\n"
+               "           [--sample-budget PCT] [--dot FILE]"
                " [--json FILE]\n"
                "           [--html FILE] [--quiet]\n"
                "       %s --replay FILE [--nopromise] [--retire]"
                " [--retain-window N]\n"
-               "           [--dot FILE] [--json FILE] [--html FILE]"
-               " [--quiet]\n",
+               "           [--mmap|--stdio] [--dot FILE] [--json FILE]"
+               " [--html FILE]\n"
+               "           [--quiet]\n",
                Prog, Prog, Prog);
   return 2;
 }
@@ -69,6 +81,9 @@ int main(int Argc, char **Argv) {
   bool Fixed = false, NoPromise = false, Quiet = false, List = false;
   bool Async = false, Retire = false;
   unsigned long RetainWindow = 8;
+  unsigned long TraceVer = trace::TraceVersion;
+  double SampleBudget = 0;
+  instr::ReplayTransport Transport = instr::ReplayTransport::Auto;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -101,7 +116,36 @@ int main(int Argc, char **Argv) {
                              "tick count\n");
         return 2;
       }
-    } else if (Arg == "--record" && Next(RecordFile))
+    } else if (Arg == "--trace-version") {
+      std::string N;
+      if (!Next(N))
+        return usage(Argv[0]);
+      char *End = nullptr;
+      TraceVer = std::strtoul(N.c_str(), &End, 10);
+      if (End == N.c_str() || *End != '\0' || TraceVer < 2 ||
+          TraceVer > trace::TraceVersion) {
+        std::fprintf(stderr, "error: --trace-version expects 2..%u\n",
+                     trace::TraceVersion);
+        return 2;
+      }
+    } else if (Arg == "--sample-budget") {
+      std::string N;
+      if (!Next(N))
+        return usage(Argv[0]);
+      char *End = nullptr;
+      SampleBudget = std::strtod(N.c_str(), &End);
+      if (End == N.c_str() || *End != '\0' || SampleBudget <= 0 ||
+          SampleBudget > 100) {
+        std::fprintf(stderr,
+                     "error: --sample-budget expects a percentage in "
+                     "(0, 100]\n");
+        return 2;
+      }
+    } else if (Arg == "--mmap")
+      Transport = instr::ReplayTransport::Mmap;
+    else if (Arg == "--stdio")
+      Transport = instr::ReplayTransport::Stdio;
+    else if (Arg == "--record" && Next(RecordFile))
       continue;
     else if (Arg == "--replay" && Next(ReplayFile))
       continue;
@@ -127,6 +171,11 @@ int main(int Argc, char **Argv) {
   }
   if (CaseName.empty() == ReplayFile.empty()) // exactly one of the two
     return usage(Argv[0]);
+  if (SampleBudget > 0 && !Async) {
+    std::fprintf(stderr, "error: --sample-budget requires --async (the "
+                         "budget governs the pipeline producer)\n");
+    return 2;
+  }
 
   ag::BuilderConfig BCfg;
   BCfg.TrackPromises = !NoPromise;
@@ -158,7 +207,8 @@ int main(int Argc, char **Argv) {
     detect::DetectorSuite Detectors;
     Detectors.attachTo(Builder);
     std::string Err;
-    if (!instr::replayTrace(ReplayFile, Builder, &Err)) {
+    instr::ReplayStats RStats;
+    if (!instr::replayTrace(ReplayFile, Builder, &Err, Transport, &RStats)) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 1;
     }
@@ -166,6 +216,10 @@ int main(int Argc, char **Argv) {
     if (!Quiet) {
       std::printf("=== replay of %s%s ===\n", ReplayFile.c_str(),
                   NoPromise ? " (promise tracking off)" : "");
+      std::printf("trace: v%u, %llu records, %llu record bytes\n",
+                  RStats.Version,
+                  static_cast<unsigned long long>(RStats.Records),
+                  static_cast<unsigned long long>(RStats.RecordBytes));
       std::printf("graph: %zu nodes, %zu edges\n\n", G.nodeCount(),
                   G.liveEdgeCount());
       viz::TextOptions TOpts;
@@ -193,14 +247,17 @@ int main(int Argc, char **Argv) {
   Detectors.attachTo(Builder);
   std::unique_ptr<ag::AsyncPipeline> Pipeline;
   if (Async) {
-    Pipeline = std::make_unique<ag::AsyncPipeline>(Builder);
+    ag::PipelineConfig PCfg;
+    PCfg.SampleBudgetPct = SampleBudget;
+    Pipeline = std::make_unique<ag::AsyncPipeline>(Builder, PCfg);
     RT.hooks().attach(Pipeline.get());
   } else {
     RT.hooks().attach(&Builder);
   }
   instr::TraceRecorder Recorder;
   if (!RecordFile.empty()) {
-    if (!Recorder.open(RecordFile)) {
+    if (!Recorder.open(RecordFile, /*Shard=*/0,
+                       static_cast<uint32_t>(TraceVer))) {
       std::fprintf(stderr, "error: cannot write %s\n", RecordFile.c_str());
       return 1;
     }
@@ -215,9 +272,25 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     if (!Quiet)
-      std::printf("trace: %llu records -> %s\n",
+      std::printf("trace: v%lu, %llu records, %llu record bytes -> %s\n",
+                  TraceVer,
                   static_cast<unsigned long long>(Recorder.recordCount()),
+                  static_cast<unsigned long long>(Recorder.recordBytes()),
                   RecordFile.c_str());
+  }
+  if (Pipeline && SampleBudget > 0) {
+    ag::SamplingStats SS = Pipeline->sampling();
+    std::fprintf(stderr,
+                 "sampling: budget %.1f%%, %llu/%llu ticks covered, "
+                 "%llu decoration events skipped\n",
+                 SS.BudgetPct,
+                 static_cast<unsigned long long>(SS.SampledTicks),
+                 static_cast<unsigned long long>(SS.TotalTicks),
+                 static_cast<unsigned long long>(SS.DroppedEvents));
+    if (SS.DroppedEvents)
+      std::fprintf(stderr,
+                   "sampling: coverage incomplete — linearizability and "
+                   "lifetime warnings may be missed (never fabricated)\n");
   }
   if (Found->PostAnalysis)
     Found->PostAnalysis(RT, Builder.graph());

@@ -14,6 +14,9 @@ Matches metrics by name and judges each by its unit's direction:
     regression.
   - "bool": exact match required (gates like ordering_holds flipping from
     1 to 0 is a regression regardless of threshold).
+  - "ratio" metrics named *speedup* or size_ratio*: higher is better (the
+    codec's compression and replay-speed ratios). Other ratios stay
+    informational — the unit is ambiguous (footprint_ratio is a cost).
   - anything else ("records", "count", "edges", ...): informational only —
     printed, never gated. These are workload-shape numbers, not
     performance.
@@ -34,7 +37,7 @@ RATE_SUFFIX = "/s"
 COST_UNITS = {"x", "ns", "us", "ms", "s", "KiB", "MiB", "bytes"}
 
 
-def direction(unit):
+def direction(unit, name=""):
     """'up' = higher is better, 'down' = lower is better, 'bool', or None
     (informational)."""
     if unit.endswith(RATE_SUFFIX):
@@ -43,6 +46,8 @@ def direction(unit):
         return "down"
     if unit == "bool":
         return "bool"
+    if unit == "ratio" and ("speedup" in name or name.startswith("size_ratio")):
+        return "up"
     return None
 
 
@@ -80,7 +85,7 @@ def main():
                 regressions.append(name)
             continue
         cval, cunit = cur[name]
-        d = direction(bunit if bunit == cunit else "")
+        d = direction(bunit if bunit == cunit else "", name)
         if d == "bool":
             ok = bval == cval
             rows.append((name, bunit, bval, cval, "ok" if ok else "FLIPPED"))

@@ -4,11 +4,11 @@
 # Part of AsyncG-C++. MIT License.
 #
 # Smoke-checks the benchmark JSON pipeline: configures a Release build,
-# runs micro_ag, micro_eventloop, micro_ring, and a short soak_steady_state
-# config with --json, and validates that each emitted BENCH_<name>.json
-# matches the BenchReport schema (bench / config / metrics[{name, value,
-# unit}], including the automatic peak_rss metric). Exits non-zero on any
-# build, run, or schema failure.
+# runs micro_ag, micro_eventloop, micro_ring, micro_codec, and a short
+# soak_steady_state config with --json, and validates that each emitted
+# BENCH_<name>.json matches the BenchReport schema (bench / config /
+# metrics[{name, value, unit}], including the automatic peak_rss metric).
+# Exits non-zero on any build, run, or schema failure.
 #
 # With --check, additionally:
 #   - self-compares every emitted JSON with tools/bench_compare.py (a
@@ -20,6 +20,12 @@
 #     retirement test suite plus the short soak under it: the retirement
 #     freelists recycle node/edge/adjacency storage, which is exactly the
 #     kind of code ASan exists for;
+#   - runs the trace-codec leg under the same ASan build: the replay
+#     parity + decoder robustness suites (trace_replay_test,
+#     trace_codec_v4_test — truncated/bit-flipped traces through both
+#     transports) and micro_codec --parity-only, so the v4 frame
+#     decoder's pointer arithmetic is sanitizer-verified on every real
+#     encode/decode path;
 #   - configures a TSan build (-DASYNCG_TSAN=ON) and runs the SPSC ring
 #     and multi-loop cluster tests under it: N loop threads, the shared
 #     cluster kernel, and the per-shard rings are the concurrent surface.
@@ -46,10 +52,10 @@ OUT_DIR="$BUILD_DIR/bench-json"
 echo "== configuring Release build in $BUILD_DIR"
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 
-echo "== building micro_ag + micro_eventloop + micro_ring + soak_steady_state"
-echo "   + cluster_scaling"
+echo "== building micro_ag + micro_eventloop + micro_ring + micro_codec"
+echo "   + soak_steady_state + cluster_scaling"
 cmake --build "$BUILD_DIR" --target micro_ag micro_eventloop micro_ring \
-  soak_steady_state cluster_scaling -j >/dev/null
+  micro_codec soak_steady_state cluster_scaling -j >/dev/null
 
 mkdir -p "$OUT_DIR"
 
@@ -70,6 +76,9 @@ run_bench micro_ring --benchmark_min_time=0.01
 run_bench soak_steady_state --requests 2000 --clients 8
 # Cluster scaling: 1/2/4 loops, virtual-throughput scaling and merge gates.
 run_bench cluster_scaling
+# Trace codec: v3 vs v4 size + ingest speed, DOT parity, and the exit-code
+# gates (>=4x size, derived slow-storage >=2x, cold floor >=1.2x).
+run_bench micro_codec
 
 echo "== validating schema"
 python3 - "$OUT_DIR"/BENCH_*.json <<'EOF'
@@ -139,6 +148,17 @@ if [ "$CHECK_MODE" = 1 ]; then
   ASAN_OPTIONS=detect_leaks=0 \
     "$ASAN_DIR/bench/soak_steady_state" --requests 1000 --clients 4 >/dev/null
   echo "== [check] ASan retirement checks OK"
+
+  echo "== [check] building trace codec leg (tests + micro_codec) under ASan"
+  cmake --build "$ASAN_DIR" --target trace_replay_test trace_codec_v4_test \
+    micro_codec -j >/dev/null
+  echo "== [check] running replay parity + decoder robustness under ASan"
+  ASAN_OPTIONS=detect_leaks=0 "$ASAN_DIR/tests/trace_replay_test"
+  ASAN_OPTIONS=detect_leaks=0 "$ASAN_DIR/tests/trace_codec_v4_test"
+  echo "== [check] running micro_codec --parity-only under ASan"
+  ASAN_OPTIONS=detect_leaks=0 \
+    "$ASAN_DIR/bench/micro_codec" --parity-only >/dev/null
+  echo "== [check] ASan trace codec checks OK"
 
   TSAN_DIR="$BUILD_DIR-tsan"
   echo "== [check] configuring TSan build in $TSAN_DIR"
