@@ -1,0 +1,326 @@
+//===- LoadGen.cpp - wire-level HTTP load generator ---------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/acmeair/LoadGen.h"
+
+#include "apps/acmeair/App.h"
+#include "sim/Random.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#endif
+
+using namespace asyncg;
+using namespace asyncg::acmeair;
+
+#ifdef __linux__
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One keep-alive connection and its closed-loop session state.
+struct Conn {
+  int Fd = -1;
+  sim::Random Rng{0};
+  std::string User;
+  std::string Token;
+  /// Unsent request bytes (partial-write carry).
+  std::string Out;
+  size_t OutOff = 0;
+  /// Unparsed response bytes.
+  std::string In;
+  bool InFlight = false;
+  Clock::time_point SentAt;
+  bool Alive = true;
+};
+
+std::string httpRequest(const std::string &Method, const std::string &Path,
+                        const std::string &Body) {
+  std::string R = Method + " " + Path + " HTTP/1.1\r\n";
+  R += "Host: 127.0.0.1\r\n";
+  R += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  R += "Connection: keep-alive\r\n\r\n";
+  R += Body;
+  return R;
+}
+
+/// Mirrors WorkloadDriver::issueNext: login until a token is held, then
+/// the weighted operation mix, drawing from the same per-client stream.
+std::string nextRequest(Conn &C, const WorkloadMix &M) {
+  if (C.Token.empty())
+    return httpRequest("POST", "/rest/api/login",
+                       "user=" + C.User + "&password=password");
+
+  double Weights[5] = {M.QueryFlights, M.ViewProfile, M.BookFlight,
+                       M.UpdateProfile, M.Login};
+  size_t Op = C.Rng.pickWeighted(Weights);
+  const auto &Air = AcmeAirApp::airports();
+  switch (Op) {
+  case 0: {
+    size_t A = C.Rng.nextInt(0, Air.size() - 1);
+    size_t B = C.Rng.nextInt(0, Air.size() - 2);
+    if (B >= A)
+      ++B;
+    return httpRequest(
+        "GET", "/rest/api/queryflights?from=" + Air[A] + "&to=" + Air[B], "");
+  }
+  case 1:
+    return httpRequest("GET", "/rest/api/customer/byid?token=" + C.Token, "");
+  case 2: {
+    size_t A = C.Rng.nextInt(0, Air.size() - 1);
+    size_t B = (A + 1) % Air.size();
+    return httpRequest("POST", "/rest/api/bookflights",
+                       "token=" + C.Token + "&flight=" + Air[A] + "-" +
+                           Air[B] + "|f0");
+  }
+  case 3:
+    return httpRequest("POST", "/rest/api/customer/update",
+                       "token=" + C.Token + "&name=Customer" +
+                           std::to_string(C.Rng.nextInt(0, 999)));
+  default:
+    return httpRequest("POST", "/rest/api/login",
+                       "user=" + C.User + "&password=password");
+  }
+}
+
+/// Pops one complete HTTP response off the front of \p In. Returns false
+/// while the buffer holds less than a full response.
+bool popResponse(std::string &In, int &Status, std::string &Body) {
+  size_t HdrEnd = In.find("\r\n\r\n");
+  if (HdrEnd == std::string::npos)
+    return false;
+  size_t Len = 0;
+  {
+    // Case-insensitive Content-Length scan over the header block.
+    std::string Hdr = In.substr(0, HdrEnd);
+    std::string Lower = Hdr;
+    std::transform(Lower.begin(), Lower.end(), Lower.begin(),
+                   [](unsigned char Ch) { return std::tolower(Ch); });
+    size_t P = Lower.find("content-length:");
+    if (P != std::string::npos)
+      Len = std::strtoul(Hdr.c_str() + P + 15, nullptr, 10);
+  }
+  size_t Total = HdrEnd + 4 + Len;
+  if (In.size() < Total)
+    return false;
+  Status = 0;
+  if (In.compare(0, 9, "HTTP/1.1 ") == 0)
+    Status = std::atoi(In.c_str() + 9);
+  Body = In.substr(HdrEnd + 4, Len);
+  In.erase(0, Total);
+  return true;
+}
+
+/// Blocking loopback connect with retry (the servers may still be
+/// binding); the fd comes back non-blocking with Nagle off.
+int connectRetry(int Port, int TimeoutMs) {
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(TimeoutMs);
+  for (;;) {
+    int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (Fd < 0)
+      return -1;
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Port));
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0) {
+      int Flags = ::fcntl(Fd, F_GETFL, 0);
+      ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+      int One = 1;
+      ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+      return Fd;
+    }
+    ::close(Fd);
+    if (Clock::now() >= Deadline)
+      return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+} // namespace
+
+bool asyncg::acmeair::wireLoadSupported() { return true; }
+
+bool asyncg::acmeair::runWireLoad(const LoadConfig &Cfg, LoadStats &Out) {
+  Out = LoadStats();
+  std::vector<Conn> Conns(static_cast<size_t>(std::max(Cfg.Connections, 1)));
+  size_t AliveCount = 0;
+  for (size_t I = 0; I != Conns.size(); ++I) {
+    Conn &C = Conns[I];
+    C.Rng = sim::Random(Cfg.Seed * 7919 + I);
+    C.User = "uid" + std::to_string(C.Rng.nextInt(
+                         0, static_cast<uint64_t>(Cfg.Customers - 1)));
+    C.Fd = connectRetry(Cfg.Port, Cfg.ConnectTimeoutMs);
+    if (C.Fd < 0)
+      C.Alive = false;
+    else
+      ++AliveCount;
+  }
+  if (AliveCount == 0)
+    return false;
+
+  std::vector<uint64_t> Latencies;
+  Latencies.reserve(Cfg.TotalRequests);
+  // Responses lost to dropped connections still settle the run.
+  uint64_t Lost = 0;
+  Clock::time_point Start = Clock::now();
+
+  std::vector<pollfd> Pfds;
+  std::vector<size_t> PfdConn;
+  char Buf[65536];
+  while (AliveCount > 0) {
+    // Closed loop: every idle connection issues the next request.
+    for (Conn &C : Conns) {
+      if (!C.Alive || C.InFlight || Out.Issued >= Cfg.TotalRequests)
+        continue;
+      C.Out += nextRequest(C, Cfg.Mix);
+      C.InFlight = true;
+      C.SentAt = Clock::now();
+      ++Out.Issued;
+    }
+    if (Out.Issued >= Cfg.TotalRequests) {
+      bool AnyInFlight = false;
+      for (const Conn &C : Conns)
+        if (C.Alive && C.InFlight)
+          AnyInFlight = true;
+      if (!AnyInFlight)
+        break;
+    }
+
+    Pfds.clear();
+    PfdConn.clear();
+    for (size_t I = 0; I != Conns.size(); ++I) {
+      Conn &C = Conns[I];
+      if (!C.Alive)
+        continue;
+      pollfd P{};
+      P.fd = C.Fd;
+      P.events = POLLIN;
+      if (C.OutOff < C.Out.size())
+        P.events |= POLLOUT;
+      Pfds.push_back(P);
+      PfdConn.push_back(I);
+    }
+    if (::poll(Pfds.data(), Pfds.size(), 1000) < 0 && errno != EINTR)
+      break;
+
+    for (size_t PI = 0; PI != Pfds.size(); ++PI) {
+      Conn &C = Conns[PfdConn[PI]];
+      short Re = Pfds[PI].revents;
+      if (Re == 0)
+        continue;
+      bool Dead = false;
+      if (Re & POLLOUT) {
+        while (C.OutOff < C.Out.size()) {
+          ssize_t N =
+              ::send(C.Fd, C.Out.data() + C.OutOff, C.Out.size() - C.OutOff,
+                     MSG_NOSIGNAL);
+          if (N > 0) {
+            C.OutOff += static_cast<size_t>(N);
+            continue;
+          }
+          if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+          Dead = true;
+          break;
+        }
+        if (C.OutOff == C.Out.size()) {
+          C.Out.clear();
+          C.OutOff = 0;
+        }
+      }
+      if (!Dead && (Re & (POLLIN | POLLERR | POLLHUP))) {
+        for (;;) {
+          ssize_t N = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+          if (N > 0) {
+            C.In.append(Buf, static_cast<size_t>(N));
+            continue;
+          }
+          if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+          Dead = true; // EOF or reset mid-run
+          break;
+        }
+        int Status;
+        std::string Body;
+        while (popResponse(C.In, Status, Body)) {
+          if (C.InFlight) {
+            C.InFlight = false;
+            ++Out.Completed;
+            Latencies.push_back(static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - C.SentAt)
+                    .count()));
+            if (Status != 200)
+              ++Out.Errors;
+            else if (startsWith(Body, "OK token="))
+              C.Token = Body.substr(9);
+          }
+        }
+      }
+      if (Dead) {
+        ::close(C.Fd);
+        C.Fd = -1;
+        C.Alive = false;
+        --AliveCount;
+        ++Out.DroppedConns;
+        if (C.InFlight) {
+          C.InFlight = false;
+          ++Lost;
+        }
+      }
+    }
+    (void)Lost;
+  }
+
+  Out.WallSeconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+  for (Conn &C : Conns)
+    if (C.Fd >= 0)
+      ::close(C.Fd); // clean FIN: buffers are empty between requests
+  if (Out.WallSeconds > 0)
+    Out.ReqPerSec = static_cast<double>(Out.Completed) / Out.WallSeconds;
+  if (!Latencies.empty()) {
+    std::sort(Latencies.begin(), Latencies.end());
+    auto Pct = [&](double P) {
+      size_t I = static_cast<size_t>(P * static_cast<double>(Latencies.size() - 1));
+      return Latencies[I];
+    };
+    Out.P50Us = Pct(0.50);
+    Out.P90Us = Pct(0.90);
+    Out.P99Us = Pct(0.99);
+  }
+  return true;
+}
+
+#else // !__linux__
+
+bool asyncg::acmeair::wireLoadSupported() { return false; }
+
+bool asyncg::acmeair::runWireLoad(const LoadConfig &, LoadStats &Out) {
+  Out = LoadStats();
+  return false;
+}
+
+#endif // __linux__

@@ -1,0 +1,76 @@
+//===- LoadGen.h - wire-level HTTP load generator ---------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wall-clock counterpart of WorkloadDriver: a closed-loop HTTP/1.1
+/// client driver that talks real TCP to an AcmeAir server running on the
+/// epoll kernel backend. Same login flow, same weighted request mix, same
+/// per-client seeding — but over the wire, from outside the instrumented
+/// process loop, like the paper's JMeter driver. One thread multiplexes
+/// all keep-alive connections with poll(2) and records per-request
+/// latencies for the percentile summary.
+///
+/// Linux-only (it exists to drive the epoll backend); on other platforms
+/// runWireLoad reports failure and wireLoadSupported() is false.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_APPS_ACMEAIR_LOADGEN_H
+#define ASYNCG_APPS_ACMEAIR_LOADGEN_H
+
+#include "apps/acmeair/Workload.h"
+
+#include <cstdint>
+
+namespace asyncg {
+namespace acmeair {
+
+/// Wire-load configuration.
+struct LoadConfig {
+  int Port = 9080;
+  /// Keep-alive connections, each a closed-loop client.
+  int Connections = 8;
+  /// Total requests across all connections.
+  uint64_t TotalRequests = 1000;
+  uint64_t Seed = 42;
+  /// Customers the app was seeded with (user ids are drawn from here).
+  int Customers = 100;
+  WorkloadMix Mix;
+  /// How long connect() keeps retrying while the servers come up (ms).
+  int ConnectTimeoutMs = 2000;
+};
+
+/// Wire-load outcome.
+struct LoadStats {
+  uint64_t Issued = 0;
+  /// Responses received (any status).
+  uint64_t Completed = 0;
+  /// Non-200 responses (a subset of Completed).
+  uint64_t Errors = 0;
+  /// Connections lost (reset / premature close) before the run finished.
+  uint64_t DroppedConns = 0;
+  double WallSeconds = 0;
+  double ReqPerSec = 0;
+  /// Request latency percentiles (microseconds).
+  uint64_t P50Us = 0;
+  uint64_t P90Us = 0;
+  uint64_t P99Us = 0;
+};
+
+/// True when this build can drive wire load (Linux).
+bool wireLoadSupported();
+
+/// Runs the closed-loop workload against 127.0.0.1:\p Cfg.Port until
+/// TotalRequests responses are in (blocking; call from a non-loop thread).
+/// Returns false when no connection could ever be established or the
+/// platform has no wire support; partial results are still written to
+/// \p Out.
+bool runWireLoad(const LoadConfig &Cfg, LoadStats &Out);
+
+} // namespace acmeair
+} // namespace asyncg
+
+#endif // ASYNCG_APPS_ACMEAIR_LOADGEN_H

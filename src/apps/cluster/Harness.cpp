@@ -13,7 +13,12 @@
 #include "jsrt/Runtime.h"
 #include "node/Cluster.h"
 
+#ifdef __linux__
+#include "sim/EpollKernel.h"
+#endif
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -36,6 +41,14 @@ struct ShardState {
   std::unique_ptr<ag::AsyncPipeline> Pipeline;
   std::unique_ptr<instr::TraceRecorder> Recorder;
   std::unique_ptr<node::cluster::Worker> Worker;
+  /// Set once the shard's listener is bound (epoll mode: the harness only
+  /// starts wire load when every SO_REUSEPORT socket is in the group).
+  std::atomic<bool> Ready{false};
+#ifdef __linux__
+  /// The shard's real kernel (epoll mode only) — the harness's handle for
+  /// requestStop() once the wire load completes.
+  std::atomic<sim::EpollKernel *> EK{nullptr};
+#endif
   ShardResult Result;
 };
 
@@ -43,10 +56,23 @@ void runShard(const ClusterConfig &Cfg, sim::ClusterKernel &Kernel,
               uint32_t S, int Clients, uint64_t Requests, ShardState &St) {
   RuntimeConfig RC;
   RC.Shard = S;
+  RC.Backend = Cfg.Backend;
   St.RT = std::make_unique<Runtime>(RC);
   Runtime &RT = *St.RT;
 
+#ifdef __linux__
+  if (Cfg.Backend == sim::KernelBackend::Epoll) {
+    auto *EK = static_cast<sim::EpollKernel *>(&RT.kernel());
+    St.EK.store(EK, std::memory_order_release);
+    // Cross-loop posts must reach a loop blocked in epoll_wait, where the
+    // cluster condvar cannot; wakeup() writes the kernel's eventfd.
+    if (Cfg.Loops > 1)
+      Kernel.setWakeHook(S, [EK] { EK->wakeup(); });
+  }
+#endif
+
   acmeair::AppConfig ACfg;
+  ACfg.Port = Cfg.Port;
   ACfg.UsePromises = Cfg.UsePromises;
   St.App = std::make_unique<acmeair::AcmeAirApp>(RT, ACfg);
 
@@ -98,6 +124,7 @@ void runShard(const ClusterConfig &Cfg, sim::ClusterKernel &Kernel,
   // single-loop build that starts the app from the same location.
   Function Main = RT.makeBuiltin("main", [&](Runtime &R, const CallArgs &) {
     St.App->start(JSLINE("cluster.js", 1));
+    St.Ready.store(true, std::memory_order_release);
     if (St.Driver)
       St.Driver->start();
 
@@ -182,15 +209,23 @@ asyncg::cluster::resolveWarnings(const ag::AsyncGraph &G) {
 ClusterResult ClusterHarness::run() {
   ClusterResult R;
   const uint32_t N = Config.Loops;
+  // Epoll mode serves wire traffic: every shard binds Config.Port with
+  // SO_REUSEPORT and the in-process load generator drives them from this
+  // thread. In-loop WorkloadDriver clients only exist on the sim backend —
+  // over real SO_REUSEPORT their connections would be cross-routed to
+  // sibling shards.
+  const bool WireMode = Config.Backend == sim::KernelBackend::Epoll;
+  if (WireMode && !sim::kernelBackendSupported(Config.Backend))
+    return R;
   sim::ClusterKernel Kernel(N);
 
   // The balancer partitions clients round-robin; each shard's request
   // budget is proportional to its client count, remainders to low shards.
   std::vector<int> Clients(N, 0);
-  for (int C = 0; C != Config.TotalClients; ++C)
-    ++Clients[Kernel.shardForClient(static_cast<uint64_t>(C))];
   std::vector<uint64_t> Requests(N, 0);
-  {
+  if (!WireMode) {
+    for (int C = 0; C != Config.TotalClients; ++C)
+      ++Clients[Kernel.shardForClient(static_cast<uint64_t>(C))];
     uint64_t Assigned = 0;
     for (uint32_t S = 0; S != N; ++S) {
       Requests[S] = Config.TotalRequests * static_cast<uint64_t>(Clients[S]) /
@@ -207,18 +242,54 @@ ClusterResult ClusterHarness::run() {
 
   std::vector<ShardState> States(N);
   auto Start = std::chrono::steady_clock::now();
-  if (N == 1) {
+  std::vector<std::thread> Threads;
+  if (N == 1 && !WireMode) {
     runShard(Config, Kernel, 0, Clients[0], Requests[0], States[0]);
   } else {
-    std::vector<std::thread> Threads;
     Threads.reserve(N);
     for (uint32_t S = 0; S != N; ++S)
       Threads.emplace_back([&, S] {
         runShard(Config, Kernel, S, Clients[S], Requests[S], States[S]);
       });
-    for (std::thread &T : Threads)
-      T.join();
   }
+
+#ifdef __linux__
+  if (WireMode) {
+    // SO_REUSEPORT only balances across sockets already in the group, so
+    // wait for every shard's listener before the first connect.
+    auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    bool AllReady = true;
+    for (uint32_t S = 0; S != N && AllReady; ++S)
+      while (!States[S].Ready.load(std::memory_order_acquire)) {
+        if (std::chrono::steady_clock::now() >= Deadline) {
+          AllReady = false;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    if (AllReady && Config.ServeOnly) {
+      // External traffic (tools/agload) drives the shards; hold the loops
+      // open until stop().
+      while (!StopServing.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    } else if (AllReady) {
+      acmeair::LoadConfig LC;
+      LC.Port = Config.Port;
+      LC.Connections = Config.TotalClients;
+      LC.TotalRequests = Config.TotalRequests;
+      LC.Seed = Config.Seed;
+      acmeair::runWireLoad(LC, R.Wire);
+    }
+    // Load done (or never started): stop every shard loop. requestStop is
+    // sticky, so a shard that has not reached its first wait still stops.
+    for (uint32_t S = 0; S != N; ++S)
+      if (sim::EpollKernel *EK = States[S].EK.load(std::memory_order_acquire))
+        EK->requestStop();
+  }
+#endif
+
+  for (std::thread &T : Threads)
+    T.join();
 
   std::vector<const ag::AsyncGraph *> Graphs;
   for (uint32_t S = 0; S != N; ++S) {

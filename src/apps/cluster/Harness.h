@@ -35,8 +35,11 @@
 
 #include "ag/AsyncPipeline.h"
 #include "ag/ShardedGraph.h"
+#include "apps/acmeair/LoadGen.h"
 #include "sim/Cluster.h"
+#include "sim/Kernel.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -49,6 +52,22 @@ struct ClusterConfig {
   /// Number of event loops (shards). 1 reproduces the classic single-loop
   /// run through the cluster code path.
   uint32_t Loops = 1;
+  /// Kernel backend for every shard loop. Sim (default) is the virtual-time
+  /// run: closed-loop WorkloadDriver clients inside each loop, deterministic
+  /// results. Epoll turns the cluster into a real SO_REUSEPORT server group:
+  /// every shard binds Port, the Linux kernel balances accepts, and the
+  /// built-in wire load generator (TotalClients keep-alive connections,
+  /// TotalRequests requests) drives them from a separate thread — in-loop
+  /// drivers would have their connections cross-routed to sibling shards.
+  /// Shutdown is each shard's EpollKernel::requestStop once the load
+  /// completes; results are wall-clock, not deterministic.
+  sim::KernelBackend Backend = sim::KernelBackend::Sim;
+  /// TCP port every shard binds (epoll backend; also the simulated port).
+  int Port = 9080;
+  /// Epoll backend only: skip the built-in load generator and keep serving
+  /// until ClusterHarness::stop() is called (an external driver such as
+  /// tools/agload supplies the traffic).
+  bool ServeOnly = false;
   /// Total client requests across the whole cluster.
   uint64_t TotalRequests = 1000;
   /// Total closed-loop clients across the whole cluster, partitioned
@@ -120,6 +139,8 @@ struct ClusterResult {
   /// Merged warnings as resolved "Category: message (file:line)" strings,
   /// sorted (symbol ids are interleaving-dependent; strings are not).
   std::vector<std::string> Warnings;
+  /// Wire-load outcome (epoll backend only; zeros on the sim backend).
+  acmeair::LoadStats Wire;
 };
 
 /// Runs the cluster. Single-shot: construct, run(), then inspect the
@@ -130,6 +151,11 @@ public:
 
   ClusterResult run();
 
+  /// Ends a ServeOnly run: the serving loops drain and run() returns.
+  /// Async-signal-safe (a plain atomic store), so a SIGINT handler may
+  /// call it directly. No effect on non-ServeOnly runs.
+  void stop() { StopServing.store(true, std::memory_order_release); }
+
   /// The merged Async Graph (valid after run()).
   const ag::AsyncGraph &merged() const { return Merged.merged(); }
   const ag::MergeStats &mergeStats() const { return Merged.stats(); }
@@ -137,6 +163,7 @@ public:
 private:
   ClusterConfig Config;
   ag::ShardedGraph Merged;
+  std::atomic<bool> StopServing{false};
 };
 
 /// Formats a merged graph's warnings as sorted resolved strings (also used

@@ -8,17 +8,47 @@
 
 #include "support/Format.h"
 
+#ifdef __linux__
+#include "sim/EpollKernel.h"
+#include "sim/EpollNetwork.h"
+#endif
+
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 
 using namespace asyncg;
 using namespace asyncg::jsrt;
 
-Runtime::Runtime(RuntimeConfig Config)
-    : Config(Config), TheKernel(TheClock),
-      TheNetwork(TheKernel, Config.NetLatencyUs),
-      TheFileSystem(TheKernel, Config.FsLatencyUs) {
+Runtime::Runtime(RuntimeConfig Config) : Config(Config) {
+  if (Config.Backend == sim::KernelBackend::Epoll) {
+#ifdef __linux__
+    auto EK = std::make_unique<sim::EpollKernel>(TheClock);
+    if (!EK->valid()) {
+      std::fprintf(stderr, "jsrt: cannot create epoll kernel (epoll_create1 "
+                           "failed)\n");
+      std::abort();
+    }
+    TheNetwork = std::make_unique<sim::EpollNetwork>(
+        *EK, Config.NetLatencyUs, Config.Wire, Config.ListenBacklog);
+    TheKernel = std::move(EK);
+#else
+    // CLIs gate on sim::kernelBackendSupported and report cleanly; an
+    // embedder reaching here on a non-Linux build is a programming error.
+    std::fprintf(stderr,
+                 "jsrt: epoll kernel backend requested on a non-Linux "
+                 "build (check sim::kernelBackendSupported first)\n");
+    std::abort();
+#endif
+  } else {
+    TheKernel = std::make_unique<sim::Kernel>(TheClock);
+    TheNetwork =
+        std::make_unique<sim::Network>(*TheKernel, Config.NetLatencyUs);
+  }
+  TheFileSystem =
+      std::make_unique<sim::FileSystem>(*TheKernel, Config.FsLatencyUs);
   assert(Config.Shard <= MaxShardId && "shard number out of range");
   // Namespace every id generator into this loop's shard (Ids.h). Shard 0's
   // base is 0, so single-loop runtimes mint exactly the ids they always did.
@@ -124,8 +154,11 @@ void Runtime::dispatchTask(ScheduledTask &T, PhaseKind Phase) {
 
   Completion C = invoke(T.Fn, CallArgs(std::move(T.Args)), D);
   // Executing the callback consumed (virtual) time, and any dispatched
-  // work re-arms the 'beforeExit' emission.
-  TheClock.advanceBy(Config.TickCostUs);
+  // work re-arms the 'beforeExit' emission. Real-time kernels advance the
+  // clock from the OS clock instead; charging a virtual tick cost on top
+  // would run the clock ahead of wall time and fire timers early.
+  if (!TheKernel->isRealTime())
+    TheClock.advanceBy(Config.TickCostUs);
   BeforeExitEmitted = false;
   if (T.OnComplete) {
     T.OnComplete(*this, std::move(C));
@@ -156,7 +189,7 @@ void Runtime::drainMicrotasks() {
 }
 
 bool Runtime::hasMacroWork() const {
-  if (!Timers.empty() || TheKernel.hasPending() || !CloseQueue.empty())
+  if (!Timers.empty() || TheKernel->hasPending() || !CloseQueue.empty())
     return true;
   for (const ScheduledTask &T : ImmediateQueue)
     if (!T.Cancelled)
@@ -191,7 +224,7 @@ bool Runtime::runTimersPhase() {
 }
 
 bool Runtime::runIoPhase() {
-  std::vector<std::function<void()>> Due = TheKernel.takeDue();
+  std::vector<std::function<void()>> Due = TheKernel->takeDue();
   bool Ran = false;
   for (auto &Action : Due) {
     if (StopRequested)
@@ -303,11 +336,12 @@ void Runtime::runLoop() {
       break;
     }
 
-    // If nothing is due yet, advance virtual time to the next deadline
-    // (libuv blocking in poll with a timeout).
+    // If nothing is due yet, wait for the next deadline: the sim kernel
+    // advances virtual time in one jump, the epoll kernel blocks in
+    // epoll_wait (both model libuv blocking in poll with a timeout).
     sim::SimTime Now = TheClock.now();
     sim::SimTime TimerNext = Timers.nextDeadline();
-    sim::SimTime KernelNext = TheKernel.nextDeadline();
+    sim::SimTime KernelNext = TheKernel->nextDeadline();
     bool ImmediatePending = false;
     for (const ScheduledTask &T : ImmediateQueue)
       if (!T.Cancelled) {
@@ -319,13 +353,12 @@ void Runtime::runLoop() {
                           ImmediatePending || !CloseQueue.empty();
     if (!AnythingDueNow) {
       sim::SimTime Next = std::min(TimerNext, KernelNext);
-      if (Next == sim::NoDeadline) {
+      if (!TheKernel->waitUntil(Next)) {
         // Nothing local can ever become due; cross-loop work still can.
         if (Port && Port->waitForWork(*this))
           continue;
         break;
       }
-      TheClock.advanceTo(Next);
     }
 
     runTimersPhase();

@@ -85,6 +85,20 @@ struct RuntimeConfig {
   /// identity encoding: a single-loop runtime produces exactly the ids it
   /// always did.
   uint32_t Shard = 0;
+
+  /// Which kernel implementation the loop pumps. Sim (default) is the
+  /// deterministic virtual-time kernel; Epoll serves real sockets in
+  /// wall-clock time (Linux only — check sim::kernelBackendSupported
+  /// before constructing a runtime with it).
+  sim::KernelBackend Backend = sim::KernelBackend::Sim;
+
+  /// Wire format spoken on real sockets (Epoll backend only): Http1 maps
+  /// the internal REQ/DAT/END//RES messages to real HTTP/1.1 exchanges;
+  /// Framed uses a length-prefixed binary framing for non-HTTP protocols.
+  sim::WireFormat Wire = sim::WireFormat::Http1;
+
+  /// Listen backlog for real sockets (Epoll backend only).
+  int ListenBacklog = 128;
 };
 
 class Runtime;
@@ -121,9 +135,9 @@ public:
   /// @{
   const RuntimeConfig &config() const { return Config; }
   sim::Clock &clock() { return TheClock; }
-  sim::Kernel &kernel() { return TheKernel; }
-  sim::Network &network() { return TheNetwork; }
-  sim::FileSystem &fileSystem() { return TheFileSystem; }
+  sim::Kernel &kernel() { return *TheKernel; }
+  sim::Network &network() { return *TheNetwork; }
+  sim::FileSystem &fileSystem() { return *TheFileSystem; }
   instr::HookRegistry &hooks() { return Hooks; }
   StatisticSet &stats() { return Stats; }
 
@@ -474,9 +488,11 @@ private:
   RuntimeConfig Config;
   LoopPort *Port = nullptr;
   sim::Clock TheClock;
-  sim::Kernel TheKernel;
-  sim::Network TheNetwork;
-  sim::FileSystem TheFileSystem;
+  /// Kernel/network are backend-polymorphic (Sim or Epoll); the file
+  /// system always submits through whichever kernel is installed.
+  std::unique_ptr<sim::Kernel> TheKernel;
+  std::unique_ptr<sim::Network> TheNetwork;
+  std::unique_ptr<sim::FileSystem> TheFileSystem;
   instr::HookRegistry Hooks;
   StatisticSet Stats;
 

@@ -12,19 +12,32 @@ using namespace asyncg;
 using namespace asyncg::sim;
 
 ClusterKernel::ClusterKernel(uint32_t NumShards)
-    : NumShards(NumShards), Queues(NumShards), Stats(NumShards) {
+    : NumShards(NumShards), Queues(NumShards), Stats(NumShards),
+      WakeHooks(NumShards) {
   assert(NumShards > 0 && "a cluster has at least one loop");
 }
 
 bool ClusterKernel::post(uint32_t ToShard, ClusterMessage M) {
   assert(ToShard < NumShards && M.From < NumShards && "shard out of range");
-  std::lock_guard<std::mutex> Lock(Mu);
-  if (Quiesced)
-    return false;
-  ++Stats[M.From].Posted;
-  Queues[ToShard].push_back(std::move(M));
-  Cv.notify_all();
+  std::function<void()> Wake;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Quiesced)
+      return false;
+    ++Stats[M.From].Posted;
+    Queues[ToShard].push_back(std::move(M));
+    Cv.notify_all();
+    Wake = WakeHooks[ToShard];
+  }
+  if (Wake)
+    Wake();
   return true;
+}
+
+void ClusterKernel::setWakeHook(uint32_t Shard, std::function<void()> Hook) {
+  assert(Shard < NumShards && "shard out of range");
+  std::lock_guard<std::mutex> Lock(Mu);
+  WakeHooks[Shard] = std::move(Hook);
 }
 
 size_t ClusterKernel::drain(uint32_t Shard, std::vector<ClusterMessage> &Out) {

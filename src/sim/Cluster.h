@@ -31,6 +31,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -78,6 +79,14 @@ public:
   /// paths are dropped rather than resurrecting drained loops.
   bool post(uint32_t ToShard, ClusterMessage M);
 
+  /// Registers a wake callback for \p Shard, fired after every post to it.
+  /// A sim-backend loop with nothing due parks on this kernel's condition
+  /// variable, which post() already notifies; an epoll-backend loop blocks
+  /// in epoll_wait instead, where the condition variable cannot reach it —
+  /// the hook (EpollKernel::wakeup) nudges that wait so the loop re-enters
+  /// its pump. Must be thread-safe; invoked outside the kernel lock.
+  void setWakeHook(uint32_t Shard, std::function<void()> Hook);
+
   /// Moves all pending deliveries for \p Shard into \p Out (appending).
   /// Returns the number drained.
   size_t drain(uint32_t Shard, std::vector<ClusterMessage> &Out);
@@ -100,6 +109,7 @@ private:
   std::condition_variable Cv;
   std::vector<std::deque<ClusterMessage>> Queues;
   std::vector<ClusterShardStats> Stats;
+  std::vector<std::function<void()>> WakeHooks;
   uint32_t IdleCount = 0;
   bool Quiesced = false;
 };

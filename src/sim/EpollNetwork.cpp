@@ -1,0 +1,405 @@
+//===- EpollNetwork.cpp - Real TCP sockets behind the sim interface -----------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#ifdef __linux__
+
+#include "sim/EpollNetwork.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+using namespace asyncg;
+using namespace asyncg::sim;
+
+//===----------------------------------------------------------------------===//
+// EpollSocket
+//===----------------------------------------------------------------------===//
+
+EpollSocket::EpollSocket(EpollKernel &EK, int Fd,
+                         std::unique_ptr<WireCodec> Codec)
+    : EK(EK), Fd(Fd), Codec(std::move(Codec)) {}
+
+EpollSocket::~EpollSocket() {
+  if (Fd >= 0) {
+    EK.unwatchFd(Fd);
+    ::close(Fd);
+  }
+}
+
+void EpollSocket::arm() {
+  std::weak_ptr<EpollSocket> Self =
+      std::static_pointer_cast<EpollSocket>(shared_from_this());
+  if (EK.watchFd(Fd, EPOLLIN, [Self](uint32_t Events) {
+        if (auto S = Self.lock())
+          S->onEvents(Events);
+      }))
+    Interest = EPOLLIN;
+}
+
+bool EpollSocket::write(const std::string &Msg) {
+  if (Ended || Destroyed || Fd < 0)
+    return false;
+  Codec->encode(Msg, Out);
+  return flushOut();
+}
+
+void EpollSocket::end() {
+  if (Ended || Destroyed || Fd < 0)
+    return;
+  Ended = true;
+  if (pendingOutBytes() > 0) {
+    EndAfterFlush = true;
+    return;
+  }
+  ::shutdown(Fd, SHUT_WR);
+  if (SawEof)
+    teardown(/*Reset=*/false);
+}
+
+void EpollSocket::destroy() {
+  if (Destroyed)
+    return;
+  Destroyed = true;
+  teardown(/*Reset=*/true);
+  // Deliver close asynchronously, like the sim's latency-delayed delivery:
+  // the caller's tick finishes before the close callback is scheduled.
+  std::weak_ptr<EpollSocket> Self =
+      std::static_pointer_cast<EpollSocket>(shared_from_this());
+  EK.submit(0, [Self] {
+    if (auto S = Self.lock())
+      S->deliverClose();
+  });
+}
+
+void EpollSocket::onEvents(uint32_t Events) {
+  if (Fd < 0)
+    return;
+  if (Events & EPOLLOUT) {
+    if (!flushOut())
+      return;
+  }
+  if (Events & (EPOLLIN | EPOLLHUP | EPOLLERR))
+    onReadable();
+}
+
+void EpollSocket::onReadable() {
+  char Buf[64 * 1024];
+  std::weak_ptr<EpollSocket> Self =
+      std::static_pointer_cast<EpollSocket>(shared_from_this());
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      std::vector<std::string> Msgs;
+      if (!Codec->ingest(Buf, static_cast<size_t>(N), Msgs)) {
+        failConnection();
+        return;
+      }
+      // Deliver each message as its own kernel completion: the simulated
+      // network delivers one message per latency-delayed op, so per-message
+      // submits keep the tick structure (and with it detector behavior and
+      // the Async Graph shape) identical across backends.
+      for (std::string &M : Msgs)
+        EK.submit(0, [Self, Msg = std::move(M)] {
+          if (auto S = Self.lock())
+            S->deliverData(Msg);
+        });
+      continue;
+    }
+    if (N == 0) {
+      // Peer FIN. Deliver end once (after any queued data messages); the
+      // fd stays open for our outgoing direction — the sim peer can still
+      // receive our writes after it end()s — and is released once our own
+      // end() has flushed. No close event for this path (sim parity).
+      if (!SawEof) {
+        SawEof = true;
+        EK.submit(0, [Self] {
+          if (auto S = Self.lock())
+            S->deliverEnd();
+        });
+      }
+      if (Ended && Fd >= 0 && pendingOutBytes() == 0)
+        teardown(/*Reset=*/false);
+      else
+        updateInterest(); // drop EPOLLIN: a FIN-ed fd stays readable forever
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+      return;
+    // ECONNRESET and friends: the sim analogue is the peer destroying the
+    // pair — a close event.
+    failConnection();
+    return;
+  }
+}
+
+bool EpollSocket::flushOut() {
+  while (OutOff < Out.size()) {
+    ssize_t N =
+        ::send(Fd, Out.data() + OutOff, Out.size() - OutOff, MSG_NOSIGNAL);
+    if (N > 0) {
+      OutOff += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      updateInterest();
+      return true;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    failConnection();
+    return false;
+  }
+  Out.clear();
+  OutOff = 0;
+  updateInterest();
+  if (EndAfterFlush) {
+    EndAfterFlush = false;
+    ::shutdown(Fd, SHUT_WR);
+    if (SawEof)
+      teardown(/*Reset=*/false);
+  }
+  return true;
+}
+
+void EpollSocket::updateInterest() {
+  if (Fd < 0)
+    return;
+  uint32_t Want = (SawEof ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+                  (OutOff < Out.size() ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  if (Want == Interest)
+    return;
+  if (Want == 0) {
+    EK.unwatchFd(Fd);
+  } else if (Interest == 0) {
+    std::weak_ptr<EpollSocket> Self =
+        std::static_pointer_cast<EpollSocket>(shared_from_this());
+    if (!EK.watchFd(Fd, Want, [Self](uint32_t Events) {
+          if (auto S = Self.lock())
+            S->onEvents(Events);
+        }))
+      return;
+  } else {
+    EK.modifyFd(Fd, Want);
+  }
+  Interest = Want;
+}
+
+void EpollSocket::teardown(bool Reset) {
+  if (Fd < 0)
+    return;
+  if (Reset) {
+    // Abortive close: RST the peer, like sim destroy() closing both ends.
+    linger L{1, 0};
+    setsockopt(Fd, SOL_SOCKET, SO_LINGER, &L, sizeof(L));
+  }
+  EK.unwatchFd(Fd);
+  ::close(Fd);
+  Fd = -1;
+  Interest = 0;
+  Out.clear();
+  OutOff = 0;
+}
+
+void EpollSocket::failConnection() {
+  bool WasDestroyed = Destroyed;
+  teardown(false);
+  if (WasDestroyed)
+    return;
+  // Async like the sim's latency-delayed close delivery: the tick that
+  // noticed the failure finishes before the close callback runs.
+  std::weak_ptr<EpollSocket> Self =
+      std::static_pointer_cast<EpollSocket>(shared_from_this());
+  EK.submit(0, [Self] {
+    if (auto S = Self.lock())
+      S->deliverClose();
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// EpollNetwork
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int makeNonBlockingSocket() {
+  return ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+}
+
+sockaddr_in loopbackAddr(int Port) {
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return Addr;
+}
+
+} // namespace
+
+EpollNetwork::EpollNetwork(EpollKernel &EK, SimTime LatencyUs, WireFormat Wire,
+                           int DefaultBacklog)
+    : Network(EK, LatencyUs), EK(EK), Wire(Wire),
+      DefaultBacklog(DefaultBacklog) {}
+
+EpollNetwork::~EpollNetwork() {
+  // Quiet teardown: no close events. The runtime is being destroyed —
+  // delivering events now would run node-layer callbacks into it.
+  for (auto &[Port, L] : Ports) {
+    (void)Port;
+    EK.unwatchFd(L.Fd);
+    ::close(L.Fd);
+  }
+  Ports.clear();
+  for (auto &WeakS : Sockets)
+    if (auto S = WeakS.lock())
+      S->teardown(/*Reset=*/true);
+  Sockets.clear();
+}
+
+bool EpollNetwork::listenWithBacklog(int Port, AcceptHandler OnAccept,
+                                     int Backlog) {
+  if (Ports.count(Port))
+    return false;
+  int Fd = makeNonBlockingSocket();
+  if (Fd < 0)
+    return false;
+  int One = 1;
+  setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  // SO_REUSEPORT: cluster shards all bind this port; the Linux kernel
+  // accept-balances across the listening fds (one per loop).
+  setsockopt(Fd, SOL_SOCKET, SO_REUSEPORT, &One, sizeof(One));
+  sockaddr_in Addr = loopbackAddr(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, Backlog > 0 ? Backlog : DefaultBacklog) != 0) {
+    ::close(Fd);
+    return false;
+  }
+  AcceptHandler Handler = std::move(OnAccept);
+  if (!EK.watchFd(Fd, EPOLLIN, [this, Fd, Handler](uint32_t) {
+        onAcceptable(Fd, Handler);
+      })) {
+    ::close(Fd);
+    return false;
+  }
+  Ports.emplace(Port, Listener{Fd, Handler});
+  return true;
+}
+
+void EpollNetwork::onAcceptable(int ListenFd, const AcceptHandler &OnAccept) {
+  for (;;) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return;
+      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE)
+        return;
+      return;
+    }
+    int One = 1;
+    setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    ++Accepted;
+    auto Sock = adopt(Fd, /*ServerRole=*/true);
+    if (OnAccept)
+      OnAccept(Sock);
+  }
+}
+
+std::shared_ptr<EpollSocket> EpollNetwork::adopt(int Fd, bool ServerRole) {
+  std::shared_ptr<EpollSocket> Sock(
+      new EpollSocket(EK, Fd, makeWireCodec(Wire, ServerRole)));
+  Sock->arm();
+  // Compact expired entries so long-serving processes stay bounded.
+  size_t W = 0;
+  for (size_t I = 0; I != Sockets.size(); ++I)
+    if (!Sockets[I].expired())
+      Sockets[W++] = std::move(Sockets[I]);
+  Sockets.resize(W);
+  Sockets.push_back(Sock);
+  return Sock;
+}
+
+void EpollNetwork::closePort(int Port) {
+  auto It = Ports.find(Port);
+  if (It == Ports.end())
+    return;
+  EK.unwatchFd(It->second.Fd);
+  ::close(It->second.Fd);
+  Ports.erase(It);
+}
+
+bool EpollNetwork::isListening(int Port) const {
+  return Ports.count(Port) != 0;
+}
+
+bool EpollNetwork::connect(int Port, ConnectHandler OnConnect) {
+  int Fd = makeNonBlockingSocket();
+  if (Fd < 0)
+    return false;
+  int One = 1;
+  setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  sockaddr_in Addr = loopbackAddr(Port);
+  int Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  if (Rc != 0 && errno != EINPROGRESS) {
+    ::close(Fd);
+    return false;
+  }
+  auto Sock = adopt(Fd, /*ServerRole=*/false);
+  // Completion is level-triggered writability. Replace the normal data
+  // watch with a connect-completion watch that pins the socket strongly
+  // (nothing else holds it until OnConnect hands it to the caller); the
+  // pin is released when the watch is replaced or torn down.
+  std::shared_ptr<EpollSocket> Pin = Sock;
+  ConnectHandler Done = std::move(OnConnect);
+  EK.unwatchFd(Fd);
+  Pin->Interest = 0;
+  EK.watchFd(Fd, EPOLLOUT, [Pin, Done](uint32_t Events) {
+    EpollSocket *S = Pin.get();
+    if (S->Fd < 0)
+      return;
+    int Err = 0;
+    socklen_t Len = sizeof(Err);
+    getsockopt(S->Fd, SOL_SOCKET, SO_ERROR, &Err, &Len);
+    if (Err != 0 || (Events & (EPOLLERR | EPOLLHUP))) {
+      // Refused: the op vanishes and the socket delivers close — real
+      // backends cannot report refusal synchronously like the sim does.
+      S->failConnection();
+      return;
+    }
+    // Established: swap to the normal data-driven (weak) handler. Safe
+    // while executing: the kernel's dispatch shared_ptr keeps this
+    // closure's Watch alive for the duration of the call.
+    S->EK.unwatchFd(S->Fd);
+    S->arm();
+    if (Done)
+      Done(Pin);
+  });
+  return true;
+}
+
+void EpollNetwork::teardownAll() {
+  for (auto &[Port, L] : Ports) {
+    (void)Port;
+    EK.unwatchFd(L.Fd);
+    ::close(L.Fd);
+  }
+  Ports.clear();
+  for (auto &WeakS : Sockets)
+    if (auto S = WeakS.lock())
+      if (!S->Destroyed && S->Fd >= 0) {
+        S->teardown(/*Reset=*/true);
+        S->deliverClose();
+      }
+  Sockets.clear();
+}
+
+#endif // __linux__

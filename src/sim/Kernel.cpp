@@ -11,6 +11,45 @@
 using namespace asyncg;
 using namespace asyncg::sim;
 
+bool asyncg::sim::kernelBackendSupported(KernelBackend B) {
+  switch (B) {
+  case KernelBackend::Sim:
+    return true;
+  case KernelBackend::Epoll:
+#ifdef __linux__
+    return true;
+#else
+    return false;
+#endif
+  }
+  return false;
+}
+
+const char *asyncg::sim::kernelBackendName(KernelBackend B) {
+  switch (B) {
+  case KernelBackend::Sim:
+    return "sim";
+  case KernelBackend::Epoll:
+    return "epoll";
+  }
+  return "?";
+}
+
+bool asyncg::sim::parseKernelBackend(const std::string &Name,
+                                     KernelBackend &Out) {
+  if (Name == "sim") {
+    Out = KernelBackend::Sim;
+    return true;
+  }
+  if (Name == "epoll") {
+    Out = KernelBackend::Epoll;
+    return true;
+  }
+  return false;
+}
+
+Kernel::~Kernel() = default;
+
 OpId Kernel::submit(SimTime Delay, std::function<void()> Action) {
   OpId Id = NextId++;
   SimTime Deadline = TheClock.now() + Delay;
@@ -45,4 +84,12 @@ std::vector<std::function<void()>> Kernel::takeDue() {
     Pending.erase(It);
   }
   return Due;
+}
+
+bool Kernel::waitUntil(SimTime Next) {
+  if (Next == NoDeadline)
+    return false;
+  // Virtual time: "blocking in poll with a timeout" is one clock jump.
+  TheClock.advanceTo(Next);
+  return true;
 }

@@ -5,11 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The simulated operating system: a table of pending asynchronous
-/// operations, each with a virtual completion time and a completion action.
-/// The jsrt event loop polls the kernel in its I/O phase; when the loop is
-/// otherwise idle it advances the virtual clock to the next deadline, which
-/// models libuv blocking in epoll with a timeout.
+/// The kernel interface the jsrt event loop pumps, plus its default
+/// implementation: a *simulated* operating system holding a table of
+/// pending asynchronous operations, each with a virtual completion time and
+/// a completion action. The jsrt event loop polls the kernel in its I/O
+/// phase; when the loop is otherwise idle it asks the kernel to wait for
+/// the next deadline, which the simulated kernel satisfies by advancing the
+/// virtual clock (modeling libuv blocking in epoll with a timeout) and the
+/// real-traffic EpollKernel satisfies by actually blocking in epoll.
 ///
 /// This is the paper's "external scheduling" source (§II-A): callbacks
 /// scheduled by the OS which notifies the event loop with event data.
@@ -24,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 namespace asyncg {
@@ -32,35 +36,85 @@ namespace sim {
 /// Identifies a pending kernel operation (for cancellation).
 using OpId = uint64_t;
 
-/// The simulated kernel. Completion actions run when the event loop polls;
-/// they are plain C++ closures — the node-layer wraps them so that JS-level
+/// Which kernel implementation a runtime pumps.
+enum class KernelBackend {
+  /// The deterministic simulated kernel in virtual time (default).
+  Sim,
+  /// Real non-blocking sockets behind Linux epoll + timerfd/eventfd, in
+  /// wall-clock time. Only available on Linux builds.
+  Epoll,
+};
+
+/// True when \p B can be constructed on this build (Sim always; Epoll only
+/// on Linux).
+bool kernelBackendSupported(KernelBackend B);
+
+/// Stable lowercase name ("sim", "epoll") for flags and reports.
+const char *kernelBackendName(KernelBackend B);
+
+/// Parses a --kernel flag value. Returns false on unknown names.
+bool parseKernelBackend(const std::string &Name, KernelBackend &Out);
+
+/// The kernel. Completion actions run when the event loop polls; they are
+/// plain C++ closures — the node-layer wraps them so that JS-level
 /// callbacks are dispatched through the instrumented runtime.
+///
+/// This concrete class is the simulated implementation; the virtual methods
+/// exist so EpollKernel can swap real OS readiness in behind the same
+/// surface without the loop, the instrumentation, or the node layer
+/// noticing (the StarlingMonkey host-apis pattern).
+///
+/// Cancellation contract (shared by all kernel implementations):
+/// cancel(Id) returns true iff the kernel still held the operation, in
+/// which case its action is guaranteed never to run. An operation that is
+/// already *due* but not yet handed to the loop is still held, so it is
+/// still cancellable. Once takeDue() has handed the operation to the loop,
+/// cancel returns false — even if the loop has not executed the action yet
+/// — because the kernel can no longer stop it. cancel of an unknown or
+/// twice-cancelled id also returns false.
 class Kernel {
 public:
   explicit Kernel(Clock &C) : TheClock(C) {}
+  virtual ~Kernel();
 
   Clock &clock() { return TheClock; }
   SimTime now() const { return TheClock.now(); }
 
   /// Schedules \p Action to complete \p Delay microseconds from now.
-  /// Returns an id usable with cancel().
-  OpId submit(SimTime Delay, std::function<void()> Action);
+  /// Returns an id usable with cancel(). Loop-thread only.
+  virtual OpId submit(SimTime Delay, std::function<void()> Action);
 
-  /// Cancels a pending operation. Returns false if it already completed.
-  bool cancel(OpId Id);
+  /// Cancels a pending operation under the contract documented on the
+  /// class: true iff the action will never run.
+  virtual bool cancel(OpId Id);
 
-  /// True if any operation is still pending.
-  bool hasPending() const { return !Pending.empty(); }
+  /// True if any operation or I/O source is still pending (can produce
+  /// future completions; keeps the loop alive).
+  virtual bool hasPending() const { return !Pending.empty(); }
 
   /// Number of pending operations.
-  size_t pendingCount() const { return Pending.size(); }
+  virtual size_t pendingCount() const { return Pending.size(); }
 
-  /// Earliest completion deadline, or NoDeadline when nothing is pending.
-  SimTime nextDeadline() const;
+  /// Earliest completion deadline, or NoDeadline when nothing is pending
+  /// with a known deadline. Real-time kernels report now() when readiness
+  /// is already queued (the work is due immediately).
+  virtual SimTime nextDeadline() const;
 
   /// Removes and returns the actions of all operations due at or before the
-  /// current virtual time, in deadline order (FIFO among equal deadlines).
-  std::vector<std::function<void()>> takeDue();
+  /// current time, in deadline order (FIFO among equal deadlines).
+  virtual std::vector<std::function<void()>> takeDue();
+
+  /// The loop is idle until \p Next (the min of timer and kernel
+  /// deadlines; NoDeadline when nothing has a deadline). Waits until work
+  /// can be due: the simulated kernel advances the virtual clock to \p
+  /// Next; the epoll kernel blocks in epoll_wait until \p Next or I/O
+  /// readiness. Returns false when the kernel can never produce work again
+  /// (no deadline and no I/O sources) — the loop proceeds to its exit path.
+  virtual bool waitUntil(SimTime Next);
+
+  /// True for kernels that track wall-clock time (the loop then stops
+  /// adding virtual per-tick costs to the clock).
+  virtual bool isRealTime() const { return false; }
 
   /// Total operations ever submitted (for statistics/tests).
   uint64_t submittedCount() const { return NextId; }

@@ -11,6 +11,10 @@
 using namespace asyncg;
 using namespace asyncg::sim;
 
+Socket::~Socket() = default;
+
+Network::~Network() = default;
+
 bool Socket::write(const std::string &Bytes) {
   if (Ended || Destroyed)
     return false;
@@ -73,7 +77,9 @@ void Socket::deliverClose() {
   Destroyed = true;
 }
 
-bool Network::listen(int Port, AcceptHandler OnAccept) {
+bool Network::listenWithBacklog(int Port, AcceptHandler OnAccept,
+                                int Backlog) {
+  (void)Backlog; // The simulated network has no accept queue to overflow.
   if (Listeners.count(Port))
     return false;
   Listeners.emplace(Port, std::move(OnAccept));

@@ -1,0 +1,293 @@
+//===- WireCodec.cpp - Message <-> wire-byte codecs ----------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/WireCodec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+
+using namespace asyncg;
+using namespace asyncg::sim;
+
+WireCodec::~WireCodec() = default;
+
+const char *asyncg::sim::httpReasonPhrase(int Status) {
+  switch (Status) {
+  case 200:
+    return "OK";
+  case 201:
+    return "Created";
+  case 204:
+    return "No Content";
+  case 400:
+    return "Bad Request";
+  case 401:
+    return "Unauthorized";
+  case 403:
+    return "Forbidden";
+  case 404:
+    return "Not Found";
+  case 500:
+    return "Internal Server Error";
+  case 503:
+    return "Service Unavailable";
+  default:
+    return "OK";
+  }
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Framed: 4-byte big-endian length prefix per message
+//===----------------------------------------------------------------------===//
+
+class FramedCodec final : public WireCodec {
+public:
+  bool ingest(const char *Data, size_t Len,
+              std::vector<std::string> &Msgs) override {
+    Buf.append(Data, Len);
+    while (Buf.size() >= 4) {
+      uint32_t N = (static_cast<uint8_t>(Buf[0]) << 24) |
+                   (static_cast<uint8_t>(Buf[1]) << 16) |
+                   (static_cast<uint8_t>(Buf[2]) << 8) |
+                   static_cast<uint8_t>(Buf[3]);
+      if (N > MaxFrame)
+        return false;
+      if (Buf.size() < 4 + static_cast<size_t>(N))
+        break;
+      Msgs.push_back(Buf.substr(4, N));
+      Buf.erase(0, 4 + static_cast<size_t>(N));
+    }
+    return true;
+  }
+
+  void encode(const std::string &Msg, std::string &Out) override {
+    uint32_t N = static_cast<uint32_t>(Msg.size());
+    char Hdr[4] = {static_cast<char>(N >> 24), static_cast<char>(N >> 16),
+                   static_cast<char>(N >> 8), static_cast<char>(N)};
+    Out.append(Hdr, 4);
+    Out.append(Msg);
+  }
+
+private:
+  static constexpr uint32_t MaxFrame = 64u << 20;
+  std::string Buf;
+};
+
+//===----------------------------------------------------------------------===//
+// HTTP/1.1 helpers
+//===----------------------------------------------------------------------===//
+
+/// Incremental head (request/status line + headers) parser state shared by
+/// both HTTP directions: accumulates until CRLFCRLF, then extracts the
+/// start line and Content-Length.
+struct HttpHead {
+  std::string Line;
+  size_t ContentLength = 0;
+  bool KeepAlive = true;
+};
+
+/// Case-insensitive prefix match for header names.
+bool headerIs(const std::string &Line, const char *Name) {
+  size_t N = 0;
+  while (Name[N]) {
+    if (N >= Line.size() ||
+        std::tolower(static_cast<unsigned char>(Line[N])) !=
+            std::tolower(static_cast<unsigned char>(Name[N])))
+      return false;
+    ++N;
+  }
+  return true;
+}
+
+/// Parses a complete header block \p Head ("LINE\r\nHeader: v\r\n..."),
+/// filling \p Out. Returns false when the start line is empty.
+bool parseHead(const std::string &Head, HttpHead &Out) {
+  size_t Eol = Head.find("\r\n");
+  if (Eol == std::string::npos || Eol == 0)
+    return false;
+  Out.Line = Head.substr(0, Eol);
+  Out.ContentLength = 0;
+  Out.KeepAlive = true;
+  size_t Pos = Eol + 2;
+  while (Pos < Head.size()) {
+    size_t Next = Head.find("\r\n", Pos);
+    if (Next == std::string::npos)
+      Next = Head.size();
+    std::string Line = Head.substr(Pos, Next - Pos);
+    if (headerIs(Line, "content-length:"))
+      Out.ContentLength =
+          static_cast<size_t>(std::strtoull(Line.c_str() + 15, nullptr, 10));
+    else if (headerIs(Line, "connection:") &&
+             Line.find("close") != std::string::npos)
+      Out.KeepAlive = false;
+    Pos = Next + 2;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// HTTP/1.1 server side: wire requests -> REQ/DAT/END, RES -> wire response
+//===----------------------------------------------------------------------===//
+
+class HttpServerCodec final : public WireCodec {
+public:
+  bool ingest(const char *Data, size_t Len,
+              std::vector<std::string> &Msgs) override {
+    Buf.append(Data, Len);
+    for (;;) {
+      if (!InBody) {
+        size_t HdrEnd = Buf.find("\r\n\r\n");
+        if (HdrEnd == std::string::npos)
+          return Buf.size() <= MaxHead;
+        if (!parseHead(Buf.substr(0, HdrEnd + 2), Head))
+          return false;
+        // Request line: METHOD SP PATH SP VERSION
+        size_t Sp1 = Head.Line.find(' ');
+        size_t Sp2 = Sp1 == std::string::npos
+                         ? std::string::npos
+                         : Head.Line.find(' ', Sp1 + 1);
+        if (Sp1 == std::string::npos)
+          return false;
+        std::string Method = Head.Line.substr(0, Sp1);
+        std::string Path = Sp2 == std::string::npos
+                               ? Head.Line.substr(Sp1 + 1)
+                               : Head.Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+        Buf.erase(0, HdrEnd + 4);
+        Msgs.push_back("REQ " + Method + " " + Path);
+        InBody = true;
+      }
+      if (Buf.size() < Head.ContentLength)
+        return true;
+      if (Head.ContentLength > 0) {
+        Msgs.push_back("DAT " + Buf.substr(0, Head.ContentLength));
+        Buf.erase(0, Head.ContentLength);
+      }
+      Msgs.push_back("END");
+      InBody = false;
+      if (Buf.empty())
+        return true;
+      // Keep-alive: loop for the next pipelined/queued request.
+    }
+  }
+
+  void encode(const std::string &Msg, std::string &Out) override {
+    // "RES <status> <body>" -> one complete HTTP/1.1 response.
+    if (Msg.compare(0, 4, "RES ") != 0)
+      return;
+    size_t Sp = Msg.find(' ', 4);
+    int Status;
+    std::string Body;
+    if (Sp == std::string::npos) {
+      Status = std::atoi(Msg.c_str() + 4);
+    } else {
+      Status = std::atoi(Msg.substr(4, Sp - 4).c_str());
+      Body = Msg.substr(Sp + 1);
+    }
+    Out += "HTTP/1.1 " + std::to_string(Status) + " " +
+           httpReasonPhrase(Status) + "\r\n";
+    Out += "Content-Type: text/plain\r\n";
+    Out += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+    Out += "Connection: keep-alive\r\n\r\n";
+    Out += Body;
+  }
+
+private:
+  static constexpr size_t MaxHead = 64u << 10;
+  std::string Buf;
+  HttpHead Head;
+  bool InBody = false;
+};
+
+//===----------------------------------------------------------------------===//
+// HTTP/1.1 client side: REQ/DAT/END -> wire request, wire response -> RES
+//===----------------------------------------------------------------------===//
+
+class HttpClientCodec final : public WireCodec {
+public:
+  bool ingest(const char *Data, size_t Len,
+              std::vector<std::string> &Msgs) override {
+    Buf.append(Data, Len);
+    for (;;) {
+      if (!InBody) {
+        size_t HdrEnd = Buf.find("\r\n\r\n");
+        if (HdrEnd == std::string::npos)
+          return Buf.size() <= MaxHead;
+        if (!parseHead(Buf.substr(0, HdrEnd + 2), Head))
+          return false;
+        // Status line: HTTP/1.1 SP CODE SP REASON
+        size_t Sp1 = Head.Line.find(' ');
+        if (Sp1 == std::string::npos)
+          return false;
+        Status = std::atoi(Head.Line.c_str() + Sp1 + 1);
+        Buf.erase(0, HdrEnd + 4);
+        InBody = true;
+      }
+      if (Buf.size() < Head.ContentLength)
+        return true;
+      std::string Body = Buf.substr(0, Head.ContentLength);
+      Buf.erase(0, Head.ContentLength);
+      // One discrete RES message per response, exactly what the sim
+      // server's single frameResponse write delivers.
+      Msgs.push_back("RES " + std::to_string(Status) +
+                     (Body.empty() ? std::string() : " " + Body));
+      InBody = false;
+      if (Buf.empty())
+        return true;
+    }
+  }
+
+  void encode(const std::string &Msg, std::string &Out) override {
+    // Buffer REQ/DAT until END completes the request, then emit one full
+    // HTTP/1.1 request (the stream equivalent of the three sim writes).
+    if (Msg.compare(0, 4, "REQ ") == 0) {
+      std::string Rest = Msg.substr(4);
+      size_t Sp = Rest.find(' ');
+      Method = Sp == std::string::npos ? Rest : Rest.substr(0, Sp);
+      Path = Sp == std::string::npos ? "/" : Rest.substr(Sp + 1);
+      PendingBody.clear();
+      HaveReq = true;
+      return;
+    }
+    if (Msg.compare(0, 4, "DAT ") == 0) {
+      PendingBody += Msg.substr(4);
+      return;
+    }
+    if (Msg == "END" && HaveReq) {
+      Out += Method + " " + Path + " HTTP/1.1\r\n";
+      Out += "Host: 127.0.0.1\r\n";
+      Out += "Content-Length: " + std::to_string(PendingBody.size()) + "\r\n";
+      Out += "Connection: keep-alive\r\n\r\n";
+      Out += PendingBody;
+      PendingBody.clear();
+      HaveReq = false;
+    }
+  }
+
+private:
+  static constexpr size_t MaxHead = 64u << 10;
+  std::string Buf;
+  HttpHead Head;
+  int Status = 0;
+  bool InBody = false;
+
+  std::string Method, Path, PendingBody;
+  bool HaveReq = false;
+};
+
+} // namespace
+
+std::unique_ptr<WireCodec> asyncg::sim::makeWireCodec(WireFormat Format,
+                                                      bool ServerRole) {
+  if (Format == WireFormat::Framed)
+    return std::make_unique<FramedCodec>();
+  if (ServerRole)
+    return std::make_unique<HttpServerCodec>();
+  return std::make_unique<HttpClientCodec>();
+}

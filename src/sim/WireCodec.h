@@ -1,0 +1,68 @@
+//===- WireCodec.h - Message <-> wire-byte codecs ----------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Codecs translating between the discrete protocol messages the node
+/// layer exchanges (each sim::Socket::write is one message, each data
+/// event delivers one message) and real socket byte streams, which
+/// fragment and coalesce arbitrarily. The epoll backend runs one codec per
+/// socket direction; the node layer and the Async Graph above it keep
+/// seeing exactly the message protocol the simulated network delivers —
+/// that equivalence is what makes warning parity across backends possible.
+///
+/// Two wire formats:
+///  - Http1: node::Http's "REQ METHOD PATH" / "DAT chunk" / "END" //
+///    "RES status body" messages map to genuine HTTP/1.1 keep-alive
+///    requests and responses with Content-Length framing, so real
+///    curl/wrk-style clients can talk to the server.
+///  - Framed: 4-byte big-endian length prefix per message, binary-safe,
+///    for raw net.Socket protocols that are not HTTP.
+///
+/// Codecs are pure incremental parsers (no I/O), unit-tested byte-by-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SIM_WIRECODEC_H
+#define ASYNCG_SIM_WIRECODEC_H
+
+#include "sim/Network.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace asyncg {
+namespace sim {
+
+/// Incremental two-way translator between protocol messages and wire
+/// bytes. One instance per socket; stateful across calls.
+class WireCodec {
+public:
+  virtual ~WireCodec();
+
+  /// Feeds \p Len raw wire bytes; appends every completed protocol
+  /// message to \p Msgs. Returns false on a malformed stream (the caller
+  /// should reset the connection).
+  virtual bool ingest(const char *Data, size_t Len,
+                      std::vector<std::string> &Msgs) = 0;
+
+  /// Translates one outgoing protocol message, appending wire bytes to
+  /// \p Out. (HTTP codecs may buffer until the message set is complete,
+  /// e.g. a client request flushes on "END".)
+  virtual void encode(const std::string &Msg, std::string &Out) = 0;
+};
+
+/// Creates the codec for one endpoint. \p ServerRole: true for accepted
+/// sockets (parse requests, emit responses), false for connecting sockets.
+std::unique_ptr<WireCodec> makeWireCodec(WireFormat Format, bool ServerRole);
+
+/// Maps an HTTP status code to its canonical reason phrase.
+const char *httpReasonPhrase(int Status);
+
+} // namespace sim
+} // namespace asyncg
+
+#endif // ASYNCG_SIM_WIRECODEC_H

@@ -1,0 +1,444 @@
+//===- EpollKernelTest.cpp - real-traffic backend tests (Linux only) ----------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests for the epoll kernel/network backend: kernel-level timing and the
+/// cancellation contract, wire edge paths (EAGAIN partial writes, peer
+/// reset, backlog overflow), and — the acceptance gate — AcmeAir served
+/// over real loopback TCP with the warning set and DOT output matching the
+/// simulated kernel on the same scripted workload.
+///
+/// Each test that binds a port uses its own port number: ctest may run the
+/// tests of this binary in parallel processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifdef __linux__
+
+#include "ag/Builder.h"
+#include "apps/acmeair/App.h"
+#include "apps/acmeair/Workload.h"
+#include "apps/cluster/Harness.h"
+#include "detect/Detectors.h"
+#include "jsrt/Runtime.h"
+#include "sim/EpollKernel.h"
+#include "sim/EpollNetwork.h"
+#include "viz/Dot.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace asyncg;
+using namespace asyncg::jsrt;
+using namespace asyncg::acmeair;
+
+namespace {
+
+/// Hook that asks the epoll kernel to stop serving once a predicate holds
+/// (checked at tick boundaries, on the loop thread). Passive: adds nothing
+/// to the graph, so parity runs stay comparable.
+struct StopWhen : instr::AnalysisBase {
+  const char *analysisName() const override { return "stop-when"; }
+  void onTickBoundary(const instr::TickBoundaryEvent &) override {
+    if (EK && Pred && Pred())
+      EK->requestStop();
+  }
+  sim::EpollKernel *EK = nullptr;
+  std::function<bool()> Pred;
+};
+
+/// Returns the runtime's kernel as an EpollKernel (test-only downcast; the
+/// caller created the runtime with the epoll backend).
+sim::EpollKernel &epollKernel(Runtime &RT) {
+  return static_cast<sim::EpollKernel &>(RT.kernel());
+}
+
+std::vector<std::string> formatWarnings(const ag::AsyncGraph &G) {
+  std::vector<std::string> Out;
+  for (const ag::Warning &W : G.warnings()) {
+    std::string S(ag::bugCategoryName(W.Category));
+    S += ": ";
+    S += W.Message.view();
+    S += " (";
+    S += W.Loc.str();
+    S += ")";
+    Out.push_back(std::move(S));
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel level
+//===----------------------------------------------------------------------===//
+
+TEST(EpollKernel, BackendIsSupportedOnLinux) {
+  EXPECT_TRUE(sim::kernelBackendSupported(sim::KernelBackend::Epoll));
+  sim::KernelBackend B;
+  EXPECT_TRUE(sim::parseKernelBackend("epoll", B));
+  EXPECT_EQ(B, sim::KernelBackend::Epoll);
+  EXPECT_TRUE(sim::parseKernelBackend("sim", B));
+  EXPECT_EQ(B, sim::KernelBackend::Sim);
+  EXPECT_FALSE(sim::parseKernelBackend("uring", B));
+}
+
+TEST(EpollKernel, TimersFireInWallClockTime) {
+  sim::Clock C;
+  sim::EpollKernel K(C);
+  ASSERT_TRUE(K.valid());
+  std::vector<int> Order;
+  K.submit(5000, [&] { Order.push_back(2); }); // 5 ms
+  K.submit(1000, [&] { Order.push_back(1); }); // 1 ms
+  auto T0 = std::chrono::steady_clock::now();
+  while (Order.size() < 2) {
+    ASSERT_TRUE(K.waitUntil(K.nextDeadline()));
+    for (auto &A : K.takeDue())
+      A();
+  }
+  auto ElapsedUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2}));
+  EXPECT_GE(ElapsedUs, 5000); // the 5 ms deadline was a real deadline
+  EXPECT_FALSE(K.hasPending());
+}
+
+// The cancellation contract (sim/Kernel.h) holds identically on the real
+// kernel: an op the kernel still holds — even one already due — cancels
+// with a guarantee it never runs; one handed out by takeDue() does not.
+TEST(EpollKernel, CancelContractMatchesSimKernel) {
+  sim::Clock C;
+  sim::EpollKernel K(C);
+  ASSERT_TRUE(K.valid());
+  int Ran = 0;
+
+  sim::OpId Due = K.submit(1000, [&] { ++Ran; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  K.syncClock(); // Due is now past-deadline but still held by the kernel
+  EXPECT_TRUE(K.cancel(Due));
+  EXPECT_TRUE(K.takeDue().empty());
+  EXPECT_EQ(Ran, 0);
+
+  sim::OpId Taken = K.submit(1000, [&] { ++Ran; });
+  ASSERT_TRUE(K.waitUntil(K.nextDeadline()));
+  auto Batch = K.takeDue();
+  ASSERT_EQ(Batch.size(), 1u);
+  EXPECT_FALSE(K.cancel(Taken)); // already dispatched to the loop
+  EXPECT_EQ(Ran, 0);
+  for (auto &A : Batch)
+    A();
+  EXPECT_EQ(Ran, 1);
+}
+
+TEST(EpollKernel, ExternalSubmitWakesBlockedWait) {
+  sim::Clock C;
+  sim::EpollKernel K(C);
+  ASSERT_TRUE(K.valid());
+  bool Ran = false;
+  K.submit(3'000'000, [] {}); // far deadline the wait should not reach
+  std::thread Poster([&K] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    K.submitExternal([] {});
+  });
+  auto T0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(K.waitUntil(K.nextDeadline()));
+  for (auto &A : K.takeDue()) {
+    A();
+    Ran = true;
+  }
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  Poster.join();
+  EXPECT_TRUE(Ran);
+  EXPECT_LT(ElapsedMs, 2000); // woke for the external op, not the timer
+}
+
+//===----------------------------------------------------------------------===//
+// Wire edge paths
+//===----------------------------------------------------------------------===//
+
+/// Runs \p Script under a runtime on \p Backend with the full detector
+/// suite attached; returns the sorted warning strings. Used to assert the
+/// edge paths leave the graph in the same state on both backends. The
+/// script receives the runtime and, on the epoll backend, the kernel (null
+/// on sim) so it can request a stop once its work is done.
+template <typename ScriptFn>
+std::vector<std::string> runScripted(sim::KernelBackend Backend,
+                                     ScriptFn Script) {
+  RuntimeConfig RC;
+  RC.Backend = Backend;
+  RC.Wire = sim::WireFormat::Framed;
+  Runtime RT(RC);
+  sim::EpollKernel *EK =
+      Backend == sim::KernelBackend::Epoll ? &epollKernel(RT) : nullptr;
+  ag::AsyncGBuilder Builder;
+  detect::DetectorSuite Detectors;
+  Detectors.attachTo(Builder);
+  RT.hooks().attach(&Builder);
+  Function Main = RT.makeBuiltin("main", [&](Runtime &R, const CallArgs &) {
+    Script(R, EK);
+    return Completion::normal();
+  });
+  RT.main(Main);
+  EXPECT_TRUE(RT.uncaughtErrors().empty());
+  return formatWarnings(Builder.graph());
+}
+
+// A 16 MiB message does not fit the loopback socket buffers: the server's
+// send hits EAGAIN repeatedly and finishes over EPOLLOUT rounds. The
+// message must still arrive as one intact delivery (sim semantics).
+TEST(EpollNetwork, PartialWritesReassembleLargeMessage) {
+  const int Port = 9411;
+  const std::string Big(16u << 20, 'x');
+  std::string Received;
+  std::vector<std::shared_ptr<sim::Socket>> Held;
+
+  // Same script for both backends; EK is null on sim, where the loop
+  // drains naturally once the kernel has no pending ops.
+  auto Script = [&](Runtime &R, sim::EpollKernel *EK) {
+    R.network().listen(Port, [&](std::shared_ptr<sim::Socket> S) {
+      Held.push_back(S);
+      S->write(Big);
+      S->end();
+    });
+    bool Ok = R.network().connect(Port, [&, EK](std::shared_ptr<sim::Socket> S) {
+      Held.push_back(S);
+      S->onData([&, EK](const std::string &M) {
+        Received = M;
+        if (EK)
+          EK->requestStop();
+      });
+    });
+    EXPECT_TRUE(Ok);
+  };
+
+  std::vector<std::string> EpollWarnings =
+      runScripted(sim::KernelBackend::Epoll, Script);
+  ASSERT_EQ(Received.size(), Big.size());
+  EXPECT_TRUE(Received == Big);
+
+  Received.clear();
+  Held.clear();
+  std::vector<std::string> SimWarnings =
+      runScripted(sim::KernelBackend::Sim, Script);
+  EXPECT_TRUE(Received == Big);
+  EXPECT_EQ(EpollWarnings, SimWarnings);
+}
+
+// Peer resets (destroy) while the server still owes it data: the server
+// side must observe a close event — the sim analogue of destroy — and the
+// loop must drain without leaking the graph or erroring.
+TEST(EpollNetwork, PeerResetDeliversCloseEvent) {
+  const int Port = 9412;
+  bool ServerClosed = false;
+  std::vector<std::shared_ptr<sim::Socket>> Held;
+
+  auto Script = [&](Runtime &R, sim::EpollKernel *EK) {
+    R.network().listen(Port, [&, EK](std::shared_ptr<sim::Socket> S) {
+      Held.push_back(S);
+      sim::Socket *Raw = S.get();
+      Raw->onClose([&] { ServerClosed = true; });
+      Raw->onData([Raw, EK](const std::string &) {
+        // By the time this write lands the peer is gone: it is dropped
+        // (sim) or fails against the torn-down fd (epoll) — silently.
+        Raw->write("response");
+        if (EK)
+          EK->requestStop();
+      });
+    });
+    bool Ok = R.network().connect(Port, [](std::shared_ptr<sim::Socket> S) {
+      S->write("request");
+      S->destroy(); // RST
+    });
+    EXPECT_TRUE(Ok);
+  };
+
+  std::vector<std::string> EpollWarnings =
+      runScripted(sim::KernelBackend::Epoll, Script);
+  EXPECT_TRUE(ServerClosed);
+
+  ServerClosed = false;
+  Held.clear();
+  std::vector<std::string> SimWarnings =
+      runScripted(sim::KernelBackend::Sim, Script);
+  EXPECT_TRUE(ServerClosed);
+  EXPECT_EQ(EpollWarnings, SimWarnings);
+}
+
+// More simultaneous connects than the listen backlog: the kernel drops the
+// excess SYNs, the clients retransmit, and every connection is eventually
+// accepted and served — no drops surface at the application layer.
+TEST(EpollNetwork, BacklogOverflowEventuallyServesAll) {
+  const int Port = 9413;
+  const int NConns = 8;
+  int Echoed = 0;
+
+  RuntimeConfig RC;
+  RC.Backend = sim::KernelBackend::Epoll;
+  RC.Wire = sim::WireFormat::Framed;
+  Runtime RT(RC);
+  auto &Net = static_cast<sim::EpollNetwork &>(RT.network());
+
+  std::vector<std::shared_ptr<sim::Socket>> Held;
+  Function Main = RT.makeBuiltin("main", [&](Runtime &R, const CallArgs &) {
+    bool Listening = Net.listenWithBacklog(
+        Port,
+        [&](std::shared_ptr<sim::Socket> S) {
+          Held.push_back(S);
+          sim::Socket *Raw = S.get();
+          Raw->onData([Raw](const std::string &M) { Raw->write("echo:" + M); });
+        },
+        /*Backlog=*/1);
+    EXPECT_TRUE(Listening);
+    for (int I = 0; I != NConns; ++I) {
+      bool Ok = R.network().connect(
+          Port, [&, I](std::shared_ptr<sim::Socket> S) {
+            Held.push_back(S);
+            sim::Socket *Raw = S.get();
+            Raw->onData([&, I](const std::string &M) {
+              EXPECT_EQ(M, "echo:ping" + std::to_string(I));
+              if (++Echoed == NConns)
+                epollKernel(RT).requestStop();
+            });
+            Raw->write("ping" + std::to_string(I));
+          });
+      EXPECT_TRUE(Ok);
+    }
+    return Completion::normal();
+  });
+  RT.main(Main);
+
+  EXPECT_EQ(Echoed, NConns);
+  EXPECT_EQ(Net.acceptedCount(), static_cast<uint64_t>(NConns));
+  EXPECT_TRUE(RT.uncaughtErrors().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// AcmeAir over real loopback HTTP: the acceptance gate
+//===----------------------------------------------------------------------===//
+
+struct AcmeRun {
+  uint64_t Completed = 0;
+  uint64_t Errors = 0;
+  uint64_t Served = 0;
+  std::vector<std::string> Warnings;
+  std::string Dot;
+};
+
+AcmeRun runAcmeAir(sim::KernelBackend Backend, int Port, uint64_t Requests) {
+  RuntimeConfig RC;
+  RC.Backend = Backend;
+  Runtime RT(RC);
+  AppConfig ACfg;
+  ACfg.Port = Port;
+  AcmeAirApp App(RT, ACfg);
+  WorkloadConfig WCfg;
+  WCfg.TotalRequests = Requests;
+  // One closed-loop client: the request sequence is strictly sequential,
+  // so graph structure is comparable across backends (real concurrency
+  // would reorder ticks).
+  WCfg.Clients = 1;
+  WorkloadDriver Driver(RT, Port, WCfg);
+
+  ag::AsyncGBuilder Builder;
+  detect::DetectorSuite Detectors;
+  Detectors.attachTo(Builder);
+  RT.hooks().attach(&Builder);
+
+  StopWhen Stop;
+  if (Backend == sim::KernelBackend::Epoll) {
+    Stop.EK = &epollKernel(RT);
+    Stop.Pred = [&Driver, Requests] {
+      return Driver.completed() >= Requests;
+    };
+    RT.hooks().attach(&Stop);
+  }
+
+  Function Main = RT.makeBuiltin("main", [&](Runtime &R, const CallArgs &) {
+    App.start(JSLOC);
+    Driver.start();
+    (void)R;
+    return Completion::normal();
+  });
+  RT.main(Main);
+
+  AcmeRun Out;
+  Out.Completed = Driver.completed();
+  Out.Errors = Driver.errors();
+  Out.Served = App.served();
+  Out.Warnings = formatWarnings(Builder.graph());
+  Out.Dot = viz::toDot(Builder.graph());
+  EXPECT_TRUE(RT.uncaughtErrors().empty());
+  return Out;
+}
+
+TEST(EpollAcmeAir, ServesWireHttpWithSimParity) {
+  const uint64_t Requests = 40;
+  AcmeRun Epoll = runAcmeAir(sim::KernelBackend::Epoll, 9414, Requests);
+  AcmeRun Sim = runAcmeAir(sim::KernelBackend::Sim, 9414, Requests);
+
+  EXPECT_EQ(Epoll.Completed, Requests);
+  EXPECT_EQ(Epoll.Errors, 0u);
+  EXPECT_EQ(Epoll.Served, Requests);
+  EXPECT_EQ(Sim.Completed, Requests);
+
+  // The acceptance gate: same warnings, same graph (DOT carries no
+  // timestamps, so equality is already "modulo timestamps").
+  EXPECT_EQ(Epoll.Warnings, Sim.Warnings);
+  EXPECT_EQ(Epoll.Dot, Sim.Dot);
+}
+
+//===----------------------------------------------------------------------===//
+// SO_REUSEPORT cluster mode
+//===----------------------------------------------------------------------===//
+
+TEST(EpollCluster, ReuseportServesAcrossLoops) {
+  cluster::ClusterConfig Cfg;
+  Cfg.Backend = sim::KernelBackend::Epoll;
+  Cfg.Port = 9415;
+  Cfg.Loops = 2;
+  Cfg.TotalClients = 4;
+  Cfg.TotalRequests = 60;
+  cluster::ClusterHarness H(Cfg);
+  cluster::ClusterResult R = H.run();
+
+  EXPECT_EQ(R.Wire.Completed, 60u);
+  EXPECT_EQ(R.Wire.Errors, 0u);
+  EXPECT_EQ(R.Wire.DroppedConns, 0u);
+  EXPECT_GT(R.Wire.ReqPerSec, 0);
+  uint64_t Served = 0;
+  ASSERT_EQ(R.Shards.size(), 2u);
+  for (const cluster::ShardResult &S : R.Shards)
+    Served += S.Served;
+  // The Linux kernel balances accepts across the SO_REUSEPORT group; which
+  // shard serves how much is its choice, but nothing may be lost.
+  EXPECT_EQ(Served, 60u);
+  // Gossip crossed the loops and every delivery was drained.
+  uint64_t Sent = 0, Received = 0;
+  for (const cluster::ShardResult &S : R.Shards) {
+    Sent += S.Sent;
+    Received += S.Received;
+  }
+  EXPECT_GT(Sent, 0u);
+  EXPECT_EQ(Sent, Received);
+}
+
+} // namespace
+
+#else // !__linux__
+
+#include "sim/Kernel.h"
+
+#include <gtest/gtest.h>
+
+TEST(EpollKernel, UnsupportedOnThisPlatform) {
+  EXPECT_FALSE(asyncg::sim::kernelBackendSupported(
+      asyncg::sim::KernelBackend::Epoll));
+}
+
+#endif // __linux__

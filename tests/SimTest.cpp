@@ -76,6 +76,34 @@ TEST(Kernel, Cancel) {
   EXPECT_EQ(Ran, 0);
 }
 
+// Pins the written cancellation contract (sim/Kernel.h): cancel succeeds —
+// and guarantees the action never runs — for any op the kernel still
+// holds, including ops already due; once takeDue() has handed the op to
+// the loop, cancel returns false even if the action has not executed yet.
+TEST(Kernel, CancelContract) {
+  Clock C;
+  Kernel K(C);
+  int Ran = 0;
+
+  // Due-but-not-yet-taken: still cancellable.
+  OpId Due = K.submit(10, [&] { ++Ran; });
+  C.advanceTo(50);
+  EXPECT_TRUE(K.cancel(Due));
+  EXPECT_TRUE(K.takeDue().empty());
+  EXPECT_EQ(Ran, 0);
+
+  // Handed to the loop: no longer cancellable, runs regardless.
+  OpId Taken = K.submit(10, [&] { ++Ran; });
+  C.advanceTo(100);
+  auto Batch = K.takeDue();
+  ASSERT_EQ(Batch.size(), 1u);
+  EXPECT_FALSE(K.cancel(Taken));
+  EXPECT_EQ(Ran, 0); // cancel attempt did not run it early
+  for (auto &A : Batch)
+    A();
+  EXPECT_EQ(Ran, 1);
+}
+
 TEST(Kernel, SubmitDuringCompletion) {
   Clock C;
   Kernel K(C);

@@ -1,0 +1,166 @@
+//===- WireCodecTest.cpp - unit tests for the wire codecs ---------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/WireCodec.h"
+
+#include <gtest/gtest.h>
+
+using namespace asyncg::sim;
+
+namespace {
+
+/// Feeds \p Wire into \p C one byte at a time, collecting messages.
+std::vector<std::string> ingestByteByByte(WireCodec &C,
+                                          const std::string &Wire) {
+  std::vector<std::string> Msgs;
+  for (char B : Wire)
+    EXPECT_TRUE(C.ingest(&B, 1, Msgs));
+  return Msgs;
+}
+
+std::string encodeAll(WireCodec &C, const std::vector<std::string> &Msgs) {
+  std::string Out;
+  for (const std::string &M : Msgs)
+    C.encode(M, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Framed
+//===----------------------------------------------------------------------===//
+
+TEST(FramedCodec, RoundTripsMessages) {
+  auto Enc = makeWireCodec(WireFormat::Framed, /*ServerRole=*/false);
+  auto Dec = makeWireCodec(WireFormat::Framed, /*ServerRole=*/true);
+  std::string Wire = encodeAll(*Enc, {"hello", "", std::string("\0\x01", 2)});
+  std::vector<std::string> Msgs;
+  ASSERT_TRUE(Dec->ingest(Wire.data(), Wire.size(), Msgs));
+  ASSERT_EQ(Msgs.size(), 3u);
+  EXPECT_EQ(Msgs[0], "hello");
+  EXPECT_EQ(Msgs[1], "");
+  EXPECT_EQ(Msgs[2], std::string("\0\x01", 2));
+}
+
+TEST(FramedCodec, SurvivesByteByByteFragmentation) {
+  auto Enc = makeWireCodec(WireFormat::Framed, false);
+  auto Dec = makeWireCodec(WireFormat::Framed, true);
+  std::string Wire = encodeAll(*Enc, {"REQ GET /a", "END"});
+  std::vector<std::string> Msgs = ingestByteByByte(*Dec, Wire);
+  EXPECT_EQ(Msgs, (std::vector<std::string>{"REQ GET /a", "END"}));
+}
+
+TEST(FramedCodec, RejectsOversizedFrame) {
+  auto Dec = makeWireCodec(WireFormat::Framed, true);
+  // Length prefix claiming 2 GiB.
+  char Hdr[4] = {'\x7f', '\xff', '\xff', '\xff'};
+  std::vector<std::string> Msgs;
+  EXPECT_FALSE(Dec->ingest(Hdr, 4, Msgs));
+}
+
+//===----------------------------------------------------------------------===//
+// HTTP/1.1 server side
+//===----------------------------------------------------------------------===//
+
+TEST(HttpServerCodec, ParsesGetWithoutBody) {
+  auto C = makeWireCodec(WireFormat::Http1, /*ServerRole=*/true);
+  std::string Wire = "GET /rest/api/queryflights?from=A&to=B HTTP/1.1\r\n"
+                     "Host: x\r\nContent-Length: 0\r\n\r\n";
+  std::vector<std::string> Msgs;
+  ASSERT_TRUE(C->ingest(Wire.data(), Wire.size(), Msgs));
+  EXPECT_EQ(Msgs, (std::vector<std::string>{
+                      "REQ GET /rest/api/queryflights?from=A&to=B", "END"}));
+}
+
+TEST(HttpServerCodec, ParsesPostBodyAsDataChunk) {
+  auto C = makeWireCodec(WireFormat::Http1, true);
+  std::string Wire = "POST /rest/api/login HTTP/1.1\r\n"
+                     "content-length: 9\r\n\r\nuser=uid1";
+  std::vector<std::string> Msgs = ingestByteByByte(*C, Wire);
+  EXPECT_EQ(Msgs, (std::vector<std::string>{"REQ POST /rest/api/login",
+                                            "DAT user=uid1", "END"}));
+}
+
+TEST(HttpServerCodec, HandlesPipelinedRequestsInOneRead) {
+  auto C = makeWireCodec(WireFormat::Http1, true);
+  std::string Wire = "GET /a HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+                     "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+  std::vector<std::string> Msgs;
+  ASSERT_TRUE(C->ingest(Wire.data(), Wire.size(), Msgs));
+  EXPECT_EQ(Msgs, (std::vector<std::string>{"REQ GET /a", "END",
+                                            "REQ POST /b", "DAT hi", "END"}));
+}
+
+TEST(HttpServerCodec, EncodesResponseWithContentLength) {
+  auto C = makeWireCodec(WireFormat::Http1, true);
+  std::string Out;
+  C->encode("RES 200 OK token=abc", Out);
+  EXPECT_EQ(Out, "HTTP/1.1 200 OK\r\n"
+                 "Content-Type: text/plain\r\n"
+                 "Content-Length: 12\r\n"
+                 "Connection: keep-alive\r\n\r\n"
+                 "OK token=abc");
+}
+
+TEST(HttpServerCodec, EncodesBodylessStatus) {
+  auto C = makeWireCodec(WireFormat::Http1, true);
+  std::string Out;
+  C->encode("RES 401", Out);
+  EXPECT_NE(Out.find("HTTP/1.1 401 Unauthorized\r\n"), std::string::npos);
+  EXPECT_NE(Out.find("Content-Length: 0\r\n"), std::string::npos);
+}
+
+TEST(HttpServerCodec, RejectsGarbage) {
+  auto C = makeWireCodec(WireFormat::Http1, true);
+  std::string Wire = "\r\nnonsense\r\n\r\n";
+  std::vector<std::string> Msgs;
+  EXPECT_FALSE(C->ingest(Wire.data(), Wire.size(), Msgs));
+}
+
+//===----------------------------------------------------------------------===//
+// HTTP/1.1 client side
+//===----------------------------------------------------------------------===//
+
+TEST(HttpClientCodec, BuffersRequestUntilEnd) {
+  auto C = makeWireCodec(WireFormat::Http1, /*ServerRole=*/false);
+  std::string Out;
+  C->encode("REQ POST /rest/api/login", Out);
+  C->encode("DAT user=uid3&password=password", Out);
+  EXPECT_TRUE(Out.empty()); // nothing flushes before END
+  C->encode("END", Out);
+  EXPECT_EQ(Out, "POST /rest/api/login HTTP/1.1\r\n"
+                 "Host: 127.0.0.1\r\n"
+                 "Content-Length: 27\r\n"
+                 "Connection: keep-alive\r\n\r\n"
+                 "user=uid3&password=password");
+}
+
+TEST(HttpClientCodec, ParsesResponsesFragmented) {
+  auto C = makeWireCodec(WireFormat::Http1, false);
+  std::string Wire = "HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello"
+                     "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+  std::vector<std::string> Msgs = ingestByteByByte(*C, Wire);
+  EXPECT_EQ(Msgs, (std::vector<std::string>{"RES 200 hello", "RES 404"}));
+}
+
+TEST(HttpClientCodec, RoundTripsThroughServerCodec) {
+  auto Client = makeWireCodec(WireFormat::Http1, false);
+  auto Server = makeWireCodec(WireFormat::Http1, true);
+  std::string Wire;
+  Client->encode("REQ GET /rest/api/customer/byid?token=t1", Wire);
+  Client->encode("END", Wire);
+  std::vector<std::string> AtServer;
+  ASSERT_TRUE(Server->ingest(Wire.data(), Wire.size(), AtServer));
+  EXPECT_EQ(AtServer,
+            (std::vector<std::string>{
+                "REQ GET /rest/api/customer/byid?token=t1", "END"}));
+  std::string Resp;
+  Server->encode("RES 200 profile", Resp);
+  std::vector<std::string> AtClient;
+  ASSERT_TRUE(Client->ingest(Resp.data(), Resp.size(), AtClient));
+  EXPECT_EQ(AtClient, (std::vector<std::string>{"RES 200 profile"}));
+}
+
+} // namespace

@@ -9,9 +9,15 @@
 // results:
 //
 //   acmeair_cluster [--loops N] [--requests N] [--clients N] [--seed N]
+//                   [--kernel sim|epoll] [--port N]
 //                   [--sync] [--no-gossip] [--baseline] [--dot FILE]
 //                   [--record-dir DIR] [--trace-version N]
 //                   [--sample-budget PCT]
+//
+// --kernel epoll (Linux only) swaps the virtual-time kernel for the real
+// epoll reactor: every loop binds --port with SO_REUSEPORT, the built-in
+// wire load generator drives --clients keep-alive HTTP connections, and
+// the numbers reported are wall-clock.
 //
 // --record-dir writes one `.agtrace` per shard (shard<S>.agtrace) in the
 // chosen --trace-version (default v4 columnar frames) for offline replay
@@ -29,6 +35,7 @@
 #include "apps/cluster/Harness.h"
 #include "viz/Dot.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +43,19 @@
 #include <string>
 
 using namespace asyncg;
+
+namespace {
+
+/// The running harness, for the --serve signal handler (stop() is an
+/// atomic store, so calling it from the handler is safe).
+cluster::ClusterHarness *ActiveHarness = nullptr;
+
+extern "C" void handleStopSignal(int) {
+  if (ActiveHarness)
+    ActiveHarness->stop();
+}
+
+} // namespace
 
 int main(int argc, char **argv) {
   cluster::ClusterConfig Cfg;
@@ -60,6 +80,19 @@ int main(int argc, char **argv) {
       Cfg.TotalClients = static_cast<int>(Num("--clients"));
     else if (!std::strcmp(argv[I], "--seed"))
       Cfg.Seed = static_cast<uint64_t>(Num("--seed"));
+    else if (!std::strcmp(argv[I], "--port"))
+      Cfg.Port = static_cast<int>(Num("--port"));
+    else if (!std::strcmp(argv[I], "--kernel")) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "--kernel needs a value\n");
+        return 2;
+      }
+      if (!sim::parseKernelBackend(argv[++I], Cfg.Backend)) {
+        std::fprintf(stderr, "--kernel must be 'sim' or 'epoll'\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[I], "--serve"))
+      Cfg.ServeOnly = true;
     else if (!std::strcmp(argv[I], "--sync"))
       Cfg.Mode = ag::PipelineMode::Synchronous;
     else if (!std::strcmp(argv[I], "--no-gossip"))
@@ -90,6 +123,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: %s [--loops N] [--requests N] [--clients N]"
                    " [--seed N]\n"
+                   "          [--kernel sim|epoll] [--port N]\n"
                    "          [--sync] [--no-gossip] [--baseline]"
                    " [--dot FILE]\n"
                    "          [--record-dir DIR] [--trace-version N]"
@@ -97,6 +131,18 @@ int main(int argc, char **argv) {
                    argv[0]);
       return 2;
     }
+  }
+  if (!sim::kernelBackendSupported(Cfg.Backend)) {
+    std::fprintf(stderr,
+                 "kernel backend '%s' is not supported on this platform "
+                 "(the epoll reactor needs Linux); use --kernel sim\n",
+                 sim::kernelBackendName(Cfg.Backend));
+    return 2;
+  }
+  if (Cfg.ServeOnly && Cfg.Backend != sim::KernelBackend::Epoll) {
+    std::fprintf(stderr, "--serve needs --kernel epoll (the sim backend "
+                         "has no wire to serve)\n");
+    return 2;
   }
   if (Cfg.TraceVer < 2 || Cfg.TraceVer > trace::TraceVersion) {
     std::fprintf(stderr, "--trace-version must be 2..%u\n",
@@ -118,12 +164,23 @@ int main(int argc, char **argv) {
   }
 
   cluster::ClusterHarness Harness(Cfg);
+  if (Cfg.ServeOnly) {
+    ActiveHarness = &Harness;
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+    std::fprintf(stderr, "serving on 127.0.0.1:%d across %u loop(s); "
+                         "SIGINT/SIGTERM stops\n",
+                 Cfg.Port, Cfg.Loops);
+  }
   cluster::ClusterResult R = Harness.run();
+  const bool WireMode = Cfg.Backend == sim::KernelBackend::Epoll;
 
-  std::printf("cluster: %u loop(s), %llu requests, %d clients, seed %llu\n",
+  std::printf("cluster: %u loop(s), %llu requests, %d clients, seed %llu, "
+              "kernel %s\n",
               Cfg.Loops,
               static_cast<unsigned long long>(Cfg.TotalRequests),
-              Cfg.TotalClients, static_cast<unsigned long long>(Cfg.Seed));
+              Cfg.TotalClients, static_cast<unsigned long long>(Cfg.Seed),
+              sim::kernelBackendName(Cfg.Backend));
   std::printf("%-6s %10s %8s %8s %12s %7s %7s %10s\n", "shard", "completed",
               "errors", "served", "virtual(ms)", "sent", "recv", "records");
   for (size_t S = 0; S != R.Shards.size(); ++S) {
@@ -155,10 +212,24 @@ int main(int argc, char **argv) {
                   static_cast<unsigned long long>(SS.DroppedEvents));
     }
   }
-  std::printf("\nvirtual throughput: %.0f req/s (slowest shard %.2f ms "
-              "virtual)\n",
-              R.VirtualThroughput,
-              static_cast<double>(R.MaxVirtualTimeUs) / 1000.0);
+  if (WireMode) {
+    std::printf("\nwire load: %llu completed, %llu errors, %llu dropped "
+                "conn(s)\n",
+                static_cast<unsigned long long>(R.Wire.Completed),
+                static_cast<unsigned long long>(R.Wire.Errors),
+                static_cast<unsigned long long>(R.Wire.DroppedConns));
+    std::printf("wall-clock throughput: %.0f req/s, latency p50 %llu us, "
+                "p90 %llu us, p99 %llu us\n",
+                R.Wire.ReqPerSec,
+                static_cast<unsigned long long>(R.Wire.P50Us),
+                static_cast<unsigned long long>(R.Wire.P90Us),
+                static_cast<unsigned long long>(R.Wire.P99Us));
+  } else {
+    std::printf("\nvirtual throughput: %.0f req/s (slowest shard %.2f ms "
+                "virtual)\n",
+                R.VirtualThroughput,
+                static_cast<double>(R.MaxVirtualTimeUs) / 1000.0);
+  }
   std::printf("wall: %.3f s\n", R.WallSeconds);
   if (Cfg.Instrument) {
     std::printf("merged graph: %llu nodes, %llu edges, %llu ticks, "
@@ -182,10 +253,17 @@ int main(int argc, char **argv) {
     std::printf("wrote %s\n", DotPath.c_str());
   }
 
-  bool Ok = R.TotalCompleted == Cfg.TotalRequests && R.TotalErrors == 0;
+  bool Ok = WireMode
+                ? (Cfg.ServeOnly ||
+                   (R.Wire.Completed == Cfg.TotalRequests &&
+                    R.Wire.Errors == 0 && R.Wire.DroppedConns == 0))
+                : (R.TotalCompleted == Cfg.TotalRequests && R.TotalErrors == 0);
   if (!Ok)
-    std::printf("RUN FAILED: completed=%llu errors=%llu\n",
-                static_cast<unsigned long long>(R.TotalCompleted),
-                static_cast<unsigned long long>(R.TotalErrors));
+    std::printf("RUN FAILED: completed=%llu errors=%llu dropped=%llu\n",
+                static_cast<unsigned long long>(
+                    WireMode ? R.Wire.Completed : R.TotalCompleted),
+                static_cast<unsigned long long>(
+                    WireMode ? R.Wire.Errors : R.TotalErrors),
+                static_cast<unsigned long long>(R.Wire.DroppedConns));
   return Ok ? 0 : 1;
 }

@@ -1,0 +1,122 @@
+//===- agload.cpp - wire-level AcmeAir load generator CLI ----------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives a running AcmeAir server (any process serving the REST API over
+// HTTP/1.1, e.g. `acmeair_cluster --kernel epoll`) with the closed-loop
+// keep-alive workload and prints throughput and latency percentiles:
+//
+//   agload [--port N] [--conns N] [--requests N] [--seed N] [--json FILE]
+//
+// The request mix and per-connection seeding mirror the in-loop
+// WorkloadDriver, so a wire run exercises the same logical workload the
+// virtual-time runs measure. Exit status is 0 only when every request got
+// a 200 and no connection was dropped.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/acmeair/LoadGen.h"
+#include "support/JsonWriter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace asyncg;
+
+int main(int argc, char **argv) {
+  acmeair::LoadConfig Cfg;
+  Cfg.TotalRequests = 1000;
+  std::string JsonPath;
+
+  for (int I = 1; I < argc; ++I) {
+    auto Num = [&](const char *Flag) -> long long {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return std::atoll(argv[++I]);
+    };
+    if (!std::strcmp(argv[I], "--port"))
+      Cfg.Port = static_cast<int>(Num("--port"));
+    else if (!std::strcmp(argv[I], "--conns"))
+      Cfg.Connections = static_cast<int>(Num("--conns"));
+    else if (!std::strcmp(argv[I], "--requests"))
+      Cfg.TotalRequests = static_cast<uint64_t>(Num("--requests"));
+    else if (!std::strcmp(argv[I], "--seed"))
+      Cfg.Seed = static_cast<uint64_t>(Num("--seed"));
+    else if (!std::strcmp(argv[I], "--json")) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "--json needs a value\n");
+        return 2;
+      }
+      JsonPath = argv[++I];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--conns N] [--requests N]"
+                   " [--seed N] [--json FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (!acmeair::wireLoadSupported()) {
+    std::fprintf(stderr, "agload: wire load needs Linux (the target server "
+                         "runs on the epoll kernel backend)\n");
+    return 2;
+  }
+
+  acmeair::LoadStats S;
+  if (!acmeair::runWireLoad(Cfg, S)) {
+    std::fprintf(stderr, "agload: no connection to 127.0.0.1:%d (is the "
+                         "server running?)\n",
+                 Cfg.Port);
+    return 1;
+  }
+
+  std::printf("agload: %d conn(s) -> 127.0.0.1:%d, %llu issued\n",
+              Cfg.Connections, Cfg.Port,
+              static_cast<unsigned long long>(S.Issued));
+  std::printf("completed %llu, errors %llu, dropped conns %llu\n",
+              static_cast<unsigned long long>(S.Completed),
+              static_cast<unsigned long long>(S.Errors),
+              static_cast<unsigned long long>(S.DroppedConns));
+  std::printf("throughput %.0f req/s over %.3f s\n", S.ReqPerSec,
+              S.WallSeconds);
+  std::printf("latency p50 %llu us, p90 %llu us, p99 %llu us\n",
+              static_cast<unsigned long long>(S.P50Us),
+              static_cast<unsigned long long>(S.P90Us),
+              static_cast<unsigned long long>(S.P99Us));
+
+  if (!JsonPath.empty()) {
+    JsonWriter W;
+    W.beginObject();
+    W.field("port", static_cast<double>(Cfg.Port));
+    W.field("conns", static_cast<double>(Cfg.Connections));
+    W.field("issued", static_cast<double>(S.Issued));
+    W.field("completed", static_cast<double>(S.Completed));
+    W.field("errors", static_cast<double>(S.Errors));
+    W.field("dropped_conns", static_cast<double>(S.DroppedConns));
+    W.field("req_per_sec", S.ReqPerSec);
+    W.field("p50_us", static_cast<double>(S.P50Us));
+    W.field("p90_us", static_cast<double>(S.P90Us));
+    W.field("p99_us", static_cast<double>(S.P99Us));
+    W.endObject();
+    std::FILE *F = std::fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "agload: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::string J = W.take();
+    J += "\n";
+    std::fwrite(J.data(), 1, J.size(), F);
+    std::fclose(F);
+  }
+
+  bool Ok = S.Completed == Cfg.TotalRequests && S.Errors == 0 &&
+            S.DroppedConns == 0;
+  return Ok ? 0 : 1;
+}

@@ -38,6 +38,7 @@
 #include "ag/AsyncPipeline.h"
 #include "cases/Case.h"
 #include "instr/TraceCodec.h"
+#include "sim/Kernel.h"
 #include "support/Format.h"
 #include "viz/Dot.h"
 #include "viz/Html.h"
@@ -58,8 +59,9 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s --list\n"
-               "       %s --case NAME [--fixed] [--nopromise] [--async]"
-               " [--retire]\n"
+               "       %s --case NAME [--kernel sim|epoll] [--fixed]"
+               " [--nopromise] [--async]\n"
+               "           [--retire]\n"
                "           [--retain-window N] [--record FILE]"
                " [--trace-version N]\n"
                "           [--sample-budget PCT] [--dot FILE]"
@@ -80,6 +82,8 @@ int main(int Argc, char **Argv) {
   std::string CaseName, DotFile, JsonFile, HtmlFile, RecordFile, ReplayFile;
   bool Fixed = false, NoPromise = false, Quiet = false, List = false;
   bool Async = false, Retire = false;
+  sim::KernelBackend Backend = sim::KernelBackend::Sim;
+  bool KernelSet = false;
   unsigned long RetainWindow = 8;
   unsigned long TraceVer = trace::TraceVersion;
   double SampleBudget = 0;
@@ -141,6 +145,17 @@ int main(int Argc, char **Argv) {
                      "(0, 100]\n");
         return 2;
       }
+    } else if (Arg == "--kernel") {
+      std::string N;
+      if (!Next(N))
+        return usage(Argv[0]);
+      if (!sim::parseKernelBackend(N, Backend)) {
+        std::fprintf(stderr,
+                     "error: --kernel expects 'sim' or 'epoll', got '%s'\n",
+                     N.c_str());
+        return 2;
+      }
+      KernelSet = true;
     } else if (Arg == "--mmap")
       Transport = instr::ReplayTransport::Mmap;
     else if (Arg == "--stdio")
@@ -174,6 +189,14 @@ int main(int Argc, char **Argv) {
   if (SampleBudget > 0 && !Async) {
     std::fprintf(stderr, "error: --sample-budget requires --async (the "
                          "budget governs the pipeline producer)\n");
+    return 2;
+  }
+  if (KernelSet && !sim::kernelBackendSupported(Backend)) {
+    std::fprintf(stderr,
+                 "error: kernel backend '%s' is not supported on this "
+                 "platform (the epoll reactor needs Linux); use --kernel "
+                 "sim\n",
+                 sim::kernelBackendName(Backend));
     return 2;
   }
 
@@ -241,7 +264,15 @@ int main(int Argc, char **Argv) {
   }
 
   // Run under a fresh runtime so we keep the graph for dumping.
-  jsrt::Runtime RT(Found->Config);
+  jsrt::RuntimeConfig RC = Found->Config;
+  if (KernelSet) {
+    RC.Backend = Backend;
+    // Case programs exchange raw discrete messages, not HTTP, so the real
+    // wire carries them length-prefixed.
+    if (Backend == sim::KernelBackend::Epoll)
+      RC.Wire = sim::WireFormat::Framed;
+  }
+  jsrt::Runtime RT(RC);
   ag::AsyncGBuilder Builder(BCfg);
   detect::DetectorSuite Detectors;
   Detectors.attachTo(Builder);

@@ -15,7 +15,12 @@
 #     report must never regress against itself — catches schema/parse
 #     drift in the compare tool and the reports together), and when
 #     --baseline DIR is given, diffs each BENCH_<name>.json against the
-#     same-named file in DIR with a 15% threshold;
+#     same-named file in DIR with a 15% threshold (wall-clock reports use
+#     bench_compare's own wall tolerance class);
+#   - runs the wire leg (Linux only, skipped with a notice elsewhere):
+#     acmeair_cluster --kernel epoll --serve across 2 SO_REUSEPORT loops,
+#     an agload burst against it, gating nonzero req/s and zero dropped
+#     connections, then a SIGTERM shutdown that must exit cleanly;
 #   - configures an ASan+UBSan build (-DASYNCG_ASAN=ON) and runs the
 #     retirement test suite plus the short soak under it: the retirement
 #     freelists recycle node/edge/adjacency storage, which is exactly the
@@ -129,6 +134,44 @@ if [ "$CHECK_MODE" = 1 ]; then
         echo "   (no baseline for $(basename "$json"), skipping)"
       fi
     done
+  fi
+
+  if [ "$(uname -s)" = "Linux" ]; then
+    echo "== [check] wire leg: AcmeAir on the epoll backend + agload burst"
+    cmake --build "$BUILD_DIR" --target acmeair_cluster agload -j >/dev/null
+    WIRE_PORT=9560
+    WIRE_JSON="$OUT_DIR/agload_burst.json"
+    "$BUILD_DIR/tools/acmeair_cluster" --kernel epoll --loops 2 --serve \
+      --port "$WIRE_PORT" >"$OUT_DIR/wire_server.log" 2>&1 &
+    WIRE_PID=$!
+    if ! "$BUILD_DIR/tools/agload" --port "$WIRE_PORT" --conns 8 \
+        --requests 2000 --json "$WIRE_JSON" >/dev/null; then
+      kill -TERM "$WIRE_PID" 2>/dev/null || true
+      echo "FAIL: agload burst against the epoll server failed"
+      exit 1
+    fi
+    kill -TERM "$WIRE_PID"
+    wait "$WIRE_PID" \
+      || { echo "FAIL: epoll server did not shut down cleanly on SIGTERM"; \
+           exit 1; }
+    python3 - "$WIRE_JSON" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["req_per_sec"] > 0, "wire leg served zero req/s"
+assert doc["dropped_conns"] == 0, \
+    f"wire leg dropped {doc['dropped_conns']} connection(s)"
+assert doc["completed"] == 2000 and doc["errors"] == 0, \
+    f"wire leg: completed={doc['completed']} errors={doc['errors']}"
+print(f"ok   wire leg: {doc['req_per_sec']:.0f} req/s, "
+      f"p99 {doc['p99_us']:.0f} us, 0 dropped")
+EOF
+    echo "== [check] wire leg OK"
+  else
+    echo "== [check] wire leg SKIPPED: the epoll kernel backend needs" \
+         "Linux (this is $(uname -s)); virtual-time legs above still ran"
   fi
 
   ASAN_DIR="$BUILD_DIR-asan"
