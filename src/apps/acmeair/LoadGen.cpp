@@ -18,6 +18,7 @@
 #ifdef __linux__
 #include <arpa/inet.h>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -189,6 +190,12 @@ bool asyncg::acmeair::runWireLoad(const LoadConfig &Cfg, LoadStats &Out) {
   std::vector<pollfd> Pfds;
   std::vector<size_t> PfdConn;
   char Buf[65536];
+  // Stall detector: a closed-loop driver that stops making progress while
+  // requests are in flight is wedged on the server (or on a desynced
+  // response stream). Dump per-connection parse state once so the hang is
+  // diagnosable, then keep waiting — the caller owns timeouts.
+  int IdlePolls = 0;
+  bool StallDumped = false;
   while (AliveCount > 0) {
     // Closed loop: every idle connection issues the next request.
     for (Conn &C : Conns) {
@@ -222,8 +229,35 @@ bool asyncg::acmeair::runWireLoad(const LoadConfig &Cfg, LoadStats &Out) {
       Pfds.push_back(P);
       PfdConn.push_back(I);
     }
-    if (::poll(Pfds.data(), Pfds.size(), 1000) < 0 && errno != EINTR)
+    int Ready = ::poll(Pfds.data(), Pfds.size(), 1000);
+    if (Ready < 0 && errno != EINTR)
       break;
+    if (Ready > 0) {
+      IdlePolls = 0;
+    } else if (++IdlePolls >= 5 && !StallDumped) {
+      StallDumped = true;
+      fprintf(stderr,
+              "wire load stalled: issued=%llu completed=%llu, no traffic "
+              "for %ds with requests in flight\n",
+              static_cast<unsigned long long>(Out.Issued),
+              static_cast<unsigned long long>(Out.Completed), IdlePolls);
+      for (size_t I = 0; I != Conns.size(); ++I) {
+        const Conn &C = Conns[I];
+        if (!C.Alive || !C.InFlight)
+          continue;
+        std::string Tail = C.In.size() > 160 ? C.In.substr(C.In.size() - 160)
+                                             : C.In;
+        for (char &Ch : Tail)
+          if (static_cast<unsigned char>(Ch) < 0x20 && Ch != '\n')
+            Ch = '.';
+        fprintf(stderr,
+                "  conn %zu fd=%d: unsent=%zu, unparsed response buffer "
+                "%zu byte(s)%s%s\n",
+                I, C.Fd, C.Out.size() - C.OutOff, C.In.size(),
+                C.In.empty() ? "" : ", tail:\n----\n",
+                C.In.empty() ? "" : (Tail + "\n----").c_str());
+      }
+    }
 
     for (size_t PI = 0; PI != Pfds.size(); ++PI) {
       Conn &C = Conns[PfdConn[PI]];

@@ -14,7 +14,7 @@
 #include "node/Cluster.h"
 
 #ifdef __linux__
-#include "sim/EpollKernel.h"
+#include "sim/RealKernel.h"
 #endif
 
 #include <algorithm>
@@ -45,9 +45,9 @@ struct ShardState {
   /// starts wire load when every SO_REUSEPORT socket is in the group).
   std::atomic<bool> Ready{false};
 #ifdef __linux__
-  /// The shard's real kernel (epoll mode only) — the harness's handle for
+  /// The shard's real kernel (wire mode only) — the harness's handle for
   /// requestStop() once the wire load completes.
-  std::atomic<sim::EpollKernel *> EK{nullptr};
+  std::atomic<sim::RealKernel *> RK{nullptr};
 #endif
   ShardResult Result;
 };
@@ -61,13 +61,14 @@ void runShard(const ClusterConfig &Cfg, sim::ClusterKernel &Kernel,
   Runtime &RT = *St.RT;
 
 #ifdef __linux__
-  if (Cfg.Backend == sim::KernelBackend::Epoll) {
-    auto *EK = static_cast<sim::EpollKernel *>(&RT.kernel());
-    St.EK.store(EK, std::memory_order_release);
-    // Cross-loop posts must reach a loop blocked in epoll_wait, where the
-    // cluster condvar cannot; wakeup() writes the kernel's eventfd.
+  if (Cfg.Backend != sim::KernelBackend::Sim) {
+    auto *RK = static_cast<sim::RealKernel *>(&RT.kernel());
+    St.RK.store(RK, std::memory_order_release);
+    // Cross-loop posts must reach a loop blocked in epoll_wait or
+    // io_uring_enter, where the cluster condvar cannot; wakeup() writes
+    // the kernel's eventfd.
     if (Cfg.Loops > 1)
-      Kernel.setWakeHook(S, [EK] { EK->wakeup(); });
+      Kernel.setWakeHook(S, [RK] { RK->wakeup(); });
   }
 #endif
 
@@ -175,6 +176,7 @@ void runShard(const ClusterConfig &Cfg, sim::ClusterKernel &Kernel,
   }
 
   St.Result.VirtualTimeUs = RT.clock().now();
+  St.Result.Sys = RT.kernel().kernelStats();
   St.Result.Served = St.App->served();
   if (St.Driver) {
     St.Result.Issued = St.Driver->issued();
@@ -209,12 +211,12 @@ asyncg::cluster::resolveWarnings(const ag::AsyncGraph &G) {
 ClusterResult ClusterHarness::run() {
   ClusterResult R;
   const uint32_t N = Config.Loops;
-  // Epoll mode serves wire traffic: every shard binds Config.Port with
-  // SO_REUSEPORT and the in-process load generator drives them from this
-  // thread. In-loop WorkloadDriver clients only exist on the sim backend —
-  // over real SO_REUSEPORT their connections would be cross-routed to
-  // sibling shards.
-  const bool WireMode = Config.Backend == sim::KernelBackend::Epoll;
+  // Real backends (epoll, uring) serve wire traffic: every shard binds
+  // Config.Port with SO_REUSEPORT and the in-process load generator drives
+  // them from this thread. In-loop WorkloadDriver clients only exist on
+  // the sim backend — over real SO_REUSEPORT their connections would be
+  // cross-routed to sibling shards.
+  const bool WireMode = Config.Backend != sim::KernelBackend::Sim;
   if (WireMode && !sim::kernelBackendSupported(Config.Backend))
     return R;
   sim::ClusterKernel Kernel(N);
@@ -283,8 +285,8 @@ ClusterResult ClusterHarness::run() {
     // Load done (or never started): stop every shard loop. requestStop is
     // sticky, so a shard that has not reached its first wait still stops.
     for (uint32_t S = 0; S != N; ++S)
-      if (sim::EpollKernel *EK = States[S].EK.load(std::memory_order_acquire))
-        EK->requestStop();
+      if (sim::RealKernel *RK = States[S].RK.load(std::memory_order_acquire))
+        RK->requestStop();
   }
 #endif
 
@@ -305,6 +307,7 @@ ClusterResult ClusterHarness::run() {
 
   for (uint32_t S = 0; S != N; ++S) {
     ShardResult &SR = States[S].Result;
+    R.Sys.merge(SR.Sys);
     R.TotalCompleted += SR.Completed;
     R.TotalErrors += SR.Errors;
     if (SR.VirtualTimeUs > R.MaxVirtualTimeUs)

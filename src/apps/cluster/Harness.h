@@ -54,17 +54,17 @@ struct ClusterConfig {
   uint32_t Loops = 1;
   /// Kernel backend for every shard loop. Sim (default) is the virtual-time
   /// run: closed-loop WorkloadDriver clients inside each loop, deterministic
-  /// results. Epoll turns the cluster into a real SO_REUSEPORT server group:
-  /// every shard binds Port, the Linux kernel balances accepts, and the
-  /// built-in wire load generator (TotalClients keep-alive connections,
-  /// TotalRequests requests) drives them from a separate thread — in-loop
-  /// drivers would have their connections cross-routed to sibling shards.
-  /// Shutdown is each shard's EpollKernel::requestStop once the load
-  /// completes; results are wall-clock, not deterministic.
+  /// results. Epoll or Uring turns the cluster into a real SO_REUSEPORT
+  /// server group: every shard binds Port, the Linux kernel balances
+  /// accepts, and the built-in wire load generator (TotalClients keep-alive
+  /// connections, TotalRequests requests) drives them from a separate
+  /// thread — in-loop drivers would have their connections cross-routed to
+  /// sibling shards. Shutdown is each shard's RealKernel::requestStop once
+  /// the load completes; results are wall-clock, not deterministic.
   sim::KernelBackend Backend = sim::KernelBackend::Sim;
-  /// TCP port every shard binds (epoll backend; also the simulated port).
+  /// TCP port every shard binds (real backends; also the simulated port).
   int Port = 9080;
-  /// Epoll backend only: skip the built-in load generator and keep serving
+  /// Real backends only: skip the built-in load generator and keep serving
   /// until ClusterHarness::stop() is called (an external driver such as
   /// tools/agload supplies the traffic).
   bool ServeOnly = false;
@@ -113,6 +113,9 @@ struct ShardResult {
   uint64_t Sent = 0;
   uint64_t Received = 0;
   sim::ClusterShardStats Kernel;
+  /// Kernel-syscall cost model for this shard's loop (zeros on the sim
+  /// backend, which never enters the OS).
+  sim::KernelStats Sys;
   /// SPSC ring backpressure (zeros when Mode is Synchronous).
   ag::BackpressureStats Backpressure;
   uint64_t PushedRecords = 0;
@@ -139,8 +142,10 @@ struct ClusterResult {
   /// Merged warnings as resolved "Category: message (file:line)" strings,
   /// sorted (symbol ids are interleaving-dependent; strings are not).
   std::vector<std::string> Warnings;
-  /// Wire-load outcome (epoll backend only; zeros on the sim backend).
+  /// Wire-load outcome (real backends only; zeros on the sim backend).
   acmeair::LoadStats Wire;
+  /// Kernel-syscall cost model summed over all shard loops.
+  sim::KernelStats Sys;
 };
 
 /// Runs the cluster. Single-shot: construct, run(), then inspect the

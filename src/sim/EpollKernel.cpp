@@ -9,7 +9,6 @@
 #include "sim/EpollKernel.h"
 
 #include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/timerfd.h>
 #include <unistd.h>
 
@@ -19,11 +18,10 @@
 using namespace asyncg;
 using namespace asyncg::sim;
 
-EpollKernel::EpollKernel(Clock &C)
-    : Kernel(C), Origin(std::chrono::steady_clock::now()) {
+EpollKernel::EpollKernel(Clock &C) : RealKernel(C) {
   EpFd = epoll_create1(EPOLL_CLOEXEC);
-  EvFd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   TimerFd = timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+  Stats.Syscalls += 2;
   if (!valid())
     return;
   epoll_event Ev{};
@@ -32,26 +30,18 @@ EpollKernel::EpollKernel(Clock &C)
   epoll_ctl(EpFd, EPOLL_CTL_ADD, EvFd, &Ev);
   Ev.data.fd = TimerFd;
   epoll_ctl(EpFd, EPOLL_CTL_ADD, TimerFd, &Ev);
+  Stats.Syscalls += 2;
 }
 
 EpollKernel::~EpollKernel() {
   if (TimerFd >= 0)
     ::close(TimerFd);
-  if (EvFd >= 0)
-    ::close(EvFd);
   if (EpFd >= 0)
     ::close(EpFd);
 }
 
-void EpollKernel::syncClock() {
-  auto El = std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() - Origin)
-                .count();
-  clock().advanceTo(static_cast<SimTime>(El));
-}
-
 bool EpollKernel::hasStagedWork() const {
-  return !Ready.empty() || HasExternal.load(std::memory_order_acquire);
+  return !Ready.empty() || hasExternalWork();
 }
 
 bool EpollKernel::hasPending() const {
@@ -80,6 +70,7 @@ bool EpollKernel::watchFd(int Fd, uint32_t Events, FdHandler H) {
   epoll_event Ev{};
   Ev.events = Events;
   Ev.data.fd = Fd;
+  ++Stats.Syscalls; // epoll_ctl ADD
   if (epoll_ctl(EpFd, EPOLL_CTL_ADD, Fd, &Ev) != 0)
     return false;
   Watches.emplace(Fd, std::move(W));
@@ -95,6 +86,7 @@ bool EpollKernel::modifyFd(int Fd, uint32_t Events) {
   epoll_event Ev{};
   Ev.events = Events;
   Ev.data.fd = Fd;
+  ++Stats.Syscalls; // epoll_ctl MOD
   if (epoll_ctl(EpFd, EPOLL_CTL_MOD, Fd, &Ev) != 0)
     return false;
   It->second->Events = Events;
@@ -106,35 +98,18 @@ void EpollKernel::unwatchFd(int Fd) {
   if (It == Watches.end())
     return;
   epoll_ctl(EpFd, EPOLL_CTL_DEL, Fd, nullptr);
+  ++Stats.Syscalls; // epoll_ctl DEL
   // Expire the watch so queued Ready entries (weak) drop out; the fd
   // number may be reused by a new connection before they are drained.
   Watches.erase(It);
-}
-
-void EpollKernel::submitExternal(std::function<void()> Action) {
-  {
-    std::lock_guard<std::mutex> Lock(ExternalMu);
-    External.push_back(std::move(Action));
-    HasExternal.store(true, std::memory_order_release);
-  }
-  wakeup();
-}
-
-void EpollKernel::requestStop() {
-  StopRequested.store(true, std::memory_order_release);
-  wakeup();
-}
-
-void EpollKernel::wakeup() {
-  uint64_t One = 1;
-  ssize_t N = ::write(EvFd, &One, sizeof(One));
-  (void)N; // EAGAIN means the counter is already nonzero: wakeup pending.
 }
 
 int EpollKernel::pollOnce(int TimeoutMs) {
   epoll_event Evs[64];
   int N;
   do {
+    ++Stats.Enters;
+    ++Stats.Syscalls; // epoll_wait
     N = epoll_wait(EpFd, Evs, 64, TimeoutMs);
   } while (N < 0 && errno == EINTR);
   if (N <= 0)
@@ -144,6 +119,7 @@ int EpollKernel::pollOnce(int TimeoutMs) {
     int Fd = Evs[I].data.fd;
     if (Fd == EvFd || Fd == TimerFd) {
       uint64_t Buf;
+      ++Stats.Syscalls; // at least one draining read
       while (::read(Fd, &Buf, sizeof(Buf)) > 0) {
       }
       continue;
@@ -152,6 +128,7 @@ int EpollKernel::pollOnce(int TimeoutMs) {
     if (It == Watches.end())
       continue;
     ++FdEvents;
+    ++Stats.Completions;
     uint32_t NewMask = Evs[I].events;
     // Merge with an already-queued entry for the same watch (level
     // triggered: the same readiness may be reported by consecutive
@@ -177,17 +154,7 @@ std::vector<std::function<void()>> EpollKernel::takeDue() {
   pollOnce(0);
 
   std::vector<std::function<void()>> Due = Kernel::takeDue();
-
-  if (HasExternal.load(std::memory_order_acquire)) {
-    std::vector<std::function<void()>> Ext;
-    {
-      std::lock_guard<std::mutex> Lock(ExternalMu);
-      Ext.swap(External);
-      HasExternal.store(false, std::memory_order_release);
-    }
-    for (auto &A : Ext)
-      Due.push_back(std::move(A));
-  }
+  drainExternalInto(Due);
 
   for (auto &[WeakW, Mask] : Ready) {
     std::weak_ptr<Watch> W = WeakW;
@@ -217,11 +184,12 @@ void EpollKernel::armTimer(SimTime Next) {
       Spec.it_value.tv_nsec = 1; // 0 disarms; the deadline is "now".
   }
   timerfd_settime(TimerFd, TFD_TIMER_ABSTIME, &Spec, nullptr);
+  ++Stats.Syscalls; // timerfd_settime
 }
 
 bool EpollKernel::waitUntil(SimTime Next) {
   syncClock();
-  bool Stopping = StopRequested.load(std::memory_order_acquire);
+  bool Stopping = stopRequested();
   if (Stopping) {
     // Graceful drain: collect readiness that already arrived (in-flight
     // FINs, final responses) so the run finishes the same work the
@@ -238,8 +206,7 @@ bool EpollKernel::waitUntil(SimTime Next) {
     // otherwise block forever). Only an external submit could produce
     // work now, and those are posted by threads that also stop the loop —
     // treat as drained.
-    std::lock_guard<std::mutex> Lock(ExternalMu);
-    if (External.empty())
+    if (externalQueueEmpty())
       return false;
     return true;
   }

@@ -5,14 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The real-traffic kernel: Linux epoll + timerfd + eventfd behind the same
-/// submit/cancel/poll/nextDeadline surface jsrt::Runtime pumps. Timed
-/// operations reuse the base class's deadline table — the difference is
-/// that the clock tracks the wall (CLOCK_MONOTONIC microseconds since
-/// kernel construction) instead of being advanced virtually, so deadlines
-/// are real. I/O readiness on watched fds is collected from epoll (level
-/// triggered) and handed to the loop's I/O phase as completion actions, the
-/// exact slot where the simulated kernel's latency-delayed deliveries run.
+/// The readiness-based real-traffic kernel: Linux epoll + timerfd + eventfd
+/// behind the same submit/cancel/poll/nextDeadline surface jsrt::Runtime
+/// pumps. Timed operations reuse the base class's deadline table — the
+/// difference is that the clock tracks the wall (CLOCK_MONOTONIC
+/// microseconds since kernel construction, via RealKernel) instead of
+/// being advanced virtually, so deadlines are real. I/O readiness on
+/// watched fds is collected from epoll (level triggered) and handed to the
+/// loop's I/O phase as completion actions, the exact slot where the
+/// simulated kernel's latency-delayed deliveries run.
 ///
 /// waitUntil() is where the loop "blocks in poll": the next timer/op
 /// deadline arms the timerfd and the thread sleeps in epoll_wait until the
@@ -22,7 +23,9 @@
 ///
 /// Loop semantics, instrumentation hooks, and the async pipeline are
 /// untouched: everything above the Kernel interface behaves identically on
-/// both backends (the StarlingMonkey swappable host-apis pattern).
+/// all backends (the StarlingMonkey swappable host-apis pattern). The
+/// completion-based sibling is UringKernel; the thread-safe wake/stop
+/// surface both share lives on RealKernel.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,20 +34,17 @@
 
 #ifdef __linux__
 
-#include "sim/Kernel.h"
+#include "sim/RealKernel.h"
 
-#include <atomic>
-#include <chrono>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 namespace asyncg {
 namespace sim {
 
-/// The epoll-backed kernel. Loop-thread only, except submitExternal() and
-/// wakeup() which are thread-safe.
-class EpollKernel final : public Kernel {
+/// The epoll-backed kernel. Loop-thread only, except the RealKernel
+/// cross-thread surface (submitExternal/wakeup/requestStop).
+class EpollKernel final : public RealKernel {
 public:
   /// Handler invoked with the ready EPOLL* event mask. Runs in the loop's
   /// I/O phase (a kernel completion action).
@@ -54,9 +54,9 @@ public:
   ~EpollKernel() override;
 
   /// False when epoll/timerfd/eventfd creation failed at construction.
-  bool valid() const { return EpFd >= 0 && EvFd >= 0 && TimerFd >= 0; }
-
-  bool isRealTime() const override { return true; }
+  bool valid() const override {
+    return EpFd >= 0 && EvFd >= 0 && TimerFd >= 0;
+  }
 
   /// \name Kernel surface (timed ops inherit the base deadline table)
   /// @{
@@ -82,29 +82,6 @@ public:
   size_t watchedFds() const { return Watches.size(); }
   /// @}
 
-  /// Queues \p Action to run on the loop thread's next I/O phase and wakes
-  /// a blocked waitUntil(). Thread-safe — the only sanctioned way to talk
-  /// to a serving loop from outside (e.g. cluster shutdown).
-  void submitExternal(std::function<void()> Action);
-
-  /// Wakes a blocked waitUntil() without queueing work (the cluster port
-  /// uses this when posting cross-loop messages). Thread-safe.
-  void wakeup();
-
-  /// Asks the loop to stop serving: the next idle waitUntil() returns
-  /// false, so Runtime::runLoop drains exactly as it does when a simulated
-  /// run has no pending work left — no extra events, no extra ticks.
-  /// Thread-safe; sticky for the kernel's lifetime.
-  void requestStop();
-
-  bool stopRequested() const {
-    return StopRequested.load(std::memory_order_acquire);
-  }
-
-  /// Advances the shared clock to CLOCK_MONOTONIC microseconds elapsed
-  /// since construction (never backwards).
-  void syncClock();
-
 private:
   struct Watch {
     int Fd = -1;
@@ -119,18 +96,11 @@ private:
   bool hasStagedWork() const;
 
   int EpFd = -1;
-  int EvFd = -1;
   int TimerFd = -1;
-  std::chrono::steady_clock::time_point Origin;
 
   std::unordered_map<int, std::shared_ptr<Watch>> Watches;
   /// Readiness collected but not yet handed to the loop: (watch, events).
   std::vector<std::pair<std::weak_ptr<Watch>, uint32_t>> Ready;
-
-  std::mutex ExternalMu;
-  std::vector<std::function<void()>> External;
-  std::atomic<bool> HasExternal{false};
-  std::atomic<bool> StopRequested{false};
 };
 
 } // namespace sim

@@ -33,6 +33,7 @@ EpollSocket::~EpollSocket() {
   if (Fd >= 0) {
     EK.unwatchFd(Fd);
     ::close(Fd);
+    EK.noteSyscalls(1);
   }
 }
 
@@ -62,6 +63,7 @@ void EpollSocket::end() {
     return;
   }
   ::shutdown(Fd, SHUT_WR);
+  EK.noteSyscalls(1);
   if (SawEof)
     teardown(/*Reset=*/false);
 }
@@ -98,6 +100,7 @@ void EpollSocket::onReadable() {
       std::static_pointer_cast<EpollSocket>(shared_from_this());
   for (;;) {
     ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    EK.noteSyscalls(1);
     if (N > 0) {
       std::vector<std::string> Msgs;
       if (!Codec->ingest(Buf, static_cast<size_t>(N), Msgs)) {
@@ -146,6 +149,7 @@ bool EpollSocket::flushOut() {
   while (OutOff < Out.size()) {
     ssize_t N =
         ::send(Fd, Out.data() + OutOff, Out.size() - OutOff, MSG_NOSIGNAL);
+    EK.noteSyscalls(1);
     if (N > 0) {
       OutOff += static_cast<size_t>(N);
       continue;
@@ -165,6 +169,7 @@ bool EpollSocket::flushOut() {
   if (EndAfterFlush) {
     EndAfterFlush = false;
     ::shutdown(Fd, SHUT_WR);
+    EK.noteSyscalls(1);
     if (SawEof)
       teardown(/*Reset=*/false);
   }
@@ -201,9 +206,11 @@ void EpollSocket::teardown(bool Reset) {
     // Abortive close: RST the peer, like sim destroy() closing both ends.
     linger L{1, 0};
     setsockopt(Fd, SOL_SOCKET, SO_LINGER, &L, sizeof(L));
+    EK.noteSyscalls(1);
   }
   EK.unwatchFd(Fd);
   ::close(Fd);
+  EK.noteSyscalls(1);
   Fd = -1;
   Interest = 0;
   Out.clear();
@@ -278,6 +285,7 @@ bool EpollNetwork::listenWithBacklog(int Port, AcceptHandler OnAccept,
   // accept-balances across the listening fds (one per loop).
   setsockopt(Fd, SOL_SOCKET, SO_REUSEPORT, &One, sizeof(One));
   sockaddr_in Addr = loopbackAddr(Port);
+  EK.noteSyscalls(5); // socket + 2x setsockopt + bind + listen
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
       ::listen(Fd, Backlog > 0 ? Backlog : DefaultBacklog) != 0) {
     ::close(Fd);
@@ -298,6 +306,7 @@ void EpollNetwork::onAcceptable(int ListenFd, const AcceptHandler &OnAccept) {
   for (;;) {
     int Fd = ::accept4(ListenFd, nullptr, nullptr,
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
+    EK.noteSyscalls(1);
     if (Fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
         return;
@@ -307,6 +316,7 @@ void EpollNetwork::onAcceptable(int ListenFd, const AcceptHandler &OnAccept) {
     }
     int One = 1;
     setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    EK.noteSyscalls(1);
     ++Accepted;
     auto Sock = adopt(Fd, /*ServerRole=*/true);
     if (OnAccept)
@@ -348,6 +358,7 @@ bool EpollNetwork::connect(int Port, ConnectHandler OnConnect) {
   int One = 1;
   setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
   sockaddr_in Addr = loopbackAddr(Port);
+  EK.noteSyscalls(3); // socket + setsockopt + connect
   int Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
   if (Rc != 0 && errno != EINPROGRESS) {
     ::close(Fd);
@@ -369,6 +380,7 @@ bool EpollNetwork::connect(int Port, ConnectHandler OnConnect) {
     int Err = 0;
     socklen_t Len = sizeof(Err);
     getsockopt(S->Fd, SOL_SOCKET, SO_ERROR, &Err, &Len);
+    S->EK.noteSyscalls(1);
     if (Err != 0 || (Events & (EPOLLERR | EPOLLHUP))) {
       // Refused: the op vanishes and the socket delivers close — real
       // backends cannot report refusal synchronously like the sim does.

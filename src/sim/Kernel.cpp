@@ -6,6 +6,10 @@
 
 #include "sim/Kernel.h"
 
+#ifdef __linux__
+#include "sim/UringKernel.h"
+#endif
+
 #include <cassert>
 
 using namespace asyncg;
@@ -16,6 +20,7 @@ bool asyncg::sim::kernelBackendSupported(KernelBackend B) {
   case KernelBackend::Sim:
     return true;
   case KernelBackend::Epoll:
+  case KernelBackend::Uring:
 #ifdef __linux__
     return true;
 #else
@@ -25,12 +30,77 @@ bool asyncg::sim::kernelBackendSupported(KernelBackend B) {
   return false;
 }
 
+bool asyncg::sim::kernelBackendAvailable(KernelBackend B,
+                                         std::string *Reason) {
+  switch (B) {
+  case KernelBackend::Sim:
+    if (Reason)
+      *Reason = "sim: always available (deterministic virtual time)";
+    return true;
+  case KernelBackend::Epoll:
+#ifdef __linux__
+    if (Reason)
+      *Reason = "epoll: available (Linux build)";
+    return true;
+#else
+    if (Reason)
+      *Reason = "epoll: unavailable (the epoll reactor needs a Linux build)";
+    return false;
+#endif
+  case KernelBackend::Uring: {
+#ifdef __linux__
+    UringCaps Caps = probeUringCaps();
+    if (Reason)
+      *Reason = Caps.Reason;
+    return Caps.Available;
+#else
+    if (Reason)
+      *Reason = "uring: unavailable (io_uring needs a Linux build)";
+    return false;
+#endif
+  }
+  }
+  return false;
+}
+
+KernelBackend asyncg::sim::resolveAutoKernelBackend(std::string *Reason) {
+  std::string Why;
+  if (kernelBackendAvailable(KernelBackend::Uring, &Why)) {
+    if (Reason)
+      *Reason = "selected uring — " + Why;
+    return KernelBackend::Uring;
+  }
+  std::string Rejected = Why;
+  if (kernelBackendAvailable(KernelBackend::Epoll, &Why)) {
+    if (Reason)
+      *Reason = "selected epoll (fallback: " + Rejected + ")";
+    return KernelBackend::Epoll;
+  }
+  if (Reason)
+    *Reason = "selected sim (fallback: " + Rejected + "; " + Why + ")";
+  return KernelBackend::Sim;
+}
+
+std::string asyncg::sim::availableKernelBackendNames() {
+  std::string Out;
+  for (KernelBackend B :
+       {KernelBackend::Sim, KernelBackend::Epoll, KernelBackend::Uring})
+    if (kernelBackendAvailable(B)) {
+      if (!Out.empty())
+        Out += ", ";
+      Out += kernelBackendName(B);
+    }
+  return Out;
+}
+
 const char *asyncg::sim::kernelBackendName(KernelBackend B) {
   switch (B) {
   case KernelBackend::Sim:
     return "sim";
   case KernelBackend::Epoll:
     return "epoll";
+  case KernelBackend::Uring:
+    return "uring";
   }
   return "?";
 }
@@ -43,6 +113,10 @@ bool asyncg::sim::parseKernelBackend(const std::string &Name,
   }
   if (Name == "epoll") {
     Out = KernelBackend::Epoll;
+    return true;
+  }
+  if (Name == "uring") {
+    Out = KernelBackend::Uring;
     return true;
   }
   return false;

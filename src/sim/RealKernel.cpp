@@ -1,0 +1,82 @@
+//===- RealKernel.cpp - Shared base of the real-time kernel backends ----------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#ifdef __linux__
+
+#include "sim/RealKernel.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+using namespace asyncg;
+using namespace asyncg::sim;
+
+RealKernel::RealKernel(Clock &C)
+    : Kernel(C), Origin(std::chrono::steady_clock::now()) {
+  EvFd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  ++Stats.Syscalls; // eventfd()
+}
+
+RealKernel::~RealKernel() {
+  if (EvFd >= 0)
+    ::close(EvFd);
+}
+
+void RealKernel::syncClock() {
+  auto El = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - Origin)
+                .count();
+  clock().advanceTo(static_cast<SimTime>(El));
+}
+
+void RealKernel::submitExternal(std::function<void()> Action) {
+  {
+    std::lock_guard<std::mutex> Lock(ExternalMu);
+    External.push_back(std::move(Action));
+    HasExternal.store(true, std::memory_order_release);
+  }
+  wakeup();
+}
+
+void RealKernel::requestStop() {
+  StopRequested.store(true, std::memory_order_release);
+  wakeup();
+}
+
+void RealKernel::wakeup() {
+  uint64_t One = 1;
+  ssize_t N = ::write(EvFd, &One, sizeof(One));
+  (void)N; // EAGAIN means the counter is already nonzero: wakeup pending.
+  WakeupCalls.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RealKernel::drainExternalInto(std::vector<std::function<void()>> &Due) {
+  if (!hasExternalWork())
+    return;
+  std::vector<std::function<void()>> Ext;
+  {
+    std::lock_guard<std::mutex> Lock(ExternalMu);
+    Ext.swap(External);
+    HasExternal.store(false, std::memory_order_release);
+  }
+  for (auto &A : Ext)
+    Due.push_back(std::move(A));
+}
+
+bool RealKernel::externalQueueEmpty() const {
+  std::lock_guard<std::mutex> Lock(ExternalMu);
+  return External.empty();
+}
+
+KernelStats RealKernel::kernelStats() const {
+  KernelStats Out = Stats;
+  uint64_t Wakes = WakeupCalls.load(std::memory_order_relaxed);
+  Out.Wakeups = Wakes;
+  Out.Syscalls += Wakes; // each wakeup() is one eventfd write(2)
+  return Out;
+}
+
+#endif // __linux__

@@ -1,0 +1,116 @@
+//===- RealKernel.h - Shared base of the real-time kernel backends -*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machinery every wall-clock kernel backend (epoll, io_uring) shares,
+/// factored out of EpollKernel when the uring backend arrived:
+///
+///  - the wall clock: SimTime is CLOCK_MONOTONIC microseconds since kernel
+///    construction, pushed into the runtime's shared Clock by syncClock();
+///  - the cross-thread surface: submitExternal() queues loop-thread work
+///    from other threads, wakeup() nudges a blocked wait through an
+///    eventfd, requestStop() asks the serving loop to drain and exit —
+///    all sticky/thread-safe under the same contract EpollKernel
+///    documented in PR 6;
+///  - the kernel-syscall cost model (KernelStats): subclasses count every
+///    syscall they issue so benches can report syscalls/request per
+///    backend.
+///
+/// How the eventfd is *watched* is the subclass's business: EpollKernel
+/// registers it with the epoll set, UringKernel keeps a multishot poll SQE
+/// armed on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SIM_REALKERNEL_H
+#define ASYNCG_SIM_REALKERNEL_H
+
+#ifdef __linux__
+
+#include "sim/Kernel.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace asyncg {
+namespace sim {
+
+/// Base of EpollKernel and UringKernel. Loop-thread only, except
+/// submitExternal(), wakeup(), requestStop(), and stopRequested().
+class RealKernel : public Kernel {
+public:
+  ~RealKernel() override;
+
+  bool isRealTime() const override { return true; }
+
+  /// False when a required fd/ring could not be created at construction.
+  virtual bool valid() const { return EvFd >= 0; }
+
+  /// Queues \p Action to run on the loop thread's next I/O phase and wakes
+  /// a blocked waitUntil(). Thread-safe — the only sanctioned way to talk
+  /// to a serving loop from outside (e.g. cluster shutdown).
+  void submitExternal(std::function<void()> Action);
+
+  /// Wakes a blocked waitUntil() without queueing work (the cluster port
+  /// uses this when posting cross-loop messages). Thread-safe.
+  void wakeup();
+
+  /// Asks the loop to stop serving: the next idle waitUntil() returns
+  /// false, so Runtime::runLoop drains exactly as it does when a simulated
+  /// run has no pending work left — no extra events, no extra ticks.
+  /// Thread-safe; sticky for the kernel's lifetime.
+  void requestStop();
+
+  bool stopRequested() const {
+    return StopRequested.load(std::memory_order_acquire);
+  }
+
+  /// Advances the shared clock to CLOCK_MONOTONIC microseconds elapsed
+  /// since construction (never backwards).
+  void syncClock();
+
+  KernelStats kernelStats() const override;
+
+  /// Counts \p N syscalls issued outside the kernel itself (the network
+  /// backend's socket/recv/send/accept calls flow through here).
+  void noteSyscalls(uint64_t N) { Stats.Syscalls += N; }
+
+protected:
+  explicit RealKernel(Clock &C);
+
+  /// True when externally submitted work is queued (acquire).
+  bool hasExternalWork() const {
+    return HasExternal.load(std::memory_order_acquire);
+  }
+
+  /// Moves queued external actions onto the back of \p Due.
+  void drainExternalInto(std::vector<std::function<void()>> &Due);
+
+  /// Locked emptiness check for the idle-exit decision in waitUntil().
+  bool externalQueueEmpty() const;
+
+  int EvFd = -1;
+  std::chrono::steady_clock::time_point Origin;
+
+  /// Syscall cost model. Subclasses bump these on the loop thread; the
+  /// cross-thread wake path counts through WakeupSyscalls below.
+  KernelStats Stats;
+
+private:
+  mutable std::mutex ExternalMu;
+  std::vector<std::function<void()>> External;
+  std::atomic<bool> HasExternal{false};
+  std::atomic<bool> StopRequested{false};
+  /// wakeup() runs on foreign threads; folded into Stats on read.
+  std::atomic<uint64_t> WakeupCalls{0};
+};
+
+} // namespace sim
+} // namespace asyncg
+
+#endif // __linux__
+#endif // ASYNCG_SIM_REALKERNEL_H

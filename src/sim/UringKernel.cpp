@@ -1,0 +1,737 @@
+//===- UringKernel.cpp - Raw io_uring completion kernel backend ---------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#ifdef __linux__
+
+#include "sim/UringKernel.h"
+
+#include <linux/io_uring.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+// Flag macros that only newer kernel headers define. The values are ABI
+// (uapi) constants; defining them locally lets the binary build against
+// older headers and fall back at runtime when the running kernel rejects
+// them with -EINVAL.
+#ifndef IORING_ACCEPT_MULTISHOT
+#define IORING_ACCEPT_MULTISHOT (1U << 0)
+#endif
+#ifndef IORING_POLL_ADD_MULTI
+#define IORING_POLL_ADD_MULTI (1U << 0)
+#endif
+#ifndef IORING_CQE_F_BUFFER
+#define IORING_CQE_F_BUFFER (1U << 0)
+#endif
+#ifndef IORING_CQE_F_MORE
+#define IORING_CQE_F_MORE (1U << 1)
+#endif
+#ifndef IORING_CQE_BUFFER_SHIFT
+#define IORING_CQE_BUFFER_SHIFT 16
+#endif
+#ifndef IORING_FEAT_SINGLE_MMAP
+#define IORING_FEAT_SINGLE_MMAP (1U << 0)
+#endif
+#ifndef IOSQE_BUFFER_SELECT
+#define IOSQE_BUFFER_SELECT (1U << 5)
+#endif
+
+using namespace asyncg;
+using namespace asyncg::sim;
+
+//===----------------------------------------------------------------------===//
+// Raw syscall wrappers (no liburing)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int sysUringSetup(unsigned Entries, io_uring_params *P) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, Entries, P));
+}
+
+int sysUringEnter(int Fd, unsigned ToSubmit, unsigned MinComplete,
+                  unsigned Flags) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, Fd, ToSubmit,
+                                  MinComplete, Flags, nullptr, 0));
+}
+
+int sysUringRegister(int Fd, unsigned Op, void *Arg, unsigned NrArgs) {
+  return static_cast<int>(syscall(__NR_io_uring_register, Fd, Op, Arg,
+                                  NrArgs));
+}
+
+UringCaps probeNow() {
+  UringCaps C;
+  if (const char *Env = std::getenv("ASYNCG_DISABLE_URING"))
+    if (*Env && std::strcmp(Env, "0") != 0) {
+      C.Reason = "uring: disabled (ASYNCG_DISABLE_URING set)";
+      return C;
+    }
+  io_uring_params P{};
+  int Fd = sysUringSetup(4, &P);
+  if (Fd < 0) {
+    C.Reason = std::string("uring: unavailable (io_uring_setup failed: ") +
+               std::strerror(errno) +
+               " — seccomp/sysctl may forbid io_uring here)";
+    return C;
+  }
+  // Which opcodes does the running kernel implement? IORING_REGISTER_PROBE
+  // reports per-op support; kernels too old to have the register op are
+  // also too old for the ops this backend needs.
+  constexpr unsigned MaxOps = 256;
+  std::vector<char> Buf(sizeof(io_uring_probe) +
+                            MaxOps * sizeof(io_uring_probe_op),
+                        0);
+  auto *Probe = reinterpret_cast<io_uring_probe *>(Buf.data());
+  if (sysUringRegister(Fd, IORING_REGISTER_PROBE, Probe, MaxOps) != 0) {
+    ::close(Fd);
+    C.Reason = "uring: unavailable (kernel predates IORING_REGISTER_PROBE)";
+    return C;
+  }
+  ::close(Fd);
+  auto Supported = [&](unsigned Op) {
+    return Op <= Probe->last_op &&
+           (Probe->ops[Op].flags & IO_URING_OP_SUPPORTED);
+  };
+  struct Req {
+    unsigned Op;
+    const char *Name;
+  };
+  const Req Required[] = {
+      {IORING_OP_ACCEPT, "accept"},
+      {IORING_OP_RECV, "recv"},
+      {IORING_OP_SEND, "send"},
+      {IORING_OP_CONNECT, "connect"},
+      {IORING_OP_POLL_ADD, "poll"},
+      {IORING_OP_TIMEOUT, "timeout"},
+      {IORING_OP_TIMEOUT_REMOVE, "timeout-remove"},
+      {IORING_OP_ASYNC_CANCEL, "async-cancel"},
+  };
+  for (const Req &R : Required)
+    if (!Supported(R.Op)) {
+      C.Reason = std::string("uring: unavailable (kernel lacks IORING_OP_") +
+                 R.Name + ")";
+      return C;
+    }
+  C.ProvideBuffers = Supported(IORING_OP_PROVIDE_BUFFERS);
+  C.Available = true;
+  C.Reason = C.ProvideBuffers
+                 ? "uring: available (all ops probed, provided-buffer recv)"
+                 : "uring: available (classic recv — kernel lacks "
+                   "IORING_OP_PROVIDE_BUFFERS)";
+  return C;
+}
+
+} // namespace
+
+UringCaps asyncg::sim::probeUringCaps() {
+  // Kernel capabilities don't change mid-process; probe once.
+  static const UringCaps Cached = probeNow();
+  return Cached;
+}
+
+//===----------------------------------------------------------------------===//
+// Ring setup / teardown
+//===----------------------------------------------------------------------===//
+
+UringKernel::UringKernel(Clock &C) : RealKernel(C) {
+  UringCaps Caps = probeUringCaps();
+  if (!Caps.Available || EvFd < 0)
+    return;
+
+  io_uring_params P{};
+  RingFd = sysUringSetup(256, &P);
+  ++Stats.Syscalls;
+  if (RingFd < 0)
+    return;
+
+  SqRingSz = P.sq_off.array + P.sq_entries * sizeof(unsigned);
+  CqRingSz = P.cq_off.cqes + P.cq_entries * sizeof(io_uring_cqe);
+  SingleMmap = (P.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (SingleMmap)
+    SqRingSz = CqRingSz = std::max(SqRingSz, CqRingSz);
+
+  SqRing = ::mmap(nullptr, SqRingSz, PROT_READ | PROT_WRITE,
+                  MAP_SHARED | MAP_POPULATE, RingFd, IORING_OFF_SQ_RING);
+  ++Stats.Syscalls;
+  if (SqRing == MAP_FAILED) {
+    SqRing = nullptr;
+    return;
+  }
+  if (SingleMmap) {
+    CqRing = SqRing;
+  } else {
+    CqRing = ::mmap(nullptr, CqRingSz, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, RingFd, IORING_OFF_CQ_RING);
+    ++Stats.Syscalls;
+    if (CqRing == MAP_FAILED) {
+      CqRing = nullptr;
+      return;
+    }
+  }
+  SqesSz = P.sq_entries * sizeof(io_uring_sqe);
+  void *SqesMap = ::mmap(nullptr, SqesSz, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_POPULATE, RingFd, IORING_OFF_SQES);
+  ++Stats.Syscalls;
+  if (SqesMap == MAP_FAILED)
+    return;
+  Sqes = static_cast<io_uring_sqe *>(SqesMap);
+
+  auto *SqBase = static_cast<char *>(SqRing);
+  SqHead = reinterpret_cast<unsigned *>(SqBase + P.sq_off.head);
+  SqTail = reinterpret_cast<unsigned *>(SqBase + P.sq_off.tail);
+  SqMask = *reinterpret_cast<unsigned *>(SqBase + P.sq_off.ring_mask);
+  SqArray = reinterpret_cast<unsigned *>(SqBase + P.sq_off.array);
+  SqEntries = P.sq_entries;
+  SqTailLocal = *SqTail;
+  // Identity map once: slot i of the SQ array always points at SQE i.
+  for (unsigned I = 0; I != SqEntries; ++I)
+    SqArray[I] = I;
+
+  auto *CqBase = static_cast<char *>(CqRing);
+  CqHead = reinterpret_cast<unsigned *>(CqBase + P.cq_off.head);
+  CqTail = reinterpret_cast<unsigned *>(CqBase + P.cq_off.tail);
+  CqMask = *reinterpret_cast<unsigned *>(CqBase + P.cq_off.ring_mask);
+  Cqes = reinterpret_cast<io_uring_cqe *>(CqBase + P.cq_off.cqes);
+
+  // Provided-buffer pool: recv SQEs carry no buffer; the kernel picks a
+  // free one at completion time and reports its id in cqe->flags.
+  if (Caps.ProvideBuffers) {
+    Pool.assign(static_cast<size_t>(NumBufs) * BufSize, '\0');
+    UseBufRing = true;
+    PendingIo *Io = newIo(IoKind::ProvideBuf, -1);
+    if (io_uring_sqe *S = getSqe()) {
+      S->opcode = IORING_OP_PROVIDE_BUFFERS;
+      S->fd = NumBufs;
+      S->addr = reinterpret_cast<uint64_t>(Pool.data());
+      S->len = BufSize;
+      S->off = 0;
+      S->buf_group = 0;
+      S->user_data = Io->Token;
+    }
+    // Must know the verdict before the first stageRecv: a failed provide
+    // (-EINVAL on a kernel that lies in the probe) flips UseBufRing off in
+    // handleCqe and recvs fall back to owned buffers.
+    enterAndReap(1);
+  }
+
+  writeEvPoll();
+  Armed = true;
+}
+
+UringKernel::~UringKernel() {
+  ShuttingDown = true;
+  Completions.clear(); // never run; may capture `this`
+  if (RingFd >= 0 && Armed) {
+    // Cancel everything still in flight and drain the CQ so no kernel op
+    // completes into memory we are about to free (send chunks, the
+    // provided-buffer pool, timeout timespecs all live in Table entries
+    // or members).
+    armDeadline(NoDeadline);
+    std::vector<uint64_t> Tokens;
+    Tokens.reserve(Table.size());
+    for (auto &[T, Io] : Table)
+      if (!Io->Cancelled && Io->Kind != IoKind::Cancel &&
+          Io->Kind != IoKind::TimeoutRemove && Io->Kind != IoKind::ProvideBuf)
+        Tokens.push_back(T);
+    for (uint64_t T : Tokens)
+      cancelIo(T);
+    // ProvideBuf/Cancel/TimeoutRemove entries complete on their own; every
+    // cancelled op completes with -ECANCELED (or its late real result).
+    for (int I = 0; I != 1024 && !Table.empty(); ++I) {
+      enterAndReap(1);
+      Completions.clear();
+    }
+    if (!Table.empty()) {
+      // Pathological (a cancel that never completed): leak the entries and
+      // the pool rather than free memory the kernel may still write into.
+      for (auto &[T, Io] : Table) {
+        (void)T;
+        Io.release();
+      }
+      new std::string(std::move(Pool));
+    }
+  }
+  if (Sqes)
+    ::munmap(Sqes, SqesSz);
+  if (CqRing && !SingleMmap)
+    ::munmap(CqRing, CqRingSz);
+  if (SqRing)
+    ::munmap(SqRing, SqRingSz);
+  if (RingFd >= 0)
+    ::close(RingFd);
+}
+
+//===----------------------------------------------------------------------===//
+// SQE staging
+//===----------------------------------------------------------------------===//
+
+io_uring_sqe *UringKernel::getSqe() {
+  unsigned Head = __atomic_load_n(SqHead, __ATOMIC_ACQUIRE);
+  if (SqTailLocal - Head >= SqEntries) {
+    // Ring full mid-turn: flush now (the one case staging costs a syscall).
+    enterAndReap(0);
+    Head = __atomic_load_n(SqHead, __ATOMIC_ACQUIRE);
+    if (SqTailLocal - Head >= SqEntries) {
+      // Wedged ring (enter persistently failing). Scribble on a dummy so
+      // callers stay crash-free; the op will simply never complete.
+      static io_uring_sqe Dummy;
+      std::memset(&Dummy, 0, sizeof(Dummy));
+      return &Dummy;
+    }
+  }
+  io_uring_sqe *S = &Sqes[SqTailLocal & SqMask];
+  std::memset(S, 0, sizeof(*S));
+  ++SqTailLocal;
+  ++ToSubmit;
+  return S;
+}
+
+UringKernel::PendingIo *UringKernel::newIo(IoKind Kind, int Fd) {
+  auto Io = std::make_unique<PendingIo>();
+  Io->Token = NextToken++;
+  Io->Kind = Kind;
+  Io->Fd = Fd;
+  PendingIo *Raw = Io.get();
+  Table.emplace(Raw->Token, std::move(Io));
+  if (Kind == IoKind::Accept || Kind == IoKind::Recv ||
+      Kind == IoKind::Send || Kind == IoKind::Connect)
+    ++IoOps;
+  return Raw;
+}
+
+void UringKernel::finishIo(PendingIo *Io) {
+  if (Io->Kind == IoKind::Accept || Io->Kind == IoKind::Recv ||
+      Io->Kind == IoKind::Send || Io->Kind == IoKind::Connect) {
+    if (IoOps > 0)
+      --IoOps;
+  }
+  Table.erase(Io->Token);
+}
+
+void UringKernel::writeAccept(PendingIo &Io, bool Multishot) {
+  io_uring_sqe *S = getSqe();
+  S->opcode = IORING_OP_ACCEPT;
+  S->fd = Io.Fd;
+  S->accept_flags = SOCK_NONBLOCK | SOCK_CLOEXEC;
+  if (Multishot)
+    S->ioprio = IORING_ACCEPT_MULTISHOT;
+  S->user_data = Io.Token;
+}
+
+uint64_t UringKernel::stageAccept(int ListenFd, AcceptFn H) {
+  PendingIo *Io = newIo(IoKind::Accept, ListenFd);
+  Io->OnAccept = std::move(H);
+  writeAccept(*Io, MultishotAcceptOk);
+  return Io->Token;
+}
+
+void UringKernel::writeRecv(PendingIo &Io) {
+  io_uring_sqe *S = getSqe();
+  S->opcode = IORING_OP_RECV;
+  S->fd = Io.Fd;
+  if (UseBufRing) {
+    S->flags |= IOSQE_BUFFER_SELECT;
+    S->buf_group = 0;
+    S->len = BufSize;
+  } else {
+    if (Io.Buf.size() != BufSize)
+      Io.Buf.resize(BufSize);
+    S->addr = reinterpret_cast<uint64_t>(Io.Buf.data());
+    S->len = BufSize;
+  }
+  S->user_data = Io.Token;
+}
+
+uint64_t UringKernel::stageRecv(int Fd, RecvFn H) {
+  PendingIo *Io = newIo(IoKind::Recv, Fd);
+  Io->OnRecv = std::move(H);
+  writeRecv(*Io);
+  return Io->Token;
+}
+
+uint64_t UringKernel::stageSend(int Fd, std::string Chunk, size_t Off,
+                                SendFn H) {
+  PendingIo *Io = newIo(IoKind::Send, Fd);
+  Io->OnSend = std::move(H);
+  Io->Buf = std::move(Chunk);
+  Io->Off = Off;
+  io_uring_sqe *S = getSqe();
+  S->opcode = IORING_OP_SEND;
+  S->fd = Fd;
+  S->addr = reinterpret_cast<uint64_t>(Io->Buf.data() + Io->Off);
+  S->len = static_cast<unsigned>(Io->Buf.size() - Io->Off);
+  S->msg_flags = MSG_NOSIGNAL;
+  S->user_data = Io->Token;
+  return Io->Token;
+}
+
+uint64_t UringKernel::stageConnect(int Fd, const sockaddr_in &Addr,
+                                   ConnectFn H) {
+  PendingIo *Io = newIo(IoKind::Connect, Fd);
+  Io->OnConnect = std::move(H);
+  Io->Addr = Addr;
+  io_uring_sqe *S = getSqe();
+  S->opcode = IORING_OP_CONNECT;
+  S->fd = Fd;
+  S->addr = reinterpret_cast<uint64_t>(&Io->Addr);
+  S->off = sizeof(Io->Addr);
+  S->user_data = Io->Token;
+  return Io->Token;
+}
+
+void UringKernel::cancelIo(uint64_t Token) {
+  auto It = Table.find(Token);
+  if (It == Table.end())
+    return;
+  PendingIo *Io = It->second.get();
+  if (Io->Cancelled)
+    return;
+  Io->Cancelled = true;
+  // Drop the handlers now: they may pin a socket the owner is tearing
+  // down. The entry itself (owning any in-flight buffer) stays until the
+  // CQE arrives — that is the cancellation-vs-buffer-ownership contract.
+  Io->OnAccept = nullptr;
+  Io->OnRecv = nullptr;
+  Io->OnSend = nullptr;
+  Io->OnConnect = nullptr;
+  PendingIo *Cn = newIo(IoKind::Cancel, -1);
+  io_uring_sqe *S = getSqe();
+  S->opcode = IORING_OP_ASYNC_CANCEL;
+  S->addr = Token;
+  S->user_data = Cn->Token;
+}
+
+void UringKernel::writeEvPoll() {
+  PendingIo *Io = newIo(IoKind::EvPoll, EvFd);
+  io_uring_sqe *S = getSqe();
+  S->opcode = IORING_OP_POLL_ADD;
+  S->fd = EvFd;
+  S->poll32_events = POLLIN;
+  if (MultishotPollOk)
+    S->len = IORING_POLL_ADD_MULTI;
+  S->user_data = Io->Token;
+}
+
+void UringKernel::provideBuffer(unsigned Bid) {
+  if (Pool.empty())
+    return;
+  PendingIo *Io = newIo(IoKind::ProvideBuf, -1);
+  io_uring_sqe *S = getSqe();
+  S->opcode = IORING_OP_PROVIDE_BUFFERS;
+  S->fd = 1; // one buffer
+  S->addr = reinterpret_cast<uint64_t>(Pool.data() +
+                                       static_cast<size_t>(Bid) * BufSize);
+  S->len = BufSize;
+  S->off = Bid;
+  S->buf_group = 0;
+  S->user_data = Io->Token;
+}
+
+void UringKernel::armDeadline(SimTime Next) {
+  if (DeadlineToken != 0 && DeadlineArmed == Next)
+    return;
+  if (DeadlineToken != 0) {
+    PendingIo *Rm = newIo(IoKind::TimeoutRemove, -1);
+    io_uring_sqe *S = getSqe();
+    S->opcode = IORING_OP_TIMEOUT_REMOVE;
+    S->addr = DeadlineToken;
+    S->user_data = Rm->Token;
+    DeadlineToken = 0;
+    DeadlineArmed = NoDeadline;
+  }
+  if (Next == NoDeadline)
+    return;
+  PendingIo *Io = newIo(IoKind::Timeout, -1);
+  // Origin + Next is an absolute CLOCK_MONOTONIC point (steady_clock is
+  // CLOCK_MONOTONIC on Linux) — the exact math the epoll backend feeds
+  // its timerfd, expressed as an IORING_TIMEOUT_ABS SQE.
+  auto Abs = Origin + std::chrono::microseconds(Next);
+  int64_t Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Abs.time_since_epoch())
+                   .count();
+  Io->Ts.tv_sec = Ns / 1000000000;
+  Io->Ts.tv_nsec = Ns % 1000000000;
+  io_uring_sqe *S = getSqe();
+  S->opcode = IORING_OP_TIMEOUT;
+  S->addr = reinterpret_cast<uint64_t>(&Io->Ts);
+  S->len = 1;
+  S->timeout_flags = IORING_TIMEOUT_ABS;
+  S->user_data = Io->Token;
+  DeadlineToken = Io->Token;
+  DeadlineArmed = Next;
+}
+
+//===----------------------------------------------------------------------===//
+// Submission + completion reaping
+//===----------------------------------------------------------------------===//
+
+unsigned UringKernel::enterAndReap(unsigned MinComplete) {
+  __atomic_store_n(SqTail, SqTailLocal, __ATOMIC_RELEASE);
+  unsigned Submitting = ToSubmit;
+  unsigned Flags = MinComplete ? IORING_ENTER_GETEVENTS : 0;
+  int Ret;
+  do {
+    ++Stats.Enters;
+    ++Stats.Syscalls;
+    Ret = sysUringEnter(RingFd, Submitting, MinComplete, Flags);
+  } while (Ret < 0 && errno == EINTR);
+  if (Submitting && Ret > 0) {
+    unsigned Consumed = std::min(static_cast<unsigned>(Ret), ToSubmit);
+    Stats.SqesSubmitted += Consumed;
+    ++Stats.SubmitBatches;
+    if (Consumed > Stats.MaxSqeBatch)
+      Stats.MaxSqeBatch = Consumed;
+    ToSubmit -= Consumed;
+  }
+  return reapCqes();
+}
+
+unsigned UringKernel::reapCqes() {
+  unsigned Head = *CqHead;
+  unsigned N = 0;
+  for (;;) {
+    unsigned Tail = __atomic_load_n(CqTail, __ATOMIC_ACQUIRE);
+    if (Head == Tail)
+      break;
+    while (Head != Tail) {
+      // Copy, then publish consumption before handling: handleCqe may
+      // re-stage SQEs and even flush the ring (full-ring path), and the
+      // kernel needs the CQ slot back to post more completions.
+      io_uring_cqe Cqe = Cqes[Head & CqMask];
+      ++Head;
+      __atomic_store_n(CqHead, Head, __ATOMIC_RELEASE);
+      ++N;
+      handleCqe(Cqe);
+    }
+  }
+  Stats.Completions += N;
+  return N;
+}
+
+void UringKernel::handleCqe(const io_uring_cqe &Cqe) {
+  auto It = Table.find(Cqe.user_data);
+  if (It == Table.end())
+    return; // stale (e.g. a timeout whose entry a remove already freed)
+  PendingIo *Io = It->second.get();
+  int Res = Cqe.res;
+  unsigned Flags = Cqe.flags;
+
+  switch (Io->Kind) {
+  case IoKind::Accept: {
+    bool More = (Flags & IORING_CQE_F_MORE) != 0;
+    if (Io->Cancelled) {
+      if (!More)
+        finishIo(Io);
+      return;
+    }
+    if (Res == -EINVAL && MultishotAcceptOk) {
+      // Kernel predates multishot accept: fall back to oneshot re-arms.
+      MultishotAcceptOk = false;
+      writeAccept(*Io, false);
+      return;
+    }
+    if (Res == -ECANCELED) {
+      finishIo(Io);
+      return;
+    }
+    if (Res >= 0) {
+      AcceptFn H = Io->OnAccept; // copy — the entry persists across shots
+      int NewFd = Res;
+      Completions.push_back([H = std::move(H), NewFd] { H(NewFd); });
+    }
+    // Transient errors (ECONNABORTED, EMFILE, ...) just re-arm, mirroring
+    // epoll's accept4-loop skipping them.
+    if (!More)
+      writeAccept(*Io, MultishotAcceptOk);
+    return;
+  }
+
+  case IoKind::Recv: {
+    if (Io->Cancelled) {
+      if (Flags & IORING_CQE_F_BUFFER)
+        provideBuffer(Flags >> IORING_CQE_BUFFER_SHIFT);
+      finishIo(Io);
+      return;
+    }
+    if (Res == -ENOBUFS) {
+      // Pool momentarily exhausted (all buffers awaiting re-provide).
+      // Re-stage; the re-provides are already in the same batch.
+      writeRecv(*Io);
+      return;
+    }
+    if (Flags & IORING_CQE_F_BUFFER) {
+      unsigned Bid = Flags >> IORING_CQE_BUFFER_SHIFT;
+      const char *Data = Pool.data() + static_cast<size_t>(Bid) * BufSize;
+      Completions.push_back(
+          [this, H = std::move(Io->OnRecv), Res, Data, Bid] {
+            H(Res, Res > 0 ? Data : nullptr);
+            // The buffer is consumed exactly when the handler returns;
+            // hand it back to the kernel's pool (staged, batched).
+            provideBuffer(Bid);
+          });
+    } else {
+      Completions.push_back(
+          [H = std::move(Io->OnRecv), Buf = std::move(Io->Buf), Res] {
+            H(Res, Res > 0 ? Buf.data() : nullptr);
+          });
+    }
+    finishIo(Io);
+    return;
+  }
+
+  case IoKind::Send: {
+    if (Io->Cancelled) {
+      finishIo(Io);
+      return;
+    }
+    Completions.push_back(
+        [H = std::move(Io->OnSend), Chunk = std::move(Io->Buf),
+         Res]() mutable { H(Res, std::move(Chunk)); });
+    finishIo(Io);
+    return;
+  }
+
+  case IoKind::Connect: {
+    if (!Io->Cancelled)
+      Completions.push_back([H = std::move(Io->OnConnect), Res] { H(Res); });
+    finishIo(Io);
+    return;
+  }
+
+  case IoKind::EvPoll: {
+    // Drain the eventfd counter; externally submitted work is drained by
+    // takeDue itself — the poll's only job is ending a blocked enter.
+    uint64_t V;
+    ++Stats.Syscalls;
+    while (::read(EvFd, &V, sizeof(V)) > 0) {
+    }
+    if (Res == -EINVAL && MultishotPollOk) {
+      MultishotPollOk = false;
+      finishIo(Io);
+      writeEvPoll();
+      return;
+    }
+    if (!(Flags & IORING_CQE_F_MORE)) {
+      finishIo(Io);
+      if (!ShuttingDown)
+        writeEvPoll();
+    }
+    return;
+  }
+
+  case IoKind::Timeout: {
+    if (Io->Token == DeadlineToken) {
+      DeadlineToken = 0;
+      DeadlineArmed = NoDeadline;
+    }
+    finishIo(Io);
+    return;
+  }
+
+  case IoKind::ProvideBuf:
+    if (Res < 0)
+      UseBufRing = false; // future recvs fall back to owned buffers
+    finishIo(Io);
+    return;
+
+  case IoKind::TimeoutRemove:
+  case IoKind::Cancel:
+    finishIo(Io);
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel surface
+//===----------------------------------------------------------------------===//
+
+bool UringKernel::hasStagedWork() const {
+  return !Completions.empty() || hasExternalWork();
+}
+
+bool UringKernel::hasPending() const {
+  return Kernel::hasPending() || IoOps > 0 || hasStagedWork();
+}
+
+size_t UringKernel::pendingCount() const {
+  return Kernel::pendingCount() + IoOps + Completions.size();
+}
+
+SimTime UringKernel::nextDeadline() const {
+  // Reaped completions/external work are due immediately; in-flight ops
+  // alone have no deadline (the loop blocks on them in waitUntil).
+  if (hasStagedWork())
+    return now();
+  return Kernel::nextDeadline();
+}
+
+void UringKernel::sweep() {
+  if (reapCqes() > 0)
+    ++Stats.ZeroSyscallReaps; // served straight from the mmap'd CQ ring
+  if (ToSubmit > 0)
+    enterAndReap(0);
+}
+
+std::vector<std::function<void()>> UringKernel::takeDue() {
+  syncClock();
+  // One flush per loop turn: everything staged by last turn's callbacks
+  // goes down in a single enter (plus a free CQ reap first).
+  sweep();
+
+  std::vector<std::function<void()>> Due = Kernel::takeDue();
+  drainExternalInto(Due);
+  for (auto &C : Completions)
+    Due.push_back(std::move(C));
+  Completions.clear();
+  return Due;
+}
+
+bool UringKernel::waitUntil(SimTime Next) {
+  syncClock();
+  bool Stopping = stopRequested();
+  if (Stopping) {
+    // Graceful drain, mirroring epoll: collect completions that already
+    // arrived so the run finishes in-flight work before exiting.
+    sweep();
+  }
+  if (hasStagedWork())
+    return true;
+  if (Next != NoDeadline && Next <= now())
+    return true;
+  if (Next == NoDeadline && (IoOps == 0 || Stopping)) {
+    if (externalQueueEmpty())
+      return false;
+    return true;
+  }
+  // Free reap BEFORE arming the deadline, not after. The armed TIMEOUT may
+  // have already fired with its ETIME CQE sitting unreaped in the ring; a
+  // reap that runs after armDeadline's already-armed-for-Next early return
+  // would consume that ETIME, clear the arm, and then block below with no
+  // timeout guarding Next — a lost wakeup that strands every deadline task
+  // sharing Next's (microsecond-quantized) due time. Reaping first means
+  // armDeadline sees the cleared state and stages a fresh TIMEOUT; if the
+  // ETIME instead lands after this reap, it satisfies the blocking enter's
+  // min_complete and the wait returns immediately. Both interleavings are
+  // then safe.
+  reapCqes();
+  armDeadline(Next);
+  if (Completions.empty())
+    enterAndReap(1); // flush staged SQEs + sleep in one syscall
+  else if (ToSubmit > 0)
+    enterAndReap(0);
+  syncClock();
+  return true;
+}
+
+#endif // __linux__

@@ -1,0 +1,259 @@
+//===- UringKernel.h - Raw io_uring completion kernel backend ---*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The completion-based real-traffic kernel: a raw Linux io_uring (direct
+/// io_uring_setup/io_uring_enter + mmap'd SQ/CQ rings — no liburing
+/// dependency) behind the same Kernel surface jsrt::Runtime pumps and the
+/// same cross-thread wake surface RealKernel defines.
+///
+/// The syscall economics this backend exists to demonstrate:
+///
+///  - Socket operations are *staged*: stageRecv/stageSend/stageAccept write
+///    an SQE into the mmap'd SQ ring — user memory, zero syscalls. All
+///    SQEs staged during one loop turn flush through a single
+///    io_uring_enter, either the non-blocking sweep at the top of takeDue()
+///    or the blocking wait in waitUntil() (submission and sleep share one
+///    syscall there).
+///  - Completions are reaped straight from the mmap'd CQ ring — also zero
+///    syscalls (KernelStats::ZeroSyscallReaps counts sweeps served this
+///    way).
+///  - Accept is multishot: one SQE yields a CQE per incoming connection
+///    until cancelled, where epoll pays accept4-until-EAGAIN per readiness.
+///  - The deadline timer is an IORING_TIMEOUT_ABS SQE instead of a
+///    timerfd_settime + epoll_wait pair.
+///  - Receive uses a provided-buffer ring (IORING_OP_PROVIDE_BUFFERS) when
+///    the kernel has it, so recv SQEs carry no buffer and the kernel picks
+///    one at completion time; falls back to classic per-op owned buffers
+///    when the probe says the op is missing.
+///  - Cross-thread wakes arrive through a multishot POLL_ADD on the
+///    inherited eventfd.
+///
+/// Ownership across cancellation: every in-flight operation lives in a
+/// PendingIo entry owned by the kernel's table, including any buffer the
+/// kernel may still write into. Socket teardown stages ASYNC_CANCEL and
+/// marks the entry cancelled, but the entry (and its buffer) survives until
+/// the CQE — -ECANCELED or a late real result — arrives, so io_uring never
+/// completes into freed memory. The destructor cancels everything still in
+/// the table and drains the ring with a bounded wait before unmapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SIM_URINGKERNEL_H
+#define ASYNCG_SIM_URINGKERNEL_H
+
+#ifdef __linux__
+
+#include "sim/RealKernel.h"
+
+#include <netinet/in.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+struct io_uring_sqe;
+struct io_uring_cqe;
+
+namespace asyncg {
+namespace sim {
+
+/// What the running kernel offers, from a one-shot io_uring_setup +
+/// IORING_REGISTER_PROBE probe (cached per process).
+struct UringCaps {
+  /// io_uring usable with every op the backend requires (accept, recv,
+  /// send, connect, poll, timeout(+remove), async-cancel).
+  bool Available = false;
+  /// IORING_OP_PROVIDE_BUFFERS supported (else classic owned-buffer recv).
+  bool ProvideBuffers = false;
+  /// One-line human-readable result, shown by `--kernel auto` and probe
+  /// error messages.
+  std::string Reason;
+};
+
+/// Probes io_uring availability on this host. Cheap after the first call
+/// (the result is cached — kernel capabilities don't change mid-process).
+UringCaps probeUringCaps();
+
+/// The io_uring-backed kernel. Loop-thread only, except the RealKernel
+/// cross-thread surface (submitExternal/wakeup/requestStop).
+class UringKernel final : public RealKernel {
+public:
+  /// Invoked once per accepted connection with the new fd (>= 0). Errors
+  /// never reach the handler: transient ones re-arm the accept internally.
+  using AcceptFn = std::function<void(int NewFd)>;
+  /// Invoked with recv result: bytes received (Data valid only for the
+  /// duration of the call), 0 on peer FIN, -errno on failure.
+  using RecvFn = std::function<void(int Res, const char *Data)>;
+  /// Invoked with bytes sent or -errno, handing the chunk's ownership back
+  /// so a partial send can be re-staged by offset without copying.
+  using SendFn = std::function<void(int Res, std::string Chunk)>;
+  /// Invoked with 0 on established, -errno on failure.
+  using ConnectFn = std::function<void(int Res)>;
+
+  explicit UringKernel(Clock &C);
+  ~UringKernel() override;
+
+  /// False when ring setup/mmap failed (check kernelBackendAvailable /
+  /// probeUringCaps first to get the reason).
+  bool valid() const override { return RingFd >= 0 && EvFd >= 0 && Armed; }
+
+  /// \name Kernel surface (timed ops inherit the base deadline table)
+  /// @{
+  bool hasPending() const override;
+  size_t pendingCount() const override;
+  SimTime nextDeadline() const override;
+  std::vector<std::function<void()>> takeDue() override;
+  bool waitUntil(SimTime Next) override;
+  /// @}
+
+  /// \name Staged I/O (used by UringNetwork; SQE writes, no syscalls)
+  /// @{
+
+  /// Stages a (multishot when supported) accept on \p ListenFd. One token;
+  /// many completions. Cancel with cancelIo when closing the listener.
+  uint64_t stageAccept(int ListenFd, AcceptFn H);
+
+  /// Stages one receive on \p Fd. One completion, then the entry is gone —
+  /// re-stage from the handler to keep reading.
+  uint64_t stageRecv(int Fd, RecvFn H);
+
+  /// Stages one send of \p Chunk starting at \p Off. The kernel owns the
+  /// chunk until completion (buffer-stability across cancellation).
+  uint64_t stageSend(int Fd, std::string Chunk, size_t Off, SendFn H);
+
+  /// Stages a connect to \p Addr on \p Fd.
+  uint64_t stageConnect(int Fd, const sockaddr_in &Addr, ConnectFn H);
+
+  /// Cancels an in-flight operation: its handler will never fire. The
+  /// entry itself (owning any kernel-visible buffer) survives until the
+  /// CQE arrives. Safe on already-completed tokens (no-op).
+  void cancelIo(uint64_t Token);
+
+  /// True when receive runs over the provided-buffer pool.
+  bool usesProvidedBuffers() const { return UseBufRing; }
+
+  /// In-flight socket operations (accept/recv/send/connect) — the uring
+  /// analogue of EpollKernel::watchedFds for loop-aliveness.
+  size_t inflightOps() const { return IoOps; }
+  /// @}
+
+private:
+  enum class IoKind : uint8_t {
+    Accept,
+    Recv,
+    Send,
+    Connect,
+    EvPoll,
+    Timeout,
+    TimeoutRemove,
+    Cancel,
+    ProvideBuf,
+  };
+
+  struct PendingIo {
+    uint64_t Token = 0;
+    IoKind Kind = IoKind::Cancel;
+    int Fd = -1;
+    bool Cancelled = false;
+    /// Send chunk or classic-recv buffer; must outlive the CQE.
+    std::string Buf;
+    size_t Off = 0;
+    /// TIMEOUT needs a stable timespec; CONNECT a stable sockaddr.
+    /// (Layout-compatible with struct __kernel_timespec: two 64-bit
+    /// fields.)
+    struct KTimespec {
+      int64_t tv_sec = 0;
+      int64_t tv_nsec = 0;
+    } Ts;
+    sockaddr_in Addr{};
+    AcceptFn OnAccept;
+    RecvFn OnRecv;
+    SendFn OnSend;
+    ConnectFn OnConnect;
+  };
+
+  /// Grabs the next SQE slot, flushing the ring first if it is full.
+  io_uring_sqe *getSqe();
+  /// Creates a table entry and returns it (token already assigned).
+  PendingIo *newIo(IoKind Kind, int Fd);
+  void writeAccept(PendingIo &Io, bool Multishot);
+  void writeRecv(PendingIo &Io);
+  void writeEvPoll();
+  /// io_uring_enter: submits everything staged; waits for \p MinComplete.
+  /// Returns completions reaped after the enter.
+  unsigned enterAndReap(unsigned MinComplete);
+  /// Reaps the CQ ring into Completions. Pure userspace.
+  unsigned reapCqes();
+  void handleCqe(const io_uring_cqe &Cqe);
+  void finishIo(PendingIo *Io);
+  /// Stages a single-buffer re-provide after a completion consumed \p Bid.
+  void provideBuffer(unsigned Bid);
+  /// Arms/re-arms the deadline TIMEOUT SQE when \p Next differs from the
+  /// currently armed deadline.
+  void armDeadline(SimTime Next);
+  bool hasStagedWork() const;
+  /// Non-blocking sweep: free CQ reap, then flush staged SQEs if any.
+  void sweep();
+
+  int RingFd = -1;
+  bool Armed = false; // ring mmapped + eventfd poll staged
+
+  /// SQ ring (mmap'd).
+  void *SqRing = nullptr;
+  size_t SqRingSz = 0;
+  unsigned *SqHead = nullptr;
+  unsigned *SqTail = nullptr;
+  unsigned SqMask = 0;
+  unsigned SqEntries = 0;
+  unsigned *SqArray = nullptr;
+  io_uring_sqe *Sqes = nullptr;
+  size_t SqesSz = 0;
+  /// Local tail: staged but not yet published/submitted.
+  unsigned SqTailLocal = 0;
+  unsigned ToSubmit = 0;
+
+  /// CQ ring (mmap'd; may alias SqRing under IORING_FEAT_SINGLE_MMAP).
+  void *CqRing = nullptr;
+  size_t CqRingSz = 0;
+  bool SingleMmap = false;
+  unsigned *CqHead = nullptr;
+  unsigned *CqTail = nullptr;
+  unsigned CqMask = 0;
+  io_uring_cqe *Cqes = nullptr;
+
+  uint64_t NextToken = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<PendingIo>> Table;
+  /// In-flight accept/recv/send/connect entries (loop-aliveness).
+  size_t IoOps = 0;
+
+  /// Completion actions reaped but not yet handed to the loop's I/O phase.
+  std::vector<std::function<void()>> Completions;
+
+  /// Provided-buffer pool (group 0). Bid i lives at Pool[i * BufSize].
+  bool UseBufRing = false;
+  std::string Pool;
+  static constexpr unsigned NumBufs = 32;
+  static constexpr unsigned BufSize = 64 * 1024;
+
+  /// Deadline timeout state: token of the armed TIMEOUT entry (0 = none)
+  /// and the deadline it was armed for.
+  uint64_t DeadlineToken = 0;
+  SimTime DeadlineArmed = NoDeadline;
+
+  /// Runtime feature fallbacks, flipped on -EINVAL from older kernels.
+  bool MultishotAcceptOk = true;
+  bool MultishotPollOk = true;
+
+  /// Set by the destructor: stop re-arming the eventfd poll while draining.
+  bool ShuttingDown = false;
+};
+
+} // namespace sim
+} // namespace asyncg
+
+#endif // __linux__
+#endif // ASYNCG_SIM_URINGKERNEL_H

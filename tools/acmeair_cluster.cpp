@@ -9,15 +9,18 @@
 // results:
 //
 //   acmeair_cluster [--loops N] [--requests N] [--clients N] [--seed N]
-//                   [--kernel sim|epoll] [--port N]
+//                   [--kernel sim|epoll|uring|auto] [--port N] [--probe]
 //                   [--sync] [--no-gossip] [--baseline] [--dot FILE]
 //                   [--record-dir DIR] [--trace-version N]
 //                   [--sample-budget PCT]
 //
-// --kernel epoll (Linux only) swaps the virtual-time kernel for the real
-// epoll reactor: every loop binds --port with SO_REUSEPORT, the built-in
+// --kernel epoll or uring (Linux only) swaps the virtual-time kernel for a
+// real reactor: every loop binds --port with SO_REUSEPORT, the built-in
 // wire load generator drives --clients keep-alive HTTP connections, and
-// the numbers reported are wall-clock.
+// the numbers reported are wall-clock (including the kernel-syscall cost
+// model — syscalls/request is where io_uring's batched submission shows).
+// --kernel auto probes uring -> epoll -> sim and prints why it chose.
+// --probe prints each backend's availability and exits.
 //
 // --record-dir writes one `.agtrace` per shard (shard<S>.agtrace) in the
 // chosen --trace-version (default v4 columnar frames) for offline replay
@@ -87,10 +90,30 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "--kernel needs a value\n");
         return 2;
       }
-      if (!sim::parseKernelBackend(argv[++I], Cfg.Backend)) {
-        std::fprintf(stderr, "--kernel must be 'sim' or 'epoll'\n");
+      if (!std::strcmp(argv[I + 1], "auto")) {
+        ++I;
+        std::string Why;
+        Cfg.Backend = sim::resolveAutoKernelBackend(&Why);
+        std::fprintf(stderr, "--kernel auto: %s\n", Why.c_str());
+      } else if (!sim::parseKernelBackend(argv[++I], Cfg.Backend)) {
+        std::fprintf(stderr,
+                     "--kernel must be 'auto' or one of the backends "
+                     "available here: %s\n",
+                     sim::availableKernelBackendNames().c_str());
         return 2;
       }
+    } else if (!std::strcmp(argv[I], "--probe")) {
+      for (sim::KernelBackend B :
+           {sim::KernelBackend::Sim, sim::KernelBackend::Epoll,
+            sim::KernelBackend::Uring}) {
+        std::string Why;
+        sim::kernelBackendAvailable(B, &Why);
+        std::printf("%s\n", Why.c_str());
+      }
+      std::string Why;
+      sim::resolveAutoKernelBackend(&Why);
+      std::printf("auto: %s\n", Why.c_str());
+      return 0;
     } else if (!std::strcmp(argv[I], "--serve"))
       Cfg.ServeOnly = true;
     else if (!std::strcmp(argv[I], "--sync"))
@@ -123,7 +146,8 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: %s [--loops N] [--requests N] [--clients N]"
                    " [--seed N]\n"
-                   "          [--kernel sim|epoll] [--port N]\n"
+                   "          [--kernel sim|epoll|uring|auto] [--port N]"
+                   " [--probe]\n"
                    "          [--sync] [--no-gossip] [--baseline]"
                    " [--dot FILE]\n"
                    "          [--record-dir DIR] [--trace-version N]"
@@ -132,16 +156,21 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
-  if (!sim::kernelBackendSupported(Cfg.Backend)) {
-    std::fprintf(stderr,
-                 "kernel backend '%s' is not supported on this platform "
-                 "(the epoll reactor needs Linux); use --kernel sim\n",
-                 sim::kernelBackendName(Cfg.Backend));
-    return 2;
+  {
+    std::string Why;
+    if (!sim::kernelBackendAvailable(Cfg.Backend, &Why)) {
+      std::fprintf(stderr,
+                   "kernel backend '%s' is not available here (%s); "
+                   "available: %s\n",
+                   sim::kernelBackendName(Cfg.Backend), Why.c_str(),
+                   sim::availableKernelBackendNames().c_str());
+      return 2;
+    }
   }
-  if (Cfg.ServeOnly && Cfg.Backend != sim::KernelBackend::Epoll) {
-    std::fprintf(stderr, "--serve needs --kernel epoll (the sim backend "
-                         "has no wire to serve)\n");
+  if (Cfg.ServeOnly && Cfg.Backend == sim::KernelBackend::Sim) {
+    std::fprintf(stderr, "--serve needs a real backend (--kernel "
+                         "epoll|uring|auto); the sim backend has no wire "
+                         "to serve\n");
     return 2;
   }
   if (Cfg.TraceVer < 2 || Cfg.TraceVer > trace::TraceVersion) {
@@ -173,7 +202,7 @@ int main(int argc, char **argv) {
                  Cfg.Port, Cfg.Loops);
   }
   cluster::ClusterResult R = Harness.run();
-  const bool WireMode = Cfg.Backend == sim::KernelBackend::Epoll;
+  const bool WireMode = Cfg.Backend != sim::KernelBackend::Sim;
 
   std::printf("cluster: %u loop(s), %llu requests, %d clients, seed %llu, "
               "kernel %s\n",
@@ -224,6 +253,26 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(R.Wire.P50Us),
                 static_cast<unsigned long long>(R.Wire.P90Us),
                 static_cast<unsigned long long>(R.Wire.P99Us));
+    // In --serve mode requests are counted by the external client, not the
+    // server, so a per-request figure is unknowable here rather than zero.
+    char PerReq[32];
+    if (R.Wire.Completed)
+      std::snprintf(PerReq, sizeof(PerReq), "%.2f/request",
+                    static_cast<double>(R.Sys.Syscalls) /
+                        static_cast<double>(R.Wire.Completed));
+    else
+      std::snprintf(PerReq, sizeof(PerReq), "n/a per request");
+    std::printf("kernel cost: %llu syscalls (%s), %llu enters, "
+                "%llu sqes in %llu batches (max %llu), %llu completions, "
+                "%llu zero-syscall reaps, %llu wakeups\n",
+                static_cast<unsigned long long>(R.Sys.Syscalls), PerReq,
+                static_cast<unsigned long long>(R.Sys.Enters),
+                static_cast<unsigned long long>(R.Sys.SqesSubmitted),
+                static_cast<unsigned long long>(R.Sys.SubmitBatches),
+                static_cast<unsigned long long>(R.Sys.MaxSqeBatch),
+                static_cast<unsigned long long>(R.Sys.Completions),
+                static_cast<unsigned long long>(R.Sys.ZeroSyscallReaps),
+                static_cast<unsigned long long>(R.Sys.Wakeups));
   } else {
     std::printf("\nvirtual throughput: %.0f req/s (slowest shard %.2f ms "
                 "virtual)\n",

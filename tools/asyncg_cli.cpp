@@ -59,7 +59,8 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s --list\n"
-               "       %s --case NAME [--kernel sim|epoll] [--fixed]"
+               "       %s --case NAME [--kernel sim|epoll|uring|auto]"
+               " [--fixed]"
                " [--nopromise] [--async]\n"
                "           [--retire]\n"
                "           [--retain-window N] [--record FILE]"
@@ -149,10 +150,16 @@ int main(int Argc, char **Argv) {
       std::string N;
       if (!Next(N))
         return usage(Argv[0]);
-      if (!sim::parseKernelBackend(N, Backend)) {
+      if (N == "auto") {
+        std::string Why;
+        Backend = sim::resolveAutoKernelBackend(&Why);
+        if (!Quiet)
+          std::fprintf(stderr, "--kernel auto: %s\n", Why.c_str());
+      } else if (!sim::parseKernelBackend(N, Backend)) {
         std::fprintf(stderr,
-                     "error: --kernel expects 'sim' or 'epoll', got '%s'\n",
-                     N.c_str());
+                     "error: --kernel expects 'auto' or one of the "
+                     "backends available here (%s), got '%s'\n",
+                     sim::availableKernelBackendNames().c_str(), N.c_str());
         return 2;
       }
       KernelSet = true;
@@ -191,13 +198,16 @@ int main(int Argc, char **Argv) {
                          "budget governs the pipeline producer)\n");
     return 2;
   }
-  if (KernelSet && !sim::kernelBackendSupported(Backend)) {
-    std::fprintf(stderr,
-                 "error: kernel backend '%s' is not supported on this "
-                 "platform (the epoll reactor needs Linux); use --kernel "
-                 "sim\n",
-                 sim::kernelBackendName(Backend));
-    return 2;
+  if (KernelSet) {
+    std::string Why;
+    if (!sim::kernelBackendAvailable(Backend, &Why)) {
+      std::fprintf(stderr,
+                   "error: kernel backend '%s' is not available here "
+                   "(%s); available: %s\n",
+                   sim::kernelBackendName(Backend), Why.c_str(),
+                   sim::availableKernelBackendNames().c_str());
+      return 2;
+    }
   }
 
   ag::BuilderConfig BCfg;
@@ -269,7 +279,7 @@ int main(int Argc, char **Argv) {
     RC.Backend = Backend;
     // Case programs exchange raw discrete messages, not HTTP, so the real
     // wire carries them length-prefixed.
-    if (Backend == sim::KernelBackend::Epoll)
+    if (Backend != sim::KernelBackend::Sim)
       RC.Wire = sim::WireFormat::Framed;
   }
   jsrt::Runtime RT(RC);
