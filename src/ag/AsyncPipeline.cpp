@@ -8,9 +8,22 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 
 using namespace asyncg;
 using namespace asyncg::ag;
+
+const char *ag::degradeTierName(DegradeTier T) {
+  switch (T) {
+  case DegradeTier::Lossless:
+    return "lossless";
+  case DegradeTier::Sampled:
+    return "sampled";
+  case DegradeTier::StructuralOnly:
+    return "structural";
+  }
+  return "?";
+}
 
 AsyncPipeline::AsyncPipeline(instr::AnalysisBase &Sink, PipelineConfig Config)
     : Sink(Sink), Config(Config), Ring(Config.RingCapacity) {
@@ -40,17 +53,20 @@ void AsyncPipeline::pushPending() {
   size_t N = Scratch.size();
   if (N == 0)
     return;
-  const trace::TraceRecord *Data = Scratch.data();
-  if (!Ring.tryPushAll(Data, N)) {
+  if (!Ring.tryPushAll(Scratch.data(), N)) {
     // Ring overflow in deferred mode: the builder thread must drain during
     // the run after all.
     if (Config.Drain == DrainMode::Deferred)
       wakeConsumer();
     BlockedPushes.fetch_add(1, std::memory_order_relaxed);
     auto T0 = std::chrono::steady_clock::now();
-    do
-      std::this_thread::yield();
-    while (!Ring.tryPushAll(Data, N));
+    if (Config.Policy == BackpressurePolicy::Degrade) {
+      N = pushDegraded();
+    } else {
+      do
+        std::this_thread::yield();
+      while (!Ring.tryPushAll(Scratch.data(), N));
+    }
     auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - T0)
                   .count();
@@ -59,16 +75,82 @@ void AsyncPipeline::pushPending() {
   }
   // Producer is the only writer of Pushed: plain load + store beats an RMW
   // on the per-event path.
-  uint64_t Total = Pushed.load(std::memory_order_relaxed) + N;
-  Pushed.store(Total, std::memory_order_relaxed);
-  uint64_t Depth = Total - Consumed.load(std::memory_order_relaxed);
-  if (Depth > MaxQueueDepth.load(std::memory_order_relaxed))
-    MaxQueueDepth.store(Depth, std::memory_order_relaxed);
+  if (N) {
+    uint64_t Total = Pushed.load(std::memory_order_relaxed) + N;
+    Pushed.store(Total, std::memory_order_relaxed);
+    uint64_t Depth = Total - Consumed.load(std::memory_order_relaxed);
+    if (Depth > MaxQueueDepth.load(std::memory_order_relaxed))
+      MaxQueueDepth.store(Depth, std::memory_order_relaxed);
+  }
   Scratch.clear();
 }
 
+size_t AsyncPipeline::pushDegraded() {
+  for (;;) {
+    // One bounded spin window per tier. A push that fits ends the fight;
+    // a window that expires escalates — the loop never blocks until the
+    // ladder has already shed everything sheddable.
+    auto SpinStart = std::chrono::steady_clock::now();
+    do {
+      std::this_thread::yield();
+      if (Ring.tryPushAll(Scratch.data(), Scratch.size()))
+        return Scratch.size();
+    } while (std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - SpinStart)
+                 .count() < static_cast<int64_t>(Config.EscalateSpinNs));
+    if (LadderTier != DegradeTier::StructuralOnly) {
+      setTier(static_cast<DegradeTier>(static_cast<uint8_t>(LadderTier) + 1));
+      Escalations.fetch_add(1, std::memory_order_relaxed);
+      shedPendingDecorations();
+      if (Scratch.empty())
+        return 0;
+      continue;
+    }
+    // Already structural-only and the ring is still full: structure must
+    // not drop (the builder's shadow stack depends on it), so this is the
+    // one residual blocking path — entered only after both sheds.
+    do
+      std::this_thread::yield();
+    while (!Ring.tryPushAll(Scratch.data(), Scratch.size()));
+    return Scratch.size();
+  }
+}
+
+void AsyncPipeline::setTier(DegradeTier T) {
+  uint64_t NowNs = nsSinceStart();
+  uint64_t Since = TierSinceNs.load(std::memory_order_relaxed);
+  if (NowNs > Since)
+    TierTimeNs[static_cast<size_t>(LadderTier)].fetch_add(
+        NowNs - Since, std::memory_order_relaxed);
+  TierSinceNs.store(NowNs, std::memory_order_relaxed);
+  LadderTier = T;
+  TierAtomic.store(static_cast<uint32_t>(T), std::memory_order_relaxed);
+  QuietTicks = 0;
+}
+
+void AsyncPipeline::shedPendingDecorations() {
+  // Droppable opcodes are contiguous (ApiBase..PromiseLink), so filtering
+  // by range removes whole decoration record groups and can never strand
+  // an ApiExt/ApiFuncs continuation without its ApiBase.
+  constexpr uint8_t FirstDecor = static_cast<uint8_t>(trace::TraceOp::ApiBase);
+  constexpr uint8_t LastDecor =
+      static_cast<uint8_t>(trace::TraceOp::PromiseLink);
+  size_t W = 0;
+  uint64_t Shed = 0;
+  for (const trace::TraceRecord &R : Scratch) {
+    if (R.Op >= FirstDecor && R.Op <= LastDecor) {
+      ++Shed;
+      continue;
+    }
+    Scratch[W++] = R;
+  }
+  Scratch.resize(W);
+  if (Shed)
+    LadderShed.fetch_add(Shed, std::memory_order_relaxed);
+}
+
 void AsyncPipeline::pushScratch(bool Structural) {
-  if (Config.Policy == BackpressurePolicy::Block && Config.ProducerChunk) {
+  if (Config.Policy != BackpressurePolicy::Drop && Config.ProducerChunk) {
     // Chunked producer: let events accumulate in Scratch and spill in one
     // amortized push (ring availability check + two counter updates per
     // chunk instead of per event). Tick boundaries and flush() push the
@@ -127,6 +209,9 @@ void AsyncPipeline::consumerMain() {
     Tee = false;
   }
   while (true) {
+    // Watchdog heartbeat: one relaxed store per pass (and per batch below)
+    // proves the builder is alive and making progress.
+    HeartbeatNs.store(nsSinceStart(), std::memory_order_relaxed);
     if (Config.Drain == DrainMode::Deferred) {
       // Park *before* touching the ring: records buffer until flush()/
       // stop() asks for a drain or the producer overflows the ring. The
@@ -155,6 +240,7 @@ void AsyncPipeline::consumerMain() {
       // Release so flush()'s acquire load sees the sink writes of this
       // batch.
       Consumed.fetch_add(N, std::memory_order_release);
+      HeartbeatNs.store(nsSinceStart(), std::memory_order_relaxed);
     }
     if (StopRequested.load(std::memory_order_acquire) && Ring.emptyApprox())
       break;
@@ -197,8 +283,55 @@ void AsyncPipeline::onTickBoundary(const instr::TickBoundaryEvent &E) {
   // until flush()/stop(), so spilling partial chunks per tick would only
   // defeat the chunk amortization without making the graph any fresher.
   if (Config.Drain == DrainMode::Concurrent &&
-      Config.Policy == BackpressurePolicy::Block && Config.ProducerChunk)
+      Config.Policy != BackpressurePolicy::Drop && Config.ProducerChunk)
     pushPending();
+  // Builder-thread watchdog: a live (Concurrent) builder that has not made
+  // progress for WatchdogStallMs while a backlog exists is stalled. One
+  // warning per episode; counting continues either way.
+  if (Config.WatchdogStallMs && Config.Drain == DrainMode::Concurrent) {
+    uint64_t Depth = Pushed.load(std::memory_order_relaxed) -
+                     Consumed.load(std::memory_order_relaxed);
+    uint64_t NowNs = nsSinceStart();
+    uint64_t Hb = HeartbeatNs.load(std::memory_order_relaxed);
+    if (Depth > 0 && NowNs > Hb &&
+        NowNs - Hb > uint64_t(Config.WatchdogStallMs) * 1000000) {
+      if (!InStall) {
+        InStall = true;
+        WatchdogStalls.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "asyncg: pipeline builder thread stalled for %llums "
+                     "with %llu records queued\n",
+                     static_cast<unsigned long long>((NowNs - Hb) / 1000000),
+                     static_cast<unsigned long long>(Depth));
+      }
+    } else {
+      InStall = false;
+    }
+  }
+  // Degradation-ladder bookkeeping: the per-tick sampling decision for the
+  // Sampled tier, and the quiet-ring recovery countdown.
+  if (Config.Policy == BackpressurePolicy::Degrade) {
+    ++LadderTicks;
+    uint32_t Stride =
+        Config.LadderSampleStride ? Config.LadderSampleStride : 1;
+    LadderSampleTick = (LadderTicks % Stride) == 0;
+    if (LadderTier != DegradeTier::Lossless) {
+      uint64_t Depth = Pushed.load(std::memory_order_relaxed) -
+                       Consumed.load(std::memory_order_relaxed);
+      double LowWater =
+          static_cast<double>(Ring.capacity()) * Config.RecoverLowWaterPct /
+          100.0;
+      if (static_cast<double>(Depth) <= LowWater) {
+        if (++QuietTicks >= Config.RecoverQuietTicks) {
+          setTier(
+              static_cast<DegradeTier>(static_cast<uint8_t>(LadderTier) - 1));
+          Recoveries.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        QuietTicks = 0;
+      }
+    }
+  }
   if (!SamplingOn)
     return;
   TotalTicks.fetch_add(1, std::memory_order_relaxed);
@@ -234,7 +367,7 @@ void AsyncPipeline::onFunctionExit(const instr::FunctionExitEvent &E) {
 }
 
 void AsyncPipeline::onApiCall(const instr::ApiCallEvent &E) {
-  if (!sampleGate())
+  if (!decorationGate())
     return;
   auto T0 = emitStart();
   Encoder.apiCall(E, Scratch);
@@ -243,7 +376,7 @@ void AsyncPipeline::onApiCall(const instr::ApiCallEvent &E) {
 }
 
 void AsyncPipeline::onObjectCreate(const instr::ObjectCreateEvent &E) {
-  if (!sampleGate())
+  if (!decorationGate())
     return;
   auto T0 = emitStart();
   Encoder.objectCreate(E, Scratch);
@@ -252,7 +385,7 @@ void AsyncPipeline::onObjectCreate(const instr::ObjectCreateEvent &E) {
 }
 
 void AsyncPipeline::onReactionResult(const instr::ReactionResultEvent &E) {
-  if (!sampleGate())
+  if (!decorationGate())
     return;
   auto T0 = emitStart();
   Encoder.reactionResult(E, Scratch);
@@ -261,7 +394,7 @@ void AsyncPipeline::onReactionResult(const instr::ReactionResultEvent &E) {
 }
 
 void AsyncPipeline::onPromiseLink(const instr::PromiseLinkEvent &E) {
-  if (!sampleGate())
+  if (!decorationGate())
     return;
   auto T0 = emitStart();
   Encoder.promiseLink(E, Scratch);

@@ -59,8 +59,55 @@ enum class PipelineMode {
 
 /// What the producer does when the ring is full.
 enum class BackpressurePolicy {
-  Block, ///< Spin-yield until space frees up (lossless).
-  Drop,  ///< Discard decoration events, counting them.
+  Block,   ///< Spin-yield until space frees up (lossless).
+  Drop,    ///< Discard decoration events, counting them.
+  Degrade, ///< Escalate the degradation ladder instead of blocking.
+};
+
+/// The graceful-degradation ladder (BackpressurePolicy::Degrade). Under
+/// sustained ring backpressure the producer escalates one tier instead of
+/// blocking the event loop; once the ring drains back below the low-water
+/// mark for long enough it steps back down. The contract at every tier:
+/// structure (function enter/exit, object release, loop end) is never shed
+/// — only decorations — so the graph skeleton stays exact and warnings are
+/// missed, never fabricated.
+enum class DegradeTier : uint8_t {
+  Lossless = 0,       ///< Everything emitted.
+  Sampled = 1,        ///< Decorations on 1 of LadderSampleStride ticks.
+  StructuralOnly = 2, ///< No decorations at all.
+};
+
+constexpr size_t NumDegradeTiers = 3;
+
+/// Stable lowercase tier name ("lossless", "sampled", "structural").
+const char *degradeTierName(DegradeTier T);
+
+/// Ladder accounting, reported in every BenchReport so a run that shed
+/// coverage says so. TimeNs accumulates for every pipeline (a run that
+/// never degrades reports its whole lifetime under Lossless).
+struct DegradationStats {
+  /// Wall time spent in each tier, indexed by DegradeTier.
+  uint64_t TimeNs[NumDegradeTiers] = {};
+  /// Decoration records shed by the ladder (gate skips count the event,
+  /// stuck-chunk filtering counts raw records).
+  uint64_t RecordsShed = 0;
+  uint64_t Escalations = 0;
+  uint64_t Recoveries = 0;
+  /// Tier at snapshot time (DegradeTier; the acceptance gate checks the
+  /// run ends back at Lossless).
+  uint32_t FinalTier = 0;
+  /// Builder-thread stall episodes the watchdog observed.
+  uint64_t WatchdogStalls = 0;
+
+  void merge(const DegradationStats &O) {
+    for (size_t I = 0; I != NumDegradeTiers; ++I)
+      TimeNs[I] += O.TimeNs[I];
+    RecordsShed += O.RecordsShed;
+    Escalations += O.Escalations;
+    Recoveries += O.Recoveries;
+    FinalTier = FinalTier > O.FinalTier ? FinalTier : O.FinalTier;
+    WatchdogStalls += O.WatchdogStalls;
+  }
 };
 
 /// When the builder thread consumes the ring.
@@ -141,6 +188,23 @@ struct PipelineConfig {
   /// under budget; over-budget ticks emit structural events only and
   /// count skipped decorations in SamplingStats.
   double SampleBudgetPct = 0;
+  /// \name Degradation ladder + watchdog (BackpressurePolicy::Degrade)
+  /// @{
+  /// How long a full-ring push spins before escalating one tier. Small by
+  /// design: the whole point of the ladder is not to block the loop.
+  uint64_t EscalateSpinNs = 100 * 1000;
+  /// Sampled tier: decorations are emitted on 1 of this many ticks.
+  uint32_t LadderSampleStride = 4;
+  /// Recovery low-water mark: the ring backlog must stay under this
+  /// percentage of capacity...
+  double RecoverLowWaterPct = 25.0;
+  /// ...for this many consecutive tick boundaries before stepping down.
+  uint32_t RecoverQuietTicks = 16;
+  /// Builder-thread watchdog: warn (once per episode) when the builder
+  /// heartbeat is older than this while the ring has a backlog. 0 = off.
+  /// Concurrent drain only — a Deferred builder is parked by design.
+  uint32_t WatchdogStallMs = 0;
+  /// @}
   /// When non-empty, the builder thread tees every record it drains into
   /// this .agtrace file while decoding it into the sink, producing a
   /// replayable artifact at zero cost to the loop thread (the ring hand-
@@ -209,6 +273,26 @@ public:
     return RecordFailed.load(std::memory_order_relaxed);
   }
 
+  /// Snapshot of the ladder/watchdog counters (exact after flush()/stop();
+  /// racy-but-monotone mid-run). Meaningful for every policy: a pipeline
+  /// that never degrades reports its whole lifetime under Lossless.
+  DegradationStats degradation() const {
+    DegradationStats D;
+    for (size_t I = 0; I != NumDegradeTiers; ++I)
+      D.TimeNs[I] = TierTimeNs[I].load(std::memory_order_relaxed);
+    uint32_t T = TierAtomic.load(std::memory_order_relaxed);
+    uint64_t NowNs = nsSinceStart();
+    uint64_t Since = TierSinceNs.load(std::memory_order_relaxed);
+    if (NowNs > Since)
+      D.TimeNs[T] += NowNs - Since;
+    D.RecordsShed = LadderShed.load(std::memory_order_relaxed);
+    D.Escalations = Escalations.load(std::memory_order_relaxed);
+    D.Recoveries = Recoveries.load(std::memory_order_relaxed);
+    D.FinalTier = T;
+    D.WatchdogStalls = WatchdogStalls.load(std::memory_order_relaxed);
+    return D;
+  }
+
   /// Snapshot of the sampling coverage counters (exact after flush()/
   /// stop()). All zeros except BudgetPct when sampling never kicked in.
   SamplingStats sampling() const {
@@ -252,12 +336,46 @@ private:
   /// / flush). Producer thread only.
   void pushPending();
 
+  /// Degrade policy: bounded-spin push of Scratch, escalating the ladder
+  /// and shedding pending decorations when the ring stays full. Returns
+  /// the number of records actually pushed (< Scratch.size() after sheds).
+  size_t pushDegraded();
+
+  /// Nanoseconds since pipeline start (the ladder/watchdog time base).
+  uint64_t nsSinceStart() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  }
+
+  /// Moves the ladder to \p T, folding elapsed time into the old tier's
+  /// bucket. Producer thread only.
+  void setTier(DegradeTier T);
+
+  /// Removes decoration records from the pending Scratch, counting them
+  /// as shed. Structural records (and whole decoration record groups —
+  /// the droppable opcodes are contiguous) survive.
+  void shedPendingDecorations();
+
   /// Sampling gate for decoration events: true = emit. Counts the skip.
   bool sampleGate() {
     if (!SamplingOn || SampleThisTick)
       return true;
     SamplingDropped.fetch_add(1, std::memory_order_relaxed);
     return false;
+  }
+
+  /// Combined decoration gate: the degradation ladder first (tier sheds),
+  /// then the overhead-budget sampler.
+  bool decorationGate() {
+    if (Config.Policy == BackpressurePolicy::Degrade &&
+        LadderTier != DegradeTier::Lossless &&
+        (LadderTier == DegradeTier::StructuralOnly || !LadderSampleTick)) {
+      LadderShed.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return sampleGate();
   }
 
   /// \name Emit-cost accounting (no-ops while sampling is off).
@@ -317,6 +435,25 @@ private:
   std::atomic<uint64_t> BlockedTimeNs{0};
   std::atomic<uint64_t> MaxQueueDepth{0};
   std::atomic<bool> StopRequested{false};
+
+  /// Degradation-ladder state. The tier and decisions live on the
+  /// producer thread; atomics mirror them for cross-thread snapshots.
+  DegradeTier LadderTier = DegradeTier::Lossless;
+  bool LadderSampleTick = true;
+  uint64_t LadderTicks = 0;
+  uint32_t QuietTicks = 0;
+  std::atomic<uint32_t> TierAtomic{0};
+  std::atomic<uint64_t> TierSinceNs{0};
+  std::atomic<uint64_t> TierTimeNs[NumDegradeTiers] = {};
+  std::atomic<uint64_t> LadderShed{0};
+  std::atomic<uint64_t> Escalations{0};
+  std::atomic<uint64_t> Recoveries{0};
+
+  /// Watchdog: the builder thread stores its progress time here; the
+  /// producer compares at tick boundaries and warns on stalls.
+  std::atomic<uint64_t> HeartbeatNs{0};
+  std::atomic<uint64_t> WatchdogStalls{0};
+  bool InStall = false;
 
   /// Parking lot for DrainMode::Deferred (unused in Concurrent mode).
   std::mutex WakeMutex;

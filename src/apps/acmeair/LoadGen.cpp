@@ -52,6 +52,13 @@ struct Conn {
   bool InFlight = false;
   Clock::time_point SentAt;
   bool Alive = true;
+  /// The current request's bytes, kept verbatim for a retry resend.
+  std::string LastReq;
+  /// Send attempts for the current request (1 = first send).
+  int Attempts = 0;
+  /// True while the current request waits out a retry backoff.
+  bool RetryPending = false;
+  Clock::time_point RetryAt;
 };
 
 std::string httpRequest(const std::string &Method, const std::string &Path,
@@ -183,9 +190,41 @@ bool asyncg::acmeair::runWireLoad(const LoadConfig &Cfg, LoadStats &Out) {
 
   std::vector<uint64_t> Latencies;
   Latencies.reserve(Cfg.TotalRequests);
-  // Responses lost to dropped connections still settle the run.
-  uint64_t Lost = 0;
   Clock::time_point Start = Clock::now();
+
+  // Jittered exponential backoff before a retry resend (bounded at
+  // 320ms + jitter); the jitter draws from the connection's own stream so
+  // the schedule stays a function of the seed.
+  auto BackoffFor = [](Conn &C) {
+    int Shift = C.Attempts < 5 ? C.Attempts : 5;
+    return std::chrono::milliseconds((10 << Shift) +
+                                     static_cast<int>(C.Rng.nextInt(0, 20)));
+  };
+  // Gives up on the connection's current request and, with no retry budget
+  // left, on the connection itself.
+  auto Abandon = [&](Conn &C, size_t &Alive) {
+    C.InFlight = false;
+    C.RetryPending = false;
+    ++Out.Abandoned;
+    if (C.Fd >= 0) {
+      ::close(C.Fd);
+      C.Fd = -1;
+    }
+    C.Alive = false;
+    --Alive;
+  };
+  // Queues the connection's current request for a resend on a fresh
+  // socket. The session token is shard-local and the reconnect may be
+  // routed to a sibling SO_REUSEPORT shard that never saw it, so the
+  // resend re-authenticates instead of replaying an operation whose stale
+  // token would cascade non-200s until the mix's next login.
+  auto QueueRetry = [&](Conn &C, Clock::time_point When) {
+    C.Token.clear();
+    C.LastReq = httpRequest("POST", "/rest/api/login",
+                            "user=" + C.User + "&password=password");
+    C.RetryPending = true;
+    C.RetryAt = When + BackoffFor(C);
+  };
 
   std::vector<pollfd> Pfds;
   std::vector<size_t> PfdConn;
@@ -193,23 +232,84 @@ bool asyncg::acmeair::runWireLoad(const LoadConfig &Cfg, LoadStats &Out) {
   // Stall detector: a closed-loop driver that stops making progress while
   // requests are in flight is wedged on the server (or on a desynced
   // response stream). Dump per-connection parse state once so the hang is
-  // diagnosable, then keep waiting — the caller owns timeouts.
-  int IdlePolls = 0;
+  // diagnosable, then keep waiting — the caller owns run-level timeouts
+  // (per-request timeouts recover individual requests above).
+  int IdleMs = 0;
   bool StallDumped = false;
   while (AliveCount > 0) {
-    // Closed loop: every idle connection issues the next request.
+    Clock::time_point Now = Clock::now();
+    // Closed loop: every idle connection issues the next request; a
+    // connection whose backoff expired resends its current request on a
+    // fresh socket.
     for (Conn &C : Conns) {
-      if (!C.Alive || C.InFlight || Out.Issued >= Cfg.TotalRequests)
+      if (!C.Alive)
         continue;
-      C.Out += nextRequest(C, Cfg.Mix);
+      if (C.RetryPending) {
+        if (Now < C.RetryAt)
+          continue;
+        if (C.Fd < 0) {
+          C.Fd = connectRetry(Cfg.Port, 500);
+          if (C.Fd < 0) {
+            Abandon(C, AliveCount);
+            continue;
+          }
+        }
+        C.In.clear();
+        C.Out = C.LastReq;
+        C.OutOff = 0;
+        ++C.Attempts;
+        ++Out.Retries;
+        C.InFlight = true;
+        C.SentAt = Now;
+        C.RetryPending = false;
+        continue;
+      }
+      if (C.InFlight || Out.Issued >= Cfg.TotalRequests)
+        continue;
+      if (C.Fd < 0) {
+        // Idle connection lost earlier (kept alive by the retry budget):
+        // reconnect before issuing.
+        C.Fd = connectRetry(Cfg.Port, 500);
+        if (C.Fd < 0) {
+          C.Alive = false;
+          --AliveCount;
+          continue;
+        }
+        C.In.clear();
+        C.Out.clear();
+        C.OutOff = 0;
+      }
+      C.LastReq = nextRequest(C, Cfg.Mix);
+      C.Out += C.LastReq;
+      C.Attempts = 1;
       C.InFlight = true;
-      C.SentAt = Clock::now();
+      C.SentAt = Now;
       ++Out.Issued;
     }
+    // Per-request deadline: a response overdue past the window means the
+    // stream can no longer be trusted (a late response would be
+    // misattributed to the next request), so the connection is torn down
+    // and the request retried on a fresh one — or abandoned.
+    if (Cfg.RequestTimeoutMs > 0)
+      for (Conn &C : Conns) {
+        if (!C.Alive || !C.InFlight)
+          continue;
+        if (Now - C.SentAt < std::chrono::milliseconds(Cfg.RequestTimeoutMs))
+          continue;
+        ++Out.Timeouts;
+        ::close(C.Fd);
+        C.Fd = -1;
+        C.InFlight = false;
+        if (C.Attempts <= Cfg.MaxRetries) {
+          QueueRetry(C, Now);
+        } else {
+          Abandon(C, AliveCount);
+        }
+      }
     if (Out.Issued >= Cfg.TotalRequests) {
       bool AnyInFlight = false;
       for (const Conn &C : Conns)
-        if (C.Alive && C.InFlight)
+        if (C.Alive && (C.InFlight || C.RetryPending))
           AnyInFlight = true;
       if (!AnyInFlight)
         break;
@@ -219,7 +319,7 @@ bool asyncg::acmeair::runWireLoad(const LoadConfig &Cfg, LoadStats &Out) {
     PfdConn.clear();
     for (size_t I = 0; I != Conns.size(); ++I) {
       Conn &C = Conns[I];
-      if (!C.Alive)
+      if (!C.Alive || C.Fd < 0)
         continue;
       pollfd P{};
       P.fd = C.Fd;
@@ -229,18 +329,30 @@ bool asyncg::acmeair::runWireLoad(const LoadConfig &Cfg, LoadStats &Out) {
       Pfds.push_back(P);
       PfdConn.push_back(I);
     }
-    int Ready = ::poll(Pfds.data(), Pfds.size(), 1000);
+    // With deadlines or pending backoffs in play, poll must wake often
+    // enough to fire them; otherwise the old 1s tick is fine.
+    bool AnyRetryPending = false;
+    for (const Conn &C : Conns)
+      if (C.Alive && C.RetryPending)
+        AnyRetryPending = true;
+    int PollMs =
+        (Cfg.RequestTimeoutMs > 0 || AnyRetryPending) ? 10 : 1000;
+    int Ready = Pfds.empty()
+                    ? (std::this_thread::sleep_for(
+                           std::chrono::milliseconds(PollMs)),
+                       0)
+                    : ::poll(Pfds.data(), Pfds.size(), PollMs);
     if (Ready < 0 && errno != EINTR)
       break;
     if (Ready > 0) {
-      IdlePolls = 0;
-    } else if (++IdlePolls >= 5 && !StallDumped) {
+      IdleMs = 0;
+    } else if ((IdleMs += PollMs) >= 5000 && !StallDumped) {
       StallDumped = true;
       fprintf(stderr,
               "wire load stalled: issued=%llu completed=%llu, no traffic "
               "for %ds with requests in flight\n",
               static_cast<unsigned long long>(Out.Issued),
-              static_cast<unsigned long long>(Out.Completed), IdlePolls);
+              static_cast<unsigned long long>(Out.Completed), IdleMs / 1000);
       for (size_t I = 0; I != Conns.size(); ++I) {
         const Conn &C = Conns[I];
         if (!C.Alive || !C.InFlight)
@@ -274,6 +386,8 @@ bool asyncg::acmeair::runWireLoad(const LoadConfig &Cfg, LoadStats &Out) {
             C.OutOff += static_cast<size_t>(N);
             continue;
           }
+          if (N < 0 && errno == EINTR)
+            continue;
           if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
             break;
           Dead = true;
@@ -291,6 +405,8 @@ bool asyncg::acmeair::runWireLoad(const LoadConfig &Cfg, LoadStats &Out) {
             C.In.append(Buf, static_cast<size_t>(N));
             continue;
           }
+          if (N < 0 && errno == EINTR)
+            continue;
           if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
             break;
           Dead = true; // EOF or reset mid-run
@@ -316,16 +432,25 @@ bool asyncg::acmeair::runWireLoad(const LoadConfig &Cfg, LoadStats &Out) {
       if (Dead) {
         ::close(C.Fd);
         C.Fd = -1;
-        C.Alive = false;
-        --AliveCount;
         ++Out.DroppedConns;
+        C.Token.clear(); // the shard-local session dies with the socket
         if (C.InFlight) {
           C.InFlight = false;
-          ++Lost;
+          if (C.Attempts <= Cfg.MaxRetries) {
+            // Lost mid-request (e.g. an injected peer reset): resend on a
+            // fresh connection after the backoff.
+            QueueRetry(C, Clock::now());
+          } else {
+            Abandon(C, AliveCount);
+          }
+        } else if (Cfg.MaxRetries == 0) {
+          // Idle connection lost with no retry budget: permanently out.
+          C.Alive = false;
+          --AliveCount;
         }
+        // Idle + retries allowed: stays alive; the issue pump reconnects.
       }
     }
-    (void)Lost;
   }
 
   Out.WallSeconds =

@@ -41,6 +41,15 @@ struct LoadConfig {
   WorkloadMix Mix;
   /// How long connect() keeps retrying while the servers come up (ms).
   int ConnectTimeoutMs = 2000;
+  /// Per-request deadline (ms). A request with no response inside the
+  /// window is timed out: its connection is torn down (a late response on
+  /// the same stream would be misattributed) and the request is retried or
+  /// abandoned. 0 = wait forever (the pre-fault-injection behavior).
+  int RequestTimeoutMs = 0;
+  /// Resend budget per request after a timeout or a lost connection, each
+  /// retry on a fresh connection after a bounded, jittered backoff.
+  /// 0 = never retry; the request is abandoned on first failure.
+  int MaxRetries = 0;
 };
 
 /// Wire-load outcome.
@@ -52,6 +61,14 @@ struct LoadStats {
   uint64_t Errors = 0;
   /// Connections lost (reset / premature close) before the run finished.
   uint64_t DroppedConns = 0;
+  /// Requests that hit RequestTimeoutMs (including ones whose retry later
+  /// completed).
+  uint64_t Timeouts = 0;
+  /// Resends performed after a timeout or a lost connection.
+  uint64_t Retries = 0;
+  /// Requests given up on (retry budget exhausted or reconnect failed).
+  /// At return Issued == Completed + Abandoned: nothing blocks forever.
+  uint64_t Abandoned = 0;
   double WallSeconds = 0;
   double ReqPerSec = 0;
   /// Request latency percentiles (microseconds).

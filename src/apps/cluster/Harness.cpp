@@ -14,6 +14,7 @@
 #include "node/Cluster.h"
 
 #ifdef __linux__
+#include "sim/EpollNetwork.h"
 #include "sim/RealKernel.h"
 #endif
 
@@ -57,12 +58,18 @@ void runShard(const ClusterConfig &Cfg, sim::ClusterKernel &Kernel,
   RuntimeConfig RC;
   RC.Shard = S;
   RC.Backend = Cfg.Backend;
+  RC.Faults = Cfg.Faults;
+  // Per-shard injector seed: decision order inside one loop is
+  // deterministic, so a derived seed per shard makes the whole cluster's
+  // fault schedule a pure function of (spec, FaultSeed).
+  RC.FaultSeed = Cfg.FaultSeed + static_cast<uint64_t>(S) * 7919;
   St.RT = std::make_unique<Runtime>(RC);
   Runtime &RT = *St.RT;
 
 #ifdef __linux__
   if (Cfg.Backend != sim::KernelBackend::Sim) {
-    auto *RK = static_cast<sim::RealKernel *>(&RT.kernel());
+    // realKernel() unwraps a FaultKernel decorator when faults are on.
+    auto *RK = static_cast<sim::RealKernel *>(&RT.realKernel());
     St.RK.store(RK, std::memory_order_release);
     // Cross-loop posts must reach a loop blocked in epoll_wait or
     // io_uring_enter, where the cluster condvar cannot; wakeup() writes
@@ -95,6 +102,7 @@ void runShard(const ClusterConfig &Cfg, sim::ClusterKernel &Kernel,
       PCfg.Drain = ag::DrainMode::Deferred;
       PCfg.RingCapacity = Cfg.RingCapacity;
       PCfg.SampleBudgetPct = Cfg.SampleBudgetPct;
+      PCfg.Policy = Cfg.Policy;
       St.Pipeline = std::make_unique<ag::AsyncPipeline>(*St.Builder, PCfg);
       RT.hooks().attach(St.Pipeline.get());
     } else {
@@ -169,6 +177,7 @@ void runShard(const ClusterConfig &Cfg, sim::ClusterKernel &Kernel,
     St.Result.PushedRecords = St.Pipeline->pushedRecords();
     St.Result.Backpressure = St.Pipeline->backpressure();
     St.Result.Sampling = St.Pipeline->sampling();
+    St.Result.Degradation = St.Pipeline->degradation();
   }
   if (St.Recorder) {
     St.Recorder->finalize();
@@ -187,6 +196,15 @@ void runShard(const ClusterConfig &Cfg, sim::ClusterKernel &Kernel,
     St.Result.Sent = St.Worker->sent();
     St.Result.Received = St.Worker->received();
   }
+  if (sim::FaultInjector *Inj = RT.faultInjector()) {
+    St.Result.FaultDecisions = Inj->decisions();
+    St.Result.FaultsInjected = Inj->totalInjected();
+    St.Result.FaultDigest = Inj->scheduleDigest();
+  }
+#ifdef __linux__
+  if (auto *EN = dynamic_cast<sim::EpollNetwork *>(&RT.network()))
+    St.Result.Net = EN->recoveryStats();
+#endif
 }
 
 } // namespace
@@ -280,6 +298,13 @@ ClusterResult ClusterHarness::run() {
       LC.Connections = Config.TotalClients;
       LC.TotalRequests = Config.TotalRequests;
       LC.Seed = Config.Seed;
+      if (Config.Faults.any()) {
+        // Under fault injection the server sheds connections (injected
+        // resets) and stretches latencies; the driver needs deadlines and
+        // a retry budget or faulted requests would hang the run.
+        LC.RequestTimeoutMs = 2000;
+        LC.MaxRetries = 3;
+      }
       acmeair::runWireLoad(LC, R.Wire);
     }
     // Load done (or never started): stop every shard loop. requestStop is
@@ -308,6 +333,10 @@ ClusterResult ClusterHarness::run() {
   for (uint32_t S = 0; S != N; ++S) {
     ShardResult &SR = States[S].Result;
     R.Sys.merge(SR.Sys);
+    R.Degradation.merge(SR.Degradation);
+    R.Net.merge(SR.Net);
+    R.FaultDecisions += SR.FaultDecisions;
+    R.FaultsInjected += SR.FaultsInjected;
     R.TotalCompleted += SR.Completed;
     R.TotalErrors += SR.Errors;
     if (SR.VirtualTimeUs > R.MaxVirtualTimeUs)

@@ -37,6 +37,7 @@
 #include "ag/ShardedGraph.h"
 #include "apps/acmeair/LoadGen.h"
 #include "sim/Cluster.h"
+#include "sim/Fault.h"
 #include "sim/Kernel.h"
 
 #include <atomic>
@@ -99,6 +100,14 @@ struct ClusterConfig {
   std::string RecordDir;
   /// Trace file encoding for RecordDir (4 = columnar delta frames).
   uint32_t TraceVer = trace::TraceVersion;
+  /// Deterministic fault injection for every shard loop (DESIGN.md §5i).
+  /// Each shard derives its own injector seed from FaultSeed, so the
+  /// per-shard fault schedule is reproducible across runs.
+  sim::FaultSpec Faults;
+  uint64_t FaultSeed = 1;
+  /// Ring-full policy of the async pipeline (Async mode only). Degrade
+  /// enables the graceful-degradation ladder.
+  ag::BackpressurePolicy Policy = ag::BackpressurePolicy::Block;
 };
 
 /// Per-shard outcome.
@@ -124,6 +133,18 @@ struct ShardResult {
   /// Record-section bytes written to this shard's trace file (0 when
   /// RecordDir is empty).
   uint64_t RecordedBytes = 0;
+  /// Graceful-degradation ladder outcome (zeros unless Policy is Degrade).
+  ag::DegradationStats Degradation;
+  /// Hardened network error-path counters (zeros on the sim backend or
+  /// when no faults are injected).
+  sim::NetRecoveryStats Net;
+  /// Fault-injection outcome for this shard's injector (zeros when
+  /// Faults.any() is false).
+  uint64_t FaultDecisions = 0;
+  uint64_t FaultsInjected = 0;
+  /// scheduleDigest() of the shard's injector — identical across two runs
+  /// with the same (spec, seed, workload).
+  uint64_t FaultDigest = 0;
 };
 
 /// Whole-cluster outcome.
@@ -146,6 +167,13 @@ struct ClusterResult {
   acmeair::LoadStats Wire;
   /// Kernel-syscall cost model summed over all shard loops.
   sim::KernelStats Sys;
+  /// Degradation ladder merged over all shards (Policy == Degrade only).
+  ag::DegradationStats Degradation;
+  /// Network recovery counters summed over all shards.
+  sim::NetRecoveryStats Net;
+  /// Fault-injection totals over all shards.
+  uint64_t FaultDecisions = 0;
+  uint64_t FaultsInjected = 0;
 };
 
 /// Runs the cluster. Single-shot: construct, run(), then inspect the

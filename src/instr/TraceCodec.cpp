@@ -486,11 +486,72 @@ void TraceRecorder::onLoopEnd(const LoopEndEvent &E) {
 
 namespace {
 
+/// Replays a torn/truncated v4 image through the checkpoint-recovery
+/// scanner: whole frames only, symbol remap grown from the interleaved
+/// checkpoints. Shared by both transports' fallback paths.
+bool replayRecovered(const uint8_t *Bytes, uint64_t Size, AnalysisBase &Sink,
+                     std::string *Err, ReplayStats *Stats) {
+  TraceDecoder Decoder;
+  std::vector<SymbolId> Remap;
+  size_t Mapped = 0;
+  trace::TraceRecoveryInfo Info;
+  bool Ok = trace::recoverV4Prefix(
+      Bytes, Size, Remap,
+      [&](const trace::TraceRecord *R, size_t N) {
+        if (Remap.size() != Mapped) {
+          Decoder.setSymbolRemap(Remap);
+          Mapped = Remap.size();
+        }
+        for (size_t I = 0; I != N; ++I)
+          Decoder.decodeOne(R[I], Sink);
+        // Frame boundary: the retirement safe point, as in normal replay.
+        Sink.onBatchBoundary();
+      },
+      &Info, Err);
+  if (Ok && Stats) {
+    Stats->Records = Info.Records;
+    Stats->RecordBytes = Info.RecordBytes;
+    Stats->BadRecords = Decoder.badRecords();
+    Stats->Version = trace::TraceVersion;
+    Stats->Recovered = true;
+    Stats->DroppedTailBytes = Info.DroppedBytes;
+  }
+  return Ok;
+}
+
+bool slurpFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  bool Ok = std::fseek(F, 0, SEEK_END) == 0;
+  long Size = Ok ? std::ftell(F) : -1;
+  Ok = Ok && Size >= 0 && std::fseek(F, 0, SEEK_SET) == 0;
+  if (Ok) {
+    Out.resize(static_cast<size_t>(Size));
+    Ok = Out.empty() ||
+         std::fread(Out.data(), 1, Out.size(), F) == Out.size();
+  }
+  std::fclose(F);
+  return Ok;
+}
+
 bool replayStdio(const std::string &Path, AnalysisBase &Sink,
                  std::string *Err, ReplayStats *Stats) {
   TraceFileReader Reader;
-  if (!Reader.open(Path, Err))
+  std::string OpenErr;
+  if (!Reader.open(Path, &OpenErr)) {
+    // Strict open refused the file — a recording cut off by a crash never
+    // got its symbol section or header counts. Salvage the clean
+    // frame-aligned prefix from the checkpoint chain; if the image is not
+    // recoverable v4 either, report the original failure.
+    std::vector<uint8_t> Bytes;
+    if (slurpFile(Path, Bytes) &&
+        replayRecovered(Bytes.data(), Bytes.size(), Sink, nullptr, Stats))
+      return true;
+    if (Err)
+      *Err = OpenErr;
     return false;
+  }
   TraceDecoder Decoder;
   Decoder.setSymbolRemap(Reader.symbolRemap());
   uint64_t Records = 0;
@@ -521,8 +582,22 @@ bool replayStdio(const std::string &Path, AnalysisBase &Sink,
 bool replayMmap(const std::string &Path, AnalysisBase &Sink,
                 std::string *Err, ReplayStats *Stats) {
   TraceMmapReader Map;
-  if (!Map.open(Path, Err))
+  std::string OpenErr;
+  if (!Map.open(Path, &OpenErr)) {
+    if (OpenErr != "mmap unavailable on this platform" &&
+        OpenErr != "cannot open trace file" &&
+        OpenErr != "cannot mmap trace file") {
+      // Validation (not mmap itself) failed: try torn-tail recovery over a
+      // raw mapping of the same file.
+      TraceMmapReader Raw;
+      if (Raw.openRaw(Path, nullptr) &&
+          replayRecovered(Raw.data(), Raw.size(), Sink, nullptr, Stats))
+        return true;
+    }
+    if (Err)
+      *Err = OpenErr;
     return false;
+  }
   TraceDecoder Decoder;
   Decoder.setSymbolRemap(Map.symbolRemap());
   const TraceFileHeader &H = Map.header();
@@ -553,6 +628,13 @@ bool replayMmap(const std::string &Path, AnalysisBase &Sink,
         if (Err)
           *Err = "trace file truncated: missing frames";
         break;
+      }
+      size_t Skip = 0;
+      if (trace::skipSymFrame(P, static_cast<size_t>(Avail), Skip)) {
+        // Symbol checkpoint: superseded by the finalized symbol section.
+        P += Skip;
+        Avail -= Skip;
+        continue;
       }
       size_t Consumed = 0;
       Ok = trace::decodeV4Frame(

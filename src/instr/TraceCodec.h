@@ -213,6 +213,12 @@ struct ReplayStats {
   /// Records whose opcode or sequencing was invalid (skipped).
   uint64_t BadRecords = 0;
   uint32_t Version = 0;
+  /// True when the strict open failed (torn/truncated recording) and the
+  /// replay salvaged the clean frame-aligned prefix via the v4 checkpoint
+  /// chain instead. Records/RecordBytes then describe the prefix.
+  bool Recovered = false;
+  /// Bytes abandoned after the last clean frame (recovered replays only).
+  uint64_t DroppedTailBytes = 0;
 };
 
 /// Rebuilds a run from \p Path by firing every recorded event into

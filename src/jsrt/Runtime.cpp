@@ -68,6 +68,19 @@ Runtime::Runtime(RuntimeConfig Config) : Config(Config) {
     TheNetwork =
         std::make_unique<sim::Network>(*TheKernel, Config.NetLatencyUs);
   }
+  if (Config.Faults.any()) {
+    Injector = std::make_unique<sim::FaultInjector>(Config.Faults,
+                                                    Config.FaultSeed);
+#ifdef __linux__
+    if (auto *EN = dynamic_cast<sim::EpollNetwork *>(TheNetwork.get()))
+      EN->setFaultInjector(Injector.get());
+#endif
+    // Wrap after the network is built: the network keeps its concrete
+    // reference to the real backend (delivery submits bypass jitter), while
+    // the loop and the file system see the decorated surface.
+    TheKernel =
+        std::make_unique<sim::FaultKernel>(std::move(TheKernel), *Injector);
+  }
   TheFileSystem =
       std::make_unique<sim::FileSystem>(*TheKernel, Config.FsLatencyUs);
   assert(Config.Shard <= MaxShardId && "shard number out of range");
@@ -83,6 +96,12 @@ Runtime::Runtime(RuntimeConfig Config) : Config(Config) {
 }
 
 Runtime::~Runtime() = default;
+
+sim::Kernel &Runtime::realKernel() {
+  if (auto *FK = dynamic_cast<sim::FaultKernel *>(TheKernel.get()))
+    return FK->inner();
+  return *TheKernel;
+}
 
 LoopPort::~LoopPort() = default;
 

@@ -41,6 +41,7 @@
 #include "jsrt/TimerHeap.h"
 #include "jsrt/Value.h"
 #include "sim/Clock.h"
+#include "sim/Fault.h"
 #include "sim/FileSystem.h"
 #include "sim/Kernel.h"
 #include "sim/Network.h"
@@ -99,6 +100,16 @@ struct RuntimeConfig {
 
   /// Listen backlog for real sockets (Epoll backend only).
   int ListenBacklog = 128;
+
+  /// Deterministic fault injection (DESIGN.md §5i). When any rate is
+  /// non-zero, the kernel is wrapped in a sim::FaultKernel seeded with
+  /// FaultSeed (deadline jitter, spurious wakes on every backend), and the
+  /// epoll network layer injects syscall-level faults (EINTR, EAGAIN,
+  /// EMFILE, ENOBUFS, short writes, resets) at its accept/recv/send wrap
+  /// points. The same (spec, seed, workload) replays the identical fault
+  /// schedule.
+  sim::FaultSpec Faults;
+  uint64_t FaultSeed = 1;
 };
 
 class Runtime;
@@ -136,6 +147,15 @@ public:
   const RuntimeConfig &config() const { return Config; }
   sim::Clock &clock() { return TheClock; }
   sim::Kernel &kernel() { return *TheKernel; }
+
+  /// The kernel with any fault-injection decorator peeled off — the
+  /// backend object itself, for callers that need backend-specific access
+  /// (the cluster harness casts this to the real backend type).
+  sim::Kernel &realKernel();
+
+  /// The fault decision engine, or nullptr when Config.Faults is empty.
+  sim::FaultInjector *faultInjector() { return Injector.get(); }
+
   sim::Network &network() { return *TheNetwork; }
   sim::FileSystem &fileSystem() { return *TheFileSystem; }
   instr::HookRegistry &hooks() { return Hooks; }
@@ -488,6 +508,9 @@ private:
   RuntimeConfig Config;
   LoopPort *Port = nullptr;
   sim::Clock TheClock;
+  /// Declared before the kernel: the FaultKernel decorator and the network
+  /// layer hold references into it, so it must outlive both.
+  std::unique_ptr<sim::FaultInjector> Injector;
   /// Kernel/network are backend-polymorphic (Sim or Epoll); the file
   /// system always submits through whichever kernel is installed.
   std::unique_ptr<sim::Kernel> TheKernel;

@@ -120,7 +120,11 @@ int EpollKernel::pollOnce(int TimeoutMs) {
     if (Fd == EvFd || Fd == TimerFd) {
       uint64_t Buf;
       ++Stats.Syscalls; // at least one draining read
-      while (::read(Fd, &Buf, sizeof(Buf)) > 0) {
+      // Drain through EINTR: abandoning the drain on a signal would leave
+      // the eventfd/timerfd level-readable and spin the next sweep.
+      ssize_t R;
+      while ((R = ::read(Fd, &Buf, sizeof(Buf))) > 0 ||
+             (R < 0 && errno == EINTR)) {
       }
       continue;
     }

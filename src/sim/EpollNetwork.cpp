@@ -8,6 +8,8 @@
 
 #include "sim/EpollNetwork.h"
 
+#include "sim/Fault.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -98,9 +100,26 @@ void EpollSocket::onReadable() {
   char Buf[64 * 1024];
   std::weak_ptr<EpollSocket> Self =
       std::static_pointer_cast<EpollSocket>(shared_from_this());
+  int EintrSpins = 0;
   for (;;) {
-    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
-    EK.noteSyscalls(1);
+    ssize_t N;
+    if (Faults && Faults->shouldInject(FaultKind::Reset)) {
+      if (RS)
+        ++RS->ResetsInjected;
+      N = -1;
+      errno = ECONNRESET;
+    } else if (Faults && Faults->shouldInject(FaultKind::Eintr)) {
+      N = -1;
+      errno = EINTR;
+    } else if (Faults && Faults->shouldInject(FaultKind::Eagain)) {
+      // Spurious not-ready. Safe under level-triggered epoll: if bytes
+      // really are pending the next sweep reports the fd readable again.
+      N = -1;
+      errno = EAGAIN;
+    } else {
+      N = ::recv(Fd, Buf, sizeof(Buf), 0);
+      EK.noteSyscalls(1);
+    }
     if (N > 0) {
       std::vector<std::string> Msgs;
       if (!Codec->ingest(Buf, static_cast<size_t>(N), Msgs)) {
@@ -136,30 +155,100 @@ void EpollSocket::onReadable() {
         updateInterest(); // drop EPOLLIN: a FIN-ed fd stays readable forever
       return;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+    if (errno == EINTR) {
+      // Interrupted before any bytes moved: retry immediately, bounded so
+      // a signal storm can't wedge the loop — past the cap the pending
+      // bytes wait for the next level-triggered sweep. Returning on the
+      // first EINTR (the old behavior) cost a wakeup per signal.
+      if (RS)
+        ++RS->EintrRetries;
+      if (++EintrSpins > 64)
+        return;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
       return;
     // ECONNRESET and friends: the sim analogue is the peer destroying the
     // pair — a close event.
+    if (RS)
+      ++RS->DrainedConns;
     failConnection();
     return;
   }
 }
 
 bool EpollSocket::flushOut() {
+  int EintrSpins = 0;
   while (OutOff < Out.size()) {
-    ssize_t N =
-        ::send(Fd, Out.data() + OutOff, Out.size() - OutOff, MSG_NOSIGNAL);
-    EK.noteSyscalls(1);
+    size_t Want = Out.size() - OutOff;
+    if (Faults && Want >= 2 && Faults->shouldInject(FaultKind::ShortWrite)) {
+      // Clamp to a strict prefix: the loop below naturally re-sends the
+      // rest, which is exactly the path a short kernel write exercises.
+      Want = Faults->shortenWrite(Want);
+      if (RS)
+        ++RS->ShortWrites;
+    }
+    ssize_t N;
+    if (Faults && Faults->shouldInject(FaultKind::Enobufs)) {
+      N = -1;
+      errno = ENOBUFS;
+    } else if (Faults && Faults->shouldInject(FaultKind::Eintr)) {
+      N = -1;
+      errno = EINTR;
+    } else {
+      N = ::send(Fd, Out.data() + OutOff, Want, MSG_NOSIGNAL);
+      EK.noteSyscalls(1);
+    }
     if (N > 0) {
       OutOff += static_cast<size_t>(N);
+      EnobufsStreak = 0;
       continue;
     }
     if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       updateInterest();
       return true;
     }
-    if (N < 0 && errno == EINTR)
+    if (N < 0 && errno == EINTR) {
+      if (RS)
+        ++RS->EintrRetries;
+      if (++EintrSpins > 64) {
+        updateInterest(); // EPOLLOUT re-delivers; don't wedge the loop
+        return true;
+      }
       continue;
+    }
+    if (N < 0 && (errno == ENOBUFS || errno == ENOMEM)) {
+      // Transient buffer exhaustion: keep the bytes queued and retry on a
+      // jittered exponential backoff timer (EPOLLOUT alone would fire
+      // immediately — the socket is writable, the kernel just has no
+      // buffers). Bounded: a persistent streak drains the connection.
+      if (RS)
+        ++RS->EnobufsRetries;
+      if (++EnobufsStreak > 10) {
+        if (RS)
+          ++RS->DrainedConns;
+        failConnection();
+        return false;
+      }
+      if (!FlushRetryArmed) {
+        FlushRetryArmed = true;
+        SimTime Backoff = SimTime(100)
+                          << (EnobufsStreak < 6 ? EnobufsStreak : 6);
+        std::weak_ptr<EpollSocket> Self =
+            std::static_pointer_cast<EpollSocket>(shared_from_this());
+        EK.submit(Backoff, [Self] {
+          if (auto S = Self.lock()) {
+            S->FlushRetryArmed = false;
+            if (S->Fd >= 0 && S->pendingOutBytes() > 0)
+              S->flushOut();
+          }
+        });
+      }
+      updateInterest();
+      return true;
+    }
+    if (RS)
+      ++RS->DrainedConns;
     failConnection();
     return false;
   }
@@ -303,15 +392,34 @@ bool EpollNetwork::listenWithBacklog(int Port, AcceptHandler OnAccept,
 }
 
 void EpollNetwork::onAcceptable(int ListenFd, const AcceptHandler &OnAccept) {
+  int EintrSpins = 0;
   for (;;) {
-    int Fd = ::accept4(ListenFd, nullptr, nullptr,
-                       SOCK_NONBLOCK | SOCK_CLOEXEC);
-    EK.noteSyscalls(1);
+    int Fd;
+    if (Faults && Faults->shouldInject(FaultKind::Emfile)) {
+      Fd = -1;
+      errno = EMFILE;
+    } else {
+      Fd = ::accept4(ListenFd, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+      EK.noteSyscalls(1);
+    }
     if (Fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+      if (errno == EINTR) {
+        // Retry: connections are queued in the backlog; the old
+        // return-on-EINTR deferred them a full sweep.
+        ++RS->EintrRetries;
+        if (++EintrSpins > 64)
+          return;
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
         return;
-      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE)
+      if (errno == ECONNABORTED)
+        continue; // peer gave up while queued; the next one may be fine
+      if (errno == EMFILE || errno == ENFILE) {
+        pauseAccept(ListenFd);
         return;
+      }
       return;
     }
     int One = 1;
@@ -324,9 +432,38 @@ void EpollNetwork::onAcceptable(int ListenFd, const AcceptHandler &OnAccept) {
   }
 }
 
+void EpollNetwork::pauseAccept(int ListenFd) {
+  auto It = Ports.begin();
+  for (; It != Ports.end(); ++It)
+    if (It->second.Fd == ListenFd)
+      break;
+  if (It == Ports.end() || It->second.Paused)
+    return;
+  It->second.Paused = true;
+  ++RS->AcceptPauses;
+  EK.unwatchFd(ListenFd);
+  EK.submit(AcceptPauseUs, [this, ListenFd] { resumeAccept(ListenFd); });
+}
+
+void EpollNetwork::resumeAccept(int ListenFd) {
+  auto It = Ports.begin();
+  for (; It != Ports.end(); ++It)
+    if (It->second.Fd == ListenFd)
+      break;
+  if (It == Ports.end() || !It->second.Paused)
+    return; // port was closed (or re-armed) while the pause timer ran
+  It->second.Paused = false;
+  AcceptHandler Handler = It->second.OnAccept;
+  EK.watchFd(ListenFd, EPOLLIN, [this, ListenFd, Handler](uint32_t) {
+    onAcceptable(ListenFd, Handler);
+  });
+}
+
 std::shared_ptr<EpollSocket> EpollNetwork::adopt(int Fd, bool ServerRole) {
   std::shared_ptr<EpollSocket> Sock(
       new EpollSocket(EK, Fd, makeWireCodec(Wire, ServerRole)));
+  Sock->Faults = Faults;
+  Sock->RS = RS;
   Sock->arm();
   // Compact expired entries so long-serving processes stay bounded.
   size_t W = 0;

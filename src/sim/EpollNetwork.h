@@ -34,6 +34,7 @@
 #ifdef __linux__
 
 #include "sim/EpollKernel.h"
+#include "sim/Fault.h"
 #include "sim/Network.h"
 #include "sim/WireCodec.h"
 
@@ -89,6 +90,15 @@ private:
   uint32_t Interest = 0;
   bool EndAfterFlush = false;
   bool SawEof = false;
+  /// Optional fault injection (owned by the runtime; outlives the socket).
+  FaultInjector *Faults = nullptr;
+  /// Recovery counters shared with the owning network.
+  std::shared_ptr<NetRecoveryStats> RS;
+  /// Consecutive ENOBUFS results on this socket; the bounded-backoff retry
+  /// gives up (draining the connection) when the streak exceeds the cap.
+  uint32_t EnobufsStreak = 0;
+  /// True while a backoff-timer flush retry is scheduled.
+  bool FlushRetryArmed = false;
 };
 
 /// The epoll-backed network. One instance per runtime, owned by it.
@@ -115,13 +125,33 @@ public:
   /// Accepted-connection count (for stats/tests).
   uint64_t acceptedCount() const { return Accepted; }
 
+  /// Installs a fault injector consulted at the accept/recv/send syscall
+  /// wrap points (and inherited by every socket created afterwards).
+  /// Pass nullptr to disable. The injector must outlive the network.
+  void setFaultInjector(FaultInjector *Inj) { Faults = Inj; }
+
+  /// Hardened-path counters (EINTR retries, accept pauses, backoffs, and
+  /// the faults injected into them).
+  const NetRecoveryStats &recoveryStats() const { return *RS; }
+
+  /// Microseconds an EMFILE/ENFILE accept failure pauses the listener
+  /// before re-arming (tests shrink this).
+  void setAcceptPauseUs(SimTime Us) { AcceptPauseUs = Us; }
+
 private:
   struct Listener {
     int Fd = -1;
     AcceptHandler OnAccept;
+    bool Paused = false;
   };
 
   void onAcceptable(int ListenFd, const AcceptHandler &OnAccept);
+  /// EMFILE/ENFILE: stop accepting (unwatch the listen fd) and schedule a
+  /// resume — the kernel keeps queueing connections in the backlog, and
+  /// accepting again later succeeds once fds free up. Without the pause, a
+  /// level-triggered listener spins the loop at 100% on a full fd table.
+  void pauseAccept(int ListenFd);
+  void resumeAccept(int ListenFd);
   std::shared_ptr<EpollSocket> adopt(int Fd, bool ServerRole);
 
   EpollKernel &EK;
@@ -130,6 +160,9 @@ private:
   std::map<int, Listener> Ports;
   std::vector<std::weak_ptr<EpollSocket>> Sockets;
   uint64_t Accepted = 0;
+  FaultInjector *Faults = nullptr;
+  std::shared_ptr<NetRecoveryStats> RS = std::make_shared<NetRecoveryStats>();
+  SimTime AcceptPauseUs = 5000;
 };
 
 } // namespace sim

@@ -1,0 +1,119 @@
+//===- Fault.cpp - Deterministic fault injection ------------------------------===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace asyncg;
+using namespace asyncg::sim;
+
+const char *sim::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::Eintr:
+    return "eintr";
+  case FaultKind::Eagain:
+    return "eagain";
+  case FaultKind::Emfile:
+    return "emfile";
+  case FaultKind::Enobufs:
+    return "enobufs";
+  case FaultKind::ShortWrite:
+    return "shortwrite";
+  case FaultKind::Reset:
+    return "reset";
+  case FaultKind::Jitter:
+    return "jitter";
+  }
+  return "?";
+}
+
+FaultSpec FaultSpec::defaultMix() {
+  FaultSpec S;
+  S.Rate[static_cast<size_t>(FaultKind::Eintr)] = 0.02;
+  S.Rate[static_cast<size_t>(FaultKind::Eagain)] = 0.01;
+  S.Rate[static_cast<size_t>(FaultKind::Emfile)] = 0.001;
+  S.Rate[static_cast<size_t>(FaultKind::Enobufs)] = 0.005;
+  S.Rate[static_cast<size_t>(FaultKind::ShortWrite)] = 0.05;
+  S.Rate[static_cast<size_t>(FaultKind::Reset)] = 0.002;
+  S.Rate[static_cast<size_t>(FaultKind::Jitter)] = 0.01;
+  return S;
+}
+
+static bool parseKind(const std::string &Name, FaultKind &Out) {
+  for (size_t I = 0; I < NumFaultKinds; ++I) {
+    FaultKind K = static_cast<FaultKind>(I);
+    if (Name == faultKindName(K)) {
+      Out = K;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultSpec::parse(const std::string &Text, FaultSpec &Out,
+                      std::string *Err) {
+  Out = FaultSpec();
+  if (Text.empty())
+    return true;
+  if (Text == "default") {
+    Out = defaultMix();
+    return true;
+  }
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Comma = Text.find(',', Pos);
+    std::string Item = Text.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Text.size() + 1 : Comma + 1;
+    if (Item.empty()) {
+      if (Err)
+        *Err = "fault-spec: empty entry";
+      return false;
+    }
+    size_t Colon = Item.find(':');
+    if (Colon == std::string::npos) {
+      if (Err)
+        *Err = "fault-spec: expected kind:rate, got '" + Item + "'";
+      return false;
+    }
+    std::string Name = Item.substr(0, Colon);
+    FaultKind K;
+    if (!parseKind(Name, K)) {
+      if (Err)
+        *Err = "fault-spec: unknown fault kind '" + Name +
+               "' (kinds: eintr, eagain, emfile, enobufs, shortwrite, "
+               "reset, jitter)";
+      return false;
+    }
+    char *End = nullptr;
+    std::string RateText = Item.substr(Colon + 1);
+    double R = std::strtod(RateText.c_str(), &End);
+    if (RateText.empty() || End == RateText.c_str() || *End != '\0' ||
+        R < 0.0 || R > 1.0) {
+      if (Err)
+        *Err = "fault-spec: rate for '" + Name +
+               "' must be a number in [0,1], got '" + RateText + "'";
+      return false;
+    }
+    Out.Rate[static_cast<size_t>(K)] = R;
+  }
+  return true;
+}
+
+std::string FaultSpec::str() const {
+  std::string S;
+  char Buf[64];
+  for (size_t I = 0; I < NumFaultKinds; ++I) {
+    if (Rate[I] <= 0)
+      continue;
+    std::snprintf(Buf, sizeof(Buf), "%s%s:%g", S.empty() ? "" : ",",
+                  faultKindName(static_cast<FaultKind>(I)), Rate[I]);
+    S += Buf;
+  }
+  return S;
+}

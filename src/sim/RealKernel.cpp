@@ -11,6 +11,8 @@
 #include <sys/eventfd.h>
 #include <unistd.h>
 
+#include <cerrno>
+
 using namespace asyncg;
 using namespace asyncg::sim;
 
@@ -48,8 +50,14 @@ void RealKernel::requestStop() {
 
 void RealKernel::wakeup() {
   uint64_t One = 1;
-  ssize_t N = ::write(EvFd, &One, sizeof(One));
-  (void)N; // EAGAIN means the counter is already nonzero: wakeup pending.
+  ssize_t N;
+  // Retry EINTR: a lost wakeup write can strand an external submit until
+  // the next unrelated event. EAGAIN is fine — the counter is already
+  // nonzero, so a wakeup is pending.
+  do {
+    N = ::write(EvFd, &One, sizeof(One));
+  } while (N < 0 && errno == EINTR);
+  (void)N;
   WakeupCalls.fetch_add(1, std::memory_order_relaxed);
 }
 

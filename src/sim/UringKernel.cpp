@@ -614,7 +614,11 @@ void UringKernel::handleCqe(const io_uring_cqe &Cqe) {
     // takeDue itself — the poll's only job is ending a blocked enter.
     uint64_t V;
     ++Stats.Syscalls;
-    while (::read(EvFd, &V, sizeof(V)) > 0) {
+    // Drain through EINTR: a signal mid-drain would otherwise leave the
+    // counter nonzero and re-fire the poll immediately.
+    ssize_t R;
+    while ((R = ::read(EvFd, &V, sizeof(V))) > 0 ||
+           (R < 0 && errno == EINTR)) {
     }
     if (Res == -EINVAL && MultishotPollOk) {
       MultishotPollOk = false;

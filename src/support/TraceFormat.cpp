@@ -103,6 +103,7 @@ bool TraceFileWriter::open(const std::string &Path, uint32_t Ver) {
   Count = 0;
   RecordSectionBytes = 0;
   Version = Ver;
+  CkptSyms = 0;
   Pending.clear();
   TraceFileHeader H = {};
   std::memcpy(H.Magic, TraceMagic, sizeof(H.Magic));
@@ -110,9 +111,41 @@ bool TraceFileWriter::open(const std::string &Path, uint32_t Ver) {
   return std::fwrite(&H, sizeof(H), 1, File) == 1;
 }
 
+bool TraceFileWriter::writeSymCheckpoint() {
+  SymbolTable &Tab = symtab();
+  uint64_t Now = Tab.size();
+  if (Now == CkptSyms)
+    return true;
+  TraceSymFrameHeader H = {};
+  H.Magic = FrameSymMagic;
+  H.SymCount = static_cast<uint32_t>(Now - CkptSyms);
+  H.FirstId = CkptSyms;
+  uint64_t ByteLen = 0;
+  for (uint64_t Id = CkptSyms; Id != Now; ++Id)
+    ByteLen += sizeof(uint32_t) + Tab.view(static_cast<SymbolId>(Id)).size();
+  H.ByteLen = ByteLen;
+  if (std::fwrite(&H, sizeof(H), 1, File) != 1)
+    return false;
+  for (uint64_t Id = CkptSyms; Id != Now; ++Id) {
+    std::string_view S = Tab.view(static_cast<SymbolId>(Id));
+    uint32_t Len = static_cast<uint32_t>(S.size());
+    if (std::fwrite(&Len, sizeof(Len), 1, File) != 1 ||
+        (Len != 0 && std::fwrite(S.data(), 1, Len, File) != Len))
+      return false;
+  }
+  // Checkpoint bytes are durability overhead, not record payload, so they
+  // stay out of recordBytes() (the compression metric).
+  CkptSyms = Now;
+  return true;
+}
+
 bool TraceFileWriter::flushFrame() {
   if (Pending.empty())
     return true;
+  // Symbols first: a recovery scan replays frames front to back, so every
+  // id the frame references must already be on disk when the frame is.
+  if (Checkpoints && !writeSymCheckpoint())
+    return false;
   FrameBuf.clear();
   Encoder.encodeFrame(Pending.data(), Pending.size(), FrameBuf);
   Pending.clear();
@@ -120,6 +153,10 @@ bool TraceFileWriter::flushFrame() {
       FrameBuf.size())
     return false;
   RecordSectionBytes += FrameBuf.size();
+  // Frame-aligned flush checkpoint: after this line the on-disk prefix is
+  // recoverable up to and including this frame even if the process dies.
+  if (Checkpoints && std::fflush(File) != 0)
+    return false;
   return true;
 }
 
@@ -238,6 +275,114 @@ bool trace::validateTraceImage(const uint8_t *Bytes, uint64_t Size,
 }
 
 //===----------------------------------------------------------------------===//
+// Torn-tail prefix recovery
+//===----------------------------------------------------------------------===//
+
+bool trace::recoverV4Prefix(
+    const uint8_t *Bytes, uint64_t Size, std::vector<SymbolId> &Remap,
+    const std::function<void(const TraceRecord *, size_t)> &OnFrame,
+    TraceRecoveryInfo *Info, std::string *Err) {
+  TraceRecoveryInfo Local;
+  TraceRecoveryInfo &R = Info ? *Info : Local;
+  R = TraceRecoveryInfo();
+  Remap.clear();
+  if (Size < sizeof(TraceMagic) ||
+      std::memcmp(Bytes, TraceMagic, sizeof(TraceMagic)) != 0)
+    return fail(Err, "bad magic: not an .agtrace file");
+  if (Size < sizeof(TraceFileHeader)) {
+    // Cut inside the 32-byte header: the recording died before any frame
+    // reached disk. The clean prefix is empty — still a successful
+    // recovery, just of nothing.
+    R.DroppedBytes = Size;
+    R.TailError = "trace file truncated: mid-header";
+    return true;
+  }
+  TraceFileHeader H;
+  std::memcpy(&H, Bytes, sizeof(H));
+  if (H.Version <= TraceLastRawVersion || H.Version > TraceVersion)
+    return fail(Err, "trace version has no recovery checkpoints");
+
+  uint64_t Off = sizeof(TraceFileHeader);
+  std::vector<TraceRecord> Buf;
+  std::string Scratch;
+  std::string Stop;
+  while (Off < Size) {
+    uint64_t Avail = Size - Off;
+    uint32_t Magic = 0;
+    if (Avail >= sizeof(Magic))
+      std::memcpy(&Magic, Bytes + Off, sizeof(Magic));
+    if (Avail < sizeof(TraceFrameHeader)) {
+      Stop = "trace file truncated: frame header";
+      break;
+    }
+    if (Magic == FrameSymMagic) {
+      TraceSymFrameHeader SH;
+      std::memcpy(&SH, Bytes + Off, sizeof(SH));
+      if (SH.ByteLen > Avail - sizeof(SH)) {
+        Stop = "trace file truncated: symbol checkpoint";
+        break;
+      }
+      if (SH.FirstId != Remap.size()) {
+        Stop = "corrupt trace: checkpoint ids not contiguous";
+        break;
+      }
+      const uint8_t *P = Bytes + Off + sizeof(SH);
+      const uint8_t *End = P + SH.ByteLen;
+      bool Bad = false;
+      for (uint32_t I = 0; I != SH.SymCount; ++I) {
+        if (End - P < static_cast<ptrdiff_t>(sizeof(uint32_t))) {
+          Bad = true;
+          break;
+        }
+        uint32_t Len;
+        std::memcpy(&Len, P, sizeof(Len));
+        P += sizeof(Len);
+        if (Len > static_cast<uint64_t>(End - P)) {
+          Bad = true;
+          break;
+        }
+        Scratch.assign(reinterpret_cast<const char *>(P), Len);
+        P += Len;
+        Remap.push_back(symtab().intern(Scratch));
+      }
+      if (Bad || P != End) {
+        // Stop before any frame that would reference the missing ids; the
+        // symbols already re-interned are harmless.
+        Stop = "corrupt trace: checkpoint symbol bytes";
+        break;
+      }
+      Off += sizeof(SH) + SH.ByteLen;
+      continue;
+    }
+    if (Magic != FrameMagic) {
+      Stop = "corrupt trace: bad frame magic";
+      break;
+    }
+    // Decode the whole frame into a scratch buffer first: a frame that
+    // fails mid-decode is dropped entirely, so the caller only ever sees
+    // complete frames (the clean-prefix guarantee).
+    Buf.clear();
+    size_t Consumed = 0;
+    std::string FrameErr;
+    if (!decodeV4Frame(
+            Bytes + Off, static_cast<size_t>(Avail), Consumed,
+            [&Buf](const TraceRecord &Rec) { Buf.push_back(Rec); },
+            &FrameErr)) {
+      Stop = FrameErr;
+      break;
+    }
+    OnFrame(Buf.data(), Buf.size());
+    ++R.Frames;
+    R.Records += Buf.size();
+    R.RecordBytes += Consumed;
+    Off += Consumed;
+  }
+  R.DroppedBytes = Size - Off;
+  R.TailError = Stop;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
 // TraceFileReader
 //===----------------------------------------------------------------------===//
 
@@ -310,15 +455,29 @@ bool TraceFileReader::open(const std::string &Path, std::string *Err) {
 
 bool TraceFileReader::loadNextFrame() {
   TraceFrameHeader FH;
-  if (RecordBytesLeft < sizeof(FH)) {
-    ReadError = "trace file truncated: frame header";
-    return false;
+  for (;;) {
+    if (RecordBytesLeft < sizeof(FH)) {
+      ReadError = "trace file truncated: frame header";
+      return false;
+    }
+    if (std::fread(&FH, sizeof(FH), 1, File) != 1) {
+      ReadError = "trace file truncated: frame header";
+      return false;
+    }
+    RecordBytesLeft -= sizeof(FH);
+    if (FH.Magic != FrameSymMagic)
+      break;
+    // Symbol checkpoint: redundant in a finalized file (the trailing
+    // symbol section supersedes it) — skip the payload.
+    TraceSymFrameHeader SH;
+    std::memcpy(&SH, &FH, sizeof(SH));
+    if (SH.ByteLen > RecordBytesLeft ||
+        std::fseek(File, static_cast<long>(SH.ByteLen), SEEK_CUR) != 0) {
+      ReadError = "trace file truncated: symbol checkpoint";
+      return false;
+    }
+    RecordBytesLeft -= SH.ByteLen;
   }
-  if (std::fread(&FH, sizeof(FH), 1, File) != 1) {
-    ReadError = "trace file truncated: frame header";
-    return false;
-  }
-  RecordBytesLeft -= sizeof(FH);
   if (FH.Magic != FrameMagic) {
     ReadError = "corrupt trace: bad frame magic";
     return false;
@@ -427,6 +586,34 @@ bool TraceMmapReader::open(const std::string &Path, std::string *Err) {
     Base = nullptr;
     return false;
   }
+  return true;
+#else
+  (void)Path;
+  return fail(Err, "mmap unavailable on this platform");
+#endif
+}
+
+bool TraceMmapReader::openRaw(const std::string &Path, std::string *Err) {
+#if ASYNCG_HAVE_MMAP
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return fail(Err, "cannot open trace file");
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || St.st_size < 0) {
+    ::close(Fd);
+    return fail(Err, "cannot stat trace file");
+  }
+  Size = static_cast<uint64_t>(St.st_size);
+  if (Size == 0) {
+    ::close(Fd);
+    return fail(Err, "trace file truncated: no header");
+  }
+  void *Map =
+      ::mmap(nullptr, static_cast<size_t>(Size), PROT_READ, MAP_PRIVATE, Fd, 0);
+  ::close(Fd);
+  if (Map == MAP_FAILED)
+    return fail(Err, "cannot mmap trace file");
+  Base = static_cast<const uint8_t *>(Map);
   return true;
 #else
   (void)Path;

@@ -66,6 +66,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -248,7 +249,8 @@ constexpr unsigned FrameColumns = 8;
 constexpr uint32_t FrameRecords = 4096;
 /// Upper bound accepted from a frame header (corruption guard).
 constexpr uint32_t FrameMaxRecords = 1 << 20;
-constexpr uint32_t FrameMagic = 0x46344741; // "AG4F"
+constexpr uint32_t FrameMagic = 0x46344741;    // "AG4F"
+constexpr uint32_t FrameSymMagic = 0x53344741; // "AG4S"
 
 /// v4 frame header, followed by the 8 column byte streams back to back.
 struct TraceFrameHeader {
@@ -258,6 +260,44 @@ struct TraceFrameHeader {
 };
 
 static_assert(sizeof(TraceFrameHeader) == 40, "frame header layout");
+
+/// Symbol-checkpoint frame (v4): interleaved with record frames so a trace
+/// cut off mid-recording still carries every symbol its surviving records
+/// reference. Each checkpoint covers the contiguous id range
+/// [FirstId, FirstId + SymCount) — the symbols interned since the previous
+/// checkpoint — as length-prefixed strings (u32 length + bytes), ByteLen
+/// payload bytes in total. A checkpoint is written immediately before any
+/// record frame that references new symbols, and the file is flushed after
+/// every frame, so the on-disk prefix is always decodable up to the last
+/// complete frame. finalize() still appends the full symbol table; readers
+/// of finalized files simply skip checkpoint frames.
+struct TraceSymFrameHeader {
+  uint32_t Magic; ///< FrameSymMagic
+  uint32_t SymCount;
+  uint64_t FirstId;
+  uint64_t ByteLen;
+  uint64_t Reserved[2];
+};
+
+static_assert(sizeof(TraceSymFrameHeader) == sizeof(TraceFrameHeader),
+              "every v4 frame kind shares one header size so readers can "
+              "read a header blindly and dispatch on the magic");
+
+/// If [P, P+Avail) starts with a complete symbol-checkpoint frame, sets
+/// \p Consumed to its total byte size and returns true; otherwise returns
+/// false (not a checkpoint, or one cut off by truncation).
+inline bool skipSymFrame(const uint8_t *P, size_t Avail, size_t &Consumed) {
+  if (Avail < sizeof(TraceSymFrameHeader))
+    return false;
+  TraceSymFrameHeader H;
+  std::memcpy(&H, P, sizeof(H));
+  if (H.Magic != FrameSymMagic)
+    return false;
+  if (H.ByteLen > Avail - sizeof(H))
+    return false;
+  Consumed = sizeof(H) + static_cast<size_t>(H.ByteLen);
+  return true;
+}
 
 /// Mask bits (column presence flags) in frame column 1.
 enum : uint8_t {
@@ -468,13 +508,22 @@ public:
   /// section, and any still-buffered v4 records).
   uint64_t recordBytes() const { return RecordSectionBytes; }
 
+  /// v4 crash tolerance (on by default): interleave symbol-checkpoint
+  /// frames and flush after every frame so a torn file keeps a decodable
+  /// frame-aligned prefix. Off restores buffer-at-will writing (tests).
+  void setCheckpoints(bool On) { Checkpoints = On; }
+
 private:
   bool flushFrame();
+  bool writeSymCheckpoint();
 
   std::FILE *File = nullptr;
   uint64_t Count = 0;
   uint64_t RecordSectionBytes = 0;
   uint32_t Version = TraceVersion;
+  /// High-water mark of symbol ids already covered by a checkpoint.
+  uint64_t CkptSyms = 0;
+  bool Checkpoints = true;
 
   /// v4 batching state.
   std::vector<TraceRecord> Pending;
@@ -537,6 +586,37 @@ bool validateTraceImage(const uint8_t *Bytes, uint64_t Size,
                         TraceFileHeader &Header,
                         std::vector<SymbolId> &Remap, std::string *Err);
 
+/// Outcome counters of a torn-tail prefix recovery scan.
+struct TraceRecoveryInfo {
+  uint64_t Frames = 0;      ///< record frames recovered
+  uint64_t Records = 0;     ///< records recovered
+  uint64_t RecordBytes = 0; ///< bytes of the recovered record frames
+  uint64_t DroppedBytes = 0; ///< tail bytes abandoned after the last clean frame
+  /// Why the scan stopped early (empty: the image ended exactly on a frame
+  /// boundary, nothing was lost).
+  std::string TailError;
+};
+
+/// Salvages the clean frame-aligned prefix of a v4 `.agtrace` image whose
+/// strict open failed — a recording cut off by a crash (no final symbol
+/// table, header counts still zero), or a finalized file with a damaged
+/// tail. Walks frames from the end of the header: symbol-checkpoint frames
+/// extend \p Remap (re-interning into this process's table), record frames
+/// are decoded in full and handed to \p OnFrame(Records, Count) — a frame
+/// that does not decode completely is discarded, so the caller only ever
+/// sees whole frames. Stops at the first torn or corrupt frame and reports
+/// what was dropped in \p Info.
+///
+/// Returns true when the image is recoverable v4 — intact 8-byte magic and
+/// a v4 version field (a cut inside the 32-byte header counts, with an
+/// empty prefix) — even if zero frames survive. Returns false with \p Err
+/// set when the image is not an `.agtrace` at all or predates checkpoint
+/// recovery (raw v1..v3).
+bool recoverV4Prefix(
+    const uint8_t *Bytes, uint64_t Size, std::vector<SymbolId> &Remap,
+    const std::function<void(const TraceRecord *, size_t)> &OnFrame,
+    TraceRecoveryInfo *Info = nullptr, std::string *Err = nullptr);
+
 /// Memory-maps an `.agtrace` file read-only and exposes the validated
 /// header, symbol remap, and the raw record-section bytes for zero-copy
 /// decoding. Falls back cleanly (open() returns false with
@@ -551,7 +631,17 @@ public:
   TraceMmapReader &operator=(const TraceMmapReader &) = delete;
 
   bool open(const std::string &Path, std::string *Err = nullptr);
+
+  /// Maps \p Path without any validation — the input to a prefix-recovery
+  /// scan of a torn file (recoverV4Prefix). header()/symbolRemap()/
+  /// recordData() are meaningless after openRaw; use data()/size().
+  bool openRaw(const std::string &Path, std::string *Err = nullptr);
+
   bool isOpen() const { return Base != nullptr; }
+
+  /// The whole mapped image (valid after open or openRaw).
+  const uint8_t *data() const { return Base; }
+  uint64_t size() const { return Size; }
 
   const TraceFileHeader &header() const { return Header; }
   const std::vector<SymbolId> &symbolRemap() const { return Remap; }

@@ -12,7 +12,8 @@
 //                   [--kernel sim|epoll|uring|auto] [--port N] [--probe]
 //                   [--sync] [--no-gossip] [--baseline] [--dot FILE]
 //                   [--record-dir DIR] [--trace-version N]
-//                   [--sample-budget PCT]
+//                   [--sample-budget PCT] [--degrade]
+//                   [--fault-spec kind:rate,...|default] [--fault-seed N]
 //
 // --kernel epoll or uring (Linux only) swaps the virtual-time kernel for a
 // real reactor: every loop binds --port with SO_REUSEPORT, the built-in
@@ -27,6 +28,12 @@
 // and merge. --sample-budget caps each shard pipeline's instrumentation
 // overhead at PCT percent of loop wall time; the dropped decoration
 // coverage is reported per shard.
+//
+// --fault-spec enables deterministic fault injection (DESIGN.md §5i) at
+// the given per-decision rates; --fault-seed selects the schedule (each
+// shard derives its own seed, so the same seed replays the identical
+// cluster-wide schedule). --degrade switches the shard pipelines from
+// blocking backpressure to the graceful-degradation ladder.
 //
 // Each loop runs on its own thread with its own runtime, AcmeAir server,
 // workload shard, and Async Graph builder (behind a per-shard SPSC ring
@@ -130,7 +137,21 @@ int main(int argc, char **argv) {
         return 2;
       }
       Cfg.SampleBudgetPct = std::atof(argv[++I]);
-    } else if (!std::strcmp(argv[I], "--record-dir")) {
+    } else if (!std::strcmp(argv[I], "--fault-spec")) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "--fault-spec needs a value\n");
+        return 2;
+      }
+      std::string Err;
+      if (!sim::FaultSpec::parse(argv[++I], Cfg.Faults, &Err)) {
+        std::fprintf(stderr, "--fault-spec: %s\n", Err.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(argv[I], "--fault-seed"))
+      Cfg.FaultSeed = static_cast<uint64_t>(Num("--fault-seed"));
+    else if (!std::strcmp(argv[I], "--degrade"))
+      Cfg.Policy = ag::BackpressurePolicy::Degrade;
+    else if (!std::strcmp(argv[I], "--record-dir")) {
       if (I + 1 >= argc) {
         std::fprintf(stderr, "--record-dir needs a value\n");
         return 2;
@@ -151,7 +172,9 @@ int main(int argc, char **argv) {
                    "          [--sync] [--no-gossip] [--baseline]"
                    " [--dot FILE]\n"
                    "          [--record-dir DIR] [--trace-version N]"
-                   " [--sample-budget PCT]\n",
+                   " [--sample-budget PCT]\n"
+                   "          [--degrade] [--fault-spec kind:rate,...]"
+                   " [--fault-seed N]\n",
                    argv[0]);
       return 2;
     }
@@ -241,6 +264,41 @@ int main(int argc, char **argv) {
                   static_cast<unsigned long long>(SS.DroppedEvents));
     }
   }
+  if (Cfg.Faults.any()) {
+    std::printf("faults: spec %s, seed %llu: %llu injected over %llu "
+                "decision(s)\n",
+                Cfg.Faults.str().c_str(),
+                static_cast<unsigned long long>(Cfg.FaultSeed),
+                static_cast<unsigned long long>(R.FaultsInjected),
+                static_cast<unsigned long long>(R.FaultDecisions));
+    for (size_t S = 0; S != R.Shards.size(); ++S)
+      std::printf("  s%zu digest %016llx (%llu injected)\n", S,
+                  static_cast<unsigned long long>(R.Shards[S].FaultDigest),
+                  static_cast<unsigned long long>(R.Shards[S].FaultsInjected));
+    const sim::NetRecoveryStats &NR = R.Net;
+    std::printf("  recovered: %llu EINTR retries, %llu accept pauses, "
+                "%llu ENOBUFS backoffs, %llu short writes, %llu resets, "
+                "%llu drained conn(s)\n",
+                static_cast<unsigned long long>(NR.EintrRetries),
+                static_cast<unsigned long long>(NR.AcceptPauses),
+                static_cast<unsigned long long>(NR.EnobufsRetries),
+                static_cast<unsigned long long>(NR.ShortWrites),
+                static_cast<unsigned long long>(NR.ResetsInjected),
+                static_cast<unsigned long long>(NR.DrainedConns));
+  }
+  if (Cfg.Policy == ag::BackpressurePolicy::Degrade) {
+    const ag::DegradationStats &D = R.Degradation;
+    std::printf("degradation ladder: %llu escalation(s), %llu recover(ies), "
+                "%llu record(s) shed, %llu watchdog stall(s); "
+                "tier ms lossless/sampled/structural %.1f/%.1f/%.1f\n",
+                static_cast<unsigned long long>(D.Escalations),
+                static_cast<unsigned long long>(D.Recoveries),
+                static_cast<unsigned long long>(D.RecordsShed),
+                static_cast<unsigned long long>(D.WatchdogStalls),
+                static_cast<double>(D.TimeNs[0]) / 1e6,
+                static_cast<double>(D.TimeNs[1]) / 1e6,
+                static_cast<double>(D.TimeNs[2]) / 1e6);
+  }
   if (WireMode) {
     std::printf("\nwire load: %llu completed, %llu errors, %llu dropped "
                 "conn(s)\n",
@@ -302,11 +360,23 @@ int main(int argc, char **argv) {
     std::printf("wrote %s\n", DotPath.c_str());
   }
 
-  bool Ok = WireMode
-                ? (Cfg.ServeOnly ||
-                   (R.Wire.Completed == Cfg.TotalRequests &&
-                    R.Wire.Errors == 0 && R.Wire.DroppedConns == 0))
-                : (R.TotalCompleted == Cfg.TotalRequests && R.TotalErrors == 0);
+  // Under fault injection a request may be abandoned after its retry
+  // budget, and a retried request can draw a non-200 (its reconnect lands
+  // on a sibling shard that never saw the session's login). Both are
+  // direct casualties of injected faults, so the gate is then "every
+  // request was accounted for, and errors never exceed the connections
+  // faults tore down" — nothing hung or vanished. The sim backend's
+  // faults are jitter-only, so its gate stays strict.
+  bool Ok;
+  if (WireMode)
+    Ok = Cfg.ServeOnly ||
+         (Cfg.Faults.any()
+              ? (R.Wire.Completed + R.Wire.Abandoned == Cfg.TotalRequests &&
+                 R.Wire.Errors <= R.Wire.DroppedConns + R.Wire.Timeouts)
+              : (R.Wire.Completed == Cfg.TotalRequests && R.Wire.Errors == 0 &&
+                 R.Wire.DroppedConns == 0));
+  else
+    Ok = R.TotalCompleted == Cfg.TotalRequests && R.TotalErrors == 0;
   if (!Ok)
     std::printf("RUN FAILED: completed=%llu errors=%llu dropped=%llu\n",
                 static_cast<unsigned long long>(

@@ -9,11 +9,16 @@
 // keep-alive workload and prints throughput and latency percentiles:
 //
 //   agload [--port N] [--conns N] [--requests N] [--seed N] [--json FILE]
+//          [--timeout-ms N] [--retries N]
 //
 // The request mix and per-connection seeding mirror the in-loop
 // WorkloadDriver, so a wire run exercises the same logical workload the
-// virtual-time runs measure. Exit status is 0 only when every request got
-// a 200 and no connection was dropped.
+// virtual-time runs measure. --timeout-ms bounds each request's wait;
+// --retries resends a timed-out or connection-lost request on a fresh
+// connection (bounded, jittered backoff) — together they keep the driver
+// honest against a faulty server instead of blocking forever. Exit status
+// is 0 only when every request got a 200 and none was abandoned (dropped
+// connections also fail the run unless --retries recovers them).
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,6 +53,10 @@ int main(int argc, char **argv) {
       Cfg.TotalRequests = static_cast<uint64_t>(Num("--requests"));
     else if (!std::strcmp(argv[I], "--seed"))
       Cfg.Seed = static_cast<uint64_t>(Num("--seed"));
+    else if (!std::strcmp(argv[I], "--timeout-ms"))
+      Cfg.RequestTimeoutMs = static_cast<int>(Num("--timeout-ms"));
+    else if (!std::strcmp(argv[I], "--retries"))
+      Cfg.MaxRetries = static_cast<int>(Num("--retries"));
     else if (!std::strcmp(argv[I], "--json")) {
       if (I + 1 >= argc) {
         std::fprintf(stderr, "--json needs a value\n");
@@ -57,7 +66,8 @@ int main(int argc, char **argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--conns N] [--requests N]"
-                   " [--seed N] [--json FILE]\n",
+                   " [--seed N] [--json FILE]\n"
+                   "          [--timeout-ms N] [--retries N]\n",
                    argv[0]);
       return 2;
     }
@@ -84,6 +94,11 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(S.Completed),
               static_cast<unsigned long long>(S.Errors),
               static_cast<unsigned long long>(S.DroppedConns));
+  if (Cfg.RequestTimeoutMs > 0 || Cfg.MaxRetries > 0)
+    std::printf("timeouts %llu, retries %llu, abandoned %llu\n",
+                static_cast<unsigned long long>(S.Timeouts),
+                static_cast<unsigned long long>(S.Retries),
+                static_cast<unsigned long long>(S.Abandoned));
   std::printf("throughput %.0f req/s over %.3f s\n", S.ReqPerSec,
               S.WallSeconds);
   std::printf("latency p50 %llu us, p90 %llu us, p99 %llu us\n",
@@ -100,6 +115,9 @@ int main(int argc, char **argv) {
     W.field("completed", static_cast<double>(S.Completed));
     W.field("errors", static_cast<double>(S.Errors));
     W.field("dropped_conns", static_cast<double>(S.DroppedConns));
+    W.field("timeouts", static_cast<double>(S.Timeouts));
+    W.field("retries", static_cast<double>(S.Retries));
+    W.field("abandoned", static_cast<double>(S.Abandoned));
     W.field("req_per_sec", S.ReqPerSec);
     W.field("p50_us", static_cast<double>(S.P50Us));
     W.field("p90_us", static_cast<double>(S.P90Us));
@@ -116,7 +134,10 @@ int main(int argc, char **argv) {
     std::fclose(F);
   }
 
+  // With a retry budget, dropped connections are recoverable noise (the
+  // requests on them must still complete); without one they fail the run.
   bool Ok = S.Completed == Cfg.TotalRequests && S.Errors == 0 &&
-            S.DroppedConns == 0;
+            S.Abandoned == 0 &&
+            (Cfg.MaxRetries > 0 || S.DroppedConns == 0);
   return Ok ? 0 : 1;
 }

@@ -127,9 +127,18 @@ int inspect(const std::string &Path) {
   } else {
     uint64_t ColTotal[FrameColumns] = {};
     uint64_t Frames = 0;
+    uint64_t SymFrames = 0, SymFrameBytes = 0;
     const uint8_t *P = Rec;
     uint64_t Left = RecordBytes;
     while (Left > 0) {
+      size_t Skip = 0;
+      if (skipSymFrame(P, static_cast<size_t>(Left), Skip)) {
+        ++SymFrames;
+        SymFrameBytes += Skip;
+        P += Skip;
+        Left -= Skip;
+        continue;
+      }
       size_t Consumed = 0;
       bool Ok = decodeV4Frame(
           P, static_cast<size_t>(Left), Consumed,
@@ -151,6 +160,10 @@ int inspect(const std::string &Path) {
     }
     std::printf("  frames         %" PRIu64 " (%u records/frame max)\n",
                 Frames, FrameRecords);
+    if (SymFrames)
+      std::printf("  checkpoints    %" PRIu64 " symbol frames (%" PRIu64
+                  " bytes)\n",
+                  SymFrames, SymFrameBytes);
     std::printf("  columns        (compressed bytes across all frames)\n");
     for (unsigned C = 0; C != FrameColumns; ++C)
       std::printf("    %-12s %10" PRIu64 "  %6.2f bytes/rec\n", colName(C),

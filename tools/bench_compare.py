@@ -17,6 +17,10 @@ Matches metrics by name and judges each by its unit's direction:
   - "ratio" metrics named *speedup* or size_ratio*: higher is better (the
     codec's compression and replay-speed ratios). Other ratios stay
     informational — the unit is ambiguous (footprint_ratio is a cost).
+  - degradation-ladder counters (names starting with "degr_", from the
+    fault_soak bench's DegradationStats): lower is better — more
+    escalations, shed records, or watchdog stalls at the same workload is
+    a robustness regression even though the unit is a plain count.
   - anything else ("records", "count", "edges", ...): informational only —
     printed, never gated. These are workload-shape numbers, not
     performance.
@@ -57,6 +61,8 @@ def direction(unit, name=""):
         return "bool"
     if unit == "ratio" and ("speedup" in name or name.startswith("size_ratio")):
         return "up"
+    if name.startswith("degr_"):
+        return "down"
     return None
 
 

@@ -23,6 +23,11 @@
 #     runtime capability probe says the host kernel cannot do it), each
 #     under an agload burst, gating nonzero req/s and zero dropped
 #     connections, then a SIGTERM shutdown that must exit cleanly;
+#   - runs the fault leg (Linux only): the same 2-loop epoll server with
+#     the default deterministic fault mix injected (--fault-spec default),
+#     driven by agload with per-request timeouts and a retry budget; gates
+#     every request completed with none abandoned, plus the same SIGTERM
+#     clean-shutdown check — a faulted server must still drain and exit 0;
 #   - configures an ASan+UBSan build (-DASYNCG_ASAN=ON) and runs the
 #     retirement test suite plus the short soak under it: the retirement
 #     freelists recycle node/edge/adjacency storage, which is exactly the
@@ -190,6 +195,44 @@ EOF
            "probe reports unavailable on this host:"
       "$BUILD_DIR/tools/acmeair_cluster" --probe | sed 's/^/     /'
     fi
+
+    # Fault leg: the epoll server again, now with the default deterministic
+    # fault mix injected (DESIGN.md §5i). agload drives it with per-request
+    # timeouts and a retry budget; its exit status gates that every request
+    # completed with zero errors and none abandoned. The SIGTERM shutdown
+    # must still drain cleanly — injected faults must degrade service, not
+    # the process.
+    echo "== [check] fault leg: epoll server under --fault-spec default"
+    fault_json="$OUT_DIR/agload_fault_epoll.json"
+    "$BUILD_DIR/tools/acmeair_cluster" --kernel epoll --loops 2 --serve \
+      --port 9566 --fault-spec default --fault-seed 7 \
+      >"$OUT_DIR/wire_server_fault.log" 2>&1 &
+    fault_pid=$!
+    if ! "$BUILD_DIR/tools/agload" --port 9566 --conns 8 --requests 2000 \
+        --timeout-ms 2000 --retries 3 --json "$fault_json" >/dev/null; then
+      kill -TERM "$fault_pid" 2>/dev/null || true
+      echo "FAIL: agload burst against the faulted epoll server failed"
+      exit 1
+    fi
+    kill -TERM "$fault_pid"
+    wait "$fault_pid" \
+      || { echo "FAIL: faulted epoll server did not shut down cleanly on" \
+                "SIGTERM"; exit 1; }
+    python3 - "$fault_json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["completed"] == 2000 and doc["errors"] == 0, \
+    f"fault leg: completed={doc['completed']} errors={doc['errors']}"
+assert doc["abandoned"] == 0, \
+    f"fault leg abandoned {doc['abandoned']} request(s)"
+print(f"ok   fault leg: {doc['req_per_sec']:.0f} req/s, "
+      f"{doc['dropped_conns']:.0f} dropped conn(s) recovered via "
+      f"{doc['retries']:.0f} retries, 0 abandoned")
+EOF
+    echo "== [check] fault leg OK"
   else
     echo "== [check] wire legs SKIPPED: the real kernel backends need" \
          "Linux (this is $(uname -s)); virtual-time legs above still ran"
@@ -223,6 +266,16 @@ EOF
   ASAN_OPTIONS=detect_leaks=0 \
     "$ASAN_DIR/bench/micro_codec" --parity-only >/dev/null
   echo "== [check] ASan trace codec checks OK"
+
+  echo "== [check] building fault-injection leg (fault_kernel_test) under ASan"
+  cmake --build "$ASAN_DIR" --target fault_kernel_test -j >/dev/null
+  echo "== [check] running fault injection + degradation ladder under ASan"
+  # The injected error paths (EINTR retries, short-write resubmission,
+  # reset teardown, ladder shedding) are exactly the branches normal runs
+  # never take; ASan is what turns "survives faults" into "survives faults
+  # without corrupting memory".
+  ASAN_OPTIONS=detect_leaks=0 "$ASAN_DIR/tests/fault_kernel_test"
+  echo "== [check] ASan fault injection checks OK"
 
   TSAN_DIR="$BUILD_DIR-tsan"
   echo "== [check] configuring TSan build in $TSAN_DIR"
