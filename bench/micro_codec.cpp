@@ -124,6 +124,13 @@ double ingestOnce(const std::string &Path, bool V4, uint64_t &Check) {
     uint64_t Avail = Map.recordByteSize();
     uint64_t Records = 0, Total = Map.header().RecordCount;
     while (Records < Total) {
+      size_t Skip = 0;
+      if (trace::skipSymFrame(P, static_cast<size_t>(Avail), Skip)) {
+        // Interleaved symbol checkpoint (crash tolerance): not records.
+        P += Skip;
+        Avail -= Skip;
+        continue;
+      }
       size_t Consumed = 0;
       if (!trace::decodeV4Frame(
               P, static_cast<size_t>(Avail), Consumed,

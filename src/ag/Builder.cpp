@@ -75,8 +75,9 @@ void AsyncGBuilder::commitTick() {
     Graph.appendTick(std::move(CurTick));
     CurTick.Nodes = std::vector<NodeId>();
     CurTick.Nodes.reserve(LastTickNodes);
+    ++CommittedCount;
     if (Config.Retire) {
-      RegionOrdinal[Committed] = ++CommittedCount;
+      RegionOrdinal[Committed] = CommittedCount;
       // A tick with no obligations quiesces at commit; otherwise the last
       // unpin queues it (see unpinRegion).
       if (!RegionPending.contains(Committed))

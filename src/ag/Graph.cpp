@@ -141,7 +141,10 @@ void AsyncGraph::removeEdge(uint32_t E) {
   ++Summary.Edges;
 }
 
-void AsyncGraph::reserveHint(size_t ExpectedNodes, size_t ExpectedEdges) {
+void AsyncGraph::reserveHint(size_t ExpectedNodes, size_t ExpectedEdges,
+                             size_t ExpectedTicks) {
+  if (ExpectedTicks)
+    Ticks.reserve(ExpectedTicks);
   Nodes.reserve(ExpectedNodes);
   Out.reserve(ExpectedNodes);
   In.reserve(ExpectedNodes);

@@ -264,7 +264,11 @@ public:
 
   /// Pre-sizes node/edge/adjacency storage for an expected graph size
   /// (builder-known workload hints); cheap to call more than once.
-  void reserveHint(size_t ExpectedNodes, size_t ExpectedEdges);
+  /// \p ExpectedTicks additionally pre-sizes the tick storage (callers
+  /// with an exact workload size, like the ingest hub's frame pre-scan;
+  /// 0 leaves it growing on demand).
+  void reserveHint(size_t ExpectedNodes, size_t ExpectedEdges,
+                   size_t ExpectedTicks = 0);
 
   /// Retires the region rooted at tick \p Index: folds every node into the
   /// RetiredSummary, unlinks and frees all incident edges and adjacency

@@ -11,73 +11,68 @@
 using namespace asyncg;
 using namespace asyncg::ag;
 
-MergeStats ShardedGraph::build(const std::vector<const AsyncGraph *> &Shards) {
-  assert(G.ticks().empty() && "ShardedGraph is single-shot");
-  Stats = MergeStats();
-  Stats.Shards = static_cast<uint32_t>(Shards.size());
+void ShardedGraph::mergeShard(const AsyncGraph &In, uint32_t Shard) {
+  assert(Shard >= Stats.Shards && "merge shards in increasing id order");
+  Stats.Shards = Shard + 1;
 
   // Tick indices are renumbered shard-major: shard s's ticks keep their
   // loop-local indices shifted past everything merged so far. With one
   // shard the shift is zero and the copy is exact.
-  uint32_t IndexBase = 0;
 
-  for (uint32_t S = 0; S != Shards.size(); ++S) {
-    const AsyncGraph &In = *Shards[S];
+  // Old node id -> merged node id, for this shard's edges and warnings.
+  // Ids are dense (the parity-relevant graphs never retire, and retired
+  // slots just leave unused remap entries).
+  std::vector<NodeId> Remap(In.nodes().size(), InvalidNode);
 
-    // Old node id -> merged node id, for this shard's edges and warnings.
-    // Ids are dense (the parity-relevant graphs never retire, and retired
-    // slots just leave unused remap entries).
-    std::vector<NodeId> Remap(In.nodes().size(), InvalidNode);
-
-    const uint32_t ShardBase = IndexBase;
-    uint32_t MaxIndex = IndexBase;
-    for (const AgTick &T : In.ticks()) {
-      if (T.Retired) {
-        ++Stats.SkippedRetiredTicks;
-        continue;
-      }
-      AgTick NT;
-      NT.Index = ShardBase + T.Index;
-      NT.Phase = T.Phase;
-      NT.Shard = S;
-      if (NT.Index > MaxIndex)
-        MaxIndex = NT.Index;
-      for (NodeId Old : T.Nodes) {
-        AgNode N = In.node(Old); // copy; addNode reassigns Id and Tick
-        Remap[Old] = G.addNode(std::move(N), NT);
-        ++Stats.Nodes;
-      }
-      G.appendTick(std::move(NT));
-      ++Stats.Ticks;
+  const uint32_t ShardBase = IndexBase;
+  uint32_t MaxIndex = IndexBase;
+  for (const AgTick &T : In.ticks()) {
+    if (T.Retired) {
+      ++Stats.SkippedRetiredTicks;
+      continue;
     }
-    IndexBase = MaxIndex;
-
-    // Edges stay within their shard graph, so they can be re-added as soon
-    // as the shard's nodes exist; storage order is preserved, which is
-    // what keeps a one-shard merge byte-identical in DOT.
-    for (uint32_t E = 0; E != In.edges().size(); ++E) {
-      if (In.deadEdge(E))
-        continue;
-      const AgEdge &Ed = In.edge(E);
-      NodeId From = Remap[Ed.From], To = Remap[Ed.To];
-      if (From == InvalidNode || To == InvalidNode)
-        continue; // endpoint's tick retired after the edge survived
-      G.addEdge(From, To, Ed.Kind, Ed.Label);
-      ++Stats.Edges;
+    AgTick NT;
+    NT.Index = ShardBase + T.Index;
+    NT.Phase = T.Phase;
+    NT.Shard = Shard;
+    if (NT.Index > MaxIndex)
+      MaxIndex = NT.Index;
+    for (NodeId Old : T.Nodes) {
+      AgNode N = In.node(Old); // copy; addNode reassigns Id and Tick
+      Remap[Old] = G.addNode(std::move(N), NT);
+      ++Stats.Nodes;
     }
+    G.appendTick(std::move(NT));
+    ++Stats.Ticks;
+  }
+  IndexBase = MaxIndex;
 
-    for (const Warning &W : In.warnings()) {
-      Warning NW = W;
-      NW.Node = (W.Node != InvalidNode && W.Node < Remap.size())
-                    ? Remap[W.Node]
-                    : InvalidNode;
-      if (NW.Tick != 0)
-        NW.Tick += ShardBase;
-      if (G.addWarning(std::move(NW)))
-        ++Stats.Warnings;
-    }
+  // Edges stay within their shard graph, so they can be re-added as soon
+  // as the shard's nodes exist; storage order is preserved, which is
+  // what keeps a one-shard merge byte-identical in DOT.
+  for (uint32_t E = 0; E != In.edges().size(); ++E) {
+    if (In.deadEdge(E))
+      continue;
+    const AgEdge &Ed = In.edge(E);
+    NodeId From = Remap[Ed.From], To = Remap[Ed.To];
+    if (From == InvalidNode || To == InvalidNode)
+      continue; // endpoint's tick retired after the edge survived
+    G.addEdge(From, To, Ed.Kind, Ed.Label);
+    ++Stats.Edges;
   }
 
+  for (const Warning &W : In.warnings()) {
+    Warning NW = W;
+    NW.Node = (W.Node != InvalidNode && W.Node < Remap.size()) ? Remap[W.Node]
+                                                               : InvalidNode;
+    if (NW.Tick != 0)
+      NW.Tick += ShardBase;
+    if (G.addWarning(std::move(NW)))
+      ++Stats.Warnings;
+  }
+}
+
+const MergeStats &ShardedGraph::finishMerge() {
   // Join cross-loop handoffs: every delivery execution (a top-level CE
   // whose Api is ClusterRecv and whose Sched is the sender-minted handoff
   // id) gains a Causal edge from the sending shard's CT. Loop-local CEs
@@ -95,6 +90,14 @@ MergeStats ShardedGraph::build(const std::vector<const AsyncGraph *> &Shards) {
     G.addEdge(Ct, N.Id, EdgeKind::Causal, XLoop);
     ++Stats.CrossLoopEdges;
   }
-
   return Stats;
+}
+
+MergeStats ShardedGraph::build(const std::vector<const AsyncGraph *> &Shards) {
+  assert(G.ticks().empty() && "ShardedGraph is single-shot");
+  Stats = MergeStats();
+  IndexBase = 0;
+  for (uint32_t S = 0; S != Shards.size(); ++S)
+    mergeShard(*Shards[S], S);
+  return finishMerge();
 }

@@ -57,14 +57,31 @@ struct MergeStats {
   uint64_t SkippedRetiredTicks = 0;
 };
 
-/// Merges per-shard Async Graphs into one graph. Single-shot: construct,
-/// build(), then query merged().
+/// Merges per-shard Async Graphs into one graph. Two drivers share the
+/// same union logic:
+///
+///  - build() is the original single-shot batch merge (cluster harness at
+///    quiesce): all shards at once, then the handoff join.
+///  - mergeShard()/finishMerge() is the incremental form the streaming
+///    ingest hub (ag/IngestHub.h) uses: shards are unioned one at a time,
+///    in shard-id order, as their streams finish draining; finishMerge()
+///    runs the handoff join over whatever has been unioned. The final
+///    graph is identical to a build() over the same shards in the same
+///    order — tick renumbering stays shard-major either way.
 class ShardedGraph {
 public:
   /// Unions \p Shards (index = shard id, so element 0 is loop 0) into the
   /// merged graph and joins cross-loop handoffs. Node ids, tick indices,
   /// and warning anchors are remapped; the inputs are not modified.
   MergeStats build(const std::vector<const AsyncGraph *> &Shards);
+
+  /// Incrementally unions \p In as shard \p Shard. Call in increasing
+  /// shard order (ids name the merge blocks: renumbering is shard-major).
+  void mergeShard(const AsyncGraph &In, uint32_t Shard);
+
+  /// Joins cross-loop handoffs over everything merged so far and returns
+  /// the final stats. Call once, after the last mergeShard().
+  const MergeStats &finishMerge();
 
   const AsyncGraph &merged() const { return G; }
   AsyncGraph &merged() { return G; }
@@ -73,6 +90,8 @@ public:
 private:
   AsyncGraph G;
   MergeStats Stats;
+  /// Tick-renumbering high-water mark across incremental merges.
+  uint32_t IndexBase = 0;
 };
 
 } // namespace ag

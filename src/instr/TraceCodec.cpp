@@ -226,12 +226,26 @@ SourceLocation TraceDecoder::loc(uint64_t Packed) const {
 }
 
 const jsrt::Function &TraceDecoder::funcFor(jsrt::FunctionId Id) {
-  if (jsrt::Function *F = Funcs.find(Id))
+  if (BatchOn) {
+    FnMemoEntry &E = FnMemo[Id % FnMemoSize];
+    if (E.F && E.Id == Id)
+      return *E.F;
+    if (jsrt::Function *F = Funcs.find(Id)) {
+      E.Id = Id;
+      E.F = F;
+      return *F;
+    }
+  } else if (jsrt::Function *F = Funcs.find(Id)) {
     return *F;
+  }
   auto Data = std::make_shared<jsrt::FunctionData>();
   Data->Id = Id;
   jsrt::Function &Slot = Funcs[Id];
   Slot = jsrt::Function(std::move(Data));
+  // The insertion may have rehashed Funcs; every memoized pointer is
+  // suspect now.
+  for (FnMemoEntry &E : FnMemo)
+    E = FnMemoEntry();
   return Slot;
 }
 
@@ -239,6 +253,14 @@ void TraceDecoder::decode(const TraceRecord *Records, size_t N,
                           AnalysisBase &Sink) {
   for (size_t I = 0; I != N; ++I)
     feed(Records[I], Sink);
+}
+
+void TraceDecoder::decodeBatch(const TraceRecord *Records, size_t N,
+                               AnalysisBase &Sink) {
+  beginBatch();
+  for (size_t I = 0; I != N; ++I)
+    feed(Records[I], Sink);
+  endBatch();
 }
 
 void TraceDecoder::finishApiIfReady(AnalysisBase &Sink) {

@@ -109,6 +109,31 @@ public:
     feed(R, Sink);
   }
 
+  /// Batch variant of decode() for the parallel ingest pipeline: identical
+  /// event semantics, but function-identity lookups are served from a
+  /// small direct-mapped memo while the batch runs. A trace frame
+  /// re-enters the same handful of callbacks thousands of times, so
+  /// hoisting the per-record hash probe into the memo is one of the
+  /// batch path's structural wins over record-at-a-time replay. The memo
+  /// only caches entries already in Funcs and is invalidated whenever an
+  /// insertion could rehash the map, so cross-frame decoder state is
+  /// unaffected.
+  void decodeBatch(const trace::TraceRecord *Records, size_t N,
+                   AnalysisBase &Sink);
+
+  /// Scoped enable/disable of the batch memo for callers that feed records
+  /// one at a time but still batch-wise (the single-thread pipelined
+  /// ingest decodes frames straight out of the mapping). Balance every
+  /// beginBatch with endBatch; batches must not nest.
+  void beginBatch() { BatchOn = true; }
+  void endBatch() { BatchOn = false; }
+
+  /// Pre-sizes the function table for \p N FuncDef records so it never
+  /// rehashes mid-stream (each rehash also invalidates the batch memo).
+  /// Callers that pre-scan the trace know the record count up front; a
+  /// trace defines roughly one function per ten records at the high end.
+  void reserveFuncs(size_t N) { Funcs.reserve(N); }
+
   /// Records whose opcode or sequencing was invalid (diagnostics; such
   /// records are skipped).
   uint64_t badRecords() const { return BadRecords; }
@@ -127,6 +152,19 @@ private:
 
   FlatMap<jsrt::FunctionId, jsrt::Function> Funcs;
   std::vector<SymbolId> Remap;
+
+  /// Direct-mapped function memo, live only inside a batch. Entries point
+  /// into Funcs, so any insertion (which may rehash) clears the memo. 128
+  /// slots (2 KiB) cover the working set of callbacks a server workload
+  /// cycles through per frame; at 16 the AcmeAir trace thrashed on
+  /// conflict misses.
+  static constexpr unsigned FnMemoSize = 128;
+  struct FnMemoEntry {
+    jsrt::FunctionId Id = 0;
+    const jsrt::Function *F = nullptr;
+  };
+  FnMemoEntry FnMemo[FnMemoSize];
+  bool BatchOn = false;
 
   /// Pending EnterTrigger for the next Enter.
   jsrt::TriggerInfo PendingTrigger;

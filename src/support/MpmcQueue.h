@@ -1,0 +1,136 @@
+//===- MpmcQueue.h - Bounded lock-free MPMC queue ---------------*- C++ -*-===//
+//
+// Part of AsyncG-C++. MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded multi-producer/multi-consumer queue (Dmitry Vyukov's
+/// sequence-numbered ring) used to fan trace frames out to the parallel
+/// ingest decode pool (ag/IngestHub.h).
+///
+/// Each cell carries a sequence counter that encodes whose turn it is:
+/// a cell whose sequence equals the enqueue position is free to write, one
+/// whose sequence equals the dequeue position + 1 is ready to read. A
+/// producer or consumer claims its position with one CAS on the shared
+/// cursor and then touches only its own cell, so producers never contend
+/// with consumers on the same cache line and the queue is linearizable
+/// without any lock.
+///
+/// tryPush/tryPop are non-blocking and fail on a full/empty queue; callers
+/// that want to sleep compose the queue with their own condition variable
+/// (the ingest hub does — a decode pool parks when no frames are in
+/// flight). Capacity is rounded up to a power of two. The queue stores T
+/// by value and requires it to be default-constructible and movable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASYNCG_SUPPORT_MPMCQUEUE_H
+#define ASYNCG_SUPPORT_MPMCQUEUE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace asyncg {
+
+template <typename T> class MpmcQueue {
+public:
+  /// Creates a queue holding at most \p Capacity elements (rounded up to a
+  /// power of two, minimum 2).
+  explicit MpmcQueue(size_t Capacity) {
+    size_t Cap = 2;
+    while (Cap < Capacity)
+      Cap <<= 1;
+    Cells.reset(new Cell[Cap]);
+    for (size_t I = 0; I != Cap; ++I)
+      Cells[I].Seq.store(I, std::memory_order_relaxed);
+    Mask = Cap - 1;
+  }
+
+  MpmcQueue(const MpmcQueue &) = delete;
+  MpmcQueue &operator=(const MpmcQueue &) = delete;
+
+  size_t capacity() const { return Mask + 1; }
+
+  /// Enqueues \p Value. Returns false when the queue is full.
+  bool tryPush(T Value) {
+    size_t Pos = Tail.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell &C = Cells[Pos & Mask];
+      size_t Seq = C.Seq.load(std::memory_order_acquire);
+      intptr_t Diff =
+          static_cast<intptr_t>(Seq) - static_cast<intptr_t>(Pos);
+      if (Diff == 0) {
+        // The cell is free at this position; claim it.
+        if (Tail.compare_exchange_weak(Pos, Pos + 1,
+                                       std::memory_order_relaxed))
+          break;
+      } else if (Diff < 0) {
+        return false; // full: the cell still holds an unconsumed element
+      } else {
+        Pos = Tail.load(std::memory_order_relaxed); // lost the race
+      }
+    }
+    Cell &C = Cells[Pos & Mask];
+    C.Value = std::move(Value);
+    C.Seq.store(Pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues into \p Out. Returns false when the queue is empty.
+  bool tryPop(T &Out) {
+    size_t Pos = Head.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell &C = Cells[Pos & Mask];
+      size_t Seq = C.Seq.load(std::memory_order_acquire);
+      intptr_t Diff =
+          static_cast<intptr_t>(Seq) - static_cast<intptr_t>(Pos + 1);
+      if (Diff == 0) {
+        // The cell holds an element for this position; claim it.
+        if (Head.compare_exchange_weak(Pos, Pos + 1,
+                                       std::memory_order_relaxed))
+          break;
+      } else if (Diff < 0) {
+        return false; // empty: no producer has filled this position yet
+      } else {
+        Pos = Head.load(std::memory_order_relaxed); // lost the race
+      }
+    }
+    Cell &C = Cells[Pos & Mask];
+    Out = std::move(C.Value);
+    C.Seq.store(Pos + Mask + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact only when quiescent; racy otherwise —
+  /// fine for "is there anything in flight" heuristics).
+  size_t sizeApprox() const {
+    size_t T0 = Tail.load(std::memory_order_relaxed);
+    size_t H = Head.load(std::memory_order_relaxed);
+    return T0 >= H ? T0 - H : 0;
+  }
+
+private:
+  struct Cell {
+    std::atomic<size_t> Seq{0};
+    T Value{};
+  };
+
+  static constexpr size_t CacheLine = 64;
+
+  /// Raw array, not a vector: cells hold atomics and are neither copyable
+  /// nor movable.
+  std::unique_ptr<Cell[]> Cells;
+  size_t Mask = 0;
+  /// Producers and consumers advance independent cursors; keep them on
+  /// separate cache lines so a busy producer does not stall consumers.
+  alignas(CacheLine) std::atomic<size_t> Tail{0};
+  alignas(CacheLine) std::atomic<size_t> Head{0};
+};
+
+} // namespace asyncg
+
+#endif // ASYNCG_SUPPORT_MPMCQUEUE_H

@@ -278,6 +278,176 @@ bool trace::validateTraceImage(const uint8_t *Bytes, uint64_t Size,
 // Torn-tail prefix recovery
 //===----------------------------------------------------------------------===//
 
+/// Reads the symbol-checkpoint frame at \p Bytes + \p Off (\p Avail bytes
+/// remaining), re-interning its strings and appending the new ids to
+/// \p Remap. On success sets \p Consumed to the frame's total size. On a
+/// torn or corrupt checkpoint returns false with \p Stop describing why;
+/// symbols already re-interned before the damage are harmless. Shared by
+/// recoverV4Prefix (decode-as-you-scan) and scanV4Recovery (locate-only).
+static bool readSymCheckpoint(const uint8_t *Bytes, uint64_t Off,
+                              uint64_t Avail, std::vector<SymbolId> &Remap,
+                              uint64_t &Consumed, std::string &Stop) {
+  TraceSymFrameHeader SH;
+  std::memcpy(&SH, Bytes + Off, sizeof(SH));
+  if (SH.ByteLen > Avail - sizeof(SH)) {
+    Stop = "trace file truncated: symbol checkpoint";
+    return false;
+  }
+  if (SH.FirstId != Remap.size()) {
+    Stop = "corrupt trace: checkpoint ids not contiguous";
+    return false;
+  }
+  const uint8_t *P = Bytes + Off + sizeof(SH);
+  const uint8_t *End = P + SH.ByteLen;
+  std::string Scratch;
+  for (uint32_t I = 0; I != SH.SymCount; ++I) {
+    if (End - P < static_cast<ptrdiff_t>(sizeof(uint32_t))) {
+      Stop = "corrupt trace: checkpoint symbol bytes";
+      return false;
+    }
+    uint32_t Len;
+    std::memcpy(&Len, P, sizeof(Len));
+    P += sizeof(Len);
+    if (Len > static_cast<uint64_t>(End - P)) {
+      Stop = "corrupt trace: checkpoint symbol bytes";
+      return false;
+    }
+    Scratch.assign(reinterpret_cast<const char *>(P), Len);
+    P += Len;
+    Remap.push_back(symtab().intern(Scratch));
+  }
+  if (P != End) {
+    Stop = "corrupt trace: checkpoint symbol bytes";
+    return false;
+  }
+  Consumed = sizeof(SH) + SH.ByteLen;
+  return true;
+}
+
+/// Structural validation of the record-frame header at \p P: the checks
+/// decodeV4Frame performs before touching any varint stream. On success
+/// sets the frame's total size and record count. Lets a pre-scan locate
+/// frame boundaries in O(1) per frame without decoding the columns.
+static bool checkFrameHeader(const uint8_t *P, size_t Avail,
+                             size_t &TotalBytes, uint32_t &Records,
+                             std::string *Err) {
+  if (Avail < sizeof(TraceFrameHeader))
+    return fail(Err, "trace file truncated: frame header");
+  TraceFrameHeader H;
+  std::memcpy(&H, P, sizeof(H));
+  if (H.Magic != FrameMagic)
+    return fail(Err, "corrupt trace: bad frame magic");
+  if (H.RecordCount == 0 || H.RecordCount > FrameMaxRecords)
+    return fail(Err, "corrupt trace: implausible frame record count");
+  uint64_t Payload = 0;
+  for (unsigned C = 0; C != FrameColumns; ++C)
+    Payload += H.ColBytes[C];
+  if (Payload > Avail - sizeof(TraceFrameHeader))
+    return fail(Err, "trace file truncated: frame payload");
+  if (H.ColBytes[0] != H.RecordCount || H.ColBytes[1] != H.RecordCount)
+    return fail(Err, "corrupt trace: frame op/mask column size");
+  TotalBytes = sizeof(TraceFrameHeader) + static_cast<size_t>(Payload);
+  Records = H.RecordCount;
+  return true;
+}
+
+bool trace::scanV4Frames(const uint8_t *P, size_t Avail, uint64_t RecordCount,
+                         std::vector<TraceFrameRef> &Out, std::string *Err) {
+  Out.clear();
+  uint64_t Records = 0;
+  uint64_t Off = 0;
+  while (Records < RecordCount) {
+    if (Off >= Avail)
+      return fail(Err, "trace file truncated: missing frames");
+    size_t Skip = 0;
+    if (skipSymFrame(P + Off, Avail - static_cast<size_t>(Off), Skip)) {
+      // Interleaved symbol checkpoint: superseded by the finalized symbol
+      // section, so a strict scan only steps over it.
+      Off += Skip;
+      continue;
+    }
+    TraceFrameRef F;
+    size_t Bytes = 0;
+    uint32_t N = 0;
+    if (!checkFrameHeader(P + Off, Avail - static_cast<size_t>(Off), Bytes, N,
+                          Err))
+      return false;
+    F.Offset = Off;
+    F.Bytes = static_cast<uint32_t>(Bytes);
+    F.Records = N;
+    Out.push_back(F);
+    Records += N;
+    Off += Bytes;
+  }
+  if (Records != RecordCount)
+    return fail(Err, "corrupt trace: frame record counts disagree with header");
+  return true;
+}
+
+bool trace::scanV4Recovery(const uint8_t *Bytes, uint64_t Size,
+                           std::vector<TraceFrameRef> &Out,
+                           std::vector<SymbolId> &Remap,
+                           TraceRecoveryInfo *Info, std::string *Err) {
+  TraceRecoveryInfo Local;
+  TraceRecoveryInfo &R = Info ? *Info : Local;
+  R = TraceRecoveryInfo();
+  Out.clear();
+  Remap.clear();
+  if (Size < sizeof(TraceMagic) ||
+      std::memcmp(Bytes, TraceMagic, sizeof(TraceMagic)) != 0)
+    return fail(Err, "bad magic: not an .agtrace file");
+  if (Size < sizeof(TraceFileHeader)) {
+    R.DroppedBytes = Size;
+    R.TailError = "trace file truncated: mid-header";
+    return true;
+  }
+  TraceFileHeader H;
+  std::memcpy(&H, Bytes, sizeof(H));
+  if (H.Version <= TraceLastRawVersion || H.Version > TraceVersion)
+    return fail(Err, "trace version has no recovery checkpoints");
+
+  uint64_t Off = sizeof(TraceFileHeader);
+  std::string Stop;
+  while (Off < Size) {
+    uint64_t Avail = Size - Off;
+    uint32_t Magic = 0;
+    if (Avail >= sizeof(Magic))
+      std::memcpy(&Magic, Bytes + Off, sizeof(Magic));
+    if (Avail < sizeof(TraceFrameHeader)) {
+      Stop = "trace file truncated: frame header";
+      break;
+    }
+    if (Magic == FrameSymMagic) {
+      uint64_t Consumed = 0;
+      if (!readSymCheckpoint(Bytes, Off, Avail, Remap, Consumed, Stop))
+        break;
+      Off += Consumed;
+      continue;
+    }
+    std::string FrameErr;
+    TraceFrameRef F;
+    size_t FrameBytes = 0;
+    uint32_t N = 0;
+    if (!checkFrameHeader(Bytes + Off, static_cast<size_t>(Avail), FrameBytes,
+                          N, &FrameErr)) {
+      Stop = FrameErr;
+      break;
+    }
+    F.Offset = Off;
+    F.Bytes = static_cast<uint32_t>(FrameBytes);
+    F.Records = N;
+    F.RemapSize = static_cast<uint32_t>(Remap.size());
+    Out.push_back(F);
+    ++R.Frames;
+    R.Records += N;
+    R.RecordBytes += FrameBytes;
+    Off += FrameBytes;
+  }
+  R.DroppedBytes = Size - Off;
+  R.TailError = Stop;
+  return true;
+}
+
 bool trace::recoverV4Prefix(
     const uint8_t *Bytes, uint64_t Size, std::vector<SymbolId> &Remap,
     const std::function<void(const TraceRecord *, size_t)> &OnFrame,
@@ -304,7 +474,6 @@ bool trace::recoverV4Prefix(
 
   uint64_t Off = sizeof(TraceFileHeader);
   std::vector<TraceRecord> Buf;
-  std::string Scratch;
   std::string Stop;
   while (Off < Size) {
     uint64_t Avail = Size - Off;
@@ -316,42 +485,13 @@ bool trace::recoverV4Prefix(
       break;
     }
     if (Magic == FrameSymMagic) {
-      TraceSymFrameHeader SH;
-      std::memcpy(&SH, Bytes + Off, sizeof(SH));
-      if (SH.ByteLen > Avail - sizeof(SH)) {
-        Stop = "trace file truncated: symbol checkpoint";
+      // Stops before any frame that would reference ids the damaged
+      // checkpoint failed to deliver; symbols already re-interned are
+      // harmless.
+      uint64_t Consumed = 0;
+      if (!readSymCheckpoint(Bytes, Off, Avail, Remap, Consumed, Stop))
         break;
-      }
-      if (SH.FirstId != Remap.size()) {
-        Stop = "corrupt trace: checkpoint ids not contiguous";
-        break;
-      }
-      const uint8_t *P = Bytes + Off + sizeof(SH);
-      const uint8_t *End = P + SH.ByteLen;
-      bool Bad = false;
-      for (uint32_t I = 0; I != SH.SymCount; ++I) {
-        if (End - P < static_cast<ptrdiff_t>(sizeof(uint32_t))) {
-          Bad = true;
-          break;
-        }
-        uint32_t Len;
-        std::memcpy(&Len, P, sizeof(Len));
-        P += sizeof(Len);
-        if (Len > static_cast<uint64_t>(End - P)) {
-          Bad = true;
-          break;
-        }
-        Scratch.assign(reinterpret_cast<const char *>(P), Len);
-        P += Len;
-        Remap.push_back(symtab().intern(Scratch));
-      }
-      if (Bad || P != End) {
-        // Stop before any frame that would reference the missing ids; the
-        // symbols already re-interned are harmless.
-        Stop = "corrupt trace: checkpoint symbol bytes";
-        break;
-      }
-      Off += sizeof(SH) + SH.ByteLen;
+      Off += Consumed;
       continue;
     }
     if (Magic != FrameMagic) {

@@ -617,6 +617,52 @@ bool recoverV4Prefix(
     const std::function<void(const TraceRecord *, size_t)> &OnFrame,
     TraceRecoveryInfo *Info = nullptr, std::string *Err = nullptr);
 
+/// One record frame located by a pre-scan of a v4 record section. The scan
+/// reads only frame headers, so locating every frame of a trace is O(frame
+/// count), not O(record count) — the frames can then be decoded in any
+/// order (they are self-contained) while being *applied* in this order.
+struct TraceFrameRef {
+  /// Byte offset of the frame header within the scanned image.
+  uint64_t Offset = 0;
+  /// Total frame size: header plus the eight column streams.
+  uint32_t Bytes = 0;
+  /// Record count from the frame header.
+  uint32_t Records = 0;
+  /// Symbols visible when this frame is applied: the remap prefix length
+  /// accumulated from the checkpoint frames preceding it (recovery scans;
+  /// scans of finalized files leave it 0 — the full symbol section
+  /// supersedes the checkpoints).
+  uint32_t RemapSize = 0;
+};
+
+/// Locates every record frame of a *validated* v4 record section
+/// [P, P+Avail) holding \p RecordCount records in total. Symbol-checkpoint
+/// frames are skipped (the finalized symbol section supersedes them).
+/// Structural validation only — frame magics, header plausibility, and
+/// column-size bounds; the per-record varint streams are validated when
+/// the frames are decoded. Returns false with \p Err on any structural
+/// problem (a validated image should never trip one).
+bool scanV4Frames(const uint8_t *P, size_t Avail, uint64_t RecordCount,
+                  std::vector<TraceFrameRef> &Out, std::string *Err = nullptr);
+
+/// The recovery twin of scanV4Frames: walks the frame chain of a torn or
+/// truncated v4 image exactly like recoverV4Prefix — growing \p Remap from
+/// the interleaved symbol checkpoints and stopping at the first torn or
+/// structurally corrupt frame — but records frame boundaries instead of
+/// decoding, so a parallel ingester can decode the located frames
+/// concurrently. Each emitted TraceFrameRef carries the remap prefix
+/// length in force when it is applied. \p Info receives the same counters
+/// recoverV4Prefix reports, except that Records/RecordBytes describe the
+/// *located* frames: a frame whose varint streams later fail to decode
+/// must be discarded along with everything after it, mirroring
+/// recoverV4Prefix's clean-prefix guarantee. Return value and \p Err
+/// follow recoverV4Prefix.
+bool scanV4Recovery(const uint8_t *Bytes, uint64_t Size,
+                    std::vector<TraceFrameRef> &Out,
+                    std::vector<SymbolId> &Remap,
+                    TraceRecoveryInfo *Info = nullptr,
+                    std::string *Err = nullptr);
+
 /// Memory-maps an `.agtrace` file read-only and exposes the validated
 /// header, symbol remap, and the raw record-section bytes for zero-copy
 /// decoding. Falls back cleanly (open() returns false with

@@ -15,8 +15,9 @@ Matches metrics by name and judges each by its unit's direction:
   - "bool": exact match required (gates like ordering_holds flipping from
     1 to 0 is a regression regardless of threshold).
   - "ratio" metrics named *speedup* or size_ratio*: higher is better (the
-    codec's compression and replay-speed ratios). Other ratios stay
-    informational — the unit is ambiguous (footprint_ratio is a cost).
+    codec's compression and replay-speed ratios, the ingest hub's
+    ingest_speedup_* family). Other ratios stay informational — the unit
+    is ambiguous (footprint_ratio is a cost).
   - degradation-ladder counters (names starting with "degr_", from the
     fault_soak bench's DegradationStats): lower is better — more
     escalations, shed records, or watchdog stalls at the same workload is

@@ -38,9 +38,14 @@
 #     transports) and micro_codec --parity-only, so the v4 frame
 #     decoder's pointer arithmetic is sanitizer-verified on every real
 #     encode/decode path;
+#   - runs the ingest leg: records a Table-I case trace with asyncg_cli
+#     --record, then diffs agingest --serial against agingest --jobs 4
+#     (warnings on stdout, DOT via --dot) — the ordered-commit byte-parity
+#     contract checked end to end through the CLI tools;
 #   - configures a TSan build (-DASYNCG_TSAN=ON) and runs the SPSC ring
-#     and multi-loop cluster tests under it: N loop threads, the shared
-#     cluster kernel, and the per-shard rings are the concurrent surface.
+#     and multi-loop cluster tests under it, plus the ingest test suite —
+#     the MpmcQueue stress and the jobs>=2 decode pool (workers + ordered
+#     committer + steal path) are the new concurrent surface.
 #
 # Usage: tools/bench_smoke.sh [--check] [--baseline DIR] [build-dir]
 #        (default build dir: build-bench-smoke)
@@ -65,9 +70,9 @@ echo "== configuring Release build in $BUILD_DIR"
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 
 echo "== building micro_ag + micro_eventloop + micro_ring + micro_codec"
-echo "   + soak_steady_state + cluster_scaling"
+echo "   + soak_steady_state + cluster_scaling + ingest_scaling"
 cmake --build "$BUILD_DIR" --target micro_ag micro_eventloop micro_ring \
-  micro_codec soak_steady_state cluster_scaling -j >/dev/null
+  micro_codec soak_steady_state cluster_scaling ingest_scaling -j >/dev/null
 
 mkdir -p "$OUT_DIR"
 
@@ -91,6 +96,9 @@ run_bench cluster_scaling
 # Trace codec: v3 vs v4 size + ingest speed, DOT parity, and the exit-code
 # gates (>=4x size, derived slow-storage >=2x, cold floor >=1.2x).
 run_bench micro_codec
+# Parallel ingest: decode-stage speedup gate (>=1.25x pipelined over serial
+# replay), jobs sweep, streaming merge, and byte parity at every job count.
+run_bench ingest_scaling
 
 echo "== validating schema"
 python3 - "$OUT_DIR"/BENCH_*.json <<'EOF'
@@ -277,16 +285,38 @@ EOF
   ASAN_OPTIONS=detect_leaks=0 "$ASAN_DIR/tests/fault_kernel_test"
   echo "== [check] ASan fault injection checks OK"
 
+  # Ingest leg: the ordered-commit parity contract through the CLI tools.
+  # A recorded case trace must produce byte-identical warnings and DOT
+  # whether agingest replays it serially or through the 4-thread decode
+  # pool.
+  echo "== [check] ingest leg: asyncg_cli --record + agingest serial-vs-jobs-4 diff"
+  cmake --build "$BUILD_DIR" --target asyncg_cli agingest -j >/dev/null
+  ingest_trace="$OUT_DIR/ingest_check.agtrace"
+  "$BUILD_DIR/tools/asyncg_cli" --case SO-31978347 --record "$ingest_trace" \
+    --quiet >/dev/null
+  "$BUILD_DIR/tools/agingest" --in "$ingest_trace" --serial \
+    --dot "$OUT_DIR/ingest_serial.dot" >"$OUT_DIR/ingest_serial.warn" 2>/dev/null
+  "$BUILD_DIR/tools/agingest" --in "$ingest_trace" --jobs 4 \
+    --dot "$OUT_DIR/ingest_jobs4.dot" >"$OUT_DIR/ingest_jobs4.warn" 2>/dev/null
+  diff -q "$OUT_DIR/ingest_serial.warn" "$OUT_DIR/ingest_jobs4.warn" \
+    || { echo "FAIL: agingest --jobs 4 warnings diverged from --serial"; exit 1; }
+  diff -q "$OUT_DIR/ingest_serial.dot" "$OUT_DIR/ingest_jobs4.dot" \
+    || { echo "FAIL: agingest --jobs 4 DOT diverged from --serial"; exit 1; }
+  echo "== [check] ingest parity leg OK"
+
   TSAN_DIR="$BUILD_DIR-tsan"
   echo "== [check] configuring TSan build in $TSAN_DIR"
   cmake -S "$REPO_ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DASYNCG_TSAN=ON >/dev/null
-  echo "== [check] building spsc_ring_test + cluster_test"
-  cmake --build "$TSAN_DIR" --target spsc_ring_test cluster_test -j >/dev/null
+  echo "== [check] building spsc_ring_test + cluster_test + ingest_test"
+  cmake --build "$TSAN_DIR" --target spsc_ring_test cluster_test ingest_test \
+    -j >/dev/null
   echo "== [check] running SPSC ring tests under TSan"
   "$TSAN_DIR/tests/spsc_ring_test"
   echo "== [check] running multi-loop cluster tests under TSan"
   "$TSAN_DIR/tests/cluster_test"
+  echo "== [check] running ingest decode pool + MpmcQueue tests under TSan"
+  "$TSAN_DIR/tests/ingest_test"
   echo "== [check] TSan concurrency checks OK"
 fi
 
